@@ -1,0 +1,256 @@
+//! Seeded synthetic data generators replacing the paper's datasets.
+//!
+//! | Paper dataset | Generator | Preserved property |
+//! |---|---|---|
+//! | Hadoop RandomWriter text (§6.1) | [`zipf_words`] | key skew & distinct-key count |
+//! | random 10-dim / Amazon 4096-dim vectors (§6.2) | [`labeled_vectors`] | dimensionality, cache/heap ratio |
+//! | LiveJournal / webbase / HiBench graphs (§6.3) | [`power_law_graph`] | degree skew, edge/vertex ratio |
+//! | Common Crawl rankings / uservisits (§6.6) | [`rankings`], [`uservisits`] | group-key cardinality |
+//!
+//! Everything is deterministic given a seed, so cross-mode result checks
+//! and repeated benchmark runs compare identical inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::records::{LabeledPointRec, RankingRec, UserVisitRec};
+
+/// Greatest common divisor (for coprime permutation strides).
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A multiplication stride coprime to `n`, so `rank -> rank * stride % n`
+/// is a bijection (used to de-correlate Zipf rank from id).
+fn coprime_stride(n: usize) -> u64 {
+    let n = n as u64;
+    let mut stride = (n / 3).max(1) * 2 + 1;
+    while gcd(stride, n) != 1 {
+        stride += 2;
+    }
+    stride % n.max(1)
+}
+
+/// A table-based Zipf(s) sampler over `1..=n` (CDF + binary search; exact,
+/// adequate for n up to a few million).
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, exponent: f64) -> Zipf {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+/// Word-id stream with Zipf-distributed frequencies over `distinct` keys
+/// (the WC input; the paper varies both size and distinct-key count).
+pub fn zipf_words(n: usize, distinct: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(distinct, 1.05);
+    // Permute ranks to ids so frequent keys are not consecutive.
+    let stride = coprime_stride(distinct);
+    (0..n)
+        .map(|_| {
+            let rank = zipf.sample(&mut rng) as u64;
+            ((rank.wrapping_mul(stride)) % distinct as u64) as i64
+        })
+        .collect()
+}
+
+/// `n` labeled dense vectors of dimension `d` (LR/KMeans input). Labels are
+/// ±1; features are two noisy Gaussian-ish clusters so LR has signal.
+pub fn labeled_vectors(n: usize, d: usize, seed: u64) -> Vec<LabeledPointRec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let label = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let features = (0..d)
+                .map(|j| {
+                    let center = label * if j % 2 == 0 { 0.5 } else { -0.25 };
+                    center + rng.gen_range(-1.0..1.0)
+                })
+                .collect();
+            LabeledPointRec { label, features }
+        })
+        .collect()
+}
+
+/// A power-law directed graph: `edges` edges over `vertices` vertices with
+/// Zipf-skewed source and destination degrees (LiveJournal-like shape).
+/// Returns an edge list.
+pub fn power_law_graph(vertices: usize, edges: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(vertices, 0.9);
+    let stride = coprime_stride(vertices);
+    let perm = |rank: usize| ((rank as u64 * stride) % vertices as u64) as u32;
+    let mut out = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let src = perm(zipf.sample(&mut rng));
+        let mut dst = perm(zipf.sample(&mut rng));
+        if dst == src {
+            dst = (dst + 1) % vertices as u32;
+        }
+        out.push((src, dst));
+    }
+    out
+}
+
+/// `rankings(n)` rows: pageRank Zipf-ish in 0..1000.
+pub fn rankings(n: usize, seed: u64) -> Vec<RankingRec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| RankingRec {
+            url_id: i as i64,
+            page_rank: (1000.0 / (1.0 + rng.gen::<f64>() * 99.0)) as i32,
+            avg_duration: rng.gen_range(1..100),
+        })
+        .collect()
+}
+
+/// `uservisits(n)` rows: `groups` distinct sourceIP prefixes (the Query 2
+/// GROUP BY cardinality), revenue uniform.
+pub fn uservisits(n: usize, groups: usize, seed: u64) -> Vec<UserVisitRec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| UserVisitRec {
+            ip_prefix: rng.gen_range(0..groups as i64),
+            url_id: rng.gen_range(0..1_000_000),
+            ad_revenue: rng.gen_range(0.0..1.0),
+        })
+        .collect()
+}
+
+/// Split records into `parts` roughly equal partitions.
+pub fn partition<T: Clone>(records: &[T], parts: usize) -> Vec<Vec<T>> {
+    assert!(parts > 0);
+    let mut out: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
+    let per = records.len().div_ceil(parts);
+    for (i, chunk) in records.chunks(per.max(1)).enumerate() {
+        if i < parts {
+            out[i] = chunk.to_vec();
+        } else {
+            out[parts - 1].extend_from_slice(chunk);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipf_is_skewed_and_seeded() {
+        let a = zipf_words(50_000, 1000, 42);
+        let b = zipf_words(50_000, 1000, 42);
+        assert_eq!(a, b, "deterministic for equal seeds");
+        let c = zipf_words(50_000, 1000, 43);
+        assert_ne!(a, c);
+
+        let mut freq: HashMap<i64, usize> = HashMap::new();
+        for w in &a {
+            *freq.entry(*w).or_insert(0) += 1;
+        }
+        let mut counts: Vec<usize> = freq.values().copied().collect();
+        counts.sort_unstable_by(|x, y| y.cmp(x));
+        assert!(counts[0] > 10 * counts[counts.len() / 2], "head much heavier than median");
+        assert!(freq.len() <= 1000);
+        assert!(freq.len() > 500, "most keys appear");
+    }
+
+    #[test]
+    fn vectors_have_requested_shape() {
+        let v = labeled_vectors(100, 10, 7);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|p| p.features.len() == 10));
+        assert!(v.iter().all(|p| p.label == 1.0 || p.label == -1.0));
+        assert!(v.iter().any(|p| p.label == 1.0) && v.iter().any(|p| p.label == -1.0));
+    }
+
+    #[test]
+    fn permutation_strides_are_bijective() {
+        for n in [3usize, 10, 1000, 15999, 16000, 16001, 300_000] {
+            let stride = coprime_stride(n);
+            assert_eq!(gcd(stride, n as u64), 1, "n={n}");
+            assert_ne!(stride % n as u64, 0, "n={n}");
+            // Spot-check bijectivity on small n.
+            if n <= 1000 {
+                let mut seen = vec![false; n];
+                for r in 0..n {
+                    let id = (r as u64 * stride % n as u64) as usize;
+                    assert!(!seen[id], "collision at n={n}, rank={r}");
+                    seen[id] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_with_power_of_ten_vertices_is_not_degenerate() {
+        // Regression: vertices=16000 once collapsed all ranks to vertex 0.
+        let g = power_law_graph(16_000, 100_000, 1);
+        let mut deg = vec![0usize; 16_000];
+        for &(s, _) in &g {
+            deg[s as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        assert!(max < 20_000, "hub degree {max} implies a degenerate permutation");
+        let nonzero = deg.iter().filter(|&&d| d > 0).count();
+        assert!(nonzero > 1_000, "sources must spread over many vertices");
+    }
+
+    #[test]
+    fn graph_degrees_are_skewed() {
+        let g = power_law_graph(1000, 20_000, 1);
+        assert_eq!(g.len(), 20_000);
+        assert!(g.iter().all(|&(s, d)| s < 1000 && d < 1000 && s != d));
+        let mut deg = vec![0usize; 1000];
+        for &(s, _) in &g {
+            deg[s as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let med = {
+            let mut d = deg.clone();
+            d.sort_unstable();
+            d[500]
+        };
+        assert!(max > 5 * med.max(1), "power-law head: max {max}, median {med}");
+    }
+
+    #[test]
+    fn tables_and_partitioning() {
+        let r = rankings(1000, 3);
+        assert!(r.iter().all(|x| x.page_rank >= 10 && x.page_rank <= 1000));
+        let u = uservisits(1000, 50, 4);
+        assert!(u.iter().all(|x| x.ip_prefix < 50));
+
+        let parts = partition(&r, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 1000);
+        let single = partition(&r, 1);
+        assert_eq!(single[0].len(), 1000);
+    }
+}

@@ -1,0 +1,262 @@
+//! KMeans (§6.2, Figure 9c): two stages, many jobs, static cache,
+//! aggregated shuffle.
+//!
+//! The cached vectors behave exactly as LR's; the per-iteration map emits
+//! `(closestCenter, point)` pairs whose temporaries churn the young
+//! generation in Spark mode, and cluster sums are eagerly aggregated.
+
+use deca_engine::record::HeapRecord;
+use deca_engine::{ExecutionMode, Executor, ExecutorConfig};
+
+use crate::datagen;
+use crate::records::LabeledPointRec;
+use crate::report::AppReport;
+
+/// Parameters of one KMeans run.
+#[derive(Clone, Debug)]
+pub struct KmParams {
+    pub points: usize,
+    pub dims: usize,
+    pub clusters: usize,
+    pub iterations: usize,
+    pub partitions: usize,
+    pub heap_bytes: usize,
+    pub storage_fraction: f64,
+    pub mode: ExecutionMode,
+    /// Deca page size override (None = executor default). High-dimensional
+    /// records need larger pages to bound tail waste (§4.3.1).
+    pub page_size: Option<usize>,
+    pub seed: u64,
+}
+
+impl KmParams {
+    pub fn small(mode: ExecutionMode) -> KmParams {
+        KmParams {
+            points: 20_000,
+            dims: 10,
+            clusters: 8,
+            iterations: 8,
+            partitions: 8,
+            heap_bytes: 32 << 20,
+            storage_fraction: 0.6,
+            mode,
+            page_size: None,
+            seed: 20160903,
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // kernels index like the paper's code
+pub fn run(params: &KmParams) -> AppReport {
+    let mut config = ExecutorConfig::new(params.mode, params.heap_bytes)
+        .storage_fraction(params.storage_fraction);
+    if let Some(page) = params.page_size {
+        config = config.page_size(page);
+    }
+    let mut exec = Executor::new(config);
+    let data = datagen::labeled_vectors(params.points, params.dims, params.seed);
+    let parts = datagen::partition(&data, params.partitions);
+    let classes = LabeledPointRec::register(&mut exec.heap);
+    let pair_classes = <(i64, f64) as HeapRecord>::register(&mut exec.heap);
+    let d = params.dims;
+    let k = params.clusters;
+
+    // ------------------------------------------------------------ load
+    let blocks: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(pi, part)| {
+            exec.run_task(format!("km-load-{pi}"), |e| match params.mode {
+                ExecutionMode::Spark => e
+                    .cache
+                    .put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, &classes, part)
+                    .expect("cache put"),
+                ExecutionMode::SparkSer => e
+                    .cache
+                    .put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, part)
+                    .expect("cache put"),
+                ExecutionMode::Deca => e
+                    .cache
+                    .put_deca_sfst(&mut e.heap, &mut e.mm, part, LabeledPointRec::sfst_size(d))
+                    .expect("cache put"),
+            })
+        })
+        .collect();
+    let cache_bytes = {
+        exec.finish_job();
+        exec.job.cache_bytes + exec.job.swapped_cache_bytes
+    };
+    exec.job = Default::default();
+
+    // Deterministic initial centroids from the data.
+    let mut centroids: Vec<Vec<f64>> = data
+        .iter()
+        .step_by((params.points / k).max(1))
+        .take(k)
+        .map(|p| p.features.clone())
+        .collect();
+    while centroids.len() < k {
+        centroids.push(vec![0.0; d]);
+    }
+
+    // ------------------------------------------------------ iterations
+    for iter in 0..params.iterations {
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (pi, &block) in blocks.iter().enumerate() {
+            exec.run_task(format!("km-iter{iter}-{pi}"), |e| {
+                let assign =
+                    |features: &dyn Fn(usize) -> f64, centroids: &[Vec<f64>]| -> usize {
+                        let mut best = 0;
+                        let mut best_d = f64::INFINITY;
+                        for (c, cent) in centroids.iter().enumerate() {
+                            let mut dist = 0.0;
+                            for j in 0..d {
+                                let diff = features(j) - cent[j];
+                                dist += diff * diff;
+                            }
+                            if dist < best_d {
+                                best_d = dist;
+                                best = c;
+                            }
+                        }
+                        best
+                    };
+                match params.mode {
+                    ExecutionMode::Spark => {
+                        let (root, len) = e
+                            .cache
+                            .objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)
+                            .expect("cache access");
+                        for i in 0..len {
+                            let arr = e.heap.root_ref(root);
+                            let lp = e.heap.array_get_ref(arr, i);
+                            let dv = e.heap.read_ref(lp, 1);
+                            let data_arr = e.heap.read_ref(dv, 0);
+                            let heap = &e.heap;
+                            let best =
+                                assign(&|j| heap.array_get_f64(data_arr, j), &centroids);
+                            // The map's temporary (closest, 1.0) pair.
+                            let tmp = (best as i64, 1.0f64)
+                                .store(&mut e.heap, &pair_classes)
+                                .expect("temp pair");
+                            let ts = e.heap.push_stack(tmp);
+                            let (c, w) = <(i64, f64) as HeapRecord>::load(
+                                &e.heap,
+                                &pair_classes,
+                                e.heap.stack_ref(ts),
+                            );
+                            e.heap.truncate_stack(ts);
+                            counts[c as usize] += w as usize;
+                            let arr = e.heap.root_ref(root);
+                            let lp = e.heap.array_get_ref(arr, i);
+                            let dv = e.heap.read_ref(lp, 1);
+                            let data_arr = e.heap.read_ref(dv, 0);
+                            for j in 0..d {
+                                sums[c as usize][j] += e.heap.array_get_f64(data_arr, j);
+                            }
+                        }
+                    }
+                    ExecutionMode::SparkSer => {
+                        let mut recs: Vec<LabeledPointRec> = Vec::new();
+                        e.cache
+                            .iter_serialized(block, &mut e.heap, &mut e.kryo, &mut e.mm, |r| {
+                                recs.push(r)
+                            })
+                            .expect("cache access");
+                        for rec in recs {
+                            let lp = rec.store(&mut e.heap, &classes).expect("temp graph");
+                            let ls = e.heap.push_stack(lp);
+                            let lp = e.heap.stack_ref(ls);
+                            let dv = e.heap.read_ref(lp, 1);
+                            let data_arr = e.heap.read_ref(dv, 0);
+                            let heap = &e.heap;
+                            let best =
+                                assign(&|j| heap.array_get_f64(data_arr, j), &centroids);
+                            counts[best] += 1;
+                            for j in 0..d {
+                                sums[best][j] += e.heap.array_get_f64(data_arr, j);
+                            }
+                            e.heap.truncate_stack(ls);
+                        }
+                    }
+                    ExecutionMode::Deca => {
+                        let heap = &mut e.heap;
+                        let mm = &mut e.mm;
+                        let block = e.cache.deca_block(block);
+                        block
+                            .scan_bytes(
+                                mm,
+                                heap,
+                                |bytes| {
+                                    let feat = |j: usize| {
+                                        f64::from_le_bytes(
+                                            bytes[8 + j * 8..16 + j * 8].try_into().unwrap(),
+                                        )
+                                    };
+                                    let best = assign(&feat, &centroids);
+                                    counts[best] += 1;
+                                    for j in 0..d {
+                                        sums[best][j] += feat(j);
+                                    }
+                                },
+                                |_| {},
+                            )
+                            .expect("cache scan");
+                    }
+                }
+            });
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..d {
+                    centroids[c][j] = sums[c][j] / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    exec.finish_job();
+    let checksum: f64 = centroids.iter().flatten().map(|v| v.abs()).sum();
+    AppReport {
+        app: "KMeans".into(),
+        mode: params.mode,
+        metrics: exec.job.clone(),
+        timeline: exec.timeline.clone(),
+        checksum,
+        cache_bytes,
+        minor_gcs: exec.heap.stats().minor_collections,
+        full_gcs: exec.heap.stats().full_collections,
+        slowest_task: exec.slowest_task().cloned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(mode: ExecutionMode) -> KmParams {
+        KmParams {
+            points: 3_000,
+            dims: 6,
+            clusters: 4,
+            iterations: 3,
+            partitions: 3,
+            heap_bytes: 16 << 20,
+            storage_fraction: 0.6,
+            mode,
+            page_size: None,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let spark = run(&tiny(ExecutionMode::Spark));
+        let ser = run(&tiny(ExecutionMode::SparkSer));
+        let deca = run(&tiny(ExecutionMode::Deca));
+        assert!((spark.checksum - deca.checksum).abs() < 1e-9);
+        assert!((ser.checksum - deca.checksum).abs() < 1e-9);
+        assert!(deca.checksum > 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # deca-apps — the evaluation workloads
+//!
+//! The five benchmark applications of the paper's §6 (Table 1), plus the
+//! two SQL queries of §6.6, each runnable in the three execution modes
+//! (Spark / SparkSer / Deca) over the same generated data:
+//!
+//! | App | Stages | Jobs | Cache | Shuffle |
+//! |-----|--------|------|-------|---------|
+//! | WordCount | two | single | none | aggregated |
+//! | LogisticRegression | single | multiple | static | none |
+//! | KMeans | two | multiple | static | aggregated |
+//! | PageRank | multiple | multiple | static | grouped+aggregated |
+//! | ConnectedComponents | multiple | multiple | static | grouped+aggregated |
+//! | SQL Q1/Q2 | 1–2 | single | static | none / aggregated |
+//!
+//! Each app returns an [`report::AppReport`] with the measured breakdown
+//! and a result checksum, asserted identical across modes by the
+//! integration tests.
+//!
+//! Data generators ([`datagen`]) replace the paper's datasets (Hadoop
+//! RandomWriter text, Amazon image vectors, LiveJournal/webbase/HiBench
+//! graphs, Common Crawl tables) with seeded synthetic equivalents that
+//! preserve the properties the experiments depend on: key skew, degree
+//! skew, dimensionality, and cache-to-heap ratios.
+
+pub mod concomp;
+pub mod datagen;
+pub mod kmeans;
+pub mod logreg;
+pub mod pagerank;
+pub mod records;
+pub mod report;
+pub mod sql;
+pub mod wordcount;
+
+pub use report::AppReport;

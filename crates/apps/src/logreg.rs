@@ -1,0 +1,362 @@
+//! Logistic Regression (§6.2, Figure 9): one stage, many jobs, a static
+//! cached RDD, no shuffle.
+//!
+//! The cached `LabeledPoint`s dominate the heap. In Spark mode every
+//! iteration walks millions of live objects (full collections trace them
+//! all, fruitlessly) and the gradient map allocates a temporary
+//! `DenseVector` per point. The Deca kernel is the runtime equivalent of
+//! the transformed code in the paper's Figure 12: it reads `label` and the
+//! feature doubles at fixed offsets inside the page bytes and accumulates
+//! into a preallocated result array — no objects, no collections.
+
+use deca_core::optimizer::ContainerDecision;
+use deca_core::Optimizer;
+use deca_engine::record::HeapRecord;
+use deca_engine::{ExecutionMode, Executor, ExecutorConfig};
+use deca_udt::{ContainerId, ContainerKind, JobPhases, TypeRef};
+
+use crate::datagen;
+use crate::records::LabeledPointRec;
+use crate::report::AppReport;
+
+/// Parameters of one LR run.
+#[derive(Clone, Debug)]
+pub struct LrParams {
+    pub points: usize,
+    pub dims: usize,
+    pub iterations: usize,
+    pub partitions: usize,
+    pub heap_bytes: usize,
+    pub storage_fraction: f64,
+    pub mode: ExecutionMode,
+    /// Deca page size override (None = executor default). High-dimensional
+    /// records need larger pages to bound tail waste (§4.3.1).
+    pub page_size: Option<usize>,
+    pub gc_algorithm: deca_heap::GcAlgorithm,
+    pub seed: u64,
+    /// Sample the LabeledPoint lifetime timeline once per iteration
+    /// (Figure 9a).
+    pub sample_timeline: bool,
+}
+
+impl LrParams {
+    pub fn small(mode: ExecutionMode) -> LrParams {
+        LrParams {
+            points: 20_000,
+            dims: 10,
+            iterations: 10,
+            partitions: 8,
+            heap_bytes: 32 << 20,
+            storage_fraction: 0.6,
+            mode,
+            page_size: None,
+            gc_algorithm: deca_heap::GcAlgorithm::ParallelScavenge,
+            seed: 20160902,
+            sample_timeline: false,
+        }
+    }
+}
+
+/// Run LR and report metrics, cache size, and the final-weights checksum.
+pub fn run(params: &LrParams) -> AppReport {
+    let mut config = ExecutorConfig::new(params.mode, params.heap_bytes)
+        .storage_fraction(params.storage_fraction)
+        .gc_algorithm(params.gc_algorithm);
+    if let Some(page) = params.page_size {
+        config = config.page_size(page);
+    }
+    let mut exec = Executor::new(config);
+    let data = datagen::labeled_vectors(params.points, params.dims, params.seed);
+    let parts = datagen::partition(&data, params.partitions);
+    let classes = LabeledPointRec::register(&mut exec.heap);
+
+    // -------------------------------------------------- Deca optimizer
+    // Before caching, Deca's runtime optimizer classifies the cached UDT
+    // from the job's IR (Appendix A). The LR stage refines LabeledPoint to
+    // SFST, enabling unframed fixed-size decomposition.
+    if params.mode == ExecutionMode::Deca {
+        let analysis = crate::records::lr_analysis();
+        let opt = Optimizer::new(&analysis.types.registry, &analysis.program);
+        let phases = JobPhases::new().phase("map", analysis.stage_entry);
+        let cache = deca_core::ContainerInfo {
+            id: ContainerId(0),
+            kind: ContainerKind::CachedRdd,
+            created_seq: 0,
+            content: TypeRef::Udt(analysis.types.labeled_point),
+            write_phase: 0,
+        };
+        let plan = opt.plan(&phases, &[cache], &[]);
+        assert_eq!(
+            plan.decision(ContainerId(0)),
+            &ContainerDecision::DecomposeSfst,
+            "the optimizer must prove LabeledPoint SFST for the LR job"
+        );
+    }
+
+    // ------------------------------------------------------------ load
+    let blocks: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(pi, part)| {
+            exec.run_task(format!("lr-load-{pi}"), |e| match params.mode {
+                ExecutionMode::Spark => e
+                    .cache
+                    .put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, &classes, part)
+                    .expect("cache put"),
+                ExecutionMode::SparkSer => e
+                    .cache
+                    .put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, part)
+                    .expect("cache put"),
+                ExecutionMode::Deca => e
+                    .cache
+                    .put_deca_sfst(
+                        &mut e.heap,
+                        &mut e.mm,
+                        part,
+                        LabeledPointRec::sfst_size(params.dims),
+                    )
+                    .expect("cache put"),
+            })
+        })
+        .collect();
+    // Loading time is excluded from the reported execution time, as in the
+    // paper ("we do not account for the time to load the training
+    // dataset"): reset job aggregates but keep the cache.
+    let cache_bytes = {
+        exec.finish_job();
+        exec.job.cache_bytes + exec.job.swapped_cache_bytes
+    };
+    exec.job = Default::default();
+
+    // ------------------------------------------------------ iterations
+    let d = params.dims;
+    let mut weights: Vec<f64> = (0..d).map(|i| 0.1 * ((i % 7) as f64 - 3.0)).collect();
+    for iter in 0..params.iterations {
+        let mut gradient = vec![0.0f64; d];
+        for (pi, &block) in blocks.iter().enumerate() {
+            exec.run_task(format!("lr-iter{iter}-{pi}"), |e| match params.mode {
+                ExecutionMode::Spark => {
+                    spark_gradient(e, block, &classes, &weights, &mut gradient);
+                }
+                ExecutionMode::SparkSer => {
+                    sparkser_gradient(e, block, &classes, &weights, &mut gradient);
+                }
+                ExecutionMode::Deca => {
+                    deca_gradient(e, block, &weights, &mut gradient);
+                }
+            });
+        }
+        for (w, g) in weights.iter_mut().zip(&gradient) {
+            *w -= 0.1 * g / params.points as f64;
+        }
+        if params.sample_timeline {
+            exec.sample_timeline(classes.labeled_point);
+        }
+    }
+
+    exec.finish_job();
+    AppReport {
+        app: "LR".into(),
+        mode: params.mode,
+        metrics: exec.job.clone(),
+        timeline: exec.timeline.clone(),
+        checksum: weights.iter().map(|w| w.abs()).sum(),
+        cache_bytes,
+        minor_gcs: exec.heap.stats().minor_collections,
+        full_gcs: exec.heap.stats().full_collections,
+        slowest_task: exec.slowest_task().cloned(),
+    }
+}
+
+/// One point's gradient term given the dot product machinery, shared by
+/// every kernel so results agree bit-for-bit across modes.
+#[inline]
+fn factor_of(label: f64, dot: f64) -> f64 {
+    (1.0 / (1.0 + (-label * dot).exp()) - 1.0) * label
+}
+
+/// Spark kernel: walk the heap object graphs; per point, allocate the
+/// map's temporary gradient `DenseVector` (Figure 1 line 21-24) which dies
+/// after the reduce consumes it.
+#[allow(clippy::needless_range_loop)] // kernels index like the paper's code
+fn spark_gradient(
+    e: &mut Executor,
+    block: deca_engine::cache::BlockId,
+    classes: &crate::records::LabeledPointClasses,
+    weights: &[f64],
+    gradient: &mut [f64],
+) {
+    let d = weights.len();
+    let (root, len) = e
+        .cache
+        .objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)
+        .expect("cache access");
+    for i in 0..len {
+        let arr = e.heap.root_ref(root);
+        let lp = e.heap.array_get_ref(arr, i);
+        let label = e.heap.read_f64(lp, 0);
+        let dv = e.heap.read_ref(lp, 1);
+        let data = e.heap.read_ref(dv, 0);
+        let mut dot = 0.0;
+        for j in 0..d {
+            dot += weights[j] * e.heap.array_get_f64(data, j);
+        }
+        let factor = factor_of(label, dot);
+        // Temporary map-output vector (allocated, filled, consumed, dead).
+        let tmp = e.heap.alloc_array(classes.double_array, d).expect("temp vector");
+        let ts = e.heap.push_stack(tmp);
+        let data = {
+            let arr = e.heap.root_ref(root);
+            let lp = e.heap.array_get_ref(arr, i);
+            let dv = e.heap.read_ref(lp, 1);
+            e.heap.read_ref(dv, 0)
+        };
+        for j in 0..d {
+            let v = e.heap.array_get_f64(data, j) * factor;
+            let tmp = e.heap.stack_ref(ts);
+            e.heap.array_set_f64(tmp, j, v);
+        }
+        let tmp = e.heap.stack_ref(ts);
+        for j in 0..d {
+            gradient[j] += e.heap.array_get_f64(tmp, j);
+        }
+        e.heap.truncate_stack(ts);
+    }
+}
+
+/// SparkSer kernel: deserialize each point (Kryo cost), materialise it as
+/// temporary heap objects (the deserializer's output), then compute as the
+/// Spark kernel does.
+#[allow(clippy::needless_range_loop)]
+fn sparkser_gradient(
+    e: &mut Executor,
+    block: deca_engine::cache::BlockId,
+    classes: &crate::records::LabeledPointClasses,
+    weights: &[f64],
+    gradient: &mut [f64],
+) {
+    let d = weights.len();
+    // Collect first (the iterator holds &mut e), then process.
+    let mut recs: Vec<LabeledPointRec> = Vec::new();
+    e.cache
+        .iter_serialized::<LabeledPointRec>(block, &mut e.heap, &mut e.kryo, &mut e.mm, |r| {
+            recs.push(r)
+        })
+        .expect("cache access");
+    for rec in recs {
+        // The deserializer materialises a temporary object graph.
+        let lp = rec.store(&mut e.heap, classes).expect("temp graph");
+        let ls = e.heap.push_stack(lp);
+        let lp = e.heap.stack_ref(ls);
+        let label = e.heap.read_f64(lp, 0);
+        let dv = e.heap.read_ref(lp, 1);
+        let data = e.heap.read_ref(dv, 0);
+        let mut dot = 0.0;
+        for j in 0..d {
+            dot += weights[j] * e.heap.array_get_f64(data, j);
+        }
+        let factor = factor_of(label, dot);
+        for j in 0..d {
+            let data = {
+                let lp = e.heap.stack_ref(ls);
+                let dv = e.heap.read_ref(lp, 1);
+                e.heap.read_ref(dv, 0)
+            };
+            gradient[j] += e.heap.array_get_f64(data, j) * factor;
+        }
+        e.heap.truncate_stack(ls);
+    }
+}
+
+/// Deca kernel — the Figure 12 transformed code: `label` at offset 0,
+/// features at offsets 8, 16, … within each record's page segment;
+/// accumulation into a preallocated result array.
+fn deca_gradient(
+    e: &mut Executor,
+    block: deca_engine::cache::BlockId,
+    weights: &[f64],
+    gradient: &mut [f64],
+) {
+    let d = weights.len();
+    let heap = &mut e.heap;
+    let mm = &mut e.mm;
+    let cache = &mut e.cache;
+    let block = cache.deca_block(block);
+    block
+        .scan_bytes(
+            mm,
+            heap,
+            |bytes| {
+                let label = f64::from_le_bytes(bytes[..8].try_into().unwrap());
+                let mut dot = 0.0;
+                let mut off = 8;
+                for w in weights.iter().take(d) {
+                    dot += w * f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                    off += 8;
+                }
+                let factor = factor_of(label, dot);
+                off = 8;
+                for g in gradient.iter_mut().take(d) {
+                    *g += f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) * factor;
+                    off += 8;
+                }
+            },
+            |_| {},
+        )
+        .expect("cache scan");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(mode: ExecutionMode) -> LrParams {
+        LrParams {
+            points: 2_000,
+            dims: 8,
+            iterations: 3,
+            partitions: 4,
+            heap_bytes: 16 << 20,
+            storage_fraction: 0.6,
+            mode,
+            page_size: None,
+            gc_algorithm: deca_heap::GcAlgorithm::ParallelScavenge,
+            seed: 11,
+            sample_timeline: false,
+        }
+    }
+
+    #[test]
+    fn all_modes_compute_identical_weights() {
+        let spark = run(&tiny(ExecutionMode::Spark));
+        let ser = run(&tiny(ExecutionMode::SparkSer));
+        let deca = run(&tiny(ExecutionMode::Deca));
+        assert!((spark.checksum - deca.checksum).abs() < 1e-12);
+        assert!((ser.checksum - deca.checksum).abs() < 1e-12);
+        assert!(spark.checksum > 0.0);
+    }
+
+    #[test]
+    fn deca_cache_is_smaller_than_spark() {
+        let spark = run(&tiny(ExecutionMode::Spark));
+        let deca = run(&tiny(ExecutionMode::Deca));
+        assert!(
+            deca.cache_bytes < spark.cache_bytes,
+            "deca {} vs spark {}",
+            deca.cache_bytes,
+            spark.cache_bytes
+        );
+    }
+
+    #[test]
+    fn timeline_shows_live_points_in_spark_only() {
+        let mut p = tiny(ExecutionMode::Spark);
+        p.sample_timeline = true;
+        let spark = run(&p);
+        assert!(spark.timeline.peak_live() >= p.points, "cached points live on the heap");
+        let mut p = tiny(ExecutionMode::Deca);
+        p.sample_timeline = true;
+        let deca = run(&p);
+        assert_eq!(deca.timeline.peak_live(), 0, "no LabeledPoint objects in Deca");
+    }
+}

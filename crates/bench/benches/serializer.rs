@@ -1,0 +1,64 @@
+//! Serializer micro-benchmarks backing Table 5's bottom rows: Deca's flat
+//! encode ≈ Kryo's encode, while Deca reads fields in place and pays no
+//! deserialization at all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deca_apps::records::LabeledPointRec;
+use deca_core::DecaRecord;
+use deca_engine::KryoSim;
+
+fn per_object_costs(c: &mut Criterion) {
+    let recs: Vec<LabeledPointRec> = (0..1000)
+        .map(|i| LabeledPointRec {
+            label: if i % 2 == 0 { 1.0 } else { -1.0 },
+            features: (0..10).map(|j| (i * j) as f64 * 0.25).collect(),
+        })
+        .collect();
+
+    c.bench_function("kryo_serialize_1k_points", |b| {
+        b.iter(|| {
+            let mut k = KryoSim::new();
+            std::hint::black_box(k.serialize_all(&recs));
+        });
+    });
+
+    c.bench_function("kryo_deserialize_1k_points", |b| {
+        let mut k = KryoSim::new();
+        let buf = k.serialize_all(&recs);
+        b.iter(|| {
+            let mut k = KryoSim::new();
+            std::hint::black_box(k.deserialize_all::<LabeledPointRec>(&buf));
+        });
+    });
+
+    c.bench_function("deca_encode_1k_points", |b| {
+        let size = recs[0].data_size();
+        let mut buf = vec![0u8; size * recs.len()];
+        b.iter(|| {
+            for (i, r) in recs.iter().enumerate() {
+                r.encode(&mut buf[i * size..(i + 1) * size]);
+            }
+            std::hint::black_box(&buf);
+        });
+    });
+
+    c.bench_function("deca_read_in_place_1k_points", |b| {
+        // The "deserialization" equivalent: direct field reads, no object.
+        let size = recs[0].data_size();
+        let mut buf = vec![0u8; size * recs.len()];
+        for (i, r) in recs.iter().enumerate() {
+            r.encode(&mut buf[i * size..(i + 1) * size]);
+        }
+        b.iter(|| {
+            let mut sum = 0.0;
+            for chunk in buf.chunks_exact(size) {
+                sum += f64::from_le_bytes(chunk[..8].try_into().unwrap());
+                sum += f64::from_le_bytes(chunk[8..16].try_into().unwrap());
+            }
+            std::hint::black_box(sum);
+        });
+    });
+}
+
+criterion_group!(benches, per_object_costs);
+criterion_main!(benches);

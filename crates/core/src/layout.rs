@@ -1,0 +1,362 @@
+//! The layout compiler: flattening a UDT's static object reference graph
+//! into byte offsets (Figure 2 / Appendix B).
+//!
+//! For a decomposed SFST, every reference and object header is discarded
+//! and the primitive leaves are laid out contiguously in declaration order.
+//! The paper's transformed code accesses `object start offset + relative
+//! field offset`; [`Layout`] computes exactly those relative offsets from a
+//! `deca-udt` type descriptor, given concrete lengths for the fixed-length
+//! arrays (the runtime optimizer knows them — Appendix A's hybrid design).
+//!
+//! The compiled layout is used by tests and examples to demonstrate the
+//! transformation, and by the generic cache path to locate fields inside
+//! page segments without materialising objects.
+
+use std::collections::HashMap;
+
+use deca_udt::{ArrayId, PrimKind, TypeRef, TypeRegistry};
+
+/// One primitive leaf of the flattened object graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldSlot {
+    /// Dotted path from the root object, e.g. `features.data[3]`.
+    pub path: String,
+    pub kind: PrimKind,
+    /// Byte offset from the start of the object's segment.
+    pub offset: usize,
+}
+
+/// Errors preventing layout compilation.
+#[derive(Debug, PartialEq)]
+pub enum LayoutError {
+    /// An array's length was not supplied (the type is not SFST here).
+    UnknownArrayLength(ArrayId),
+    /// The type graph is recursive.
+    Recursive,
+    /// A field's type-set has more than one member: the layout is not
+    /// statically determined (the paper would not decompose it as SFST).
+    PolymorphicField(String),
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::UnknownArrayLength(a) => {
+                write!(f, "no fixed length supplied for array type #{}", a.0)
+            }
+            LayoutError::Recursive => write!(f, "recursively-defined type"),
+            LayoutError::PolymorphicField(p) => {
+                write!(f, "field {p} has a polymorphic type-set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A compiled SFST layout: total size plus every leaf's offset.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    pub size: usize,
+    pub slots: Vec<FieldSlot>,
+    by_path: HashMap<String, usize>,
+}
+
+impl Layout {
+    /// Compile the layout of `t`, resolving fixed-length arrays through
+    /// `array_lens`.
+    pub fn compile(
+        reg: &TypeRegistry,
+        t: TypeRef,
+        array_lens: &HashMap<ArrayId, usize>,
+    ) -> Result<Layout, LayoutError> {
+        Self::compile_inner(reg, t, array_lens, false)
+    }
+
+    /// Compile with Appendix B's **field reordering**: within each UDT,
+    /// fields whose sizes are statically determinable (primitives and
+    /// SFST sub-objects) are laid out *before* fixed-length arrays and
+    /// other length-dependent fields, "so more field offset values can be
+    /// determined" as compile-time constants — i.e. they do not depend on
+    /// any array length resolved only at runtime.
+    pub fn compile_reordered(
+        reg: &TypeRegistry,
+        t: TypeRef,
+        array_lens: &HashMap<ArrayId, usize>,
+    ) -> Result<Layout, LayoutError> {
+        Self::compile_inner(reg, t, array_lens, true)
+    }
+
+    fn compile_inner(
+        reg: &TypeRegistry,
+        t: TypeRef,
+        array_lens: &HashMap<ArrayId, usize>,
+        reorder: bool,
+    ) -> Result<Layout, LayoutError> {
+        let mut slots = Vec::new();
+        let mut visiting = Vec::new();
+        let size =
+            flatten(reg, t, array_lens, String::new(), 0, &mut slots, &mut visiting, reorder)?;
+        let by_path = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.path.clone(), i))
+            .collect();
+        Ok(Layout { size, slots, by_path })
+    }
+
+    /// Offset of the leaf at `path` (e.g. `"features.data[0]"`).
+    pub fn offset_of(&self, path: &str) -> Option<usize> {
+        self.by_path.get(path).map(|&i| self.slots[i].offset)
+    }
+
+    /// Number of leading slots whose offsets are independent of any array
+    /// length (the "determinable" prefix Appendix B maximises).
+    pub fn determinable_prefix(&self, reg: &TypeRegistry, t: TypeRef) -> usize {
+        // A slot's offset is determinable iff no array-dependent slot
+        // precedes it. Array-dependent slots have paths containing "[".
+        let _ = (reg, t);
+        let mut n = 0;
+        for s in &self.slots {
+            if s.path.contains('[') {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flatten(
+    reg: &TypeRegistry,
+    t: TypeRef,
+    array_lens: &HashMap<ArrayId, usize>,
+    path: String,
+    base: usize,
+    slots: &mut Vec<FieldSlot>,
+    visiting: &mut Vec<TypeRef>,
+    reorder: bool,
+) -> Result<usize, LayoutError> {
+    if visiting.contains(&t) {
+        return Err(LayoutError::Recursive);
+    }
+    match t {
+        TypeRef::Prim(p) => {
+            slots.push(FieldSlot { path, kind: p, offset: base });
+            Ok(p.byte_size())
+        }
+        TypeRef::Udt(u) => {
+            visiting.push(t);
+            let mut order: Vec<usize> = (0..reg.udt(u).fields.len()).collect();
+            if reorder {
+                // Appendix B: determinable-size fields first (stable sort
+                // preserves declaration order within each class).
+                order.sort_by_key(|&i| {
+                    let f = &reg.udt(u).fields[i];
+                    usize::from(
+                        f.type_set.len() != 1 || depends_on_array_len(reg, f.type_set[0]),
+                    )
+                });
+            }
+            let mut off = 0usize;
+            for i in order {
+                let f = &reg.udt(u).fields[i];
+                if f.type_set.len() != 1 {
+                    return Err(LayoutError::PolymorphicField(join_path(&path, &f.name)));
+                }
+                let sub = join_path(&path, &f.name);
+                off += flatten(
+                    reg,
+                    f.type_set[0],
+                    array_lens,
+                    sub,
+                    base + off,
+                    slots,
+                    visiting,
+                    reorder,
+                )?;
+            }
+            visiting.pop();
+            Ok(off)
+        }
+        TypeRef::Array(a) => {
+            let len = *array_lens
+                .get(&a)
+                .ok_or(LayoutError::UnknownArrayLength(a))?;
+            let elem = &reg.array(a).elem;
+            if elem.type_set.len() != 1 {
+                return Err(LayoutError::PolymorphicField(format!("{path}[]")));
+            }
+            visiting.push(t);
+            let mut off = 0usize;
+            for i in 0..len {
+                let sub = format!("{path}[{i}]");
+                off += flatten(
+                    reg,
+                    elem.type_set[0],
+                    array_lens,
+                    sub,
+                    base + off,
+                    slots,
+                    visiting,
+                    reorder,
+                )?;
+            }
+            visiting.pop();
+            Ok(off)
+        }
+    }
+}
+
+/// Whether a type's flattened size depends on an array length (making the
+/// offsets of anything placed after it runtime-dependent).
+fn depends_on_array_len(reg: &TypeRegistry, t: TypeRef) -> bool {
+    match t {
+        TypeRef::Prim(_) => false,
+        TypeRef::Array(_) => true,
+        TypeRef::Udt(u) => reg.udt(u).fields.iter().any(|f| {
+            f.type_set.len() != 1 || depends_on_array_len(reg, f.type_set[0])
+        }),
+    }
+}
+
+fn join_path(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_udt::fixtures;
+
+    /// Figure 2: the LabeledPoint byte layout is
+    /// `[label][data[0]]...[data[D-1]]` — references, headers, and the
+    /// offset/stride/length ints of DenseVector flattened in field order.
+    #[test]
+    fn labeled_point_layout_matches_figure_2() {
+        let f = fixtures::lr_types();
+        let mut lens = HashMap::new();
+        lens.insert(f.double_array, 3usize);
+        let layout =
+            Layout::compile(&f.registry, TypeRef::Udt(f.labeled_point), &lens).unwrap();
+        // label(8) + data 3*8 + offset/stride/length 3*4 = 44
+        assert_eq!(layout.size, 8 + 24 + 12);
+        assert_eq!(layout.offset_of("label"), Some(0));
+        assert_eq!(layout.offset_of("features.data[0]"), Some(8));
+        assert_eq!(layout.offset_of("features.data[2]"), Some(24));
+        assert_eq!(layout.offset_of("features.offset"), Some(32));
+        assert_eq!(layout.offset_of("features.length"), Some(40));
+        assert_eq!(layout.offset_of("nope"), None);
+    }
+
+    #[test]
+    fn field_reordering_moves_determinable_fields_first() {
+        use deca_udt::{FieldDecl, UdtDescriptor};
+        // Mixed { arr: double[], tail_a: i64, tail_b: f64 }: declared
+        // order puts the prims behind the array, so their offsets depend
+        // on the runtime length. Reordered, they come first.
+        let mut reg = TypeRegistry::new();
+        let darr = reg.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+        let mixed = reg.define_udt(UdtDescriptor {
+            name: "Mixed".into(),
+            fields: vec![
+                FieldDecl::new("arr", TypeRef::Array(darr)).final_(),
+                FieldDecl::new("tail_a", TypeRef::Prim(PrimKind::I64)),
+                FieldDecl::new("tail_b", TypeRef::Prim(PrimKind::F64)),
+            ],
+        });
+        let mut lens = HashMap::new();
+        lens.insert(darr, 4usize);
+
+        let plain = Layout::compile(&reg, TypeRef::Udt(mixed), &lens).unwrap();
+        assert_eq!(plain.offset_of("tail_a"), Some(32), "behind the array");
+        assert_eq!(plain.determinable_prefix(&reg, TypeRef::Udt(mixed)), 0);
+
+        let reordered = Layout::compile_reordered(&reg, TypeRef::Udt(mixed), &lens).unwrap();
+        assert_eq!(reordered.offset_of("tail_a"), Some(0), "prims moved to the front");
+        assert_eq!(reordered.offset_of("tail_b"), Some(8));
+        assert_eq!(reordered.offset_of("arr[0]"), Some(16));
+        assert_eq!(reordered.size, plain.size, "reordering never changes the size");
+        assert_eq!(reordered.determinable_prefix(&reg, TypeRef::Udt(mixed)), 2);
+    }
+
+    #[test]
+    fn reordering_is_stable_and_recursive() {
+        use deca_udt::{FieldDecl, UdtDescriptor};
+        let mut reg = TypeRegistry::new();
+        let darr = reg.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+        let inner = reg.define_udt(UdtDescriptor {
+            name: "Inner".into(),
+            fields: vec![
+                FieldDecl::new("data", TypeRef::Array(darr)).final_(),
+                FieldDecl::new("len", TypeRef::Prim(PrimKind::I32)),
+            ],
+        });
+        let outer = reg.define_udt(UdtDescriptor {
+            name: "Outer".into(),
+            fields: vec![
+                FieldDecl::new("v", TypeRef::Udt(inner)),
+                FieldDecl::new("a", TypeRef::Prim(PrimKind::I64)),
+                FieldDecl::new("b", TypeRef::Prim(PrimKind::I64)),
+            ],
+        });
+        let mut lens = HashMap::new();
+        lens.insert(darr, 2usize);
+        let r = Layout::compile_reordered(&reg, TypeRef::Udt(outer), &lens).unwrap();
+        // a then b (stable), then the array-dependent subtree with its own
+        // reordering (len before data).
+        assert_eq!(r.offset_of("a"), Some(0));
+        assert_eq!(r.offset_of("b"), Some(8));
+        assert_eq!(r.offset_of("v.len"), Some(16));
+        assert_eq!(r.offset_of("v.data[0]"), Some(20));
+    }
+
+    #[test]
+    fn missing_array_length_is_an_error() {
+        let f = fixtures::lr_types();
+        let err =
+            Layout::compile(&f.registry, TypeRef::Udt(f.labeled_point), &HashMap::new());
+        assert_eq!(err.unwrap_err(), LayoutError::UnknownArrayLength(f.double_array));
+    }
+
+    #[test]
+    fn recursive_type_is_an_error() {
+        use deca_udt::{FieldDecl, UdtDescriptor};
+        let mut reg = TypeRegistry::new();
+        let node = reg.define_udt(UdtDescriptor {
+            name: "Node".into(),
+            fields: vec![FieldDecl::new("v", TypeRef::Prim(PrimKind::I64))],
+        });
+        reg.udt_mut(node)
+            .fields
+            .push(FieldDecl::new("next", TypeRef::Udt(node)));
+        let err = Layout::compile(&reg, TypeRef::Udt(node), &HashMap::new());
+        assert_eq!(err.unwrap_err(), LayoutError::Recursive);
+    }
+
+    #[test]
+    fn polymorphic_field_is_an_error() {
+        use deca_udt::{FieldDecl, UdtDescriptor};
+        let mut reg = TypeRegistry::new();
+        let a = reg.define_udt(UdtDescriptor {
+            name: "A".into(),
+            fields: vec![FieldDecl::new("x", TypeRef::Prim(PrimKind::F64))],
+        });
+        let b = reg.define_udt(UdtDescriptor {
+            name: "B".into(),
+            fields: vec![FieldDecl::new("x", TypeRef::Prim(PrimKind::I32))],
+        });
+        let h = reg.define_udt(UdtDescriptor {
+            name: "H".into(),
+            fields: vec![FieldDecl::new("v", TypeRef::Udt(a))
+                .with_type_set(vec![TypeRef::Udt(a), TypeRef::Udt(b)])],
+        });
+        let err = Layout::compile(&reg, TypeRef::Udt(h), &HashMap::new());
+        assert_eq!(err.unwrap_err(), LayoutError::PolymorphicField("v".into()));
+    }
+}

@@ -1,0 +1,126 @@
+//! Page-group spill files (Appendix C).
+//!
+//! Decomposed bytes are written to disk *verbatim* — the paper's point that
+//! Deca needs no serialization step before swapping or network transfer,
+//! unlike Spark, which must serialize cache blocks on eviction. One file
+//! per spilled group, named by group id.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use crate::page::Page;
+
+/// Disk storage for swapped-out page groups.
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+    /// Per-page byte sizes of each spilled group (pages may be
+    /// heterogeneous: oversized segments get dedicated pages).
+    sizes: std::collections::HashMap<u32, Vec<usize>>,
+}
+
+impl SpillStore {
+    pub fn new(dir: PathBuf) -> SpillStore {
+        SpillStore { dir, sizes: std::collections::HashMap::new() }
+    }
+
+    fn path(&self, id: u32) -> PathBuf {
+        self.dir.join(format!("group-{id}.spill"))
+    }
+
+    /// Write a group's pages to its spill file (raw page bytes
+    /// back-to-back; sizes kept in memory).
+    pub fn write(&mut self, id: u32, pages: &[Page]) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let mut f = std::io::BufWriter::new(fs::File::create(self.path(id))?);
+        for p in pages {
+            f.write_all(p.bytes())?;
+        }
+        f.flush()?;
+        self.sizes.insert(id, pages.iter().map(|p| p.len()).collect());
+        Ok(())
+    }
+
+    /// Read a group's pages back (sizes restored from the spill record).
+    pub fn read(&self, id: u32) -> std::io::Result<Vec<Page>> {
+        let sizes = self.sizes.get(&id).cloned().unwrap_or_default();
+        let mut f = std::io::BufReader::new(fs::File::open(self.path(id))?);
+        let mut pages = Vec::with_capacity(sizes.len());
+        for size in sizes {
+            let mut p = Page::new(size);
+            f.read_exact(p.bytes_mut())?;
+            pages.push(p);
+        }
+        Ok(pages)
+    }
+
+    pub fn page_count(&self, id: u32) -> usize {
+        self.sizes.get(&id).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Total spilled bytes of one group.
+    pub fn group_bytes(&self, id: u32) -> usize {
+        self.sizes.get(&id).map(|s| s.iter().sum()).unwrap_or(0)
+    }
+
+    /// Delete a group's spill file (after swap-in or group release).
+    pub fn remove(&mut self, id: u32) {
+        if self.sizes.remove(&id).is_some() {
+            let _ = fs::remove_file(self.path(id));
+        }
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        for (&id, _) in std::mem::take(&mut self.sizes).iter() {
+            let _ = fs::remove_file(self.path(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "deca-spill-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmp();
+        let mut store = SpillStore::new(dir.clone());
+        let mut pages = vec![Page::new(64), Page::new(64)];
+        pages[0].write_i64(0, 123);
+        pages[1].write_f64(8, 4.5);
+        store.write(7, &pages).unwrap();
+        assert_eq!(store.page_count(7), 2);
+        assert_eq!(store.group_bytes(7), 128);
+        let back = store.read(7).unwrap();
+        assert_eq!(back[0].read_i64(0), 123);
+        assert_eq!(back[1].read_f64(8), 4.5);
+        store.remove(7);
+        assert_eq!(store.page_count(7), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_cleans_up() {
+        let dir = tmp();
+        {
+            let mut store = SpillStore::new(dir.clone());
+            store.write(1, &[Page::new(16)]).unwrap();
+            assert!(dir.join("group-1.spill").exists());
+        }
+        assert!(!dir.join("group-1.spill").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,257 @@
+//! Hash-based shuffle buffer for **variable-size** keys/values — the case
+//! where Figure 6(b)'s pointer array is mandatory.
+//!
+//! §4.3.2: "we use an array to store the pointers to the keys and values
+//! within a page. The hashing and sorting operations are performed on the
+//! pointer arrays. However, the pointer array can be avoided for a
+//! hash-based shuffle buffer with both the Key and the Value being of
+//! primitive types or SFSTs." [`crate::DecaHashShuffle`] is that elided
+//! fast path; this buffer is the general one: framed key segments, a
+//! pointer table carrying `(key ptr, key len, value ptr)`, and in-place
+//! value combining when the value is an SFST.
+//!
+//! Used by string-keyed aggregations (the paper's WordCount has text
+//! keys) and by any UDT key the classifier marks RFST.
+
+use deca_heap::Heap;
+
+use crate::group::SegPtr;
+use crate::manager::{GroupId, MemError, MemoryManager};
+
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// One pointer-array entry: where the key and value bytes live.
+#[derive(Copy, Clone, Debug)]
+struct Slot {
+    key: SegPtr,
+    key_len: u32,
+    val: SegPtr,
+}
+
+/// Hash shuffle with variable-size (framed) keys and fixed-size (SFST)
+/// values combined in place.
+#[derive(Debug)]
+pub struct DecaVarHashShuffle {
+    group: GroupId,
+    val_size: usize,
+    /// Open addressing over pointer-array entries (Figure 6b's left side).
+    table: Vec<Option<Slot>>,
+    len: usize,
+    pub combines: u64,
+    released: bool,
+}
+
+impl DecaVarHashShuffle {
+    pub fn new(mm: &mut MemoryManager, val_size: usize) -> DecaVarHashShuffle {
+        let group = mm.create_group();
+        mm.set_swappable(group, false);
+        DecaVarHashShuffle {
+            group,
+            val_size,
+            table: vec![None; 1024],
+            len: 0,
+            combines: 0,
+            released: false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Insert a pair; on a key hit, combine into the value's segment in
+    /// place. Key bytes are stored once (framed), values unframed.
+    pub fn insert(
+        &mut self,
+        mm: &mut MemoryManager,
+        heap: &mut Heap,
+        key: &[u8],
+        val: &[u8],
+        mut combine: impl FnMut(&mut [u8], &[u8]),
+    ) -> Result<(), MemError> {
+        assert_eq!(val.len(), self.val_size);
+        if (self.len + 1) * 10 > self.table.len() * 7 {
+            self.grow(mm, heap)?;
+        }
+        let mask = self.table.len() - 1;
+        let mut idx = (hash_bytes(key) as usize) & mask;
+        let val_size = self.val_size;
+        let table = &mut self.table;
+        let len = &mut self.len;
+        let combines = &mut self.combines;
+        mm.with_group_mut(self.group, heap, |g, h| {
+            loop {
+                match table[idx] {
+                    Some(slot) if g.slice(slot.key, slot.key_len as usize) == key => {
+                        combine(g.slice_mut(slot.val, val_size), val);
+                        *combines += 1;
+                        return Ok(());
+                    }
+                    Some(_) => idx = (idx + 1) & mask,
+                    None => {
+                        // Key framed (so scans can recover its length),
+                        // value unframed right behind it.
+                        let kptr = g.append_framed(h, key)?;
+                        let vptr = g.reserve(h, val_size)?;
+                        g.slice_mut(vptr, val_size).copy_from_slice(val);
+                        table[idx] =
+                            Some(Slot { key: kptr, key_len: key.len() as u32, val: vptr });
+                        *len += 1;
+                        return Ok(());
+                    }
+                }
+            }
+        })
+    }
+
+    fn grow(&mut self, mm: &mut MemoryManager, heap: &mut Heap) -> Result<(), MemError> {
+        let new_cap = self.table.len() * 2;
+        let old = std::mem::replace(&mut self.table, vec![None; new_cap]);
+        let mask = new_cap - 1;
+        let table = &mut self.table;
+        mm.with_group(self.group, heap, |g| {
+            for slot in old.into_iter().flatten() {
+                let mut idx =
+                    (hash_bytes(g.slice(slot.key, slot.key_len as usize)) as usize) & mask;
+                while table[idx].is_some() {
+                    idx = (idx + 1) & mask;
+                }
+                table[idx] = Some(slot);
+            }
+        })
+    }
+
+    /// Visit every `(key bytes, value bytes)` pair.
+    pub fn for_each(
+        &self,
+        mm: &mut MemoryManager,
+        heap: &mut Heap,
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) -> Result<(), MemError> {
+        let val_size = self.val_size;
+        let table = &self.table;
+        mm.with_group(self.group, heap, |g| {
+            for slot in table.iter().flatten() {
+                f(g.slice(slot.key, slot.key_len as usize), g.slice(slot.val, val_size));
+            }
+        })
+    }
+
+    pub fn release(&mut self, mm: &mut MemoryManager, heap: &mut Heap) {
+        if !self.released {
+            mm.release(self.group, heap);
+            self.released = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_heap::HeapConfig;
+    use std::collections::HashMap;
+    use std::path::PathBuf;
+
+    fn setup() -> (Heap, MemoryManager) {
+        let dir: PathBuf = std::env::temp_dir().join(format!(
+            "deca-varshuffle-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        (Heap::new(HeapConfig::small()), MemoryManager::new(8192, dir))
+    }
+
+    fn add_i64(existing: &mut [u8], new: &[u8]) {
+        let a = i64::from_le_bytes(existing[..8].try_into().unwrap());
+        let b = i64::from_le_bytes(new[..8].try_into().unwrap());
+        existing[..8].copy_from_slice(&(a + b).to_le_bytes());
+    }
+
+    #[test]
+    fn string_keyed_wordcount() {
+        let (mut heap, mut mm) = setup();
+        let mut buf = DecaVarHashShuffle::new(&mut mm, 8);
+        let words = ["the", "quick", "fox", "the", "fox", "the", "a-much-longer-word"];
+        let mut expected: HashMap<&str, i64> = HashMap::new();
+        for w in words {
+            *expected.entry(w).or_insert(0) += 1;
+            buf.insert(&mut mm, &mut heap, w.as_bytes(), &1i64.to_le_bytes(), add_i64)
+                .unwrap();
+        }
+        assert_eq!(buf.len(), expected.len());
+        assert_eq!(buf.combines, words.len() as u64 - expected.len() as u64);
+        let mut got: HashMap<String, i64> = HashMap::new();
+        buf.for_each(&mut mm, &mut heap, |k, v| {
+            got.insert(
+                String::from_utf8(k.to_vec()).unwrap(),
+                i64::from_le_bytes(v[..8].try_into().unwrap()),
+            );
+        })
+        .unwrap();
+        for (k, v) in expected {
+            assert_eq!(got[k], v);
+        }
+        buf.release(&mut mm, &mut heap);
+        assert_eq!(heap.external_bytes(), 0);
+    }
+
+    #[test]
+    fn many_distinct_variable_keys_grow_table() {
+        let (mut heap, mut mm) = setup();
+        let mut buf = DecaVarHashShuffle::new(&mut mm, 8);
+        for i in 0..5_000u32 {
+            let key = format!("key-{i:05}-{}", "x".repeat((i % 17) as usize));
+            buf.insert(&mut mm, &mut heap, key.as_bytes(), &(i as i64).to_le_bytes(), add_i64)
+                .unwrap();
+        }
+        assert_eq!(buf.len(), 5_000);
+        let mut n = 0usize;
+        let mut sum = 0i64;
+        buf.for_each(&mut mm, &mut heap, |k, v| {
+            assert!(k.starts_with(b"key-"));
+            n += 1;
+            sum += i64::from_le_bytes(v[..8].try_into().unwrap());
+        })
+        .unwrap();
+        assert_eq!(n, 5_000);
+        assert_eq!(sum, (0..5_000i64).sum::<i64>());
+        buf.release(&mut mm, &mut heap);
+    }
+
+    #[test]
+    fn prefix_keys_do_not_collide() {
+        // "ab" and "abc" share a byte prefix; framing must distinguish.
+        let (mut heap, mut mm) = setup();
+        let mut buf = DecaVarHashShuffle::new(&mut mm, 8);
+        for (k, v) in [("ab", 1i64), ("abc", 10), ("ab", 2), ("abc", 20), ("a", 100)] {
+            buf.insert(&mut mm, &mut heap, k.as_bytes(), &v.to_le_bytes(), add_i64).unwrap();
+        }
+        let mut got: HashMap<String, i64> = HashMap::new();
+        buf.for_each(&mut mm, &mut heap, |k, v| {
+            got.insert(
+                String::from_utf8(k.to_vec()).unwrap(),
+                i64::from_le_bytes(v[..8].try_into().unwrap()),
+            );
+        })
+        .unwrap();
+        assert_eq!(got["ab"], 3);
+        assert_eq!(got["abc"], 30);
+        assert_eq!(got["a"], 100);
+        buf.release(&mut mm, &mut heap);
+    }
+}

@@ -1,0 +1,732 @@
+//! The cache manager: cached RDD blocks in three storage levels, with LRU
+//! eviction to disk under a storage budget.
+//!
+//! * `Objects` blocks (Spark) hold a heap `Object[]` of record graphs —
+//!   the long-living live set the collector must trace;
+//! * `Serialized` blocks (SparkSer) hold one heap `byte[]` of Kryo bytes —
+//!   few objects, but every access deserializes;
+//! * `Deca` blocks hold decomposed pages managed by `deca-core`.
+//!
+//! Eviction (Appendix C): when the cached bytes exceed the storage budget
+//! (`storage.memoryFraction` × heap), the LRU block moves to disk — Spark
+//! blocks are serialized first (real Kryo cost), Deca page groups are
+//! written verbatim.
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use deca_core::{DecaCacheBlock, MemError, MemoryManager};
+use deca_heap::{FieldKind, Heap, OomError, RootId};
+
+use crate::record::Record;
+use crate::serde_sim::KryoSim;
+
+/// Identifier of a cached block within an executor's cache manager.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BlockId(u32);
+
+/// Cache errors.
+#[derive(Debug)]
+pub enum CacheError {
+    Oom(OomError),
+    Mem(MemError),
+    Io(std::io::Error),
+}
+
+impl From<OomError> for CacheError {
+    fn from(e: OomError) -> Self {
+        CacheError::Oom(e)
+    }
+}
+
+impl From<MemError> for CacheError {
+    fn from(e: MemError) -> Self {
+        CacheError::Mem(e)
+    }
+}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Oom(e) => write!(f, "cache: {e}"),
+            CacheError::Mem(e) => write!(f, "cache: {e}"),
+            CacheError::Io(e) => write!(f, "cache I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Type-erased operations on an `Objects` block (needed to evict it
+/// without knowing `T` at the eviction site).
+trait ObjectBlockOps: Send {
+    /// Serialize all records of the block (for eviction to disk).
+    fn serialize(&self, heap: &mut Heap, kryo: &mut KryoSim, root: RootId, len: usize) -> Vec<u8>;
+    /// Re-materialise records from serialized bytes; returns the new root.
+    fn deserialize(
+        &self,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        bytes: &[u8],
+    ) -> Result<(RootId, usize), OomError>;
+}
+
+struct Ops<T: Record> {
+    classes: T::Classes,
+}
+
+impl<T: Record + 'static> ObjectBlockOps for Ops<T>
+where
+    T::Classes: 'static,
+{
+    fn serialize(&self, heap: &mut Heap, kryo: &mut KryoSim, root: RootId, len: usize) -> Vec<u8> {
+        let arr = heap.root_ref(root);
+        let mut out = Vec::new();
+        for i in 0..len {
+            let obj = heap.array_get_ref(arr, i);
+            let rec = T::load(heap, &self.classes, obj);
+            kryo.serialize(&rec, &mut out);
+        }
+        out
+    }
+
+    fn deserialize(
+        &self,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        bytes: &[u8],
+    ) -> Result<(RootId, usize), OomError> {
+        let mut recs: Vec<T> = Vec::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            recs.push(kryo.deserialize(bytes, &mut pos));
+        }
+        store_object_array(heap, &self.classes, &recs).map(|root| (root, recs.len()))
+    }
+}
+
+/// Allocate a heap `Object[]` holding each record's stored graph; returns
+/// a root id keeping the whole block alive.
+pub(crate) fn store_object_array<T: Record>(
+    heap: &mut Heap,
+    classes: &T::Classes,
+    recs: &[T],
+) -> Result<RootId, OomError> {
+    let arr_class = object_array_class(heap);
+    let arr = heap.alloc_array(arr_class, recs.len())?;
+    let root = heap.add_root(arr);
+    for (i, rec) in recs.iter().enumerate() {
+        let obj = rec.store(heap, classes)?;
+        let arr = heap.root_ref(root);
+        heap.array_set_ref(arr, i, obj);
+    }
+    Ok(root)
+}
+
+/// The shared `Object[]` class (registered once per heap).
+pub(crate) fn object_array_class(heap: &mut Heap) -> deca_heap::ClassId {
+    match heap.registry().by_name("Object[]") {
+        Some(c) => c,
+        None => heap.define_array_class("Object[]", FieldKind::Ref),
+    }
+}
+
+/// The shared `byte[]` class.
+pub(crate) fn byte_array_class(heap: &mut Heap) -> deca_heap::ClassId {
+    match heap.registry().by_name("byte[]") {
+        Some(c) => c,
+        None => heap.define_array_class("byte[]", FieldKind::I8),
+    }
+}
+
+enum BlockState {
+    Objects { root: RootId, len: usize, ops: Box<dyn ObjectBlockOps> },
+    Serialized { root: RootId, len: usize },
+    Deca { block: DecaCacheBlock },
+    /// Evicted to disk; `was_objects` says how to re-materialise and
+    /// `mem_bytes` what it will cost in memory again.
+    Disk { len: usize, was_objects: Option<Box<dyn ObjectBlockOps>>, mem_bytes: usize },
+}
+
+struct Entry {
+    state: BlockState,
+    /// Accounted in-memory bytes while resident; disk bytes when evicted.
+    bytes: usize,
+    last_used: u64,
+    pinned: bool,
+}
+
+/// Per-executor cache manager.
+pub struct CacheManager {
+    entries: Vec<Option<Entry>>,
+    clock: u64,
+    budget: usize,
+    dir: Option<PathBuf>,
+    /// Bytes written/read to cache spill files (adds simulated disk time).
+    pub spill_write_bytes: u64,
+    pub spill_read_bytes: u64,
+    /// Eviction events.
+    pub evictions: u64,
+}
+
+impl CacheManager {
+    pub fn new(budget: usize) -> CacheManager {
+        CacheManager {
+            entries: Vec::new(),
+            clock: 0,
+            budget,
+            dir: None,
+            spill_write_bytes: 0,
+            spill_read_bytes: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn set_dir(&mut self, dir: PathBuf) {
+        self.dir = Some(dir);
+    }
+
+    fn dir(&self) -> PathBuf {
+        self.dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join(format!("deca-cache-{}", std::process::id())))
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn push(&mut self, e: Entry) -> BlockId {
+        self.entries.push(Some(e));
+        BlockId((self.entries.len() - 1) as u32)
+    }
+
+    /// Resident (in-memory) cached bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|e| !matches!(e.state, BlockState::Disk { .. }))
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Bytes of cached data currently on disk.
+    pub fn disk_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e.state, BlockState::Disk { .. }))
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    fn file(&self, id: u32) -> PathBuf {
+        self.dir().join(format!("cache-block-{id}.bin"))
+    }
+
+    // ------------------------------------------------------------------
+    // put
+    // ------------------------------------------------------------------
+
+    /// Cache records as a heap object block (Spark mode).
+    pub fn put_objects<T: Record + 'static>(
+        &mut self,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+        classes: &T::Classes,
+        recs: &[T],
+    ) -> Result<BlockId, CacheError>
+    where
+        T::Classes: 'static,
+    {
+        let bytes: usize = recs.iter().map(|r| r.heap_size()).sum::<usize>()
+            + 16
+            + recs.len() * 8;
+        self.make_room(heap, kryo, mm, bytes)?;
+        let root = match store_object_array(heap, classes, recs) {
+            Ok(r) => r,
+            Err(oom) => {
+                // Heap pressure beyond the budget model: evict everything
+                // evictable, collect, and retry once.
+                while self.evict_lru(heap, kryo, mm)? {}
+                heap.full_gc();
+                store_object_array(heap, classes, recs).map_err(|_| CacheError::Oom(oom))?
+            }
+        };
+        let t = self.tick();
+        Ok(self.push(Entry {
+            state: BlockState::Objects {
+                root,
+                len: recs.len(),
+                ops: Box::new(Ops::<T> { classes: *classes }),
+            },
+            bytes,
+            last_used: t,
+            pinned: false,
+        }))
+    }
+
+    /// Cache records as a serialized heap byte block (SparkSer mode).
+    pub fn put_serialized<T: Record>(
+        &mut self,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+        recs: &[T],
+    ) -> Result<BlockId, CacheError> {
+        let buf = kryo.serialize_all(recs);
+        self.make_room(heap, kryo, mm, buf.len())?;
+        let cls = byte_array_class(heap);
+        let arr = heap.alloc_array(cls, buf.len())?;
+        heap.byte_array_write(arr, 0, &buf);
+        let root = heap.add_root(arr);
+        let bytes = buf.len() + 16;
+        let t = self.tick();
+        Ok(self.push(Entry {
+            state: BlockState::Serialized { root, len: recs.len() },
+            bytes,
+            last_used: t,
+            pinned: false,
+        }))
+    }
+
+    /// Cache records as decomposed pages (Deca mode).
+    pub fn put_deca<T: Record>(
+        &mut self,
+        heap: &mut Heap,
+        mm: &mut MemoryManager,
+        recs: &[T],
+    ) -> Result<BlockId, CacheError> {
+        let block = DecaCacheBlock::new::<T>(mm);
+        self.put_deca_block(heap, mm, block, recs)
+    }
+
+    /// Cache records as decomposed pages with a runtime-resolved uniform
+    /// SFST size (unframed segments — e.g. LR's `D`-dimensional points).
+    pub fn put_deca_sfst<T: Record>(
+        &mut self,
+        heap: &mut Heap,
+        mm: &mut MemoryManager,
+        recs: &[T],
+        size: usize,
+    ) -> Result<BlockId, CacheError> {
+        let block = DecaCacheBlock::new_sfst(mm, size);
+        self.put_deca_block(heap, mm, block, recs)
+    }
+
+    fn put_deca_block<T: Record>(
+        &mut self,
+        heap: &mut Heap,
+        mm: &mut MemoryManager,
+        mut block: DecaCacheBlock,
+        recs: &[T],
+    ) -> Result<BlockId, CacheError> {
+        for r in recs {
+            block.append(mm, heap, r)?;
+        }
+        let bytes = block.footprint(mm, heap)?;
+        let t = self.tick();
+        Ok(self.push(Entry {
+            state: BlockState::Deca { block },
+            bytes,
+            last_used: t,
+            pinned: false,
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // access
+    // ------------------------------------------------------------------
+
+    /// Number of records in a block.
+    pub fn block_len(&self, id: BlockId) -> usize {
+        match &self.entries[id.0 as usize].as_ref().expect("block").state {
+            BlockState::Objects { len, .. }
+            | BlockState::Serialized { len, .. }
+            | BlockState::Disk { len, .. } => *len,
+            BlockState::Deca { block } => block.len(),
+        }
+    }
+
+    /// Direct access to an Objects block's root array (Spark kernels walk
+    /// the heap themselves). Swaps the block in if evicted.
+    pub fn objects_root(
+        &mut self,
+        id: BlockId,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+    ) -> Result<(RootId, usize), CacheError> {
+        self.ensure_resident(id, heap, kryo, mm)?;
+        let t = self.tick();
+        let e = self.entries[id.0 as usize].as_mut().expect("block");
+        e.last_used = t;
+        match &e.state {
+            BlockState::Objects { root, len, .. } => Ok((*root, *len)),
+            _ => panic!("objects_root on a non-Objects block"),
+        }
+    }
+
+    /// Iterate a Serialized block by deserializing every record (the
+    /// SparkSer access path: real deser cost + temporary objects created by
+    /// the caller).
+    pub fn iter_serialized<T: Record>(
+        &mut self,
+        id: BlockId,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+        mut f: impl FnMut(T),
+    ) -> Result<(), CacheError> {
+        self.ensure_resident(id, heap, kryo, mm)?;
+        let t = self.tick();
+        let e = self.entries[id.0 as usize].as_mut().expect("block");
+        e.last_used = t;
+        let (root, len) = match &e.state {
+            BlockState::Serialized { root, len } => (*root, *len),
+            _ => panic!("iter_serialized on a non-Serialized block"),
+        };
+        let arr = heap.root_ref(root);
+        let n = heap.array_len(arr);
+        let mut buf = vec![0u8; n];
+        heap.byte_array_read(arr, 0, &mut buf);
+        let mut pos = 0;
+        for _ in 0..len {
+            let rec: T = kryo.deserialize(&buf, &mut pos);
+            f(rec);
+        }
+        Ok(())
+    }
+
+    /// The Deca block backing `id` (panics if the block is not Deca).
+    pub fn deca_block(&mut self, id: BlockId) -> &mut DecaCacheBlock {
+        let t = self.tick();
+        let e = self.entries[id.0 as usize].as_mut().expect("block");
+        e.last_used = t;
+        match &mut e.state {
+            BlockState::Deca { block } => block,
+            _ => panic!("deca_block on a non-Deca block"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // lifetime / eviction
+    // ------------------------------------------------------------------
+
+    /// Release a block (`unpersist()`): Objects/Serialized drop their
+    /// roots (space reclaimed by the *next collection*, as in Spark); Deca
+    /// blocks release their page group immediately.
+    pub fn release(&mut self, id: BlockId, heap: &mut Heap, mm: &mut MemoryManager) {
+        if let Some(mut e) = self.entries[id.0 as usize].take() {
+            match &mut e.state {
+                BlockState::Objects { root, .. } | BlockState::Serialized { root, .. } => {
+                    heap.remove_root(*root);
+                }
+                BlockState::Deca { block } => block.release(mm, heap),
+                BlockState::Disk { .. } => {
+                    let _ = std::fs::remove_file(self.file(id.0));
+                }
+            }
+        }
+    }
+
+    fn make_room(
+        &mut self,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+        incoming: usize,
+    ) -> Result<(), CacheError> {
+        while self.resident_bytes() + incoming > self.budget {
+            if !self.evict_lru(heap, kryo, mm)? {
+                break; // nothing evictable: allow overshoot (heap will GC/OOM)
+            }
+        }
+        Ok(())
+    }
+
+    /// Evict the least-recently-used resident block to disk. Returns false
+    /// if no candidate exists.
+    fn evict_lru(
+        &mut self,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+    ) -> Result<bool, CacheError> {
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+            .filter(|(_, e)| !e.pinned && !matches!(e.state, BlockState::Disk { .. }))
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i);
+        let Some(i) = victim else { return Ok(false) };
+        self.evict(BlockId(i as u32), heap, kryo, mm)?;
+        Ok(true)
+    }
+
+    fn evict(
+        &mut self,
+        id: BlockId,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+    ) -> Result<(), CacheError> {
+        let mut e = self.entries[id.0 as usize].take().expect("block");
+        let path = self.file(id.0);
+        std::fs::create_dir_all(self.dir())?;
+        match e.state {
+            BlockState::Objects { root, len, ops } => {
+                // Spark serializes object blocks before writing them out.
+                let bytes = ops.serialize(heap, kryo, root, len);
+                heap.remove_root(root);
+                std::fs::File::create(&path)?.write_all(&bytes)?;
+                self.spill_write_bytes += bytes.len() as u64;
+                let mem_bytes = e.bytes;
+                e.bytes = bytes.len();
+                e.state = BlockState::Disk { len, was_objects: Some(ops), mem_bytes };
+            }
+            BlockState::Serialized { root, len } => {
+                let arr = heap.root_ref(root);
+                let n = heap.array_len(arr);
+                let mut buf = vec![0u8; n];
+                heap.byte_array_read(arr, 0, &mut buf);
+                heap.remove_root(root);
+                std::fs::File::create(&path)?.write_all(&buf)?;
+                self.spill_write_bytes += buf.len() as u64;
+                let mem_bytes = e.bytes;
+                e.bytes = buf.len();
+                e.state = BlockState::Disk { len, was_objects: None, mem_bytes };
+            }
+            BlockState::Deca { ref block } => {
+                // Deca swaps page groups verbatim through its own manager.
+                let freed = mm.swap_out(block.group(), heap)?;
+                self.spill_write_bytes += freed as u64;
+                // state stays Deca; residency tracked by mm.
+            }
+            BlockState::Disk { .. } => {}
+        }
+        self.evictions += 1;
+        self.entries[id.0 as usize] = Some(e);
+        Ok(())
+    }
+
+    fn ensure_resident(
+        &mut self,
+        id: BlockId,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        // Deca blocks re-register through `mm` lazily on access, so this
+        // path only handles evicted Spark/SparkSer blocks.
+        mm: &mut MemoryManager,
+    ) -> Result<(), CacheError> {
+        let mem_bytes = match self.entries[id.0 as usize].as_ref().expect("block").state {
+            BlockState::Disk { mem_bytes, .. } => mem_bytes,
+            _ => return Ok(()),
+        };
+        // Re-materialising costs memory: evict LRU blocks first, both to
+        // respect the storage budget and to leave heap headroom (Spark's
+        // unified memory manager does the same before unrolling a block).
+        while self.resident_bytes() + mem_bytes > self.budget {
+            if !self.evict_lru_excluding(id, heap, kryo, mm)? {
+                break;
+            }
+        }
+        let mut e = self.entries[id.0 as usize].take().expect("block");
+        let path = self.file(id.0);
+        let mut buf = Vec::new();
+        std::fs::File::open(&path)?.read_to_end(&mut buf)?;
+        self.spill_read_bytes += buf.len() as u64;
+        let BlockState::Disk { len, was_objects, mem_bytes } = e.state else { unreachable!() };
+        match was_objects {
+            Some(ops) => {
+                let (root, n) = match ops.deserialize(heap, kryo, &buf) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        // Heap-level pressure: evict harder and retry once.
+                        self.entries[id.0 as usize] = Some(Entry {
+                            state: BlockState::Disk { len, was_objects: Some(ops), mem_bytes },
+                            ..e
+                        });
+                        while self.evict_lru_excluding(id, heap, kryo, mm)? {}
+                        heap.full_gc();
+                        let mut e = self.entries[id.0 as usize].take().expect("block");
+                        let BlockState::Disk { len, was_objects, .. } = e.state else {
+                            unreachable!()
+                        };
+                        let ops = was_objects.expect("objects block");
+                        let (root, n) = ops.deserialize(heap, kryo, &buf)?;
+                        debug_assert_eq!(n, len);
+                        e.bytes = mem_bytes;
+                        e.state = BlockState::Objects { root, len, ops };
+                        let _ = std::fs::remove_file(&path);
+                        self.entries[id.0 as usize] = Some(e);
+                        return Ok(());
+                    }
+                };
+                debug_assert_eq!(n, len);
+                e.bytes = mem_bytes;
+                e.state = BlockState::Objects { root, len, ops };
+            }
+            None => {
+                let cls = byte_array_class(heap);
+                let arr = heap.alloc_array(cls, buf.len())?;
+                heap.byte_array_write(arr, 0, &buf);
+                let root = heap.add_root(arr);
+                e.bytes = mem_bytes;
+                e.state = BlockState::Serialized { root, len };
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        self.entries[id.0 as usize] = Some(e);
+        Ok(())
+    }
+
+    /// Evict the LRU resident block other than `keep`. Returns false when
+    /// nothing is evictable.
+    fn evict_lru_excluding(
+        &mut self,
+        keep: BlockId,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+    ) -> Result<bool, CacheError> {
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+            .filter(|(i, e)| {
+                *i != keep.0 as usize
+                    && !e.pinned
+                    && !matches!(e.state, BlockState::Disk { .. })
+            })
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i);
+        let Some(i) = victim else { return Ok(false) };
+        self.evict(BlockId(i as u32), heap, kryo, mm)?;
+        Ok(true)
+    }
+
+    /// Simulated disk time for cache spill traffic since construction.
+    pub fn sim_io_time(&self) -> Duration {
+        let bytes = (self.spill_write_bytes + self.spill_read_bytes) as f64;
+        Duration::from_secs_f64(bytes / crate::executor::SIM_DISK_BPS)
+    }
+}
+
+/// A cached RDD handle: the block ids of its partitions on one executor.
+#[derive(Debug, Default)]
+pub struct CachedRdd<T> {
+    pub name: String,
+    pub blocks: Vec<BlockId>,
+    _t: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> CachedRdd<T> {
+    pub fn new(name: impl Into<String>) -> CachedRdd<T> {
+        CachedRdd { name: name.into(), blocks: Vec::new(), _t: std::marker::PhantomData }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HeapRecord;
+    use deca_heap::HeapConfig;
+
+    fn setup(heap_bytes: usize, budget: usize) -> (Heap, KryoSim, MemoryManager, CacheManager) {
+        let dir = std::env::temp_dir().join(format!(
+            "deca-cachemgr-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut cm = CacheManager::new(budget);
+        cm.set_dir(dir.clone());
+        (
+            Heap::new(HeapConfig::with_total(heap_bytes)),
+            KryoSim::new(),
+            MemoryManager::new(16 << 10, dir),
+            cm,
+        )
+    }
+
+    #[test]
+    fn objects_block_roundtrip() {
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(8 << 20, 4 << 20);
+        let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
+        let recs: Vec<(i64, i64)> = (0..500).map(|i| (i, i * 3)).collect();
+        let id = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        assert_eq!(cm.block_len(id), 500);
+        let (root, len) = cm.objects_root(id, &mut heap, &mut kryo, &mut mm).unwrap();
+        let arr = heap.root_ref(root);
+        for i in 0..len {
+            let obj = heap.array_get_ref(arr, i);
+            let rec = <(i64, i64) as HeapRecord>::load(&heap, &classes, obj);
+            assert_eq!(rec, (i as i64, i as i64 * 3));
+        }
+        cm.release(id, &mut heap, &mut mm);
+        heap.full_gc();
+        assert_eq!(heap.object_count(), 0, "released block is collectable");
+    }
+
+    #[test]
+    fn serialized_block_roundtrip() {
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(8 << 20, 4 << 20);
+        let recs: Vec<(i64, i64)> = (0..300).map(|i| (i, -i)).collect();
+        let id = cm.put_serialized(&mut heap, &mut kryo, &mut mm, &recs).unwrap();
+        // One byte[] object on the heap, regardless of record count.
+        assert_eq!(heap.object_count(), 1);
+        let mut got = Vec::new();
+        cm.iter_serialized::<(i64, i64)>(id, &mut heap, &mut kryo, &mut mm, |r| got.push(r))
+            .unwrap();
+        assert_eq!(got, recs);
+        assert!(kryo.objects_deserialized >= 300);
+    }
+
+    #[test]
+    fn deca_block_via_manager() {
+        let (mut heap, _kryo, mut mm, mut cm) = setup(8 << 20, 4 << 20);
+        let recs: Vec<(i64, i64)> = (0..400).map(|i| (i, i + 1)).collect();
+        let id = cm.put_deca(&mut heap, &mut mm, &recs).unwrap();
+        let block = cm.deca_block(id);
+        assert_eq!(block.len(), 400);
+        let back: Vec<(i64, i64)> = block.decode_all(&mut mm, &mut heap).unwrap();
+        assert_eq!(back, recs);
+        cm.release(id, &mut heap, &mut mm);
+        assert_eq!(heap.external_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_pressure_evicts_lru_and_reloads() {
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(16 << 20, 64 << 10);
+        let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
+        // Each block ~80B * 500 = 40KB accounted; two blocks exceed 64KB.
+        let recs: Vec<(i64, i64)> = (0..500).map(|i| (i, i)).collect();
+        let a = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        let _b = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        assert!(cm.evictions > 0, "second block must evict the first");
+        assert!(cm.disk_bytes() > 0);
+        // Access the evicted block: it reloads transparently.
+        let (root, len) = cm.objects_root(a, &mut heap, &mut kryo, &mut mm).unwrap();
+        let arr = heap.root_ref(root);
+        assert_eq!(len, 500);
+        let rec = <(i64, i64) as HeapRecord>::load(
+            &heap,
+            &classes,
+            heap.array_get_ref(arr, 42),
+        );
+        assert_eq!(rec, (42, 42));
+    }
+}

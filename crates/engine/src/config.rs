@@ -1,0 +1,130 @@
+//! Executor configuration: heap sizing, memory fractions, execution mode.
+//!
+//! The knobs mirror the settings the paper's experiments vary: executor
+//! heap size (§6, 20–30 GB there, MB-scale here), the storage/shuffle
+//! memory fractions of Table 4, and the collector algorithm.
+
+use std::path::PathBuf;
+
+use deca_heap::GcAlgorithm;
+
+/// Which system is being emulated for a run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ExecutionMode {
+    /// Records as heap object graphs (baseline Spark).
+    Spark,
+    /// Cached data Kryo-serialized into heap byte blocks (SparkSer).
+    SparkSer,
+    /// Decomposed pages managed by lifetime (Deca).
+    Deca,
+}
+
+impl ExecutionMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionMode::Spark => "Spark",
+            ExecutionMode::SparkSer => "SparkSer",
+            ExecutionMode::Deca => "Deca",
+        }
+    }
+
+    pub const ALL: [ExecutionMode; 3] =
+        [ExecutionMode::Spark, ExecutionMode::SparkSer, ExecutionMode::Deca];
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of one executor.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    pub mode: ExecutionMode,
+    /// Total simulated heap bytes (young + old).
+    pub heap_bytes: usize,
+    /// Fraction of the heap the cache manager may fill before evicting
+    /// (Spark's `storage.memoryFraction`; Table 4 sweeps it).
+    pub storage_fraction: f64,
+    /// Fraction reserved for shuffle buffers (Table 4).
+    pub shuffle_fraction: f64,
+    pub gc_algorithm: GcAlgorithm,
+    /// Deca page size (§4.3.1 trade-off; ablation bench sweeps it).
+    pub page_size: usize,
+    /// Directory for spill/swap files.
+    pub spill_dir: PathBuf,
+}
+
+impl ExecutorConfig {
+    pub fn new(mode: ExecutionMode, heap_bytes: usize) -> ExecutorConfig {
+        ExecutorConfig {
+            mode,
+            heap_bytes,
+            storage_fraction: 0.6,
+            shuffle_fraction: 0.2,
+            gc_algorithm: GcAlgorithm::ParallelScavenge,
+            page_size: 64 << 10,
+            spill_dir: std::env::temp_dir().join(format!("deca-exec-{}", std::process::id())),
+        }
+    }
+
+    pub fn storage_fraction(mut self, f: f64) -> Self {
+        self.storage_fraction = f;
+        self
+    }
+
+    pub fn shuffle_fraction(mut self, f: f64) -> Self {
+        self.shuffle_fraction = f;
+        self
+    }
+
+    pub fn gc_algorithm(mut self, a: GcAlgorithm) -> Self {
+        self.gc_algorithm = a;
+        self
+    }
+
+    pub fn page_size(mut self, s: usize) -> Self {
+        self.page_size = s;
+        self
+    }
+
+    pub fn spill_dir(mut self, d: PathBuf) -> Self {
+        self.spill_dir = d;
+        self
+    }
+
+    /// Cache budget in bytes. Clamped below the old generation's capacity
+    /// (heap × 2/3 under the default NewRatio), mirroring Spark's safety
+    /// fraction: the configured storage fraction can exceed what the
+    /// tenured generation can actually hold, and the block manager must
+    /// never pin more than fits.
+    pub fn storage_budget(&self) -> usize {
+        let configured = (self.heap_bytes as f64 * self.storage_fraction) as usize;
+        let old_gen = self.heap_bytes - self.heap_bytes / 3;
+        configured.min((old_gen as f64 * 0.95) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_budget() {
+        let c = ExecutorConfig::new(ExecutionMode::Deca, 100 << 20)
+            .storage_fraction(0.4)
+            .shuffle_fraction(0.3)
+            .page_size(1 << 20);
+        assert_eq!(c.storage_budget(), 40 << 20);
+        assert_eq!(c.page_size, 1 << 20);
+        assert_eq!(c.mode.name(), "Deca");
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(ExecutionMode::Spark.to_string(), "Spark");
+        assert_eq!(ExecutionMode::SparkSer.to_string(), "SparkSer");
+        assert_eq!(ExecutionMode::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,277 @@
+//! The executor: one simulated JVM process (heap + Deca memory manager +
+//! serializer + metrics), running its tasks sequentially.
+//!
+//! The paper's executors are JVM processes running task threads; here each
+//! executor is single-threaded and a [`crate::LocalCluster`] runs several
+//! executors in parallel OS threads. Task timing attributes wall time to
+//! compute / GC pause / (de)serialization / shuffle / spill-IO buckets
+//! (Figure 11's breakdown), applying the configured collector's pause
+//! model (Table 4).
+
+use std::time::{Duration, Instant};
+
+use deca_core::MemoryManager;
+use deca_heap::{FullGcKind, GcAlgorithm, Heap, HeapConfig};
+
+use crate::cache::CacheManager;
+use crate::config::ExecutorConfig;
+use crate::metrics::{GcAccounting, JobMetrics, TaskMetrics, Timeline};
+use crate::serde_sim::KryoSim;
+
+/// Simulated disk bandwidth for spill accounting (bytes/sec). Real file
+/// I/O also happens (tmpfs-fast); this models production SAS-disk costs so
+/// spilling hurts proportionally, as in the paper's 100–200 GB runs.
+pub const SIM_DISK_BPS: f64 = 500.0 * (1 << 20) as f64;
+
+/// One executor. Fields are public where apps need direct access for
+/// mode-specific kernels (the Deca "transformed code" reads pages through
+/// `mm`; Spark kernels read objects through `heap`).
+pub struct Executor {
+    pub heap: Heap,
+    pub mm: MemoryManager,
+    pub kryo: KryoSim,
+    pub cache: CacheManager,
+    pub config: ExecutorConfig,
+    pub tasks: Vec<TaskMetrics>,
+    pub job: JobMetrics,
+    pub timeline: Timeline,
+    gc_acc: GcAccounting,
+    /// Shuffle time accumulated by helpers since the task started.
+    pub(crate) pending_shuffle_read: Duration,
+    pub(crate) pending_shuffle_write: Duration,
+    /// Spill bytes observed at the start of the running task.
+    spill_mark: u64,
+}
+
+impl Executor {
+    pub fn new(config: ExecutorConfig) -> Executor {
+        // CMS does not compact: model its old generation with the
+        // mark-sweep (free-list, fragmenting) collector. PS and G1 compact.
+        let full_gc = match config.gc_algorithm {
+            GcAlgorithm::Cms => FullGcKind::MarkSweep,
+            _ => FullGcKind::CopyCompact,
+        };
+        let heap_cfg = HeapConfig::with_total(config.heap_bytes)
+            .with_algorithm(config.gc_algorithm)
+            .with_full_gc(full_gc);
+        let heap = Heap::new(heap_cfg);
+        let mm = MemoryManager::new(config.page_size, config.spill_dir.clone());
+        Executor {
+            heap,
+            mm,
+            kryo: KryoSim::new(),
+            cache: CacheManager::new(config.storage_budget()),
+            gc_acc: GcAccounting::new(config.gc_algorithm),
+            config,
+            tasks: Vec::new(),
+            job: JobMetrics::default(),
+            timeline: Timeline::new(),
+            pending_shuffle_read: Duration::ZERO,
+            pending_shuffle_write: Duration::ZERO,
+            spill_mark: 0,
+        }
+    }
+
+    /// Run one task, attributing its wall time. Returns the task's result.
+    pub fn run_task<R>(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Executor) -> R,
+    ) -> R {
+        let ser0 = self.kryo.ser_time;
+        let deser0 = self.kryo.deser_time;
+        self.pending_shuffle_read = Duration::ZERO;
+        self.pending_shuffle_write = Duration::ZERO;
+        self.spill_mark = self.mm.spill_write_bytes
+            + self.mm.spill_read_bytes
+            + self.cache.spill_write_bytes
+            + self.cache.spill_read_bytes;
+        // Baseline the GC accounting so earlier tasks' collections are not
+        // re-attributed.
+        let _ = self.gc_acc.account(self.heap.stats());
+
+
+        let wall_start = Instant::now();
+        let result = f(self);
+        let wall = wall_start.elapsed();
+
+        let (gc_pause, gc_overhead, gc_concurrent) = self.gc_acc.account(self.heap.stats());
+        let ser = self.kryo.ser_time - ser0;
+        let deser = self.kryo.deser_time - deser0;
+        let spill_now = self.mm.spill_write_bytes
+            + self.mm.spill_read_bytes
+            + self.cache.spill_write_bytes
+            + self.cache.spill_read_bytes;
+        let io = Duration::from_secs_f64((spill_now - self.spill_mark) as f64 / SIM_DISK_BPS);
+
+        // Compute = wall minus attributed buckets. A concurrent collector's
+        // trace overlapped the mutator in the modelled system, so that
+        // portion leaves the wall time entirely; the mutator pays the tax.
+        let attributed = gc_pause
+            + gc_concurrent
+            + ser
+            + deser
+            + self.pending_shuffle_read
+            + self.pending_shuffle_write;
+        let compute = wall.saturating_sub(attributed) + gc_overhead;
+
+        let t = TaskMetrics {
+            name: name.into(),
+            compute,
+            gc_pause,
+            ser,
+            deser,
+            shuffle_read: self.pending_shuffle_read,
+            shuffle_write: self.pending_shuffle_write,
+            io,
+        };
+        self.job.add_task(&t);
+        self.job.minor_gcs = self.heap.stats().minor_collections;
+        self.job.full_gcs = self.heap.stats().full_collections;
+        self.tasks.push(t);
+        result
+    }
+
+    /// Run a shuffle-write section: its wall time (minus serializer time,
+    /// which stays in the `ser` bucket) is attributed to `shuffle_write`.
+    pub fn shuffle_write_scope<R>(&mut self, f: impl FnOnce(&mut Executor) -> R) -> R {
+        let ser0 = self.kryo.ser_time;
+        let t = Instant::now();
+        let r = f(self);
+        let wall = t.elapsed();
+        let ser = self.kryo.ser_time - ser0;
+        self.pending_shuffle_write += wall.saturating_sub(ser);
+        r
+    }
+
+    /// Run a shuffle-read section: wall minus deserializer time is
+    /// attributed to `shuffle_read`.
+    pub fn shuffle_read_scope<R>(&mut self, f: impl FnOnce(&mut Executor) -> R) -> R {
+        let deser0 = self.kryo.deser_time;
+        let t = Instant::now();
+        let r = f(self);
+        let wall = t.elapsed();
+        let deser = self.kryo.deser_time - deser0;
+        self.pending_shuffle_read += wall.saturating_sub(deser);
+        r
+    }
+
+    /// Record a lifetime-timeline sample for the profiled class (Figures
+    /// 8a/9a): live instance count and cumulative collector time.
+    pub fn sample_timeline(&mut self, class: deca_heap::ClassId) {
+        let live = self.heap.live_count(class);
+        let gc = self.heap.stats().total_gc_time();
+        let at = self.heap.elapsed();
+        self.timeline.record(at, live, gc);
+    }
+
+    /// Refresh job-level cache statistics from the cache manager.
+    pub fn finish_job(&mut self) {
+        self.job.cache_bytes = self.cache.resident_bytes();
+        self.job.swapped_cache_bytes = self.cache.disk_bytes();
+    }
+
+    /// The most recently completed task's metrics.
+    pub fn last_task(&self) -> Option<&TaskMetrics> {
+        self.tasks.last()
+    }
+
+    /// The slowest task by total time (Figure 11 reports the slowest task).
+    pub fn slowest_task(&self) -> Option<&TaskMetrics> {
+        self.tasks.iter().max_by_key(|t| t.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutionMode;
+    use deca_heap::{ClassBuilder, FieldKind};
+
+    fn exec() -> Executor {
+        Executor::new(ExecutorConfig::new(ExecutionMode::Spark, 4 << 20))
+    }
+
+    #[test]
+    fn task_attribution_includes_gc() {
+        let mut e = exec();
+        let c = e
+            .heap
+            .define_class(ClassBuilder::new("T").field("a", FieldKind::I64).field("b", FieldKind::I64));
+        e.run_task("churn", |e| {
+            for _ in 0..300_000 {
+                e.heap.alloc(c).unwrap();
+            }
+        });
+        let t = e.last_task().unwrap();
+        assert_eq!(t.name, "churn");
+        assert!(e.heap.stats().minor_collections > 0);
+        assert!(t.gc_pause > Duration::ZERO, "allocation churn must show GC time");
+        assert!(e.job.exec >= t.gc_pause);
+    }
+
+    #[test]
+    fn serialization_attribution() {
+        let mut e = exec();
+        let recs: Vec<(i64, i64)> = (0..20_000).map(|i| (i, i * 2)).collect();
+        let buf = e.run_task("ser", |e| e.kryo.serialize_all(&recs));
+        assert!(e.last_task().unwrap().ser > Duration::ZERO);
+        let back = e.run_task("deser", |e| e.kryo.deserialize_all::<(i64, i64)>(&buf));
+        assert_eq!(back.len(), recs.len());
+        assert!(e.last_task().unwrap().deser > Duration::ZERO);
+        assert_eq!(e.last_task().unwrap().ser, Duration::ZERO, "per-task deltas only");
+    }
+
+    #[test]
+    fn concurrent_collector_reports_smaller_pause() {
+        // Same workload under PS and CMS: identical tracing work, but CMS
+        // attributes most full-collection time to concurrent threads.
+        let run = |algo| {
+            let cfg = ExecutorConfig::new(ExecutionMode::Spark, 4 << 20).gc_algorithm(algo);
+            let mut e = Executor::new(cfg);
+            let c = e.heap.define_class(
+                ClassBuilder::new("K").field("v", FieldKind::I64),
+            );
+            let arr = e.heap.define_array_class("Object[]", FieldKind::Ref);
+            e.run_task("pin+churn", |e| {
+                // Pin ~60% of old gen, then churn to force full GCs.
+                let n = 40_000;
+                let holder = e.heap.alloc_array(arr, n).unwrap();
+                let root = e.heap.add_root(holder);
+                for i in 0..n {
+                    let o = e.heap.alloc(c).unwrap();
+                    let holder = e.heap.root_ref(root);
+                    e.heap.array_set_ref(holder, i, o);
+                }
+                for _ in 0..200_000 {
+                    e.heap.alloc(c).unwrap();
+                }
+                e.heap.full_gc();
+                e.heap.full_gc();
+            });
+            (e.job.gc, e.heap.stats().full_time)
+        };
+        let (ps_gc, ps_full) = run(deca_heap::GcAlgorithm::ParallelScavenge);
+        let (cms_gc, cms_full) = run(deca_heap::GcAlgorithm::Cms);
+        assert!(ps_full > Duration::ZERO && cms_full > Duration::ZERO);
+        // PS reports the full trace as pause; CMS only a fraction of it.
+        assert!(
+            cms_gc.as_secs_f64() / cms_full.as_secs_f64()
+                < ps_gc.as_secs_f64() / ps_full.as_secs_f64(),
+            "CMS pause share {cms_gc:?}/{cms_full:?} must undercut PS {ps_gc:?}/{ps_full:?}"
+        );
+    }
+
+    #[test]
+    fn timeline_sampling() {
+        let mut e = exec();
+        let c = e.heap.define_class(ClassBuilder::new("P").field("x", FieldKind::I64));
+        e.sample_timeline(c);
+        for _ in 0..100 {
+            e.heap.alloc(c).unwrap();
+        }
+        e.sample_timeline(c);
+        assert_eq!(e.timeline.samples.len(), 2);
+        assert_eq!(e.timeline.peak_live(), 100);
+    }
+}

@@ -1,0 +1,43 @@
+//! # deca-engine — a mini-Spark dataflow substrate
+//!
+//! The evaluation baselines of the paper are defined by *where record data
+//! lives* during a job:
+//!
+//! * **Spark** — records are object graphs on the managed heap; cached RDDs
+//!   pin millions of long-living objects that every full collection must
+//!   trace (the pathology of §2.2);
+//! * **SparkSer** — cached RDDs hold Kryo-serialized byte blocks (few heap
+//!   objects), but every access pays deserialization and re-materialises
+//!   temporary objects (§6.2, §6.5);
+//! * **Deca** — cached RDDs and shuffle buffers hold decomposed raw bytes in
+//!   the page groups of `deca-core`; accesses read fields at offsets with no
+//!   object materialisation, and space is reclaimed per container lifetime.
+//!
+//! This crate provides the executors, cache manager, shuffle buffers,
+//! serializer and metrics that run the same workloads in all three modes
+//! over the simulated heap of `deca-heap`.
+//!
+//! Scale note: the paper runs 5 nodes × 30 GB executors; we run in-process
+//! executors with MB-scale heaps and proportionally scaled datasets. All
+//! compute, tracing, copying and (de)serialization costs are real measured
+//! work; see DESIGN.md §1 for the substitution argument.
+
+pub mod cache;
+pub mod cluster;
+pub mod config;
+pub mod executor;
+pub mod metrics;
+pub mod record;
+pub mod serde_sim;
+pub mod session;
+pub mod shuffle;
+
+pub use cache::{CacheError, CachedRdd};
+pub use cluster::LocalCluster;
+pub use config::{ExecutionMode, ExecutorConfig};
+pub use executor::Executor;
+pub use metrics::{GcAccounting, JobMetrics, TaskMetrics, Timeline, TimelineSample};
+pub use record::{HeapRecord, KryoRecord, Record};
+pub use serde_sim::KryoSim;
+pub use session::{Cached, DecaSession};
+pub use shuffle::{SparkGroupShuffle, SparkHashShuffle};

@@ -1,0 +1,227 @@
+//! Metrics: task/job breakdowns, collector accounting, and the lifetime
+//! timelines behind Figures 8(a)/9(a).
+
+use std::time::Duration;
+
+use deca_heap::{GcAlgorithm, GcStats};
+
+/// Breakdown of one task's wall time, matching Figure 11's bars.
+#[derive(Clone, Debug, Default)]
+pub struct TaskMetrics {
+    pub name: String,
+    /// Pure computation (wall minus everything attributed below).
+    pub compute: Duration,
+    /// Stop-the-world collection pauses attributed to this task.
+    pub gc_pause: Duration,
+    /// Serialization time (Kryo-sim encodes, shuffle writes).
+    pub ser: Duration,
+    /// Deserialization time.
+    pub deser: Duration,
+    pub shuffle_read: Duration,
+    pub shuffle_write: Duration,
+    /// Spill / swap file I/O.
+    pub io: Duration,
+}
+
+impl TaskMetrics {
+    /// Total reported task time.
+    pub fn total(&self) -> Duration {
+        self.compute
+            + self.gc_pause
+            + self.ser
+            + self.deser
+            + self.shuffle_read
+            + self.shuffle_write
+            + self.io
+    }
+}
+
+/// Aggregates over a whole job (or a whole run).
+#[derive(Clone, Debug, Default)]
+pub struct JobMetrics {
+    pub exec: Duration,
+    pub gc: Duration,
+    pub ser: Duration,
+    pub deser: Duration,
+    pub shuffle_read: Duration,
+    pub shuffle_write: Duration,
+    pub io: Duration,
+    /// Bytes held by the cache manager at job end.
+    pub cache_bytes: usize,
+    /// Bytes of cached data currently swapped to disk.
+    pub swapped_cache_bytes: usize,
+    pub minor_gcs: u64,
+    pub full_gcs: u64,
+}
+
+impl JobMetrics {
+    pub fn add_task(&mut self, t: &TaskMetrics) {
+        self.exec += t.total();
+        self.gc += t.gc_pause;
+        self.ser += t.ser;
+        self.deser += t.deser;
+        self.shuffle_read += t.shuffle_read;
+        self.shuffle_write += t.shuffle_write;
+        self.io += t.io;
+    }
+
+    /// GC share of execution (Table 3's "ratio" column).
+    pub fn gc_ratio(&self) -> f64 {
+        if self.exec.is_zero() {
+            0.0
+        } else {
+            self.gc.as_secs_f64() / self.exec.as_secs_f64()
+        }
+    }
+}
+
+/// Converts raw collector measurements into the pause/overhead split of the
+/// configured algorithm (Table 4's PS/CMS/G1 comparison; see
+/// `deca_heap::PauseModel`).
+#[derive(Clone, Debug)]
+pub struct GcAccounting {
+    algorithm: GcAlgorithm,
+    last_minor: Duration,
+    last_full: Duration,
+}
+
+impl GcAccounting {
+    pub fn new(algorithm: GcAlgorithm) -> GcAccounting {
+        GcAccounting { algorithm, last_minor: Duration::ZERO, last_full: Duration::ZERO }
+    }
+
+    /// Consume the collector time since the last call and return
+    /// `(reported_pause, mutator_overhead, concurrent)` under the
+    /// algorithm's model. Minor collections always pause. A concurrent
+    /// collector runs the remaining full-collection trace on spare cores:
+    /// that `concurrent` portion is *subtracted* from the task's wall time
+    /// (it overlapped the mutator in the modelled system) while the
+    /// mutator pays the `overhead` tax.
+    pub fn account(&mut self, stats: &GcStats) -> (Duration, Duration, Duration) {
+        let minor = stats.minor_time.saturating_sub(self.last_minor);
+        let full = stats.full_time.saturating_sub(self.last_full);
+        self.last_minor = stats.minor_time;
+        self.last_full = stats.full_time;
+        let model = self.algorithm.pause_model();
+        let (full_pause, overhead) = model.account_full(full);
+        let concurrent = full.saturating_sub(full_pause);
+        (minor + full_pause, overhead, concurrent)
+    }
+}
+
+/// One sample of the lifetime timeline (Figures 8a/9a): how many objects of
+/// the profiled class are on the heap, and cumulative GC time, at a moment.
+#[derive(Copy, Clone, Debug)]
+pub struct TimelineSample {
+    pub at: Duration,
+    pub live_objects: usize,
+    pub cumulative_gc: Duration,
+}
+
+/// Recorder for lifetime timelines.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    pub samples: Vec<TimelineSample>,
+}
+
+impl Timeline {
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    pub fn record(&mut self, at: Duration, live_objects: usize, cumulative_gc: Duration) {
+        self.samples.push(TimelineSample { at, live_objects, cumulative_gc });
+    }
+
+    pub fn peak_live(&self) -> usize {
+        self.samples.iter().map(|s| s.live_objects).max().unwrap_or(0)
+    }
+
+    pub fn final_gc(&self) -> Duration {
+        self.samples.last().map(|s| s.cumulative_gc).unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_heap::{GcEvent, GcEventKind};
+
+    #[test]
+    fn task_totals_and_job_aggregation() {
+        let t = TaskMetrics {
+            name: "t".into(),
+            compute: Duration::from_millis(10),
+            gc_pause: Duration::from_millis(5),
+            ser: Duration::from_millis(1),
+            deser: Duration::from_millis(2),
+            shuffle_read: Duration::from_millis(3),
+            shuffle_write: Duration::from_millis(4),
+            io: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(30));
+        let mut j = JobMetrics::default();
+        j.add_task(&t);
+        j.add_task(&t);
+        assert_eq!(j.exec, Duration::from_millis(60));
+        assert_eq!(j.gc, Duration::from_millis(10));
+        assert!((j.gc_ratio() - 10.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gc_accounting_is_incremental() {
+        let mut stats = GcStats::default();
+        let mut acc = GcAccounting::new(GcAlgorithm::ParallelScavenge);
+        stats.record(GcEvent {
+            kind: GcEventKind::Minor,
+            at: Duration::ZERO,
+            duration: Duration::from_millis(4),
+            objects_traced: 1,
+            live_bytes_after: 0,
+        });
+        let (p1, o1, c1) = acc.account(&stats);
+        assert_eq!(p1, Duration::from_millis(4));
+        assert_eq!(o1, Duration::ZERO);
+        assert_eq!(c1, Duration::ZERO);
+        // No new collections: nothing more to attribute.
+        let (p2, _, _) = acc.account(&stats);
+        assert_eq!(p2, Duration::ZERO);
+        stats.record(GcEvent {
+            kind: GcEventKind::Full,
+            at: Duration::ZERO,
+            duration: Duration::from_millis(10),
+            objects_traced: 1,
+            live_bytes_after: 0,
+        });
+        let (p3, _, c3) = acc.account(&stats);
+        assert_eq!(p3, Duration::from_millis(10), "PS: full pause is the whole trace");
+        assert_eq!(c3, Duration::ZERO, "PS runs nothing concurrently");
+    }
+
+    #[test]
+    fn cms_reports_smaller_pause_with_overhead() {
+        let mut stats = GcStats::default();
+        let mut acc = GcAccounting::new(GcAlgorithm::Cms);
+        stats.record(GcEvent {
+            kind: GcEventKind::Full,
+            at: Duration::ZERO,
+            duration: Duration::from_millis(100),
+            objects_traced: 1,
+            live_bytes_after: 0,
+        });
+        let (pause, overhead, concurrent) = acc.account(&stats);
+        assert!(pause < Duration::from_millis(30));
+        assert!(overhead > Duration::ZERO);
+        assert!(concurrent > Duration::from_millis(70), "most of the trace overlaps");
+    }
+
+    #[test]
+    fn timeline_summaries() {
+        let mut tl = Timeline::new();
+        tl.record(Duration::from_millis(1), 10, Duration::from_millis(0));
+        tl.record(Duration::from_millis(2), 50, Duration::from_millis(3));
+        tl.record(Duration::from_millis(3), 20, Duration::from_millis(7));
+        assert_eq!(tl.peak_live(), 50);
+        assert_eq!(tl.final_gc(), Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,311 @@
+//! A high-level session facade over one executor: cache datasets, iterate
+//! them, and aggregate — in any execution mode — without hand-wiring the
+//! heap, serializer, and memory manager.
+//!
+//! ```
+//! use deca_engine::{DecaSession, ExecutionMode, ExecutorConfig};
+//!
+//! let mut s = DecaSession::new(ExecutorConfig::new(ExecutionMode::Deca, 16 << 20));
+//! let data: Vec<(f64, i64)> = (0..1000).map(|i| (i as f64, i)).collect();
+//! let cached = s.cache("pairs", &data, 4).unwrap();
+//! let sum = s.fold(&cached, 0.0, |acc, (x, _)| acc + x).unwrap();
+//! assert_eq!(sum, (0..1000).map(|i| i as f64).sum());
+//! s.unpersist(cached);
+//! ```
+//!
+//! The facade keeps each mode's *cost profile*: Spark-mode folds read every
+//! field through the simulated heap, SparkSer-mode folds deserialize every
+//! record, Deca-mode folds decode from page bytes. Apps that need the raw
+//! kernels (e.g. Figure 12-style offset reads) still use [`Executor`]
+//! directly.
+
+use crate::cache::{BlockId, CacheError};
+use crate::config::{ExecutionMode, ExecutorConfig};
+use crate::executor::Executor;
+use crate::record::Record;
+
+/// Handle to a cached dataset within a session.
+pub struct Cached<T> {
+    pub name: String,
+    blocks: Vec<BlockId>,
+    len: usize,
+    released: bool,
+    _t: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Cached<T> {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+}
+
+/// One-executor session.
+pub struct DecaSession {
+    exec: Executor,
+}
+
+impl DecaSession {
+    pub fn new(config: ExecutorConfig) -> DecaSession {
+        DecaSession { exec: Executor::new(config) }
+    }
+
+    /// The underlying executor (metrics, heap introspection, raw kernels).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.exec
+    }
+
+    pub fn mode(&self) -> ExecutionMode {
+        self.exec.config.mode
+    }
+
+    /// Cache `records` in `partitions` blocks using the session mode's
+    /// storage level.
+    pub fn cache<T: Record + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        records: &[T],
+        partitions: usize,
+    ) -> Result<Cached<T>, CacheError>
+    where
+        T::Classes: 'static,
+    {
+        assert!(partitions > 0);
+        let name = name.into();
+        let classes = T::register(&mut self.exec.heap);
+        let per = records.len().div_ceil(partitions).max(1);
+        let mut blocks = Vec::new();
+        for (pi, chunk) in records.chunks(per).enumerate() {
+            let block = self.exec.run_task(format!("{name}-cache-{pi}"), |e| {
+                match e.config.mode {
+                    ExecutionMode::Spark => {
+                        e.cache.put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, &classes, chunk)
+                    }
+                    ExecutionMode::SparkSer => {
+                        e.cache.put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, chunk)
+                    }
+                    ExecutionMode::Deca => match T::FIXED_SIZE {
+                        Some(size) => {
+                            e.cache.put_deca_sfst(&mut e.heap, &mut e.mm, chunk, size)
+                        }
+                        None => e.cache.put_deca(&mut e.heap, &mut e.mm, chunk),
+                    },
+                }
+            })?;
+            blocks.push(block);
+        }
+        Ok(Cached {
+            name,
+            blocks,
+            len: records.len(),
+            released: false,
+            _t: std::marker::PhantomData,
+        })
+    }
+
+    /// Visit every record of a cached dataset, materialised through the
+    /// session mode's representation.
+    pub fn for_each<T: Record + 'static>(
+        &mut self,
+        cached: &Cached<T>,
+        mut f: impl FnMut(T),
+    ) -> Result<(), CacheError>
+    where
+        T::Classes: 'static,
+    {
+        assert!(!cached.released, "dataset was unpersisted");
+        let classes = T::register(&mut self.exec.heap);
+        let name = cached.name.clone();
+        for (bi, &block) in cached.blocks.iter().enumerate() {
+            self.exec.run_task(format!("{name}-scan-{bi}"), |e| -> Result<(), CacheError> {
+                match e.config.mode {
+                    ExecutionMode::Spark => {
+                        let (root, len) =
+                            e.cache.objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)?;
+                        for i in 0..len {
+                            let arr = e.heap.root_ref(root);
+                            let obj = e.heap.array_get_ref(arr, i);
+                            f(T::load(&e.heap, &classes, obj));
+                        }
+                        Ok(())
+                    }
+                    ExecutionMode::SparkSer => e.cache.iter_serialized(
+                        block,
+                        &mut e.heap,
+                        &mut e.kryo,
+                        &mut e.mm,
+                        &mut f,
+                    ),
+                    ExecutionMode::Deca => {
+                        let heap = &mut e.heap;
+                        let mm = &mut e.mm;
+                        let b = e.cache.deca_block(block);
+                        b.scan_bytes(mm, heap, |bytes| f(T::decode(bytes)), |_| {})
+                            .map_err(CacheError::Mem)
+                    }
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Fold over a cached dataset.
+    pub fn fold<T: Record + 'static, A>(
+        &mut self,
+        cached: &Cached<T>,
+        init: A,
+        mut f: impl FnMut(A, T) -> A,
+    ) -> Result<A, CacheError>
+    where
+        T::Classes: 'static,
+    {
+        let mut acc = Some(init);
+        self.for_each(cached, |rec| {
+            let a = acc.take().expect("acc");
+            acc = Some(f(a, rec));
+        })?;
+        Ok(acc.expect("acc"))
+    }
+
+    /// Eagerly-combined aggregation by key over an input stream (the
+    /// `reduceByKey` path), in the session mode's shuffle representation.
+    pub fn reduce_by_key(
+        &mut self,
+        pairs: impl IntoIterator<Item = (i64, i64)>,
+        combine: impl Fn(i64, i64) -> i64 + Copy,
+    ) -> Result<Vec<(i64, i64)>, CacheError> {
+        let mode = self.exec.config.mode;
+        self.exec.run_task("reduce-by-key", |e| match mode {
+            ExecutionMode::Deca => {
+                let mut buf = deca_core::DecaHashShuffle::new(&mut e.mm, 8, 8);
+                for (k, v) in pairs {
+                    buf.insert(
+                        &mut e.mm,
+                        &mut e.heap,
+                        &k.to_le_bytes(),
+                        &v.to_le_bytes(),
+                        |acc, add| {
+                            let a = i64::from_le_bytes(acc[..8].try_into().unwrap());
+                            let b = i64::from_le_bytes(add[..8].try_into().unwrap());
+                            acc[..8].copy_from_slice(&combine(a, b).to_le_bytes());
+                        },
+                    )?;
+                }
+                let mut out = Vec::with_capacity(buf.len());
+                buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+                    out.push((
+                        i64::from_le_bytes(k[..8].try_into().unwrap()),
+                        i64::from_le_bytes(v[..8].try_into().unwrap()),
+                    ));
+                })?;
+                buf.release(&mut e.mm, &mut e.heap);
+                Ok(out)
+            }
+            _ => {
+                let mut buf: crate::shuffle::SparkHashShuffle<i64, i64> =
+                    crate::shuffle::SparkHashShuffle::new(&mut e.heap)
+                        .map_err(CacheError::Oom)?;
+                for (k, v) in pairs {
+                    buf.insert(&mut e.heap, k, v, combine).map_err(CacheError::Oom)?;
+                }
+                let out = buf.drain(&e.heap);
+                buf.release(&mut e.heap);
+                Ok(out)
+            }
+        })
+    }
+
+    /// Release a cached dataset (`unpersist()`).
+    pub fn unpersist<T>(&mut self, mut cached: Cached<T>) {
+        for block in cached.blocks.drain(..) {
+            self.exec.cache.release(block, &mut self.exec.heap, &mut self.exec.mm);
+        }
+        cached.released = true;
+    }
+
+    /// The session's aggregated job metrics so far.
+    pub fn metrics(&self) -> &crate::metrics::JobMetrics {
+        &self.exec.job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(mode: ExecutionMode) -> DecaSession {
+        DecaSession::new(ExecutorConfig::new(mode, 16 << 20))
+    }
+
+    #[test]
+    fn cache_and_fold_agree_across_modes() {
+        let data: Vec<(f64, i64)> = (0..5_000).map(|i| (i as f64 * 0.5, i)).collect();
+        let expect: f64 = data.iter().map(|(x, _)| x).sum();
+        for mode in ExecutionMode::ALL {
+            let mut s = session(mode);
+            let cached = s.cache("pairs", &data, 4).unwrap();
+            assert_eq!(cached.len(), 5_000);
+            let sum = s.fold(&cached, 0.0, |a, (x, _)| a + x).unwrap();
+            assert_eq!(sum, expect, "{mode}");
+            s.unpersist(cached);
+        }
+    }
+
+    #[test]
+    fn rfst_records_via_session() {
+        let data: Vec<(i64, Vec<f64>)> =
+            (0..500).map(|i| (i, vec![i as f64; (i % 5) as usize])).collect();
+        for mode in ExecutionMode::ALL {
+            let mut s = session(mode);
+            let cached = s.cache("vectors", &data, 3).unwrap();
+            let total: usize = s.fold(&cached, 0, |a, (_, v)| a + v.len()).unwrap();
+            assert_eq!(total, data.iter().map(|(_, v)| v.len()).sum::<usize>(), "{mode}");
+            s.unpersist(cached);
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_across_modes() {
+        let pairs: Vec<(i64, i64)> = (0..10_000).map(|i| (i % 37, 1)).collect();
+        for mode in ExecutionMode::ALL {
+            let mut s = session(mode);
+            let mut out = s.reduce_by_key(pairs.iter().copied(), |a, b| a + b).unwrap();
+            out.sort_unstable();
+            assert_eq!(out.len(), 37);
+            assert!(out.iter().all(|&(_, v)| v == 10_000 / 37 + i64::from(37 * (10_000 / 37) < 10_000) || v == 10_000 / 37));
+            let total: i64 = out.iter().map(|&(_, v)| v).sum();
+            assert_eq!(total, 10_000, "{mode}");
+        }
+    }
+
+    #[test]
+    fn unpersist_frees_deca_pages() {
+        let mut s = session(ExecutionMode::Deca);
+        let data: Vec<(f64, i64)> = (0..2_000).map(|i| (i as f64, i)).collect();
+        let cached = s.cache("pairs", &data, 2).unwrap();
+        assert!(s.executor().heap.external_bytes() > 0);
+        s.unpersist(cached);
+        assert_eq!(s.executor().heap.external_bytes(), 0);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut s = session(ExecutionMode::Spark);
+        let data: Vec<(i64, i64)> = (0..3_000).map(|i| (i, i)).collect();
+        let cached = s.cache("pairs", &data, 2).unwrap();
+        let _ = s.fold(&cached, 0i64, |a, (k, _)| a + k).unwrap();
+        assert!(s.metrics().exec > std::time::Duration::ZERO);
+        assert!(s.executor().tasks.len() >= 4, "cache tasks + scan tasks");
+    }
+}

@@ -1,0 +1,811 @@
+//! The heap proper: allocation, field access, write barrier, external
+//! allocation accounting, and the census API used by the lifetime figures.
+
+use std::time::Instant;
+
+use crate::class::{ClassBuilder, ClassId, ClassRegistry, FieldKind};
+use crate::object::{Header, ObjRef};
+use crate::roots::{RootId, RootSet};
+use crate::space::{Space, SpaceId};
+use crate::stats::GcStats;
+use crate::GcAlgorithm;
+
+/// Allocation failed even after a full collection: the live set (plus
+/// registered external pages) exceeds the configured old-generation
+/// capacity. Mirrors the JVM's `OutOfMemoryError`; the engine reacts by
+/// evicting cache blocks or spilling, as Spark does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomError {
+    /// Nominal bytes that could not be accommodated.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulated heap out of memory (requested {} bytes)", self.requested)
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// How the full collector reclaims the old generation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum FullGcKind {
+    /// Evacuate every live object into a fresh old space (HotSpot's
+    /// mark-compact; no fragmentation, cost ∝ live bytes).
+    #[default]
+    CopyCompact,
+    /// Mark in place, sweep dead objects into a free list, and evacuate
+    /// young survivors into the holes (CMS-style; leaves fragmentation).
+    MarkSweep,
+}
+
+/// Sizing and policy configuration of a heap.
+#[derive(Clone, Debug)]
+pub struct HeapConfig {
+    /// Nominal byte capacity of the young generation (eden + survivors).
+    pub young_bytes: usize,
+    /// Nominal byte capacity of the old generation.
+    pub old_bytes: usize,
+    /// Fraction of the young generation given to *each* survivor space
+    /// (HotSpot default `SurvivorRatio=8` ⇒ 1/10 each).
+    pub survivor_fraction: f64,
+    /// Number of minor collections an object survives before promotion
+    /// (HotSpot `MaxTenuringThreshold` is 15; data-processing heaps promote
+    /// much earlier in practice).
+    pub promote_age: u8,
+    /// Which collector's pause accounting to apply.
+    pub algorithm: GcAlgorithm,
+    /// Full-collection strategy for the old generation.
+    pub full_gc: FullGcKind,
+}
+
+impl HeapConfig {
+    /// A heap with the given total capacity, split 1:2 young:old (the
+    /// HotSpot default `NewRatio=2`).
+    pub fn with_total(total_bytes: usize) -> HeapConfig {
+        HeapConfig {
+            young_bytes: total_bytes / 3,
+            old_bytes: total_bytes - total_bytes / 3,
+            survivor_fraction: 0.1,
+            promote_age: 3,
+            algorithm: GcAlgorithm::ParallelScavenge,
+            full_gc: FullGcKind::default(),
+        }
+    }
+
+    /// A small heap suitable for unit tests and doctests.
+    pub fn small() -> HeapConfig {
+        HeapConfig::with_total(3 << 20)
+    }
+
+    pub fn with_algorithm(mut self, algorithm: GcAlgorithm) -> HeapConfig {
+        self.algorithm = algorithm;
+        self
+    }
+
+    pub fn with_full_gc(mut self, kind: FullGcKind) -> HeapConfig {
+        self.full_gc = kind;
+        self
+    }
+
+    fn eden_bytes(&self) -> usize {
+        let surv = self.survivor_bytes();
+        self.young_bytes.saturating_sub(2 * surv)
+    }
+
+    fn survivor_bytes(&self) -> usize {
+        (self.young_bytes as f64 * self.survivor_fraction) as usize
+    }
+}
+
+/// The simulated managed heap. See the crate docs for the model and the
+/// rooting invariant.
+pub struct Heap {
+    pub(crate) registry: ClassRegistry,
+    /// Indexed by [`SpaceId`].
+    pub(crate) spaces: [Space; 4],
+    /// Which survivor space currently holds survivors ("from" space).
+    pub(crate) from_is_s0: bool,
+    pub(crate) roots: RootSet,
+    /// Old objects that may hold references into the young generation.
+    pub(crate) remset: Vec<ObjRef>,
+    /// Free blocks in the old generation (mark-sweep mode):
+    /// `(word offset of hole header, total words including header)`.
+    pub(crate) old_free: Vec<(usize, usize)>,
+    /// Offsets of objects promoted during the running minor collection
+    /// (the Cheney work queue for the old side — promotions may land in
+    /// free-list holes, not just at the bump frontier).
+    pub(crate) promo_queue: Vec<usize>,
+    /// Bytes of each registered external allocation (Deca pages). A slot of
+    /// 0 is free.
+    pub(crate) externals: Vec<usize>,
+    pub(crate) external_free: Vec<usize>,
+    pub(crate) external_bytes: usize,
+    pub(crate) stats: GcStats,
+    pub(crate) config: HeapConfig,
+    /// Current tenuring threshold (HotSpot-style ergonomics: lowered on
+    /// survivor overflow, raised back toward the configured maximum when
+    /// survivors fit comfortably).
+    pub(crate) cur_promote_age: u8,
+    pub(crate) epoch: Instant,
+}
+
+/// Class-id sentinel marking a free block (hole) in a swept old space.
+/// Header word 1 of a hole holds its total size in words (incl. header).
+pub(crate) const HOLE_CLASS: u32 = u32::MAX;
+
+impl Heap {
+    pub fn new(config: HeapConfig) -> Heap {
+        let eden = Space::new(config.eden_bytes());
+        let s0 = Space::new(config.survivor_bytes());
+        let s1 = Space::new(config.survivor_bytes());
+        let old = Space::new(config.old_bytes);
+        Heap {
+            registry: ClassRegistry::new(),
+            spaces: [eden, s0, s1, old],
+            from_is_s0: true,
+            roots: RootSet::new(),
+            remset: Vec::new(),
+            old_free: Vec::new(),
+            promo_queue: Vec::new(),
+            externals: Vec::new(),
+            external_free: Vec::new(),
+            external_bytes: 0,
+            stats: GcStats::default(),
+            cur_promote_age: config.promote_age,
+            config,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The tenuring threshold currently in effect (see `cur_promote_age`).
+    pub fn tenuring_threshold(&self) -> u8 {
+        self.cur_promote_age
+    }
+
+    // ------------------------------------------------------------------
+    // registry
+    // ------------------------------------------------------------------
+
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    pub fn registry_mut(&mut self) -> &mut ClassRegistry {
+        &mut self.registry
+    }
+
+    /// Convenience: define a record class directly on the heap.
+    pub fn define_class(&mut self, builder: ClassBuilder) -> ClassId {
+        self.registry.define(builder)
+    }
+
+    /// Convenience: define an array class directly on the heap.
+    pub fn define_array_class(&mut self, name: &str, elem: FieldKind) -> ClassId {
+        self.registry.define_array(name, elem)
+    }
+
+    // ------------------------------------------------------------------
+    // allocation
+    // ------------------------------------------------------------------
+
+    /// Allocate a record instance with all fields zero/null.
+    pub fn alloc(&mut self, class: ClassId) -> Result<ObjRef, OomError> {
+        let desc = self.registry.get(class);
+        assert!(!desc.is_array(), "use alloc_array for array class {}", desc.name());
+        let slots = desc.slot_count();
+        let nominal = desc.nominal_size(0);
+        self.alloc_raw(class, slots, nominal, 0)
+    }
+
+    /// Allocate an array instance with `len` zeroed elements.
+    pub fn alloc_array(&mut self, class: ClassId, len: usize) -> Result<ObjRef, OomError> {
+        let desc = self.registry.get(class);
+        let elem = desc
+            .array_elem()
+            .unwrap_or_else(|| panic!("{} is not an array class", desc.name()));
+        let slots = Self::array_slot_words(elem, len);
+        let nominal = desc.nominal_size(len);
+        self.alloc_raw(class, slots, nominal, len as u64)
+    }
+
+    pub(crate) fn array_slot_words(elem: FieldKind, len: usize) -> usize {
+        let bytes = len * elem.nominal_bytes();
+        bytes.div_ceil(8)
+    }
+
+    fn alloc_raw(
+        &mut self,
+        class: ClassId,
+        slots: usize,
+        nominal: usize,
+        word1: u64,
+    ) -> Result<ObjRef, OomError> {
+        self.stats.objects_allocated += 1;
+        self.stats.bytes_allocated += nominal as u64;
+        // Humongous objects are pretenured straight into the old generation,
+        // as HotSpot does for objects that would not fit in eden.
+        let eden_cap = self.spaces[SpaceId::Eden as usize].nominal_cap();
+        if nominal * 2 > eden_cap {
+            if !self.old_fits(nominal) {
+                self.full_gc();
+                if !self.old_fits(nominal) {
+                    return Err(OomError { requested: nominal });
+                }
+            }
+            let off = self.alloc_old_words(slots, nominal);
+            return Ok(self.init_object(SpaceId::Old, off, class, word1));
+        }
+
+        if !self.spaces[SpaceId::Eden as usize].fits(nominal) {
+            self.minor_gc();
+            if !self.old_within_budget() {
+                // Promotion overflowed the old generation: a full collection
+                // is forced (the expensive case the paper measures).
+                self.full_gc();
+                if !self.old_within_budget() {
+                    return Err(OomError { requested: nominal });
+                }
+            }
+        }
+        let off = self.spaces[SpaceId::Eden as usize].bump(slots, nominal);
+        Ok(self.init_object(SpaceId::Eden, off, class, word1))
+    }
+
+    fn init_object(&mut self, space: SpaceId, off: usize, class: ClassId, word1: u64) -> ObjRef {
+        let words = &mut self.spaces[space as usize].words;
+        words[off] = Header::new(class.index() as u32).0;
+        words[off + 1] = word1;
+        ObjRef::new(space, off)
+    }
+
+    /// Allocate `slots` payload words in the old generation: first-fit
+    /// from the free list (mark-sweep mode), else bump. Overcommit beyond
+    /// the nominal capacity is permitted (resolved by the caller's
+    /// collection/OOM logic).
+    pub(crate) fn alloc_old_words(&mut self, slots: usize, nominal: usize) -> usize {
+        let need = slots + 2;
+        let mut chosen: Option<usize> = None;
+        for (i, &(_, total)) in self.old_free.iter().enumerate() {
+            if total == need || total >= need + 2 {
+                chosen = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = chosen {
+            let (off, total) = self.old_free[i];
+            let old = &mut self.spaces[SpaceId::Old as usize];
+            // Zero the object's words (fresh-field semantics).
+            for w in &mut old.words[off..off + need] {
+                *w = 0;
+            }
+            let rem = total - need;
+            if rem >= 2 {
+                let hole = off + need;
+                old.words[hole] = Header::new(HOLE_CLASS).0;
+                old.words[hole + 1] = rem as u64;
+                self.old_free[i] = (hole, rem);
+            } else {
+                self.old_free.swap_remove(i);
+            }
+            old.add_nominal(nominal);
+            off
+        } else {
+            self.spaces[SpaceId::Old as usize].bump(slots, nominal)
+        }
+    }
+
+    pub(crate) fn old_fits(&self, nominal: usize) -> bool {
+        let old = &self.spaces[SpaceId::Old as usize];
+        old.nominal_used() + self.external_bytes + nominal <= old.nominal_cap()
+    }
+
+    pub(crate) fn old_within_budget(&self) -> bool {
+        self.old_fits(0)
+    }
+
+    /// Old-generation occupancy fraction including external pages.
+    pub fn old_occupancy(&self) -> f64 {
+        let old = &self.spaces[SpaceId::Old as usize];
+        if old.nominal_cap() == 0 {
+            return 1.0;
+        }
+        (old.nominal_used() + self.external_bytes) as f64 / old.nominal_cap() as f64
+    }
+
+    // ------------------------------------------------------------------
+    // object access
+    // ------------------------------------------------------------------
+
+    pub fn class_of(&self, r: ObjRef) -> ClassId {
+        let h = self.header(r);
+        ClassId(h.class_id())
+    }
+
+    pub(crate) fn header(&self, r: ObjRef) -> Header {
+        Header(self.spaces[r.space() as usize].words[r.offset()])
+    }
+
+    fn slot(&self, r: ObjRef, i: usize) -> u64 {
+        self.spaces[r.space() as usize].words[r.offset() + 2 + i]
+    }
+
+    fn slot_set(&mut self, r: ObjRef, i: usize, v: u64) {
+        self.spaces[r.space() as usize].words[r.offset() + 2 + i] = v;
+    }
+
+    /// Read a field as its raw 64-bit representation.
+    pub fn read_word(&self, r: ObjRef, field: usize) -> u64 {
+        debug_assert!(field < self.registry.get(self.class_of(r)).slot_count());
+        self.slot(r, field)
+    }
+
+    /// Write a non-reference field. Panics (debug) if the field is a ref —
+    /// references must go through [`Heap::write_ref`] for the barrier.
+    pub fn write_word(&mut self, r: ObjRef, field: usize, v: u64) {
+        debug_assert!(!self.registry.get(self.class_of(r)).slot_is_ref(field));
+        self.slot_set(r, field, v);
+    }
+
+    pub fn read_f64(&self, r: ObjRef, field: usize) -> f64 {
+        f64::from_bits(self.read_word(r, field))
+    }
+
+    pub fn write_f64(&mut self, r: ObjRef, field: usize, v: f64) {
+        self.write_word(r, field, v.to_bits());
+    }
+
+    pub fn read_i64(&self, r: ObjRef, field: usize) -> i64 {
+        self.read_word(r, field) as i64
+    }
+
+    pub fn write_i64(&mut self, r: ObjRef, field: usize, v: i64) {
+        self.write_word(r, field, v as u64);
+    }
+
+    pub fn read_ref(&self, r: ObjRef, field: usize) -> ObjRef {
+        debug_assert!(self.registry.get(self.class_of(r)).slot_is_ref(field));
+        ObjRef::from_raw(self.slot(r, field))
+    }
+
+    /// Write a reference field, applying the generational write barrier.
+    pub fn write_ref(&mut self, r: ObjRef, field: usize, v: ObjRef) {
+        debug_assert!(self.registry.get(self.class_of(r)).slot_is_ref(field));
+        self.slot_set(r, field, v.raw());
+        self.barrier(r, v);
+    }
+
+    fn barrier(&mut self, holder: ObjRef, value: ObjRef) {
+        if holder.space() == SpaceId::Old
+            && !value.is_null()
+            && value.space() != SpaceId::Old
+        {
+            let h = self.header(holder);
+            if !h.is_remembered() {
+                self.spaces[SpaceId::Old as usize].words[holder.offset()] =
+                    h.with_remembered(true).0;
+                self.remset.push(holder);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // arrays
+    // ------------------------------------------------------------------
+
+    pub fn array_len(&self, r: ObjRef) -> usize {
+        debug_assert!(self.registry.get(self.class_of(r)).is_array());
+        self.spaces[r.space() as usize].words[r.offset() + 1] as usize
+    }
+
+    fn array_elem_kind(&self, r: ObjRef) -> FieldKind {
+        self.registry
+            .get(self.class_of(r))
+            .array_elem()
+            .expect("not an array")
+    }
+
+    fn elem_loc(elem: FieldKind, i: usize) -> (usize, u32, u64) {
+        let eb = elem.nominal_bytes();
+        let byte = i * eb;
+        let word = byte / 8;
+        let shift = ((byte % 8) * 8) as u32;
+        let mask = if eb == 8 { u64::MAX } else { (1u64 << (eb * 8)) - 1 };
+        (word, shift, mask)
+    }
+
+    /// Read array element `i` as raw bits (zero-extended).
+    pub fn array_get(&self, r: ObjRef, i: usize) -> u64 {
+        let len = self.array_len(r);
+        assert!(i < len, "array index {i} out of bounds (len {len})");
+        let elem = self.array_elem_kind(r);
+        let (word, shift, mask) = Self::elem_loc(elem, i);
+        (self.spaces[r.space() as usize].words[r.offset() + 2 + word] >> shift) & mask
+    }
+
+    /// Write array element `i` from raw bits. For reference arrays use
+    /// [`Heap::array_set_ref`].
+    pub fn array_set(&mut self, r: ObjRef, i: usize, v: u64) {
+        let len = self.array_len(r);
+        assert!(i < len, "array index {i} out of bounds (len {len})");
+        let elem = self.array_elem_kind(r);
+        debug_assert!(!elem.is_ref(), "use array_set_ref for reference arrays");
+        let (word, shift, mask) = Self::elem_loc(elem, i);
+        let w = &mut self.spaces[r.space() as usize].words[r.offset() + 2 + word];
+        *w = (*w & !(mask << shift)) | ((v & mask) << shift);
+    }
+
+    pub fn array_get_f64(&self, r: ObjRef, i: usize) -> f64 {
+        f64::from_bits(self.array_get(r, i))
+    }
+
+    pub fn array_set_f64(&mut self, r: ObjRef, i: usize, v: f64) {
+        self.array_set(r, i, v.to_bits());
+    }
+
+    pub fn array_get_i64(&self, r: ObjRef, i: usize) -> i64 {
+        self.array_get(r, i) as i64
+    }
+
+    pub fn array_set_i64(&mut self, r: ObjRef, i: usize, v: i64) {
+        self.array_set(r, i, v as u64);
+    }
+
+    pub fn array_get_i32(&self, r: ObjRef, i: usize) -> i32 {
+        self.array_get(r, i) as u32 as i32
+    }
+
+    pub fn array_set_i32(&mut self, r: ObjRef, i: usize, v: i32) {
+        self.array_set(r, i, v as u32 as u64);
+    }
+
+    pub fn array_get_ref(&self, r: ObjRef, i: usize) -> ObjRef {
+        debug_assert!(self.array_elem_kind(r).is_ref());
+        ObjRef::from_raw(self.array_get(r, i))
+    }
+
+    pub fn array_set_ref(&mut self, r: ObjRef, i: usize, v: ObjRef) {
+        let len = self.array_len(r);
+        assert!(i < len, "array index {i} out of bounds (len {len})");
+        debug_assert!(self.array_elem_kind(r).is_ref());
+        let (word, _, _) = Self::elem_loc(FieldKind::Ref, i);
+        self.spaces[r.space() as usize].words[r.offset() + 2 + word] = v.raw();
+        self.barrier(r, v);
+    }
+
+    /// Bulk-copy bytes into a byte (`I8`) array starting at element `offset`.
+    pub fn byte_array_write(&mut self, r: ObjRef, offset: usize, data: &[u8]) {
+        let len = self.array_len(r);
+        assert!(offset + data.len() <= len, "byte array write out of bounds");
+        debug_assert_eq!(self.array_elem_kind(r), FieldKind::I8);
+        for (k, &b) in data.iter().enumerate() {
+            let i = offset + k;
+            let (word, shift, mask) = Self::elem_loc(FieldKind::I8, i);
+            let w = &mut self.spaces[r.space() as usize].words[r.offset() + 2 + word];
+            *w = (*w & !(mask << shift)) | ((b as u64) << shift);
+        }
+    }
+
+    /// Bulk-copy bytes out of a byte (`I8`) array starting at element `offset`.
+    pub fn byte_array_read(&self, r: ObjRef, offset: usize, out: &mut [u8]) {
+        let len = self.array_len(r);
+        assert!(offset + out.len() <= len, "byte array read out of bounds");
+        debug_assert_eq!(self.array_elem_kind(r), FieldKind::I8);
+        for (k, b) in out.iter_mut().enumerate() {
+            let i = offset + k;
+            let (word, shift, _) = Self::elem_loc(FieldKind::I8, i);
+            *b = (self.spaces[r.space() as usize].words[r.offset() + 2 + word] >> shift) as u8;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // roots
+    // ------------------------------------------------------------------
+
+    /// Register a long-lived root. The referenced object (and everything
+    /// reachable from it) survives collections until [`Heap::remove_root`].
+    pub fn add_root(&mut self, r: ObjRef) -> RootId {
+        self.roots.add(r)
+    }
+
+    /// Drop a root. Returns the current (possibly moved) reference.
+    pub fn remove_root(&mut self, id: RootId) -> ObjRef {
+        self.roots.remove(id)
+    }
+
+    /// Current value of a root (collections rewrite it when objects move).
+    pub fn root_ref(&self, id: RootId) -> ObjRef {
+        self.roots.get(id)
+    }
+
+    pub fn set_root(&mut self, id: RootId, r: ObjRef) {
+        self.roots.set(id, r)
+    }
+
+    /// Push a short-lived stack root (a UDF local variable). Returns its
+    /// stack index, valid until the stack is truncated past it.
+    pub fn push_stack(&mut self, r: ObjRef) -> usize {
+        self.roots.push_stack(r)
+    }
+
+    pub fn stack_ref(&self, i: usize) -> ObjRef {
+        self.roots.stack_get(i)
+    }
+
+    pub fn set_stack(&mut self, i: usize, r: ObjRef) {
+        self.roots.stack_set(i, r)
+    }
+
+    /// Current stack watermark, to be restored with
+    /// [`Heap::truncate_stack`] when a UDF invocation returns.
+    pub fn stack_watermark(&self) -> usize {
+        self.roots.stack_len()
+    }
+
+    pub fn truncate_stack(&mut self, watermark: usize) {
+        self.roots.truncate_stack(watermark)
+    }
+
+    // ------------------------------------------------------------------
+    // external allocations (Deca pages)
+    // ------------------------------------------------------------------
+
+    /// Register an external allocation (a Deca page): it consumes
+    /// old-generation budget but is traced as a single leaf object.
+    /// Returns an id for [`Heap::unregister_external`]. Fails if the old
+    /// generation cannot accommodate it even after a full collection.
+    pub fn register_external(&mut self, bytes: usize) -> Result<usize, OomError> {
+        if !self.old_fits(bytes) {
+            self.full_gc();
+            if !self.old_fits(bytes) {
+                return Err(OomError { requested: bytes });
+            }
+        }
+        self.external_bytes += bytes;
+        match self.external_free.pop() {
+            Some(i) => {
+                self.externals[i] = bytes;
+                Ok(i)
+            }
+            None => {
+                self.externals.push(bytes);
+                Ok(self.externals.len() - 1)
+            }
+        }
+    }
+
+    /// Release an external allocation, immediately returning its budget —
+    /// the whole point of lifetime-based management: no tracing needed.
+    pub fn unregister_external(&mut self, id: usize) {
+        let bytes = std::mem::take(&mut self.externals[id]);
+        self.external_bytes -= bytes;
+        self.external_free.push(id);
+    }
+
+    pub fn external_bytes(&self) -> usize {
+        self.external_bytes
+    }
+
+    pub fn external_count(&self) -> usize {
+        self.externals.iter().filter(|&&b| b != 0).count()
+    }
+
+    // ------------------------------------------------------------------
+    // introspection
+    // ------------------------------------------------------------------
+
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Nominal bytes currently allocated on-heap (young + old, excluding
+    /// externals).
+    pub fn used_bytes(&self) -> usize {
+        self.spaces.iter().map(|s| s.nominal_used()).sum()
+    }
+
+    pub fn old_used_bytes(&self) -> usize {
+        self.spaces[SpaceId::Old as usize].nominal_used()
+    }
+
+    /// Number of free blocks in the old generation's free list (non-zero
+    /// only under the mark-sweep full collector).
+    pub fn free_block_count(&self) -> usize {
+        self.old_free.len()
+    }
+
+    /// Number of live root slots plus stack roots.
+    pub fn root_count(&self) -> usize {
+        self.roots.live_count()
+    }
+
+    /// Time since the heap was created (the x-axis of lifetime figures).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Count objects of each class currently present on the heap
+    /// (allocated and not yet collected — what a heap profiler reports).
+    /// Returns a vector indexed by class id.
+    pub fn census(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.registry.len()];
+        for space in &self.spaces {
+            self.walk_space(space, |class, _| counts[class.index()] += 1);
+        }
+        counts
+    }
+
+    /// Count of objects of one class currently present on the heap.
+    pub fn live_count(&self, class: ClassId) -> usize {
+        let mut n = 0;
+        for space in &self.spaces {
+            self.walk_space(space, |c, _| {
+                if c == class {
+                    n += 1;
+                }
+            });
+        }
+        n
+    }
+
+    /// Total number of objects currently present on the heap.
+    pub fn object_count(&self) -> usize {
+        let mut n = 0;
+        for space in &self.spaces {
+            self.walk_space(space, |_, _| n += 1);
+        }
+        n
+    }
+
+    fn walk_space(&self, space: &Space, mut f: impl FnMut(ClassId, usize)) {
+        let mut off = 0;
+        while off < space.top() {
+            let h = Header(space.words[off]);
+            debug_assert!(!h.is_forwarded(), "walk during collection");
+            if h.class_id() == HOLE_CLASS {
+                off += space.words[off + 1] as usize;
+                continue;
+            }
+            let class = ClassId(h.class_id());
+            let desc = self.registry.get(class);
+            let slots = match desc.array_elem() {
+                Some(elem) => Self::array_slot_words(elem, space.words[off + 1] as usize),
+                None => desc.slot_count(),
+            };
+            f(class, off);
+            off += 2 + slots;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig::small())
+    }
+
+    #[test]
+    fn alloc_and_field_roundtrip() {
+        let mut h = heap();
+        let c = h.define_class(
+            ClassBuilder::new("P")
+                .field("x", FieldKind::F64)
+                .field("n", FieldKind::I64)
+                .field("next", FieldKind::Ref),
+        );
+        let a = h.alloc(c).unwrap();
+        let b = h.alloc(c).unwrap();
+        h.write_f64(a, 0, 3.25);
+        h.write_i64(a, 1, -7);
+        h.write_ref(a, 2, b);
+        assert_eq!(h.read_f64(a, 0), 3.25);
+        assert_eq!(h.read_i64(a, 1), -7);
+        assert_eq!(h.read_ref(a, 2), b);
+        assert!(h.read_ref(b, 2).is_null(), "fields start null");
+        assert_eq!(h.class_of(a), c);
+    }
+
+    #[test]
+    fn packed_array_elements() {
+        let mut h = heap();
+        let ba = h.define_array_class("byte[]", FieldKind::I8);
+        let ia = h.define_array_class("int[]", FieldKind::I32);
+        let da = h.define_array_class("double[]", FieldKind::F64);
+
+        let b = h.alloc_array(ba, 11).unwrap();
+        for i in 0..11 {
+            h.array_set(b, i, (i as u64 * 17) & 0xff);
+        }
+        for i in 0..11 {
+            assert_eq!(h.array_get(b, i), (i as u64 * 17) & 0xff);
+        }
+
+        let x = h.alloc_array(ia, 5).unwrap();
+        h.array_set_i32(x, 0, -1);
+        h.array_set_i32(x, 1, 123_456);
+        h.array_set_i32(x, 4, i32::MIN);
+        assert_eq!(h.array_get_i32(x, 0), -1);
+        assert_eq!(h.array_get_i32(x, 1), 123_456);
+        assert_eq!(h.array_get_i32(x, 4), i32::MIN);
+        assert_eq!(h.array_get_i32(x, 2), 0);
+
+        let d = h.alloc_array(da, 3).unwrap();
+        h.array_set_f64(d, 2, -0.5);
+        assert_eq!(h.array_get_f64(d, 2), -0.5);
+        assert_eq!(h.array_len(d), 3);
+    }
+
+    #[test]
+    fn byte_array_bulk_io() {
+        let mut h = heap();
+        let ba = h.define_array_class("byte[]", FieldKind::I8);
+        let b = h.alloc_array(ba, 64).unwrap();
+        let data: Vec<u8> = (0..40).map(|i| (i * 3 + 1) as u8).collect();
+        h.byte_array_write(b, 5, &data);
+        let mut out = vec![0u8; 40];
+        h.byte_array_read(b, 5, &mut out);
+        assert_eq!(out, data);
+        let mut head = vec![0u8; 5];
+        h.byte_array_read(b, 0, &mut head);
+        assert_eq!(head, vec![0; 5]);
+    }
+
+    #[test]
+    fn census_counts_allocated_objects() {
+        let mut h = heap();
+        let c = h.define_class(ClassBuilder::new("A").field("x", FieldKind::I64));
+        let d = h.define_class(ClassBuilder::new("B").field("x", FieldKind::I64));
+        for _ in 0..10 {
+            h.alloc(c).unwrap();
+        }
+        for _ in 0..4 {
+            h.alloc(d).unwrap();
+        }
+        assert_eq!(h.live_count(c), 10);
+        assert_eq!(h.live_count(d), 4);
+        assert_eq!(h.object_count(), 14);
+        let census = h.census();
+        assert_eq!(census[c.index()], 10);
+        assert_eq!(census[d.index()], 4);
+    }
+
+    #[test]
+    fn external_accounting() {
+        let mut h = heap();
+        let before = h.old_occupancy();
+        let id = h.register_external(1 << 20).unwrap();
+        assert!(h.old_occupancy() > before);
+        assert_eq!(h.external_bytes(), 1 << 20);
+        assert_eq!(h.external_count(), 1);
+        h.unregister_external(id);
+        assert_eq!(h.external_bytes(), 0);
+        assert_eq!(h.external_count(), 0);
+    }
+
+    #[test]
+    fn external_oom_when_over_budget() {
+        let mut h = Heap::new(HeapConfig::with_total(3 << 20));
+        let old_cap = h.spaces[SpaceId::Old as usize].nominal_cap();
+        let id = h.register_external(old_cap - 1024).unwrap();
+        assert!(h.register_external(1 << 20).is_err());
+        h.unregister_external(id);
+        assert!(h.register_external(1 << 20).is_ok());
+    }
+
+    #[test]
+    fn humongous_objects_are_pretenured() {
+        let mut h = heap();
+        let da = h.define_array_class("double[]", FieldKind::F64);
+        // Eden is ~0.8 of 1MB young; allocate an array bigger than half of it.
+        let big = h.alloc_array(da, 80_000).unwrap();
+        assert_eq!(big.space(), SpaceId::Old);
+        assert!(h.old_used_bytes() >= 80_000 * 8);
+    }
+}

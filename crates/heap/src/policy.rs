@@ -1,0 +1,123 @@
+//! Collector pause-accounting policies.
+//!
+//! The *tracing work* performed by a collection is identical under every
+//! policy — what differs between HotSpot's Parallel Scavenge, CMS, and G1 is
+//! how much of that work stops the application and how much runs
+//! concurrently at the cost of mutator throughput. The paper's Table 4
+//! compares the three on LR and PR; we reproduce the comparison with the
+//! cost model below, which is a *documented simulation* (see DESIGN.md §1):
+//!
+//! * **Parallel Scavenge** — everything is a stop-the-world pause; no
+//!   mutator tax; full collections start only when the old generation is
+//!   exhausted.
+//! * **CMS** — old-generation tracing runs concurrently: only a fraction of
+//!   full-collection trace time is a pause, but concurrent threads tax the
+//!   mutator, and collection is *initiated* earlier (initiating occupancy),
+//!   so saturated heaps collect more often.
+//! * **G1** — region-incremental: still smaller pauses than CMS, higher
+//!   mutator tax (barriers + refinement), earlier initiation.
+
+use std::time::Duration;
+
+/// Which HotSpot collector to model.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum GcAlgorithm {
+    /// The default throughput collector (stop-the-world).
+    #[default]
+    ParallelScavenge,
+    /// Concurrent Mark-Sweep.
+    Cms,
+    /// Garbage-First.
+    G1,
+}
+
+impl GcAlgorithm {
+    pub fn name(self) -> &'static str {
+        match self {
+            GcAlgorithm::ParallelScavenge => "PS",
+            GcAlgorithm::Cms => "CMS",
+            GcAlgorithm::G1 => "G1",
+        }
+    }
+
+    pub fn pause_model(self) -> PauseModel {
+        match self {
+            GcAlgorithm::ParallelScavenge => PauseModel {
+                full_pause_fraction: 1.0,
+                mutator_tax: 0.0,
+                initiating_occupancy: 1.0,
+            },
+            GcAlgorithm::Cms => PauseModel {
+                full_pause_fraction: 0.15,
+                mutator_tax: 0.10,
+                initiating_occupancy: 0.80,
+            },
+            GcAlgorithm::G1 => PauseModel {
+                full_pause_fraction: 0.10,
+                mutator_tax: 0.18,
+                initiating_occupancy: 0.70,
+            },
+        }
+    }
+}
+
+/// Cost-model parameters of a collector (see module docs).
+#[derive(Copy, Clone, Debug)]
+pub struct PauseModel {
+    /// Fraction of full-collection trace time that stops the application.
+    pub full_pause_fraction: f64,
+    /// Fraction of *concurrent* collection time additionally charged to the
+    /// mutator as throughput loss.
+    pub mutator_tax: f64,
+    /// Old-generation occupancy at which a (concurrent) full collection is
+    /// initiated. 1.0 means "only on exhaustion" (Parallel Scavenge).
+    pub initiating_occupancy: f64,
+}
+
+impl PauseModel {
+    /// Split a measured full-collection trace duration into
+    /// `(pause, mutator_overhead)` according to this model. Minor
+    /// collections are always full pauses under all three collectors.
+    pub fn account_full(&self, traced: Duration) -> (Duration, Duration) {
+        let pause = traced.mul_f64(self.full_pause_fraction);
+        let concurrent = traced.saturating_sub(pause);
+        let overhead = concurrent.mul_f64(self.mutator_tax / (1.0 - self.mutator_tax).max(0.01))
+            + concurrent.mul_f64(0.0);
+        (pause, overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_is_all_pause() {
+        let m = GcAlgorithm::ParallelScavenge.pause_model();
+        let (pause, over) = m.account_full(Duration::from_secs(10));
+        assert_eq!(pause, Duration::from_secs(10));
+        assert_eq!(over, Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_collectors_trade_pause_for_overhead() {
+        let cms = GcAlgorithm::Cms.pause_model();
+        let (pause, over) = cms.account_full(Duration::from_secs(10));
+        assert!(pause < Duration::from_secs(2));
+        assert!(over > Duration::ZERO);
+
+        let g1 = GcAlgorithm::G1.pause_model();
+        let (g1_pause, g1_over) = g1.account_full(Duration::from_secs(10));
+        assert!(g1_pause < pause, "G1 pauses less than CMS");
+        assert!(g1_over > over, "G1 taxes the mutator more than CMS");
+    }
+
+    #[test]
+    fn initiating_occupancy_ordering() {
+        let ps = GcAlgorithm::ParallelScavenge.pause_model();
+        let cms = GcAlgorithm::Cms.pause_model();
+        let g1 = GcAlgorithm::G1.pause_model();
+        assert!(g1.initiating_occupancy < cms.initiating_occupancy);
+        assert!(cms.initiating_occupancy < ps.initiating_occupancy);
+    }
+}

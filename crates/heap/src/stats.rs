@@ -1,0 +1,108 @@
+//! Collection statistics and the GC event log.
+//!
+//! The event log drives the paper's lifetime figures (Figures 8a and 9a):
+//! each collection appends a timestamped [`GcEvent`] with its duration and
+//! the amount of tracing work performed.
+
+use std::time::Duration;
+
+/// Kind of a collection event.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum GcEventKind {
+    Minor,
+    Full,
+}
+
+/// One collection, as recorded in the event log.
+#[derive(Copy, Clone, Debug)]
+pub struct GcEvent {
+    pub kind: GcEventKind,
+    /// Time since heap creation at which the collection started.
+    pub at: Duration,
+    /// Stop-the-world tracing duration (measured wall time of the trace).
+    pub duration: Duration,
+    /// Objects traced (copied or marked) during this collection.
+    pub objects_traced: u64,
+    /// Nominal bytes live after the collection (young + old).
+    pub live_bytes_after: usize,
+}
+
+/// Aggregate collector statistics.
+#[derive(Default, Clone, Debug)]
+pub struct GcStats {
+    pub minor_collections: u64,
+    pub full_collections: u64,
+    pub minor_time: Duration,
+    pub full_time: Duration,
+    /// Total objects traced across all collections.
+    pub objects_traced: u64,
+    /// Nominal bytes copied by minor collections (survivor copies).
+    pub bytes_copied: u64,
+    /// Nominal bytes promoted into the old generation.
+    pub bytes_promoted: u64,
+    /// Objects allocated over the heap's lifetime.
+    pub objects_allocated: u64,
+    /// Nominal bytes allocated over the heap's lifetime.
+    pub bytes_allocated: u64,
+    /// Every collection, in order.
+    pub events: Vec<GcEvent>,
+}
+
+impl GcStats {
+    /// Total stop-the-world collection time.
+    pub fn total_gc_time(&self) -> Duration {
+        self.minor_time + self.full_time
+    }
+
+    /// Total number of collections.
+    pub fn total_collections(&self) -> u64 {
+        self.minor_collections + self.full_collections
+    }
+
+    /// Record one collection event (public for downstream tests and
+    /// synthetic accounting; the heap calls this internally).
+    pub fn record(&mut self, ev: GcEvent) {
+        match ev.kind {
+            GcEventKind::Minor => {
+                self.minor_collections += 1;
+                self.minor_time += ev.duration;
+            }
+            GcEventKind::Full => {
+                self.full_collections += 1;
+                self.full_time += ev.duration;
+            }
+        }
+        self.objects_traced += ev.objects_traced;
+        self.events.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_aggregates() {
+        let mut s = GcStats::default();
+        s.record(GcEvent {
+            kind: GcEventKind::Minor,
+            at: Duration::from_millis(1),
+            duration: Duration::from_millis(2),
+            objects_traced: 10,
+            live_bytes_after: 100,
+        });
+        s.record(GcEvent {
+            kind: GcEventKind::Full,
+            at: Duration::from_millis(5),
+            duration: Duration::from_millis(7),
+            objects_traced: 90,
+            live_bytes_after: 50,
+        });
+        assert_eq!(s.minor_collections, 1);
+        assert_eq!(s.full_collections, 1);
+        assert_eq!(s.total_collections(), 2);
+        assert_eq!(s.objects_traced, 100);
+        assert_eq!(s.total_gc_time(), Duration::from_millis(9));
+        assert_eq!(s.events.len(), 2);
+    }
+}

@@ -1,0 +1,367 @@
+//! Shared fixtures: the paper's Logistic Regression running example
+//! (Figures 1–3), expressed in the type/IR model.
+//!
+//! These are used by this crate's tests, by `deca-core`'s optimizer tests,
+//! and by the benchmark harnesses, so they live in the library rather than
+//! in `#[cfg(test)]` code.
+
+use crate::ir::{Expr, Method, MethodId, Program, Stmt, StoreValue, VarId};
+use crate::types::{ArrayId, FieldDecl, PrimKind, TypeRef, TypeRegistry, UdtDescriptor, UdtId};
+
+/// The LR type universe: `LabeledPoint { label: Double, features: Vector }`
+/// with `DenseVector { data: double[] (final), offset/stride/length: Int }`.
+pub struct LrTypes {
+    pub registry: TypeRegistry,
+    pub double_array: ArrayId,
+    pub dense_vector: UdtId,
+    pub labeled_point: UdtId,
+}
+
+/// Build the LR types exactly as in Figure 1: `features` is a `var`
+/// (non-final) whose type-set contains only `DenseVector`.
+pub fn lr_types() -> LrTypes {
+    lr_types_inner(false)
+}
+
+/// Variant with `features` declared `val` (final) — used to show the local
+/// classifier's limit: it still reports RFST, not SFST (§3.3).
+pub fn lr_types_with_final_features() -> LrTypes {
+    lr_types_inner(true)
+}
+
+fn lr_types_inner(final_features: bool) -> LrTypes {
+    let mut registry = TypeRegistry::new();
+    let double_array = registry.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+    let dense_vector = registry.define_udt(UdtDescriptor {
+        name: "DenseVector".into(),
+        fields: vec![
+            FieldDecl::new("data", TypeRef::Array(double_array)).final_(),
+            FieldDecl::new("offset", TypeRef::Prim(PrimKind::I32)).final_(),
+            FieldDecl::new("stride", TypeRef::Prim(PrimKind::I32)).final_(),
+            FieldDecl::new("length", TypeRef::Prim(PrimKind::I32)).final_(),
+        ],
+    });
+    let mut features = FieldDecl::new("features", TypeRef::Udt(dense_vector));
+    if final_features {
+        features = features.final_();
+    }
+    let labeled_point = registry.define_udt(UdtDescriptor {
+        name: "LabeledPoint".into(),
+        fields: vec![FieldDecl::new("label", TypeRef::Prim(PrimKind::F64)), features],
+    });
+    LrTypes { registry, double_array, dense_vector, labeled_point }
+}
+
+/// The LR stage program plus its types.
+pub struct LrProgram {
+    pub types: LrTypes,
+    pub program: Program,
+    /// Entry of the caching stage (the `map` that builds `LabeledPoint`s).
+    pub stage_entry: MethodId,
+    /// The `LabeledPoint` constructor.
+    pub lp_ctor: MethodId,
+    /// The `DenseVector` constructor.
+    pub dv_ctor: MethodId,
+}
+
+/// The caching stage of Figure 1:
+///
+/// ```text
+/// D = <global config constant, read once>          // external read
+/// map(line):
+///   features = new Array[Double](D)                // line 14
+///   new LabeledPoint(new DenseVector(features), label)
+/// ```
+///
+/// `features` is assigned only in the `LabeledPoint` constructor and all
+/// `double[]` allocations reaching `DenseVector.data` use the single global
+/// `D`, so the global analysis refines `LabeledPoint` to SFST.
+pub fn lr_program() -> LrProgram {
+    build_lr_program(DimMode::GlobalConstant)
+}
+
+/// Variant where the vector dimension is read per record: allocation sites
+/// no longer agree, so `LabeledPoint` is only RFST.
+pub fn lr_program_variable_dims() -> LrProgram {
+    build_lr_program(DimMode::PerRecord)
+}
+
+/// Variant where user code re-assigns `features` outside the constructor:
+/// the field is not init-only, so `LabeledPoint` stays VST.
+pub fn lr_program_with_reassignment() -> LrProgram {
+    build_lr_program(DimMode::Reassigned)
+}
+
+enum DimMode {
+    GlobalConstant,
+    PerRecord,
+    Reassigned,
+}
+
+fn build_lr_program(mode: DimMode) -> LrProgram {
+    let types = lr_types();
+    let mut program = Program::new();
+
+    // DenseVector ctor: this.data = <param array>. The array parameter is
+    // bound to a local first (order matters for provenance tracking).
+    let dv_ctor = program.add(
+        Method::ctor("DenseVector::<init>", types.dense_vector)
+            .params(1)
+            .stmt(Stmt::Assign(VarId(100), Expr::Param(0)))
+            .stmt(Stmt::StoreField {
+                object_ty: types.dense_vector,
+                field: 0,
+                value: StoreValue::Var(VarId(100)),
+            }),
+    );
+
+    // LabeledPoint ctor: this.label = ..; this.features = <param vector>.
+    let lp_ctor = program.add(
+        Method::ctor("LabeledPoint::<init>", types.labeled_point)
+            .params(1)
+            .stmt(Stmt::StoreField {
+                object_ty: types.labeled_point,
+                field: 1,
+                value: StoreValue::Opaque, // a DenseVector, not an array
+            }),
+    );
+
+    // The map UDF: features = new Array[Double](D); new DenseVector(features)
+    // inside new LabeledPoint(...).
+    let d_var = VarId(0);
+    let features_var = VarId(1);
+    let mut map_fn = Method::new("LR::mapStage").params(0);
+    match mode {
+        DimMode::GlobalConstant => {
+            // One global read of D, used by every allocation.
+            map_fn = map_fn
+                .stmt(Stmt::Assign(d_var, Expr::ExternalRead))
+                .stmt(Stmt::NewArray {
+                    dst: features_var,
+                    ty: types.double_array,
+                    len: Expr::Var(d_var),
+                })
+                .stmt(Stmt::Call { callee: dv_ctor, args: vec![Expr::Var(features_var)] })
+                .stmt(Stmt::Call { callee: lp_ctor, args: vec![] })
+                // A second record's iteration allocates with the same D.
+                .stmt(Stmt::NewArray {
+                    dst: features_var,
+                    ty: types.double_array,
+                    len: Expr::Var(d_var),
+                })
+                .stmt(Stmt::Call { callee: dv_ctor, args: vec![Expr::Var(features_var)] })
+                .stmt(Stmt::Call { callee: lp_ctor, args: vec![] });
+        }
+        DimMode::PerRecord => {
+            let d2 = VarId(2);
+            map_fn = map_fn
+                .stmt(Stmt::Assign(d_var, Expr::ExternalRead))
+                .stmt(Stmt::NewArray {
+                    dst: features_var,
+                    ty: types.double_array,
+                    len: Expr::Var(d_var),
+                })
+                .stmt(Stmt::Call { callee: dv_ctor, args: vec![Expr::Var(features_var)] })
+                .stmt(Stmt::Call { callee: lp_ctor, args: vec![] })
+                // Each record reads its own dimension.
+                .stmt(Stmt::Assign(d2, Expr::ExternalRead))
+                .stmt(Stmt::NewArray {
+                    dst: features_var,
+                    ty: types.double_array,
+                    len: Expr::Var(d2),
+                })
+                .stmt(Stmt::Call { callee: dv_ctor, args: vec![Expr::Var(features_var)] })
+                .stmt(Stmt::Call { callee: lp_ctor, args: vec![] });
+        }
+        DimMode::Reassigned => {
+            // Vectors have per-record dimensions (so DenseVector is RFST,
+            // not SFST) *and* user code re-assigns `features` outside the
+            // constructor — the combination Lemma 2 rejects.
+            let d2 = VarId(2);
+            map_fn = map_fn
+                .stmt(Stmt::Assign(d_var, Expr::ExternalRead))
+                .stmt(Stmt::NewArray {
+                    dst: features_var,
+                    ty: types.double_array,
+                    len: Expr::Var(d_var),
+                })
+                .stmt(Stmt::Call { callee: dv_ctor, args: vec![Expr::Var(features_var)] })
+                .stmt(Stmt::Call { callee: lp_ctor, args: vec![] })
+                .stmt(Stmt::Assign(d2, Expr::ExternalRead))
+                .stmt(Stmt::NewArray {
+                    dst: features_var,
+                    ty: types.double_array,
+                    len: Expr::Var(d2),
+                })
+                .stmt(Stmt::Call { callee: dv_ctor, args: vec![Expr::Var(features_var)] })
+                // point.features = otherVector  — outside any constructor.
+                .stmt(Stmt::StoreField {
+                    object_ty: types.labeled_point,
+                    field: 1,
+                    value: StoreValue::Opaque,
+                });
+        }
+    }
+    let stage_entry = program.add(map_fn);
+
+    LrProgram { types, program, stage_entry, lp_ctor, dv_ctor }
+}
+
+/// The "sophisticated implementation of logistic regression with
+/// high-dimensional data sets" of §3.2: `features` has **both**
+/// `DenseVector` and `SparseVector` in its type-set. SparseVector's
+/// `indices`/`values` arrays are sized by the per-record non-zero count,
+/// so no global analysis can prove a fixed length — LabeledPoint cannot
+/// be decomposed as an SFST, and (with a non-final `features`) not even
+/// as an RFST. This is the case behind the paper's closing recommendation
+/// (§8): "a user is recommended to not creating a massive number of
+/// long-living objects of a VST".
+pub struct SparseLrProgram {
+    pub registry: TypeRegistry,
+    pub labeled_point: UdtId,
+    pub dense_vector: UdtId,
+    pub sparse_vector: UdtId,
+    pub program: Program,
+    pub stage_entry: MethodId,
+}
+
+pub fn sparse_lr_program() -> SparseLrProgram {
+    let mut registry = TypeRegistry::new();
+    let double_array = registry.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+    let int_array = registry.define_array("int[]", TypeRef::Prim(PrimKind::I32));
+    let dense_vector = registry.define_udt(UdtDescriptor {
+        name: "DenseVector".into(),
+        fields: vec![FieldDecl::new("data", TypeRef::Array(double_array)).final_()],
+    });
+    let sparse_vector = registry.define_udt(UdtDescriptor {
+        name: "SparseVector".into(),
+        fields: vec![
+            FieldDecl::new("indices", TypeRef::Array(int_array)).final_(),
+            FieldDecl::new("values", TypeRef::Array(double_array)).final_(),
+        ],
+    });
+    let labeled_point = registry.define_udt(UdtDescriptor {
+        name: "LabeledPoint".into(),
+        fields: vec![
+            FieldDecl::new("label", TypeRef::Prim(PrimKind::F64)),
+            FieldDecl::new("features", TypeRef::Udt(dense_vector)).with_type_set(vec![
+                TypeRef::Udt(dense_vector),
+                TypeRef::Udt(sparse_vector),
+            ]),
+        ],
+    });
+
+    let mut program = Program::new();
+    let lp_ctor = program.add(
+        Method::ctor("LabeledPoint::<init>", labeled_point)
+            .params(1)
+            .stmt(Stmt::StoreField {
+                object_ty: labeled_point,
+                field: 1,
+                value: StoreValue::Opaque,
+            }),
+    );
+    // The map parses each line: dense rows use the global D, sparse rows
+    // allocate nnz-sized arrays (per-record external read).
+    let d_var = VarId(0);
+    let nnz = VarId(1);
+    let dense_data = VarId(2);
+    let sparse_idx = VarId(3);
+    let sparse_val = VarId(4);
+    let nnz2 = VarId(5);
+    let dv_ctor = program.add(
+        Method::ctor("DenseVector::<init>", dense_vector)
+            .params(1)
+            .stmt(Stmt::Assign(VarId(100), Expr::Param(0)))
+            .stmt(Stmt::StoreField {
+                object_ty: dense_vector,
+                field: 0,
+                value: StoreValue::Var(VarId(100)),
+            }),
+    );
+    let sv_ctor = program.add(
+        Method::ctor("SparseVector::<init>", sparse_vector)
+            .params(2)
+            .stmt(Stmt::Assign(VarId(100), Expr::Param(0)))
+            .stmt(Stmt::Assign(VarId(101), Expr::Param(1)))
+            .stmt(Stmt::StoreField {
+                object_ty: sparse_vector,
+                field: 0,
+                value: StoreValue::Var(VarId(100)),
+            })
+            .stmt(Stmt::StoreField {
+                object_ty: sparse_vector,
+                field: 1,
+                value: StoreValue::Var(VarId(101)),
+            }),
+    );
+    let stage_entry = program.add(
+        Method::new("SparseLR::mapStage")
+            .stmt(Stmt::Assign(d_var, Expr::ExternalRead))
+            .stmt(Stmt::NewArray { dst: dense_data, ty: double_array, len: Expr::Var(d_var) })
+            .stmt(Stmt::Call { callee: dv_ctor, args: vec![Expr::Var(dense_data)] })
+            .stmt(Stmt::Call { callee: lp_ctor, args: vec![] })
+            // Sparse rows: nnz read per record. Two loop iterations are
+            // modelled explicitly (the IR is loop-free): each reads its
+            // own nnz, so the allocation sites' lengths differ.
+            .stmt(Stmt::Assign(nnz, Expr::ExternalRead))
+            .stmt(Stmt::NewArray { dst: sparse_idx, ty: int_array, len: Expr::Var(nnz) })
+            .stmt(Stmt::NewArray { dst: sparse_val, ty: double_array, len: Expr::Var(nnz) })
+            .stmt(Stmt::Call {
+                callee: sv_ctor,
+                args: vec![Expr::Var(sparse_idx), Expr::Var(sparse_val)],
+            })
+            .stmt(Stmt::Call { callee: lp_ctor, args: vec![] })
+            .stmt(Stmt::Assign(nnz2, Expr::ExternalRead))
+            .stmt(Stmt::NewArray { dst: sparse_idx, ty: int_array, len: Expr::Var(nnz2) })
+            .stmt(Stmt::NewArray { dst: sparse_val, ty: double_array, len: Expr::Var(nnz2) })
+            .stmt(Stmt::Call {
+                callee: sv_ctor,
+                args: vec![Expr::Var(sparse_idx), Expr::Var(sparse_val)],
+            })
+            .stmt(Stmt::Call { callee: lp_ctor, args: vec![] }),
+    );
+
+    SparseLrProgram { registry, labeled_point, dense_vector, sparse_vector, program, stage_entry }
+}
+
+/// A two-phase program for the phased-refinement tests (§3.4): phase 1
+/// builds value arrays by appending (a VST while under construction);
+/// phase 2 only reads the materialised arrays.
+pub struct GroupByProgram {
+    pub registry: TypeRegistry,
+    pub value_array: ArrayId,
+    pub group: UdtId,
+    pub program: Program,
+    pub build_entry: MethodId,
+    pub read_entry: MethodId,
+}
+
+pub fn group_by_program() -> GroupByProgram {
+    let mut registry = TypeRegistry::new();
+    let value_array = registry.define_array("long[]", TypeRef::Prim(PrimKind::I64));
+    let group = registry.define_udt(UdtDescriptor {
+        name: "Group".into(),
+        fields: vec![
+            FieldDecl::new("key", TypeRef::Prim(PrimKind::I64)),
+            // Non-final: the building phase grows the array by replacing it.
+            FieldDecl::new("values", TypeRef::Array(value_array)),
+        ],
+    });
+
+    let mut program = Program::new();
+    // Phase 1: combining appends => values re-assigned with grown arrays of
+    // differing lengths, outside any constructor.
+    let grown = VarId(0);
+    let build_entry = program.add(
+        Method::new("groupByKey::combine")
+            .stmt(Stmt::NewArray { dst: grown, ty: value_array, len: Expr::ExternalRead })
+            .stmt(Stmt::StoreField { object_ty: group, field: 1, value: StoreValue::Var(grown) })
+            .stmt(Stmt::NewArray { dst: grown, ty: value_array, len: Expr::ExternalRead })
+            .stmt(Stmt::StoreField { object_ty: group, field: 1, value: StoreValue::Var(grown) }),
+    );
+    // Phase 2: pure reads — no stores, no allocations.
+    let read_entry = program.add(Method::new("iterate::read"));
+
+    GroupByProgram { registry, value_array, group, program, build_entry, read_entry }
+}

@@ -1,0 +1,353 @@
+//! Iterator fusion — the paper's pre-processing pass (§5): "Deca uses
+//! iterator fusion to bundle the iterative and isolated invocations of
+//! UDFs into larger, hopefully optimizable code regions to avoid complex
+//! and costly inter-procedural analysis."
+//!
+//! In our IR this is method inlining: calls to small non-constructor
+//! methods are replaced by the callee's body with parameters substituted,
+//! applied transitively up to a size budget. Constructors are *not*
+//! inlined — init-only detection needs them intact as the units of the
+//! "constructor calling sequence" rule (§3.3).
+//!
+//! The payoff mirrors the paper's: after fusion, the intraprocedural
+//! constant/copy propagation alone sees through what previously required
+//! the interprocedural fixpoint.
+
+use std::collections::HashMap;
+
+use crate::ir::{Expr, Method, MethodId, Program, Stmt, VarId};
+
+/// Inlining limits.
+#[derive(Copy, Clone, Debug)]
+pub struct FusionConfig {
+    /// Callees with at most this many statements are inlined.
+    pub max_callee_stmts: usize,
+    /// Stop growing a fused method beyond this many statements.
+    pub max_fused_stmts: usize,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig { max_callee_stmts: 16, max_fused_stmts: 4096 }
+    }
+}
+
+/// Fuse `program` from `entry`: returns a new program (same method ids)
+/// whose reachable non-constructor call sites to small callees are
+/// inlined. Constructor calls and oversized callees are kept as calls.
+pub fn fuse(program: &Program, entry: MethodId, config: FusionConfig) -> Program {
+    let mut out = Program::new();
+    for id in 0..program.len() {
+        let m = program.method(MethodId(id as u32));
+        out.add(m.clone());
+    }
+    // Iterate to a fixpoint (bounded): each round inlines direct calls.
+    for _ in 0..8 {
+        let mut changed = false;
+        let fused = fuse_method(&out, entry, config, &mut changed);
+        *out.method_mut(entry) = fused;
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+fn fuse_method(
+    program: &Program,
+    id: MethodId,
+    config: FusionConfig,
+    changed: &mut bool,
+) -> Method {
+    let m = program.method(id);
+    let mut body: Vec<Stmt> = Vec::with_capacity(m.body.len());
+    // Fresh variable ids start above anything used in the caller.
+    let mut next_var = max_var(m) + 1;
+
+    for stmt in &m.body {
+        match stmt {
+            Stmt::Call { callee, args } => {
+                let target = program.method(*callee);
+                let inlinable = target.ctor_of.is_none()
+                    && target.body.len() <= config.max_callee_stmts
+                    && body.len() + target.body.len() <= config.max_fused_stmts
+                    && *callee != id;
+                if !inlinable {
+                    body.push(stmt.clone());
+                    continue;
+                }
+                *changed = true;
+                // Bind parameters to fresh locals.
+                let mut param_vars = Vec::new();
+                for a in args {
+                    let v = VarId(next_var);
+                    next_var += 1;
+                    body.push(Stmt::Assign(v, a.clone()));
+                    param_vars.push(v);
+                }
+                // Splice the callee body, renaming its locals and
+                // substituting its params.
+                let mut rename: HashMap<u32, u32> = HashMap::new();
+                for s in &target.body {
+                    body.push(rewrite_stmt(s, &param_vars, &mut rename, &mut next_var));
+                }
+            }
+            other => body.push(other.clone()),
+        }
+    }
+    Method { name: m.name.clone(), ctor_of: m.ctor_of, n_params: m.n_params, body }
+}
+
+fn max_var(m: &Method) -> u32 {
+    let mut mx = 0;
+    for s in &m.body {
+        let vs: Vec<u32> = match s {
+            Stmt::Assign(v, e) => {
+                let mut out = vec![v.0];
+                collect_expr_vars(e, &mut out);
+                out
+            }
+            Stmt::NewArray { dst, len, .. } => {
+                let mut out = vec![dst.0];
+                collect_expr_vars(len, &mut out);
+                out
+            }
+            Stmt::StoreField { value, .. } | Stmt::StoreElem { value, .. } => match value {
+                crate::ir::StoreValue::Var(v) => vec![v.0],
+                crate::ir::StoreValue::Opaque => vec![],
+            },
+            Stmt::NewObject { dst, .. } => vec![dst.0],
+            Stmt::WriteContainer { value, .. } => vec![value.0],
+            Stmt::Call { args, .. } => {
+                let mut out = Vec::new();
+                for a in args {
+                    collect_expr_vars(a, &mut out);
+                }
+                out
+            }
+        };
+        for v in vs {
+            mx = mx.max(v);
+        }
+    }
+    mx
+}
+
+fn collect_expr_vars(e: &Expr, out: &mut Vec<u32>) {
+    match e {
+        Expr::Var(v) => out.push(v.0),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            collect_expr_vars(a, out);
+            collect_expr_vars(b, out);
+        }
+        Expr::Const(_) | Expr::Param(_) | Expr::ExternalRead => {}
+    }
+}
+
+fn rewrite_stmt(
+    s: &Stmt,
+    params: &[VarId],
+    rename: &mut HashMap<u32, u32>,
+    next_var: &mut u32,
+) -> Stmt {
+    let mut rv = |v: VarId| -> VarId {
+        let id = *rename.entry(v.0).or_insert_with(|| {
+            let id = *next_var;
+            *next_var += 1;
+            id
+        });
+        VarId(id)
+    };
+    match s {
+        Stmt::Assign(v, e) => Stmt::Assign(rv(*v), rewrite_expr(e, params, rename, next_var)),
+        Stmt::NewArray { dst, ty, len } => Stmt::NewArray {
+            dst: rv(*dst),
+            ty: *ty,
+            len: rewrite_expr(len, params, rename, next_var),
+        },
+        Stmt::StoreField { object_ty, field, value } => Stmt::StoreField {
+            object_ty: *object_ty,
+            field: *field,
+            value: match value {
+                crate::ir::StoreValue::Var(v) => crate::ir::StoreValue::Var(rv(*v)),
+                crate::ir::StoreValue::Opaque => crate::ir::StoreValue::Opaque,
+            },
+        },
+        Stmt::StoreElem { array_ty, value } => Stmt::StoreElem {
+            array_ty: *array_ty,
+            value: match value {
+                crate::ir::StoreValue::Var(v) => crate::ir::StoreValue::Var(rv(*v)),
+                crate::ir::StoreValue::Opaque => crate::ir::StoreValue::Opaque,
+            },
+        },
+        Stmt::NewObject { dst, ty } => Stmt::NewObject { dst: rv(*dst), ty: *ty },
+        Stmt::WriteContainer { container, value } => {
+            Stmt::WriteContainer { container: *container, value: rv(*value) }
+        }
+        Stmt::Call { callee, args } => Stmt::Call {
+            callee: *callee,
+            args: args
+                .iter()
+                .map(|a| rewrite_expr(a, params, rename, next_var))
+                .collect(),
+        },
+    }
+}
+
+fn rewrite_expr(
+    e: &Expr,
+    params: &[VarId],
+    rename: &mut HashMap<u32, u32>,
+    next_var: &mut u32,
+) -> Expr {
+    match e {
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::ExternalRead => Expr::ExternalRead,
+        // A callee's Param(i) becomes the caller-side binding var.
+        Expr::Param(i) => params
+            .get(*i)
+            .map(|v| Expr::Var(*v))
+            .unwrap_or(Expr::ExternalRead),
+        Expr::Var(v) => {
+            let id = *rename.entry(v.0).or_insert_with(|| {
+                let id = *next_var;
+                *next_var += 1;
+                id
+            });
+            Expr::Var(VarId(id))
+        }
+        Expr::Add(a, b) => Expr::add(
+            rewrite_expr(a, params, rename, next_var),
+            rewrite_expr(b, params, rename, next_var),
+        ),
+        Expr::Sub(a, b) => Expr::sub(
+            rewrite_expr(a, params, rename, next_var),
+            rewrite_expr(b, params, rename, next_var),
+        ),
+        Expr::Mul(a, b) => Expr::mul(
+            rewrite_expr(a, params, rename, next_var),
+            rewrite_expr(b, params, rename, next_var),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::GlobalAnalysis;
+    use crate::ir::StoreValue;
+    use crate::size_type::{Classification, SizeType};
+    use crate::types::{FieldDecl, PrimKind, TypeRef, TypeRegistry, UdtDescriptor};
+
+    /// A helper method computes a length and a second helper allocates the
+    /// array: after fusion both live in the entry method and the analysis
+    /// proves fixed-length without interprocedural propagation.
+    #[test]
+    fn fusion_inlines_helpers_transitively() {
+        let mut reg = TypeRegistry::new();
+        let arr = reg.define_array("int[]", TypeRef::Prim(PrimKind::I32));
+        let holder = reg.define_udt(UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![FieldDecl::new("array", TypeRef::Array(arr)).final_()],
+        });
+
+        let mut p = Program::new();
+        let alloc_helper = p.add(
+            Method::new("allocWith")
+                .params(1)
+                .stmt(Stmt::NewArray { dst: VarId(0), ty: arr, len: Expr::Param(0) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(VarId(0)) }),
+        );
+        let compute_helper = p.add(
+            Method::new("computeLen")
+                .params(1)
+                .stmt(Stmt::Assign(VarId(0), Expr::add(Expr::Param(0), Expr::Const(1))))
+                .stmt(Stmt::Call { callee: alloc_helper, args: vec![Expr::var(0)] }),
+        );
+        let entry = p.add(
+            Method::new("stage")
+                .stmt(Stmt::Assign(VarId(0), Expr::ExternalRead))
+                .stmt(Stmt::Call { callee: compute_helper, args: vec![Expr::var(0)] })
+                .stmt(Stmt::Call { callee: compute_helper, args: vec![Expr::var(0)] }),
+        );
+
+        let fused = fuse(&p, entry, FusionConfig::default());
+        // All helper calls gone from the entry.
+        let calls = fused
+            .method(entry)
+            .body
+            .iter()
+            .filter(|s| matches!(s, Stmt::Call { .. }))
+            .count();
+        assert_eq!(calls, 0, "helpers fully inlined");
+        // NewArray sites now live in the entry itself.
+        let allocs = fused
+            .method(entry)
+            .body
+            .iter()
+            .filter(|s| matches!(s, Stmt::NewArray { .. }))
+            .count();
+        assert_eq!(allocs, 2);
+
+        // The fused program classifies identically to the original.
+        let ga = GlobalAnalysis::new(&reg, &fused, entry);
+        assert_eq!(
+            ga.classify(TypeRef::Udt(holder)),
+            Classification::Sized(SizeType::StaticFixed),
+            "both sites allocate with the same Symbol+1 length"
+        );
+    }
+
+    /// Constructors are never inlined: init-only detection relies on the
+    /// constructor calling sequence staying visible.
+    #[test]
+    fn constructors_are_not_inlined() {
+        let mut reg = TypeRegistry::new();
+        let arr = reg.define_array("int[]", TypeRef::Prim(PrimKind::I32));
+        let holder = reg.define_udt(UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![FieldDecl::new("array", TypeRef::Array(arr))],
+        });
+        let mut p = Program::new();
+        let ctor = p.add(
+            Method::ctor("Holder::<init>", holder)
+                .params(1)
+                .stmt(Stmt::Assign(VarId(0), Expr::Param(0)))
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(VarId(0)) }),
+        );
+        let entry = p.add(
+            Method::new("stage")
+                .stmt(Stmt::NewArray { dst: VarId(1), ty: arr, len: Expr::Const(4) })
+                .stmt(Stmt::Call { callee: ctor, args: vec![Expr::var(1)] }),
+        );
+        let fused = fuse(&p, entry, FusionConfig::default());
+        let calls = fused
+            .method(entry)
+            .body
+            .iter()
+            .filter(|s| matches!(s, Stmt::Call { .. }))
+            .count();
+        assert_eq!(calls, 1, "the constructor call survives fusion");
+        // And init-only detection still works on the fused program.
+        let ga = GlobalAnalysis::new(&reg, &fused, entry);
+        assert!(ga.init_only(holder, 0));
+    }
+
+    /// Fusion must not change any classification result (soundness check
+    /// over the shared fixtures).
+    #[test]
+    fn fusion_preserves_classifications() {
+        for f in [
+            crate::fixtures::lr_program(),
+            crate::fixtures::lr_program_variable_dims(),
+            crate::fixtures::lr_program_with_reassignment(),
+        ] {
+            let before = GlobalAnalysis::new(&f.types.registry, &f.program, f.stage_entry)
+                .classify(TypeRef::Udt(f.types.labeled_point));
+            let fused = fuse(&f.program, f.stage_entry, FusionConfig::default());
+            let after = GlobalAnalysis::new(&f.types.registry, &fused, f.stage_entry)
+                .classify(TypeRef::Udt(f.types.labeled_point));
+            assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,765 @@
+//! Global classification analysis — the paper's Algorithms 2–4.
+//!
+//! The local analysis (Algorithm 1) is conservative: it assumes any
+//! non-`final` field may be re-assigned, and any array may be allocated
+//! with differing lengths. The global analysis refines those assumptions by
+//! examining the code reachable in the current analysis scope's call graph:
+//!
+//! * **fixed-length array types** (§3.3): propagate constants/copies/
+//!   symbols through the call graph ([`crate::symbolic`]); an array type is
+//!   fixed-length w.r.t. a field if every allocation site whose result
+//!   reaches that field uses a provably-equivalent length expression;
+//! * **init-only fields** (§3.3): a field assigned only inside constructors
+//!   of its declaring type, at most once per constructor calling sequence
+//!   (`final` fields qualify by definition; array element fields never do);
+//! * **SFST refinement** (Lemma 1 / Algorithm 3): every reachable array is
+//!   fixed-length and every element type refines to SFST;
+//! * **RFST refinement** (Lemma 2 / Algorithm 4): every field type is SFST
+//!   or RFST, and every field that needs RFST is init-only.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ir::{CallGraph, Expr, MethodId, Program, Stmt, StoreValue};
+use crate::local::classify_local;
+use crate::size_type::{Classification, SizeType};
+use crate::symbolic::{SymbolAllocator, Value};
+use crate::types::{ArrayId, TypeRef, TypeRegistry, UdtId};
+
+/// Where a store lands: a UDT field or an array's element pseudo-field.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum FieldKey {
+    UdtField(UdtId, usize),
+    ArrayElem(ArrayId),
+}
+
+/// An array allocation site: `(method, statement index)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+struct SiteId(MethodId, usize);
+
+/// Provenance of an array value: which allocation sites it may come from.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+enum Prov {
+    /// Nothing known yet (bottom).
+    #[default]
+    Unset,
+    /// May originate from exactly these allocation sites.
+    Sites(BTreeSet<SiteId>),
+    /// Unknown origin (top) — e.g. received from a collection.
+    Unknown,
+}
+
+impl Prov {
+    fn join(&self, other: &Prov) -> Prov {
+        match (self, other) {
+            (Prov::Unset, p) | (p, Prov::Unset) => p.clone(),
+            (Prov::Unknown, _) | (_, Prov::Unknown) => Prov::Unknown,
+            (Prov::Sites(a), Prov::Sites(b)) => {
+                Prov::Sites(a.union(b).copied().collect())
+            }
+        }
+    }
+}
+
+/// Per-method fixpoint state: joined parameter values and provenances.
+#[derive(Clone, Default)]
+struct ParamState {
+    vals: Vec<Value>,
+    provs: Vec<Prov>,
+}
+
+/// The global analysis over one scope (one call graph).
+pub struct GlobalAnalysis<'a> {
+    reg: &'a TypeRegistry,
+    graph: CallGraph,
+    /// Resolved length value of each allocation site.
+    site_lens: HashMap<SiteId, Value>,
+    /// Array type allocated at each site.
+    site_types: HashMap<SiteId, ArrayId>,
+    /// Store provenances per destination field.
+    field_stores: HashMap<FieldKey, Vec<Prov>>,
+    /// `(method, field)` store counts, for init-only detection.
+    store_counts: HashMap<(MethodId, FieldKey), usize>,
+    /// Whether each reachable method is a constructor of some UDT.
+    ctor_of: HashMap<MethodId, Option<UdtId>>,
+}
+
+impl<'a> GlobalAnalysis<'a> {
+    /// Build the call graph from `entry` and run the interprocedural
+    /// symbolized constant propagation to fixpoint.
+    pub fn new(reg: &'a TypeRegistry, program: &'a Program, entry: MethodId) -> Self {
+        let graph = CallGraph::build(program, entry);
+        let mut this = GlobalAnalysis {
+            reg,
+            graph,
+            site_lens: HashMap::new(),
+            site_types: HashMap::new(),
+            field_stores: HashMap::new(),
+            store_counts: HashMap::new(),
+            ctor_of: HashMap::new(),
+        };
+        this.propagate(program);
+        this
+    }
+
+    /// Interprocedural fixpoint: evaluate each reachable method's body
+    /// under its joined parameter state; call sites feed callee states.
+    fn propagate(&mut self, program: &Program) {
+        let mut symbols = SymbolAllocator::new();
+        // Stable symbols for external reads, one per syntactic occurrence.
+        let mut external_syms: HashMap<(MethodId, usize, usize), Value> = HashMap::new();
+
+        let mut states: HashMap<MethodId, ParamState> = HashMap::new();
+        for &m in &self.graph.reachable {
+            let n = program.method(m).n_params;
+            self.ctor_of.insert(m, program.method(m).ctor_of);
+            let st = states.entry(m).or_default();
+            st.vals = vec![Value::Unset; n];
+            st.provs = vec![Prov::Unset; n];
+        }
+        // The entry's parameters come from outside the scope: symbols.
+        {
+            let entry = self.graph.entry;
+            let st = states.get_mut(&entry).expect("entry state");
+            for v in st.vals.iter_mut() {
+                *v = Value::symbol(symbols.fresh());
+            }
+            for p in st.provs.iter_mut() {
+                *p = Prov::Unknown;
+            }
+        }
+
+        let mut changed = true;
+        let mut rounds = 0usize;
+        while changed {
+            changed = false;
+            rounds += 1;
+            assert!(rounds < 1000, "symbolic propagation failed to converge");
+            self.site_lens.clear();
+            self.field_stores.clear();
+            self.store_counts.clear();
+
+            for &m in &self.graph.reachable.clone() {
+                let method = program.method(m);
+                let params = states.get(&m).expect("state").clone();
+                let mut vars: HashMap<u32, Value> = HashMap::new();
+                let mut provs: HashMap<u32, Prov> = HashMap::new();
+
+                for (si, stmt) in method.body.iter().enumerate() {
+                    match stmt {
+                        Stmt::Assign(dst, expr) => {
+                            let v = eval(expr, &params, &vars, m, si, &mut symbols, &mut external_syms);
+                            vars.insert(dst.0, v);
+                            // Copies also carry array provenance.
+                            if let Expr::Var(src) = expr {
+                                if let Some(p) = provs.get(&src.0).cloned() {
+                                    provs.insert(dst.0, p);
+                                }
+                            } else if let Expr::Param(i) = expr {
+                                if let Some(p) = params.provs.get(*i).cloned() {
+                                    provs.insert(dst.0, p);
+                                }
+                            }
+                        }
+                        Stmt::NewArray { dst, ty, len } => {
+                            let site = SiteId(m, si);
+                            let v =
+                                eval(len, &params, &vars, m, si, &mut symbols, &mut external_syms);
+                            self.site_lens.insert(site, v);
+                            self.site_types.insert(site, *ty);
+                            provs.insert(dst.0, Prov::Sites([site].into_iter().collect()));
+                            vars.insert(dst.0, Value::Unknown);
+                        }
+                        Stmt::StoreField { object_ty, field, value } => {
+                            let key = FieldKey::UdtField(*object_ty, *field);
+                            let prov = store_prov(value, &provs);
+                            self.field_stores.entry(key).or_default().push(prov);
+                            *self.store_counts.entry((m, key)).or_insert(0) += 1;
+                        }
+                        Stmt::NewObject { dst, .. } => {
+                            // UDT allocations carry no scalar value; their
+                            // provenance is tracked by the container-flow
+                            // analysis, not the length propagation.
+                            vars.insert(dst.0, Value::Unknown);
+                        }
+                        Stmt::WriteContainer { .. } => {}
+                        Stmt::StoreElem { array_ty, value } => {
+                            let key = FieldKey::ArrayElem(*array_ty);
+                            let prov = store_prov(value, &provs);
+                            self.field_stores.entry(key).or_default().push(prov);
+                            *self.store_counts.entry((m, key)).or_insert(0) += 1;
+                        }
+                        Stmt::Call { callee, args } => {
+                            if !self.graph.contains(*callee) {
+                                continue;
+                            }
+                            let arg_vals: Vec<Value> = args
+                                .iter()
+                                .enumerate()
+                                .map(|(ai, a)| {
+                                    eval(a, &params, &vars, m, si * 1000 + ai, &mut symbols,
+                                        &mut external_syms)
+                                })
+                                .collect();
+                            let arg_provs: Vec<Prov> = args
+                                .iter()
+                                .map(|a| match a {
+                                    Expr::Var(v) => {
+                                        provs.get(&v.0).cloned().unwrap_or(Prov::Unknown)
+                                    }
+                                    Expr::Param(i) => {
+                                        params.provs.get(*i).cloned().unwrap_or(Prov::Unknown)
+                                    }
+                                    _ => Prov::Unknown,
+                                })
+                                .collect();
+                            let callee_state = states.get_mut(callee).expect("callee state");
+                            for (i, av) in arg_vals.into_iter().enumerate() {
+                                if i >= callee_state.vals.len() {
+                                    break;
+                                }
+                                let joined = callee_state.vals[i].join(&av);
+                                if joined != callee_state.vals[i] {
+                                    callee_state.vals[i] = joined;
+                                    changed = true;
+                                }
+                            }
+                            for (i, ap) in arg_provs.into_iter().enumerate() {
+                                if i >= callee_state.provs.len() {
+                                    break;
+                                }
+                                let joined = callee_state.provs[i].join(&ap);
+                                if joined != callee_state.provs[i] {
+                                    callee_state.provs[i] = joined;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // analyses consumed by the refinements
+    // ------------------------------------------------------------------
+
+    /// Is array type `a` fixed-length with respect to `ctx` (§3.3)?
+    ///
+    /// With a field context, every store to that field must have known
+    /// provenance, and all reaching allocation sites must use
+    /// provably-equivalent lengths. Without context (a top-level array
+    /// container type), every allocation site of `a` in the scope must
+    /// agree. A type with *no* allocation sites in scope cannot be proven
+    /// fixed-length (its instances were made elsewhere with unknown,
+    /// possibly differing lengths).
+    pub fn fixed_length(&self, a: ArrayId, ctx: Option<FieldKey>) -> bool {
+        let sites: Vec<SiteId> = match ctx {
+            Some(key) => {
+                let Some(provs) = self.field_stores.get(&key) else {
+                    return false; // never assigned in scope: lengths unknown
+                };
+                let mut sites = BTreeSet::new();
+                for p in provs {
+                    match p {
+                        Prov::Sites(s) => sites.extend(s.iter().copied()),
+                        Prov::Unknown | Prov::Unset => return false,
+                    }
+                }
+                sites
+                    .into_iter()
+                    .filter(|s| self.site_types.get(s) == Some(&a))
+                    .collect()
+            }
+            None => self
+                .site_types
+                .iter()
+                .filter(|(_, &ty)| ty == a)
+                .map(|(&s, _)| s)
+                .collect(),
+        };
+        if sites.is_empty() {
+            return false;
+        }
+        let first = &self.site_lens[&sites[0]];
+        sites.iter().all(|s| self.site_lens[s].provably_equal(first))
+    }
+
+    /// Is `(udt, field)` init-only in this scope (§3.3)?
+    ///
+    /// Rules: (1) `final` fields are init-only; (2) array element fields
+    /// are not; (3) otherwise the field must be assigned only in
+    /// constructors of its declaring type, at most once per constructor
+    /// calling sequence.
+    pub fn init_only(&self, udt: UdtId, field: usize) -> bool {
+        if self.reg.udt(udt).fields[field].is_final {
+            return true;
+        }
+        let key = FieldKey::UdtField(udt, field);
+        // No store anywhere in this scope: trivially init-only here (the
+        // phased-refinement case — the object was built in an earlier
+        // phase and is only read now).
+        let stored_methods: Vec<MethodId> = self
+            .store_counts
+            .keys()
+            .filter(|(_, k)| *k == key)
+            .map(|(m, _)| *m)
+            .collect();
+        for &m in &stored_methods {
+            if self.ctor_of.get(&m).copied().flatten() != Some(udt) {
+                return false; // assigned outside a constructor
+            }
+        }
+        // Constructor delegation must be acyclic, and each calling
+        // sequence must assign at most once.
+        let is_ctor = |m: MethodId| self.ctor_of.get(&m).copied().flatten() == Some(udt);
+        if self.graph.has_cycle_within(is_ctor) {
+            return false;
+        }
+        let mut memo: HashMap<MethodId, usize> = HashMap::new();
+        for &m in &self.graph.reachable {
+            if is_ctor(m) && self.seq_stores(m, key, is_ctor, &mut memo) > 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Total stores to `key` along the constructor calling sequence rooted
+    /// at `m` (its own stores plus delegated constructors').
+    fn seq_stores(
+        &self,
+        m: MethodId,
+        key: FieldKey,
+        is_ctor: impl Fn(MethodId) -> bool + Copy,
+        memo: &mut HashMap<MethodId, usize>,
+    ) -> usize {
+        if let Some(&n) = memo.get(&m) {
+            return n;
+        }
+        let own = self.store_counts.get(&(m, key)).copied().unwrap_or(0);
+        let delegated: usize = self
+            .graph
+            .callees(m)
+            .filter(|&c| is_ctor(c))
+            .map(|c| self.seq_stores(c, key, is_ctor, memo))
+            .sum();
+        let total = own + delegated;
+        memo.insert(m, total);
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithms 2–4
+    // ------------------------------------------------------------------
+
+    /// Algorithm 3: can `t` be refined to SFST?
+    pub fn srefine(&self, t: TypeRef, ctx: Option<FieldKey>) -> bool {
+        let mut memo = HashMap::new();
+        self.srefine_memo(t, ctx, &mut memo)
+    }
+
+    fn srefine_memo(
+        &self,
+        t: TypeRef,
+        ctx: Option<FieldKey>,
+        memo: &mut HashMap<(TypeRef, Option<FieldKey>), Option<bool>>,
+    ) -> bool {
+        match memo.get(&(t, ctx)) {
+            Some(Some(b)) => return *b,
+            Some(None) => return false, // in-progress: conservative
+            None => {}
+        }
+        memo.insert((t, ctx), None);
+        let result = match t {
+            TypeRef::Prim(_) => true,
+            TypeRef::Udt(u) => {
+                let mut ok = true;
+                'fields: for (i, f) in self.reg.udt(u).fields.iter().enumerate() {
+                    let key = FieldKey::UdtField(u, i);
+                    for &rt in &f.type_set {
+                        if !rt.is_prim() && !self.srefine_memo(rt, Some(key), memo) {
+                            ok = false;
+                            break 'fields;
+                        }
+                    }
+                }
+                ok
+            }
+            TypeRef::Array(a) => {
+                let mut ok = self.fixed_length(a, ctx);
+                if ok {
+                    let key = FieldKey::ArrayElem(a);
+                    for &rt in &self.reg.array(a).elem.type_set {
+                        if !rt.is_prim() && !self.srefine_memo(rt, Some(key), memo) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                ok
+            }
+        };
+        memo.insert((t, ctx), Some(result));
+        result
+    }
+
+    /// Algorithm 4: can `t` be refined to RFST?
+    pub fn rrefine(&self, t: TypeRef) -> bool {
+        let mut memo = HashMap::new();
+        self.rrefine_memo(t, &mut memo)
+    }
+
+    fn rrefine_memo(&self, t: TypeRef, memo: &mut HashMap<TypeRef, Option<bool>>) -> bool {
+        match memo.get(&t) {
+            Some(Some(b)) => return *b,
+            Some(None) => return false,
+            None => {}
+        }
+        memo.insert(t, None);
+        let result = match t {
+            TypeRef::Prim(_) => true,
+            TypeRef::Udt(u) => {
+                let mut ok = true;
+                'fields: for (i, f) in self.reg.udt(u).fields.iter().enumerate() {
+                    let key = FieldKey::UdtField(u, i);
+                    let mut needs_init_only = false;
+                    for &rt in &f.type_set {
+                        if rt.is_prim() || self.srefine(rt, Some(key)) {
+                            continue;
+                        }
+                        if self.rrefine_memo(rt, memo) {
+                            needs_init_only = true;
+                        } else {
+                            ok = false;
+                            break 'fields;
+                        }
+                    }
+                    if needs_init_only && !self.init_only(u, i) {
+                        ok = false;
+                        break 'fields;
+                    }
+                }
+                ok
+            }
+            TypeRef::Array(a) => {
+                // The element pseudo-field is never init-only (footnote 1),
+                // so every element type must refine to SFST outright.
+                let key = FieldKey::ArrayElem(a);
+                self.reg
+                    .array(a)
+                    .elem
+                    .type_set
+                    .iter()
+                    .all(|&rt| rt.is_prim() || self.srefine(rt, Some(key)))
+            }
+        };
+        memo.insert(t, Some(result));
+        result
+    }
+
+    /// Algorithm 2: the refined size-type of `t` in this scope.
+    pub fn classify(&self, t: TypeRef) -> Classification {
+        match classify_local(self.reg, t) {
+            Classification::RecurDef => Classification::RecurDef,
+            Classification::Sized(SizeType::StaticFixed) => {
+                Classification::Sized(SizeType::StaticFixed)
+            }
+            Classification::Sized(local) => {
+                if self.srefine(t, None) {
+                    Classification::Sized(SizeType::StaticFixed)
+                } else if local == SizeType::RuntimeFixed || self.rrefine(t) {
+                    Classification::Sized(SizeType::RuntimeFixed)
+                } else {
+                    Classification::Sized(SizeType::Variable)
+                }
+            }
+        }
+    }
+
+    pub fn call_graph(&self) -> &CallGraph {
+        &self.graph
+    }
+}
+
+fn store_prov(value: &StoreValue, provs: &HashMap<u32, Prov>) -> Prov {
+    match value {
+        StoreValue::Var(v) => provs.get(&v.0).cloned().unwrap_or(Prov::Unknown),
+        StoreValue::Opaque => Prov::Unknown,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval(
+    expr: &Expr,
+    params: &ParamState,
+    vars: &HashMap<u32, Value>,
+    method: MethodId,
+    occurrence: usize,
+    symbols: &mut SymbolAllocator,
+    external_syms: &mut HashMap<(MethodId, usize, usize), Value>,
+) -> Value {
+    match expr {
+        Expr::Const(c) => Value::constant(*c),
+        Expr::Var(v) => vars.get(&v.0).cloned().unwrap_or(Value::Unknown),
+        Expr::Param(i) => params.vals.get(*i).cloned().unwrap_or(Value::Unknown),
+        Expr::ExternalRead => external_syms
+            .entry((method, occurrence, 0))
+            .or_insert_with(|| Value::symbol(symbols.fresh()))
+            .clone(),
+        Expr::Add(a, b) => eval(a, params, vars, method, occurrence, symbols, external_syms)
+            .add(&eval(b, params, vars, method, occurrence + 1_000_000, symbols, external_syms)),
+        Expr::Sub(a, b) => eval(a, params, vars, method, occurrence, symbols, external_syms)
+            .sub(&eval(b, params, vars, method, occurrence + 1_000_000, symbols, external_syms)),
+        Expr::Mul(a, b) => eval(a, params, vars, method, occurrence, symbols, external_syms)
+            .mul(&eval(b, params, vars, method, occurrence + 1_000_000, symbols, external_syms)),
+    }
+}
+
+/// Convenience wrapper: run the global analysis for `t` from `entry`.
+pub fn classify_global(
+    reg: &TypeRegistry,
+    program: &Program,
+    entry: MethodId,
+    t: TypeRef,
+) -> Classification {
+    GlobalAnalysis::new(reg, program, entry).classify(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::ir::{Method, VarId};
+    use crate::types::PrimKind;
+
+    /// The paper's running example: with the global analysis, the
+    /// `features` field is assigned only in the LabeledPoint constructor
+    /// and `features.data` has the global-constant length `D`, so
+    /// LabeledPoint refines to SFST (§3.3).
+    #[test]
+    fn labeled_point_refines_to_sfst() {
+        let f = fixtures::lr_program();
+        let c = classify_global(&f.types.registry, &f.program, f.stage_entry, TypeRef::Udt(f.types.labeled_point));
+        assert_eq!(c, Classification::Sized(SizeType::StaticFixed));
+    }
+
+    /// If the dimension is read per-record (two distinct external reads),
+    /// allocation sites disagree and the type stays RFST at best.
+    #[test]
+    fn per_record_dimension_blocks_sfst() {
+        let f = fixtures::lr_program_variable_dims();
+        let ga = GlobalAnalysis::new(&f.types.registry, &f.program, f.stage_entry);
+        let c = ga.classify(TypeRef::Udt(f.types.labeled_point));
+        assert_eq!(c, Classification::Sized(SizeType::RuntimeFixed));
+    }
+
+    /// A field assigned outside any constructor is not init-only, so the
+    /// type cannot even be RFST when the local analysis said VST.
+    #[test]
+    fn reassignment_outside_ctor_blocks_rfst() {
+        let f = fixtures::lr_program_with_reassignment();
+        let ga = GlobalAnalysis::new(&f.types.registry, &f.program, f.stage_entry);
+        assert!(!ga.init_only(f.types.labeled_point, 1));
+        let c = ga.classify(TypeRef::Udt(f.types.labeled_point));
+        assert_eq!(c, Classification::Sized(SizeType::Variable));
+    }
+
+    /// §3.2's sophisticated LR: `features` may hold DenseVector OR
+    /// SparseVector. The sparse arrays are per-record sized, so the whole
+    /// type degrades — the paper's §8 "avoid long-living VSTs" case.
+    #[test]
+    fn sparse_vector_type_set_blocks_decomposition() {
+        let f = fixtures::sparse_lr_program();
+        let ga = GlobalAnalysis::new(&f.registry, &f.program, f.stage_entry);
+        assert_eq!(
+            ga.classify(TypeRef::Udt(f.dense_vector)),
+            Classification::Sized(SizeType::StaticFixed),
+            "dense alone would be SFST (global constant D)"
+        );
+        assert_eq!(
+            ga.classify(TypeRef::Udt(f.sparse_vector)),
+            Classification::Sized(SizeType::RuntimeFixed),
+            "sparse vectors are RFST: final fields, per-record lengths"
+        );
+        assert_eq!(
+            ga.classify(TypeRef::Udt(f.labeled_point)),
+            Classification::Sized(SizeType::RuntimeFixed),
+            "features is init-only (assigned only in the constructor), so \
+             Lemma 2 still refines the polymorphic LabeledPoint to RFST — \
+             decomposable, but framed rather than fixed-stride"
+        );
+        // SFST is correctly ruled out: sparse rows have per-record sizes.
+        assert!(!ga.srefine(TypeRef::Udt(f.labeled_point), None));
+    }
+
+    #[test]
+    fn figure_4_symbolized_propagation() {
+        // a = external; b = 2 + a - 1; c = a + 1; two allocation sites with
+        // lengths b and c must be recognised as fixed-length.
+        let mut reg = TypeRegistry::new();
+        let arr = reg.define_array("int[]", TypeRef::Prim(PrimKind::I32));
+        let holder = reg.define_udt(crate::types::UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![crate::types::FieldDecl::new("array", TypeRef::Array(arr))],
+        });
+
+        let mut p = Program::new();
+        let a = VarId(0);
+        let b = VarId(1);
+        let c = VarId(2);
+        let x = VarId(3);
+        let y = VarId(4);
+        let entry = p.add(
+            Method::new("main")
+                .stmt(Stmt::Assign(a, Expr::ExternalRead))
+                .stmt(Stmt::Assign(
+                    b,
+                    Expr::sub(Expr::add(Expr::Const(2), Expr::Var(a)), Expr::Const(1)),
+                ))
+                .stmt(Stmt::Assign(c, Expr::add(Expr::Var(a), Expr::Const(1))))
+                // if (foo()) array = new Array[Int](b) else ... (c)
+                .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Var(b) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) })
+                .stmt(Stmt::NewArray { dst: y, ty: arr, len: Expr::Var(c) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(y) }),
+        );
+        let ga = GlobalAnalysis::new(&reg, &p, entry);
+        assert!(ga.fixed_length(arr, Some(FieldKey::UdtField(holder, 0))));
+    }
+
+    #[test]
+    fn distinct_external_reads_are_not_equal() {
+        let mut reg = TypeRegistry::new();
+        let arr = reg.define_array("int[]", TypeRef::Prim(PrimKind::I32));
+        let holder = reg.define_udt(crate::types::UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![crate::types::FieldDecl::new("array", TypeRef::Array(arr))],
+        });
+        let mut p = Program::new();
+        let (a, b, x, y) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        let entry = p.add(
+            Method::new("main")
+                .stmt(Stmt::Assign(a, Expr::ExternalRead))
+                .stmt(Stmt::Assign(b, Expr::ExternalRead))
+                .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Var(a) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) })
+                .stmt(Stmt::NewArray { dst: y, ty: arr, len: Expr::Var(b) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(y) }),
+        );
+        let ga = GlobalAnalysis::new(&reg, &p, entry);
+        assert!(!ga.fixed_length(arr, Some(FieldKey::UdtField(holder, 0))));
+    }
+
+    #[test]
+    fn double_assignment_in_ctor_is_not_init_only() {
+        let mut reg = TypeRegistry::new();
+        let arr = reg.define_array("int[]", TypeRef::Prim(PrimKind::I32));
+        let holder = reg.define_udt(crate::types::UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![crate::types::FieldDecl::new("array", TypeRef::Array(arr))],
+        });
+        let mut p = Program::new();
+        let x = VarId(0);
+        let ctor = p.add(
+            Method::ctor("Holder::<init>", holder)
+                .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Const(4) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) }),
+        );
+        let entry = p.add(Method::new("main").stmt(Stmt::Call { callee: ctor, args: vec![] }));
+        let ga = GlobalAnalysis::new(&reg, &p, entry);
+        assert!(!ga.init_only(holder, 0));
+    }
+
+    #[test]
+    fn delegating_ctor_chains_count_stores() {
+        let mut reg = TypeRegistry::new();
+        let arr = reg.define_array("int[]", TypeRef::Prim(PrimKind::I32));
+        let holder = reg.define_udt(crate::types::UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![crate::types::FieldDecl::new("array", TypeRef::Array(arr))],
+        });
+        let mut p = Program::new();
+        let x = VarId(0);
+        // Base ctor assigns once.
+        let base = p.add(
+            Method::ctor("Holder::<init>(a)", holder)
+                .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Const(4) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) }),
+        );
+        // Delegating ctor assigns again => the sequence assigns twice.
+        let deleg = p.add(
+            Method::ctor("Holder::<init>()", holder)
+                .stmt(Stmt::Call { callee: base, args: vec![] })
+                .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Const(4) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) }),
+        );
+        let entry = p.add(Method::new("main").stmt(Stmt::Call { callee: deleg, args: vec![] }));
+        let ga = GlobalAnalysis::new(&reg, &p, entry);
+        assert!(!ga.init_only(holder, 0));
+
+        // A delegating ctor that does NOT re-assign is fine.
+        let mut p2 = Program::new();
+        let base2 = p2.add(
+            Method::ctor("Holder::<init>(a)", holder)
+                .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Const(4) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) }),
+        );
+        let deleg2 =
+            p2.add(Method::ctor("Holder::<init>()", holder).stmt(Stmt::Call { callee: base2, args: vec![] }));
+        let entry2 = p2.add(Method::new("main").stmt(Stmt::Call { callee: deleg2, args: vec![] }));
+        let ga2 = GlobalAnalysis::new(&reg, &p2, entry2);
+        assert!(ga2.init_only(holder, 0));
+    }
+
+    #[test]
+    fn length_through_call_parameters() {
+        // main: d = external; ctor(d) allocates Array(d) twice via two call
+        // sites passing the same value => still fixed-length.
+        let mut reg = TypeRegistry::new();
+        let arr = reg.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+        let holder = reg.define_udt(crate::types::UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![crate::types::FieldDecl::new("array", TypeRef::Array(arr))],
+        });
+        let mut p = Program::new();
+        let x = VarId(0);
+        let ctor = p.add(
+            Method::ctor("Holder::<init>(d)", holder)
+                .params(1)
+                .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Param(0) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) }),
+        );
+        let d = VarId(1);
+        let entry = p.add(
+            Method::new("main")
+                .stmt(Stmt::Assign(d, Expr::ExternalRead))
+                .stmt(Stmt::Call { callee: ctor, args: vec![Expr::Var(d)] })
+                .stmt(Stmt::Call { callee: ctor, args: vec![Expr::Var(d)] }),
+        );
+        let ga = GlobalAnalysis::new(&reg, &p, entry);
+        assert!(ga.fixed_length(arr, Some(FieldKey::UdtField(holder, 0))));
+
+        // Different values at the two call sites => parameter joins to
+        // Unknown => not fixed-length.
+        let mut p2 = Program::new();
+        let ctor2 = p2.add(
+            Method::ctor("Holder::<init>(d)", holder)
+                .params(1)
+                .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Param(0) })
+                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) }),
+        );
+        let entry2 = p2.add(
+            Method::new("main")
+                .stmt(Stmt::Assign(d, Expr::ExternalRead))
+                .stmt(Stmt::Call { callee: ctor2, args: vec![Expr::Var(d)] })
+                .stmt(Stmt::Call {
+                    callee: ctor2,
+                    args: vec![Expr::add(Expr::Var(d), Expr::Const(1))],
+                }),
+        );
+        let ga2 = GlobalAnalysis::new(&reg, &p2, entry2);
+        assert!(!ga2.fixed_length(arr, Some(FieldKey::UdtField(holder, 0))));
+    }
+}

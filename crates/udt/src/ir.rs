@@ -1,0 +1,297 @@
+//! A miniature method IR and call graph for the global analyses.
+//!
+//! The paper analyses JVM bytecode through Soot; our analyses need only the
+//! statements that affect decomposability, so the IR models exactly those:
+//!
+//! * integer/`length` computations ([`Expr`], evaluated by the symbolic
+//!   propagation of [`crate::symbolic`]);
+//! * array allocations with their length expressions ([`Stmt::NewArray`]) —
+//!   the *allocation sites* of the fixed-length analysis;
+//! * stores to UDT fields and array elements ([`Stmt::StoreField`],
+//!   [`Stmt::StoreElem`]) — the evidence for init-only detection;
+//! * calls, including constructor delegation ([`Stmt::Call`]) — the edges
+//!   of the per-scope call graph (§3.3: "the entry node of the call graph
+//!   is the main method of the current analysis scope, usually a Spark job
+//!   stage").
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::types::{ArrayId, UdtId};
+
+/// Identifier of a method within a [`Program`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MethodId(pub u32);
+
+/// A local variable of a method.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// An integer-valued expression (array lengths, loop-invariant scalars).
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A literal constant.
+    Const(i64),
+    /// A local variable.
+    Var(VarId),
+    /// The i-th parameter of the enclosing method.
+    Param(usize),
+    /// A value read from outside the call graph (I/O, configuration): the
+    /// propagation assigns it a fresh symbol, treated as an unknown
+    /// constant (Figure 4).
+    ExternalRead,
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // associated constructors, not operators
+impl Expr {
+    pub fn var(v: u32) -> Expr {
+        Expr::Var(VarId(v))
+    }
+
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+}
+
+/// What a field store writes. Only array provenance matters to the
+/// analyses, so anything else is `Opaque`.
+#[derive(Clone, Debug)]
+pub enum StoreValue {
+    /// The variable holding the stored object (for provenance tracking of
+    /// array allocations).
+    Var(VarId),
+    /// A value whose provenance the analysis cannot see (e.g. an object
+    /// received from a collection); conservatively unknown.
+    Opaque,
+}
+
+/// A statement of the mini-IR.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `var = expr` — scalar assignment (copy/constant propagation input).
+    Assign(VarId, Expr),
+    /// `var = new Array[ty](len)` — an array allocation site.
+    NewArray { dst: VarId, ty: ArrayId, len: Expr },
+    /// `var = new Udt(...)` — a UDT allocation site (tracked by the
+    /// container-flow analysis of §4.3; the constructor is called
+    /// separately via [`Stmt::Call`]).
+    NewObject { dst: VarId, ty: UdtId },
+    /// `obj.field = value` where `obj` is any instance of `object_ty`.
+    StoreField { object_ty: UdtId, field: usize, value: StoreValue },
+    /// `arr[i] = value` where `arr` is any instance of `array_ty`.
+    StoreElem { array_ty: ArrayId, value: StoreValue },
+    /// Emit `value` into a data container (cache block / shuffle buffer
+    /// write, or binding to a UDF variable).
+    WriteContainer { container: crate::points_to::ContainerId, value: VarId },
+    /// Call another method with scalar arguments.
+    Call { callee: MethodId, args: Vec<Expr> },
+}
+
+/// A method: a straight-line body of statements (the analyses are
+/// flow-insensitive with respect to control flow, like the paper's, so
+/// branches are modelled by including both branches' statements).
+#[derive(Clone, Debug)]
+pub struct Method {
+    pub name: String,
+    /// `Some(udt)` iff this method is a constructor of `udt` (field stores
+    /// inside constructors are the init-only exception).
+    pub ctor_of: Option<UdtId>,
+    pub n_params: usize,
+    pub body: Vec<Stmt>,
+}
+
+impl Method {
+    pub fn new(name: impl Into<String>) -> Method {
+        Method { name: name.into(), ctor_of: None, n_params: 0, body: Vec::new() }
+    }
+
+    pub fn ctor(name: impl Into<String>, udt: UdtId) -> Method {
+        Method { name: name.into(), ctor_of: Some(udt), n_params: 0, body: Vec::new() }
+    }
+
+    pub fn params(mut self, n: usize) -> Method {
+        self.n_params = n;
+        self
+    }
+
+    pub fn stmt(mut self, s: Stmt) -> Method {
+        self.body.push(s);
+        self
+    }
+}
+
+/// A collection of methods forming one analysis universe.
+#[derive(Default, Debug)]
+pub struct Program {
+    methods: Vec<Method>,
+}
+
+impl Program {
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    pub fn add(&mut self, m: Method) -> MethodId {
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(m);
+        id
+    }
+
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.0 as usize]
+    }
+
+    /// Mutable access, for patching bodies after forward references have
+    /// been created (mutually recursive methods).
+    pub fn method_mut(&mut self, id: MethodId) -> &mut Method {
+        &mut self.methods[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+}
+
+/// The call graph of one analysis scope: all methods reachable from the
+/// scope's entry (a job stage's main method), with call edges.
+#[derive(Debug)]
+pub struct CallGraph {
+    pub entry: MethodId,
+    /// Reachable methods, in BFS discovery order.
+    pub reachable: Vec<MethodId>,
+    /// Call edges `caller -> callees` (with duplicates collapsed).
+    edges: HashMap<MethodId, BTreeSet<MethodId>>,
+}
+
+impl CallGraph {
+    /// Build the call graph reachable from `entry`.
+    pub fn build(program: &Program, entry: MethodId) -> CallGraph {
+        let mut edges: HashMap<MethodId, BTreeSet<MethodId>> = HashMap::new();
+        let mut reachable = Vec::new();
+        let mut seen = vec![false; program.len()];
+        let mut queue = VecDeque::new();
+        queue.push_back(entry);
+        seen[entry.0 as usize] = true;
+        while let Some(m) = queue.pop_front() {
+            reachable.push(m);
+            for stmt in &program.method(m).body {
+                if let Stmt::Call { callee, .. } = stmt {
+                    edges.entry(m).or_default().insert(*callee);
+                    if !seen[callee.0 as usize] {
+                        seen[callee.0 as usize] = true;
+                        queue.push_back(*callee);
+                    }
+                }
+            }
+        }
+        CallGraph { entry, reachable, edges }
+    }
+
+    pub fn contains(&self, m: MethodId) -> bool {
+        self.reachable.contains(&m)
+    }
+
+    pub fn callees(&self, m: MethodId) -> impl Iterator<Item = MethodId> + '_ {
+        self.edges.get(&m).into_iter().flatten().copied()
+    }
+
+    /// Whether the sub-graph restricted to `filter`-methods has a cycle
+    /// (used to reject recursive constructor delegation).
+    pub fn has_cycle_within(&self, filter: impl Fn(MethodId) -> bool) -> bool {
+        #[derive(Copy, Clone, PartialEq)]
+        enum State {
+            Visiting,
+            Done,
+        }
+        let mut state: HashMap<MethodId, State> = HashMap::new();
+        fn dfs(
+            g: &CallGraph,
+            m: MethodId,
+            filter: &impl Fn(MethodId) -> bool,
+            state: &mut HashMap<MethodId, State>,
+        ) -> bool {
+            match state.get(&m) {
+                Some(State::Visiting) => return true,
+                Some(State::Done) => return false,
+                None => {}
+            }
+            state.insert(m, State::Visiting);
+            for c in g.callees(m) {
+                if filter(c) && dfs(g, c, filter, state) {
+                    return true;
+                }
+            }
+            state.insert(m, State::Done);
+            false
+        }
+        for &m in &self.reachable {
+            if filter(m) && dfs(self, m, &filter, &mut state) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_graph_reachability() {
+        let mut p = Program::new();
+        let leaf = p.add(Method::new("leaf"));
+        let mid = p.add(Method::new("mid").stmt(Stmt::Call { callee: leaf, args: vec![] }));
+        let entry = p.add(Method::new("entry").stmt(Stmt::Call { callee: mid, args: vec![] }));
+        let unreachable = p.add(Method::new("unreachable"));
+
+        let g = CallGraph::build(&p, entry);
+        assert!(g.contains(entry));
+        assert!(g.contains(mid));
+        assert!(g.contains(leaf));
+        assert!(!g.contains(unreachable));
+        assert_eq!(g.reachable.len(), 3);
+        assert_eq!(g.callees(entry).collect::<Vec<_>>(), vec![mid]);
+    }
+
+    #[test]
+    fn ctor_cycle_detection() {
+        let mut p = Program::new();
+        let udt = UdtId(0);
+        // Two mutually-delegating constructors (ill-formed, but the
+        // analysis must reject rather than loop).
+        let c1 = p.add(Method::ctor("C::<init>(1)", udt));
+        let c2 = p.add(Method::ctor("C::<init>(2)", udt).stmt(Stmt::Call { callee: c1, args: vec![] }));
+        p.method_mut(c1).body.push(Stmt::Call { callee: c2, args: vec![] });
+        let entry = p.add(Method::new("entry").stmt(Stmt::Call { callee: c1, args: vec![] }));
+        let g = CallGraph::build(&p, entry);
+        assert!(g.has_cycle_within(|m| p.method(m).ctor_of == Some(udt)));
+    }
+
+    #[test]
+    fn no_false_cycle() {
+        let mut p = Program::new();
+        let udt = UdtId(0);
+        let base = p.add(Method::ctor("C::<init>()", udt));
+        let delegating =
+            p.add(Method::ctor("C::<init>(n)", udt).stmt(Stmt::Call { callee: base, args: vec![] }));
+        let entry =
+            p.add(Method::new("entry").stmt(Stmt::Call { callee: delegating, args: vec![] }));
+        let g = CallGraph::build(&p, entry);
+        assert!(!g.has_cycle_within(|m| p.method(m).ctor_of == Some(udt)));
+    }
+}

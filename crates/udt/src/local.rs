@@ -1,0 +1,275 @@
+//! Local classification analysis — the paper's Algorithm 1.
+//!
+//! The local analysis looks only at the *type dependency graph*: a UDT's
+//! fields, their type-sets, and so on recursively. It is cheap and needs no
+//! code analysis, but is conservative: a non-`final` field whose type-set
+//! contains an RFST forces the whole type to VST, because the field could
+//! later be re-assigned an object of a different data-size.
+//!
+//! The rules (mirroring `AnalyzeType` / `AnalyzeField`):
+//!
+//! * a primitive type is SFST;
+//! * an array type is RFST if its element field analyses to SFST (different
+//!   instances may have different lengths), otherwise VST;
+//! * a record type joins the analyses of all its fields;
+//! * a field takes the most variable analysis over its type-set, except
+//!   that a non-`final` field with an RFST in its type-set becomes VST;
+//! * any type whose dependency graph contains a cycle is recursively
+//!   defined and is excluded from decomposition entirely.
+
+use std::collections::HashMap;
+
+use crate::size_type::{Classification, SizeType};
+use crate::types::{TypeRef, TypeRegistry};
+
+/// Classify `t` by the local analysis (Algorithm 1).
+pub fn classify_local(reg: &TypeRegistry, t: TypeRef) -> Classification {
+    if has_cycle(reg, t) {
+        return Classification::RecurDef;
+    }
+    let mut memo = HashMap::new();
+    Classification::Sized(analyze_type(reg, t, &mut memo))
+}
+
+/// Detect a cycle in the type dependency graph reachable from `t`.
+fn has_cycle(reg: &TypeRegistry, t: TypeRef) -> bool {
+    #[derive(Copy, Clone, PartialEq)]
+    enum State {
+        Visiting,
+        Done,
+    }
+    fn dfs(reg: &TypeRegistry, t: TypeRef, state: &mut HashMap<TypeRef, State>) -> bool {
+        match state.get(&t) {
+            Some(State::Visiting) => return true,
+            Some(State::Done) => return false,
+            None => {}
+        }
+        if t.is_prim() {
+            return false;
+        }
+        state.insert(t, State::Visiting);
+        let deps: Vec<TypeRef> = match t {
+            TypeRef::Prim(_) => Vec::new(),
+            TypeRef::Udt(u) => reg
+                .udt(u)
+                .fields
+                .iter()
+                .flat_map(|f| f.type_set.iter().copied())
+                .collect(),
+            TypeRef::Array(a) => reg.array(a).elem.type_set.clone(),
+        };
+        for d in deps {
+            if dfs(reg, d, state) {
+                return true;
+            }
+        }
+        state.insert(t, State::Done);
+        false
+    }
+    dfs(reg, t, &mut HashMap::new())
+}
+
+fn analyze_type(
+    reg: &TypeRegistry,
+    t: TypeRef,
+    memo: &mut HashMap<TypeRef, SizeType>,
+) -> SizeType {
+    if let Some(&s) = memo.get(&t) {
+        return s;
+    }
+    let result = match t {
+        TypeRef::Prim(_) => SizeType::StaticFixed,
+        TypeRef::Array(a) => {
+            let elem = &reg.array(a).elem;
+            if analyze_field(reg, elem.is_final, &elem.type_set, memo) == SizeType::StaticFixed {
+                SizeType::RuntimeFixed
+            } else {
+                SizeType::Variable
+            }
+        }
+        TypeRef::Udt(u) => {
+            let mut result = SizeType::StaticFixed;
+            for f in &reg.udt(u).fields {
+                let tmp = analyze_field(reg, f.is_final, &f.type_set, memo);
+                if tmp == SizeType::Variable {
+                    result = SizeType::Variable;
+                    break;
+                }
+                result = result.join(tmp);
+            }
+            result
+        }
+    };
+    memo.insert(t, result);
+    result
+}
+
+fn analyze_field(
+    reg: &TypeRegistry,
+    is_final: bool,
+    type_set: &[TypeRef],
+    memo: &mut HashMap<TypeRef, SizeType>,
+) -> SizeType {
+    let mut result = SizeType::StaticFixed;
+    for &t in type_set {
+        match analyze_type(reg, t, memo) {
+            SizeType::Variable => return SizeType::Variable,
+            SizeType::RuntimeFixed => {
+                // A non-final field can be re-assigned objects of different
+                // data-sizes, so an RFST in its type-set makes it VST.
+                if !is_final {
+                    return SizeType::Variable;
+                }
+                result = SizeType::RuntimeFixed;
+            }
+            SizeType::StaticFixed => {}
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::types::{FieldDecl, PrimKind, UdtDescriptor};
+
+    #[test]
+    fn primitive_and_prim_array() {
+        let mut reg = TypeRegistry::new();
+        let darr = reg.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+        assert_eq!(
+            classify_local(&reg, TypeRef::Prim(PrimKind::F64)),
+            Classification::Sized(SizeType::StaticFixed)
+        );
+        assert_eq!(
+            classify_local(&reg, TypeRef::Array(darr)),
+            Classification::Sized(SizeType::RuntimeFixed)
+        );
+    }
+
+    #[test]
+    fn labeled_point_example_from_figure_3() {
+        // The paper's running example (§3.2, Figure 3): `data` is a final
+        // field holding a double[] (RFST), so DenseVector is RFST via a
+        // final field... but `features` is a *var* holding DenseVector, so
+        // both `features` and LabeledPoint are VST under local analysis.
+        let f = fixtures::lr_types();
+        assert_eq!(
+            classify_local(&f.registry, TypeRef::Udt(f.dense_vector)),
+            Classification::Sized(SizeType::RuntimeFixed),
+            "DenseVector: final data field keeps it RFST"
+        );
+        assert_eq!(
+            classify_local(&f.registry, TypeRef::Udt(f.labeled_point)),
+            Classification::Sized(SizeType::Variable),
+            "LabeledPoint: non-final features field with RFST type-set => VST"
+        );
+    }
+
+    #[test]
+    fn final_features_field_is_rfst() {
+        // Making `features` final removes the re-assignment hazard: the
+        // local classifier then reports RFST (still not SFST — array
+        // lengths may differ per instance).
+        let f = fixtures::lr_types_with_final_features();
+        assert_eq!(
+            classify_local(&f.registry, TypeRef::Udt(f.labeled_point)),
+            Classification::Sized(SizeType::RuntimeFixed)
+        );
+    }
+
+    #[test]
+    fn recursive_type_detected() {
+        let mut reg = TypeRegistry::new();
+        let node = reg.define_udt(UdtDescriptor {
+            name: "Node".into(),
+            fields: vec![FieldDecl::new("v", TypeRef::Prim(PrimKind::I64))],
+        });
+        reg.udt_mut(node)
+            .fields
+            .push(FieldDecl::new("next", TypeRef::Udt(node)).final_());
+        assert_eq!(classify_local(&reg, TypeRef::Udt(node)), Classification::RecurDef);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.define_udt(UdtDescriptor { name: "A".into(), fields: vec![] });
+        let b = reg.define_udt(UdtDescriptor {
+            name: "B".into(),
+            fields: vec![FieldDecl::new("a", TypeRef::Udt(a))],
+        });
+        reg.udt_mut(a).fields.push(FieldDecl::new("b", TypeRef::Udt(b)));
+        assert_eq!(classify_local(&reg, TypeRef::Udt(a)), Classification::RecurDef);
+        assert_eq!(classify_local(&reg, TypeRef::Udt(b)), Classification::RecurDef);
+    }
+
+    #[test]
+    fn array_of_rfst_elements_is_vst() {
+        // Array elements are never final, so Array[double[]] is VST.
+        let mut reg = TypeRegistry::new();
+        let darr = reg.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+        let aa = reg.define_array("double[][]", TypeRef::Array(darr));
+        assert_eq!(
+            classify_local(&reg, TypeRef::Array(aa)),
+            Classification::Sized(SizeType::Variable)
+        );
+    }
+
+    #[test]
+    fn abstract_field_takes_worst_of_type_set() {
+        // Vector -> {DenseVector (RFST), SparseVector (VST because its
+        // index array field is non-final)}.
+        let mut reg = TypeRegistry::new();
+        let darr = reg.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+        let dv = reg.define_udt(UdtDescriptor {
+            name: "DenseVector".into(),
+            fields: vec![FieldDecl::new("data", TypeRef::Array(darr)).final_()],
+        });
+        let iarr = reg.define_array("int[]", TypeRef::Prim(PrimKind::I32));
+        let sv = reg.define_udt(UdtDescriptor {
+            name: "SparseVector".into(),
+            fields: vec![
+                FieldDecl::new("indices", TypeRef::Array(iarr)), // non-final
+                FieldDecl::new("values", TypeRef::Array(darr)).final_(),
+            ],
+        });
+        let holder = reg.define_udt(UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![FieldDecl::new("v", TypeRef::Udt(dv))
+                .final_()
+                .with_type_set(vec![TypeRef::Udt(dv), TypeRef::Udt(sv)])],
+        });
+        assert_eq!(
+            classify_local(&reg, TypeRef::Udt(sv)),
+            Classification::Sized(SizeType::Variable)
+        );
+        assert_eq!(
+            classify_local(&reg, TypeRef::Udt(holder)),
+            Classification::Sized(SizeType::Variable),
+            "worst member of the type-set dominates"
+        );
+    }
+
+    #[test]
+    fn all_static_fields_give_sfst() {
+        let mut reg = TypeRegistry::new();
+        let p = reg.define_udt(UdtDescriptor {
+            name: "Point".into(),
+            fields: vec![
+                FieldDecl::new("x", TypeRef::Prim(PrimKind::F64)),
+                FieldDecl::new("y", TypeRef::Prim(PrimKind::F64)),
+            ],
+        });
+        let wrapper = reg.define_udt(UdtDescriptor {
+            name: "Wrapper".into(),
+            fields: vec![FieldDecl::new("p", TypeRef::Udt(p))],
+        });
+        assert_eq!(
+            classify_local(&reg, TypeRef::Udt(wrapper)),
+            Classification::Sized(SizeType::StaticFixed),
+            "non-final is irrelevant when the type-set is all-SFST"
+        );
+    }
+}

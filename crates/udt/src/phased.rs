@@ -1,0 +1,128 @@
+//! Phased refinement (§3.4).
+//!
+//! A job stage consists of phases — loops bridged by materialised data
+//! collectors (Figure 5). A type's data-size can have different variability
+//! in different phases: while a groupByKey is *building* value arrays the
+//! type is a VST (arrays are re-assigned as they grow), but once the
+//! objects are emitted to a cached RDD, later phases never re-assign the
+//! arrays and the same type is an RFST there.
+//!
+//! Phased refinement simply re-runs the global classification with each
+//! phase's own call graph as the analysis scope, and reports the per-phase
+//! result.
+
+use crate::global::GlobalAnalysis;
+use crate::ir::{MethodId, Program};
+use crate::size_type::Classification;
+use crate::types::{TypeRef, TypeRegistry};
+
+/// The phases of one job, each identified by its entry method (the phase's
+/// top-level loop body).
+#[derive(Clone, Debug)]
+pub struct JobPhases {
+    pub phases: Vec<(String, MethodId)>,
+}
+
+impl JobPhases {
+    pub fn new() -> JobPhases {
+        JobPhases { phases: Vec::new() }
+    }
+
+    pub fn phase(mut self, name: impl Into<String>, entry: MethodId) -> JobPhases {
+        self.phases.push((name.into(), entry));
+        self
+    }
+}
+
+impl Default for JobPhases {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Classification of the target types in one phase.
+#[derive(Clone, Debug)]
+pub struct PhaseResult {
+    pub phase: String,
+    pub classifications: Vec<(TypeRef, Classification)>,
+}
+
+impl PhaseResult {
+    pub fn of(&self, t: TypeRef) -> Option<Classification> {
+        self.classifications
+            .iter()
+            .find(|(ty, _)| *ty == t)
+            .map(|(_, c)| *c)
+    }
+}
+
+/// Run the global classification once per phase for each target type.
+pub fn classify_phased(
+    reg: &TypeRegistry,
+    program: &Program,
+    phases: &JobPhases,
+    targets: &[TypeRef],
+) -> Vec<PhaseResult> {
+    phases
+        .phases
+        .iter()
+        .map(|(name, entry)| {
+            let ga = GlobalAnalysis::new(reg, program, *entry);
+            PhaseResult {
+                phase: name.clone(),
+                classifications: targets.iter().map(|&t| (t, ga.classify(t))).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::size_type::SizeType;
+
+    /// §3.4's motivating scenario: the group type is VST while being built
+    /// but refines to RFST in the read-only phase.
+    #[test]
+    fn group_type_refines_in_read_phase() {
+        let f = fixtures::group_by_program();
+        let phases = JobPhases::new()
+            .phase("build", f.build_entry)
+            .phase("read", f.read_entry);
+        let results = classify_phased(
+            &f.registry,
+            &f.program,
+            &phases,
+            &[TypeRef::Udt(f.group)],
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].of(TypeRef::Udt(f.group)),
+            Some(Classification::Sized(SizeType::Variable)),
+            "while combining, value arrays are re-assigned: VST"
+        );
+        assert_eq!(
+            results[1].of(TypeRef::Udt(f.group)),
+            Some(Classification::Sized(SizeType::RuntimeFixed)),
+            "once materialised, no phase code re-assigns: RFST"
+        );
+    }
+
+    /// The LR cache type is SFST in every phase of its job.
+    #[test]
+    fn lr_is_sfst_in_its_stage() {
+        let f = fixtures::lr_program();
+        let phases = JobPhases::new().phase("map", f.stage_entry);
+        let results = classify_phased(
+            &f.types.registry,
+            &f.program,
+            &phases,
+            &[TypeRef::Udt(f.types.labeled_point), TypeRef::Udt(f.types.dense_vector)],
+        );
+        assert_eq!(
+            results[0].of(TypeRef::Udt(f.types.labeled_point)),
+            Some(Classification::Sized(SizeType::StaticFixed))
+        );
+    }
+}

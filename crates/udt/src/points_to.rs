@@ -1,0 +1,346 @@
+//! Object-to-container ownership assignment (§4.3).
+//!
+//! In Deca every data object is owned by exactly one **primary container**,
+//! whose lifetime determines when the object's bytes are released; any
+//! other container holding the object becomes a **secondary container**
+//! referencing the primary's pages. The paper derives the object→container
+//! mapping from a per-stage points-to analysis; here the engine reports it
+//! directly (it knows which operators put which objects where), and this
+//! module applies the ownership rules:
+//!
+//! 1. cached RDDs and shuffle buffers outrank UDF variables (longer
+//!    expected lifetimes);
+//! 2. among high-priority containers in the same stage, the one *created
+//!    first* owns the objects.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::ir::{Expr, MethodId, Program, Stmt};
+use crate::types::UdtId;
+
+/// Identifier of a data container within a stage.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ContainerId(pub u32);
+
+/// The three kinds of data containers (§4.2).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ContainerKind {
+    CachedRdd,
+    ShuffleBuffer,
+    UdfVariables,
+}
+
+impl ContainerKind {
+    /// Ownership priority: higher wins (rule 1).
+    fn priority(self) -> u8 {
+        match self {
+            ContainerKind::CachedRdd | ContainerKind::ShuffleBuffer => 1,
+            ContainerKind::UdfVariables => 0,
+        }
+    }
+}
+
+impl fmt::Display for ContainerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ContainerKind::CachedRdd => "cached-rdd",
+            ContainerKind::ShuffleBuffer => "shuffle-buffer",
+            ContainerKind::UdfVariables => "udf-variables",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A container declared by a stage, with its creation order.
+#[derive(Copy, Clone, Debug)]
+pub struct ContainerDecl {
+    pub id: ContainerId,
+    pub kind: ContainerKind,
+    /// Position in the stage's container-creation order (rule 2).
+    pub created_seq: u32,
+}
+
+/// The resolved ownership of one object group.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ownership {
+    pub primary: ContainerId,
+    pub secondaries: Vec<ContainerId>,
+}
+
+/// Resolve the primary/secondary split for an object group assigned to
+/// `holders` (all the containers that reference it).
+///
+/// Panics if `holders` is empty or references an undeclared container.
+pub fn assign_ownership(decls: &[ContainerDecl], holders: &[ContainerId]) -> Ownership {
+    assert!(!holders.is_empty(), "an object must be held by at least one container");
+    let decl_of = |id: ContainerId| -> &ContainerDecl {
+        decls
+            .iter()
+            .find(|d| d.id == id)
+            .unwrap_or_else(|| panic!("container {id:?} not declared in this stage"))
+    };
+    let primary = holders
+        .iter()
+        .copied()
+        .min_by_key(|&id| {
+            let d = decl_of(id);
+            // Highest priority first, then earliest creation.
+            (std::cmp::Reverse(d.kind.priority()), d.created_seq)
+        })
+        .expect("non-empty holders");
+    let secondaries = holders.iter().copied().filter(|&h| h != primary).collect();
+    Ownership { primary, secondaries }
+}
+
+/// A UDT allocation-site population: all objects created by one
+/// `NewObject` statement (`(method, statement index)`), the unit the
+/// paper's data-dependence graph maps to containers (§4.3: "Objects are
+/// identified by either their creation statements …").
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ObjSite {
+    pub method: MethodId,
+    pub stmt: usize,
+    pub ty: UdtId,
+}
+
+/// The derived object→containers mapping of one analysis scope.
+#[derive(Debug, Default)]
+pub struct ContainerFlow {
+    /// Containers holding each allocation-site population.
+    pub holders: HashMap<ObjSite, BTreeSet<ContainerId>>,
+}
+
+impl ContainerFlow {
+    /// Resolve primary/secondary ownership for every population held by at
+    /// least one container (§4.3's rules via [`assign_ownership`]).
+    pub fn ownership(&self, decls: &[ContainerDecl]) -> HashMap<ObjSite, Ownership> {
+        self.holders
+            .iter()
+            .map(|(site, holders)| {
+                let hs: Vec<ContainerId> = holders.iter().copied().collect();
+                (*site, assign_ownership(decls, &hs))
+            })
+            .collect()
+    }
+}
+
+/// Track which allocation sites each variable may reference.
+#[derive(Clone, PartialEq, Default)]
+enum ObjSet {
+    #[default]
+    Unset,
+    Sites(BTreeSet<ObjSite>),
+}
+
+impl ObjSet {
+    fn join(&self, other: &ObjSet) -> ObjSet {
+        match (self, other) {
+            (ObjSet::Unset, o) | (o, ObjSet::Unset) => o.clone(),
+            (ObjSet::Sites(a), ObjSet::Sites(b)) => {
+                ObjSet::Sites(a.union(b).copied().collect())
+            }
+        }
+    }
+}
+
+/// Derive the object→container flow of the scope rooted at `entry`: a
+/// points-to-style propagation of `NewObject` sites through variable
+/// copies and call arguments into `WriteContainer` sinks.
+pub fn analyze_container_flow(program: &Program, entry: MethodId) -> ContainerFlow {
+    let graph = crate::ir::CallGraph::build(program, entry);
+    let mut param_sets: HashMap<MethodId, Vec<ObjSet>> = HashMap::new();
+    for &m in &graph.reachable {
+        param_sets.insert(m, vec![ObjSet::Unset; program.method(m).n_params]);
+    }
+
+    let mut flow = ContainerFlow::default();
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        assert!(rounds < 1000, "container flow failed to converge");
+        flow.holders.clear();
+
+        for &m in &graph.reachable {
+            let params = param_sets.get(&m).cloned().unwrap_or_default();
+            let mut vars: HashMap<u32, ObjSet> = HashMap::new();
+            for (si, stmt) in program.method(m).body.iter().enumerate() {
+                match stmt {
+                    Stmt::NewObject { dst, ty } => {
+                        let site = ObjSite { method: m, stmt: si, ty: *ty };
+                        vars.insert(dst.0, ObjSet::Sites([site].into_iter().collect()));
+                    }
+                    Stmt::Assign(dst, Expr::Var(src)) => {
+                        if let Some(set) = vars.get(&src.0).cloned() {
+                            vars.insert(dst.0, set);
+                        }
+                    }
+                    Stmt::Assign(dst, Expr::Param(i)) => {
+                        if let Some(set) = params.get(*i).cloned() {
+                            vars.insert(dst.0, set);
+                        }
+                    }
+                    Stmt::WriteContainer { container, value } => {
+                        if let Some(ObjSet::Sites(sites)) = vars.get(&value.0) {
+                            for site in sites {
+                                flow.holders
+                                    .entry(*site)
+                                    .or_default()
+                                    .insert(*container);
+                            }
+                        }
+                    }
+                    Stmt::Call { callee, args } => {
+                        if !graph.contains(*callee) {
+                            continue;
+                        }
+                        let arg_sets: Vec<ObjSet> = args
+                            .iter()
+                            .map(|a| match a {
+                                Expr::Var(v) => {
+                                    vars.get(&v.0).cloned().unwrap_or_default()
+                                }
+                                Expr::Param(i) => {
+                                    params.get(*i).cloned().unwrap_or_default()
+                                }
+                                _ => ObjSet::Unset,
+                            })
+                            .collect();
+                        let callee_params = param_sets.get_mut(callee).expect("state");
+                        for (i, set) in arg_sets.into_iter().enumerate() {
+                            if i >= callee_params.len() {
+                                break;
+                            }
+                            let joined = callee_params[i].join(&set);
+                            if joined != callee_params[i] {
+                                callee_params[i] = joined;
+                                changed = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls() -> Vec<ContainerDecl> {
+        vec![
+            ContainerDecl { id: ContainerId(0), kind: ContainerKind::UdfVariables, created_seq: 0 },
+            ContainerDecl { id: ContainerId(1), kind: ContainerKind::ShuffleBuffer, created_seq: 1 },
+            ContainerDecl { id: ContainerId(2), kind: ContainerKind::CachedRdd, created_seq: 2 },
+            ContainerDecl { id: ContainerId(3), kind: ContainerKind::CachedRdd, created_seq: 3 },
+        ]
+    }
+
+    #[test]
+    fn cache_outranks_udf_variables() {
+        let o = assign_ownership(&decls(), &[ContainerId(0), ContainerId(2)]);
+        assert_eq!(o.primary, ContainerId(2));
+        assert_eq!(o.secondaries, vec![ContainerId(0)]);
+    }
+
+    #[test]
+    fn earliest_high_priority_container_wins() {
+        // Shuffle output immediately cached (§4.3.3's partially-decomposable
+        // example): the shuffle buffer was created first, so it owns.
+        let o = assign_ownership(&decls(), &[ContainerId(2), ContainerId(1)]);
+        assert_eq!(o.primary, ContainerId(1));
+        assert_eq!(o.secondaries, vec![ContainerId(2)]);
+
+        // Two cached RDDs: earlier creation owns.
+        let o = assign_ownership(&decls(), &[ContainerId(3), ContainerId(2)]);
+        assert_eq!(o.primary, ContainerId(2));
+    }
+
+    #[test]
+    fn sole_holder_owns() {
+        let o = assign_ownership(&decls(), &[ContainerId(0)]);
+        assert_eq!(o.primary, ContainerId(0));
+        assert!(o.secondaries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one container")]
+    fn empty_holders_panics() {
+        assign_ownership(&decls(), &[]);
+    }
+
+    /// §4.3's derivation end-to-end: a map UDF creates objects, binds them
+    /// to a UDF variable, emits them to a shuffle buffer, and the stage
+    /// copies the output to a cached RDD. The flow analysis finds all
+    /// three holders and the ownership rules pick the shuffle buffer.
+    #[test]
+    fn container_flow_derives_holders_from_ir() {
+        use crate::ir::{Method, Program, Stmt, VarId};
+
+        let udt = UdtId(0);
+        let udf_vars = ContainerId(0);
+        let shuffle = ContainerId(1);
+        let cache = ContainerId(2);
+
+        let mut p = Program::new();
+        // A helper that forwards its argument into the cache.
+        let cache_writer = p.add(
+            Method::new("copyToCache")
+                .params(1)
+                .stmt(Stmt::Assign(VarId(0), Expr::Param(0)))
+                .stmt(Stmt::WriteContainer { container: cache, value: VarId(0) }),
+        );
+        let entry = p.add(
+            Method::new("stage")
+                .stmt(Stmt::NewObject { dst: VarId(1), ty: udt })
+                .stmt(Stmt::Assign(VarId(2), Expr::var(1))) // UDF local alias
+                .stmt(Stmt::WriteContainer { container: udf_vars, value: VarId(2) })
+                .stmt(Stmt::WriteContainer { container: shuffle, value: VarId(1) })
+                .stmt(Stmt::Call { callee: cache_writer, args: vec![Expr::var(1)] }),
+        );
+
+        let flow = analyze_container_flow(&p, entry);
+        assert_eq!(flow.holders.len(), 1, "one allocation-site population");
+        let (site, holders) = flow.holders.iter().next().unwrap();
+        assert_eq!(site.ty, udt);
+        assert_eq!(
+            holders.iter().copied().collect::<Vec<_>>(),
+            vec![udf_vars, shuffle, cache]
+        );
+
+        let ownership = flow.ownership(&decls());
+        let o = &ownership[site];
+        assert_eq!(o.primary, shuffle, "earliest high-priority container owns");
+        assert!(o.secondaries.contains(&cache));
+        assert!(o.secondaries.contains(&udf_vars));
+    }
+
+    /// Distinct allocation sites map to their own containers.
+    #[test]
+    fn container_flow_keeps_sites_separate() {
+        use crate::ir::{Method, Program, Stmt, VarId};
+        let a_ty = UdtId(0);
+        let b_ty = UdtId(1);
+        let cache_a = ContainerId(2);
+        let cache_b = ContainerId(3);
+        let mut p = Program::new();
+        let entry = p.add(
+            Method::new("stage")
+                .stmt(Stmt::NewObject { dst: VarId(0), ty: a_ty })
+                .stmt(Stmt::WriteContainer { container: cache_a, value: VarId(0) })
+                .stmt(Stmt::NewObject { dst: VarId(1), ty: b_ty })
+                .stmt(Stmt::WriteContainer { container: cache_b, value: VarId(1) }),
+        );
+        let flow = analyze_container_flow(&p, entry);
+        assert_eq!(flow.holders.len(), 2);
+        for (site, holders) in &flow.holders {
+            let expected = if site.ty == a_ty { cache_a } else { cache_b };
+            assert_eq!(holders.iter().copied().collect::<Vec<_>>(), vec![expected]);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Size-types and their variability order (§3.1–§3.2).
+//!
+//! A UDT is safe to decompose into fixed byte segments only when the
+//! *data-sizes* of its instances cannot grow:
+//!
+//! * **SFST** (`StaticFixed`) — every instance has the same data-size,
+//!   constant over the run;
+//! * **RFST** (`RuntimeFixed`) — instances may differ in data-size, but no
+//!   instance's data-size changes after construction;
+//! * **VST** (`Variable`) — data-size may change after construction; unsafe
+//!   to decompose;
+//! * recursively-defined types may contain reference cycles and are never
+//!   decomposed.
+//!
+//! The paper defines the total variability order `SFST < RFST < VST`; the
+//! derived `Ord` below implements it, and the classification of a composite
+//! is the maximum over its parts.
+
+use std::fmt;
+
+/// The variability of a (non-recursive) type's data-size.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SizeType {
+    /// SFST: identical, unchanging data-size across all instances.
+    StaticFixed,
+    /// RFST: per-instance data-size fixed after construction.
+    RuntimeFixed,
+    /// VST: data-size may change during runtime.
+    Variable,
+}
+
+impl SizeType {
+    /// The classification of a composite is the most variable of its parts.
+    pub fn join(self, other: SizeType) -> SizeType {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for SizeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SizeType::StaticFixed => "SFST",
+            SizeType::RuntimeFixed => "RFST",
+            SizeType::Variable => "VST",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of classifying a type: either a size-type or recursively-defined.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Classification {
+    Sized(SizeType),
+    /// The type dependency graph contains a cycle (§3.1): instances can have
+    /// reference cycles, so decomposition is never safe.
+    RecurDef,
+}
+
+impl Classification {
+    /// Whether instances can be decomposed into byte sequences at all
+    /// (SFST or RFST).
+    pub fn is_decomposable(self) -> bool {
+        matches!(
+            self,
+            Classification::Sized(SizeType::StaticFixed)
+                | Classification::Sized(SizeType::RuntimeFixed)
+        )
+    }
+
+    pub fn size_type(self) -> Option<SizeType> {
+        match self {
+            Classification::Sized(s) => Some(s),
+            Classification::RecurDef => None,
+        }
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Classification::Sized(s) => s.fmt(f),
+            Classification::RecurDef => f.write_str("RecurDef"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variability_total_order() {
+        assert!(SizeType::StaticFixed < SizeType::RuntimeFixed);
+        assert!(SizeType::RuntimeFixed < SizeType::Variable);
+        assert_eq!(
+            SizeType::StaticFixed.join(SizeType::Variable),
+            SizeType::Variable
+        );
+        assert_eq!(
+            SizeType::RuntimeFixed.join(SizeType::StaticFixed),
+            SizeType::RuntimeFixed
+        );
+    }
+
+    #[test]
+    fn decomposability() {
+        assert!(Classification::Sized(SizeType::StaticFixed).is_decomposable());
+        assert!(Classification::Sized(SizeType::RuntimeFixed).is_decomposable());
+        assert!(!Classification::Sized(SizeType::Variable).is_decomposable());
+        assert!(!Classification::RecurDef.is_decomposable());
+        assert_eq!(Classification::RecurDef.size_type(), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Classification::Sized(SizeType::StaticFixed).to_string(), "SFST");
+        assert_eq!(Classification::Sized(SizeType::RuntimeFixed).to_string(), "RFST");
+        assert_eq!(Classification::Sized(SizeType::Variable).to_string(), "VST");
+        assert_eq!(Classification::RecurDef.to_string(), "RecurDef");
+    }
+}

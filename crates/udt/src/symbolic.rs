@@ -1,0 +1,257 @@
+//! Symbolized constant/copy propagation (§3.3, Figure 4).
+//!
+//! Values entering the call graph from outside (I/O reads, configuration)
+//! are represented as opaque *symbols* treated like constants. Expressions
+//! over symbols are normalised to affine form `c0 + Σ ci·symᵢ`, so the
+//! analysis can prove that two array allocation sites use *equivalent*
+//! lengths even when the concrete value is unknown — the paper's Figure 4
+//! example:
+//!
+//! ```text
+//! a = readString().toInt()   // a == Symbol(1)
+//! b = 2 + a - 1              // b == Symbol(1) + 1
+//! c = a + 1                  // c == Symbol(1) + 1
+//! new Array[Int](b)  /  new Array[Int](c)   // equal lengths
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An opaque symbol standing for a value unknown at analysis time.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SymId(pub u32);
+
+/// An affine symbolic expression: `constant + Σ coeff·sym`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SymExpr {
+    constant: i64,
+    /// Symbol coefficients; zero coefficients are never stored.
+    terms: BTreeMap<SymId, i64>,
+}
+
+impl SymExpr {
+    pub fn constant(c: i64) -> SymExpr {
+        SymExpr { constant: c, terms: BTreeMap::new() }
+    }
+
+    pub fn symbol(s: SymId) -> SymExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(s, 1);
+        SymExpr { constant: 0, terms }
+    }
+
+    /// The constant value, if the expression has no symbolic part.
+    pub fn as_constant(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.constant)
+    }
+
+    pub fn add(&self, other: &SymExpr) -> SymExpr {
+        let mut out = self.clone();
+        out.constant = out.constant.wrapping_add(other.constant);
+        for (&s, &c) in &other.terms {
+            let e = out.terms.entry(s).or_insert(0);
+            *e = e.wrapping_add(c);
+            if *e == 0 {
+                out.terms.remove(&s);
+            }
+        }
+        out
+    }
+
+    pub fn neg(&self) -> SymExpr {
+        SymExpr {
+            constant: self.constant.wrapping_neg(),
+            terms: self.terms.iter().map(|(&s, &c)| (s, c.wrapping_neg())).collect(),
+        }
+    }
+
+    pub fn sub(&self, other: &SymExpr) -> SymExpr {
+        self.add(&other.neg())
+    }
+
+    /// Multiply — affine only when at least one side is constant; returns
+    /// `None` for a non-linear product.
+    pub fn mul(&self, other: &SymExpr) -> Option<SymExpr> {
+        let scale = |e: &SymExpr, k: i64| SymExpr {
+            constant: e.constant.wrapping_mul(k),
+            terms: e
+                .terms
+                .iter()
+                .filter_map(|(&s, &c)| {
+                    let p = c.wrapping_mul(k);
+                    (p != 0).then_some((s, p))
+                })
+                .collect(),
+        };
+        if let Some(k) = self.as_constant() {
+            Some(scale(other, k))
+        } else {
+            other.as_constant().map(|k| scale(self, k))
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if self.constant != 0 || self.terms.is_empty() {
+            write!(f, "{}", self.constant)?;
+            first = false;
+        }
+        for (s, c) in &self.terms {
+            if first {
+                write!(f, "{c}*Symbol({})", s.0)?;
+                first = false;
+            } else if *c >= 0 {
+                write!(f, " + {c}*Symbol({})", s.0)?;
+            } else {
+                write!(f, " - {}*Symbol({})", -c, s.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A lattice over symbolic values used by the interprocedural propagation:
+/// `Unset ⊏ Affine(e) ⊏ Unknown`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Value {
+    /// Not yet computed (bottom).
+    #[default]
+    Unset,
+    /// A concrete affine expression.
+    Affine(SymExpr),
+    /// Conflicting or non-affine (top); compares unequal to everything.
+    Unknown,
+}
+
+impl Value {
+    pub fn constant(c: i64) -> Value {
+        Value::Affine(SymExpr::constant(c))
+    }
+
+    pub fn symbol(s: SymId) -> Value {
+        Value::Affine(SymExpr::symbol(s))
+    }
+
+    /// Lattice join: agreement keeps the value, disagreement goes to
+    /// `Unknown`.
+    pub fn join(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Unset, v) | (v, Value::Unset) => v.clone(),
+            (Value::Unknown, _) | (_, Value::Unknown) => Value::Unknown,
+            (Value::Affine(a), Value::Affine(b)) => {
+                if a == b {
+                    self.clone()
+                } else {
+                    Value::Unknown
+                }
+            }
+        }
+    }
+
+    /// Two values are *provably equal* only when both are affine and
+    /// identical.
+    pub fn provably_equal(&self, other: &Value) -> bool {
+        matches!((self, other), (Value::Affine(a), Value::Affine(b)) if a == b)
+    }
+
+    pub fn add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Affine(a), Value::Affine(b)) => Value::Affine(a.add(b)),
+            (Value::Unset, _) | (_, Value::Unset) => Value::Unset,
+            _ => Value::Unknown,
+        }
+    }
+
+    pub fn sub(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Affine(a), Value::Affine(b)) => Value::Affine(a.sub(b)),
+            (Value::Unset, _) | (_, Value::Unset) => Value::Unset,
+            _ => Value::Unknown,
+        }
+    }
+
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Affine(a), Value::Affine(b)) => {
+                a.mul(b).map(Value::Affine).unwrap_or(Value::Unknown)
+            }
+            (Value::Unset, _) | (_, Value::Unset) => Value::Unset,
+            _ => Value::Unknown,
+        }
+    }
+}
+
+/// Allocator of fresh symbols (one per external read / unknown parameter).
+#[derive(Default, Debug)]
+pub struct SymbolAllocator {
+    next: u32,
+}
+
+impl SymbolAllocator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn fresh(&mut self) -> SymId {
+        let id = SymId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_equivalence() {
+        // a = Symbol(1); b = 2 + a - 1; c = a + 1  =>  b == c
+        let a = SymExpr::symbol(SymId(1));
+        let b = SymExpr::constant(2).add(&a).sub(&SymExpr::constant(1));
+        let c = a.add(&SymExpr::constant(1));
+        assert_eq!(b, c);
+        assert_eq!(b.to_string(), "1 + 1*Symbol(1)");
+    }
+
+    #[test]
+    fn cancellation_and_constants() {
+        let a = SymExpr::symbol(SymId(0));
+        let zero = a.sub(&a);
+        assert_eq!(zero.as_constant(), Some(0));
+        let five = SymExpr::constant(2).add(&SymExpr::constant(3));
+        assert_eq!(five.as_constant(), Some(5));
+    }
+
+    #[test]
+    fn linear_multiplication_only() {
+        let a = SymExpr::symbol(SymId(0));
+        let doubled = a.mul(&SymExpr::constant(2)).unwrap();
+        assert_eq!(doubled, a.add(&a));
+        assert!(a.mul(&a).is_none(), "a*a is not affine");
+    }
+
+    #[test]
+    fn value_join_lattice() {
+        let a = Value::constant(3);
+        let b = Value::constant(3);
+        let c = Value::constant(4);
+        assert_eq!(a.join(&b), a);
+        assert_eq!(a.join(&c), Value::Unknown);
+        assert_eq!(Value::Unset.join(&a), a);
+        assert_eq!(Value::Unknown.join(&a), Value::Unknown);
+        assert!(a.provably_equal(&b));
+        assert!(!a.provably_equal(&c));
+        assert!(!Value::Unknown.provably_equal(&Value::Unknown));
+    }
+
+    #[test]
+    fn value_arithmetic_propagates_unknown() {
+        let a = Value::symbol(SymId(2));
+        let u = Value::Unknown;
+        assert_eq!(a.add(&u), Value::Unknown);
+        assert_eq!(a.mul(&Value::constant(0)), Value::constant(0));
+        assert_eq!(a.sub(&a), Value::constant(0));
+    }
+}

@@ -1,0 +1,306 @@
+//! Type descriptors: UDTs, arrays, primitive kinds, and per-field type-sets.
+//!
+//! A field's **type-set** is the set of possible *runtime* types of the
+//! objects it references. The paper obtains type-sets with a points-to
+//! analysis in its pre-processing phase (§3.2, §5); here they are supplied
+//! explicitly when the UDT is declared, since our workloads describe their
+//! types directly. The declared type of a field can be abstract (e.g.
+//! `Vector`) while the type-set lists concrete types (`DenseVector`,
+//! `SparseVector`).
+
+use std::fmt;
+
+/// Primitive value kinds (the leaves of every object graph).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PrimKind {
+    Bool,
+    I8,
+    I16,
+    Char,
+    I32,
+    F32,
+    I64,
+    F64,
+}
+
+impl PrimKind {
+    /// JVM width of this primitive in bytes — the contribution of one such
+    /// leaf field to an object's *data-size* (§3.1).
+    pub fn byte_size(self) -> usize {
+        match self {
+            PrimKind::Bool | PrimKind::I8 => 1,
+            PrimKind::I16 | PrimKind::Char => 2,
+            PrimKind::I32 | PrimKind::F32 => 4,
+            PrimKind::I64 | PrimKind::F64 => 8,
+        }
+    }
+}
+
+/// Identifier of a registered UDT.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct UdtId(pub u32);
+
+/// Identifier of a registered array type.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// A reference to any type in the registry.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TypeRef {
+    Prim(PrimKind),
+    Udt(UdtId),
+    Array(ArrayId),
+}
+
+impl TypeRef {
+    pub fn is_prim(self) -> bool {
+        matches!(self, TypeRef::Prim(_))
+    }
+}
+
+/// A field of a UDT (or the element pseudo-field of an array type).
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    pub name: String,
+    /// The declared (possibly abstract) type. Not used by the analyses
+    /// directly — the type-set is — but kept for diagnostics.
+    pub declared: TypeRef,
+    /// All possible runtime types of objects this field can reference.
+    pub type_set: Vec<TypeRef>,
+    /// Whether the field is `final` (`val` in Scala): assignable exactly
+    /// once, in the constructor.
+    pub is_final: bool,
+}
+
+impl FieldDecl {
+    pub fn new(name: impl Into<String>, declared: TypeRef) -> FieldDecl {
+        FieldDecl { name: name.into(), declared, type_set: vec![declared], is_final: false }
+    }
+
+    pub fn final_(mut self) -> FieldDecl {
+        self.is_final = true;
+        self
+    }
+
+    /// Replace the type-set (used when the declared type is abstract).
+    pub fn with_type_set(mut self, ts: Vec<TypeRef>) -> FieldDecl {
+        self.type_set = ts;
+        self
+    }
+}
+
+/// A user-defined (record) type.
+#[derive(Clone, Debug)]
+pub struct UdtDescriptor {
+    pub name: String,
+    pub fields: Vec<FieldDecl>,
+}
+
+/// An array type. Per the paper (§3.2) an array is modelled as having a
+/// length field plus an *element field*; the element field is never
+/// init-only (footnote 1) and never `final`.
+#[derive(Clone, Debug)]
+pub struct ArrayDescriptor {
+    pub name: String,
+    pub elem: FieldDecl,
+}
+
+/// Registry of all UDTs and array types in an analysis universe.
+#[derive(Default, Debug)]
+pub struct TypeRegistry {
+    udts: Vec<UdtDescriptor>,
+    arrays: Vec<ArrayDescriptor>,
+}
+
+impl TypeRegistry {
+    pub fn new() -> TypeRegistry {
+        TypeRegistry::default()
+    }
+
+    pub fn define_udt(&mut self, desc: UdtDescriptor) -> UdtId {
+        let id = UdtId(self.udts.len() as u32);
+        self.udts.push(desc);
+        id
+    }
+
+    /// Define an array type whose elements are of the single runtime type
+    /// `elem`.
+    pub fn define_array(&mut self, name: impl Into<String>, elem: TypeRef) -> ArrayId {
+        self.define_array_with_type_set(name, elem, vec![elem])
+    }
+
+    /// Define an array type whose element field has an explicit type-set
+    /// (e.g. `Array[Vector]` holding `DenseVector` or `SparseVector`).
+    pub fn define_array_with_type_set(
+        &mut self,
+        name: impl Into<String>,
+        declared_elem: TypeRef,
+        type_set: Vec<TypeRef>,
+    ) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDescriptor {
+            name: name.into(),
+            elem: FieldDecl {
+                name: "<elem>".to_string(),
+                declared: declared_elem,
+                type_set,
+                is_final: false,
+            },
+        });
+        id
+    }
+
+    pub fn udt(&self, id: UdtId) -> &UdtDescriptor {
+        &self.udts[id.0 as usize]
+    }
+
+    pub fn udt_mut(&mut self, id: UdtId) -> &mut UdtDescriptor {
+        &mut self.udts[id.0 as usize]
+    }
+
+    pub fn array(&self, id: ArrayId) -> &ArrayDescriptor {
+        &self.arrays[id.0 as usize]
+    }
+
+    pub fn udt_count(&self) -> usize {
+        self.udts.len()
+    }
+
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    pub fn type_name(&self, t: TypeRef) -> String {
+        match t {
+            TypeRef::Prim(p) => format!("{p:?}"),
+            TypeRef::Udt(u) => self.udt(u).name.clone(),
+            TypeRef::Array(a) => self.array(a).name.clone(),
+        }
+    }
+
+    /// The *static data-size* of a type (§3.1): the sum of primitive leaf
+    /// sizes in its static object reference graph, assuming every array has
+    /// length `array_len`. Returns `None` for recursively-defined types
+    /// (infinite graphs) or when any reachable array makes the size
+    /// length-dependent and `array_len` is `None`.
+    pub fn static_data_size(&self, t: TypeRef, array_len: Option<usize>) -> Option<usize> {
+        let mut visiting = Vec::new();
+        self.data_size_rec(t, array_len, &mut visiting)
+    }
+
+    fn data_size_rec(
+        &self,
+        t: TypeRef,
+        array_len: Option<usize>,
+        visiting: &mut Vec<TypeRef>,
+    ) -> Option<usize> {
+        if visiting.contains(&t) {
+            return None; // recursively defined
+        }
+        match t {
+            TypeRef::Prim(p) => Some(p.byte_size()),
+            TypeRef::Udt(u) => {
+                visiting.push(t);
+                let mut total = 0usize;
+                for f in &self.udt(u).fields {
+                    // Data-size is an upper bound over the type-set.
+                    let mut worst = 0usize;
+                    for &rt in &f.type_set {
+                        worst = worst.max(self.data_size_rec(rt, array_len, visiting)?);
+                    }
+                    total += worst;
+                }
+                visiting.pop();
+                Some(total)
+            }
+            TypeRef::Array(a) => {
+                let len = array_len?;
+                visiting.push(t);
+                let mut worst = 0usize;
+                for &rt in &self.array(a).elem.type_set {
+                    worst = worst.max(self.data_size_rec(rt, array_len, visiting)?);
+                }
+                visiting.pop();
+                Some(len * worst)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeRef::Prim(p) => write!(f, "{p:?}"),
+            TypeRef::Udt(u) => write!(f, "udt#{}", u.0),
+            TypeRef::Array(a) => write!(f, "array#{}", a.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_size_of_labeled_point() {
+        // LabeledPoint { label: f64, features: DenseVector { data: f64[], 3×i32 } }
+        let mut reg = TypeRegistry::new();
+        let farr = reg.define_array("double[]", TypeRef::Prim(PrimKind::F64));
+        let dv = reg.define_udt(UdtDescriptor {
+            name: "DenseVector".into(),
+            fields: vec![
+                FieldDecl::new("data", TypeRef::Array(farr)).final_(),
+                FieldDecl::new("offset", TypeRef::Prim(PrimKind::I32)),
+                FieldDecl::new("stride", TypeRef::Prim(PrimKind::I32)),
+                FieldDecl::new("length", TypeRef::Prim(PrimKind::I32)),
+            ],
+        });
+        let lp = reg.define_udt(UdtDescriptor {
+            name: "LabeledPoint".into(),
+            fields: vec![
+                FieldDecl::new("label", TypeRef::Prim(PrimKind::F64)),
+                FieldDecl::new("features", TypeRef::Udt(dv)),
+            ],
+        });
+        // label 8 + data 10*8 + 3*4 ints = 100
+        assert_eq!(reg.static_data_size(TypeRef::Udt(lp), Some(10)), Some(100));
+        // Without a length, size is undetermined.
+        assert_eq!(reg.static_data_size(TypeRef::Udt(lp), None), None);
+    }
+
+    #[test]
+    fn data_size_of_recursive_type_is_none() {
+        let mut reg = TypeRegistry::new();
+        let node = reg.define_udt(UdtDescriptor {
+            name: "Node".into(),
+            fields: vec![FieldDecl::new("v", TypeRef::Prim(PrimKind::I64))],
+        });
+        reg.udt_mut(node)
+            .fields
+            .push(FieldDecl::new("next", TypeRef::Udt(node)));
+        assert_eq!(reg.static_data_size(TypeRef::Udt(node), Some(4)), None);
+    }
+
+    #[test]
+    fn type_set_upper_bound() {
+        // A field that may hold either an 8-byte or a 16-byte UDT counts 16.
+        let mut reg = TypeRegistry::new();
+        let small = reg.define_udt(UdtDescriptor {
+            name: "Small".into(),
+            fields: vec![FieldDecl::new("x", TypeRef::Prim(PrimKind::F64))],
+        });
+        let big = reg.define_udt(UdtDescriptor {
+            name: "Big".into(),
+            fields: vec![
+                FieldDecl::new("x", TypeRef::Prim(PrimKind::F64)),
+                FieldDecl::new("y", TypeRef::Prim(PrimKind::F64)),
+            ],
+        });
+        let holder = reg.define_udt(UdtDescriptor {
+            name: "Holder".into(),
+            fields: vec![FieldDecl::new("v", TypeRef::Udt(small))
+                .with_type_set(vec![TypeRef::Udt(small), TypeRef::Udt(big)])],
+        });
+        assert_eq!(reg.static_data_size(TypeRef::Udt(holder), None), Some(16));
+    }
+}

@@ -1,0 +1,78 @@
+//! The size-type classification pipeline on the paper's examples:
+//! local analysis (Algorithm 1), global refinement (Algorithms 2–4), and
+//! phased refinement (§3.4), with the resulting optimizer decisions.
+//!
+//! Run with: `cargo run --example classify_types`
+
+use deca_core::{ContainerDecision, ContainerInfo, Optimizer};
+use deca_udt::fixtures::{group_by_program, lr_program};
+use deca_udt::{
+    classify_local, ContainerId, ContainerKind, GlobalAnalysis, JobPhases, TypeRef,
+};
+
+fn main() {
+    // ----------------------------------------------------------- LR
+    let lr = lr_program();
+    let lp = TypeRef::Udt(lr.types.labeled_point);
+    let dv = TypeRef::Udt(lr.types.dense_vector);
+
+    println!("LogisticRegression types (Figures 1-3):");
+    println!("  local  DenseVector  = {}", classify_local(&lr.types.registry, dv));
+    println!("  local  LabeledPoint = {}", classify_local(&lr.types.registry, lp));
+    let ga = GlobalAnalysis::new(&lr.types.registry, &lr.program, lr.stage_entry);
+    println!("  global DenseVector  = {}", ga.classify(dv));
+    println!(
+        "  global LabeledPoint = {}  (features init-only, data length == D)",
+        ga.classify(lp)
+    );
+
+    let opt = Optimizer::new(&lr.types.registry, &lr.program);
+    let phases = JobPhases::new().phase("map", lr.stage_entry);
+    let plan = opt.plan(
+        &phases,
+        &[ContainerInfo {
+            id: ContainerId(0),
+            kind: ContainerKind::CachedRdd,
+            created_seq: 0,
+            content: lp,
+            write_phase: 0,
+        }],
+        &[],
+    );
+    println!("  optimizer decision for the cached RDD: {:?}", plan.decision(ContainerId(0)));
+
+    // ------------------------------------------------- phased groupBy
+    let g = group_by_program();
+    let group_ty = TypeRef::Udt(g.group);
+    println!("\ngroupByKey phased refinement (§3.4):");
+    let phases = JobPhases::new()
+        .phase("combine", g.build_entry)
+        .phase("iterate", g.read_entry);
+    for result in deca_udt::classify_phased(&g.registry, &g.program, &phases, &[group_ty]) {
+        println!("  phase {:<8} Group = {}", result.phase, result.of(group_ty).unwrap());
+    }
+    let opt = Optimizer::new(&g.registry, &g.program);
+    let plan = opt.plan(
+        &phases,
+        &[
+            ContainerInfo {
+                id: ContainerId(0),
+                kind: ContainerKind::ShuffleBuffer,
+                created_seq: 0,
+                content: group_ty,
+                write_phase: 0,
+            },
+            ContainerInfo {
+                id: ContainerId(1),
+                kind: ContainerKind::CachedRdd,
+                created_seq: 1,
+                content: group_ty,
+                write_phase: 0,
+            },
+        ],
+        &[],
+    );
+    println!("  shuffle buffer: {:?}", plan.decision(ContainerId(0)));
+    println!("  downstream cache: {:?}  (Figure 7b)", plan.decision(ContainerId(1)));
+    assert_eq!(plan.decision(ContainerId(1)), &ContainerDecision::DecomposeOnCopy);
+}

@@ -1,0 +1,42 @@
+//! The §6.6 SQL comparison (Table 6): Spark RDD rows vs a Spark SQL-style
+//! columnar store vs Deca decomposed rows, on the two exploratory queries.
+//!
+//! Run with: `cargo run --release --example sql_analytics`
+
+use deca_apps::sql::{run_query1, run_query2, SqlParams, SqlSystem};
+
+fn main() {
+    let base = SqlParams::small(SqlSystem::Spark);
+    println!(
+        "rankings: {} rows   uservisits: {} rows ({} groups)\n",
+        base.rankings_rows, base.uservisits_rows, base.groups
+    );
+
+    println!("Query 1  SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100");
+    for system in SqlSystem::ALL {
+        let mut p = base.clone();
+        p.system = system;
+        let r = run_query1(&p);
+        println!(
+            "  {:<10} exec={:>8.2}ms gc={:>7.2}ms cache={:>7.2}MB",
+            system.name(),
+            r.exec().as_secs_f64() * 1e3,
+            r.gc().as_secs_f64() * 1e3,
+            r.cache_bytes as f64 / (1 << 20) as f64
+        );
+    }
+
+    println!("\nQuery 2  SELECT SUBSTR(sourceIP,1,5), SUM(adRevenue) FROM uservisits GROUP BY ...");
+    for system in SqlSystem::ALL {
+        let mut p = base.clone();
+        p.system = system;
+        let r = run_query2(&p);
+        println!(
+            "  {:<10} exec={:>8.2}ms gc={:>7.2}ms cache={:>7.2}MB",
+            system.name(),
+            r.exec().as_secs_f64() * 1e3,
+            r.gc().as_secs_f64() * 1e3,
+            r.cache_bytes as f64 / (1 << 20) as f64
+        );
+    }
+}
