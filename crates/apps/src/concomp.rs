@@ -94,8 +94,7 @@ pub fn run(params: &CcParams) -> AppReport {
                         let l = labels[a.vertex as usize];
                         for &dst in &a.neighbors {
                             // Message both ways so components converge.
-                            for (k, v) in
-                                [(dst as i64, l), (a.vertex as i64, labels[dst as usize])]
+                            for (k, v) in [(dst as i64, l), (a.vertex as i64, labels[dst as usize])]
                             {
                                 let tmp =
                                     (k, v).store(&mut e.heap, &pair_classes).expect("temp msg");
@@ -106,8 +105,7 @@ pub fn run(params: &CcParams) -> AppReport {
                                     e.heap.stack_ref(ts),
                                 );
                                 e.heap.truncate_stack(ts);
-                                buf.insert(&mut e.heap, k, v, |a, b| a.min(b))
-                                    .expect("combine");
+                                buf.insert(&mut e.heap, k, v, |a, b| a.min(b)).expect("combine");
                             }
                         }
                     }
@@ -123,10 +121,9 @@ pub fn run(params: &CcParams) -> AppReport {
                             mm,
                             heap,
                             |bytes| {
-                                let vertex =
-                                    u32::from_le_bytes(bytes[..4].try_into().unwrap());
-                                let n = u32::from_le_bytes(bytes[4..8].try_into().unwrap())
-                                    as usize;
+                                let vertex = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+                                let n =
+                                    u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
                                 let l = labels[vertex as usize];
                                 for j in 0..n {
                                     let dst = u32::from_le_bytes(

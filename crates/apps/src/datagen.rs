@@ -10,8 +10,7 @@
 //! Everything is deterministic given a seed, so cross-mode result checks
 //! and repeated benchmark runs compare identical inputs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use deca_check::rng::{Rng, Xoshiro256StarStar};
 
 use crate::records::{LabeledPointRec, RankingRec, UserVisitRec};
 
@@ -59,7 +58,7 @@ impl Zipf {
 
     /// Sample a rank in `0..n` (0 = most frequent).
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
+        let u = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u)
     }
 }
@@ -67,7 +66,7 @@ impl Zipf {
 /// Word-id stream with Zipf-distributed frequencies over `distinct` keys
 /// (the WC input; the paper varies both size and distinct-key count).
 pub fn zipf_words(n: usize, distinct: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let zipf = Zipf::new(distinct, 1.05);
     // Permute ranks to ids so frequent keys are not consecutive.
     let stride = coprime_stride(distinct);
@@ -82,7 +81,7 @@ pub fn zipf_words(n: usize, distinct: usize, seed: u64) -> Vec<i64> {
 /// `n` labeled dense vectors of dimension `d` (LR/KMeans input). Labels are
 /// ±1; features are two noisy Gaussian-ish clusters so LR has signal.
 pub fn labeled_vectors(n: usize, d: usize, seed: u64) -> Vec<LabeledPointRec> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let label = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
@@ -101,7 +100,7 @@ pub fn labeled_vectors(n: usize, d: usize, seed: u64) -> Vec<LabeledPointRec> {
 /// Zipf-skewed source and destination degrees (LiveJournal-like shape).
 /// Returns an edge list.
 pub fn power_law_graph(vertices: usize, edges: usize, seed: u64) -> Vec<(u32, u32)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let zipf = Zipf::new(vertices, 0.9);
     let stride = coprime_stride(vertices);
     let perm = |rank: usize| ((rank as u64 * stride) % vertices as u64) as u32;
@@ -119,11 +118,11 @@ pub fn power_law_graph(vertices: usize, edges: usize, seed: u64) -> Vec<(u32, u3
 
 /// `rankings(n)` rows: pageRank Zipf-ish in 0..1000.
 pub fn rankings(n: usize, seed: u64) -> Vec<RankingRec> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     (0..n)
         .map(|i| RankingRec {
             url_id: i as i64,
-            page_rank: (1000.0 / (1.0 + rng.gen::<f64>() * 99.0)) as i32,
+            page_rank: (1000.0 / (1.0 + rng.gen_f64() * 99.0)) as i32,
             avg_duration: rng.gen_range(1..100),
         })
         .collect()
@@ -132,7 +131,7 @@ pub fn rankings(n: usize, seed: u64) -> Vec<RankingRec> {
 /// `uservisits(n)` rows: `groups` distinct sourceIP prefixes (the Query 2
 /// GROUP BY cardinality), revenue uniform.
 pub fn uservisits(n: usize, groups: usize, seed: u64) -> Vec<UserVisitRec> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     (0..n)
         .map(|_| UserVisitRec {
             ip_prefix: rng.gen_range(0..groups as i64),
@@ -179,6 +178,49 @@ mod tests {
         assert!(counts[0] > 10 * counts[counts.len() / 2], "head much heavier than median");
         assert!(freq.len() <= 1000);
         assert!(freq.len() > 500, "most keys appear");
+    }
+
+    /// FNV-1a over a byte stream: a stable fingerprint for golden tests.
+    fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Golden checksums: the generators are part of the experimental
+    /// record (EXPERIMENTS.md compares runs across PRs), so their output
+    /// for a fixed seed must never drift — not across platforms, and not
+    /// when the PRNG or samplers are "improved".
+    #[test]
+    fn generator_outputs_match_golden_checksums() {
+        let words = zipf_words(10_000, 500, 42);
+        let wc = fnv1a(words.iter().flat_map(|w| w.to_le_bytes()));
+        assert_eq!(wc, 0x03d6c9c61dc2d4a3, "zipf_words(10000, 500, 42) drifted");
+
+        let vecs = labeled_vectors(200, 8, 7);
+        let vc = fnv1a(vecs.iter().flat_map(|p| {
+            p.label.to_le_bytes().into_iter().chain(p.features.iter().flat_map(|f| f.to_le_bytes()))
+        }));
+        assert_eq!(vc, 0xde78e031eb106daf, "labeled_vectors(200, 8, 7) drifted");
+
+        let graph = power_law_graph(1000, 5_000, 1);
+        let gc = fnv1a(
+            graph.iter().flat_map(|(s, d)| s.to_le_bytes().into_iter().chain(d.to_le_bytes())),
+        );
+        assert_eq!(gc, 0xee96e6310686d07e, "power_law_graph(1000, 5000, 1) drifted");
+
+        let visits = uservisits(1_000, 50, 4);
+        let uc = fnv1a(visits.iter().flat_map(|u| {
+            u.ip_prefix
+                .to_le_bytes()
+                .into_iter()
+                .chain(u.url_id.to_le_bytes())
+                .chain(u.ad_revenue.to_le_bytes())
+        }));
+        assert_eq!(uc, 0xca44f7e6695176b2, "uservisits(1000, 50, 4) drifted");
     }
 
     #[test]

@@ -105,23 +105,22 @@ pub fn run(params: &KmParams) -> AppReport {
         let mut counts = vec![0usize; k];
         for (pi, &block) in blocks.iter().enumerate() {
             exec.run_task(format!("km-iter{iter}-{pi}"), |e| {
-                let assign =
-                    |features: &dyn Fn(usize) -> f64, centroids: &[Vec<f64>]| -> usize {
-                        let mut best = 0;
-                        let mut best_d = f64::INFINITY;
-                        for (c, cent) in centroids.iter().enumerate() {
-                            let mut dist = 0.0;
-                            for j in 0..d {
-                                let diff = features(j) - cent[j];
-                                dist += diff * diff;
-                            }
-                            if dist < best_d {
-                                best_d = dist;
-                                best = c;
-                            }
+                let assign = |features: &dyn Fn(usize) -> f64, centroids: &[Vec<f64>]| -> usize {
+                    let mut best = 0;
+                    let mut best_d = f64::INFINITY;
+                    for (c, cent) in centroids.iter().enumerate() {
+                        let mut dist = 0.0;
+                        for j in 0..d {
+                            let diff = features(j) - cent[j];
+                            dist += diff * diff;
                         }
-                        best
-                    };
+                        if dist < best_d {
+                            best_d = dist;
+                            best = c;
+                        }
+                    }
+                    best
+                };
                 match params.mode {
                     ExecutionMode::Spark => {
                         let (root, len) = e
@@ -134,8 +133,7 @@ pub fn run(params: &KmParams) -> AppReport {
                             let dv = e.heap.read_ref(lp, 1);
                             let data_arr = e.heap.read_ref(dv, 0);
                             let heap = &e.heap;
-                            let best =
-                                assign(&|j| heap.array_get_f64(data_arr, j), &centroids);
+                            let best = assign(&|j| heap.array_get_f64(data_arr, j), &centroids);
                             // The map's temporary (closest, 1.0) pair.
                             let tmp = (best as i64, 1.0f64)
                                 .store(&mut e.heap, &pair_classes)
@@ -171,8 +169,7 @@ pub fn run(params: &KmParams) -> AppReport {
                             let dv = e.heap.read_ref(lp, 1);
                             let data_arr = e.heap.read_ref(dv, 0);
                             let heap = &e.heap;
-                            let best =
-                                assign(&|j| heap.array_get_f64(data_arr, j), &centroids);
+                            let best = assign(&|j| heap.array_get_f64(data_arr, j), &centroids);
                             counts[best] += 1;
                             for j in 0..d {
                                 sums[best][j] += e.heap.array_get_f64(data_arr, j);

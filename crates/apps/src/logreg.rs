@@ -187,10 +187,8 @@ fn spark_gradient(
     gradient: &mut [f64],
 ) {
     let d = weights.len();
-    let (root, len) = e
-        .cache
-        .objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)
-        .expect("cache access");
+    let (root, len) =
+        e.cache.objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm).expect("cache access");
     for i in 0..len {
         let arr = e.heap.root_ref(root);
         let lp = e.heap.array_get_ref(arr, i);

@@ -11,8 +11,8 @@
 use deca_core::optimizer::ContainerDecision;
 use deca_core::{DecaHashShuffle, Optimizer};
 use deca_engine::record::HeapRecord;
-use deca_udt::{ContainerId, ContainerKind, JobPhases, TypeRef};
 use deca_engine::{ExecutionMode, Executor, ExecutorConfig, SparkGroupShuffle, SparkHashShuffle};
+use deca_udt::{ContainerId, ContainerKind, JobPhases, TypeRef};
 
 use crate::datagen;
 use crate::records::AdjListRec;
@@ -101,10 +101,9 @@ pub fn build_adjacency(
                         .cache
                         .put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, &adj)
                         .expect("cache put"),
-                    ExecutionMode::Deca => e
-                        .cache
-                        .put_deca(&mut e.heap, &mut e.mm, &adj)
-                        .expect("cache put"),
+                    ExecutionMode::Deca => {
+                        e.cache.put_deca(&mut e.heap, &mut e.mm, &adj).expect("cache put")
+                    }
                 };
                 buf.release(&mut e.heap);
                 block
@@ -149,9 +148,8 @@ fn messages_from_block(
                             let edges_arr = e.heap.read_ref(v, 1);
                             let dst = e.heap.array_get_i32(edges_arr, j) as i64;
                             // Temporary message tuple, then eager combine.
-                            let tmp = (dst, contrib)
-                                .store(&mut e.heap, pair_classes)
-                                .expect("temp msg");
+                            let tmp =
+                                (dst, contrib).store(&mut e.heap, pair_classes).expect("temp msg");
                             let ts = e.heap.push_stack(tmp);
                             let (k, val) = <(i64, f64) as HeapRecord>::load(
                                 &e.heap,
@@ -219,17 +217,11 @@ fn messages_from_block(
                 )
                 .expect("cache scan");
             for (dst, contrib) in msgs {
-                buf.insert(
-                    mm,
-                    heap,
-                    &dst.to_le_bytes(),
-                    &contrib.to_le_bytes(),
-                    |acc, add| {
-                        let a = f64::from_le_bytes(acc[..8].try_into().unwrap());
-                        let b = f64::from_le_bytes(add[..8].try_into().unwrap());
-                        acc[..8].copy_from_slice(&(a + b).to_le_bytes());
-                    },
-                )
+                buf.insert(mm, heap, &dst.to_le_bytes(), &contrib.to_le_bytes(), |acc, add| {
+                    let a = f64::from_le_bytes(acc[..8].try_into().unwrap());
+                    let b = f64::from_le_bytes(add[..8].try_into().unwrap());
+                    acc[..8].copy_from_slice(&(a + b).to_le_bytes());
+                })
                 .expect("combine");
             }
         }
@@ -290,11 +282,10 @@ pub fn run(params: &PrParams) -> AppReport {
     for iter in 0..params.iterations {
         // Fresh shuffle buffer per iteration; the old one is released
         // (Spark: becomes garbage; Deca: pages freed immediately) — §6.3.
-        let mut spark_sums: Option<SparkHashShuffle<i64, f64>> =
-            match params.mode {
-                ExecutionMode::Deca => None,
-                _ => Some(SparkHashShuffle::new(&mut exec.heap).expect("buffer")),
-            };
+        let mut spark_sums: Option<SparkHashShuffle<i64, f64>> = match params.mode {
+            ExecutionMode::Deca => None,
+            _ => Some(SparkHashShuffle::new(&mut exec.heap).expect("buffer")),
+        };
         let mut deca_sums: Option<DecaHashShuffle> = match params.mode {
             ExecutionMode::Deca => Some(DecaHashShuffle::new(&mut exec.mm, 8, 8)),
             _ => None,

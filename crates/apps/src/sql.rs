@@ -104,10 +104,8 @@ pub struct SqlReport {
 
 /// Run Query 1 (filter on `rankings`).
 pub fn run_query1(params: &SqlParams) -> AppReport {
-    let mut exec = Executor::new(ExecutorConfig::new(
-        params.system.engine_mode(),
-        params.heap_bytes,
-    ));
+    let mut exec =
+        Executor::new(ExecutorConfig::new(params.system.engine_mode(), params.heap_bytes));
     let rows = datagen::rankings(params.rankings_rows, params.seed);
     let parts = datagen::partition(&rows, params.partitions);
     let classes = RankingRec::register(&mut exec.heap);
@@ -194,9 +192,8 @@ pub fn run_query1(params: &SqlParams) -> AppReport {
                                     mm,
                                     heap,
                                     |bytes| {
-                                        let rank = i32::from_le_bytes(
-                                            bytes[8..12].try_into().unwrap(),
-                                        );
+                                        let rank =
+                                            i32::from_le_bytes(bytes[8..12].try_into().unwrap());
                                         if rank > 100 {
                                             count += 1;
                                             ranksum += rank as i64;
@@ -216,8 +213,7 @@ pub fn run_query1(params: &SqlParams) -> AppReport {
                     let mut col = vec![0u8; 4 * n];
                     e.heap.byte_array_read(arr, 8 * n, &mut col);
                     for i in 0..n {
-                        let rank =
-                            i32::from_le_bytes(col[i * 4..i * 4 + 4].try_into().unwrap());
+                        let rank = i32::from_le_bytes(col[i * 4..i * 4 + 4].try_into().unwrap());
                         if rank > 100 {
                             count += 1;
                             ranksum += rank as i64;
@@ -245,10 +241,8 @@ pub fn run_query1(params: &SqlParams) -> AppReport {
 
 /// Run Query 2 (group-by aggregation on `uservisits`).
 pub fn run_query2(params: &SqlParams) -> AppReport {
-    let mut exec = Executor::new(ExecutorConfig::new(
-        params.system.engine_mode(),
-        params.heap_bytes,
-    ));
+    let mut exec =
+        Executor::new(ExecutorConfig::new(params.system.engine_mode(), params.heap_bytes));
     let rows = datagen::uservisits(params.uservisits_rows, params.groups, params.seed + 1);
     let parts = datagen::partition(&rows, params.partitions);
     let classes = UserVisitRec::register(&mut exec.heap);
@@ -321,8 +315,7 @@ pub fn run_query2(params: &SqlParams) -> AppReport {
                             let row = e.heap.array_get_ref(arr, i);
                             let ip = e.heap.read_i64(row, 0);
                             let rev = e.heap.read_f64(row, 2);
-                            let tmp =
-                                (ip, rev).store(&mut e.heap, &pair_classes).expect("temp");
+                            let tmp = (ip, rev).store(&mut e.heap, &pair_classes).expect("temp");
                             let ts = e.heap.push_stack(tmp);
                             let (k, v) = <(i64, f64) as HeapRecord>::load(
                                 &e.heap,
@@ -350,12 +343,8 @@ pub fn run_query2(params: &SqlParams) -> AppReport {
                                 mm,
                                 heap,
                                 |bytes| {
-                                    let ip = i64::from_le_bytes(
-                                        bytes[..8].try_into().unwrap(),
-                                    );
-                                    let rev = f64::from_le_bytes(
-                                        bytes[16..24].try_into().unwrap(),
-                                    );
+                                    let ip = i64::from_le_bytes(bytes[..8].try_into().unwrap());
+                                    let rev = f64::from_le_bytes(bytes[16..24].try_into().unwrap());
                                     pairs.push((ip, rev));
                                 },
                                 |_| {},
@@ -368,10 +357,8 @@ pub fn run_query2(params: &SqlParams) -> AppReport {
                                 &ip.to_le_bytes(),
                                 &rev.to_le_bytes(),
                                 |acc, add| {
-                                    let a =
-                                        f64::from_le_bytes(acc[..8].try_into().unwrap());
-                                    let b =
-                                        f64::from_le_bytes(add[..8].try_into().unwrap());
+                                    let a = f64::from_le_bytes(acc[..8].try_into().unwrap());
+                                    let b = f64::from_le_bytes(add[..8].try_into().unwrap());
                                     acc[..8].copy_from_slice(&(a + b).to_le_bytes());
                                 },
                             )
@@ -452,20 +439,19 @@ pub fn run_query2(params: &SqlParams) -> AppReport {
 /// output materialises a temporary aggregate object and every combine
 /// allocates a new one; Deca and the columnar engine combine in place.
 pub fn run_query3(params: &SqlParams) -> AppReport {
-    let mut exec = Executor::new(ExecutorConfig::new(
-        params.system.engine_mode(),
-        params.heap_bytes,
-    ));
+    let mut exec =
+        Executor::new(ExecutorConfig::new(params.system.engine_mode(), params.heap_bytes));
     // url space must overlap: rankings urls are 0..rankings_rows, and the
     // generator draws visit urls from 0..1M — restrict for join hits.
     let rankings: Vec<RankingRec> = datagen::rankings(params.rankings_rows, params.seed);
-    let visits: Vec<UserVisitRec> = datagen::uservisits(params.uservisits_rows, params.groups, params.seed + 1)
-        .into_iter()
-        .map(|mut v| {
-            v.url_id %= params.rankings_rows as i64;
-            v
-        })
-        .collect();
+    let visits: Vec<UserVisitRec> =
+        datagen::uservisits(params.uservisits_rows, params.groups, params.seed + 1)
+            .into_iter()
+            .map(|mut v| {
+                v.url_id %= params.rankings_rows as i64;
+                v
+            })
+            .collect();
     let rank_parts = datagen::partition(&rankings, params.partitions);
     let visit_parts = datagen::partition(&visits, params.partitions);
     let r_classes = RankingRec::register(&mut exec.heap);
@@ -607,8 +593,7 @@ pub fn run_query3(params: &SqlParams) -> AppReport {
                     for i in 0..n {
                         let url = i64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
                         let off = 8 * n + i * 4;
-                        let rank =
-                            i32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+                        let rank = i32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
                         build.insert(url, rank);
                     }
                 }
@@ -635,21 +620,19 @@ pub fn run_query3(params: &SqlParams) -> AppReport {
                             // Probe output materialises a temp aggregate.
                             let delta =
                                 JoinAggRec { revenue: rev, rank_sum: rank as f64, count: 1 };
-                            let tmp =
-                                delta.store(&mut e.heap, &agg_classes).expect("temp agg");
+                            let tmp = delta.store(&mut e.heap, &agg_classes).expect("temp agg");
                             let ts = e.heap.push_stack(tmp);
                             let delta =
                                 JoinAggRec::load(&e.heap, &agg_classes, e.heap.stack_ref(ts));
                             e.heap.truncate_stack(ts);
-                            agg.insert(&mut e.heap, ip, delta, JoinAggRec::merge)
-                                .expect("combine");
+                            agg.insert(&mut e.heap, ip, delta, JoinAggRec::merge).expect("combine");
                         }
                     }
                 }
                 let mut sum = 0.0;
                 agg.for_each(&e.heap, |k, v| {
-                    sum += (k as f64 + 1.0).ln_1p()
-                        * (v.revenue + v.rank_sum / v.count.max(1) as f64);
+                    sum +=
+                        (k as f64 + 1.0).ln_1p() * (v.revenue + v.rank_sum / v.count.max(1) as f64);
                 });
                 agg.release(&mut e.heap);
                 sum

@@ -73,12 +73,7 @@ pub fn run(params: &WcParams) -> AppReport {
     }
 }
 
-fn run_spark(
-    exec: &mut Executor,
-    parts: &[Vec<i64>],
-    reducers: usize,
-    sample_every: usize,
-) -> f64 {
+fn run_spark(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize, sample_every: usize) -> f64 {
     let pair_classes = <(i64, i64) as HeapRecord>::register(&mut exec.heap);
 
     // ------------------------------------------------------------- map
@@ -94,11 +89,8 @@ fn run_spark(
                 let tuple = (word, 1i64);
                 let tobj = tuple.store(&mut e.heap, &pair_classes).expect("temp tuple");
                 let ts = e.heap.push_stack(tobj);
-                let (k, v) = <(i64, i64) as HeapRecord>::load(
-                    &e.heap,
-                    &pair_classes,
-                    e.heap.stack_ref(ts),
-                );
+                let (k, v) =
+                    <(i64, i64) as HeapRecord>::load(&e.heap, &pair_classes, e.heap.stack_ref(ts));
                 e.heap.truncate_stack(ts);
                 buf.insert(&mut e.heap, k, v, |a, b| a + b).expect("combine");
                 if sample_every != 0 && i % sample_every == 0 {
@@ -148,12 +140,7 @@ fn run_spark(
     checksum
 }
 
-fn run_deca(
-    exec: &mut Executor,
-    parts: &[Vec<i64>],
-    reducers: usize,
-    sample_every: usize,
-) -> f64 {
+fn run_deca(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize, sample_every: usize) -> f64 {
     // For the lifetime comparison we still register the Tuple2 classes so
     // the census has the same class to count — Deca simply never
     // instantiates them (the transformed code writes bytes directly).

@@ -2,7 +2,7 @@
 //! full-GC trace cost as a function of the live cached set — the scaling
 //! law behind the paper's §6.2 (full collections cost O(live objects)).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deca_check::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use deca_heap::{ClassBuilder, FieldKind, Heap, HeapConfig};
 
 fn alloc_churn(c: &mut Criterion) {
@@ -26,9 +26,7 @@ fn full_gc_scales_with_live_set(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
             let mut heap = Heap::new(HeapConfig::with_total(64 << 20));
             let cls = heap.define_class(
-                ClassBuilder::new("Cached")
-                    .field("a", FieldKind::I64)
-                    .field("b", FieldKind::Ref),
+                ClassBuilder::new("Cached").field("a", FieldKind::I64).field("b", FieldKind::Ref),
             );
             let arr = heap.define_array_class("Object[]", FieldKind::Ref);
             let holder = heap.alloc_array(arr, live).unwrap();

@@ -2,7 +2,7 @@
 //! ablation (§2.3: pages too small cost GC overhead, too large waste
 //! space — here we also see the framing and per-page registration costs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deca_check::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use deca_core::{DecaCacheBlock, MemoryManager};
 use deca_heap::{Heap, HeapConfig};
 

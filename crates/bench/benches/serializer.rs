@@ -2,8 +2,8 @@
 //! encode ≈ Kryo's encode, while Deca reads fields in place and pays no
 //! deserialization at all.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use deca_apps::records::LabeledPointRec;
+use deca_check::{criterion_group, criterion_main, Criterion};
 use deca_core::DecaRecord;
 use deca_engine::KryoSim;
 

@@ -2,7 +2,7 @@
 //! Value object per combine) vs decomposed in-place segment reuse —
 //! the §4.3.2 optimisation in isolation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use deca_check::{criterion_group, criterion_main, Criterion};
 use deca_core::{DecaHashShuffle, MemoryManager};
 use deca_engine::SparkHashShuffle;
 use deca_heap::{Heap, HeapConfig};
@@ -23,8 +23,7 @@ fn combine_throughput(c: &mut Criterion) {
 
     group.bench_function("deca_segment_reuse", |b| {
         let mut heap = Heap::new(HeapConfig::with_total(32 << 20));
-        let mut mm =
-            MemoryManager::new(64 << 10, std::env::temp_dir().join("deca-bench-shuffle"));
+        let mut mm = MemoryManager::new(64 << 10, std::env::temp_dir().join("deca-bench-shuffle"));
         let mut buf = DecaHashShuffle::new(&mut mm, 8, 8);
         let one = 1i64.to_le_bytes();
         b.iter(|| {

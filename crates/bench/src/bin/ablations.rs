@@ -165,8 +165,7 @@ fn thrash_avoidance_ablation() {
     println!("# Ablation: re-decomposition thrash avoidance (8 jobs over a mutating cache)\n");
     table_header(&["policy", "decompositions", "reconstructions", "time_ms"]);
 
-    let base: Vec<(i64, Vec<f64>)> =
-        (0..20_000).map(|i| (i, vec![i as f64; 4])).collect();
+    let base: Vec<(i64, Vec<f64>)> = (0..20_000).map(|i| (i, vec![i as f64; 4])).collect();
 
     for avoidance in [true, false] {
         let mut heap = Heap::new(HeapConfig::with_total(96 << 20));
@@ -223,9 +222,8 @@ fn full_gc_strategy_ablation() {
         (FullGcKind::MarkSweep, "mark-sweep (CMS)"),
     ] {
         let mut h = Heap::new(HeapConfig::with_total(24 << 20).with_full_gc(kind));
-        let small = h.define_class(
-            deca_heap::ClassBuilder::new("S").field("v", deca_heap::FieldKind::I64),
-        );
+        let small =
+            h.define_class(deca_heap::ClassBuilder::new("S").field("v", deca_heap::FieldKind::I64));
         let arr = h.define_array_class("long[]", deca_heap::FieldKind::I64);
         // Interleave long-living small objects with medium arrays so dead
         // arrays leave isolated holes between survivors (worst case for a
@@ -281,18 +279,12 @@ fn phased_refinement_ablation() {
     let without = whole.classify(ty);
 
     // With phased refinement: per-phase classification.
-    let phases = JobPhases::new()
-        .phase("combine", g.build_entry)
-        .phase("iterate", g.read_entry);
+    let phases = JobPhases::new().phase("combine", g.build_entry).phase("iterate", g.read_entry);
     let per_phase = classify_phased(&g.registry, &g.program, &phases, &[ty]);
 
     println!("without phased refinement: Group = {without}  (never decomposable)");
     for p in &per_phase {
-        println!(
-            "with    phased refinement: phase {:<8} Group = {}",
-            p.phase,
-            p.of(ty).unwrap()
-        );
+        println!("with    phased refinement: phase {:<8} Group = {}", p.phase, p.of(ty).unwrap());
     }
     println!(
         "=> phased refinement makes the cached copy decomposable in the read phase\n   (the partially-decomposable case of Figure 7b)"

@@ -54,7 +54,13 @@ fn print_row(label: &str, reports: &[AppReport]) {
 fn run_pr(scale: &Scale) {
     println!("# Figure 10(a): PageRank on three graphs\n");
     table_header(&[
-        "graph", "Spark_s", "SparkSer_s", "Deca_s", "DecaVsSpark", "cacheSp_MB", "cacheSer_MB",
+        "graph",
+        "Spark_s",
+        "SparkSer_s",
+        "Deca_s",
+        "DecaVsSpark",
+        "cacheSp_MB",
+        "cacheSer_MB",
         "cacheDeca_MB",
     ]);
     for (vertices, edges, label) in graphs(scale) {
@@ -75,7 +81,13 @@ fn run_pr(scale: &Scale) {
 fn run_cc(scale: &Scale) {
     println!("# Figure 10(b): ConnectedComponents on three graphs\n");
     table_header(&[
-        "graph", "Spark_s", "SparkSer_s", "Deca_s", "DecaVsSpark", "cacheSp_MB", "cacheSer_MB",
+        "graph",
+        "Spark_s",
+        "SparkSer_s",
+        "Deca_s",
+        "DecaVsSpark",
+        "cacheSp_MB",
+        "cacheSer_MB",
         "cacheDeca_MB",
     ]);
     for (vertices, edges, label) in graphs(scale) {

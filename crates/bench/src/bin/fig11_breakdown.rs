@@ -32,9 +32,7 @@ fn breakdown_row(label: &str, mode: &str, t: &TaskMetrics) {
 fn main() {
     let scale = Scale::from_env();
     println!("# Figure 11: slowest-task breakdown (ms)\n");
-    table_header(&[
-        "workload", "mode", "task", "compute", "gc", "deser", "shufW", "shufR", "io",
-    ]);
+    table_header(&["workload", "mode", "task", "compute", "gc", "deser", "shufW", "shufR", "io"]);
 
     // LR small (fits) vs large (saturated): compute vs GC vs deser.
     for (points, label) in [(30_000usize, "LR-small"), (66_000, "LR-large")] {

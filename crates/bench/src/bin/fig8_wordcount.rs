@@ -89,9 +89,7 @@ fn run_exec(scale: &Scale) {
     println!("# paper: Deca reduces execution time 10-58%, more with more keys\n");
     table_header(&["size", "keys", "Spark_s", "Deca_s", "speedup"]);
     // The paper's 50/100/150GB x {10M,100M} keys, scaled down.
-    for &(words, label) in
-        &[(400_000usize, "S"), (800_000, "M"), (1_200_000, "L")]
-    {
+    for &(words, label) in &[(400_000usize, "S"), (800_000, "M"), (1_200_000, "L")] {
         for &(distinct, klabel) in &[(10_000usize, "10k"), (200_000, "200k")] {
             let mut reports = Vec::new();
             for mode in [ExecutionMode::Spark, ExecutionMode::Deca] {

@@ -88,8 +88,15 @@ fn run_lr(scale: &Scale) {
     println!("# Figure 9(b): LR exec time + cached data across dataset sizes");
     println!("# size label = cache bytes / old-gen capacity (Spark layout)\n");
     table_header(&[
-        "size", "Spark_s", "SparkSer_s", "Deca_s", "DecaVsSpark", "cacheSp_MB", "cacheSer_MB",
-        "cacheDeca_MB", "SparkGCs",
+        "size",
+        "Spark_s",
+        "SparkSer_s",
+        "Deca_s",
+        "DecaVsSpark",
+        "cacheSp_MB",
+        "cacheSer_MB",
+        "cacheDeca_MB",
+        "SparkGCs",
     ]);
     for (points, label) in sweep() {
         let mut reports = Vec::new();
@@ -109,8 +116,15 @@ fn run_lr(scale: &Scale) {
 fn run_kmeans(scale: &Scale) {
     println!("# Figure 9(c): KMeans exec time + cached data across dataset sizes\n");
     table_header(&[
-        "size", "Spark_s", "SparkSer_s", "Deca_s", "DecaVsSpark", "cacheSp_MB", "cacheSer_MB",
-        "cacheDeca_MB", "SparkGCs",
+        "size",
+        "Spark_s",
+        "SparkSer_s",
+        "Deca_s",
+        "DecaVsSpark",
+        "cacheSp_MB",
+        "cacheSer_MB",
+        "cacheDeca_MB",
+        "SparkGCs",
     ]);
     for (points, label) in sweep() {
         let mut reports = Vec::new();

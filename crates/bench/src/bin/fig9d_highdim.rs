@@ -19,7 +19,13 @@ fn main() {
     let dims = if scale.factor < 1.0 { 512 } else { 4096 };
     println!("# Figure 9(d): high-dimensional vectors ({dims} dims)\n");
     table_header(&[
-        "app", "size", "Spark_s", "SparkSer_s", "Deca_s", "DecaVsSpark", "cacheSp_MB",
+        "app",
+        "size",
+        "Spark_s",
+        "SparkSer_s",
+        "Deca_s",
+        "DecaVsSpark",
+        "cacheSp_MB",
         "cacheDeca_MB",
     ]);
 

@@ -54,7 +54,11 @@ fn main() {
         c.check(
             "fig8/wc-deca-wins",
             deca.exec() < spark.exec(),
-            format!("Deca {:.3}s vs Spark {:.3}s", deca.exec().as_secs_f64(), spark.exec().as_secs_f64()),
+            format!(
+                "Deca {:.3}s vs Spark {:.3}s",
+                deca.exec().as_secs_f64(),
+                spark.exec().as_secs_f64()
+            ),
         );
     }
 

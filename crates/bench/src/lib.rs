@@ -1,7 +1,8 @@
 //! # deca-bench — experiment harnesses
 //!
 //! One binary per table/figure of the paper's §6 (see DESIGN.md §3 for the
-//! index), plus criterion micro-benchmarks in `benches/`. This library
+//! index), plus micro-benchmarks in `benches/` on the `deca-check`
+//! wall-clock timer. This library
 //! holds the shared pieces: the scale presets mapping the paper's
 //! cluster-scale datasets onto laptop-scale equivalents, and tabular
 //! output helpers whose rows EXPERIMENTS.md records.
@@ -27,10 +28,8 @@ pub struct Scale {
 impl Scale {
     /// Read the scale factor from `DECA_BENCH_SCALE` (default 1.0).
     pub fn from_env() -> Scale {
-        let factor = std::env::var("DECA_BENCH_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1.0);
+        let factor =
+            std::env::var("DECA_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
         Scale { factor, lr_iterations: 15, graph_iterations: 5 }
     }
 

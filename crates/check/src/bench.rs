@@ -1,0 +1,267 @@
+//! A wall-clock micro-benchmark timer with a `Criterion`-shaped surface.
+//!
+//! Model: each benchmark warms up for a fixed duration, estimates the
+//! per-iteration cost, picks an iteration count per sample so one sample
+//! spans a measurable window, then records `sample_count` samples and
+//! reports min / median / p95 per-iteration times on stdout. No plotting,
+//! no statistics beyond order statistics — enough to compare the paper's
+//! fast and slow paths and to catch order-of-magnitude regressions.
+//!
+//! The API mirrors the subset of criterion the `benches/` files use
+//! (`bench_function`, `benchmark_group`, `sample_size`,
+//! `bench_with_input`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros) so harness code reads the same as upstream.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver. `Default` gives sensible laptop-scale
+/// settings; `DECA_BENCH_SAMPLES` overrides the per-benchmark sample
+/// count (e.g. for a quick smoke run).
+pub struct Criterion {
+    warmup: Duration,
+    sample_count: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let samples: usize =
+            std::env::var("DECA_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(21);
+        let samples = samples.max(1);
+        Criterion {
+            warmup: Duration::from_millis(60),
+            sample_count: samples,
+            target_sample: Duration::from_millis(12),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            sample_count: self.sample_count,
+            target_sample: self.target_sample,
+            report: None,
+        };
+        f(&mut b);
+        b.print(name);
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_count: None }
+    }
+}
+
+/// A named group of related benchmarks (optionally with a reduced sample
+/// count for expensive bodies).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        self.run(id, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.0, |b| f(b, input));
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warmup: self.criterion.warmup,
+            sample_count: self.sample_count.unwrap_or(self.criterion.sample_count),
+            target_sample: self.criterion.target_sample,
+            report: None,
+        };
+        f(&mut b);
+        b.print(&format!("{}/{}", self.name, id));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Per-iteration timing summary, in seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    pub min: f64,
+    pub median: f64,
+    pub p95: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+/// Order-statistic summary of per-iteration sample times.
+pub fn summarize(mut per_iter_secs: Vec<f64>, iters_per_sample: u64) -> Summary {
+    assert!(!per_iter_secs.is_empty());
+    per_iter_secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = per_iter_secs.len();
+    let p95_idx = ((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1;
+    Summary {
+        min: per_iter_secs[0],
+        median: per_iter_secs[n / 2],
+        p95: per_iter_secs[p95_idx],
+        samples: n,
+        iters_per_sample,
+    }
+}
+
+/// Render a per-iteration time human-readably.
+pub fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and measures the routine.
+pub struct Bencher {
+    warmup: Duration,
+    sample_count: usize,
+    target_sample: Duration,
+    report: Option<Summary>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, choose an iteration count per sample,
+    /// then record `sample_count` samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup: run until the warmup window elapses (at least once),
+        // measuring a rough per-iteration estimate as we go.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup || warmup_iters == 0 {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        let iters_per_sample =
+            ((self.target_sample.as_secs_f64() / est_per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        self.report = Some(summarize(samples, iters_per_sample));
+    }
+
+    fn print(&self, name: &str) {
+        match &self.report {
+            Some(s) => println!(
+                "{name:<44} median {:>10}  p95 {:>10}  min {:>10}  ({} samples × {} iters)",
+                fmt_time(s.median),
+                fmt_time(s.p95),
+                fmt_time(s.min),
+                s.samples,
+                s.iters_per_sample,
+            ),
+            None => println!("{name:<44} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Define a function running a list of benchmark targets, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_order_statistics() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-6).collect();
+        let s = summarize(samples, 10);
+        assert_eq!(s.min, 1.0 * 1e-6);
+        assert_eq!(s.median, 51.0 * 1e-6);
+        assert_eq!(s.p95, 95.0 * 1e-6);
+        assert_eq!(s.samples, 100);
+        // Unsorted input gives the same answer.
+        let s2 = summarize(vec![5e-6, 1e-6, 3e-6], 1);
+        assert_eq!(s2.min, 1e-6);
+        assert_eq!(s2.median, 3e-6);
+        assert_eq!(s2.p95, 5e-6);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5e-9), "2.5ns");
+        assert_eq!(fmt_time(2.5e-6), "2.50µs");
+        assert_eq!(fmt_time(2.5e-3), "2.50ms");
+        assert_eq!(fmt_time(2.5), "2.500s");
+    }
+
+    #[test]
+    fn a_tiny_benchmark_completes_and_measures() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(2),
+            sample_count: 5,
+            target_sample: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        assert!(ran);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        g.finish();
+    }
+}

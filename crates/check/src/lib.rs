@@ -1,0 +1,29 @@
+//! # deca-check — hermetic verification substrate
+//!
+//! The build environment of this repository has no access to the crates.io
+//! registry, so every verification tool the workspace needs lives here,
+//! dependency-free:
+//!
+//! * [`rng`] — deterministic pseudo-random number generation
+//!   ([`SplitMix64`], [`Xoshiro256StarStar`]) with the sampling surface the
+//!   synthetic data generators use: `gen_range`, `gen_f64`, `gen_bool`,
+//!   `shuffle`, `gaussian`.
+//! * [`property`] — a minimal property-based testing harness: configurable
+//!   case counts, per-case seeds reported on failure, and greedy input
+//!   shrinking to a local-minimum counterexample.
+//! * [`bench`] — a wall-clock micro-benchmark timer (warmup, N samples,
+//!   median/p95 reporting) with a `Criterion`-shaped API so benchmark files
+//!   stay close to their upstream idiom.
+//!
+//! Everything is deterministic given a seed; nothing performs I/O beyond
+//! printing results. The paper's reclamation and equivalence claims (Lu et
+//! al., PVLDB 2016, §2.3/§4) are only as good as their tests, and those
+//! tests must run offline, repeatably, forever.
+
+pub mod bench;
+pub mod property;
+pub mod rng;
+
+pub use bench::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use property::{check, Config, Gen, TestResult};
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};

@@ -1,0 +1,571 @@
+//! A minimal property-based testing harness with greedy shrinking.
+//!
+//! Shape: a [`Gen`] produces random values and proposes *shrink
+//! candidates* (structurally smaller variants) for a failing value; a
+//! property is a closure returning [`TestResult`]. [`check`] runs the
+//! property over `cases` generated inputs, and on the first failure
+//! greedily walks the shrink lattice — adopt the first failing candidate,
+//! repeat — until no candidate fails or the step budget runs out, then
+//! panics with the minimal counterexample, the base seed, and the failing
+//! case's own seed so the run is reproducible.
+//!
+//! ```should_panic
+//! use deca_check::property::{check, gens, Config};
+//!
+//! // Deliberately false: some vector sums to ≥ 100.
+//! check(Config::with_cases(64), gens::vec_of(gens::i64_in(0..50), 0..20), |v| {
+//!     if v.iter().sum::<i64>() < 100 { Ok(()) } else { Err("sum too large".into()) }
+//! });
+//! ```
+
+use crate::rng::{SplitMix64, Xoshiro256StarStar};
+
+/// Outcome of one property evaluation: `Err` carries the failure message.
+pub type TestResult = Result<(), String>;
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed; per-case seeds are derived from it. Override with the
+    /// `DECA_CHECK_SEED` environment variable to replay a reported run.
+    pub seed: u64,
+    /// Budget of property evaluations spent shrinking a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        let seed = std::env::var("DECA_CHECK_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xDECA_CEED);
+        Config { cases, seed, max_shrink_steps: 2_000 }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config::with_cases(64)
+    }
+}
+
+/// A generator of random values plus their shrink candidates.
+pub trait Gen {
+    type Value: Clone + std::fmt::Debug;
+
+    fn generate(&self, rng: &mut Xoshiro256StarStar) -> Self::Value;
+
+    /// Structurally smaller variants to try when `value` fails; ordered
+    /// most-aggressive first. Default: not shrinkable.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Run `prop` over `config.cases` values from `gen`; panic with a shrunk
+/// counterexample on failure. Panics inside the property are caught and
+/// treated as failures, so shrinking also works for `unwrap`-style bugs.
+pub fn check<G: Gen>(config: Config, gen: G, prop: impl Fn(&G::Value) -> TestResult) {
+    let run = |value: &G::Value| -> TestResult {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(value)));
+        match outcome {
+            Ok(r) => r,
+            Err(payload) => Err(panic_message(&payload)),
+        }
+    };
+
+    let mut case_seeds = SplitMix64::new(config.seed);
+    for case in 0..config.cases {
+        let case_seed = case_seeds.next_u64();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(case_seed);
+        let value = gen.generate(&mut rng);
+        if let Err(msg) = run(&value) {
+            let (minimal, minimal_msg, steps) =
+                shrink_greedily(&gen, value, msg, config.max_shrink_steps, &run);
+            panic!(
+                "property failed (case {case} of {cases}, base seed {seed}, case seed \
+                 {case_seed}; replay with DECA_CHECK_SEED={seed})\n\
+                 minimal counterexample (after {steps} shrink steps):\n{minimal:#?}\n\
+                 error: {minimal_msg}",
+                cases = config.cases,
+                seed = config.seed,
+            );
+        }
+    }
+}
+
+/// Greedy descent: adopt the first failing shrink candidate, restart from
+/// it, stop at a local minimum or when the budget is exhausted.
+fn shrink_greedily<G: Gen>(
+    gen: &G,
+    mut value: G::Value,
+    mut msg: String,
+    budget: u32,
+    run: &impl Fn(&G::Value) -> TestResult,
+) -> (G::Value, String, u32) {
+    let mut steps = 0;
+    'descend: while steps < budget {
+        for candidate in gen.shrink(&value) {
+            steps += 1;
+            if let Err(m) = run(&candidate) {
+                value = candidate;
+                msg = m;
+                continue 'descend;
+            }
+            if steps >= budget {
+                break 'descend;
+            }
+        }
+        break; // local minimum: every candidate passes
+    }
+    (value, msg, steps)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Fail the surrounding property with a message (early-returns `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the surrounding property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `left == right` ({}:{})\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `left == right`: {} ({}:{})\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Built-in generators and combinators.
+pub mod gens {
+    use super::Gen;
+    use crate::rng::{Rng, SampleUniform, Xoshiro256StarStar};
+
+    /// Integers shrink toward zero: `0`, then halves, then ±1 steps.
+    fn shrink_integer(v: i128) -> Vec<i128> {
+        if v == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0, v / 2, v - v.signum()];
+        out.dedup();
+        out.retain(|&c| c != v);
+        out
+    }
+
+    /// Full-range signed 64-bit integers.
+    pub struct AnyI64;
+    pub fn any_i64() -> AnyI64 {
+        AnyI64
+    }
+    impl Gen for AnyI64 {
+        type Value = i64;
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> i64 {
+            rng.next_u64() as i64
+        }
+        fn shrink(&self, v: &i64) -> Vec<i64> {
+            shrink_integer(*v as i128).into_iter().map(|c| c as i64).collect()
+        }
+    }
+
+    /// Full-range unsigned 32-bit integers.
+    pub struct AnyU32;
+    pub fn any_u32() -> AnyU32 {
+        AnyU32
+    }
+    impl Gen for AnyU32 {
+        type Value = u32;
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> u32 {
+            rng.next_u64() as u32
+        }
+        fn shrink(&self, v: &u32) -> Vec<u32> {
+            shrink_integer(*v as i128).into_iter().map(|c| c as u32).collect()
+        }
+    }
+
+    /// Full-range bytes.
+    pub struct AnyU8;
+    pub fn any_u8() -> AnyU8 {
+        AnyU8
+    }
+    impl Gen for AnyU8 {
+        type Value = u8;
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> u8 {
+            rng.next_u64() as u8
+        }
+        fn shrink(&self, v: &u8) -> Vec<u8> {
+            shrink_integer(*v as i128).into_iter().map(|c| c as u8).collect()
+        }
+    }
+
+    /// Full-range signed 32-bit integers.
+    pub struct AnyI32;
+    pub fn any_i32() -> AnyI32 {
+        AnyI32
+    }
+    impl Gen for AnyI32 {
+        type Value = i32;
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> i32 {
+            rng.next_u64() as i32
+        }
+        fn shrink(&self, v: &i32) -> Vec<i32> {
+            shrink_integer(*v as i128).into_iter().map(|c| c as i32).collect()
+        }
+    }
+
+    /// Booleans; `true` shrinks to `false`.
+    pub struct Bools;
+    pub fn bools() -> Bools {
+        Bools
+    }
+    impl Gen for Bools {
+        type Value = bool;
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> bool {
+            rng.gen_bool(0.5)
+        }
+        fn shrink(&self, v: &bool) -> Vec<bool> {
+            if *v {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// A half-open integer range; values shrink toward the lower bound.
+    pub struct IntRange<T> {
+        lo: T,
+        hi: T,
+    }
+    macro_rules! int_range_gen {
+        ($fn_name:ident, $t:ty) => {
+            pub fn $fn_name(range: std::ops::Range<$t>) -> IntRange<$t> {
+                assert!(range.start < range.end, "empty range");
+                IntRange { lo: range.start, hi: range.end }
+            }
+            impl Gen for IntRange<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Xoshiro256StarStar) -> $t {
+                    rng.gen_range(self.lo..self.hi)
+                }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    let (lo, v128) = (self.lo as i128, *v as i128);
+                    let mut out: Vec<$t> =
+                        shrink_integer(v128 - lo).into_iter().map(|off| (lo + off) as $t).collect();
+                    out.retain(|c| c != v);
+                    out
+                }
+            }
+        };
+    }
+    int_range_gen!(i64_in, i64);
+    int_range_gen!(i32_in, i32);
+    int_range_gen!(u32_in, u32);
+    int_range_gen!(usize_in, usize);
+
+    /// A half-open `f64` range; values shrink toward the lower bound.
+    pub struct F64Range {
+        lo: f64,
+        hi: f64,
+    }
+    pub fn f64_in(range: std::ops::Range<f64>) -> F64Range {
+        assert!(range.start < range.end, "empty range");
+        F64Range { lo: range.start, hi: range.end }
+    }
+    impl Gen for F64Range {
+        type Value = f64;
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+            f64::sample(rng, self.lo..self.hi)
+        }
+        fn shrink(&self, v: &f64) -> Vec<f64> {
+            // Toward lo, preferring "round" anchors first.
+            let mut out = Vec::new();
+            for cand in [self.lo, 0.0, self.lo + (v - self.lo) / 2.0] {
+                if cand != *v && cand >= self.lo && cand < self.hi && !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+            out
+        }
+    }
+
+    /// Vectors of `elem` with length drawn from `len` (half-open).
+    pub struct VecOf<G> {
+        elem: G,
+        min_len: usize,
+        max_len: usize,
+    }
+    pub fn vec_of<G: Gen>(elem: G, len: std::ops::Range<usize>) -> VecOf<G> {
+        assert!(len.start < len.end, "empty length range");
+        VecOf { elem, min_len: len.start, max_len: len.end }
+    }
+    /// Fixed-length vectors.
+    pub fn array_of<G: Gen>(elem: G, len: usize) -> VecOf<G> {
+        VecOf { elem, min_len: len, max_len: len + 1 }
+    }
+    impl<G: Gen> Gen for VecOf<G> {
+        type Value = Vec<G::Value>;
+
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> Vec<G::Value> {
+            let len = rng.gen_range(self.min_len..self.max_len);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+            let mut out = Vec::new();
+            // 1. Length reductions: halves first, then single removals.
+            if v.len() > self.min_len {
+                let half = v.len() / 2;
+                if half >= self.min_len {
+                    out.push(v[..half].to_vec());
+                    out.push(v[v.len() - half..].to_vec());
+                }
+                for i in 0..v.len().min(16) {
+                    let mut shorter = v.clone();
+                    shorter.remove(i);
+                    if shorter.len() >= self.min_len {
+                        out.push(shorter);
+                    }
+                }
+            }
+            // 2. Element-wise shrinks (bounded fan-out).
+            for i in 0..v.len().min(16) {
+                for cand in self.elem.shrink(&v[i]).into_iter().take(3) {
+                    let mut copy = v.clone();
+                    copy[i] = cand;
+                    out.push(copy);
+                }
+            }
+            out
+        }
+    }
+
+    /// Pair of independent generators; shrinks one side at a time.
+    pub struct Pair<A, B> {
+        a: A,
+        b: B,
+    }
+    pub fn pair<A: Gen, B: Gen>(a: A, b: B) -> Pair<A, B> {
+        Pair { a, b }
+    }
+    impl<A: Gen, B: Gen> Gen for Pair<A, B> {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> Self::Value {
+            (self.a.generate(rng), self.b.generate(rng))
+        }
+
+        fn shrink(&self, (va, vb): &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            for ca in self.a.shrink(va).into_iter().take(8) {
+                out.push((ca, vb.clone()));
+            }
+            for cb in self.b.shrink(vb).into_iter().take(8) {
+                out.push((va.clone(), cb));
+            }
+            out
+        }
+    }
+
+    /// Strings of printable characters (mostly ASCII, some BMP unicode),
+    /// length `0..=max_len`. Shrinks by dropping characters, then by
+    /// replacing characters with `'a'`.
+    pub struct Strings {
+        max_len: usize,
+    }
+    pub fn strings(max_len: usize) -> Strings {
+        Strings { max_len }
+    }
+    impl Gen for Strings {
+        type Value = String;
+
+        fn generate(&self, rng: &mut Xoshiro256StarStar) -> String {
+            let len = rng.gen_range(0..self.max_len + 1);
+            (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.7) {
+                        char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+                    } else {
+                        // BMP, skipping the surrogate block.
+                        loop {
+                            let c = rng.gen_range(0xA0u32..0xFFFF);
+                            if !(0xD800..0xE000).contains(&c) {
+                                break char::from_u32(c).unwrap();
+                            }
+                        }
+                    }
+                })
+                .collect()
+        }
+
+        fn shrink(&self, v: &String) -> Vec<String> {
+            let chars: Vec<char> = v.chars().collect();
+            let mut out = Vec::new();
+            if !chars.is_empty() {
+                out.push(String::new());
+                out.push(chars[..chars.len() / 2].iter().collect());
+                for i in 0..chars.len().min(12) {
+                    let mut copy = chars.clone();
+                    copy.remove(i);
+                    out.push(copy.into_iter().collect());
+                }
+                for i in 0..chars.len().min(12) {
+                    if chars[i] != 'a' {
+                        let mut copy = chars.clone();
+                        copy[i] = 'a';
+                        out.push(copy.into_iter().collect());
+                    }
+                }
+            }
+            out.retain(|c| c != v);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gens::*;
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0;
+        let counter = std::cell::Cell::new(0u32);
+        check(Config::with_cases(128), vec_of(any_i64(), 0..50), |v| {
+            counter.set(counter.get() + 1);
+            let doubled: Vec<i64> = v.iter().map(|x| x.wrapping_mul(2)).collect();
+            prop_assert_eq!(doubled.len(), v.len());
+            Ok(())
+        });
+        ran += counter.get();
+        assert_eq!(ran, 128);
+    }
+
+    /// The acceptance demo: a deliberately failing toy property must report
+    /// a *minimal* counterexample and the seeds to replay it.
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        let config = Config { cases: 256, seed: 99, max_shrink_steps: 5_000 };
+        let result = std::panic::catch_unwind(|| {
+            check(config, vec_of(i64_in(0..1000), 0..40), |v| {
+                // "No element is ≥ 100" — false; minimal failure is [100].
+                prop_assert!(v.iter().all(|&x| x < 100), "element ≥ 100 present");
+                Ok(())
+            });
+        });
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(p) => *p.downcast::<String>().expect("panic message"),
+        };
+        assert!(
+            msg.contains("minimal counterexample") && msg.contains("100,"),
+            "report must show the shrunk input, got:\n{msg}"
+        );
+        // Greedy shrinking over `0..1000 → <100` bottoms out at exactly
+        // `[100]`: one element, at the smallest failing value.
+        let ones: Vec<&str> =
+            msg.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).collect();
+        assert_eq!(ones.len(), 1, "one-element vector expected in:\n{msg}");
+        assert_eq!(ones[0].trim().trim_end_matches(','), "100");
+        assert!(msg.contains("base seed 99"), "seed must be reported:\n{msg}");
+        assert!(msg.contains("case seed"), "case seed must be reported:\n{msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let config = Config { cases: 64, seed: 7, max_shrink_steps: 2_000 };
+        let result = std::panic::catch_unwind(|| {
+            check(config, vec_of(i64_in(0..100), 1..30), |v| {
+                // Index-out-of-bounds style bug for vectors longer than 4.
+                assert!(v.len() <= 4, "simulated panic bug");
+                Ok(())
+            });
+        });
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(p) => *p.downcast::<String>().expect("panic message"),
+        };
+        assert!(msg.contains("panicked"), "panic converted to failure:\n{msg}");
+        assert!(msg.contains("minimal counterexample"));
+        // Minimal failing length is 5.
+        let numeric_lines =
+            msg.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
+        assert_eq!(numeric_lines, 5, "shrunk to the 5-element boundary:\n{msg}");
+    }
+
+    #[test]
+    fn same_seed_generates_identical_cases() {
+        let collect = |seed: u64| {
+            let vals = std::cell::RefCell::new(Vec::new());
+            let config = Config { cases: 32, seed, max_shrink_steps: 0 };
+            check(config, vec_of(any_i64(), 0..10), |v| {
+                vals.borrow_mut().push(format!("{v:?}"));
+                Ok(())
+            });
+            vals.into_inner()
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn pair_and_string_generators_shrink() {
+        let g = pair(i64_in(0..10), strings(10));
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let v = g.generate(&mut rng);
+        // Shrink candidates never equal the input.
+        for cand in g.shrink(&v) {
+            assert_ne!(cand, v);
+        }
+        let s = strings(10);
+        let sv = "hello".to_string();
+        assert!(s.shrink(&sv).contains(&String::new()));
+    }
+}

@@ -39,12 +39,7 @@ impl DecaCacheBlock {
     /// config constant only the runtime optimizer knows (Appendix A).
     /// Records are stored unframed.
     pub fn new_sfst(mm: &mut MemoryManager, size: usize) -> DecaCacheBlock {
-        DecaCacheBlock {
-            group: mm.create_group(),
-            len: 0,
-            fixed_size: Some(size),
-            released: false,
-        }
+        DecaCacheBlock { group: mm.create_group(), len: 0, fixed_size: Some(size), released: false }
     }
 
     /// Append one record (encodes straight into the pages).
@@ -185,9 +180,7 @@ mod tests {
         let (mut heap, mut mm) = setup();
         let mut block = DecaCacheBlock::new::<(f64, i64)>(&mut mm);
         for i in 0..1000i64 {
-            block
-                .append(&mut mm, &mut heap, &(i as f64 * 0.5, i))
-                .unwrap();
+            block.append(&mut mm, &mut heap, &(i as f64 * 0.5, i)).unwrap();
         }
         assert_eq!(block.len(), 1000);
         let back: Vec<(f64, i64)> = block.decode_all(&mut mm, &mut heap).unwrap();

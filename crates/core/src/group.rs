@@ -69,7 +69,8 @@ impl PageGroup {
         if self.pages.is_empty() {
             0
         } else {
-            self.footprint_bytes() - (self.pages.last().expect("pages").len() - self.end_offset)
+            self.footprint_bytes()
+                - (self.pages.last().expect("pages").len() - self.end_offset)
                 - self.wasted_bytes
         }
     }
@@ -206,11 +207,8 @@ impl<'a> GroupReader<'a> {
                 return None;
             }
             let in_last = self.cur_page + 1 == self.group.pages.len();
-            let limit = if in_last {
-                self.group.end_offset
-            } else {
-                self.group.pages[self.cur_page].len()
-            };
+            let limit =
+                if in_last { self.group.end_offset } else { self.group.pages[self.cur_page].len() };
             if self.cur_off + len <= limit {
                 let ptr = SegPtr { page: self.cur_page as u32, off: self.cur_off as u32 };
                 self.cur_off += len;
@@ -231,18 +229,13 @@ impl<'a> GroupReader<'a> {
                 return None;
             }
             let in_last = self.cur_page + 1 == self.group.pages.len();
-            let limit = if in_last {
-                self.group.end_offset
-            } else {
-                self.group.pages[self.cur_page].len()
-            };
+            let limit =
+                if in_last { self.group.end_offset } else { self.group.pages[self.cur_page].len() };
             if self.cur_off + 4 <= limit {
-                let prefix =
-                    self.group.pages[self.cur_page].read_i32(self.cur_off) as u32;
+                let prefix = self.group.pages[self.cur_page].read_i32(self.cur_off) as u32;
                 if prefix != END_OF_PAGE {
                     let len = (prefix - 1) as usize;
-                    let ptr =
-                        SegPtr { page: self.cur_page as u32, off: (self.cur_off + 4) as u32 };
+                    let ptr = SegPtr { page: self.cur_page as u32, off: (self.cur_off + 4) as u32 };
                     self.cur_off += 4 + len;
                     return Some((ptr, len));
                 }

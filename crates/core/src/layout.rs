@@ -97,11 +97,7 @@ impl Layout {
         let mut visiting = Vec::new();
         let size =
             flatten(reg, t, array_lens, String::new(), 0, &mut slots, &mut visiting, reorder)?;
-        let by_path = slots
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.path.clone(), i))
-            .collect();
+        let by_path = slots.iter().enumerate().map(|(i, s)| (s.path.clone(), i)).collect();
         Ok(Layout { size, slots, by_path })
     }
 
@@ -154,9 +150,7 @@ fn flatten(
                 // preserves declaration order within each class).
                 order.sort_by_key(|&i| {
                     let f = &reg.udt(u).fields[i];
-                    usize::from(
-                        f.type_set.len() != 1 || depends_on_array_len(reg, f.type_set[0]),
-                    )
+                    usize::from(f.type_set.len() != 1 || depends_on_array_len(reg, f.type_set[0]))
                 });
             }
             let mut off = 0usize;
@@ -181,9 +175,7 @@ fn flatten(
             Ok(off)
         }
         TypeRef::Array(a) => {
-            let len = *array_lens
-                .get(&a)
-                .ok_or(LayoutError::UnknownArrayLength(a))?;
+            let len = *array_lens.get(&a).ok_or(LayoutError::UnknownArrayLength(a))?;
             let elem = &reg.array(a).elem;
             if elem.type_set.len() != 1 {
                 return Err(LayoutError::PolymorphicField(format!("{path}[]")));
@@ -215,9 +207,11 @@ fn depends_on_array_len(reg: &TypeRegistry, t: TypeRef) -> bool {
     match t {
         TypeRef::Prim(_) => false,
         TypeRef::Array(_) => true,
-        TypeRef::Udt(u) => reg.udt(u).fields.iter().any(|f| {
-            f.type_set.len() != 1 || depends_on_array_len(reg, f.type_set[0])
-        }),
+        TypeRef::Udt(u) => reg
+            .udt(u)
+            .fields
+            .iter()
+            .any(|f| f.type_set.len() != 1 || depends_on_array_len(reg, f.type_set[0])),
     }
 }
 
@@ -242,8 +236,7 @@ mod tests {
         let f = fixtures::lr_types();
         let mut lens = HashMap::new();
         lens.insert(f.double_array, 3usize);
-        let layout =
-            Layout::compile(&f.registry, TypeRef::Udt(f.labeled_point), &lens).unwrap();
+        let layout = Layout::compile(&f.registry, TypeRef::Udt(f.labeled_point), &lens).unwrap();
         // label(8) + data 3*8 + offset/stride/length 3*4 = 44
         assert_eq!(layout.size, 8 + 24 + 12);
         assert_eq!(layout.offset_of("label"), Some(0));
@@ -319,8 +312,7 @@ mod tests {
     #[test]
     fn missing_array_length_is_an_error() {
         let f = fixtures::lr_types();
-        let err =
-            Layout::compile(&f.registry, TypeRef::Udt(f.labeled_point), &HashMap::new());
+        let err = Layout::compile(&f.registry, TypeRef::Udt(f.labeled_point), &HashMap::new());
         assert_eq!(err.unwrap_err(), LayoutError::UnknownArrayLength(f.double_array));
     }
 
@@ -332,9 +324,7 @@ mod tests {
             name: "Node".into(),
             fields: vec![FieldDecl::new("v", TypeRef::Prim(PrimKind::I64))],
         });
-        reg.udt_mut(node)
-            .fields
-            .push(FieldDecl::new("next", TypeRef::Udt(node)));
+        reg.udt_mut(node).fields.push(FieldDecl::new("next", TypeRef::Udt(node)));
         let err = Layout::compile(&reg, TypeRef::Udt(node), &HashMap::new());
         assert_eq!(err.unwrap_err(), LayoutError::Recursive);
     }

@@ -65,8 +65,8 @@ pub mod manager;
 pub mod optimizer;
 pub mod page;
 pub mod record;
-pub mod shuffle;
 pub mod secondary;
+pub mod shuffle;
 pub mod swap;
 pub mod var_shuffle;
 

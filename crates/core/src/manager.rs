@@ -402,8 +402,7 @@ mod tests {
     fn refcount_lifecycle() {
         let (mut heap, mut mm, _dir) = setup();
         let g = mm.create_group();
-        mm.with_group_mut(g, &mut heap, |pg, h| pg.append(h, &[1u8; 100]).map(|_| ()))
-            .unwrap();
+        mm.with_group_mut(g, &mut heap, |pg, h| pg.append(h, &[1u8; 100]).map(|_| ())).unwrap();
         assert!(heap.external_bytes() > 0);
         mm.retain(g);
         assert_eq!(mm.refcount(g), 2);
@@ -429,9 +428,7 @@ mod tests {
         let (mut heap, mut mm, _dir) = setup();
         let g = mm.create_group();
         let data: Vec<u8> = (0..200u8).collect();
-        let ptr = mm
-            .with_group_mut(g, &mut heap, |pg, h| pg.append(h, &data))
-            .unwrap();
+        let ptr = mm.with_group_mut(g, &mut heap, |pg, h| pg.append(h, &data)).unwrap();
         let resident = heap.external_bytes();
         mm.swap_out(g, &mut heap).unwrap();
         assert_eq!(heap.external_bytes(), 0);
@@ -485,8 +482,7 @@ mod tests {
         let mut mm = MemoryManager::new(256 << 10, dir.path.clone());
         let pinned = mm.create_group();
         mm.set_swappable(pinned, false);
-        mm.with_group_mut(pinned, &mut heap, |pg, h| pg.append(h, &[1u8; 8]).map(|_| ()))
-            .unwrap();
+        mm.with_group_mut(pinned, &mut heap, |pg, h| pg.append(h, &[1u8; 8]).map(|_| ())).unwrap();
         // Fill the rest of the budget with swappable groups.
         for _ in 0..12 {
             let g = mm.create_group();

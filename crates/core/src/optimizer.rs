@@ -199,9 +199,9 @@ impl<'a> Optimizer<'a> {
                 // can still be decomposed if later phases are fixed-size.
                 let later_ok = c.kind == ContainerKind::CachedRdd
                     && per_phase.len() > c.write_phase + 1
-                    && per_phase[c.write_phase + 1..].iter().all(|p| {
-                        p.of(c.content).is_some_and(|cl| cl.is_decomposable())
-                    });
+                    && per_phase[c.write_phase + 1..]
+                        .iter()
+                        .all(|p| p.of(c.content).is_some_and(|cl| cl.is_decomposable()));
                 if later_ok {
                     ContainerDecision::DecomposeOnCopy
                 } else {
@@ -276,9 +276,8 @@ mod tests {
         // combining; the downstream cache decomposes on copy.
         let f = fixtures::group_by_program();
         let opt = Optimizer::new(&f.registry, &f.program);
-        let phases = JobPhases::new()
-            .phase("combine", f.build_entry)
-            .phase("iterate", f.read_entry);
+        let phases =
+            JobPhases::new().phase("combine", f.build_entry).phase("iterate", f.read_entry);
         let shuffle = ContainerInfo {
             id: ContainerId(0),
             kind: ContainerKind::ShuffleBuffer,
@@ -323,10 +322,7 @@ mod tests {
         let b = ContainerInfo { id: ContainerId(1), created_seq: 1, ..a.clone() };
         let plan = opt.plan(&phases, &[a, b], &[vec![ContainerId(0), ContainerId(1)]]);
         assert_eq!(plan.decision(ContainerId(0)), &ContainerDecision::DecomposeSfst);
-        assert_eq!(
-            plan.decision(ContainerId(1)),
-            &ContainerDecision::SharePrimary(ContainerId(0))
-        );
+        assert_eq!(plan.decision(ContainerId(1)), &ContainerDecision::SharePrimary(ContainerId(0)));
     }
 
     /// End-to-end with the derived flow: a stage whose IR emits the same

@@ -97,25 +97,23 @@ impl DecaHashShuffle {
         let table = &mut self.table;
         let len = &mut self.len;
         let combines = &mut self.combines;
-        mm.with_group_mut(self.group, heap, |g, h| {
-            loop {
-                match table[idx] {
-                    Some(ptr) if g.slice(ptr, key_size) == key => {
-                        let vptr = SegPtr { page: ptr.page, off: ptr.off + key_size as u32 };
-                        combine(g.slice_mut(vptr, val_size), val);
-                        *combines += 1;
-                        return Ok(());
-                    }
-                    Some(_) => idx = (idx + 1) & mask,
-                    None => {
-                        let ptr = g.reserve(h, key_size + val_size)?;
-                        g.slice_mut(ptr, key_size).copy_from_slice(key);
-                        let vptr = SegPtr { page: ptr.page, off: ptr.off + key_size as u32 };
-                        g.slice_mut(vptr, val_size).copy_from_slice(val);
-                        table[idx] = Some(ptr);
-                        *len += 1;
-                        return Ok(());
-                    }
+        mm.with_group_mut(self.group, heap, |g, h| loop {
+            match table[idx] {
+                Some(ptr) if g.slice(ptr, key_size) == key => {
+                    let vptr = SegPtr { page: ptr.page, off: ptr.off + key_size as u32 };
+                    combine(g.slice_mut(vptr, val_size), val);
+                    *combines += 1;
+                    return Ok(());
+                }
+                Some(_) => idx = (idx + 1) & mask,
+                None => {
+                    let ptr = g.reserve(h, key_size + val_size)?;
+                    g.slice_mut(ptr, key_size).copy_from_slice(key);
+                    let vptr = SegPtr { page: ptr.page, off: ptr.off + key_size as u32 };
+                    g.slice_mut(vptr, val_size).copy_from_slice(val);
+                    table[idx] = Some(ptr);
+                    *len += 1;
+                    return Ok(());
                 }
             }
         })
@@ -261,8 +259,7 @@ impl DecaSortShuffle {
         }
         let dir = mm.spill_dir().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(MemError::Io)?;
-        let path =
-            dir.join(format!("sort-run-{}-{}.spill", self.nonce, self.runs.len()));
+        let path = dir.join(format!("sort-run-{}-{}.spill", self.nonce, self.runs.len()));
         let ptrs = &mut self.ptrs;
         let mut written = 0u64;
         mm.with_group(self.group, heap, |g| -> std::io::Result<()> {
@@ -327,9 +324,7 @@ impl DecaSortShuffle {
         let mut sources: Vec<RunSource> = Vec::new();
         for path in &self.runs {
             let mut src = RunSource {
-                reader: std::io::BufReader::new(
-                    std::fs::File::open(path).map_err(MemError::Io)?,
-                ),
+                reader: std::io::BufReader::new(std::fs::File::open(path).map_err(MemError::Io)?),
                 current: None,
             };
             src.advance().map_err(MemError::Io)?;
@@ -343,9 +338,8 @@ impl DecaSortShuffle {
             let mut mem_idx = 0usize;
             loop {
                 // Pick the minimum-key source among runs and memory.
-                let mem_key = ptrs
-                    .get(mem_idx)
-                    .map(|(ptr, len)| key_of(g.slice(*ptr, *len as usize)));
+                let mem_key =
+                    ptrs.get(mem_idx).map(|(ptr, len)| key_of(g.slice(*ptr, *len as usize)));
                 let mut best_run: Option<(usize, K)> = None;
                 for (i, s) in sources.iter().enumerate() {
                     if let Some(cur) = &s.current {
@@ -482,16 +476,11 @@ mod tests {
             buf.append(&mut mm, &mut heap, &bytes).unwrap();
         }
         let mut order = Vec::new();
-        buf.sorted_for_each(
-            &mut mm,
-            &mut heap,
-            i64::decode,
-            |bytes| {
-                let (k, v) = <(i64, f64)>::decode(bytes);
-                assert_eq!(v, k as f64 * 1.5);
-                order.push(k);
-            },
-        )
+        buf.sorted_for_each(&mut mm, &mut heap, i64::decode, |bytes| {
+            let (k, v) = <(i64, f64)>::decode(bytes);
+            assert_eq!(v, k as f64 * 1.5);
+            order.push(k);
+        })
         .unwrap();
         assert_eq!(order, (0..10).collect::<Vec<i64>>());
         buf.release(&mut mm, &mut heap);
@@ -512,25 +501,18 @@ mod tests {
                 buf.append(&mut mm, &mut heap, &bytes).unwrap();
             }
             if bi < 2 {
-                let written = buf
-                    .spill_run(&mut mm, &mut heap, i64::decode)
-                    .unwrap();
+                let written = buf.spill_run(&mut mm, &mut heap, i64::decode).unwrap();
                 assert!(written > 0);
                 assert_eq!(buf.len(), 0, "pages drained after spill");
             }
         }
         assert_eq!(buf.run_count(), 2);
         let mut order = Vec::new();
-        buf.merge_sorted(
-            &mut mm,
-            &mut heap,
-            i64::decode,
-            |bytes| {
-                let (k, v) = <(i64, f64)>::decode(bytes);
-                assert_eq!(v, k as f64);
-                order.push(k);
-            },
-        )
+        buf.merge_sorted(&mut mm, &mut heap, i64::decode, |bytes| {
+            let (k, v) = <(i64, f64)>::decode(bytes);
+            assert_eq!(v, k as f64);
+            order.push(k);
+        })
         .unwrap();
         assert_eq!(order, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
         buf.release(&mut mm, &mut heap);
@@ -559,14 +541,20 @@ mod tests {
             b.append(&mut mm, &mut heap, &enc(k + 100)).unwrap();
         }
         let mut got_a = Vec::new();
-        a.merge_sorted(&mut mm, &mut heap, |x| i64::decode(x), |x| {
-            got_a.push(<(i64, f64)>::decode(x).0)
-        })
+        a.merge_sorted(
+            &mut mm,
+            &mut heap,
+            |x| i64::decode(x),
+            |x| got_a.push(<(i64, f64)>::decode(x).0),
+        )
         .unwrap();
         let mut got_b = Vec::new();
-        b.merge_sorted(&mut mm, &mut heap, |x| i64::decode(x), |x| {
-            got_b.push(<(i64, f64)>::decode(x).0)
-        })
+        b.merge_sorted(
+            &mut mm,
+            &mut heap,
+            |x| i64::decode(x),
+            |x| got_b.push(<(i64, f64)>::decode(x).0),
+        )
         .unwrap();
         assert_eq!(got_a, vec![1, 2, 3, 4, 5]);
         assert_eq!(got_b, vec![101, 102, 103, 104, 105]);

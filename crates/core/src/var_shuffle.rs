@@ -109,8 +109,7 @@ impl DecaVarHashShuffle {
                         let kptr = g.append_framed(h, key)?;
                         let vptr = g.reserve(h, val_size)?;
                         g.slice_mut(vptr, val_size).copy_from_slice(val);
-                        table[idx] =
-                            Some(Slot { key: kptr, key_len: key.len() as u32, val: vptr });
+                        table[idx] = Some(Slot { key: kptr, key_len: key.len() as u32, val: vptr });
                         *len += 1;
                         return Ok(());
                     }
@@ -190,8 +189,7 @@ mod tests {
         let mut expected: HashMap<&str, i64> = HashMap::new();
         for w in words {
             *expected.entry(w).or_insert(0) += 1;
-            buf.insert(&mut mm, &mut heap, w.as_bytes(), &1i64.to_le_bytes(), add_i64)
-                .unwrap();
+            buf.insert(&mut mm, &mut heap, w.as_bytes(), &1i64.to_le_bytes(), add_i64).unwrap();
         }
         assert_eq!(buf.len(), expected.len());
         assert_eq!(buf.combines, words.len() as u64 - expected.len() as u64);

@@ -147,12 +147,25 @@ pub(crate) fn byte_array_class(heap: &mut Heap) -> deca_heap::ClassId {
 }
 
 enum BlockState {
-    Objects { root: RootId, len: usize, ops: Box<dyn ObjectBlockOps> },
-    Serialized { root: RootId, len: usize },
-    Deca { block: DecaCacheBlock },
+    Objects {
+        root: RootId,
+        len: usize,
+        ops: Box<dyn ObjectBlockOps>,
+    },
+    Serialized {
+        root: RootId,
+        len: usize,
+    },
+    Deca {
+        block: DecaCacheBlock,
+    },
     /// Evicted to disk; `was_objects` says how to re-materialise and
     /// `mem_bytes` what it will cost in memory again.
-    Disk { len: usize, was_objects: Option<Box<dyn ObjectBlockOps>>, mem_bytes: usize },
+    Disk {
+        len: usize,
+        was_objects: Option<Box<dyn ObjectBlockOps>>,
+        mem_bytes: usize,
+    },
 }
 
 struct Entry {
@@ -194,9 +207,9 @@ impl CacheManager {
     }
 
     fn dir(&self) -> PathBuf {
-        self.dir
-            .clone()
-            .unwrap_or_else(|| std::env::temp_dir().join(format!("deca-cache-{}", std::process::id())))
+        self.dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("deca-cache-{}", std::process::id()))
+        })
     }
 
     fn tick(&mut self) -> u64 {
@@ -249,9 +262,7 @@ impl CacheManager {
     where
         T::Classes: 'static,
     {
-        let bytes: usize = recs.iter().map(|r| r.heap_size()).sum::<usize>()
-            + 16
-            + recs.len() * 8;
+        let bytes: usize = recs.iter().map(|r| r.heap_size()).sum::<usize>() + 16 + recs.len() * 8;
         self.make_room(heap, kryo, mm, bytes)?;
         let root = match store_object_array(heap, classes, recs) {
             Ok(r) => r,
@@ -608,9 +619,7 @@ impl CacheManager {
             .enumerate()
             .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
             .filter(|(i, e)| {
-                *i != keep.0 as usize
-                    && !e.pinned
-                    && !matches!(e.state, BlockState::Disk { .. })
+                *i != keep.0 as usize && !e.pinned && !matches!(e.state, BlockState::Disk { .. })
             })
             .min_by_key(|(_, e)| e.last_used)
             .map(|(i, _)| i);
@@ -722,11 +731,7 @@ mod tests {
         let (root, len) = cm.objects_root(a, &mut heap, &mut kryo, &mut mm).unwrap();
         let arr = heap.root_ref(root);
         assert_eq!(len, 500);
-        let rec = <(i64, i64) as HeapRecord>::load(
-            &heap,
-            &classes,
-            heap.array_get_ref(arr, 42),
-        );
+        let rec = <(i64, i64) as HeapRecord>::load(&heap, &classes, heap.array_get_ref(arr, 42));
         assert_eq!(rec, (42, 42));
     }
 }

@@ -41,23 +41,19 @@ impl LocalCluster {
 
     /// Run `f` on every executor in parallel (one stage's task wave).
     /// Results are returned in executor order.
-    pub fn par_run<R: Send>(
-        &mut self,
-        f: impl Fn(usize, &mut Executor) -> R + Sync,
-    ) -> Vec<R> {
-        crossbeam::thread::scope(|s| {
+    pub fn par_run<R: Send>(&mut self, f: impl Fn(usize, &mut Executor) -> R + Sync) -> Vec<R> {
+        std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .executors
                 .iter_mut()
                 .enumerate()
                 .map(|(i, e)| {
                     let f = &f;
-                    s.spawn(move |_| f(i, e))
+                    s.spawn(move || f(i, e))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("executor task")).collect()
         })
-        .expect("cluster scope")
     }
 
     /// Aggregate job metrics across executors (sums; exec time is the max,
@@ -124,16 +120,9 @@ mod tests {
 
     #[test]
     fn exchange_transposes() {
-        let outputs = vec![
-            vec![vec![1], vec![2]],
-            vec![vec![3], vec![4]],
-            vec![vec![5], vec![6]],
-        ];
+        let outputs = vec![vec![vec![1], vec![2]], vec![vec![3], vec![4]], vec![vec![5], vec![6]]];
         let inputs = exchange(outputs);
-        assert_eq!(inputs, vec![
-            vec![vec![1], vec![3], vec![5]],
-            vec![vec![2], vec![4], vec![6]],
-        ]);
+        assert_eq!(inputs, vec![vec![vec![1], vec![3], vec![5]], vec![vec![2], vec![4], vec![6]],]);
     }
 
     #[test]

@@ -65,8 +65,19 @@ impl ExecutorConfig {
             shuffle_fraction: 0.2,
             gc_algorithm: GcAlgorithm::ParallelScavenge,
             page_size: 64 << 10,
-            spill_dir: std::env::temp_dir().join(format!("deca-exec-{}", std::process::id())),
+            spill_dir: ExecutorConfig::default_spill_dir(),
         }
+    }
+
+    /// The default spill directory: unique per process *and* thread, so
+    /// concurrently running tests never share spill state. Tests that use
+    /// the default can compute the same path to clean it up afterwards.
+    pub fn default_spill_dir() -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "deca-exec-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
     }
 
     pub fn storage_fraction(mut self, f: f64) -> Self {

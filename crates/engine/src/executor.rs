@@ -90,7 +90,6 @@ impl Executor {
         // re-attributed.
         let _ = self.gc_acc.account(self.heap.stats());
 
-
         let wall_start = Instant::now();
         let result = f(self);
         let wall = wall_start.elapsed();
@@ -195,9 +194,9 @@ mod tests {
     #[test]
     fn task_attribution_includes_gc() {
         let mut e = exec();
-        let c = e
-            .heap
-            .define_class(ClassBuilder::new("T").field("a", FieldKind::I64).field("b", FieldKind::I64));
+        let c = e.heap.define_class(
+            ClassBuilder::new("T").field("a", FieldKind::I64).field("b", FieldKind::I64),
+        );
         e.run_task("churn", |e| {
             for _ in 0..300_000 {
                 e.heap.alloc(c).unwrap();
@@ -229,9 +228,7 @@ mod tests {
         let run = |algo| {
             let cfg = ExecutorConfig::new(ExecutionMode::Spark, 4 << 20).gc_algorithm(algo);
             let mut e = Executor::new(cfg);
-            let c = e.heap.define_class(
-                ClassBuilder::new("K").field("v", FieldKind::I64),
-            );
+            let c = e.heap.define_class(ClassBuilder::new("K").field("v", FieldKind::I64));
             let arr = e.heap.define_array_class("Object[]", FieldKind::Ref);
             e.run_task("pin+churn", |e| {
                 // Pin ~60% of old gen, then churn to force full GCs.

@@ -130,14 +130,12 @@ impl HeapRecord for (i64, f64) {
     fn register(heap: &mut Heap) -> PairClasses {
         use deca_heap::{ClassBuilder, FieldKind};
         let tuple = heap.define_class(
-            ClassBuilder::new("Tuple2")
-                .field("_1", FieldKind::Ref)
-                .field("_2", FieldKind::Ref),
+            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref),
         );
         let box_a =
             heap.define_class(ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64));
-        let box_b = heap
-            .define_class(ClassBuilder::new("java.lang.Double").field("value", FieldKind::F64));
+        let box_b =
+            heap.define_class(ClassBuilder::new("java.lang.Double").field("value", FieldKind::F64));
         PairClasses { tuple, box_a, box_b }
     }
 
@@ -187,12 +185,10 @@ impl HeapRecord for (f64, i64) {
     fn register(heap: &mut Heap) -> PairClasses {
         use deca_heap::{ClassBuilder, FieldKind};
         let tuple = heap.define_class(
-            ClassBuilder::new("Tuple2")
-                .field("_1", FieldKind::Ref)
-                .field("_2", FieldKind::Ref),
+            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref),
         );
-        let box_a = heap
-            .define_class(ClassBuilder::new("java.lang.Double").field("value", FieldKind::F64));
+        let box_a =
+            heap.define_class(ClassBuilder::new("java.lang.Double").field("value", FieldKind::F64));
         let box_b =
             heap.define_class(ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64));
         PairClasses { tuple, box_a, box_b }
@@ -245,9 +241,7 @@ impl HeapRecord for (i64, Vec<f64>) {
     fn register(heap: &mut Heap) -> PairClasses {
         use deca_heap::{ClassBuilder, FieldKind};
         let tuple = heap.define_class(
-            ClassBuilder::new("Tuple2")
-                .field("_1", FieldKind::Ref)
-                .field("_2", FieldKind::Ref),
+            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref),
         );
         let box_a =
             heap.define_class(ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64));

@@ -87,8 +87,8 @@ impl DecaSession {
         let per = records.len().div_ceil(partitions).max(1);
         let mut blocks = Vec::new();
         for (pi, chunk) in records.chunks(per).enumerate() {
-            let block = self.exec.run_task(format!("{name}-cache-{pi}"), |e| {
-                match e.config.mode {
+            let block =
+                self.exec.run_task(format!("{name}-cache-{pi}"), |e| match e.config.mode {
                     ExecutionMode::Spark => {
                         e.cache.put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, &classes, chunk)
                     }
@@ -96,13 +96,10 @@ impl DecaSession {
                         e.cache.put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, chunk)
                     }
                     ExecutionMode::Deca => match T::FIXED_SIZE {
-                        Some(size) => {
-                            e.cache.put_deca_sfst(&mut e.heap, &mut e.mm, chunk, size)
-                        }
+                        Some(size) => e.cache.put_deca_sfst(&mut e.heap, &mut e.mm, chunk, size),
                         None => e.cache.put_deca(&mut e.heap, &mut e.mm, chunk),
                     },
-                }
-            })?;
+                })?;
             blocks.push(block);
         }
         Ok(Cached {
@@ -140,13 +137,9 @@ impl DecaSession {
                         }
                         Ok(())
                     }
-                    ExecutionMode::SparkSer => e.cache.iter_serialized(
-                        block,
-                        &mut e.heap,
-                        &mut e.kryo,
-                        &mut e.mm,
-                        &mut f,
-                    ),
+                    ExecutionMode::SparkSer => {
+                        e.cache.iter_serialized(block, &mut e.heap, &mut e.kryo, &mut e.mm, &mut f)
+                    }
                     ExecutionMode::Deca => {
                         let heap = &mut e.heap;
                         let mm = &mut e.mm;
@@ -214,8 +207,7 @@ impl DecaSession {
             }
             _ => {
                 let mut buf: crate::shuffle::SparkHashShuffle<i64, i64> =
-                    crate::shuffle::SparkHashShuffle::new(&mut e.heap)
-                        .map_err(CacheError::Oom)?;
+                    crate::shuffle::SparkHashShuffle::new(&mut e.heap).map_err(CacheError::Oom)?;
                 for (k, v) in pairs {
                     buf.insert(&mut e.heap, k, v, combine).map_err(CacheError::Oom)?;
                 }
@@ -283,7 +275,10 @@ mod tests {
             let mut out = s.reduce_by_key(pairs.iter().copied(), |a, b| a + b).unwrap();
             out.sort_unstable();
             assert_eq!(out.len(), 37);
-            assert!(out.iter().all(|&(_, v)| v == 10_000 / 37 + i64::from(37 * (10_000 / 37) < 10_000) || v == 10_000 / 37));
+            assert!(out
+                .iter()
+                .all(|&(_, v)| v == 10_000 / 37 + i64::from(37 * (10_000 / 37) < 10_000)
+                    || v == 10_000 / 37));
             let total: i64 = out.iter().map(|&(_, v)| v).sum();
             assert_eq!(total, 10_000, "{mode}");
         }

@@ -123,10 +123,7 @@ where
         for i in 0..self.len {
             let kobj = heap.array_get_ref(arr, i * 2);
             let vobj = heap.array_get_ref(arr, i * 2 + 1);
-            out.push((
-                K::load(heap, &self.classes_k, kobj),
-                V::load(heap, &self.classes_v, vobj),
-            ));
+            out.push((K::load(heap, &self.classes_k, kobj), V::load(heap, &self.classes_v, vobj)));
         }
         out
     }
@@ -137,10 +134,7 @@ where
         for i in 0..self.len {
             let kobj = heap.array_get_ref(arr, i * 2);
             let vobj = heap.array_get_ref(arr, i * 2 + 1);
-            f(
-                K::load(heap, &self.classes_k, kobj),
-                V::load(heap, &self.classes_v, vobj),
-            );
+            f(K::load(heap, &self.classes_k, kobj), V::load(heap, &self.classes_v, vobj));
         }
     }
 

@@ -98,8 +98,7 @@ impl Heap {
                 Some(elem) if elem.is_ref() => {
                     let len = self.spaces[space as usize].words[off + 1] as usize;
                     for i in 0..len {
-                        let v =
-                            ObjRef::from_raw(self.spaces[space as usize].words[off + 2 + i]);
+                        let v = ObjRef::from_raw(self.spaces[space as usize].words[off + 2 + i]);
                         if !v.is_null() {
                             stack.push(v);
                         }
@@ -111,9 +110,8 @@ impl Heap {
                     let n = desc.slot_count();
                     for i in 0..n {
                         if mask & (1u64 << i) != 0 {
-                            let v = ObjRef::from_raw(
-                                self.spaces[space as usize].words[off + 2 + i],
-                            );
+                            let v =
+                                ObjRef::from_raw(self.spaces[space as usize].words[off + 2 + i]);
                             if !v.is_null() {
                                 stack.push(v);
                             }
@@ -166,9 +164,7 @@ mod tests {
     fn reachable_census_separates_garbage_from_live() {
         let mut h = Heap::new(HeapConfig::small());
         let node = h.define_class(
-            ClassBuilder::new("Node")
-                .field("v", FieldKind::I64)
-                .field("next", FieldKind::Ref),
+            ClassBuilder::new("Node").field("v", FieldKind::I64).field("next", FieldKind::Ref),
         );
         // 5 rooted, 20 garbage.
         let mut head = ObjRef::NULL;
@@ -203,9 +199,7 @@ mod tests {
     fn reachable_census_handles_shared_and_cyclic_refs_via_marks() {
         let mut h = Heap::new(HeapConfig::small());
         let pair = h.define_class(
-            ClassBuilder::new("Pair")
-                .field("a", FieldKind::Ref)
-                .field("b", FieldKind::Ref),
+            ClassBuilder::new("Pair").field("a", FieldKind::Ref).field("b", FieldKind::Ref),
         );
         // A diamond: root -> p; p.a = q, p.b = q (shared).
         let q = h.alloc(pair).unwrap();

@@ -249,10 +249,7 @@ impl ClassRegistry {
 
     /// Look a class up by name (linear scan; intended for tests and tools).
     pub fn by_name(&self, name: &str) -> Option<ClassId> {
-        self.classes
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| ClassId(i as u32))
+        self.classes.iter().position(|c| c.name == name).map(|i| ClassId(i as u32))
     }
 }
 

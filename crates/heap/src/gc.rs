@@ -127,8 +127,7 @@ impl Heap {
                 let old_scan = self.promo_queue[promo_idx];
                 promo_idx += 1;
                 counters.objects_traced += 1;
-                let keeps_young =
-                    self.forward_slots_at(SpaceId::Old, old_scan, to, &mut counters);
+                let keeps_young = self.forward_slots_at(SpaceId::Old, old_scan, to, &mut counters);
                 if keeps_young {
                     let holder = ObjRef::new(SpaceId::Old, old_scan);
                     let hw = &mut self.spaces[SpaceId::Old as usize].words[old_scan];
@@ -181,12 +180,7 @@ impl Heap {
 
     /// Forward one reference with respect to a minor collection: young
     /// objects are copied/promoted, old objects are returned unchanged.
-    fn forward_young(
-        &mut self,
-        r: ObjRef,
-        to: SpaceId,
-        counters: &mut TraceCounters,
-    ) -> ObjRef {
+    fn forward_young(&mut self, r: ObjRef, to: SpaceId, counters: &mut TraceCounters) -> ObjRef {
         if r.is_null() || !self.is_young(r.space()) {
             return r;
         }
@@ -335,7 +329,13 @@ impl Heap {
 
         let mut roots = std::mem::take(&mut self.roots);
         roots.for_each_mut(|r| {
-            *r = Self::forward_full(&mut self.spaces, &self.registry, &mut new_old, *r, &mut counters);
+            *r = Self::forward_full(
+                &mut self.spaces,
+                &self.registry,
+                &mut new_old,
+                *r,
+                &mut counters,
+            );
         });
         self.roots = roots;
 
@@ -347,10 +347,9 @@ impl Heap {
             let class = ClassId(h.class_id());
             let desc = self.registry.get(class);
             let (slots, ref_iter): (usize, bool) = match desc.array_elem() {
-                Some(elem) => (
-                    Heap::array_slot_words(elem, new_old.words[scan + 1] as usize),
-                    elem.is_ref(),
-                ),
+                Some(elem) => {
+                    (Heap::array_slot_words(elem, new_old.words[scan + 1] as usize), elem.is_ref())
+                }
                 None => (desc.slot_count(), true),
             };
             if ref_iter {
@@ -499,9 +498,8 @@ impl Heap {
                     let mask = desc.ref_mask();
                     for i in 0..desc.slot_count() {
                         if mask & (1u64 << i) != 0 {
-                            let v = ObjRef::from_raw(
-                                self.spaces[space as usize].words[off + 2 + i],
-                            );
+                            let v =
+                                ObjRef::from_raw(self.spaces[space as usize].words[off + 2 + i]);
                             if !v.is_null() {
                                 stack.push(v);
                             }
@@ -683,9 +681,7 @@ mod tests {
     fn minor_gc_preserves_rooted_graph() {
         let mut h = heap();
         let node = h.define_class(
-            ClassBuilder::new("Node")
-                .field("v", FieldKind::I64)
-                .field("next", FieldKind::Ref),
+            ClassBuilder::new("Node").field("v", FieldKind::I64).field("next", FieldKind::Ref),
         );
         // Build a rooted linked list plus unrooted garbage.
         let mut head = ObjRef::NULL;
@@ -781,9 +777,7 @@ mod tests {
     fn full_gc_traces_whole_object_graph() {
         let mut h = heap();
         let pair = h.define_class(
-            ClassBuilder::new("Pair")
-                .field("a", FieldKind::Ref)
-                .field("b", FieldKind::Ref),
+            ClassBuilder::new("Pair").field("a", FieldKind::Ref).field("b", FieldKind::Ref),
         );
         let leaf = h.define_class(ClassBuilder::new("Leaf").field("v", FieldKind::I64));
         let arr = h.define_array_class("Object[]", FieldKind::Ref);
@@ -823,9 +817,7 @@ mod tests {
     fn allocation_pressure_triggers_collections() {
         let mut h = Heap::new(HeapConfig::with_total(1 << 20));
         let c = h.define_class(
-            ClassBuilder::new("Tmp")
-                .field("a", FieldKind::F64)
-                .field("b", FieldKind::F64),
+            ClassBuilder::new("Tmp").field("a", FieldKind::F64).field("b", FieldKind::F64),
         );
         for _ in 0..200_000 {
             h.alloc(c).unwrap(); // all garbage
@@ -857,7 +849,7 @@ mod tests {
             h.alloc(c).unwrap();
         }
         let _ = full_before; // full GCs may or may not fire depending on promotion
-        // The cached data must still be intact regardless.
+                             // The cached data must still be intact regardless.
         let holder = h.root_ref(root);
         for i in (0..n).step_by(97) {
             let o = h.array_get_ref(holder, i);
@@ -958,9 +950,7 @@ mod tests {
     fn mark_sweep_preserves_graphs_and_frees_garbage() {
         let mut h = ms_heap();
         let node = h.define_class(
-            ClassBuilder::new("Node")
-                .field("v", FieldKind::I64)
-                .field("next", FieldKind::Ref),
+            ClassBuilder::new("Node").field("v", FieldKind::I64).field("next", FieldKind::Ref),
         );
         let mut head = ObjRef::NULL;
         for i in 0..200 {

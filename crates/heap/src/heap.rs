@@ -202,9 +202,8 @@ impl Heap {
     /// Allocate an array instance with `len` zeroed elements.
     pub fn alloc_array(&mut self, class: ClassId, len: usize) -> Result<ObjRef, OomError> {
         let desc = self.registry.get(class);
-        let elem = desc
-            .array_elem()
-            .unwrap_or_else(|| panic!("{} is not an array class", desc.name()));
+        let elem =
+            desc.array_elem().unwrap_or_else(|| panic!("{} is not an array class", desc.name()));
         let slots = Self::array_slot_words(elem, len);
         let nominal = desc.nominal_size(len);
         self.alloc_raw(class, slots, nominal, len as u64)
@@ -377,10 +376,7 @@ impl Heap {
     }
 
     fn barrier(&mut self, holder: ObjRef, value: ObjRef) {
-        if holder.space() == SpaceId::Old
-            && !value.is_null()
-            && value.space() != SpaceId::Old
-        {
+        if holder.space() == SpaceId::Old && !value.is_null() && value.space() != SpaceId::Old {
             let h = self.header(holder);
             if !h.is_remembered() {
                 self.spaces[SpaceId::Old as usize].words[holder.offset()] =
@@ -400,10 +396,7 @@ impl Heap {
     }
 
     fn array_elem_kind(&self, r: ObjRef) -> FieldKind {
-        self.registry
-            .get(self.class_of(r))
-            .array_elem()
-            .expect("not an array")
+        self.registry.get(self.class_of(r)).array_elem().expect("not an array")
     }
 
     fn elem_loc(elem: FieldKind, i: usize) -> (usize, u32, u64) {

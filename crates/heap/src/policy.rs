@@ -42,11 +42,9 @@ impl GcAlgorithm {
 
     pub fn pause_model(self) -> PauseModel {
         match self {
-            GcAlgorithm::ParallelScavenge => PauseModel {
-                full_pause_fraction: 1.0,
-                mutator_tax: 0.0,
-                initiating_occupancy: 1.0,
-            },
+            GcAlgorithm::ParallelScavenge => {
+                PauseModel { full_pause_fraction: 1.0, mutator_tax: 0.0, initiating_occupancy: 1.0 }
+            }
             GcAlgorithm::Cms => PauseModel {
                 full_pause_fraction: 0.15,
                 mutator_tax: 0.10,

@@ -116,15 +116,14 @@ fn build_lr_program(mode: DimMode) -> LrProgram {
     );
 
     // LabeledPoint ctor: this.label = ..; this.features = <param vector>.
-    let lp_ctor = program.add(
-        Method::ctor("LabeledPoint::<init>", types.labeled_point)
-            .params(1)
-            .stmt(Stmt::StoreField {
+    let lp_ctor =
+        program.add(Method::ctor("LabeledPoint::<init>", types.labeled_point).params(1).stmt(
+            Stmt::StoreField {
                 object_ty: types.labeled_point,
                 field: 1,
                 value: StoreValue::Opaque, // a DenseVector, not an array
-            }),
-    );
+            },
+        ));
 
     // The map UDF: features = new Array[Double](D); new DenseVector(features)
     // inside new LabeledPoint(...).
@@ -244,23 +243,16 @@ pub fn sparse_lr_program() -> SparseLrProgram {
         name: "LabeledPoint".into(),
         fields: vec![
             FieldDecl::new("label", TypeRef::Prim(PrimKind::F64)),
-            FieldDecl::new("features", TypeRef::Udt(dense_vector)).with_type_set(vec![
-                TypeRef::Udt(dense_vector),
-                TypeRef::Udt(sparse_vector),
-            ]),
+            FieldDecl::new("features", TypeRef::Udt(dense_vector))
+                .with_type_set(vec![TypeRef::Udt(dense_vector), TypeRef::Udt(sparse_vector)]),
         ],
     });
 
     let mut program = Program::new();
-    let lp_ctor = program.add(
-        Method::ctor("LabeledPoint::<init>", labeled_point)
-            .params(1)
-            .stmt(Stmt::StoreField {
-                object_ty: labeled_point,
-                field: 1,
-                value: StoreValue::Opaque,
-            }),
-    );
+    let lp_ctor =
+        program.add(Method::ctor("LabeledPoint::<init>", labeled_point).params(1).stmt(
+            Stmt::StoreField { object_ty: labeled_point, field: 1, value: StoreValue::Opaque },
+        ));
     // The map parses each line: dense rows use the global D, sparse rows
     // allocate nnz-sized arrays (per-record external read).
     let d_var = VarId(0);

@@ -186,10 +186,7 @@ fn rewrite_stmt(
         }
         Stmt::Call { callee, args } => Stmt::Call {
             callee: *callee,
-            args: args
-                .iter()
-                .map(|a| rewrite_expr(a, params, rename, next_var))
-                .collect(),
+            args: args.iter().map(|a| rewrite_expr(a, params, rename, next_var)).collect(),
         },
     }
 }
@@ -204,10 +201,7 @@ fn rewrite_expr(
         Expr::Const(c) => Expr::Const(*c),
         Expr::ExternalRead => Expr::ExternalRead,
         // A callee's Param(i) becomes the caller-side binding var.
-        Expr::Param(i) => params
-            .get(*i)
-            .map(|v| Expr::Var(*v))
-            .unwrap_or(Expr::ExternalRead),
+        Expr::Param(i) => params.get(*i).map(|v| Expr::Var(*v)).unwrap_or(Expr::ExternalRead),
         Expr::Var(v) => {
             let id = *rename.entry(v.0).or_insert_with(|| {
                 let id = *next_var;
@@ -256,7 +250,11 @@ mod tests {
             Method::new("allocWith")
                 .params(1)
                 .stmt(Stmt::NewArray { dst: VarId(0), ty: arr, len: Expr::Param(0) })
-                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(VarId(0)) }),
+                .stmt(Stmt::StoreField {
+                    object_ty: holder,
+                    field: 0,
+                    value: StoreValue::Var(VarId(0)),
+                }),
         );
         let compute_helper = p.add(
             Method::new("computeLen")
@@ -273,20 +271,12 @@ mod tests {
 
         let fused = fuse(&p, entry, FusionConfig::default());
         // All helper calls gone from the entry.
-        let calls = fused
-            .method(entry)
-            .body
-            .iter()
-            .filter(|s| matches!(s, Stmt::Call { .. }))
-            .count();
+        let calls =
+            fused.method(entry).body.iter().filter(|s| matches!(s, Stmt::Call { .. })).count();
         assert_eq!(calls, 0, "helpers fully inlined");
         // NewArray sites now live in the entry itself.
-        let allocs = fused
-            .method(entry)
-            .body
-            .iter()
-            .filter(|s| matches!(s, Stmt::NewArray { .. }))
-            .count();
+        let allocs =
+            fused.method(entry).body.iter().filter(|s| matches!(s, Stmt::NewArray { .. })).count();
         assert_eq!(allocs, 2);
 
         // The fused program classifies identically to the original.
@@ -313,7 +303,11 @@ mod tests {
             Method::ctor("Holder::<init>", holder)
                 .params(1)
                 .stmt(Stmt::Assign(VarId(0), Expr::Param(0)))
-                .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(VarId(0)) }),
+                .stmt(Stmt::StoreField {
+                    object_ty: holder,
+                    field: 0,
+                    value: StoreValue::Var(VarId(0)),
+                }),
         );
         let entry = p.add(
             Method::new("stage")
@@ -321,12 +315,8 @@ mod tests {
                 .stmt(Stmt::Call { callee: ctor, args: vec![Expr::var(1)] }),
         );
         let fused = fuse(&p, entry, FusionConfig::default());
-        let calls = fused
-            .method(entry)
-            .body
-            .iter()
-            .filter(|s| matches!(s, Stmt::Call { .. }))
-            .count();
+        let calls =
+            fused.method(entry).body.iter().filter(|s| matches!(s, Stmt::Call { .. })).count();
         assert_eq!(calls, 1, "the constructor call survives fusion");
         // And init-only detection still works on the fused program.
         let ga = GlobalAnalysis::new(&reg, &fused, entry);

@@ -53,9 +53,7 @@ impl Prov {
         match (self, other) {
             (Prov::Unset, p) | (p, Prov::Unset) => p.clone(),
             (Prov::Unknown, _) | (_, Prov::Unknown) => Prov::Unknown,
-            (Prov::Sites(a), Prov::Sites(b)) => {
-                Prov::Sites(a.union(b).copied().collect())
-            }
+            (Prov::Sites(a), Prov::Sites(b)) => Prov::Sites(a.union(b).copied().collect()),
         }
     }
 }
@@ -147,7 +145,8 @@ impl<'a> GlobalAnalysis<'a> {
                 for (si, stmt) in method.body.iter().enumerate() {
                     match stmt {
                         Stmt::Assign(dst, expr) => {
-                            let v = eval(expr, &params, &vars, m, si, &mut symbols, &mut external_syms);
+                            let v =
+                                eval(expr, &params, &vars, m, si, &mut symbols, &mut external_syms);
                             vars.insert(dst.0, v);
                             // Copies also carry array provenance.
                             if let Expr::Var(src) = expr {
@@ -196,8 +195,15 @@ impl<'a> GlobalAnalysis<'a> {
                                 .iter()
                                 .enumerate()
                                 .map(|(ai, a)| {
-                                    eval(a, &params, &vars, m, si * 1000 + ai, &mut symbols,
-                                        &mut external_syms)
+                                    eval(
+                                        a,
+                                        &params,
+                                        &vars,
+                                        m,
+                                        si * 1000 + ai,
+                                        &mut symbols,
+                                        &mut external_syms,
+                                    )
                                 })
                                 .collect();
                             let arg_provs: Vec<Prov> = args
@@ -266,17 +272,9 @@ impl<'a> GlobalAnalysis<'a> {
                         Prov::Unknown | Prov::Unset => return false,
                     }
                 }
-                sites
-                    .into_iter()
-                    .filter(|s| self.site_types.get(s) == Some(&a))
-                    .collect()
+                sites.into_iter().filter(|s| self.site_types.get(s) == Some(&a)).collect()
             }
-            None => self
-                .site_types
-                .iter()
-                .filter(|(_, &ty)| ty == a)
-                .map(|(&s, _)| s)
-                .collect(),
+            None => self.site_types.iter().filter(|(_, &ty)| ty == a).map(|(&s, _)| s).collect(),
         };
         if sites.is_empty() {
             return false;
@@ -299,12 +297,8 @@ impl<'a> GlobalAnalysis<'a> {
         // No store anywhere in this scope: trivially init-only here (the
         // phased-refinement case — the object was built in an earlier
         // phase and is only read now).
-        let stored_methods: Vec<MethodId> = self
-            .store_counts
-            .keys()
-            .filter(|(_, k)| *k == key)
-            .map(|(m, _)| *m)
-            .collect();
+        let stored_methods: Vec<MethodId> =
+            self.store_counts.keys().filter(|(_, k)| *k == key).map(|(m, _)| *m).collect();
         for &m in &stored_methods {
             if self.ctor_of.get(&m).copied().flatten() != Some(udt) {
                 return false; // assigned outside a constructor
@@ -540,7 +534,12 @@ mod tests {
     #[test]
     fn labeled_point_refines_to_sfst() {
         let f = fixtures::lr_program();
-        let c = classify_global(&f.types.registry, &f.program, f.stage_entry, TypeRef::Udt(f.types.labeled_point));
+        let c = classify_global(
+            &f.types.registry,
+            &f.program,
+            f.stage_entry,
+            TypeRef::Udt(f.types.labeled_point),
+        );
         assert_eq!(c, Classification::Sized(SizeType::StaticFixed));
     }
 
@@ -706,8 +705,10 @@ mod tests {
                 .stmt(Stmt::NewArray { dst: x, ty: arr, len: Expr::Const(4) })
                 .stmt(Stmt::StoreField { object_ty: holder, field: 0, value: StoreValue::Var(x) }),
         );
-        let deleg2 =
-            p2.add(Method::ctor("Holder::<init>()", holder).stmt(Stmt::Call { callee: base2, args: vec![] }));
+        let deleg2 = p2.add(
+            Method::ctor("Holder::<init>()", holder)
+                .stmt(Stmt::Call { callee: base2, args: vec![] }),
+        );
         let entry2 = p2.add(Method::new("main").stmt(Stmt::Call { callee: deleg2, args: vec![] }));
         let ga2 = GlobalAnalysis::new(&reg, &p2, entry2);
         assert!(ga2.init_only(holder, 0));

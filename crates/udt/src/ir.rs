@@ -275,7 +275,8 @@ mod tests {
         // Two mutually-delegating constructors (ill-formed, but the
         // analysis must reject rather than loop).
         let c1 = p.add(Method::ctor("C::<init>(1)", udt));
-        let c2 = p.add(Method::ctor("C::<init>(2)", udt).stmt(Stmt::Call { callee: c1, args: vec![] }));
+        let c2 =
+            p.add(Method::ctor("C::<init>(2)", udt).stmt(Stmt::Call { callee: c1, args: vec![] }));
         p.method_mut(c1).body.push(Stmt::Call { callee: c2, args: vec![] });
         let entry = p.add(Method::new("entry").stmt(Stmt::Call { callee: c1, args: vec![] }));
         let g = CallGraph::build(&p, entry);
@@ -287,8 +288,8 @@ mod tests {
         let mut p = Program::new();
         let udt = UdtId(0);
         let base = p.add(Method::ctor("C::<init>()", udt));
-        let delegating =
-            p.add(Method::ctor("C::<init>(n)", udt).stmt(Stmt::Call { callee: base, args: vec![] }));
+        let delegating = p
+            .add(Method::ctor("C::<init>(n)", udt).stmt(Stmt::Call { callee: base, args: vec![] }));
         let entry =
             p.add(Method::new("entry").stmt(Stmt::Call { callee: delegating, args: vec![] }));
         let g = CallGraph::build(&p, entry);

@@ -50,12 +50,9 @@ fn has_cycle(reg: &TypeRegistry, t: TypeRef) -> bool {
         state.insert(t, State::Visiting);
         let deps: Vec<TypeRef> = match t {
             TypeRef::Prim(_) => Vec::new(),
-            TypeRef::Udt(u) => reg
-                .udt(u)
-                .fields
-                .iter()
-                .flat_map(|f| f.type_set.iter().copied())
-                .collect(),
+            TypeRef::Udt(u) => {
+                reg.udt(u).fields.iter().flat_map(|f| f.type_set.iter().copied()).collect()
+            }
             TypeRef::Array(a) => reg.array(a).elem.type_set.clone(),
         };
         for d in deps {
@@ -69,11 +66,7 @@ fn has_cycle(reg: &TypeRegistry, t: TypeRef) -> bool {
     dfs(reg, t, &mut HashMap::new())
 }
 
-fn analyze_type(
-    reg: &TypeRegistry,
-    t: TypeRef,
-    memo: &mut HashMap<TypeRef, SizeType>,
-) -> SizeType {
+fn analyze_type(reg: &TypeRegistry, t: TypeRef, memo: &mut HashMap<TypeRef, SizeType>) -> SizeType {
     if let Some(&s) = memo.get(&t) {
         return s;
     }
@@ -186,9 +179,7 @@ mod tests {
             name: "Node".into(),
             fields: vec![FieldDecl::new("v", TypeRef::Prim(PrimKind::I64))],
         });
-        reg.udt_mut(node)
-            .fields
-            .push(FieldDecl::new("next", TypeRef::Udt(node)).final_());
+        reg.udt_mut(node).fields.push(FieldDecl::new("next", TypeRef::Udt(node)).final_());
         assert_eq!(classify_local(&reg, TypeRef::Udt(node)), Classification::RecurDef);
     }
 

@@ -49,10 +49,7 @@ pub struct PhaseResult {
 
 impl PhaseResult {
     pub fn of(&self, t: TypeRef) -> Option<Classification> {
-        self.classifications
-            .iter()
-            .find(|(ty, _)| *ty == t)
-            .map(|(_, c)| *c)
+        self.classifications.iter().find(|(ty, _)| *ty == t).map(|(_, c)| *c)
     }
 }
 
@@ -87,15 +84,8 @@ mod tests {
     #[test]
     fn group_type_refines_in_read_phase() {
         let f = fixtures::group_by_program();
-        let phases = JobPhases::new()
-            .phase("build", f.build_entry)
-            .phase("read", f.read_entry);
-        let results = classify_phased(
-            &f.registry,
-            &f.program,
-            &phases,
-            &[TypeRef::Udt(f.group)],
-        );
+        let phases = JobPhases::new().phase("build", f.build_entry).phase("read", f.read_entry);
+        let results = classify_phased(&f.registry, &f.program, &phases, &[TypeRef::Udt(f.group)]);
         assert_eq!(results.len(), 2);
         assert_eq!(
             results[0].of(TypeRef::Udt(f.group)),

@@ -137,9 +137,7 @@ impl ObjSet {
     fn join(&self, other: &ObjSet) -> ObjSet {
         match (self, other) {
             (ObjSet::Unset, o) | (o, ObjSet::Unset) => o.clone(),
-            (ObjSet::Sites(a), ObjSet::Sites(b)) => {
-                ObjSet::Sites(a.union(b).copied().collect())
-            }
+            (ObjSet::Sites(a), ObjSet::Sites(b)) => ObjSet::Sites(a.union(b).copied().collect()),
         }
     }
 }
@@ -185,10 +183,7 @@ pub fn analyze_container_flow(program: &Program, entry: MethodId) -> ContainerFl
                     Stmt::WriteContainer { container, value } => {
                         if let Some(ObjSet::Sites(sites)) = vars.get(&value.0) {
                             for site in sites {
-                                flow.holders
-                                    .entry(*site)
-                                    .or_default()
-                                    .insert(*container);
+                                flow.holders.entry(*site).or_default().insert(*container);
                             }
                         }
                     }
@@ -199,12 +194,8 @@ pub fn analyze_container_flow(program: &Program, entry: MethodId) -> ContainerFl
                         let arg_sets: Vec<ObjSet> = args
                             .iter()
                             .map(|a| match a {
-                                Expr::Var(v) => {
-                                    vars.get(&v.0).cloned().unwrap_or_default()
-                                }
-                                Expr::Param(i) => {
-                                    params.get(*i).cloned().unwrap_or_default()
-                                }
+                                Expr::Var(v) => vars.get(&v.0).cloned().unwrap_or_default(),
+                                Expr::Param(i) => params.get(*i).cloned().unwrap_or_default(),
                                 _ => ObjSet::Unset,
                             })
                             .collect();
@@ -235,7 +226,11 @@ mod tests {
     fn decls() -> Vec<ContainerDecl> {
         vec![
             ContainerDecl { id: ContainerId(0), kind: ContainerKind::UdfVariables, created_seq: 0 },
-            ContainerDecl { id: ContainerId(1), kind: ContainerKind::ShuffleBuffer, created_seq: 1 },
+            ContainerDecl {
+                id: ContainerId(1),
+                kind: ContainerKind::ShuffleBuffer,
+                created_seq: 1,
+            },
             ContainerDecl { id: ContainerId(2), kind: ContainerKind::CachedRdd, created_seq: 2 },
             ContainerDecl { id: ContainerId(3), kind: ContainerKind::CachedRdd, created_seq: 3 },
         ]
@@ -308,10 +303,7 @@ mod tests {
         assert_eq!(flow.holders.len(), 1, "one allocation-site population");
         let (site, holders) = flow.holders.iter().next().unwrap();
         assert_eq!(site.ty, udt);
-        assert_eq!(
-            holders.iter().copied().collect::<Vec<_>>(),
-            vec![udf_vars, shuffle, cache]
-        );
+        assert_eq!(holders.iter().copied().collect::<Vec<_>>(), vec![udf_vars, shuffle, cache]);
 
         let ownership = flow.ownership(&decls());
         let o = &ownership[site];

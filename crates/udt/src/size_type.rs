@@ -92,14 +92,8 @@ mod tests {
     fn variability_total_order() {
         assert!(SizeType::StaticFixed < SizeType::RuntimeFixed);
         assert!(SizeType::RuntimeFixed < SizeType::Variable);
-        assert_eq!(
-            SizeType::StaticFixed.join(SizeType::Variable),
-            SizeType::Variable
-        );
-        assert_eq!(
-            SizeType::RuntimeFixed.join(SizeType::StaticFixed),
-            SizeType::RuntimeFixed
-        );
+        assert_eq!(SizeType::StaticFixed.join(SizeType::Variable), SizeType::Variable);
+        assert_eq!(SizeType::RuntimeFixed.join(SizeType::StaticFixed), SizeType::RuntimeFixed);
     }
 
     #[test]

@@ -275,9 +275,7 @@ mod tests {
             name: "Node".into(),
             fields: vec![FieldDecl::new("v", TypeRef::Prim(PrimKind::I64))],
         });
-        reg.udt_mut(node)
-            .fields
-            .push(FieldDecl::new("next", TypeRef::Udt(node)));
+        reg.udt_mut(node).fields.push(FieldDecl::new("next", TypeRef::Udt(node)));
         assert_eq!(reg.static_data_size(TypeRef::Udt(node), Some(4)), None);
     }
 

@@ -6,9 +6,7 @@
 
 use deca_core::{ContainerDecision, ContainerInfo, Optimizer};
 use deca_udt::fixtures::{group_by_program, lr_program};
-use deca_udt::{
-    classify_local, ContainerId, ContainerKind, GlobalAnalysis, JobPhases, TypeRef,
-};
+use deca_udt::{classify_local, ContainerId, ContainerKind, GlobalAnalysis, JobPhases, TypeRef};
 
 fn main() {
     // ----------------------------------------------------------- LR
@@ -21,10 +19,7 @@ fn main() {
     println!("  local  LabeledPoint = {}", classify_local(&lr.types.registry, lp));
     let ga = GlobalAnalysis::new(&lr.types.registry, &lr.program, lr.stage_entry);
     println!("  global DenseVector  = {}", ga.classify(dv));
-    println!(
-        "  global LabeledPoint = {}  (features init-only, data length == D)",
-        ga.classify(lp)
-    );
+    println!("  global LabeledPoint = {}  (features init-only, data length == D)", ga.classify(lp));
 
     let opt = Optimizer::new(&lr.types.registry, &lr.program);
     let phases = JobPhases::new().phase("map", lr.stage_entry);
@@ -45,9 +40,7 @@ fn main() {
     let g = group_by_program();
     let group_ty = TypeRef::Udt(g.group);
     println!("\ngroupByKey phased refinement (§3.4):");
-    let phases = JobPhases::new()
-        .phase("combine", g.build_entry)
-        .phase("iterate", g.read_entry);
+    let phases = JobPhases::new().phase("combine", g.build_entry).phase("iterate", g.read_entry);
     for result in deca_udt::classify_phased(&g.registry, &g.program, &phases, &[group_ty]) {
         println!("  phase {:<8} Group = {}", result.phase, result.of(group_ty).unwrap());
     }

@@ -31,9 +31,7 @@ fn main() {
     }
     // Plus some floating garbage from a half-finished iteration.
     for _ in 0..20_000 {
-        let _ = heap
-            .alloc_array(classes.double_array, 10)
-            .expect("temp vector");
+        let _ = heap.alloc_array(classes.double_array, 10).expect("temp vector");
     }
 
     println!("class histogram (allocated, jmap -histo style):");
@@ -56,11 +54,7 @@ fn main() {
     );
 
     let raw = n * LabeledPointRec::sfst_size(10);
-    let spark: usize = heap
-        .class_histogram()
-        .iter()
-        .map(|r| r.bytes)
-        .sum();
+    let spark: usize = heap.class_histogram().iter().map(|r| r.bytes).sum();
     println!(
         "\nfootprint: raw data {:.1} MB vs heap layout {:.1} MB ({:.2}x bloat — Figure 2)",
         raw as f64 / (1 << 20) as f64,

@@ -19,8 +19,13 @@ fn main() {
     params.iterations = 15;
     params.heap_bytes = 16 << 20; // the cache nearly fills the old gen
 
-    println!("LogisticRegression: {} points x {} dims, {} iterations, {} MB heap\n",
-        params.points, params.dims, params.iterations, params.heap_bytes >> 20);
+    println!(
+        "LogisticRegression: {} points x {} dims, {} iterations, {} MB heap\n",
+        params.points,
+        params.dims,
+        params.iterations,
+        params.heap_bytes >> 20
+    );
 
     let mut reports = Vec::new();
     for mode in ExecutionMode::ALL {

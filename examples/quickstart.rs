@@ -33,9 +33,7 @@ fn main() {
 fn run_object_graphs() -> (usize, u64, u64, f64) {
     let mut heap = Heap::new(HeapConfig::with_total(24 << 20));
     let pair = heap.define_class(
-        ClassBuilder::new("Record")
-            .field("key", FieldKind::F64)
-            .field("value", FieldKind::I64),
+        ClassBuilder::new("Record").field("key", FieldKind::F64).field("value", FieldKind::I64),
     );
     let object_array = heap.define_array_class("Object[]", FieldKind::Ref);
 
@@ -59,16 +57,12 @@ fn run_object_graphs() -> (usize, u64, u64, f64) {
 fn run_decomposed() -> (usize, u64, u64, f64) {
     let mut heap = Heap::new(HeapConfig::with_total(24 << 20));
     let pair = heap.define_class(
-        ClassBuilder::new("Record")
-            .field("key", FieldKind::F64)
-            .field("value", FieldKind::I64),
+        ClassBuilder::new("Record").field("key", FieldKind::F64).field("value", FieldKind::I64),
     );
     let mut mm = MemoryManager::new(64 << 10, std::env::temp_dir().join("deca-quickstart"));
     let mut block = DecaCacheBlock::new::<(f64, i64)>(&mut mm);
     for i in 0..RECORDS {
-        block
-            .append(&mut mm, &mut heap, &(i as f64, i as i64))
-            .expect("append");
+        block.append(&mut mm, &mut heap, &(i as f64, i as i64)).expect("append");
     }
     churn(&mut heap, pair);
     let live = heap.object_count() + heap.external_count();

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: everything here must pass on a machine with NO network
+# access. The workspace has zero registry dependencies by policy (see
+# DESIGN.md "Hermetic builds"), so --offline is a constraint we enforce,
+# not a convenience flag.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --offline
+
+echo "== bench smoke (fig8 wordcount, tiny scale) =="
+DECA_BENCH_SCALE=0.05 cargo run --release --offline -q -p deca-bench --bin fig8_wordcount
+
+echo "== ci green =="

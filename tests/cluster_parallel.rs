@@ -2,12 +2,17 @@
 //! in parallel threads; shuffle exchange moves serialized bytes between
 //! them; results equal the single-executor run.
 
+mod util;
+
 use deca_core::DecaHashShuffle;
 use deca_engine::cluster::{exchange, partition_of};
 use deca_engine::{ExecutionMode, ExecutorConfig, LocalCluster};
 
+use util::TestDir;
+
 #[test]
 fn parallel_wordcount_matches_sequential() {
+    let td = TestDir::new("cluster-wordcount");
     let words: Vec<i64> = (0..40_000).map(|i| (i * 7919) % 997).collect();
     let expected: f64 = {
         let mut counts = std::collections::HashMap::new();
@@ -18,8 +23,7 @@ fn parallel_wordcount_matches_sequential() {
     };
 
     let executors = 4;
-    let cfg = ExecutorConfig::new(ExecutionMode::Deca, 16 << 20)
-        .spill_dir(std::env::temp_dir().join("deca-it-cluster"));
+    let cfg = ExecutorConfig::new(ExecutionMode::Deca, 16 << 20).spill_dir(td.path().to_path_buf());
     let mut cluster = LocalCluster::uniform(executors, cfg);
 
     // Partition input across executors.
@@ -83,6 +87,8 @@ fn parallel_wordcount_matches_sequential() {
     }
     let summary = cluster.job_summary();
     assert!(summary.exec > std::time::Duration::ZERO);
+    drop(cluster);
+    td.cleanup();
 }
 
 fn add(acc: &mut [u8], addv: &[u8]) {
@@ -93,13 +99,13 @@ fn add(acc: &mut [u8], addv: &[u8]) {
 
 #[test]
 fn executors_are_isolated() {
-    let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20);
+    let td = TestDir::new("cluster-isolated");
+    let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).spill_dir(td.path().to_path_buf());
     let mut cluster = LocalCluster::uniform(3, cfg);
     // Each executor allocates its own classes/objects; ids do not clash.
     let counts = cluster.par_run(|i, e| {
         let c = e.heap.define_class(
-            deca_heap::ClassBuilder::new(format!("T{i}"))
-                .field("v", deca_heap::FieldKind::I64),
+            deca_heap::ClassBuilder::new(format!("T{i}")).field("v", deca_heap::FieldKind::I64),
         );
         for _ in 0..(i + 1) * 100 {
             e.heap.alloc(c).unwrap();
@@ -107,4 +113,5 @@ fn executors_are_isolated() {
         e.heap.live_count(c)
     });
     assert_eq!(counts, vec![100, 200, 300]);
+    td.cleanup();
 }

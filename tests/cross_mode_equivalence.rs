@@ -3,11 +3,16 @@
 //! cache, and the heap object graphs are three representations of the same
 //! data, and the "code transformation" must be semantics-preserving.
 
+mod util;
+
 use deca_apps::{concomp, kmeans, logreg, pagerank, sql, wordcount};
 use deca_engine::ExecutionMode;
 
+use util::TestDir;
+
 #[test]
 fn wordcount_checksums_agree() {
+    let td = TestDir::executor_default();
     let mut results = Vec::new();
     for mode in [ExecutionMode::Spark, ExecutionMode::Deca] {
         let mut p = wordcount::WcParams::small(mode);
@@ -16,10 +21,12 @@ fn wordcount_checksums_agree() {
         results.push(wordcount::run(&p).checksum);
     }
     assert_eq!(results[0], results[1]);
+    td.cleanup();
 }
 
 #[test]
 fn logreg_weights_agree_across_modes() {
+    let td = TestDir::executor_default();
     let mut results = Vec::new();
     for mode in ExecutionMode::ALL {
         let mut p = logreg::LrParams::small(mode);
@@ -29,10 +36,12 @@ fn logreg_weights_agree_across_modes() {
     }
     assert!((results[0] - results[1]).abs() < 1e-12);
     assert!((results[1] - results[2]).abs() < 1e-12);
+    td.cleanup();
 }
 
 #[test]
 fn kmeans_centroids_agree_across_modes() {
+    let td = TestDir::executor_default();
     let mut results = Vec::new();
     for mode in ExecutionMode::ALL {
         let mut p = kmeans::KmParams::small(mode);
@@ -42,10 +51,12 @@ fn kmeans_centroids_agree_across_modes() {
     }
     assert!((results[0] - results[1]).abs() < 1e-9);
     assert!((results[1] - results[2]).abs() < 1e-9);
+    td.cleanup();
 }
 
 #[test]
 fn pagerank_ranks_agree_across_modes() {
+    let td = TestDir::executor_default();
     let mut results = Vec::new();
     for mode in ExecutionMode::ALL {
         let mut p = pagerank::PrParams::small(mode);
@@ -56,10 +67,12 @@ fn pagerank_ranks_agree_across_modes() {
     }
     assert!((results[0] - results[1]).abs() < 1e-9);
     assert!((results[1] - results[2]).abs() < 1e-9);
+    td.cleanup();
 }
 
 #[test]
 fn connected_components_agree_across_modes() {
+    let td = TestDir::executor_default();
     let mut results = Vec::new();
     for mode in ExecutionMode::ALL {
         let mut p = concomp::CcParams::small(mode);
@@ -69,10 +82,12 @@ fn connected_components_agree_across_modes() {
     }
     assert_eq!(results[0], results[1]);
     assert_eq!(results[1], results[2]);
+    td.cleanup();
 }
 
 #[test]
 fn sql_queries_agree_across_systems() {
+    let td = TestDir::executor_default();
     let mut q1 = Vec::new();
     let mut q2 = Vec::new();
     for system in sql::SqlSystem::ALL {
@@ -86,4 +101,5 @@ fn sql_queries_agree_across_systems() {
     assert_eq!(q1[1], q1[2]);
     assert!((q2[0] - q2[1]).abs() < 1e-6);
     assert!((q2[1] - q2[2]).abs() < 1e-6);
+    td.cleanup();
 }

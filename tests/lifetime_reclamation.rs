@@ -3,26 +3,20 @@
 //! release requires a collection; shared groups survive until the last
 //! reference dies.
 
-use deca_core::{DecaCacheBlock, DecaHashShuffle, MemoryManager};
+mod util;
+
+use deca_core::{DecaCacheBlock, DecaHashShuffle};
 use deca_engine::record::HeapRecord;
-use deca_engine::{Executor, ExecutorConfig, ExecutionMode, SparkHashShuffle};
+use deca_engine::{ExecutionMode, Executor, ExecutorConfig, SparkHashShuffle};
 use deca_heap::{Heap, HeapConfig};
 
-fn mm() -> MemoryManager {
-    MemoryManager::new(
-        16 << 10,
-        std::env::temp_dir().join(format!(
-            "deca-it-lifetime-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        )),
-    )
-}
+use util::TestDir;
 
 #[test]
 fn unpersist_releases_pages_immediately() {
+    let td = TestDir::new("lifetime-unpersist");
     let mut heap = Heap::new(HeapConfig::small());
-    let mut mm = mm();
+    let mut mm = td.mm(16 << 10);
     let mut block = DecaCacheBlock::new::<(f64, i64)>(&mut mm);
     for i in 0..10_000i64 {
         block.append(&mut mm, &mut heap, &(i as f64, i)).unwrap();
@@ -37,10 +31,12 @@ fn unpersist_releases_pages_immediately() {
         gcs_before,
         "no collection was needed to reclaim the cache"
     );
+    td.cleanup();
 }
 
 #[test]
 fn spark_release_needs_a_collection() {
+    let td = TestDir::executor_default();
     let mut exec = Executor::new(ExecutorConfig::new(ExecutionMode::Spark, 16 << 20));
     let mut buf: SparkHashShuffle<i64, i64> = SparkHashShuffle::new(&mut exec.heap).unwrap();
     for i in 0..5_000i64 {
@@ -55,12 +51,14 @@ fn spark_release_needs_a_collection() {
     );
     exec.heap.full_gc();
     assert_eq!(exec.heap.object_count(), 0, "the collector must trace to reclaim");
+    td.cleanup();
 }
 
 #[test]
 fn shared_groups_survive_until_last_reference() {
+    let td = TestDir::new("lifetime-shared");
     let mut heap = Heap::new(HeapConfig::small());
-    let mut mm = mm();
+    let mut mm = td.mm(16 << 10);
     let mut block = DecaCacheBlock::new::<f64>(&mut mm);
     for i in 0..1000 {
         block.append(&mut mm, &mut heap, &(i as f64)).unwrap();
@@ -84,12 +82,14 @@ fn shared_groups_survive_until_last_reference() {
     assert_eq!(sum, (0..1000).map(|i| i as f64).sum::<f64>());
     mm.release(group, &mut heap);
     assert_eq!(heap.external_bytes(), 0);
+    td.cleanup();
 }
 
 #[test]
 fn shuffle_value_segment_reuse_avoids_growth() {
+    let td = TestDir::new("lifetime-segment-reuse");
     let mut heap = Heap::new(HeapConfig::small());
-    let mut mm = mm();
+    let mut mm = td.mm(16 << 10);
     let mut buf = DecaHashShuffle::new(&mut mm, 8, 8);
     // 50k combines into 10 keys: footprint stays one page.
     for i in 0..50_000i64 {
@@ -105,10 +105,12 @@ fn shuffle_value_segment_reuse_avoids_growth() {
     assert_eq!(heap.external_count(), 1, "ten 16-byte entries fit one page");
     assert_eq!(buf.combines, 50_000 - 10);
     buf.release(&mut mm, &mut heap);
+    td.cleanup();
 }
 
 #[test]
 fn executor_cache_release_by_mode() {
+    let td = TestDir::executor_default();
     // Deca blocks free immediately; object blocks free at the next GC.
     for mode in [ExecutionMode::Spark, ExecutionMode::Deca] {
         let mut exec = Executor::new(ExecutorConfig::new(mode, 16 << 20));
@@ -133,4 +135,5 @@ fn executor_cache_release_by_mode() {
             }
         }
     }
+    td.cleanup();
 }

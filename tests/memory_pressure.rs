@@ -1,12 +1,17 @@
 //! Behaviour under memory pressure: cache eviction, page-group swapping,
 //! spill round-trips, and OOM recovery (Appendix C).
 
+mod util;
+
 use deca_apps::logreg::{run, LrParams};
 use deca_engine::record::HeapRecord;
 use deca_engine::{ExecutionMode, Executor, ExecutorConfig};
 
+use util::TestDir;
+
 #[test]
 fn lr_survives_cache_larger_than_budget_in_all_modes() {
+    let td = TestDir::executor_default();
     // Storage budget ~1.2MB; Spark cache needs ~3.4MB => eviction cycles.
     for mode in ExecutionMode::ALL {
         let p = LrParams {
@@ -25,10 +30,12 @@ fn lr_survives_cache_larger_than_budget_in_all_modes() {
         let r = run(&p);
         assert!(r.checksum.is_finite(), "{mode}: result must be computed");
     }
+    td.cleanup();
 }
 
 #[test]
 fn evicted_results_match_resident_results() {
+    let td = TestDir::executor_default();
     let mk = |storage: f64| LrParams {
         points: 12_000,
         dims: 10,
@@ -49,10 +56,12 @@ fn evicted_results_match_resident_results() {
         "eviction round-trips (serialize -> disk -> deserialize) must not corrupt data"
     );
     assert!(evicting.metrics.io >= resident.metrics.io, "eviction shows up as disk time");
+    td.cleanup();
 }
 
 #[test]
 fn deca_swap_roundtrip_preserves_data() {
+    let td = TestDir::executor_default();
     let mk = |storage: f64| LrParams {
         points: 12_000,
         dims: 10,
@@ -69,10 +78,12 @@ fn deca_swap_roundtrip_preserves_data() {
     let resident = run(&mk(0.8));
     let evicting = run(&mk(0.02));
     assert!((resident.checksum - evicting.checksum).abs() < 1e-12);
+    td.cleanup();
 }
 
 #[test]
 fn lr_is_correct_under_every_collector() {
+    let td = TestDir::executor_default();
     // End-to-end across PS (copy-compact), CMS (mark-sweep + free lists)
     // and G1 accounting: identical weights, saturated heap.
     let mut results = Vec::new();
@@ -98,10 +109,12 @@ fn lr_is_correct_under_every_collector() {
     }
     assert_eq!(results[0], results[1], "CMS (mark-sweep) must not corrupt data");
     assert_eq!(results[1], results[2]);
+    td.cleanup();
 }
 
 #[test]
 fn heap_oom_is_reported_not_corrupting() {
+    let td = TestDir::executor_default();
     let mut exec = Executor::new(ExecutorConfig::new(ExecutionMode::Spark, 2 << 20));
     let classes = <(i64, i64) as HeapRecord>::register(&mut exec.heap);
     // Pin far more live data than the heap can hold.
@@ -121,4 +134,5 @@ fn heap_oom_is_reported_not_corrupting() {
     }
     assert!(oom, "over-commit must surface as OomError");
     assert!(stored > 1_000, "a substantial prefix fit before OOM");
+    td.cleanup();
 }

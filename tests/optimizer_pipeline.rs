@@ -15,10 +15,7 @@ fn lr_pipeline_reaches_sfst_decomposition() {
     let lp = TypeRef::Udt(lr.types.labeled_point);
 
     // Step 1: the local analysis is conservative — VST (Figure 3).
-    assert_eq!(
-        classify_local(&lr.types.registry, lp),
-        Classification::Sized(SizeType::Variable)
-    );
+    assert_eq!(classify_local(&lr.types.registry, lp), Classification::Sized(SizeType::Variable));
 
     // Step 2: the global analysis proves features init-only and
     // features.data fixed-length => SFST (§3.3).
@@ -71,9 +68,7 @@ fn group_by_pipeline_decomposes_on_copy() {
     let g = group_by_program();
     let ty = TypeRef::Udt(g.group);
     let opt = Optimizer::new(&g.registry, &g.program);
-    let phases = JobPhases::new()
-        .phase("combine", g.build_entry)
-        .phase("iterate", g.read_entry);
+    let phases = JobPhases::new().phase("combine", g.build_entry).phase("iterate", g.read_entry);
     let shuffle = ContainerInfo {
         id: ContainerId(0),
         kind: ContainerKind::ShuffleBuffer,

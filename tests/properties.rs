@@ -1,4 +1,5 @@
-//! Property-based tests over the core invariants:
+//! Property-based tests over the core invariants (on the `deca-check`
+//! harness; each property runs 64 generated cases and shrinks failures):
 //!
 //! * the collector preserves every reachable object graph and its values;
 //! * page encode→decode is the identity for arbitrary records (all three
@@ -8,148 +9,168 @@
 //! * shuffle aggregation equals a sequential fold regardless of insertion
 //!   order and partitioning.
 
+mod util;
+
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use deca_apps::records::{AdjListRec, LabeledPointRec};
+use deca_check::property::{check, gens, Config};
+use deca_check::{prop_assert, prop_assert_eq};
 use deca_core::{
-    DecaCacheBlock, DecaHashShuffle, DecaRecord, DecaSortShuffle, DecaVarHashShuffle,
-    MemoryManager, SecondaryView,
+    DecaCacheBlock, DecaHashShuffle, DecaRecord, DecaSortShuffle, DecaVarHashShuffle, SecondaryView,
 };
 use deca_engine::record::{HeapRecord, KryoRecord};
 use deca_heap::{ClassBuilder, FieldKind, Heap, HeapConfig};
 
-fn mm() -> MemoryManager {
-    MemoryManager::new(
-        16 << 10,
-        std::env::temp_dir().join(format!(
-            "deca-prop-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        )),
-    )
+use util::TestDir;
+
+fn cfg() -> Config {
+    Config::with_cases(64)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random linked structures survive arbitrary interleavings of minor
-    /// and full collections with all values intact.
-    #[test]
-    fn gc_preserves_reachable_graphs(
-        values in prop::collection::vec(any::<i64>(), 1..200),
-        gcs in prop::collection::vec(any::<bool>(), 0..6),
-    ) {
-        let mut heap = Heap::new(HeapConfig::small());
-        let node = heap.define_class(
-            ClassBuilder::new("Node")
-                .field("v", FieldKind::I64)
-                .field("next", FieldKind::Ref),
-        );
-        let mut head = deca_heap::ObjRef::NULL;
-        for &v in &values {
-            let s = heap.push_stack(head);
-            let n = heap.alloc(node).unwrap();
-            heap.write_i64(n, 0, v);
-            let prev = heap.stack_ref(s);
-            heap.write_ref(n, 1, prev);
-            heap.truncate_stack(s);
-            head = n;
-        }
-        let root = heap.add_root(head);
-        for &full in &gcs {
-            if full { heap.full_gc() } else { heap.minor_gc() }
-        }
-        let mut cur = heap.root_ref(root);
-        for &v in values.iter().rev() {
-            prop_assert!(!cur.is_null());
-            prop_assert_eq!(heap.read_i64(cur, 0), v);
-            cur = heap.read_ref(cur, 1);
-        }
-        prop_assert!(cur.is_null());
-    }
-
-    /// LabeledPoint round-trips through all three representations.
-    #[test]
-    fn labeled_point_representations_roundtrip(
-        label in -1e6f64..1e6,
-        features in prop::collection::vec(-1e6f64..1e6, 0..40),
-    ) {
-        let rec = LabeledPointRec { label, features };
-        // Deca layout
-        let mut buf = vec![0u8; rec.data_size()];
-        rec.encode(&mut buf);
-        prop_assert_eq!(LabeledPointRec::decode(&buf), rec.clone());
-        // Kryo layout
-        let mut kbuf = Vec::new();
-        rec.kryo_encode(&mut kbuf);
-        let mut pos = 0;
-        prop_assert_eq!(LabeledPointRec::kryo_decode(&kbuf, &mut pos), rec.clone());
-        // Heap graph
-        let mut heap = Heap::new(HeapConfig::small());
-        let cls = LabeledPointRec::register(&mut heap);
-        let obj = rec.store(&mut heap, &cls).unwrap();
-        prop_assert_eq!(LabeledPointRec::load(&heap, &cls, obj), rec);
-    }
-
-    /// Adjacency lists round-trip through a framed (RFST) cache block in
-    /// arbitrary batches.
-    #[test]
-    fn rfst_cache_blocks_roundtrip(
-        lists in prop::collection::vec(
-            (any::<u32>(), prop::collection::vec(any::<u32>(), 0..30)),
-            1..60,
-        )
-    ) {
-        let recs: Vec<AdjListRec> = lists
-            .into_iter()
-            .map(|(vertex, neighbors)| AdjListRec { vertex, neighbors })
-            .collect();
-        let mut heap = Heap::new(HeapConfig::small());
-        let mut mm = mm();
-        let mut block = DecaCacheBlock::new::<AdjListRec>(&mut mm);
-        for r in &recs {
-            block.append(&mut mm, &mut heap, r).unwrap();
-        }
-        let back: Vec<AdjListRec> = block.decode_all(&mut mm, &mut heap).unwrap();
-        prop_assert_eq!(back, recs);
-        block.release(&mut mm, &mut heap);
-        prop_assert_eq!(heap.external_bytes(), 0);
-    }
-
-    /// Deca hash aggregation equals a HashMap fold for any key stream.
-    #[test]
-    fn shuffle_aggregation_equals_fold(
-        stream in prop::collection::vec((0i64..200, -1000i64..1000), 0..500)
-    ) {
-        let mut heap = Heap::new(HeapConfig::small());
-        let mut mm = mm();
-        let mut buf = DecaHashShuffle::new(&mut mm, 8, 8);
-        let mut expected: HashMap<i64, i64> = HashMap::new();
-        for &(k, v) in &stream {
-            *expected.entry(k).or_insert(0) += v;
-            buf.insert(&mut mm, &mut heap, &k.to_le_bytes(), &v.to_le_bytes(), |acc, add| {
-                let a = i64::from_le_bytes(acc[..8].try_into().unwrap());
-                let b = i64::from_le_bytes(add[..8].try_into().unwrap());
-                acc[..8].copy_from_slice(&(a + b).to_le_bytes());
-            }).unwrap();
-        }
-        let mut got: HashMap<i64, i64> = HashMap::new();
-        buf.for_each(&mut mm, &mut heap, |k, v| {
-            got.insert(
-                i64::from_le_bytes(k[..8].try_into().unwrap()),
-                i64::from_le_bytes(v[..8].try_into().unwrap()),
+/// Random linked structures survive arbitrary interleavings of minor
+/// and full collections with all values intact.
+#[test]
+fn gc_preserves_reachable_graphs() {
+    check(
+        cfg(),
+        gens::pair(gens::vec_of(gens::any_i64(), 1..200), gens::vec_of(gens::bools(), 0..6)),
+        |(values, gcs)| {
+            let mut heap = Heap::new(HeapConfig::small());
+            let node = heap.define_class(
+                ClassBuilder::new("Node").field("v", FieldKind::I64).field("next", FieldKind::Ref),
             );
-        }).unwrap();
-        prop_assert_eq!(got, expected);
-        buf.release(&mut mm, &mut heap);
-    }
+            let mut head = deca_heap::ObjRef::NULL;
+            for &v in values {
+                let s = heap.push_stack(head);
+                let n = heap.alloc(node).unwrap();
+                heap.write_i64(n, 0, v);
+                let prev = heap.stack_ref(s);
+                heap.write_ref(n, 1, prev);
+                heap.truncate_stack(s);
+                head = n;
+            }
+            let root = heap.add_root(head);
+            for &full in gcs {
+                if full {
+                    heap.full_gc()
+                } else {
+                    heap.minor_gc()
+                }
+            }
+            let mut cur = heap.root_ref(root);
+            for &v in values.iter().rev() {
+                prop_assert!(!cur.is_null());
+                prop_assert_eq!(heap.read_i64(cur, 0), v);
+                cur = heap.read_ref(cur, 1);
+            }
+            prop_assert!(cur.is_null());
+            Ok(())
+        },
+    );
+}
 
-    /// The global classification never reports a *more* variable size-type
-    /// than the local one (it only refines downward in the §3.2 order).
-    #[test]
-    fn global_classification_is_monotone(variant in 0usize..3) {
+/// LabeledPoint round-trips through all three representations.
+#[test]
+fn labeled_point_representations_roundtrip() {
+    check(
+        cfg(),
+        gens::pair(gens::f64_in(-1e6..1e6), gens::vec_of(gens::f64_in(-1e6..1e6), 0..40)),
+        |(label, features)| {
+            let rec = LabeledPointRec { label: *label, features: features.clone() };
+            // Deca layout
+            let mut buf = vec![0u8; rec.data_size()];
+            rec.encode(&mut buf);
+            prop_assert_eq!(LabeledPointRec::decode(&buf), rec.clone());
+            // Kryo layout
+            let mut kbuf = Vec::new();
+            rec.kryo_encode(&mut kbuf);
+            let mut pos = 0;
+            prop_assert_eq!(LabeledPointRec::kryo_decode(&kbuf, &mut pos), rec.clone());
+            // Heap graph
+            let mut heap = Heap::new(HeapConfig::small());
+            let cls = LabeledPointRec::register(&mut heap);
+            let obj = rec.store(&mut heap, &cls).unwrap();
+            prop_assert_eq!(LabeledPointRec::load(&heap, &cls, obj), rec);
+            Ok(())
+        },
+    );
+}
+
+/// Adjacency lists round-trip through a framed (RFST) cache block in
+/// arbitrary batches.
+#[test]
+fn rfst_cache_blocks_roundtrip() {
+    let td = TestDir::new("prop-rfst");
+    check(
+        cfg(),
+        gens::vec_of(gens::pair(gens::any_u32(), gens::vec_of(gens::any_u32(), 0..30)), 1..60),
+        |lists| {
+            let recs: Vec<AdjListRec> = lists
+                .iter()
+                .map(|(vertex, neighbors)| AdjListRec {
+                    vertex: *vertex,
+                    neighbors: neighbors.clone(),
+                })
+                .collect();
+            let mut heap = Heap::new(HeapConfig::small());
+            let mut mm = td.mm(16 << 10);
+            let mut block = DecaCacheBlock::new::<AdjListRec>(&mut mm);
+            for r in &recs {
+                block.append(&mut mm, &mut heap, r).unwrap();
+            }
+            let back: Vec<AdjListRec> = block.decode_all(&mut mm, &mut heap).unwrap();
+            prop_assert_eq!(back, recs);
+            block.release(&mut mm, &mut heap);
+            prop_assert_eq!(heap.external_bytes(), 0);
+            Ok(())
+        },
+    );
+    td.cleanup();
+}
+
+/// Deca hash aggregation equals a HashMap fold for any key stream.
+#[test]
+fn shuffle_aggregation_equals_fold() {
+    let td = TestDir::new("prop-hash-shuffle");
+    check(
+        cfg(),
+        gens::vec_of(gens::pair(gens::i64_in(0..200), gens::i64_in(-1000..1000)), 0..500),
+        |stream| {
+            let mut heap = Heap::new(HeapConfig::small());
+            let mut mm = td.mm(16 << 10);
+            let mut buf = DecaHashShuffle::new(&mut mm, 8, 8);
+            let mut expected: HashMap<i64, i64> = HashMap::new();
+            for &(k, v) in stream {
+                *expected.entry(k).or_insert(0) += v;
+                buf.insert(&mut mm, &mut heap, &k.to_le_bytes(), &v.to_le_bytes(), |acc, add| {
+                    let a = i64::from_le_bytes(acc[..8].try_into().unwrap());
+                    let b = i64::from_le_bytes(add[..8].try_into().unwrap());
+                    acc[..8].copy_from_slice(&(a + b).to_le_bytes());
+                })
+                .unwrap();
+            }
+            let mut got: HashMap<i64, i64> = HashMap::new();
+            buf.for_each(&mut mm, &mut heap, |k, v| {
+                got.insert(
+                    i64::from_le_bytes(k[..8].try_into().unwrap()),
+                    i64::from_le_bytes(v[..8].try_into().unwrap()),
+                );
+            })
+            .unwrap();
+            prop_assert_eq!(got, expected);
+            buf.release(&mut mm, &mut heap);
+            Ok(())
+        },
+    );
+    td.cleanup();
+}
+
+/// The global classification never reports a *more* variable size-type
+/// than the local one (it only refines downward in the §3.2 order).
+#[test]
+fn global_classification_is_monotone() {
+    check(cfg(), gens::usize_in(0..3), |&variant| {
         use deca_udt::{classify_local, Classification, GlobalAnalysis, TypeRef};
         let f = match variant {
             0 => deca_udt::fixtures::lr_program(),
@@ -168,27 +189,28 @@ proptest! {
                 (l, g) => prop_assert!(false, "inconsistent: local {l}, global {g}"),
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Pages preserve arbitrary byte segments under mixed framed/unframed
-    /// appends within one group... (separate groups per framing).
-    #[test]
-    fn page_groups_preserve_segments(
-        segs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..100), 1..50)
-    ) {
+/// Pages preserve arbitrary byte segments under mixed framed/unframed
+/// appends within one group... (separate groups per framing).
+#[test]
+fn page_groups_preserve_segments() {
+    check(cfg(), gens::vec_of(gens::vec_of(gens::any_u8(), 0..100), 1..50), |segs| {
         let mut heap = Heap::new(HeapConfig::small());
         let mut group = deca_core::PageGroup::new(256);
         let mut ptrs = Vec::new();
-        for s in &segs {
+        for s in segs {
             ptrs.push(group.append_framed(&mut heap, s).unwrap());
         }
         // Random access via pointers:
-        for (ptr, s) in ptrs.iter().zip(&segs) {
+        for (ptr, s) in ptrs.iter().zip(segs) {
             prop_assert_eq!(group.slice(*ptr, s.len()), s.as_slice());
         }
         // Sequential scan:
         let mut r = group.reader();
-        for s in &segs {
+        for s in segs {
             let (ptr, len) = r.next_framed().unwrap();
             prop_assert_eq!(len, s.len());
             prop_assert_eq!(group.slice(ptr, len), s.as_slice());
@@ -196,83 +218,101 @@ proptest! {
         prop_assert!(r.next_framed().is_none());
         // Group release is the MemoryManager's job; this bare group simply
         // drops with the test heap.
-    }
+        Ok(())
+    });
+}
 
-    /// Variable-key aggregation equals a HashMap fold for arbitrary byte
-    /// keys (including empty keys and shared prefixes).
-    #[test]
-    fn var_key_shuffle_equals_fold(
-        stream in prop::collection::vec(
-            (prop::collection::vec(any::<u8>(), 0..24), -100i64..100),
+/// Variable-key aggregation equals a HashMap fold for arbitrary byte
+/// keys (including empty keys and shared prefixes).
+#[test]
+fn var_key_shuffle_equals_fold() {
+    let td = TestDir::new("prop-var-shuffle");
+    check(
+        cfg(),
+        gens::vec_of(
+            gens::pair(gens::vec_of(gens::any_u8(), 0..24), gens::i64_in(-100..100)),
             0..300,
-        )
-    ) {
-        let mut heap = Heap::new(HeapConfig::small());
-        let mut mm = mm();
-        let mut buf = DecaVarHashShuffle::new(&mut mm, 8);
-        let mut expected: HashMap<Vec<u8>, i64> = HashMap::new();
-        for (k, v) in &stream {
-            *expected.entry(k.clone()).or_insert(0) += v;
-            buf.insert(&mut mm, &mut heap, k, &v.to_le_bytes(), |acc, add| {
-                let a = i64::from_le_bytes(acc[..8].try_into().unwrap());
-                let b = i64::from_le_bytes(add[..8].try_into().unwrap());
-                acc[..8].copy_from_slice(&(a + b).to_le_bytes());
-            }).unwrap();
-        }
-        let mut got: HashMap<Vec<u8>, i64> = HashMap::new();
-        buf.for_each(&mut mm, &mut heap, |k, v| {
-            got.insert(k.to_vec(), i64::from_le_bytes(v[..8].try_into().unwrap()));
-        }).unwrap();
-        prop_assert_eq!(got, expected);
-        buf.release(&mut mm, &mut heap);
-        prop_assert_eq!(heap.external_bytes(), 0);
-    }
-
-    /// Sort-shuffle merge output equals globally sorting the concatenation
-    /// of all batches, for any spill pattern.
-    #[test]
-    fn sort_shuffle_merge_equals_global_sort(
-        batches in prop::collection::vec(
-            prop::collection::vec(any::<i32>(), 0..40),
-            1..5,
         ),
-        spill_after in prop::collection::vec(any::<bool>(), 5),
-    ) {
-        let mut heap = Heap::new(HeapConfig::small());
-        let mut mm = mm();
-        let mut buf = DecaSortShuffle::new(&mut mm);
-        let mut all: Vec<i32> = Vec::new();
-        for (bi, batch) in batches.iter().enumerate() {
-            for &k in batch {
-                all.push(k);
-                let entry = (k as i64, k as f64);
-                let mut bytes = vec![0u8; entry.data_size()];
-                entry.encode(&mut bytes);
-                buf.append(&mut mm, &mut heap, &bytes).unwrap();
+        |stream| {
+            let mut heap = Heap::new(HeapConfig::small());
+            let mut mm = td.mm(16 << 10);
+            let mut buf = DecaVarHashShuffle::new(&mut mm, 8);
+            let mut expected: HashMap<Vec<u8>, i64> = HashMap::new();
+            for (k, v) in stream {
+                *expected.entry(k.clone()).or_insert(0) += v;
+                buf.insert(&mut mm, &mut heap, k, &v.to_le_bytes(), |acc, add| {
+                    let a = i64::from_le_bytes(acc[..8].try_into().unwrap());
+                    let b = i64::from_le_bytes(add[..8].try_into().unwrap());
+                    acc[..8].copy_from_slice(&(a + b).to_le_bytes());
+                })
+                .unwrap();
             }
-            if spill_after[bi] {
-                buf.spill_run(&mut mm, &mut heap, i64::decode).unwrap();
-            }
-        }
-        all.sort_unstable();
-        let mut merged = Vec::new();
-        buf.merge_sorted(&mut mm, &mut heap, i64::decode, |b| {
-            merged.push(<(i64, f64)>::decode(b).0 as i32);
-        }).unwrap();
-        prop_assert_eq!(merged, all);
-        buf.release(&mut mm, &mut heap);
-    }
+            let mut got: HashMap<Vec<u8>, i64> = HashMap::new();
+            buf.for_each(&mut mm, &mut heap, |k, v| {
+                got.insert(k.to_vec(), i64::from_le_bytes(v[..8].try_into().unwrap()));
+            })
+            .unwrap();
+            prop_assert_eq!(got, expected);
+            buf.release(&mut mm, &mut heap);
+            prop_assert_eq!(heap.external_bytes(), 0);
+            Ok(())
+        },
+    );
+    td.cleanup();
+}
 
-    /// A secondary view always sees exactly the primary's bytes in its own
-    /// order, and the bytes survive the primary's release.
-    #[test]
-    fn secondary_view_is_order_independent(
-        keys in prop::collection::vec(any::<i64>(), 1..80)
-    ) {
+/// Sort-shuffle merge output equals globally sorting the concatenation
+/// of all batches, for any spill pattern.
+#[test]
+fn sort_shuffle_merge_equals_global_sort() {
+    let td = TestDir::new("prop-sort-shuffle");
+    check(
+        cfg(),
+        gens::pair(
+            gens::vec_of(gens::vec_of(gens::any_i32(), 0..40), 1..5),
+            gens::array_of(gens::bools(), 5),
+        ),
+        |(batches, spill_after)| {
+            let mut heap = Heap::new(HeapConfig::small());
+            let mut mm = td.mm(16 << 10);
+            let mut buf = DecaSortShuffle::new(&mut mm);
+            let mut all: Vec<i32> = Vec::new();
+            for (bi, batch) in batches.iter().enumerate() {
+                for &k in batch {
+                    all.push(k);
+                    let entry = (k as i64, k as f64);
+                    let mut bytes = vec![0u8; entry.data_size()];
+                    entry.encode(&mut bytes);
+                    buf.append(&mut mm, &mut heap, &bytes).unwrap();
+                }
+                if spill_after[bi] {
+                    buf.spill_run(&mut mm, &mut heap, i64::decode).unwrap();
+                }
+            }
+            all.sort_unstable();
+            let mut merged = Vec::new();
+            buf.merge_sorted(&mut mm, &mut heap, i64::decode, |b| {
+                merged.push(<(i64, f64)>::decode(b).0 as i32);
+            })
+            .unwrap();
+            prop_assert_eq!(merged, all);
+            buf.release(&mut mm, &mut heap);
+            Ok(())
+        },
+    );
+    td.cleanup();
+}
+
+/// A secondary view always sees exactly the primary's bytes in its own
+/// order, and the bytes survive the primary's release.
+#[test]
+fn secondary_view_is_order_independent() {
+    let td = TestDir::new("prop-secondary");
+    check(cfg(), gens::vec_of(gens::any_i64(), 1..80), |keys| {
         let mut heap = Heap::new(HeapConfig::small());
-        let mut mm = mm();
+        let mut mm = td.mm(16 << 10);
         let mut primary = DecaCacheBlock::new::<i64>(&mut mm);
-        for &k in &keys {
+        for &k in keys {
             primary.append(&mut mm, &mut heap, &k).unwrap();
         }
         let mut view = SecondaryView::new(&mut mm, primary.group());
@@ -283,7 +323,10 @@ proptest! {
                 ptrs.push(ptr);
             }
             ptrs
-        }).unwrap().into_iter().for_each(|p| view.push(p, 8));
+        })
+        .unwrap()
+        .into_iter()
+        .for_each(|p| view.push(p, 8));
         view.sort_by_key(&mut mm, &mut heap, i64::decode).unwrap();
         primary.release(&mut mm, &mut heap);
         let mut got = Vec::new();
@@ -293,14 +336,17 @@ proptest! {
         prop_assert_eq!(got, want);
         view.release(&mut mm, &mut heap);
         prop_assert_eq!(heap.external_bytes(), 0);
-    }
+        Ok(())
+    });
+    td.cleanup();
+}
 
-    /// Strings round-trip through all three representations (ASCII and
-    /// BMP unicode).
-    #[test]
-    fn string_representations_roundtrip(s in "\\PC{0,40}") {
-        // Restrict to BMP (the heap layout is UTF-16 code units).
-        let s: String = s.chars().filter(|c| (*c as u32) < 0x10000).collect();
+/// Strings round-trip through all three representations (ASCII and
+/// BMP unicode; the generator only emits BMP, matching the heap layout's
+/// UTF-16 code units).
+#[test]
+fn string_representations_roundtrip() {
+    check(cfg(), gens::strings(40), |s| {
         // Deca
         let mut buf = vec![0u8; s.data_size()];
         s.encode(&mut buf);
@@ -314,67 +360,70 @@ proptest! {
         let mut heap = Heap::new(HeapConfig::small());
         let cls = <String as HeapRecord>::register(&mut heap);
         let obj = s.store(&mut heap, &cls).unwrap();
-        prop_assert_eq!(String::load(&heap, &cls, obj), s);
-    }
+        prop_assert_eq!(&String::load(&heap, &cls, obj), s);
+        Ok(())
+    });
+}
 
-    /// Random linked structures survive arbitrary GC interleavings under
-    /// the mark-sweep old generation too (holes, evacuation, ref fixing).
-    #[test]
-    fn mark_sweep_gc_preserves_reachable_graphs(
-        values in prop::collection::vec(any::<i64>(), 1..200),
-        gcs in prop::collection::vec(any::<bool>(), 1..8),
-    ) {
-        let mut heap = Heap::new(
-            HeapConfig::small().with_full_gc(deca_heap::FullGcKind::MarkSweep),
-        );
-        let node = heap.define_class(
-            ClassBuilder::new("Node")
-                .field("v", FieldKind::I64)
-                .field("next", FieldKind::Ref),
-        );
-        let mut head = deca_heap::ObjRef::NULL;
-        let mut garbage_roots = Vec::new();
-        for &v in &values {
-            let s = heap.push_stack(head);
-            let n = heap.alloc(node).unwrap();
-            heap.write_i64(n, 0, v);
-            let prev = heap.stack_ref(s);
-            heap.write_ref(n, 1, prev);
-            heap.truncate_stack(s);
-            head = n;
-            // Some future-garbage pinned temporarily (creates holes when
-            // released between collections).
-            let g = heap.alloc(node).unwrap();
-            garbage_roots.push(heap.add_root(g));
-        }
-        let root = heap.add_root(head);
-        for (i, &full) in gcs.iter().enumerate() {
-            // Release a slice of the pinned garbage each round.
-            let upto = (i + 1) * garbage_roots.len() / gcs.len();
-            for r in garbage_roots.drain(..upto.min(garbage_roots.len())) {
-                heap.remove_root(r);
+/// Random linked structures survive arbitrary GC interleavings under
+/// the mark-sweep old generation too (holes, evacuation, ref fixing).
+#[test]
+fn mark_sweep_gc_preserves_reachable_graphs() {
+    check(
+        cfg(),
+        gens::pair(gens::vec_of(gens::any_i64(), 1..200), gens::vec_of(gens::bools(), 1..8)),
+        |(values, gcs)| {
+            let mut heap =
+                Heap::new(HeapConfig::small().with_full_gc(deca_heap::FullGcKind::MarkSweep));
+            let node = heap.define_class(
+                ClassBuilder::new("Node").field("v", FieldKind::I64).field("next", FieldKind::Ref),
+            );
+            let mut head = deca_heap::ObjRef::NULL;
+            let mut garbage_roots = Vec::new();
+            for &v in values {
+                let s = heap.push_stack(head);
+                let n = heap.alloc(node).unwrap();
+                heap.write_i64(n, 0, v);
+                let prev = heap.stack_ref(s);
+                heap.write_ref(n, 1, prev);
+                heap.truncate_stack(s);
+                head = n;
+                // Some future-garbage pinned temporarily (creates holes when
+                // released between collections).
+                let g = heap.alloc(node).unwrap();
+                garbage_roots.push(heap.add_root(g));
             }
-            if full { heap.full_gc() } else { heap.minor_gc() }
-        }
-        let mut cur = heap.root_ref(root);
-        for &v in values.iter().rev() {
-            prop_assert!(!cur.is_null());
-            prop_assert_eq!(heap.read_i64(cur, 0), v);
-            cur = heap.read_ref(cur, 1);
-        }
-        prop_assert!(cur.is_null());
-    }
+            let root = heap.add_root(head);
+            for (i, &full) in gcs.iter().enumerate() {
+                // Release a slice of the pinned garbage each round.
+                let upto = (i + 1) * garbage_roots.len() / gcs.len();
+                for r in garbage_roots.drain(..upto.min(garbage_roots.len())) {
+                    heap.remove_root(r);
+                }
+                if full {
+                    heap.full_gc()
+                } else {
+                    heap.minor_gc()
+                }
+            }
+            let mut cur = heap.root_ref(root);
+            for &v in values.iter().rev() {
+                prop_assert!(!cur.is_null());
+                prop_assert_eq!(heap.read_i64(cur, 0), v);
+                cur = heap.read_ref(cur, 1);
+            }
+            prop_assert!(cur.is_null());
+            Ok(())
+        },
+    );
+}
 
-    /// The reachability census agrees with what a full collection retains.
-    #[test]
-    fn reachable_census_matches_collection_survivors(
-        live in 0usize..60,
-        garbage in 0usize..60,
-    ) {
+/// The reachability census agrees with what a full collection retains.
+#[test]
+fn reachable_census_matches_collection_survivors() {
+    check(cfg(), gens::pair(gens::usize_in(0..60), gens::usize_in(0..60)), |&(live, garbage)| {
         let mut heap = Heap::new(HeapConfig::small());
-        let node = heap.define_class(
-            ClassBuilder::new("N").field("v", FieldKind::I64),
-        );
+        let node = heap.define_class(ClassBuilder::new("N").field("v", FieldKind::I64));
         for _ in 0..live {
             let o = heap.alloc(node).unwrap();
             heap.add_root(o);
@@ -385,5 +434,6 @@ proptest! {
         prop_assert_eq!(heap.reachable_count(node), live);
         heap.full_gc();
         prop_assert_eq!(heap.live_count(node), live);
-    }
+        Ok(())
+    });
 }
