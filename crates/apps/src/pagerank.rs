@@ -7,11 +7,20 @@
 //! *every* mode, including Deca), but the output copied into the cache is
 //! an RFST which Deca decomposes into framed page segments. The dying
 //! grouping buffer is then reclaimed wholesale.
+//!
+//! The cluster path drives the paper's stage structure through
+//! [`ClusterSession`]: an adjacency-build stage caches partition `p`'s
+//! block on executor `p % E` (tasks are pinned round-robin, so every
+//! iteration's map task `p` finds its block executor-local), then each
+//! iteration is a map/exchange/reduce shuffle job over the rank messages.
 
 use deca_core::optimizer::ContainerDecision;
 use deca_core::{DecaHashShuffle, Optimizer};
 use deca_engine::record::HeapRecord;
-use deca_engine::{ExecutionMode, Executor, ExecutorConfig, SparkGroupShuffle, SparkHashShuffle};
+use deca_engine::{
+    ClusterSession, EngineError, ExecutionMode, Executor, ExecutorConfig, SparkGroupShuffle,
+    SparkHashShuffle,
+};
 use deca_udt::{ContainerId, ContainerKind, JobPhases, TypeRef};
 
 use crate::datagen;
@@ -48,8 +57,52 @@ impl PrParams {
     }
 }
 
-/// Build the adjacency cache (grouping stage) and return its block ids
-/// plus per-vertex out-degrees. Shared by PageRank and CC.
+/// Partition edges by source vertex, as Spark's hash partitioner would.
+fn partition_edges(edges: &[(u32, u32)], partitions: usize) -> Vec<Vec<(u32, u32)>> {
+    let mut out: Vec<Vec<(u32, u32)>> = (0..partitions).map(|_| Vec::new()).collect();
+    for &(s, d) in edges {
+        out[(s as usize) % partitions].push((s, d));
+    }
+    out
+}
+
+/// Group one partition's edges into sorted adjacency lists and copy them
+/// into the executor's cache in the mode's representation (the §4.3.3
+/// scenario: VST grouping buffer, decompose-on-copy cache output).
+fn build_adjacency_block(
+    e: &mut Executor,
+    part: &[(u32, u32)],
+    mode: ExecutionMode,
+    adj_classes: &crate::records::AdjClasses,
+) -> Result<deca_engine::cache::BlockId, EngineError> {
+    // The grouping buffer holds heap objects in every mode — its content
+    // is a VST while being built (§4.3.3).
+    let mut buf: SparkGroupShuffle<u32, i64> = SparkGroupShuffle::new(&mut e.heap);
+    for &(s, d) in part {
+        buf.append(&mut e.heap, s, d as i64)?;
+    }
+    let mut adj: Vec<AdjListRec> = Vec::new();
+    buf.for_each_group(&e.heap, |&vertex, values| {
+        adj.push(AdjListRec { vertex, neighbors: values.into_iter().map(|v| v as u32).collect() });
+    });
+    adj.sort_by_key(|a| a.vertex);
+    // Copy into the cache in the mode's representation, then release the
+    // dying buffer.
+    let block = match mode {
+        ExecutionMode::Spark => {
+            e.cache.put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, adj_classes, &adj)?
+        }
+        ExecutionMode::SparkSer => {
+            e.cache.put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, &adj)?
+        }
+        ExecutionMode::Deca => e.cache.put_deca(&mut e.heap, &mut e.mm, &adj)?,
+    };
+    buf.release(&mut e.heap);
+    Ok(block)
+}
+
+/// Build the adjacency cache (grouping stage) on one executor and return
+/// its block ids plus per-vertex out-degrees. Shared by PageRank and CC.
 pub fn build_adjacency(
     exec: &mut Executor,
     edges: &[(u32, u32)],
@@ -58,13 +111,7 @@ pub fn build_adjacency(
     mode: ExecutionMode,
 ) -> (Vec<deca_engine::cache::BlockId>, Vec<u32>, crate::records::AdjClasses) {
     let adj_classes = AdjListRec::register(&mut exec.heap);
-    let parts: Vec<Vec<(u32, u32)>> = {
-        let mut out: Vec<Vec<(u32, u32)>> = (0..partitions).map(|_| Vec::new()).collect();
-        for &(s, d) in edges {
-            out[(s as usize) % partitions].push((s, d));
-        }
-        out
-    };
+    let parts = partition_edges(edges, partitions);
 
     let mut degrees = vec![0u32; vertices];
     for &(s, _) in edges {
@@ -76,37 +123,7 @@ pub fn build_adjacency(
         .enumerate()
         .map(|(pi, part)| {
             exec.run_task(format!("adj-build-{pi}"), |e| {
-                // The grouping buffer holds heap objects in every mode —
-                // its content is a VST while being built (§4.3.3).
-                let mut buf: SparkGroupShuffle<u32, i64> = SparkGroupShuffle::new(&mut e.heap);
-                for &(s, d) in part {
-                    buf.append(&mut e.heap, s, d as i64).expect("group append");
-                }
-                let mut adj: Vec<AdjListRec> = Vec::new();
-                buf.for_each_group(&e.heap, |&vertex, values| {
-                    adj.push(AdjListRec {
-                        vertex,
-                        neighbors: values.into_iter().map(|v| v as u32).collect(),
-                    });
-                });
-                adj.sort_by_key(|a| a.vertex);
-                // Copy into the cache in the mode's representation, then
-                // release the dying buffer.
-                let block = match mode {
-                    ExecutionMode::Spark => e
-                        .cache
-                        .put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, &adj_classes, &adj)
-                        .expect("cache put"),
-                    ExecutionMode::SparkSer => e
-                        .cache
-                        .put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, &adj)
-                        .expect("cache put"),
-                    ExecutionMode::Deca => {
-                        e.cache.put_deca(&mut e.heap, &mut e.mm, &adj).expect("cache put")
-                    }
-                };
-                buf.release(&mut e.heap);
-                block
+                build_adjacency_block(e, part, mode, &adj_classes).expect("adjacency build")
             })
         })
         .collect();
@@ -217,30 +234,44 @@ fn messages_from_block(
                 )
                 .expect("cache scan");
             for (dst, contrib) in msgs {
-                buf.insert(mm, heap, &dst.to_le_bytes(), &contrib.to_le_bytes(), |acc, add| {
-                    let a = f64::from_le_bytes(acc[..8].try_into().unwrap());
-                    let b = f64::from_le_bytes(add[..8].try_into().unwrap());
-                    acc[..8].copy_from_slice(&(a + b).to_le_bytes());
-                })
-                .expect("combine");
+                buf.insert(mm, heap, &dst.to_le_bytes(), &contrib.to_le_bytes(), add_f64_bytes)
+                    .expect("combine");
             }
         }
     }
 }
 
+fn add_f64_bytes(acc: &mut [u8], add: &[u8]) {
+    let a = f64::from_le_bytes(acc[..8].try_into().unwrap());
+    let b = f64::from_le_bytes(add[..8].try_into().unwrap());
+    acc[..8].copy_from_slice(&(a + b).to_le_bytes());
+}
+
+/// Run PageRank on one executor.
 pub fn run(params: &PrParams) -> AppReport {
-    let config = ExecutorConfig::new(params.mode, params.heap_bytes)
+    run_cluster(params, 1)
+}
+
+/// Run PageRank across `executors` parallel executors. The rank vector is
+/// identical for any executor count: map task `p` always scans block `p`
+/// (cached on executor `p % E`), and each reduce task combines mapper
+/// subtotals in map-task order, so the f64 addition sequence per vertex
+/// never depends on the cluster shape.
+pub fn run_cluster(params: &PrParams, executors: usize) -> AppReport {
+    let config = ExecutorConfig::builder()
+        .mode(params.mode)
+        .heap_bytes(params.heap_bytes)
         .storage_fraction(params.storage_fraction)
-        .gc_algorithm(params.gc_algorithm);
-    let mut exec = Executor::new(config);
+        .gc(params.gc_algorithm)
+        .build();
+    let mut session = ClusterSession::new(executors, config);
     let edges = datagen::power_law_graph(params.vertices, params.edges, params.seed);
-    let pair_classes = <(i64, f64) as HeapRecord>::register(&mut exec.heap);
 
     // ----------------------------------------------- Deca optimizer plan
     // The grouping job is the §4.3.3 scenario: the shuffle buffer's value
     // lists are VSTs while being built; the downstream adjacency cache
     // decomposes on copy. Assert the optimizer reproduces that plan
-    // before the engine follows it.
+    // before the engine follows it (driver-side, once per job).
     if params.mode == ExecutionMode::Deca {
         let analysis = deca_udt::fixtures::group_by_program();
         let opt = Optimizer::new(&analysis.registry, &analysis.program);
@@ -273,80 +304,150 @@ pub fn run(params: &PrParams) -> AppReport {
         );
     }
 
-    let (blocks, degrees, _adj_classes) =
-        build_adjacency(&mut exec, &edges, params.vertices, params.partitions, params.mode);
-    exec.finish_job();
-    let cache_bytes = exec.job.cache_bytes + exec.job.swapped_cache_bytes;
+    let parts = partition_edges(&edges, params.partitions);
+    let mut degrees = vec![0u32; params.vertices];
+    for &(s, _) in &edges {
+        degrees[s as usize] += 1;
+    }
+    let mode = params.mode;
 
+    // Grouping stage: partition p's adjacency block is cached on executor
+    // p % E, where iteration map task p (same pinning) will scan it.
+    let blocks = session
+        .run_stage("adj-build", params.partitions, |ctx, e| {
+            let adj_classes = AdjListRec::register(&mut e.heap);
+            build_adjacency_block(e, &parts[ctx.task], mode, &adj_classes)
+        })
+        .expect("adjacency build");
+    session.finish_job();
+    let summary = session.job_summary();
+    let cache_bytes = summary.cache_bytes + summary.swapped_cache_bytes;
+
+    let reducers = params.partitions;
     let mut ranks = vec![1.0f64; params.vertices];
     for iter in 0..params.iterations {
-        // Fresh shuffle buffer per iteration; the old one is released
-        // (Spark: becomes garbage; Deca: pages freed immediately) — §6.3.
-        let mut spark_sums: Option<SparkHashShuffle<i64, f64>> = match params.mode {
-            ExecutionMode::Deca => None,
-            _ => Some(SparkHashShuffle::new(&mut exec.heap).expect("buffer")),
-        };
-        let mut deca_sums: Option<DecaHashShuffle> = match params.mode {
-            ExecutionMode::Deca => Some(DecaHashShuffle::new(&mut exec.mm, 8, 8)),
-            _ => None,
-        };
-        for (pi, &block) in blocks.iter().enumerate() {
-            exec.run_task(format!("pr-iter{iter}-{pi}"), |e| {
-                // Message emission + eager combining is the shuffle write.
-                e.shuffle_write_scope(|e| {
-                    messages_from_block(
-                        e,
-                        block,
-                        params.mode,
-                        &ranks,
-                        &degrees,
-                        &mut spark_sums,
-                        &mut deca_sums,
-                        &pair_classes,
-                    );
-                });
-            });
-        }
-        // Apply the damped update (reading the buffer = shuffle read).
-        exec.run_task(format!("pr-update{iter}"), |e| {
-            let mut next = vec![0.15f64; params.vertices];
-            e.shuffle_read_scope(|e| {
-                if let Some(buf) = &spark_sums {
-                    buf.for_each(&e.heap, |k, v| {
-                        next[k as usize] += 0.85 * v;
+        let ranks_now = &ranks;
+        let degrees_now = &degrees;
+        let blocks_now = &blocks;
+        let updates = session
+            .run_shuffle_job(
+                &format!("pr-iter{iter}"),
+                params.partitions,
+                reducers,
+                // Map: scan the executor-local adjacency block, emit and
+                // eagerly combine rank messages, then write per-reducer
+                // runs (serialized in Spark modes, raw bytes in Deca).
+                |ctx, e| {
+                    let pair_classes = <(i64, f64) as HeapRecord>::register(&mut e.heap);
+                    let mut spark_sums: Option<SparkHashShuffle<i64, f64>> = match mode {
+                        ExecutionMode::Deca => None,
+                        _ => Some(SparkHashShuffle::new(&mut e.heap)?),
+                    };
+                    let mut deca_sums: Option<DecaHashShuffle> = match mode {
+                        ExecutionMode::Deca => Some(DecaHashShuffle::new(&mut e.mm, 8, 8)),
+                        _ => None,
+                    };
+                    // Message emission + eager combining is the shuffle
+                    // write.
+                    e.shuffle_write_scope(|e| {
+                        messages_from_block(
+                            e,
+                            blocks_now[ctx.task],
+                            mode,
+                            ranks_now,
+                            degrees_now,
+                            &mut spark_sums,
+                            &mut deca_sums,
+                            &pair_classes,
+                        );
                     });
-                }
-                if let Some(buf) = &mut deca_sums {
-                    buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
-                        let dst = i64::from_le_bytes(k[..8].try_into().unwrap()) as usize;
-                        let sum = f64::from_le_bytes(v[..8].try_into().unwrap());
-                        next[dst] += 0.85 * sum;
-                    })
-                    .expect("scan");
-                }
-            });
-            ranks = next;
-            if let Some(mut buf) = spark_sums.take() {
-                buf.release(&mut e.heap);
+                    let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
+                        let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
+                        if let Some(mut buf) = spark_sums.take() {
+                            for (k, v) in buf.drain(&e.heap) {
+                                let r = (k as u64 % reducers as u64) as usize;
+                                e.kryo.serialize(&(k, v), &mut out[r]);
+                            }
+                            buf.release(&mut e.heap);
+                        }
+                        if let Some(mut buf) = deca_sums.take() {
+                            buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+                                let dst = i64::from_le_bytes(k[..8].try_into().unwrap());
+                                let r = (dst as u64 % reducers as u64) as usize;
+                                out[r].extend_from_slice(k);
+                                out[r].extend_from_slice(v);
+                            })?;
+                            buf.release(&mut e.mm, &mut e.heap);
+                        }
+                        Ok(out)
+                    })?;
+                    Ok(out)
+                },
+                // Reduce: sum per-destination subtotals in map-task order,
+                // then apply the damped update for the received vertices.
+                |_ctx, e, bufs| {
+                    let mut updates: Vec<(u32, f64)> = Vec::new();
+                    match mode {
+                        ExecutionMode::Deca => {
+                            let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
+                            e.shuffle_read_scope(|e| -> Result<(), EngineError> {
+                                for bytes in bufs {
+                                    for rec in bytes.chunks_exact(16) {
+                                        buf.insert(
+                                            &mut e.mm,
+                                            &mut e.heap,
+                                            &rec[..8],
+                                            &rec[8..],
+                                            add_f64_bytes,
+                                        )?;
+                                    }
+                                }
+                                Ok(())
+                            })?;
+                            buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+                                let dst = i64::from_le_bytes(k[..8].try_into().unwrap()) as u32;
+                                let sum = f64::from_le_bytes(v[..8].try_into().unwrap());
+                                updates.push((dst, 0.15 + 0.85 * sum));
+                            })?;
+                            buf.release(&mut e.mm, &mut e.heap);
+                        }
+                        _ => {
+                            let mut buf: SparkHashShuffle<i64, f64> =
+                                SparkHashShuffle::new(&mut e.heap)?;
+                            e.shuffle_read_scope(|e| -> Result<(), EngineError> {
+                                for bytes in bufs {
+                                    let mut pos = 0;
+                                    while pos < bytes.len() {
+                                        let (k, v): (i64, f64) =
+                                            e.kryo.deserialize(bytes, &mut pos);
+                                        buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
+                                    }
+                                }
+                                Ok(())
+                            })?;
+                            buf.for_each(&e.heap, |k, v| {
+                                updates.push((k as u32, 0.15 + 0.85 * v));
+                            });
+                            buf.release(&mut e.heap);
+                        }
+                    }
+                    Ok(updates)
+                },
+            )
+            .expect("pagerank iteration");
+
+        // Damped update: vertices with no in-messages keep the 0.15 base.
+        let mut next = vec![0.15f64; params.vertices];
+        for task_updates in updates {
+            for (dst, rank) in task_updates {
+                next[dst as usize] = rank;
             }
-            if let Some(mut buf) = deca_sums.take() {
-                buf.release(&mut e.mm, &mut e.heap);
-            }
-        });
+        }
+        ranks = next;
     }
 
-    exec.finish_job();
-    AppReport {
-        app: "PR".into(),
-        mode: params.mode,
-        metrics: exec.job.clone(),
-        timeline: exec.timeline.clone(),
-        checksum: ranks.iter().sum(),
-        cache_bytes,
-        minor_gcs: exec.heap.stats().minor_collections,
-        full_gcs: exec.heap.stats().full_collections,
-        slowest_task: exec.slowest_task().cloned(),
-    }
+    session.finish_job();
+    AppReport::from_cluster("PR", &session, ranks.iter().sum(), cache_bytes)
 }
 
 #[cfg(test)]
@@ -384,5 +485,14 @@ mod tests {
         let r = run(&tiny(ExecutionMode::Deca));
         assert!(r.checksum > 0.15 * 500.0);
         assert!(r.checksum < 2.0 * 500.0);
+    }
+
+    #[test]
+    fn executor_count_does_not_change_ranks() {
+        for mode in ExecutionMode::ALL {
+            let one = run_cluster(&tiny(mode), 1);
+            let two = run_cluster(&tiny(mode), 2);
+            assert_eq!(one.checksum, two.checksum, "{mode}: ranks must be bit-identical");
+        }
     }
 }

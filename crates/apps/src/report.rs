@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use deca_engine::{ExecutionMode, JobMetrics, TaskMetrics, Timeline};
+use deca_engine::{ClusterSession, ExecutionMode, JobMetrics, TaskMetrics, Timeline};
 
 /// The outcome of one workload run in one mode.
 #[derive(Clone, Debug)]
@@ -25,6 +25,30 @@ pub struct AppReport {
 }
 
 impl AppReport {
+    /// Assemble a report from a finished cluster session: summed metrics
+    /// (exec = the parallel critical path), merged timelines, and GC
+    /// counts totalled across executors. Call after
+    /// [`ClusterSession::finish_job`] so cache occupancy is current.
+    pub fn from_cluster(
+        app: impl Into<String>,
+        session: &ClusterSession,
+        checksum: f64,
+        cache_bytes: usize,
+    ) -> AppReport {
+        let execs = &session.cluster().executors;
+        AppReport {
+            app: app.into(),
+            mode: session.mode(),
+            metrics: session.job_summary(),
+            timeline: session.merged_timeline(),
+            checksum,
+            cache_bytes,
+            minor_gcs: execs.iter().map(|e| e.heap_stats().minor_collections).sum(),
+            full_gcs: execs.iter().map(|e| e.heap_stats().full_collections).sum(),
+            slowest_task: session.slowest_task().cloned(),
+        }
+    }
+
     pub fn exec(&self) -> Duration {
         self.metrics.exec
     }

@@ -6,10 +6,16 @@
 //! fresh boxed count — the object churn whose census Figure 8(a) plots. In
 //! Deca mode the combiner reuses the aggregate value's page segment in
 //! place (§4.3.2) and the shuffle write is a raw byte copy.
+//!
+//! The job runs through [`ClusterSession`]: one map task per partition, an
+//! all-to-all exchange, one reduce task per partition. [`run`] is the
+//! single-executor case; [`run_cluster`] fans the same tasks out over
+//! parallel executors with bit-identical results (the word checksums are
+//! integer-valued f64 sums, exact under any addition order).
 
 use deca_core::{DecaHashShuffle, DecaRecord, DecaVarHashShuffle};
 use deca_engine::record::HeapRecord;
-use deca_engine::{ExecutionMode, Executor, ExecutorConfig, SparkHashShuffle};
+use deca_engine::{ClusterSession, EngineError, ExecutionMode, ExecutorConfig, SparkHashShuffle};
 
 use crate::datagen;
 use crate::report::AppReport;
@@ -42,57 +48,64 @@ impl WcParams {
     }
 }
 
-/// Run WordCount and report metrics plus a mode-independent checksum.
+/// Run WordCount on one executor and report metrics plus a
+/// mode-independent checksum.
 pub fn run(params: &WcParams) -> AppReport {
-    let config = ExecutorConfig::new(params.mode, params.heap_bytes)
+    run_cluster(params, 1)
+}
+
+/// Run WordCount across `executors` parallel executors. Results are
+/// bit-identical for any executor count (tasks are pinned round-robin and
+/// the exchange preserves map-task order).
+pub fn run_cluster(params: &WcParams, executors: usize) -> AppReport {
+    let config = ExecutorConfig::builder()
+        .mode(params.mode)
+        .heap_bytes(params.heap_bytes)
         .shuffle_fraction(0.6)
-        .storage_fraction(0.2);
-    let mut exec = Executor::new(config);
+        .storage_fraction(0.2)
+        .build();
+    let mut session = ClusterSession::new(executors, config);
     let data = datagen::zipf_words(params.words, params.distinct, params.seed);
     let parts = datagen::partition(&data, params.partitions);
     let reducers = params.partitions;
 
     let checksum = match params.mode {
         ExecutionMode::Spark | ExecutionMode::SparkSer => {
-            run_spark(&mut exec, &parts, reducers, params.sample_every)
+            run_spark(&mut session, &parts, reducers, params.sample_every)
         }
-        ExecutionMode::Deca => run_deca(&mut exec, &parts, reducers, params.sample_every),
-    };
-
-    exec.finish_job();
-    AppReport {
-        app: "WC".into(),
-        mode: params.mode,
-        metrics: exec.job.clone(),
-        timeline: exec.timeline.clone(),
-        checksum,
-        cache_bytes: 0,
-        minor_gcs: exec.heap.stats().minor_collections,
-        full_gcs: exec.heap.stats().full_collections,
-        slowest_task: exec.slowest_task().cloned(),
+        ExecutionMode::Deca => run_deca(&mut session, &parts, reducers, params.sample_every),
     }
+    .expect("wordcount job");
+
+    session.finish_job();
+    AppReport::from_cluster("WC", &session, checksum, 0)
 }
 
-fn run_spark(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize, sample_every: usize) -> f64 {
-    let pair_classes = <(i64, i64) as HeapRecord>::register(&mut exec.heap);
-
-    // ------------------------------------------------------------- map
-    // One map task per partition: eager map-side combining, then a
-    // serialized shuffle write per reduce partition.
-    let mut map_outputs: Vec<Vec<Vec<u8>>> = Vec::new();
-    for (pi, part) in parts.iter().enumerate() {
-        let out = exec.run_task(format!("wc-map-{pi}"), |e| {
-            let mut buf: SparkHashShuffle<i64, i64> =
-                SparkHashShuffle::new(&mut e.heap).expect("shuffle buffer");
-            for (i, &word) in part.iter().enumerate() {
+fn run_spark(
+    session: &mut ClusterSession,
+    parts: &[Vec<i64>],
+    reducers: usize,
+    sample_every: usize,
+) -> Result<f64, EngineError> {
+    let sums = session.run_shuffle_job(
+        "wc",
+        parts.len(),
+        reducers,
+        // ------------------------------------------------------------- map
+        // One map task per partition: eager map-side combining, then a
+        // serialized shuffle write per reduce partition.
+        |ctx, e| {
+            let pair_classes = <(i64, i64) as HeapRecord>::register(&mut e.heap);
+            let mut buf: SparkHashShuffle<i64, i64> = SparkHashShuffle::new(&mut e.heap)?;
+            for (i, &word) in parts[ctx.task].iter().enumerate() {
                 // The map UDF emits a Tuple2 that dies after combining.
                 let tuple = (word, 1i64);
-                let tobj = tuple.store(&mut e.heap, &pair_classes).expect("temp tuple");
+                let tobj = tuple.store(&mut e.heap, &pair_classes)?;
                 let ts = e.heap.push_stack(tobj);
                 let (k, v) =
                     <(i64, i64) as HeapRecord>::load(&e.heap, &pair_classes, e.heap.stack_ref(ts));
                 e.heap.truncate_stack(ts);
-                buf.insert(&mut e.heap, k, v, |a, b| a + b).expect("combine");
+                buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
                 if sample_every != 0 && i % sample_every == 0 {
                     e.sample_timeline(pair_classes.tuple);
                 }
@@ -100,117 +113,100 @@ fn run_spark(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize, sample_ev
             // Shuffle write: Spark serializes combined pairs per reducer.
             let out = e.shuffle_write_scope(|e| {
                 let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
-                let pairs = buf.drain(&e.heap);
-                for (k, v) in pairs {
+                for (k, v) in buf.drain(&e.heap) {
                     let r = (k as u64 % reducers as u64) as usize;
                     e.kryo.serialize(&(k, v), &mut out[r]);
                 }
                 out
             });
             buf.release(&mut e.heap);
-            out
-        });
-        map_outputs.push(out);
-    }
-
-    // ---------------------------------------------------------- reduce
-    let inputs = deca_engine::cluster::exchange(map_outputs);
-    let mut checksum = 0.0f64;
-    for (ri, bufs) in inputs.into_iter().enumerate() {
-        checksum += exec.run_task(format!("wc-reduce-{ri}"), |e| {
-            let mut buf: SparkHashShuffle<i64, i64> =
-                SparkHashShuffle::new(&mut e.heap).expect("shuffle buffer");
-            e.shuffle_read_scope(|e| {
-                for bytes in &bufs {
+            Ok(out)
+        },
+        // ---------------------------------------------------------- reduce
+        |_ctx, e, bufs| {
+            let mut buf: SparkHashShuffle<i64, i64> = SparkHashShuffle::new(&mut e.heap)?;
+            e.shuffle_read_scope(|e| -> Result<(), EngineError> {
+                for bytes in bufs {
                     let mut pos = 0;
                     while pos < bytes.len() {
                         let (k, v): (i64, i64) = e.kryo.deserialize(bytes, &mut pos);
-                        buf.insert(&mut e.heap, k, v, |a, b| a + b).expect("combine");
+                        buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
                     }
                 }
-            });
+                Ok(())
+            })?;
             let mut sum = 0.0;
             buf.for_each(&e.heap, |k, v| {
                 sum += (k as f64 + 1.0) * v as f64;
             });
             buf.release(&mut e.heap);
-            sum
-        });
-    }
-    checksum
+            Ok(sum)
+        },
+    )?;
+    Ok(sums.into_iter().sum())
 }
 
-fn run_deca(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize, sample_every: usize) -> f64 {
-    // For the lifetime comparison we still register the Tuple2 classes so
-    // the census has the same class to count — Deca simply never
-    // instantiates them (the transformed code writes bytes directly).
-    let pair_classes = <(i64, i64) as HeapRecord>::register(&mut exec.heap);
-
-    let mut map_outputs: Vec<Vec<Vec<u8>>> = Vec::new();
-    for (pi, part) in parts.iter().enumerate() {
-        let out = exec.run_task(format!("wc-map-{pi}"), |e| {
+fn run_deca(
+    session: &mut ClusterSession,
+    parts: &[Vec<i64>],
+    reducers: usize,
+    sample_every: usize,
+) -> Result<f64, EngineError> {
+    let sums = session.run_shuffle_job(
+        "wc",
+        parts.len(),
+        reducers,
+        |ctx, e| {
+            // For the lifetime comparison we still register the Tuple2
+            // classes so the census has the same class to count — Deca
+            // simply never instantiates them (the transformed code writes
+            // bytes directly).
+            let pair_classes = <(i64, i64) as HeapRecord>::register(&mut e.heap);
             let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
             let mut kb = [0u8; 8];
             let one = 1i64.to_le_bytes();
-            for (i, &word) in part.iter().enumerate() {
+            for (i, &word) in parts[ctx.task].iter().enumerate() {
                 kb.copy_from_slice(&word.to_le_bytes());
-                buf.insert(&mut e.mm, &mut e.heap, &kb, &one, |acc, add| {
-                    let a = i64::from_le_bytes(acc[..8].try_into().unwrap());
-                    let b = i64::from_le_bytes(add[..8].try_into().unwrap());
-                    acc[..8].copy_from_slice(&(a + b).to_le_bytes());
-                })
-                .expect("combine");
+                buf.insert(&mut e.mm, &mut e.heap, &kb, &one, add_i64_bytes)?;
                 if sample_every != 0 && i % sample_every == 0 {
                     e.sample_timeline(pair_classes.tuple);
                 }
             }
             // Shuffle write: raw bytes, no serialization (§6.1).
-            let out = e.shuffle_write_scope(|e| {
+            let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
                 let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
                 buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
                     let key = i64::from_le_bytes(k[..8].try_into().unwrap());
                     let r = (key as u64 % reducers as u64) as usize;
                     out[r].extend_from_slice(k);
                     out[r].extend_from_slice(v);
-                })
-                .expect("scan");
-                out
-            });
+                })?;
+                Ok(out)
+            })?;
             buf.release(&mut e.mm, &mut e.heap);
-            out
-        });
-        map_outputs.push(out);
-    }
-
-    let inputs = deca_engine::cluster::exchange(map_outputs);
-    let mut checksum = 0.0f64;
-    for (ri, bufs) in inputs.into_iter().enumerate() {
-        checksum += exec.run_task(format!("wc-reduce-{ri}"), |e| {
+            Ok(out)
+        },
+        |_ctx, e, bufs| {
             let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
-            e.shuffle_read_scope(|e| {
-                for bytes in &bufs {
+            e.shuffle_read_scope(|e| -> Result<(), EngineError> {
+                for bytes in bufs {
                     for rec in bytes.chunks_exact(16) {
-                        buf.insert(&mut e.mm, &mut e.heap, &rec[..8], &rec[8..], |acc, add| {
-                            let a = i64::from_le_bytes(acc[..8].try_into().unwrap());
-                            let b = i64::from_le_bytes(add[..8].try_into().unwrap());
-                            acc[..8].copy_from_slice(&(a + b).to_le_bytes());
-                        })
-                        .expect("combine");
+                        buf.insert(&mut e.mm, &mut e.heap, &rec[..8], &rec[8..], add_i64_bytes)?;
                     }
                 }
-            });
+                Ok(())
+            })?;
             let mut sum = 0.0;
             buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
                 let key = i64::decode(k);
                 let count = i64::decode(v);
                 sum += (key as f64 + 1.0) * count as f64;
-            })
-            .expect("scan");
+            })?;
             buf.release(&mut e.mm, &mut e.heap);
-            sum
-        });
-    }
-    checksum
+            Ok(sum)
+        },
+    )?;
+    Ok(sums.into_iter().sum())
 }
 
 // =====================================================================
@@ -223,60 +219,64 @@ fn word_text(id: i64) -> String {
     format!("w{}{}", id, "x".repeat((id % 11) as usize))
 }
 
-/// Run WordCount over text tokens. Spark mode materialises each token as
-/// a `java.lang.String` + `char[]` graph (what `textFile().flatMap(split)`
-/// produces) and the buffer holds String keys; Deca mode stores UTF-8 key
-/// bytes framed in pages behind a pointer array.
+/// Run WordCount over text tokens on one executor. Spark mode
+/// materialises each token as a `java.lang.String` + `char[]` graph (what
+/// `textFile().flatMap(split)` produces) and the buffer holds String keys;
+/// Deca mode stores UTF-8 key bytes framed in pages behind a pointer
+/// array.
 pub fn run_text(params: &WcParams) -> AppReport {
-    let config = ExecutorConfig::new(params.mode, params.heap_bytes)
+    run_text_cluster(params, 1)
+}
+
+/// Text-keyed WordCount across `executors` parallel executors.
+pub fn run_text_cluster(params: &WcParams, executors: usize) -> AppReport {
+    let config = ExecutorConfig::builder()
+        .mode(params.mode)
+        .heap_bytes(params.heap_bytes)
         .shuffle_fraction(0.6)
-        .storage_fraction(0.2);
-    let mut exec = Executor::new(config);
+        .storage_fraction(0.2)
+        .build();
+    let mut session = ClusterSession::new(executors, config);
     let ids = datagen::zipf_words(params.words, params.distinct, params.seed);
     let parts = datagen::partition(&ids, params.partitions);
     let reducers = params.partitions;
 
     let checksum = match params.mode {
         ExecutionMode::Spark | ExecutionMode::SparkSer => {
-            run_text_spark(&mut exec, &parts, reducers)
+            run_text_spark(&mut session, &parts, reducers)
         }
-        ExecutionMode::Deca => run_text_deca(&mut exec, &parts, reducers),
-    };
-
-    exec.finish_job();
-    AppReport {
-        app: "WC-text".into(),
-        mode: params.mode,
-        metrics: exec.job.clone(),
-        timeline: exec.timeline.clone(),
-        checksum,
-        cache_bytes: 0,
-        minor_gcs: exec.heap.stats().minor_collections,
-        full_gcs: exec.heap.stats().full_collections,
-        slowest_task: exec.slowest_task().cloned(),
+        ExecutionMode::Deca => run_text_deca(&mut session, &parts, reducers),
     }
+    .expect("wordcount-text job");
+
+    session.finish_job();
+    AppReport::from_cluster("WC-text", &session, checksum, 0)
 }
 
 fn text_checksum(word: &str, count: i64) -> f64 {
     (word.len() as f64 + word.as_bytes()[1] as f64) * count as f64
 }
 
-fn run_text_spark(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize) -> f64 {
-    let str_classes = <String as HeapRecord>::register(&mut exec.heap);
-
-    let mut map_outputs: Vec<Vec<Vec<u8>>> = Vec::new();
-    for (pi, part) in parts.iter().enumerate() {
-        let out = exec.run_task(format!("wct-map-{pi}"), |e| {
-            let mut buf: SparkHashShuffle<String, i64> =
-                SparkHashShuffle::new(&mut e.heap).expect("shuffle buffer");
-            for &id in part {
+fn run_text_spark(
+    session: &mut ClusterSession,
+    parts: &[Vec<i64>],
+    reducers: usize,
+) -> Result<f64, EngineError> {
+    let sums = session.run_shuffle_job(
+        "wct",
+        parts.len(),
+        reducers,
+        |ctx, e| {
+            let str_classes = <String as HeapRecord>::register(&mut e.heap);
+            let mut buf: SparkHashShuffle<String, i64> = SparkHashShuffle::new(&mut e.heap)?;
+            for &id in &parts[ctx.task] {
                 // The tokenizer materialises a temporary String graph.
                 let token = word_text(id);
-                let tok_obj = token.store(&mut e.heap, &str_classes).expect("temp token");
+                let tok_obj = token.store(&mut e.heap, &str_classes)?;
                 let ts = e.heap.push_stack(tok_obj);
                 let word = String::load(&e.heap, &str_classes, e.heap.stack_ref(ts));
                 e.heap.truncate_stack(ts);
-                buf.insert(&mut e.heap, word, 1, |a, b| a + b).expect("combine");
+                buf.insert(&mut e.heap, word, 1, |a, b| a + b)?;
             }
             let out = e.shuffle_write_scope(|e| {
                 let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
@@ -288,42 +288,42 @@ fn run_text_spark(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize) -> f
                 out
             });
             buf.release(&mut e.heap);
-            out
-        });
-        map_outputs.push(out);
-    }
-
-    let inputs = deca_engine::cluster::exchange(map_outputs);
-    let mut checksum = 0.0f64;
-    for (ri, bufs) in inputs.into_iter().enumerate() {
-        checksum += exec.run_task(format!("wct-reduce-{ri}"), |e| {
-            let mut buf: SparkHashShuffle<String, i64> =
-                SparkHashShuffle::new(&mut e.heap).expect("shuffle buffer");
-            e.shuffle_read_scope(|e| {
-                for bytes in &bufs {
+            Ok(out)
+        },
+        |_ctx, e, bufs| {
+            let mut buf: SparkHashShuffle<String, i64> = SparkHashShuffle::new(&mut e.heap)?;
+            e.shuffle_read_scope(|e| -> Result<(), EngineError> {
+                for bytes in bufs {
                     let mut pos = 0;
                     while pos < bytes.len() {
                         let k: String = e.kryo.deserialize(bytes, &mut pos);
                         let v: i64 = e.kryo.deserialize(bytes, &mut pos);
-                        buf.insert(&mut e.heap, k, v, |a, b| a + b).expect("combine");
+                        buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
                     }
                 }
-            });
+                Ok(())
+            })?;
             let mut sum = 0.0;
             buf.for_each(&e.heap, |k, v| sum += text_checksum(&k, v));
             buf.release(&mut e.heap);
-            sum
-        });
-    }
-    checksum
+            Ok(sum)
+        },
+    )?;
+    Ok(sums.into_iter().sum())
 }
 
-fn run_text_deca(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize) -> f64 {
-    let mut map_outputs: Vec<Vec<Vec<u8>>> = Vec::new();
-    for (pi, part) in parts.iter().enumerate() {
-        let out = exec.run_task(format!("wct-map-{pi}"), |e| {
+fn run_text_deca(
+    session: &mut ClusterSession,
+    parts: &[Vec<i64>],
+    reducers: usize,
+) -> Result<f64, EngineError> {
+    let sums = session.run_shuffle_job(
+        "wct",
+        parts.len(),
+        reducers,
+        |ctx, e| {
             let mut buf = DecaVarHashShuffle::new(&mut e.mm, 8);
-            for &id in part {
+            for &id in &parts[ctx.task] {
                 let token = word_text(id); // transformed code keeps bytes only
                 buf.insert(
                     &mut e.mm,
@@ -331,34 +331,26 @@ fn run_text_deca(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize) -> f6
                     token.as_bytes(),
                     &1i64.to_le_bytes(),
                     add_i64_bytes,
-                )
-                .expect("combine");
+                )?;
             }
             // Raw framed bytes out: u32 key len + key + 8-byte count.
-            let out = e.shuffle_write_scope(|e| {
+            let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
                 let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
                 buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
                     let r = (k.len() + k[1] as usize) % reducers;
                     out[r].extend_from_slice(&(k.len() as u32).to_le_bytes());
                     out[r].extend_from_slice(k);
                     out[r].extend_from_slice(v);
-                })
-                .expect("scan");
-                out
-            });
+                })?;
+                Ok(out)
+            })?;
             buf.release(&mut e.mm, &mut e.heap);
-            out
-        });
-        map_outputs.push(out);
-    }
-
-    let inputs = deca_engine::cluster::exchange(map_outputs);
-    let mut checksum = 0.0f64;
-    for (ri, bufs) in inputs.into_iter().enumerate() {
-        checksum += exec.run_task(format!("wct-reduce-{ri}"), |e| {
+            Ok(out)
+        },
+        |_ctx, e, bufs| {
             let mut buf = DecaVarHashShuffle::new(&mut e.mm, 8);
-            e.shuffle_read_scope(|e| {
-                for bytes in &bufs {
+            e.shuffle_read_scope(|e| -> Result<(), EngineError> {
+                for bytes in bufs {
                     let mut pos = 0;
                     while pos < bytes.len() {
                         let klen =
@@ -368,22 +360,21 @@ fn run_text_deca(exec: &mut Executor, parts: &[Vec<i64>], reducers: usize) -> f6
                         pos += klen;
                         let val = &bytes[pos..pos + 8];
                         pos += 8;
-                        buf.insert(&mut e.mm, &mut e.heap, key, val, add_i64_bytes)
-                            .expect("combine");
+                        buf.insert(&mut e.mm, &mut e.heap, key, val, add_i64_bytes)?;
                     }
                 }
-            });
+                Ok(())
+            })?;
             let mut sum = 0.0;
             buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
                 let word = std::str::from_utf8(k).expect("utf8");
                 sum += text_checksum(word, i64::decode(v));
-            })
-            .expect("scan");
+            })?;
             buf.release(&mut e.mm, &mut e.heap);
-            sum
-        });
-    }
-    checksum
+            Ok(sum)
+        },
+    )?;
+    Ok(sums.into_iter().sum())
 }
 
 fn add_i64_bytes(acc: &mut [u8], add: &[u8]) {
@@ -438,5 +429,14 @@ mod tests {
             spark.timeline.peak_live()
         );
         assert_eq!(deca.timeline.peak_live(), 0, "Deca: no Tuple2 is ever instantiated");
+    }
+
+    #[test]
+    fn executor_count_does_not_change_results() {
+        for mode in [ExecutionMode::Spark, ExecutionMode::Deca] {
+            let one = run_cluster(&tiny(mode), 1);
+            let four = run_cluster(&tiny(mode), 4);
+            assert_eq!(one.checksum, four.checksum, "{mode}");
+        }
     }
 }

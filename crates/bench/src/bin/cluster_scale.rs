@@ -1,153 +1,67 @@
-//! Multi-executor runs (extension): the same WordCount on 1, 2, and 4
-//! executors in parallel OS threads, exchanging serialized shuffle bytes —
-//! the distributed dimension of the paper's 4-worker cluster.
+//! Multi-executor scaling (extension): the same WordCount job through
+//! [`deca_engine::ClusterSession`] on 1, 2, and 4 executors — the
+//! distributed dimension of the paper's 4-worker cluster.
 //!
-//! What this demonstrates: partitioned execution with a real exchange is
-//! *exact* (the distributed result equals the sequential reference at
-//! every width) and the Deca-vs-Spark ratio persists per executor — the GC
-//! pathology is a per-heap phenomenon. Wall-time scaling itself depends on
-//! the host's core count (a single-core host time-slices the executors).
+//! What this demonstrates: the partitioned job with a real all-to-all
+//! exchange is *exact* (every mode returns the same checksum at every
+//! width — tasks are pinned round-robin and the exchange preserves
+//! map-task order), wall time drops as executors are added (on a
+//! multi-core host), and the Deca-vs-Spark ratio persists per executor —
+//! the GC pathology is a per-heap phenomenon.
 
+use std::time::{Duration, Instant};
+
+use deca_apps::wordcount::{run_cluster, WcParams};
 use deca_bench::{secs, table_header, table_row, Scale};
-use deca_core::DecaHashShuffle;
-use deca_engine::cluster::{exchange, partition_of};
-use deca_engine::record::HeapRecord;
-use deca_engine::{ExecutionMode, ExecutorConfig, LocalCluster, SparkHashShuffle};
+use deca_engine::ExecutionMode;
 
 fn main() {
     let scale = Scale::from_env();
-    let words: Vec<i64> =
-        deca_apps::datagen::zipf_words(scale.records(1_200_000), scale.records(100_000), 11);
-
     println!(
         "# Extension: multi-executor WordCount ({} host cores)\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
-    table_header(&["executors", "Spark_s", "Deca_s", "speedup"]);
-    let expected = reference_checksum(&words);
-    for executors in [1usize, 2, 4] {
-        let spark = run(&words, executors, ExecutionMode::Spark);
-        let deca = run(&words, executors, ExecutionMode::Deca);
-        assert_eq!(spark.1, expected, "Spark result");
-        assert_eq!(deca.1, expected, "Deca result");
-        table_row(&[
-            executors.to_string(),
-            secs(spark.0),
-            secs(deca.0),
-            format!("{:.2}x", spark.0.as_secs_f64() / deca.0.as_secs_f64()),
-        ]);
-    }
-}
 
-fn reference_checksum(words: &[i64]) -> i64 {
-    let mut counts = std::collections::HashMap::new();
-    for &w in words {
-        *counts.entry(w).or_insert(0i64) += 1;
-    }
-    counts.iter().map(|(k, v)| (k + 1) * v).sum()
-}
-
-fn run(words: &[i64], executors: usize, mode: ExecutionMode) -> (std::time::Duration, i64) {
-    let cfg = ExecutorConfig::new(mode, 24 << 20)
-        .spill_dir(std::env::temp_dir().join("deca-cluster-scale"));
-    let mut cluster = LocalCluster::uniform(executors, cfg);
-    let parts: Vec<Vec<i64>> = {
-        let mut out: Vec<Vec<i64>> = (0..executors).map(|_| Vec::new()).collect();
-        for (i, &w) in words.iter().enumerate() {
-            out[i % executors].push(w);
-        }
-        out
+    let params = |mode| {
+        let mut p = WcParams::small(mode);
+        p.words = scale.records(1_200_000);
+        p.distinct = scale.records(100_000);
+        // More tasks than the widest cluster: each wave multiplexes
+        // round-robin, as Spark runs more partitions than cores.
+        p.partitions = 8;
+        p.heap_bytes = 24 << 20;
+        p.seed = 11;
+        p
     };
 
-    let t = std::time::Instant::now();
-    let map_outputs: Vec<Vec<Vec<u8>>> = cluster.par_run(|i, e| {
-        e.run_task(format!("map-{i}"), |e| match mode {
-            ExecutionMode::Deca => {
-                let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
-                for &w in &parts[i] {
-                    buf.insert(&mut e.mm, &mut e.heap, &w.to_le_bytes(), &1i64.to_le_bytes(), add)
-                        .expect("combine");
-                }
-                let mut out: Vec<Vec<u8>> = (0..executors).map(|_| Vec::new()).collect();
-                buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
-                    let key = i64::from_le_bytes(k[..8].try_into().unwrap());
-                    let r = partition_of(key as u64, executors);
-                    out[r].extend_from_slice(k);
-                    out[r].extend_from_slice(v);
-                })
-                .expect("scan");
-                buf.release(&mut e.mm, &mut e.heap);
-                out
-            }
-            _ => {
-                let pair_classes = <(i64, i64) as HeapRecord>::register(&mut e.heap);
-                let mut buf: SparkHashShuffle<i64, i64> =
-                    SparkHashShuffle::new(&mut e.heap).expect("buffer");
-                for &w in &parts[i] {
-                    let tuple = (w, 1i64);
-                    let tobj = tuple.store(&mut e.heap, &pair_classes).expect("temp");
-                    let ts = e.heap.push_stack(tobj);
-                    let (k, v) = <(i64, i64) as HeapRecord>::load(
-                        &e.heap,
-                        &pair_classes,
-                        e.heap.stack_ref(ts),
-                    );
-                    e.heap.truncate_stack(ts);
-                    buf.insert(&mut e.heap, k, v, |a, b| a + b).expect("combine");
-                }
-                let mut out: Vec<Vec<u8>> = (0..executors).map(|_| Vec::new()).collect();
-                for (k, v) in buf.drain(&e.heap) {
-                    let r = partition_of(k as u64, executors);
-                    e.kryo.serialize(&(k, v), &mut out[r]);
-                }
-                buf.release(&mut e.heap);
-                out
-            }
-        })
-    });
+    // Reference result: every mode and every width must reproduce it.
+    let expected = run_cluster(&params(ExecutionMode::Deca), 1).checksum;
 
-    let inputs = exchange(map_outputs);
-    let partials: Vec<i64> = cluster.par_run(|i, e| {
-        e.run_task(format!("reduce-{i}"), |e| match mode {
-            ExecutionMode::Deca => {
-                let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
-                for bytes in &inputs[i] {
-                    for rec in bytes.chunks_exact(16) {
-                        buf.insert(&mut e.mm, &mut e.heap, &rec[..8], &rec[8..], add)
-                            .expect("combine");
-                    }
-                }
-                let mut sum = 0i64;
-                buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
-                    sum += (i64::from_le_bytes(k[..8].try_into().unwrap()) + 1)
-                        * i64::from_le_bytes(v[..8].try_into().unwrap());
-                })
-                .expect("scan");
-                buf.release(&mut e.mm, &mut e.heap);
-                sum
-            }
-            _ => {
-                let mut buf: SparkHashShuffle<i64, i64> =
-                    SparkHashShuffle::new(&mut e.heap).expect("buffer");
-                for bytes in &inputs[i] {
-                    let mut pos = 0;
-                    while pos < bytes.len() {
-                        let (k, v): (i64, i64) = e.kryo.deserialize(bytes, &mut pos);
-                        buf.insert(&mut e.heap, k, v, |a, b| a + b).expect("combine");
-                    }
-                }
-                let mut sum = 0i64;
-                buf.for_each(&e.heap, |k, v| sum += (k + 1) * v);
-                buf.release(&mut e.heap);
-                sum
-            }
-        })
-    });
-    (t.elapsed(), partials.iter().sum())
-}
-
-fn add(acc: &mut [u8], addv: &[u8]) {
-    let a = i64::from_le_bytes(acc[..8].try_into().unwrap());
-    let b = i64::from_le_bytes(addv[..8].try_into().unwrap());
-    acc[..8].copy_from_slice(&(a + b).to_le_bytes());
+    table_header(&["executors", "Spark_s", "SparkSer_s", "Deca_s", "Spark/Deca", "scaling"]);
+    let mut spark_base = Duration::ZERO;
+    for executors in [1usize, 2, 4] {
+        let mut times = Vec::new();
+        for mode in ExecutionMode::ALL {
+            let t = Instant::now();
+            let report = run_cluster(&params(mode), executors);
+            times.push(t.elapsed());
+            assert_eq!(
+                report.checksum, expected,
+                "{mode} on {executors} executors must match the reference"
+            );
+        }
+        let (spark, ser, deca) = (times[0], times[1], times[2]);
+        if executors == 1 {
+            spark_base = spark;
+        }
+        table_row(&[
+            executors.to_string(),
+            secs(spark),
+            secs(ser),
+            secs(deca),
+            format!("{:.2}x", spark.as_secs_f64() / deca.as_secs_f64()),
+            format!("{:.2}x", spark_base.as_secs_f64() / spark.as_secs_f64()),
+        ]);
+    }
+    println!("\nall checksums equal across modes and executor counts: OK");
 }

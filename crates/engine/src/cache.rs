@@ -633,6 +633,32 @@ impl CacheManager {
         let bytes = (self.spill_write_bytes + self.spill_read_bytes) as f64;
         Duration::from_secs_f64(bytes / crate::executor::SIM_DISK_BPS)
     }
+
+    /// Snapshot of the manager's occupancy and eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            resident_bytes: self.resident_bytes(),
+            disk_bytes: self.disk_bytes(),
+            evictions: self.evictions,
+            spill_write_bytes: self.spill_write_bytes,
+            spill_read_bytes: self.spill_read_bytes,
+        }
+    }
+}
+
+/// A point-in-time summary of a [`CacheManager`]'s state, for apps and
+/// harnesses that report cache behaviour without poking manager fields.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cached bytes currently resident in memory.
+    pub resident_bytes: usize,
+    /// Cached bytes currently evicted to disk.
+    pub disk_bytes: usize,
+    /// Eviction events since construction.
+    pub evictions: u64,
+    /// Bytes written to / read from cache spill files.
+    pub spill_write_bytes: u64,
+    pub spill_read_bytes: u64,
 }
 
 /// A cached RDD handle: the block ids of its partitions on one executor.

@@ -58,14 +58,22 @@ pub struct ExecutorConfig {
 
 impl ExecutorConfig {
     pub fn new(mode: ExecutionMode, heap_bytes: usize) -> ExecutorConfig {
-        ExecutorConfig {
-            mode,
-            heap_bytes,
-            storage_fraction: 0.6,
-            shuffle_fraction: 0.2,
-            gc_algorithm: GcAlgorithm::ParallelScavenge,
-            page_size: 64 << 10,
-            spill_dir: ExecutorConfig::default_spill_dir(),
+        ExecutorConfig::builder().mode(mode).heap_bytes(heap_bytes).build()
+    }
+
+    /// Start a builder with the default knobs (Spark mode, 16 MB heap,
+    /// Table 4's default fractions).
+    pub fn builder() -> ExecutorConfigBuilder {
+        ExecutorConfigBuilder {
+            config: ExecutorConfig {
+                mode: ExecutionMode::Spark,
+                heap_bytes: 16 << 20,
+                storage_fraction: 0.6,
+                shuffle_fraction: 0.2,
+                gc_algorithm: GcAlgorithm::ParallelScavenge,
+                page_size: 64 << 10,
+                spill_dir: ExecutorConfig::default_spill_dir(),
+            },
         }
     }
 
@@ -117,9 +125,83 @@ impl ExecutorConfig {
     }
 }
 
+/// Builder for [`ExecutorConfig`]. All knobs default to the values
+/// `ExecutorConfig::new` has always used, so a builder chain only names
+/// what it changes.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfigBuilder {
+    config: ExecutorConfig,
+}
+
+impl ExecutorConfigBuilder {
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    pub fn heap_bytes(mut self, bytes: usize) -> Self {
+        self.config.heap_bytes = bytes;
+        self
+    }
+
+    /// Heap size in mebibytes (the unit the paper's tables use).
+    pub fn heap_mb(mut self, mb: usize) -> Self {
+        self.config.heap_bytes = mb << 20;
+        self
+    }
+
+    pub fn gc(mut self, algorithm: GcAlgorithm) -> Self {
+        self.config.gc_algorithm = algorithm;
+        self
+    }
+
+    pub fn storage_fraction(mut self, f: f64) -> Self {
+        self.config.storage_fraction = f;
+        self
+    }
+
+    pub fn shuffle_fraction(mut self, f: f64) -> Self {
+        self.config.shuffle_fraction = f;
+        self
+    }
+
+    pub fn page_size(mut self, s: usize) -> Self {
+        self.config.page_size = s;
+        self
+    }
+
+    pub fn spill_dir(mut self, d: PathBuf) -> Self {
+        self.config.spill_dir = d;
+        self
+    }
+
+    pub fn build(self) -> ExecutorConfig {
+        self.config
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_constructs_configs() {
+        let c = ExecutorConfig::builder()
+            .mode(ExecutionMode::Deca)
+            .heap_mb(48)
+            .gc(GcAlgorithm::Cms)
+            .storage_fraction(0.5)
+            .page_size(128 << 10)
+            .build();
+        assert_eq!(c.mode, ExecutionMode::Deca);
+        assert_eq!(c.heap_bytes, 48 << 20);
+        assert_eq!(c.gc_algorithm, GcAlgorithm::Cms);
+        assert_eq!(c.page_size, 128 << 10);
+        // The legacy constructor is a thin wrapper over the builder.
+        let legacy = ExecutorConfig::new(ExecutionMode::Deca, 48 << 20);
+        assert_eq!(legacy.storage_fraction, 0.6);
+        assert_eq!(legacy.page_size, 64 << 10);
+    }
 
     #[test]
     fn builder_and_budget() {

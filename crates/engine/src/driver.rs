@@ -1,0 +1,391 @@
+//! The cluster job driver: multi-stage jobs across a [`LocalCluster`].
+//!
+//! The paper's executors are parallel JVM processes driven stage-by-stage
+//! by Spark's DAG scheduler (§6.1): a job splits at shuffle boundaries
+//! into a map stage, an all-to-all exchange of shuffle bytes, and a reduce
+//! stage. [`ClusterSession`] is that driver layer: apps describe the task
+//! bodies; the session runs the task waves in parallel OS threads, moves
+//! the shuffle bytes between executors (serialized blocks for
+//! Spark/SparkSer, raw page bytes for Deca — §6.1's "directly outputting
+//! the raw bytes"), and rolls per-wave metrics into [`StageMetrics`].
+//!
+//! ## Task model and determinism
+//!
+//! A stage runs `tasks` tasks (one per data partition — independent of
+//! the executor count). Task `t` always runs on executor `t % executors`:
+//! the assignment is *static round-robin*, so a task in a later stage sees
+//! exactly the executor-local state (cached blocks, registered classes)
+//! that the same task index produced in an earlier stage. Shuffle
+//! exchange concatenates map outputs in *map-task order*, not executor
+//! order. Together these make a job's result a pure function of its
+//! partitioning — bit-for-bit independent of how many executors run it,
+//! which the cluster equivalence tests assert.
+//!
+//! ```
+//! use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig};
+//!
+//! let cfg = ExecutorConfig::builder().mode(ExecutionMode::Deca).heap_mb(16).build();
+//! let mut s = ClusterSession::new(2, cfg);
+//! let parts: Vec<Vec<i64>> = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+//! let sums = s
+//!     .run_stage("sum", parts.len(), |ctx, _e| Ok(parts[ctx.task].iter().sum::<i64>()))
+//!     .unwrap();
+//! assert_eq!(sums, vec![3, 7, 11]);
+//! assert_eq!(s.stages()[0].tasks, 3);
+//! ```
+
+use std::time::Duration;
+
+use crate::cluster::{exchange, LocalCluster};
+use crate::config::ExecutorConfig;
+use crate::error::EngineError;
+use crate::executor::Executor;
+use crate::metrics::{JobMetrics, StageMetrics, Timeline};
+
+/// What a task knows about its place in a stage.
+#[derive(Clone, Debug)]
+pub struct TaskContext<'a> {
+    /// The stage's name (task names are `"{stage}-{task}"`).
+    pub stage: &'a str,
+    /// This task's index within the stage, `0..tasks`.
+    pub task: usize,
+    /// Total tasks in the stage.
+    pub tasks: usize,
+    /// The executor this task runs on (`task % executors`).
+    pub executor: usize,
+    /// Executors in the cluster.
+    pub executors: usize,
+}
+
+/// Per-reducer shuffle outputs of one map task: `outputs[reducer]` is the
+/// raw byte run this task contributes to that reduce partition.
+pub type MapOutputs = Vec<Vec<u8>>;
+
+/// A multi-stage job driver over a [`LocalCluster`].
+pub struct ClusterSession {
+    cluster: LocalCluster,
+    stages: Vec<StageMetrics>,
+}
+
+impl ClusterSession {
+    /// A session over `executors` identical executors (per-executor spill
+    /// subdirectories, as [`LocalCluster::uniform`]).
+    pub fn new(executors: usize, config: ExecutorConfig) -> ClusterSession {
+        assert!(executors > 0, "a cluster needs at least one executor");
+        ClusterSession { cluster: LocalCluster::uniform(executors, config), stages: Vec::new() }
+    }
+
+    /// A session over explicitly configured (possibly heterogeneous)
+    /// executors.
+    pub fn with_configs(configs: Vec<ExecutorConfig>) -> ClusterSession {
+        assert!(!configs.is_empty(), "a cluster needs at least one executor");
+        ClusterSession { cluster: LocalCluster::new(configs), stages: Vec::new() }
+    }
+
+    pub fn executors(&self) -> usize {
+        self.cluster.len()
+    }
+
+    /// The cluster's execution mode (executor 0's; `uniform` clusters are
+    /// homogeneous).
+    pub fn mode(&self) -> crate::config::ExecutionMode {
+        self.cluster.executors[0].mode()
+    }
+
+    pub fn executor(&self, i: usize) -> &Executor {
+        &self.cluster.executors[i]
+    }
+
+    pub fn executor_mut(&mut self, i: usize) -> &mut Executor {
+        &mut self.cluster.executors[i]
+    }
+
+    /// Run one stage: `tasks` tasks distributed round-robin over the
+    /// executors, each wrapped in [`Executor::run_task`] for metric
+    /// attribution. Returns the task results in task order.
+    ///
+    /// The task closure must be deterministic in `(ctx.task, executor
+    /// state)` for cluster results to be independent of executor count.
+    pub fn run_stage<R: Send>(
+        &mut self,
+        name: &str,
+        tasks: usize,
+        f: impl Fn(&TaskContext, &mut Executor) -> Result<R, EngineError> + Sync,
+    ) -> Result<Vec<R>, EngineError> {
+        assert!(tasks > 0, "a stage needs at least one task");
+        let executors = self.cluster.len();
+        // Remember each executor's task-log length so the roll-up below
+        // attributes exactly this wave's tasks.
+        let marks: Vec<usize> = self.cluster.executors.iter().map(|e| e.tasks.len()).collect();
+
+        // The wave: executor i runs tasks i, i+E, i+2E, … sequentially on
+        // its own thread.
+        let mut per_exec: Vec<Vec<Result<R, EngineError>>> = self.cluster.par_run(|i, e| {
+            let mut out = Vec::new();
+            let mut t = i;
+            while t < tasks {
+                let ctx = TaskContext { stage: name, task: t, tasks, executor: i, executors };
+                let r = e
+                    .run_task(format!("{name}-{t}"), |e| f(&ctx, e))
+                    .map_err(|err| err.in_task(name, t));
+                out.push(r);
+                t += executors;
+            }
+            out
+        });
+
+        // Roll this wave's tasks into a StageMetrics entry. `exec` is the
+        // critical path: the busiest executor's summed task totals.
+        let mut stage = StageMetrics::new(name);
+        for (i, e) in self.cluster.executors.iter().enumerate() {
+            let mut busy = Duration::ZERO;
+            for t in &e.tasks[marks[i]..] {
+                stage.add_task(t);
+                busy += t.total();
+            }
+            stage.exec = stage.exec.max(busy);
+        }
+        self.stages.push(stage);
+
+        // Re-interleave executor-local result lists into task order.
+        let mut results = Vec::with_capacity(tasks);
+        for t in 0..tasks {
+            results.push(per_exec[t % executors].remove(0));
+        }
+        results.into_iter().collect()
+    }
+
+    /// Run a two-stage shuffle job: a map wave producing per-reducer byte
+    /// runs, an all-to-all exchange, and a reduce wave consuming its
+    /// partition's runs in map-task order.
+    ///
+    /// Each map task must return exactly `reduce_tasks` output runs; each
+    /// reduce task receives `map_tasks` input runs (possibly empty). The
+    /// stage pair is recorded as `"{name}-map"` / `"{name}-reduce"`, with
+    /// the exchanged byte volume on the map stage's `shuffle_bytes`.
+    pub fn run_shuffle_job<R: Send>(
+        &mut self,
+        name: &str,
+        map_tasks: usize,
+        reduce_tasks: usize,
+        map: impl Fn(&TaskContext, &mut Executor) -> Result<MapOutputs, EngineError> + Sync,
+        reduce: impl Fn(&TaskContext, &mut Executor, &[Vec<u8>]) -> Result<R, EngineError> + Sync,
+    ) -> Result<Vec<R>, EngineError> {
+        let map_stage = format!("{name}-map");
+        let outputs = self.run_stage(&map_stage, map_tasks, |ctx, e| {
+            let out = map(ctx, e)?;
+            if out.len() != reduce_tasks {
+                return Err(EngineError::Shuffle(format!(
+                    "map task {} produced {} reducer outputs, expected {}",
+                    ctx.task,
+                    out.len(),
+                    reduce_tasks
+                ))
+                .in_task(ctx.stage, ctx.task));
+            }
+            Ok(out)
+        })?;
+        let bytes: u64 = outputs.iter().flatten().map(|b| b.len() as u64).sum();
+        if let Some(s) = self.stages.last_mut() {
+            s.shuffle_bytes = bytes;
+        }
+
+        // All-to-all exchange: inputs[reducer][map task], map-task order.
+        let inputs = exchange(outputs);
+        let inputs = &inputs;
+        self.run_stage(&format!("{name}-reduce"), reduce_tasks, |ctx, e| {
+            reduce(ctx, e, &inputs[ctx.task])
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // roll-ups
+    // ------------------------------------------------------------------
+
+    /// Per-stage metrics, in execution order.
+    pub fn stages(&self) -> &[StageMetrics] {
+        &self.stages
+    }
+
+    /// The most recent stage with the given name.
+    pub fn stage(&self, name: &str) -> Option<&StageMetrics> {
+        self.stages.iter().rev().find(|s| s.name == name)
+    }
+
+    /// Tasks run so far, across all stages.
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks).sum()
+    }
+
+    /// Total bytes moved through shuffle exchanges so far.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.shuffle_bytes).sum()
+    }
+
+    /// Refresh job-level cache statistics on every executor (call before
+    /// reading [`ClusterSession::job_summary`] cache fields).
+    pub fn finish_job(&mut self) {
+        for e in &mut self.cluster.executors {
+            e.finish_job();
+        }
+    }
+
+    /// Aggregate job metrics across executors (sums; exec is the max —
+    /// executors run in parallel).
+    pub fn job_summary(&self) -> JobMetrics {
+        self.cluster.job_summary()
+    }
+
+    /// All executors' lifetime-timeline samples merged in time order
+    /// (each executor samples against its own clock; the merge orders by
+    /// per-executor elapsed time, which is what Figures 8a/9a plot).
+    pub fn merged_timeline(&self) -> Timeline {
+        let mut samples: Vec<_> =
+            self.cluster.executors.iter().flat_map(|e| e.timeline().samples.clone()).collect();
+        samples.sort_by_key(|s| s.at);
+        Timeline { samples }
+    }
+
+    /// The slowest task across all executors (Figure 11 reports the
+    /// slowest task).
+    pub fn slowest_task(&self) -> Option<&crate::metrics::TaskMetrics> {
+        self.cluster.executors.iter().filter_map(|e| e.slowest_task()).max_by_key(|t| t.total())
+    }
+
+    /// The underlying cluster (raw `par_run` waves, direct executor
+    /// iteration).
+    pub fn cluster(&self) -> &LocalCluster {
+        &self.cluster
+    }
+
+    pub fn cluster_mut(&mut self) -> &mut LocalCluster {
+        &mut self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutionMode;
+
+    fn session(executors: usize) -> ClusterSession {
+        ClusterSession::new(executors, ExecutorConfig::new(ExecutionMode::Spark, 8 << 20))
+    }
+
+    #[test]
+    fn stage_results_are_in_task_order() {
+        for executors in [1, 2, 3, 5] {
+            let mut s = session(executors);
+            let out = s.run_stage("ids", 7, |ctx, _e| Ok(ctx.task * 10)).unwrap();
+            assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60], "{executors} executors");
+            assert_eq!(s.stages()[0].tasks, 7);
+            assert_eq!(s.total_tasks(), 7);
+        }
+    }
+
+    #[test]
+    fn tasks_pin_to_executors_round_robin() {
+        let mut s = session(2);
+        let homes = s.run_stage("home", 5, |ctx, _e| Ok(ctx.executor)).unwrap();
+        assert_eq!(homes, vec![0, 1, 0, 1, 0]);
+        // Executor-local state persists across stages for the same task
+        // index: define a class in stage 1, find it in stage 2.
+        s.run_stage("define", 2, |ctx, e| {
+            e.heap.define_class(
+                deca_heap::ClassBuilder::new(format!("T{}", ctx.task))
+                    .field("v", deca_heap::FieldKind::I64),
+            );
+            Ok(())
+        })
+        .unwrap();
+        let found = s
+            .run_stage("lookup", 2, |ctx, e| {
+                Ok(e.heap.registry().by_name(&format!("T{}", ctx.task)).is_some())
+            })
+            .unwrap();
+        assert_eq!(found, vec![true, true]);
+    }
+
+    #[test]
+    fn shuffle_job_exchanges_all_to_all() {
+        // Map task t emits its task id to every reducer; each reducer
+        // must see every map task's bytes, in map-task order.
+        for executors in [1, 2, 4] {
+            let mut s = session(executors);
+            let got = s
+                .run_shuffle_job(
+                    "x",
+                    3,
+                    2,
+                    |ctx, _e| Ok(vec![vec![ctx.task as u8]; 2]),
+                    |_ctx, _e, inputs| Ok(inputs.iter().map(|b| b[0]).collect::<Vec<u8>>()),
+                )
+                .unwrap();
+            assert_eq!(got, vec![vec![0, 1, 2], vec![0, 1, 2]], "{executors} executors");
+            let map_stage = s.stage("x-map").unwrap();
+            assert_eq!(map_stage.tasks, 3);
+            assert_eq!(map_stage.shuffle_bytes, 6);
+            assert_eq!(s.stage("x-reduce").unwrap().tasks, 2);
+        }
+    }
+
+    #[test]
+    fn mis_sized_map_output_is_a_shuffle_error() {
+        let mut s = session(2);
+        let err = s
+            .run_shuffle_job(
+                "bad",
+                2,
+                3,
+                |_ctx, _e| Ok(vec![Vec::new(); 2]), // wrong: 2 ≠ 3 reducers
+                |_ctx, _e, _inputs| Ok(()),
+            )
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("reducer outputs"), "{msg}");
+        assert!(matches!(err, EngineError::Task { .. }), "carries task attribution");
+    }
+
+    #[test]
+    fn task_errors_carry_stage_and_task() {
+        let mut s = session(3);
+        let err = s
+            .run_stage("fragile", 4, |ctx, _e| {
+                if ctx.task == 2 {
+                    Err(EngineError::Shuffle("boom".into()))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("fragile") && msg.contains("task 2"), "{msg}");
+        // The wave itself completed; the other tasks were still recorded.
+        assert_eq!(s.stages()[0].tasks, 4);
+    }
+
+    #[test]
+    fn stage_metrics_accumulate_without_wall_clock_assumptions() {
+        let mut s = session(2);
+        s.run_stage("alloc", 4, |_ctx, e| {
+            let c = e.heap.define_class(
+                deca_heap::ClassBuilder::new("A").field("x", deca_heap::FieldKind::I64),
+            );
+            for _ in 0..1000 {
+                e.heap.alloc(c)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.total_tasks(), 4);
+        assert_eq!(s.cluster().executors.iter().map(|e| e.task_metrics().len()).sum::<usize>(), 4);
+        // Metric sanity on counts, not timings: this must never flake on
+        // a frozen clock. job_summary sums collection counts across
+        // executors.
+        let summary = s.job_summary();
+        let minors: u64 =
+            s.cluster().executors.iter().map(|e| e.heap_stats().minor_collections).sum();
+        assert_eq!(summary.minor_gcs, minors);
+        assert!(!s.stages().is_empty());
+    }
+}

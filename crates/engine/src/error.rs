@@ -1,0 +1,123 @@
+//! The unified engine error type.
+//!
+//! Every fallible engine-facing operation — session caching, cluster
+//! stages, shuffle exchange, spill I/O — returns [`EngineError`], so apps
+//! and harnesses handle one type instead of the per-layer errors
+//! (`CacheError`, `OomError`, `MemError`) the lower crates raise.
+
+use deca_core::MemError;
+use deca_heap::OomError;
+
+use crate::cache::CacheError;
+
+/// Any error an engine session can raise.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Cache manager failure (block put/get/evict).
+    Cache(CacheError),
+    /// Simulated-heap allocation failure.
+    Oom(OomError),
+    /// Deca memory-manager failure (page budgeting, swap).
+    Mem(MemError),
+    /// Spill / swap file I/O failure.
+    Io(std::io::Error),
+    /// Malformed shuffle data or a mis-sized exchange (e.g. a map task
+    /// produced outputs for the wrong number of reducers).
+    Shuffle(String),
+    /// A task failed; carries the stage and task index for diagnosis.
+    Task { stage: String, task: usize, source: Box<EngineError> },
+}
+
+impl EngineError {
+    /// Wrap an error with the stage/task it occurred in.
+    pub fn in_task(self, stage: &str, task: usize) -> EngineError {
+        match self {
+            // Don't re-wrap: keep the innermost task attribution.
+            e @ EngineError::Task { .. } => e,
+            e => EngineError::Task { stage: stage.to_string(), task, source: Box::new(e) },
+        }
+    }
+}
+
+impl From<CacheError> for EngineError {
+    fn from(e: CacheError) -> Self {
+        // Flatten: CacheError already wraps Oom/Mem/Io; keep the cache
+        // context only for genuinely cache-level failures.
+        EngineError::Cache(e)
+    }
+}
+
+impl From<OomError> for EngineError {
+    fn from(e: OomError) -> Self {
+        EngineError::Oom(e)
+    }
+}
+
+impl From<MemError> for EngineError {
+    fn from(e: MemError) -> Self {
+        EngineError::Mem(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Cache(e) => write!(f, "engine: {e}"),
+            EngineError::Oom(e) => write!(f, "engine: {e}"),
+            EngineError::Mem(e) => write!(f, "engine: {e}"),
+            EngineError::Io(e) => write!(f, "engine I/O: {e}"),
+            EngineError::Shuffle(msg) => write!(f, "engine shuffle: {msg}"),
+            EngineError::Task { stage, task, source } => {
+                write!(f, "stage {stage:?} task {task}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Cache(e) => Some(e),
+            EngineError::Oom(e) => Some(e),
+            EngineError::Mem(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            EngineError::Shuffle(_) => None,
+            EngineError::Task { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source_chain() {
+        let oom = OomError { requested: 64 };
+        let e = EngineError::from(oom).in_task("wc-map", 3);
+        let msg = e.to_string();
+        assert!(msg.contains("wc-map"), "{msg}");
+        assert!(msg.contains("task 3"), "{msg}");
+        assert!(e.source().is_some());
+        // Re-wrapping keeps the innermost attribution.
+        let e2 = e.in_task("outer", 0);
+        assert!(e2.to_string().contains("wc-map"));
+    }
+
+    #[test]
+    fn conversions_flatten_layers() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk gone");
+        assert!(matches!(EngineError::from(io), EngineError::Io(_)));
+        let ce = CacheError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(matches!(EngineError::from(ce), EngineError::Cache(_)));
+        let me = EngineError::Shuffle("bad frame".into());
+        assert_eq!(me.to_string(), "engine shuffle: bad frame");
+    }
+}

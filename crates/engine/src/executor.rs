@@ -170,6 +170,47 @@ impl Executor {
         self.job.swapped_cache_bytes = self.cache.disk_bytes();
     }
 
+    // ------------------------------------------------------------------
+    // accessors — what apps and harnesses read without field-poking.
+    // Mode-specific kernels (Deca page reads, Spark heap walks) still use
+    // the public `heap` / `mm` fields directly.
+    // ------------------------------------------------------------------
+
+    /// The execution mode this executor runs in.
+    pub fn mode(&self) -> crate::config::ExecutionMode {
+        self.config.mode
+    }
+
+    /// Aggregated job metrics so far.
+    pub fn metrics(&self) -> &JobMetrics {
+        &self.job
+    }
+
+    /// Per-task breakdowns, in completion order.
+    pub fn task_metrics(&self) -> &[TaskMetrics] {
+        &self.tasks
+    }
+
+    /// Collector statistics of the simulated heap.
+    pub fn heap_stats(&self) -> &deca_heap::GcStats {
+        self.heap.stats()
+    }
+
+    /// Objects currently on the simulated heap (allocated, uncollected).
+    pub fn object_count(&self) -> usize {
+        self.heap.object_count()
+    }
+
+    /// Cache manager occupancy and eviction counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// The lifetime timeline recorded by [`Executor::sample_timeline`].
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
     /// The most recently completed task's metrics.
     pub fn last_task(&self) -> Option<&TaskMetrics> {
         self.tasks.last()

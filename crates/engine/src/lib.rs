@@ -25,6 +25,8 @@
 pub mod cache;
 pub mod cluster;
 pub mod config;
+pub mod driver;
+pub mod error;
 pub mod executor;
 pub mod metrics;
 pub mod record;
@@ -32,11 +34,13 @@ pub mod serde_sim;
 pub mod session;
 pub mod shuffle;
 
-pub use cache::{CacheError, CachedRdd};
+pub use cache::{CacheError, CacheStats, CachedRdd};
 pub use cluster::LocalCluster;
-pub use config::{ExecutionMode, ExecutorConfig};
+pub use config::{ExecutionMode, ExecutorConfig, ExecutorConfigBuilder};
+pub use driver::{ClusterSession, MapOutputs, TaskContext};
+pub use error::EngineError;
 pub use executor::Executor;
-pub use metrics::{GcAccounting, JobMetrics, TaskMetrics, Timeline, TimelineSample};
+pub use metrics::{GcAccounting, JobMetrics, StageMetrics, TaskMetrics, Timeline, TimelineSample};
 pub use record::{HeapRecord, KryoRecord, Record};
 pub use serde_sim::KryoSim;
 pub use session::{Cached, DecaSession};

@@ -75,6 +75,63 @@ impl JobMetrics {
     }
 }
 
+/// Roll-up of one stage's task wave across a cluster's executors
+/// (the per-stage rows of a Spark UI, feeding [`JobMetrics`]).
+///
+/// `exec` is the wave's critical path: the busiest executor's summed task
+/// time (executors run in parallel, so the wave takes as long as its
+/// slowest member). The remaining buckets are sums over all tasks.
+#[derive(Clone, Debug, Default)]
+pub struct StageMetrics {
+    pub name: String,
+    /// Tasks run in this wave (≥ executor count tasks are multiplexed
+    /// round-robin).
+    pub tasks: usize,
+    /// Critical-path time: max over executors of their summed task totals.
+    pub exec: Duration,
+    pub compute: Duration,
+    pub gc: Duration,
+    pub ser: Duration,
+    pub deser: Duration,
+    pub shuffle_read: Duration,
+    pub shuffle_write: Duration,
+    pub io: Duration,
+    /// Bytes moved through the all-to-all exchange that follows this
+    /// stage (set on the map side of a shuffle job; 0 otherwise).
+    pub shuffle_bytes: u64,
+}
+
+impl StageMetrics {
+    pub fn new(name: impl Into<String>) -> StageMetrics {
+        StageMetrics { name: name.into(), ..StageMetrics::default() }
+    }
+
+    /// Fold one task of the wave into the stage sums (exec is handled
+    /// separately by the driver, per executor).
+    pub fn add_task(&mut self, t: &TaskMetrics) {
+        self.tasks += 1;
+        self.compute += t.compute;
+        self.gc += t.gc_pause;
+        self.ser += t.ser;
+        self.deser += t.deser;
+        self.shuffle_read += t.shuffle_read;
+        self.shuffle_write += t.shuffle_write;
+        self.io += t.io;
+    }
+
+    /// Total attributed task time across the wave's buckets (not
+    /// wall-clock; use `exec` for the critical path).
+    pub fn total_task_time(&self) -> Duration {
+        self.compute
+            + self.gc
+            + self.ser
+            + self.deser
+            + self.shuffle_read
+            + self.shuffle_write
+            + self.io
+    }
+}
+
 /// Converts raw collector measurements into the pause/overhead split of the
 /// configured algorithm (Table 4's PS/CMS/G1 comparison; see
 /// `deca_heap::PauseModel`).

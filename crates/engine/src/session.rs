@@ -19,8 +19,9 @@
 //! kernels (e.g. Figure 12-style offset reads) still use [`Executor`]
 //! directly.
 
-use crate::cache::{BlockId, CacheError};
+use crate::cache::BlockId;
 use crate::config::{ExecutionMode, ExecutorConfig};
+use crate::error::EngineError;
 use crate::executor::Executor;
 use crate::record::Record;
 
@@ -77,7 +78,7 @@ impl DecaSession {
         name: impl Into<String>,
         records: &[T],
         partitions: usize,
-    ) -> Result<Cached<T>, CacheError>
+    ) -> Result<Cached<T>, EngineError>
     where
         T::Classes: 'static,
     {
@@ -117,7 +118,7 @@ impl DecaSession {
         &mut self,
         cached: &Cached<T>,
         mut f: impl FnMut(T),
-    ) -> Result<(), CacheError>
+    ) -> Result<(), EngineError>
     where
         T::Classes: 'static,
     {
@@ -125,7 +126,7 @@ impl DecaSession {
         let classes = T::register(&mut self.exec.heap);
         let name = cached.name.clone();
         for (bi, &block) in cached.blocks.iter().enumerate() {
-            self.exec.run_task(format!("{name}-scan-{bi}"), |e| -> Result<(), CacheError> {
+            self.exec.run_task(format!("{name}-scan-{bi}"), |e| -> Result<(), EngineError> {
                 match e.config.mode {
                     ExecutionMode::Spark => {
                         let (root, len) =
@@ -137,15 +138,19 @@ impl DecaSession {
                         }
                         Ok(())
                     }
-                    ExecutionMode::SparkSer => {
-                        e.cache.iter_serialized(block, &mut e.heap, &mut e.kryo, &mut e.mm, &mut f)
-                    }
+                    ExecutionMode::SparkSer => Ok(e.cache.iter_serialized(
+                        block,
+                        &mut e.heap,
+                        &mut e.kryo,
+                        &mut e.mm,
+                        &mut f,
+                    )?),
                     ExecutionMode::Deca => {
                         let heap = &mut e.heap;
                         let mm = &mut e.mm;
                         let b = e.cache.deca_block(block);
                         b.scan_bytes(mm, heap, |bytes| f(T::decode(bytes)), |_| {})
-                            .map_err(CacheError::Mem)
+                            .map_err(EngineError::Mem)
                     }
                 }
             })?;
@@ -159,7 +164,7 @@ impl DecaSession {
         cached: &Cached<T>,
         init: A,
         mut f: impl FnMut(A, T) -> A,
-    ) -> Result<A, CacheError>
+    ) -> Result<A, EngineError>
     where
         T::Classes: 'static,
     {
@@ -177,7 +182,7 @@ impl DecaSession {
         &mut self,
         pairs: impl IntoIterator<Item = (i64, i64)>,
         combine: impl Fn(i64, i64) -> i64 + Copy,
-    ) -> Result<Vec<(i64, i64)>, CacheError> {
+    ) -> Result<Vec<(i64, i64)>, EngineError> {
         let mode = self.exec.config.mode;
         self.exec.run_task("reduce-by-key", |e| match mode {
             ExecutionMode::Deca => {
@@ -207,9 +212,9 @@ impl DecaSession {
             }
             _ => {
                 let mut buf: crate::shuffle::SparkHashShuffle<i64, i64> =
-                    crate::shuffle::SparkHashShuffle::new(&mut e.heap).map_err(CacheError::Oom)?;
+                    crate::shuffle::SparkHashShuffle::new(&mut e.heap)?;
                 for (k, v) in pairs {
-                    buf.insert(&mut e.heap, k, v, combine).map_err(CacheError::Oom)?;
+                    buf.insert(&mut e.heap, k, v, combine)?;
                 }
                 let out = buf.drain(&e.heap);
                 buf.release(&mut e.heap);

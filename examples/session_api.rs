@@ -13,7 +13,7 @@ fn main() {
         "mode", "cache_ms", "fold_ms", "rbk_ms", "gc_ms", "heap_objs"
     );
     for mode in ExecutionMode::ALL {
-        let mut s = DecaSession::new(ExecutorConfig::new(mode, 32 << 20));
+        let mut s = DecaSession::new(ExecutorConfig::builder().mode(mode).heap_mb(32).build());
 
         let t = std::time::Instant::now();
         let cached = s.cache("pairs", &data, 8).expect("cache");
@@ -38,7 +38,7 @@ fn main() {
             fold_ms,
             rbk_ms,
             s.metrics().gc.as_secs_f64() * 1e3,
-            s.executor().heap.object_count(),
+            s.executor().object_count(),
         );
         s.unpersist(cached);
     }

@@ -12,6 +12,9 @@ cargo fmt --check
 echo "== build (release, offline) =="
 cargo build --release --offline
 
+echo "== build examples (release, offline) =="
+cargo build --release --offline --examples
+
 echo "== tests (offline) =="
 cargo test -q --offline
 

@@ -1,0 +1,105 @@
+//! Cluster-mode cross-mode equivalence: the same WordCount and PageRank
+//! jobs through [`deca_engine::ClusterSession`] produce identical results
+//! in Spark, SparkSer, and Deca mode, independent of executor count.
+//!
+//! The driver makes this a hard guarantee, not a tolerance: tasks are
+//! pinned to executors round-robin by task index and the exchange hands
+//! reduce tasks their inputs in map-task order, so the floating-point
+//! addition sequence per key is a function of the partitioning alone.
+
+use deca_apps::pagerank::{self, PrParams};
+use deca_apps::wordcount::{self, WcParams};
+use deca_engine::ExecutionMode;
+
+const EXECUTOR_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn wc_params(mode: ExecutionMode) -> WcParams {
+    WcParams {
+        words: 30_000,
+        distinct: 800,
+        partitions: 4,
+        heap_bytes: 16 << 20,
+        mode,
+        seed: 42,
+        sample_every: 0,
+    }
+}
+
+fn pr_params(mode: ExecutionMode) -> PrParams {
+    PrParams {
+        vertices: 600,
+        edges: 5_000,
+        iterations: 3,
+        partitions: 4,
+        heap_bytes: 24 << 20,
+        mode,
+        gc_algorithm: deca_heap::GcAlgorithm::ParallelScavenge,
+        storage_fraction: 0.4,
+        seed: 9,
+    }
+}
+
+#[test]
+fn wordcount_is_identical_across_modes_and_widths() {
+    // Word checksums are integer-valued f64 sums (< 2^53): exact under
+    // any addition order, so every cell of the mode × width matrix must
+    // be bit-identical.
+    let reference = wordcount::run_cluster(&wc_params(ExecutionMode::Spark), 1).checksum;
+    assert!(reference > 0.0);
+    for mode in ExecutionMode::ALL {
+        for executors in EXECUTOR_COUNTS {
+            let report = wordcount::run_cluster(&wc_params(mode), executors);
+            assert_eq!(report.checksum, reference, "{mode} on {executors} executors");
+            assert_eq!(report.mode, mode);
+        }
+    }
+}
+
+#[test]
+fn text_wordcount_is_identical_across_modes_and_widths() {
+    let reference = wordcount::run_text_cluster(&wc_params(ExecutionMode::Deca), 1).checksum;
+    assert!(reference > 0.0);
+    for mode in ExecutionMode::ALL {
+        for executors in EXECUTOR_COUNTS {
+            let report = wordcount::run_text_cluster(&wc_params(mode), executors);
+            assert_eq!(report.checksum, reference, "{mode} on {executors} executors");
+        }
+    }
+}
+
+#[test]
+fn pagerank_is_bit_identical_across_widths_per_mode() {
+    // f64 rank sums are order-sensitive; the driver's fixed task model
+    // must make the executor count invisible bit-for-bit.
+    for mode in ExecutionMode::ALL {
+        let reference = pagerank::run_cluster(&pr_params(mode), 1).checksum;
+        assert!(reference > 0.0);
+        for executors in EXECUTOR_COUNTS {
+            let report = pagerank::run_cluster(&pr_params(mode), executors);
+            assert_eq!(report.checksum, reference, "{mode} on {executors} executors");
+        }
+    }
+}
+
+#[test]
+fn pagerank_modes_agree_at_every_width() {
+    for executors in EXECUTOR_COUNTS {
+        let spark = pagerank::run_cluster(&pr_params(ExecutionMode::Spark), executors).checksum;
+        let ser = pagerank::run_cluster(&pr_params(ExecutionMode::SparkSer), executors).checksum;
+        let deca = pagerank::run_cluster(&pr_params(ExecutionMode::Deca), executors).checksum;
+        assert!((spark - deca).abs() < 1e-9, "{executors} executors: {spark} vs {deca}");
+        assert!((ser - deca).abs() < 1e-9, "{executors} executors: {ser} vs {deca}");
+    }
+}
+
+#[test]
+fn merged_timeline_spans_executors() {
+    // Spark-mode map tasks sample the Tuple2 census on their own
+    // executors; the cluster report merges the per-executor timelines.
+    let mut p = wc_params(ExecutionMode::Spark);
+    p.sample_every = 500;
+    let report = wordcount::run_cluster(&p, 2);
+    assert!(!report.timeline.samples.is_empty());
+    assert!(report.timeline.peak_live() > 0, "temporary tuples were observed live");
+    assert!(report.slowest_task.is_some());
+}
