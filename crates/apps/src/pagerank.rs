@@ -14,12 +14,15 @@
 //! iteration's map task `p` finds its block executor-local), then each
 //! iteration is a map/exchange/reduce shuffle job over the rank messages.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use deca_core::optimizer::ContainerDecision;
 use deca_core::{DecaHashShuffle, Optimizer};
 use deca_engine::record::HeapRecord;
 use deca_engine::{
-    ClusterSession, EngineError, ExecutionMode, Executor, ExecutorConfig, SparkGroupShuffle,
-    SparkHashShuffle,
+    ClusterSession, EngineError, ExecutionMode, Executor, ExecutorConfig, FaultPlan, RetryPolicy,
+    SparkGroupShuffle, SparkHashShuffle,
 };
 use deca_udt::{ContainerId, ContainerKind, JobPhases, TypeRef};
 
@@ -252,58 +255,94 @@ pub fn run(params: &PrParams) -> AppReport {
     run_cluster(params, 1)
 }
 
+/// Assert the Deca optimizer reproduces the §4.3.3 plan (VST grouping
+/// buffer kept on the heap, adjacency cache decomposed on copy) before the
+/// engine follows it. Driver-side, once per job.
+fn assert_deca_plan() {
+    let analysis = deca_udt::fixtures::group_by_program();
+    let opt = Optimizer::new(&analysis.registry, &analysis.program);
+    let phases = JobPhases::new()
+        .phase("combine", analysis.build_entry)
+        .phase("iterate", analysis.read_entry);
+    let shuffle = deca_core::ContainerInfo {
+        id: ContainerId(0),
+        kind: ContainerKind::ShuffleBuffer,
+        created_seq: 0,
+        content: TypeRef::Udt(analysis.group),
+        write_phase: 0,
+    };
+    let cache = deca_core::ContainerInfo {
+        id: ContainerId(1),
+        kind: ContainerKind::CachedRdd,
+        created_seq: 1,
+        content: TypeRef::Udt(analysis.group),
+        write_phase: 0,
+    };
+    let plan = opt.plan(&phases, &[shuffle, cache], &[]);
+    assert!(
+        matches!(plan.decision(ContainerId(0)), ContainerDecision::Keep(_)),
+        "the grouping buffer must stay on the heap (VST while combining)"
+    );
+    assert_eq!(
+        plan.decision(ContainerId(1)),
+        &ContainerDecision::DecomposeOnCopy,
+        "the adjacency cache decomposes when the dying shuffle's output is copied"
+    );
+}
+
+fn pr_config(params: &PrParams) -> ExecutorConfig {
+    ExecutorConfig::builder()
+        .mode(params.mode)
+        .heap_bytes(params.heap_bytes)
+        .storage_fraction(params.storage_fraction)
+        .gc(params.gc_algorithm)
+        .build()
+}
+
 /// Run PageRank across `executors` parallel executors. The rank vector is
 /// identical for any executor count: map task `p` always scans block `p`
 /// (cached on executor `p % E`), and each reduce task combines mapper
 /// subtotals in map-task order, so the f64 addition sequence per vertex
 /// never depends on the cluster shape.
 pub fn run_cluster(params: &PrParams, executors: usize) -> AppReport {
-    let config = ExecutorConfig::builder()
-        .mode(params.mode)
-        .heap_bytes(params.heap_bytes)
-        .storage_fraction(params.storage_fraction)
-        .gc(params.gc_algorithm)
-        .build();
-    let mut session = ClusterSession::new(executors, config);
-    let edges = datagen::power_law_graph(params.vertices, params.edges, params.seed);
+    let mut session = ClusterSession::new(executors, pr_config(params));
+    let (checksum, cache_bytes) = run_on(params, &mut session).expect("pagerank job");
+    AppReport::from_cluster("PR", &session, checksum, cache_bytes)
+}
 
-    // ----------------------------------------------- Deca optimizer plan
-    // The grouping job is the §4.3.3 scenario: the shuffle buffer's value
-    // lists are VSTs while being built; the downstream adjacency cache
-    // decomposes on copy. Assert the optimizer reproduces that plan
-    // before the engine follows it (driver-side, once per job).
+/// Run PageRank under an injected fault plan and retry policy. Retried
+/// tasks that migrate executors rebuild their adjacency block from the
+/// edge partition (lineage recompute), so any survivable plan yields ranks
+/// bit-identical to the fault-free run.
+pub fn run_cluster_faulty(
+    params: &PrParams,
+    executors: usize,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+) -> Result<AppReport, EngineError> {
+    let mut session = ClusterSession::new(executors, pr_config(params).retry(policy));
+    session.install_faults(plan);
+    let (checksum, cache_bytes) = run_on(params, &mut session)?;
+    Ok(AppReport::from_cluster("PR", &session, checksum, cache_bytes))
+}
+
+/// Run the PageRank job on an already-built session (any executor shape,
+/// any installed fault plan) and return `(checksum, cache_bytes)`.
+///
+/// The adjacency cache is tracked per `(executor, partition)`: with the
+/// static round-robin pinning every iteration's map task finds its block
+/// executor-local, but a retried task that migrated rebuilds the block
+/// deterministically from its edge partition first — Spark's lineage
+/// story (§6.1) — so the scanned bytes, and hence the f64 message
+/// sequence, are identical wherever the task lands.
+pub fn run_on(
+    params: &PrParams,
+    session: &mut ClusterSession,
+) -> Result<(f64, usize), EngineError> {
     if params.mode == ExecutionMode::Deca {
-        let analysis = deca_udt::fixtures::group_by_program();
-        let opt = Optimizer::new(&analysis.registry, &analysis.program);
-        let phases = JobPhases::new()
-            .phase("combine", analysis.build_entry)
-            .phase("iterate", analysis.read_entry);
-        let shuffle = deca_core::ContainerInfo {
-            id: ContainerId(0),
-            kind: ContainerKind::ShuffleBuffer,
-            created_seq: 0,
-            content: TypeRef::Udt(analysis.group),
-            write_phase: 0,
-        };
-        let cache = deca_core::ContainerInfo {
-            id: ContainerId(1),
-            kind: ContainerKind::CachedRdd,
-            created_seq: 1,
-            content: TypeRef::Udt(analysis.group),
-            write_phase: 0,
-        };
-        let plan = opt.plan(&phases, &[shuffle, cache], &[]);
-        assert!(
-            matches!(plan.decision(ContainerId(0)), ContainerDecision::Keep(_)),
-            "the grouping buffer must stay on the heap (VST while combining)"
-        );
-        assert_eq!(
-            plan.decision(ContainerId(1)),
-            &ContainerDecision::DecomposeOnCopy,
-            "the adjacency cache decomposes when the dying shuffle's output is copied"
-        );
+        assert_deca_plan();
     }
-
+    let edges = datagen::power_law_graph(params.vertices, params.edges, params.seed);
     let parts = partition_edges(&edges, params.partitions);
     let mut degrees = vec![0u32; params.vertices];
     for &(s, _) in &edges {
@@ -313,12 +352,18 @@ pub fn run_cluster(params: &PrParams, executors: usize) -> AppReport {
 
     // Grouping stage: partition p's adjacency block is cached on executor
     // p % E, where iteration map task p (same pinning) will scan it.
-    let blocks = session
-        .run_stage("adj-build", params.partitions, |ctx, e| {
+    let blocks: Mutex<HashMap<(usize, usize), deca_engine::cache::BlockId>> =
+        Mutex::new(HashMap::new());
+    let parts_now = &parts;
+    {
+        let blocks_now = &blocks;
+        session.run_stage("adj-build", params.partitions, |ctx, e| {
             let adj_classes = AdjListRec::register(&mut e.heap);
-            build_adjacency_block(e, &parts[ctx.task], mode, &adj_classes)
-        })
-        .expect("adjacency build");
+            let block = build_adjacency_block(e, &parts_now[ctx.task], mode, &adj_classes)?;
+            blocks_now.lock().unwrap().insert((ctx.executor, ctx.task), block);
+            Ok(())
+        })?;
+    }
     session.finish_job();
     let summary = session.job_summary();
     let cache_bytes = summary.cache_bytes + summary.swapped_cache_bytes;
@@ -329,112 +374,121 @@ pub fn run_cluster(params: &PrParams, executors: usize) -> AppReport {
         let ranks_now = &ranks;
         let degrees_now = &degrees;
         let blocks_now = &blocks;
-        let updates = session
-            .run_shuffle_job(
-                &format!("pr-iter{iter}"),
-                params.partitions,
-                reducers,
-                // Map: scan the executor-local adjacency block, emit and
-                // eagerly combine rank messages, then write per-reducer
-                // runs (serialized in Spark modes, raw bytes in Deca).
-                |ctx, e| {
-                    let pair_classes = <(i64, f64) as HeapRecord>::register(&mut e.heap);
-                    let mut spark_sums: Option<SparkHashShuffle<i64, f64>> = match mode {
-                        ExecutionMode::Deca => None,
-                        _ => Some(SparkHashShuffle::new(&mut e.heap)?),
-                    };
-                    let mut deca_sums: Option<DecaHashShuffle> = match mode {
-                        ExecutionMode::Deca => Some(DecaHashShuffle::new(&mut e.mm, 8, 8)),
-                        _ => None,
-                    };
-                    // Message emission + eager combining is the shuffle
-                    // write.
-                    e.shuffle_write_scope(|e| {
-                        messages_from_block(
-                            e,
-                            blocks_now[ctx.task],
-                            mode,
-                            ranks_now,
-                            degrees_now,
-                            &mut spark_sums,
-                            &mut deca_sums,
-                            &pair_classes,
-                        );
-                    });
-                    let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
-                        let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
-                        if let Some(mut buf) = spark_sums.take() {
-                            for (k, v) in buf.drain(&e.heap) {
-                                let r = (k as u64 % reducers as u64) as usize;
-                                e.kryo.serialize(&(k, v), &mut out[r]);
-                            }
-                            buf.release(&mut e.heap);
-                        }
-                        if let Some(mut buf) = deca_sums.take() {
-                            buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
-                                let dst = i64::from_le_bytes(k[..8].try_into().unwrap());
-                                let r = (dst as u64 % reducers as u64) as usize;
-                                out[r].extend_from_slice(k);
-                                out[r].extend_from_slice(v);
-                            })?;
-                            buf.release(&mut e.mm, &mut e.heap);
-                        }
-                        Ok(out)
-                    })?;
-                    Ok(out)
-                },
-                // Reduce: sum per-destination subtotals in map-task order,
-                // then apply the damped update for the received vertices.
-                |_ctx, e, bufs| {
-                    let mut updates: Vec<(u32, f64)> = Vec::new();
-                    match mode {
-                        ExecutionMode::Deca => {
-                            let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
-                            e.shuffle_read_scope(|e| -> Result<(), EngineError> {
-                                for bytes in bufs {
-                                    for rec in bytes.chunks_exact(16) {
-                                        buf.insert(
-                                            &mut e.mm,
-                                            &mut e.heap,
-                                            &rec[..8],
-                                            &rec[8..],
-                                            add_f64_bytes,
-                                        )?;
-                                    }
-                                }
-                                Ok(())
-                            })?;
-                            buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
-                                let dst = i64::from_le_bytes(k[..8].try_into().unwrap()) as u32;
-                                let sum = f64::from_le_bytes(v[..8].try_into().unwrap());
-                                updates.push((dst, 0.15 + 0.85 * sum));
-                            })?;
-                            buf.release(&mut e.mm, &mut e.heap);
-                        }
-                        _ => {
-                            let mut buf: SparkHashShuffle<i64, f64> =
-                                SparkHashShuffle::new(&mut e.heap)?;
-                            e.shuffle_read_scope(|e| -> Result<(), EngineError> {
-                                for bytes in bufs {
-                                    let mut pos = 0;
-                                    while pos < bytes.len() {
-                                        let (k, v): (i64, f64) =
-                                            e.kryo.deserialize(bytes, &mut pos);
-                                        buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
-                                    }
-                                }
-                                Ok(())
-                            })?;
-                            buf.for_each(&e.heap, |k, v| {
-                                updates.push((k as u32, 0.15 + 0.85 * v));
-                            });
-                            buf.release(&mut e.heap);
-                        }
+        let updates = session.run_shuffle_job(
+            &format!("pr-iter{iter}"),
+            params.partitions,
+            reducers,
+            // Map: scan the executor-local adjacency block, emit and
+            // eagerly combine rank messages, then write per-reducer
+            // runs (serialized in Spark modes, raw bytes in Deca).
+            |ctx, e| {
+                let cached = blocks_now.lock().unwrap().get(&(ctx.executor, ctx.task)).copied();
+                let block = match cached {
+                    Some(b) => b,
+                    // Lineage recompute: this attempt migrated to an
+                    // executor that never built partition `task`.
+                    None => {
+                        let adj_classes = AdjListRec::register(&mut e.heap);
+                        let b = build_adjacency_block(e, &parts_now[ctx.task], mode, &adj_classes)?;
+                        blocks_now.lock().unwrap().insert((ctx.executor, ctx.task), b);
+                        b
                     }
-                    Ok(updates)
-                },
-            )
-            .expect("pagerank iteration");
+                };
+                let pair_classes = <(i64, f64) as HeapRecord>::register(&mut e.heap);
+                let mut spark_sums: Option<SparkHashShuffle<i64, f64>> = match mode {
+                    ExecutionMode::Deca => None,
+                    _ => Some(SparkHashShuffle::new(&mut e.heap)?),
+                };
+                let mut deca_sums: Option<DecaHashShuffle> = match mode {
+                    ExecutionMode::Deca => Some(DecaHashShuffle::new(&mut e.mm, 8, 8)),
+                    _ => None,
+                };
+                // Message emission + eager combining is the shuffle
+                // write.
+                e.shuffle_write_scope(|e| {
+                    messages_from_block(
+                        e,
+                        block,
+                        mode,
+                        ranks_now,
+                        degrees_now,
+                        &mut spark_sums,
+                        &mut deca_sums,
+                        &pair_classes,
+                    );
+                });
+                let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
+                    let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
+                    if let Some(mut buf) = spark_sums.take() {
+                        for (k, v) in buf.drain(&e.heap) {
+                            let r = (k as u64 % reducers as u64) as usize;
+                            e.kryo.serialize(&(k, v), &mut out[r]);
+                        }
+                        buf.release(&mut e.heap);
+                    }
+                    if let Some(mut buf) = deca_sums.take() {
+                        buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+                            let dst = i64::from_le_bytes(k[..8].try_into().unwrap());
+                            let r = (dst as u64 % reducers as u64) as usize;
+                            out[r].extend_from_slice(k);
+                            out[r].extend_from_slice(v);
+                        })?;
+                        buf.release(&mut e.mm, &mut e.heap);
+                    }
+                    Ok(out)
+                })?;
+                Ok(out)
+            },
+            // Reduce: sum per-destination subtotals in map-task order,
+            // then apply the damped update for the received vertices.
+            |_ctx, e, bufs| {
+                let mut updates: Vec<(u32, f64)> = Vec::new();
+                match mode {
+                    ExecutionMode::Deca => {
+                        let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
+                        e.shuffle_read_scope(|e| -> Result<(), EngineError> {
+                            for bytes in bufs {
+                                for rec in bytes.chunks_exact(16) {
+                                    buf.insert(
+                                        &mut e.mm,
+                                        &mut e.heap,
+                                        &rec[..8],
+                                        &rec[8..],
+                                        add_f64_bytes,
+                                    )?;
+                                }
+                            }
+                            Ok(())
+                        })?;
+                        buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+                            let dst = i64::from_le_bytes(k[..8].try_into().unwrap()) as u32;
+                            let sum = f64::from_le_bytes(v[..8].try_into().unwrap());
+                            updates.push((dst, 0.15 + 0.85 * sum));
+                        })?;
+                        buf.release(&mut e.mm, &mut e.heap);
+                    }
+                    _ => {
+                        let mut buf: SparkHashShuffle<i64, f64> =
+                            SparkHashShuffle::new(&mut e.heap)?;
+                        e.shuffle_read_scope(|e| -> Result<(), EngineError> {
+                            for bytes in bufs {
+                                let mut pos = 0;
+                                while pos < bytes.len() {
+                                    let (k, v): (i64, f64) = e.kryo.deserialize(bytes, &mut pos);
+                                    buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
+                                }
+                            }
+                            Ok(())
+                        })?;
+                        buf.for_each(&e.heap, |k, v| {
+                            updates.push((k as u32, 0.15 + 0.85 * v));
+                        });
+                        buf.release(&mut e.heap);
+                    }
+                }
+                Ok(updates)
+            },
+        )?;
 
         // Damped update: vertices with no in-messages keep the 0.15 base.
         let mut next = vec![0.15f64; params.vertices];
@@ -447,7 +501,7 @@ pub fn run_cluster(params: &PrParams, executors: usize) -> AppReport {
     }
 
     session.finish_job();
-    AppReport::from_cluster("PR", &session, ranks.iter().sum(), cache_bytes)
+    Ok((ranks.iter().sum(), cache_bytes))
 }
 
 #[cfg(test)]

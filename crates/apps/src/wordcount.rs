@@ -15,7 +15,10 @@
 
 use deca_core::{DecaHashShuffle, DecaRecord, DecaVarHashShuffle};
 use deca_engine::record::HeapRecord;
-use deca_engine::{ClusterSession, EngineError, ExecutionMode, ExecutorConfig, SparkHashShuffle};
+use deca_engine::{
+    ClusterSession, EngineError, ExecutionMode, ExecutorConfig, FaultPlan, RetryPolicy,
+    SparkHashShuffle,
+};
 
 use crate::datagen;
 use crate::report::AppReport;
@@ -54,31 +57,55 @@ pub fn run(params: &WcParams) -> AppReport {
     run_cluster(params, 1)
 }
 
-/// Run WordCount across `executors` parallel executors. Results are
-/// bit-identical for any executor count (tasks are pinned round-robin and
-/// the exchange preserves map-task order).
-pub fn run_cluster(params: &WcParams, executors: usize) -> AppReport {
-    let config = ExecutorConfig::builder()
+fn wc_config(params: &WcParams) -> ExecutorConfig {
+    ExecutorConfig::builder()
         .mode(params.mode)
         .heap_bytes(params.heap_bytes)
         .shuffle_fraction(0.6)
         .storage_fraction(0.2)
-        .build();
-    let mut session = ClusterSession::new(executors, config);
+        .build()
+}
+
+/// Run the WordCount job on an already-built session (any executor shape,
+/// any installed fault plan) and return its checksum. WordCount's tasks
+/// depend only on `(task index, partition data)` — never on cross-stage
+/// executor-local state — so retried tasks may migrate freely.
+pub fn run_on(params: &WcParams, session: &mut ClusterSession) -> Result<f64, EngineError> {
     let data = datagen::zipf_words(params.words, params.distinct, params.seed);
     let parts = datagen::partition(&data, params.partitions);
     let reducers = params.partitions;
-
-    let checksum = match params.mode {
+    match params.mode {
         ExecutionMode::Spark | ExecutionMode::SparkSer => {
-            run_spark(&mut session, &parts, reducers, params.sample_every)
+            run_spark(session, &parts, reducers, params.sample_every)
         }
-        ExecutionMode::Deca => run_deca(&mut session, &parts, reducers, params.sample_every),
+        ExecutionMode::Deca => run_deca(session, &parts, reducers, params.sample_every),
     }
-    .expect("wordcount job");
+}
 
+/// Run WordCount across `executors` parallel executors. Results are
+/// bit-identical for any executor count (tasks are pinned round-robin and
+/// the exchange preserves map-task order).
+pub fn run_cluster(params: &WcParams, executors: usize) -> AppReport {
+    let mut session = ClusterSession::new(executors, wc_config(params));
+    let checksum = run_on(params, &mut session).expect("wordcount job");
     session.finish_job();
     AppReport::from_cluster("WC", &session, checksum, 0)
+}
+
+/// Run WordCount under an injected fault plan and retry policy. For any
+/// survivable plan the checksum is bit-identical to the fault-free run;
+/// an unsurvivable plan surfaces as the task-attributed `EngineError`.
+pub fn run_cluster_faulty(
+    params: &WcParams,
+    executors: usize,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+) -> Result<AppReport, EngineError> {
+    let mut session = ClusterSession::new(executors, wc_config(params).retry(policy));
+    session.install_faults(plan);
+    let checksum = run_on(params, &mut session)?;
+    session.finish_job();
+    Ok(AppReport::from_cluster("WC", &session, checksum, 0))
 }
 
 fn run_spark(

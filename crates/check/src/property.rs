@@ -358,20 +358,36 @@ pub mod gens {
         }
 
         fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
-            let mut out = Vec::new();
-            // 1. Length reductions: halves first, then single removals.
-            if v.len() > self.min_len {
-                let half = v.len() / 2;
-                if half >= self.min_len {
-                    out.push(v[..half].to_vec());
-                    out.push(v[v.len() - half..].to_vec());
-                }
-                for i in 0..v.len().min(16) {
-                    let mut shorter = v.clone();
-                    shorter.remove(i);
-                    if shorter.len() >= self.min_len {
-                        out.push(shorter);
+            const MAX_REMOVALS: usize = 96;
+            let mut out: Vec<Vec<G::Value>> = Vec::new();
+            // 1. ddmin-style chunk removal: propose deleting each aligned
+            //    chunk of size n/2, then n/4, …, down to 1. Larger
+            //    deletions come first, so the greedy descent (adopt the
+            //    first failing candidate, re-shrink) binary-searches its
+            //    way to the failing core in O(log n) adopted steps instead
+            //    of one element per step.
+            let n = v.len();
+            if n > self.min_len {
+                let mut size = n.div_ceil(2);
+                'granularity: loop {
+                    let mut start = 0;
+                    while start < n {
+                        if out.len() >= MAX_REMOVALS {
+                            break 'granularity;
+                        }
+                        let end = (start + size).min(n);
+                        if n - (end - start) >= self.min_len {
+                            let mut shorter = Vec::with_capacity(n - (end - start));
+                            shorter.extend_from_slice(&v[..start]);
+                            shorter.extend_from_slice(&v[end..]);
+                            out.push(shorter);
+                        }
+                        start += size;
                     }
+                    if size == 1 {
+                        break;
+                    }
+                    size /= 2;
                 }
             }
             // 2. Element-wise shrinks (bounded fan-out).
@@ -553,6 +569,41 @@ mod tests {
         };
         assert_eq!(collect(1), collect(1));
         assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn vec_shrink_proposes_aligned_chunk_removals_at_every_granularity() {
+        let g = vec_of(i64_in(0..10), 0..64);
+        let v: Vec<i64> = (0..8).collect();
+        let cands = g.shrink(&v);
+        // Halves (most aggressive, proposed first).
+        assert_eq!(cands[0], vec![4, 5, 6, 7]);
+        assert_eq!(cands[1], vec![0, 1, 2, 3]);
+        // Quarters: each aligned 2-chunk removed.
+        assert!(cands.contains(&vec![2, 3, 4, 5, 6, 7]));
+        assert!(cands.contains(&vec![0, 1, 4, 5, 6, 7]));
+        assert!(cands.contains(&vec![0, 1, 2, 3, 6, 7]));
+        assert!(cands.contains(&vec![0, 1, 2, 3, 4, 5]));
+        // Size 1: every single-element removal is present (no prefix cap).
+        for i in 0..v.len() {
+            let mut shorter = v.clone();
+            shorter.remove(i);
+            assert!(cands.contains(&shorter), "missing single removal at {i}");
+        }
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len_and_bounds_fanout() {
+        let g = vec_of(i64_in(0..10), 3..64);
+        for cand in g.shrink(&vec![0, 1, 2, 3]) {
+            assert!(cand.len() >= 3, "candidate below min_len: {cand:?}");
+        }
+        // A long list stays within the removal budget plus element shrinks.
+        let big = vec_of(any_u8(), 0..1024);
+        let v = vec![1u8; 512];
+        let cands = big.shrink(&v);
+        assert_eq!(cands[0].len(), 256, "first candidate removes half");
+        assert!(cands.len() <= 96 + 48, "fan-out must stay bounded, got {}", cands.len());
     }
 
     #[test]

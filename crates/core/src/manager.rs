@@ -189,6 +189,10 @@ impl MemoryManager {
         self.entry(id).swapped
     }
 
+    pub fn is_swappable(&self, id: GroupId) -> bool {
+        self.entry(id).swappable
+    }
+
     /// Total resident footprint of all managed groups.
     pub fn resident_bytes(&self) -> usize {
         self.entries

@@ -466,6 +466,32 @@ impl CacheManager {
         Ok(())
     }
 
+    /// Evict every evictable resident block to disk — the graceful OOM
+    /// degradation path: under memory pressure the driver spills the whole
+    /// cache and retries the failed task. Returns the resident bytes
+    /// freed (Deca page groups swap through `mm` and keep their entry
+    /// accounting, so the figure under-reports their share).
+    pub fn evict_all(
+        &mut self,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+    ) -> Result<u64, CacheError> {
+        let before = self.resident_bytes();
+        let victims: Vec<u32> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+            .filter(|(_, e)| !e.pinned && !matches!(e.state, BlockState::Disk { .. }))
+            .map(|(i, _)| i as u32)
+            .collect();
+        for i in victims {
+            self.evict(BlockId(i), heap, kryo, mm)?;
+        }
+        Ok(before.saturating_sub(self.resident_bytes()) as u64)
+    }
+
     /// Evict the least-recently-used resident block to disk. Returns false
     /// if no candidate exists.
     fn evict_lru(
@@ -522,8 +548,14 @@ impl CacheManager {
             }
             BlockState::Deca { ref block } => {
                 // Deca swaps page groups verbatim through its own manager.
-                let freed = mm.swap_out(block.group(), heap)?;
-                self.spill_write_bytes += freed as u64;
+                // The group may already be out (swapped by an earlier
+                // pressure event, or pinned unswappable): only resident
+                // swappable groups go to disk.
+                let group = block.group();
+                if !mm.is_swapped(group) && mm.is_swappable(group) {
+                    let freed = mm.swap_out(group, heap)?;
+                    self.spill_write_bytes += freed as u64;
+                }
                 // state stays Deca; residency tracked by mm.
             }
             BlockState::Disk { .. } => {}
@@ -741,6 +773,23 @@ mod tests {
         assert_eq!(back, recs);
         cm.release(id, &mut heap, &mut mm);
         assert_eq!(heap.external_bytes(), 0);
+    }
+
+    #[test]
+    fn evict_all_spills_every_resident_block() {
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(16 << 20, 4 << 20);
+        let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
+        let recs: Vec<(i64, i64)> = (0..200).map(|i| (i, i)).collect();
+        let a = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        let _b = cm.put_serialized(&mut heap, &mut kryo, &mut mm, &recs).unwrap();
+        assert!(cm.resident_bytes() > 0);
+        let freed = cm.evict_all(&mut heap, &mut kryo, &mut mm).unwrap();
+        assert!(freed > 0);
+        assert_eq!(cm.resident_bytes(), 0, "everything evictable is out");
+        assert!(cm.disk_bytes() > 0);
+        // Blocks stay readable: access swaps them back in.
+        let (_root, len) = cm.objects_root(a, &mut heap, &mut kryo, &mut mm).unwrap();
+        assert_eq!(len, 200);
     }
 
     #[test]

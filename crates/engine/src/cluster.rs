@@ -9,14 +9,33 @@
 use crate::config::ExecutorConfig;
 use crate::executor::Executor;
 
+/// Driver-side health record of one executor, updated between task waves
+/// (never from executor threads, so health decisions are deterministic).
+#[derive(Clone, Debug, Default)]
+pub struct ExecutorHealth {
+    /// Task failures charged to this executor in the current stage
+    /// (Spark's per-stage blacklisting counter; reset at stage start).
+    pub stage_failures: u32,
+    /// Quarantined executors receive no further tasks (persists across
+    /// stages until [`Executor::recover`] + un-quarantine).
+    pub quarantined: bool,
+    /// Times this executor was restarted in place (the
+    /// spare-last-executor path).
+    pub restarts: u64,
+}
+
 /// A set of executors driven stage-by-stage by the workload code.
 pub struct LocalCluster {
     pub executors: Vec<Executor>,
+    /// Health state per executor, index-aligned with `executors`.
+    pub health: Vec<ExecutorHealth>,
 }
 
 impl LocalCluster {
     pub fn new(configs: Vec<ExecutorConfig>) -> LocalCluster {
-        LocalCluster { executors: configs.into_iter().map(Executor::new).collect() }
+        let executors: Vec<Executor> = configs.into_iter().map(Executor::new).collect();
+        let health = vec![ExecutorHealth::default(); executors.len()];
+        LocalCluster { executors, health }
     }
 
     /// A cluster of `n` identical executors.
@@ -37,6 +56,27 @@ impl LocalCluster {
 
     pub fn is_empty(&self) -> bool {
         self.executors.is_empty()
+    }
+
+    /// Executors currently accepting tasks.
+    pub fn healthy_count(&self) -> usize {
+        self.health.iter().filter(|h| !h.quarantined).count()
+    }
+
+    /// The first non-quarantined executor at or cyclically after `start`.
+    /// With nothing quarantined this is `start` itself, which preserves
+    /// the static round-robin pinning (task `t` → executor `t % E`).
+    pub fn healthy_from(&self, start: usize) -> Option<usize> {
+        let n = self.executors.len();
+        (0..n).map(|off| (start + off) % n).find(|&i| !self.health[i].quarantined)
+    }
+
+    /// The first non-quarantined executor cyclically *after* `failed` —
+    /// where a retry migrates to. Cycles all the way around, so on a
+    /// one-executor cluster the (restarted) same executor is returned.
+    pub fn healthy_after(&self, failed: usize) -> Option<usize> {
+        let n = self.executors.len();
+        (1..=n).map(|off| (failed + off) % n).find(|&i| !self.health[i].quarantined)
     }
 
     /// Run `f` on every executor in parallel (one stage's task wave).
@@ -116,6 +156,23 @@ mod tests {
         assert_eq!(ids, vec![0, 1, 2]);
         assert!(cluster.executors.iter().all(|e| e.tasks.len() == 1));
         let _ = cluster.job_summary();
+    }
+
+    #[test]
+    fn health_helpers_respect_quarantine() {
+        let cfg = ExecutorConfig::new(ExecutionMode::Spark, 4 << 20);
+        let mut cluster = LocalCluster::uniform(3, cfg);
+        assert_eq!(cluster.healthy_count(), 3);
+        assert_eq!(cluster.healthy_from(1), Some(1), "no quarantine keeps round-robin pinning");
+        assert_eq!(cluster.healthy_after(1), Some(2));
+        cluster.health[1].quarantined = true;
+        assert_eq!(cluster.healthy_count(), 2);
+        assert_eq!(cluster.healthy_from(1), Some(2), "skips the quarantined executor");
+        assert_eq!(cluster.healthy_after(2), Some(0), "wraps past quarantine");
+        cluster.health[0].quarantined = true;
+        cluster.health[2].quarantined = true;
+        assert_eq!(cluster.healthy_from(0), None);
+        assert_eq!(cluster.healthy_after(0), None);
     }
 
     #[test]

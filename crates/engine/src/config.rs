@@ -5,8 +5,84 @@
 //! memory fractions of Table 4, and the collector algorithm.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use deca_heap::GcAlgorithm;
+
+/// Driver-side fault-handling knobs: how many times a task may run, when a
+/// misbehaving executor is quarantined, and whether memory pressure is
+/// degraded through (spill + retry) instead of aborting the job.
+///
+/// The default policy preserves the pre-fault-tolerance behaviour for task
+/// errors — one attempt, first failure aborts — while keeping the graceful
+/// OOM path on (a heap OOM triggers a cache spill and one in-place retry,
+/// which is what the paper's substrate does rather than dying under
+/// memory pressure).
+#[derive(Copy, Clone, Debug)]
+pub struct RetryPolicy {
+    /// Maximum times one task may run (attempts, not retries): 1 means no
+    /// retries, Spark's default of 4 means up to 3 re-runs.
+    pub max_attempts: u32,
+    /// Simulated scheduling delay per re-run, accounted into stage
+    /// recovery time (never a wall-clock sleep).
+    pub backoff: Duration,
+    /// Quarantine an executor after this many task failures within one
+    /// stage (Spark's per-stage blacklisting threshold).
+    pub quarantine_after: u32,
+    /// Never quarantine the last healthy executor: restart it in place
+    /// instead (the cluster-manager-replaces-the-node story). Turning this
+    /// off makes crash-heavy plans unsurvivable on purpose.
+    pub spare_last_executor: bool,
+    /// Degrade memory pressure gracefully: on an OOM-classified task
+    /// failure, spill the executor's cache to disk and retry once in
+    /// place, instead of propagating the OOM.
+    pub spill_on_oom: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::from_millis(10),
+            quarantine_after: 2,
+            spare_last_executor: true,
+            spill_on_oom: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Spark-like resilient settings: 4 attempts per task, per-stage
+    /// quarantine after 2 failures, graceful OOM degradation.
+    pub fn resilient() -> RetryPolicy {
+        RetryPolicy { max_attempts: 4, ..RetryPolicy::default() }
+    }
+
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    pub fn backoff(mut self, d: Duration) -> Self {
+        self.backoff = d;
+        self
+    }
+
+    pub fn quarantine_after(mut self, n: u32) -> Self {
+        self.quarantine_after = n.max(1);
+        self
+    }
+
+    pub fn spare_last_executor(mut self, keep: bool) -> Self {
+        self.spare_last_executor = keep;
+        self
+    }
+
+    pub fn spill_on_oom(mut self, spill: bool) -> Self {
+        self.spill_on_oom = spill;
+        self
+    }
+}
 
 /// Which system is being emulated for a run.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -54,6 +130,8 @@ pub struct ExecutorConfig {
     pub page_size: usize,
     /// Directory for spill/swap files.
     pub spill_dir: PathBuf,
+    /// Driver fault-handling policy for sessions built from this config.
+    pub retry: RetryPolicy,
 }
 
 impl ExecutorConfig {
@@ -73,6 +151,7 @@ impl ExecutorConfig {
                 gc_algorithm: GcAlgorithm::ParallelScavenge,
                 page_size: 64 << 10,
                 spill_dir: ExecutorConfig::default_spill_dir(),
+                retry: RetryPolicy::default(),
             },
         }
     }
@@ -110,6 +189,11 @@ impl ExecutorConfig {
 
     pub fn spill_dir(mut self, d: PathBuf) -> Self {
         self.spill_dir = d;
+        self
+    }
+
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -175,6 +259,11 @@ impl ExecutorConfigBuilder {
         self
     }
 
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
     pub fn build(self) -> ExecutorConfig {
         self.config
     }
@@ -212,6 +301,24 @@ mod tests {
         assert_eq!(c.storage_budget(), 40 << 20);
         assert_eq!(c.page_size, 1 << 20);
         assert_eq!(c.mode.name(), "Deca");
+    }
+
+    #[test]
+    fn retry_policy_defaults_and_presets() {
+        let d = RetryPolicy::default();
+        assert_eq!(d.max_attempts, 1, "default keeps fail-fast task semantics");
+        assert!(d.spill_on_oom, "graceful OOM degradation is on by default");
+        assert!(d.spare_last_executor);
+        let r = RetryPolicy::resilient().quarantine_after(3).spare_last_executor(false);
+        assert_eq!(r.max_attempts, 4);
+        assert_eq!(r.quarantine_after, 3);
+        assert!(!r.spare_last_executor);
+        // Degenerate knobs clamp to sane minima.
+        assert_eq!(RetryPolicy::default().max_attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::default().quarantine_after(0).quarantine_after, 1);
+        // The builder threads the policy through to the config.
+        let c = ExecutorConfig::builder().retry(RetryPolicy::resilient()).build();
+        assert_eq!(c.retry.max_attempts, 4);
     }
 
     #[test]

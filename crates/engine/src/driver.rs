@@ -12,7 +12,7 @@
 //! ## Task model and determinism
 //!
 //! A stage runs `tasks` tasks (one per data partition — independent of
-//! the executor count). Task `t` always runs on executor `t % executors`:
+//! the executor count). Task `t` always starts on executor `t % executors`:
 //! the assignment is *static round-robin*, so a task in a later stage sees
 //! exactly the executor-local state (cached blocks, registered classes)
 //! that the same task index produced in an earlier stage. Shuffle
@@ -20,6 +20,33 @@
 //! order. Together these make a job's result a pure function of its
 //! partitioning — bit-for-bit independent of how many executors run it,
 //! which the cluster equivalence tests assert.
+//!
+//! ## Fault tolerance
+//!
+//! Spark's robustness story rests on the same determinism: a failed task
+//! is simply re-run, elsewhere if needed, and the job converges to the
+//! same result (§6.1 keeps shuffle/cache bytes reconstructible from
+//! lineage precisely for this). The driver implements that story under a
+//! [`RetryPolicy`]:
+//!
+//! * transient task failures ([`EngineError::is_transient`]) re-run on
+//!   the next healthy executor in round-robin order, up to
+//!   `max_attempts`, with per-retry backoff accounted into the stage's
+//!   simulated `recovery` time (never a wall-clock sleep);
+//! * an executor that crashes (or accumulates `quarantine_after` task
+//!   failures within a stage) is **quarantined** — Spark-style
+//!   blacklisting — and receives no further tasks; the last healthy
+//!   executor is instead restarted in place when
+//!   `spare_last_executor` is set;
+//! * OOM-classified failures degrade gracefully: the executor spills its
+//!   cache to disk, collects, and re-runs the task once in place
+//!   (`spill_on_oom`), so memory-pressure runs finish slower instead of
+//!   aborting.
+//!
+//! Failure scenarios are injected deterministically from a seeded
+//! [`FaultPlan`], and the fault-tolerance suite asserts the headline
+//! invariant: for any survivable plan, the job result is bit-identical to
+//! the fault-free run at every mode × executor width.
 //!
 //! ```
 //! use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig};
@@ -36,10 +63,11 @@
 
 use std::time::Duration;
 
-use crate::cluster::{exchange, LocalCluster};
-use crate::config::ExecutorConfig;
+use crate::cluster::{exchange, ExecutorHealth, LocalCluster};
+use crate::config::{ExecutorConfig, RetryPolicy};
 use crate::error::EngineError;
 use crate::executor::Executor;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::metrics::{JobMetrics, StageMetrics, Timeline};
 
 /// What a task knows about its place in a stage.
@@ -51,7 +79,8 @@ pub struct TaskContext<'a> {
     pub task: usize,
     /// Total tasks in the stage.
     pub tasks: usize,
-    /// The executor this task runs on (`task % executors`).
+    /// The executor this attempt runs on (`task % executors` on the first
+    /// attempt; retries may migrate to another executor).
     pub executor: usize,
     /// Executors in the cluster.
     pub executors: usize,
@@ -65,21 +94,37 @@ pub type MapOutputs = Vec<Vec<u8>>;
 pub struct ClusterSession {
     cluster: LocalCluster,
     stages: Vec<StageMetrics>,
+    policy: RetryPolicy,
+    faults: FaultPlan,
 }
 
 impl ClusterSession {
     /// A session over `executors` identical executors (per-executor spill
-    /// subdirectories, as [`LocalCluster::uniform`]).
+    /// subdirectories, as [`LocalCluster::uniform`]). The retry policy is
+    /// taken from the config; no faults are injected until
+    /// [`ClusterSession::install_faults`].
     pub fn new(executors: usize, config: ExecutorConfig) -> ClusterSession {
         assert!(executors > 0, "a cluster needs at least one executor");
-        ClusterSession { cluster: LocalCluster::uniform(executors, config), stages: Vec::new() }
+        let policy = config.retry;
+        ClusterSession {
+            cluster: LocalCluster::uniform(executors, config),
+            stages: Vec::new(),
+            policy,
+            faults: FaultPlan::quiet(),
+        }
     }
 
     /// A session over explicitly configured (possibly heterogeneous)
-    /// executors.
+    /// executors. The retry policy is taken from the first config.
     pub fn with_configs(configs: Vec<ExecutorConfig>) -> ClusterSession {
         assert!(!configs.is_empty(), "a cluster needs at least one executor");
-        ClusterSession { cluster: LocalCluster::new(configs), stages: Vec::new() }
+        let policy = configs[0].retry;
+        ClusterSession {
+            cluster: LocalCluster::new(configs),
+            stages: Vec::new(),
+            policy,
+            faults: FaultPlan::quiet(),
+        }
     }
 
     pub fn executors(&self) -> usize {
@@ -100,59 +145,269 @@ impl ClusterSession {
         &mut self.cluster.executors[i]
     }
 
+    // ------------------------------------------------------------------
+    // fault-handling knobs
+    // ------------------------------------------------------------------
+
+    /// Replace the driver's retry policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Install a fault plan; subsequent stages consult it at every
+    /// injection site. Installing [`FaultPlan::quiet`] turns faults off.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Driver-side health record of executor `i`.
+    pub fn health(&self, i: usize) -> &ExecutorHealth {
+        &self.cluster.health[i]
+    }
+
+    /// Executors currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.cluster.len() - self.cluster.healthy_count()
+    }
+
+    /// Bring executor `i` back into service: clear its crash poison,
+    /// quarantine flag, and per-stage failure count (the operator
+    /// replacing a node between jobs).
+    pub fn recover_executor(&mut self, i: usize) {
+        self.cluster.executors[i].recover();
+        self.cluster.health[i].quarantined = false;
+        self.cluster.health[i].stage_failures = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // stages
+    // ------------------------------------------------------------------
+
     /// Run one stage: `tasks` tasks distributed round-robin over the
-    /// executors, each wrapped in [`Executor::run_task`] for metric
-    /// attribution. Returns the task results in task order.
+    /// healthy executors, each wrapped in [`Executor::run_task`] for
+    /// metric attribution. Returns the task results in task order.
     ///
     /// The task closure must be deterministic in `(ctx.task, executor
-    /// state)` for cluster results to be independent of executor count.
+    /// state)` for cluster results to be independent of executor count —
+    /// and for retries to be sound: a re-run attempt must produce the
+    /// same bytes the failed attempt would have.
     pub fn run_stage<R: Send>(
         &mut self,
         name: &str,
         tasks: usize,
         f: impl Fn(&TaskContext, &mut Executor) -> Result<R, EngineError> + Sync,
     ) -> Result<Vec<R>, EngineError> {
+        self.run_stage_inner(name, tasks, f, false)
+    }
+
+    /// The retry engine behind [`ClusterSession::run_stage`].
+    /// `shuffle_stage` marks stages whose outputs cross the exchange:
+    /// only those draw [`FaultSite::ShuffleFrame`] corruption (detected
+    /// as a failed attempt, so the map task re-executes — Spark's
+    /// fetch-failure → resubmit story — and corrupt bytes are never
+    /// consumed).
+    fn run_stage_inner<R: Send>(
+        &mut self,
+        name: &str,
+        tasks: usize,
+        f: impl Fn(&TaskContext, &mut Executor) -> Result<R, EngineError> + Sync,
+        shuffle_stage: bool,
+    ) -> Result<Vec<R>, EngineError> {
         assert!(tasks > 0, "a stage needs at least one task");
         let executors = self.cluster.len();
-        // Remember each executor's task-log length so the roll-up below
-        // attributes exactly this wave's tasks.
-        let marks: Vec<usize> = self.cluster.executors.iter().map(|e| e.tasks.len()).collect();
+        let policy = self.policy;
+        let plan = self.faults.clone();
+        // Per-stage blacklisting: failure counts reset, quarantine holds.
+        for h in &mut self.cluster.health {
+            h.stage_failures = 0;
+        }
 
-        // The wave: executor i runs tasks i, i+E, i+2E, … sequentially on
-        // its own thread.
-        let mut per_exec: Vec<Vec<Result<R, EngineError>>> = self.cluster.par_run(|i, e| {
-            let mut out = Vec::new();
-            let mut t = i;
-            while t < tasks {
-                let ctx = TaskContext { stage: name, task: t, tasks, executor: i, executors };
-                let r = e
-                    .run_task(format!("{name}-{t}"), |e| f(&ctx, e))
-                    .map_err(|err| err.in_task(name, t));
-                out.push(r);
-                t += executors;
-            }
-            out
-        });
-
-        // Roll this wave's tasks into a StageMetrics entry. `exec` is the
-        // critical path: the busiest executor's summed task totals.
         let mut stage = StageMetrics::new(name);
-        for (i, e) in self.cluster.executors.iter().enumerate() {
-            let mut busy = Duration::ZERO;
-            for t in &e.tasks[marks[i]..] {
-                stage.add_task(t);
-                busy += t.total();
-            }
-            stage.exec = stage.exec.max(busy);
-        }
-        self.stages.push(stage);
+        stage.tasks = tasks;
+        let mut results: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
 
-        // Re-interleave executor-local result lists into task order.
-        let mut results = Vec::with_capacity(tasks);
+        // Initial assignment: task t starts on the first healthy executor
+        // at or after t % E — exactly t % E when nothing is quarantined,
+        // preserving static round-robin pinning.
+        let mut pending: Vec<(usize, u32, usize)> = Vec::with_capacity(tasks);
         for t in 0..tasks {
-            results.push(per_exec[t % executors].remove(0));
+            match self.cluster.healthy_from(t % executors) {
+                Some(x) => pending.push((t, 0, x)),
+                None => {
+                    self.stages.push(stage);
+                    return Err(
+                        EngineError::ExecutorLost { executor: t % executors }.in_task(name, t)
+                    );
+                }
+            }
         }
-        results.into_iter().collect()
+
+        let outcome: Result<(), EngineError> = 'stage: loop {
+            if pending.is_empty() {
+                break Ok(());
+            }
+            // Queue this wave's attempts per executor.
+            let mut queues: Vec<Vec<(usize, u32)>> = vec![Vec::new(); executors];
+            for (t, a, x) in pending.drain(..) {
+                queues[x].push((t, a));
+            }
+            let marks: Vec<usize> = self.cluster.executors.iter().map(|e| e.tasks.len()).collect();
+
+            // The wave: executor i runs its queued attempts sequentially
+            // on its own thread. Fault decisions are pure functions of
+            // (site, stage, task, attempt) and poison flags are only
+            // touched by their own executor's thread, so the failure
+            // scenario is identical across widths and interleavings.
+            let wave: Vec<Vec<(usize, u32, Result<R, EngineError>, bool)>> =
+                self.cluster.par_run(|i, e| {
+                    queues[i]
+                        .iter()
+                        .map(|&(t, a)| {
+                            let ctx =
+                                TaskContext { stage: name, task: t, tasks, executor: i, executors };
+                            let mut oom_recovered = false;
+                            let mut r = e.run_task(format!("{name}-{t}"), |e| {
+                                if e.is_poisoned() {
+                                    return Err(EngineError::ExecutorLost { executor: i });
+                                }
+                                if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
+                                    e.poison();
+                                    return Err(EngineError::ExecutorLost { executor: i });
+                                }
+                                if plan.fires(FaultSite::TaskBody, name, t, a) {
+                                    return Err(EngineError::Injected {
+                                        site: FaultSite::TaskBody,
+                                    });
+                                }
+                                if plan.fires(FaultSite::Alloc, name, t, a) {
+                                    return Err(EngineError::Injected { site: FaultSite::Alloc });
+                                }
+                                let out = f(&ctx, e)?;
+                                if shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a)
+                                {
+                                    return Err(EngineError::Injected {
+                                        site: FaultSite::ShuffleFrame,
+                                    });
+                                }
+                                Ok(out)
+                            });
+                            // Graceful OOM degradation: spill the cache,
+                            // collect, and re-run once in place. An
+                            // injected Alloc fault models the same
+                            // pressure, so the spill relieves it and it is
+                            // not re-drawn on the in-place re-run.
+                            if policy.spill_on_oom
+                                && r.as_ref().is_err_and(|err| err.is_memory_pressure())
+                                && !e.is_poisoned()
+                            {
+                                e.spill_for_memory();
+                                r = e.run_task(format!("{name}-{t}-oom-retry"), |e| {
+                                    let out = f(&ctx, e)?;
+                                    if shuffle_stage
+                                        && plan.fires(FaultSite::ShuffleFrame, name, t, a)
+                                    {
+                                        return Err(EngineError::Injected {
+                                            site: FaultSite::ShuffleFrame,
+                                        });
+                                    }
+                                    Ok(out)
+                                });
+                                oom_recovered = r.is_ok();
+                            }
+                            (t, a, r, oom_recovered)
+                        })
+                        .collect()
+                });
+
+            // Roll the wave's attempt metrics into the stage. `exec`
+            // accumulates the per-wave critical path (busiest executor).
+            let mut wave_max = Duration::ZERO;
+            for (i, e) in self.cluster.executors.iter().enumerate() {
+                let mut busy = Duration::ZERO;
+                for t in &e.tasks[marks[i]..] {
+                    stage.add_task(t);
+                    busy += t.total();
+                }
+                wave_max = wave_max.max(busy);
+            }
+            stage.exec += wave_max;
+
+            // Process outcomes single-threaded, in task order, so health
+            // and retry decisions never depend on thread interleaving.
+            let mut flat: Vec<(usize, u32, usize, Result<R, EngineError>, bool)> = Vec::new();
+            for (i, list) in wave.into_iter().enumerate() {
+                for (t, a, r, oomr) in list {
+                    flat.push((t, a, i, r, oomr));
+                }
+            }
+            flat.sort_by_key(|&(t, ..)| t);
+
+            let mut failures: Vec<(usize, u32, usize, EngineError)> = Vec::new();
+            for (t, a, x, r, oomr) in flat {
+                stage.attempts += 1;
+                if oomr {
+                    stage.oom_recoveries += 1;
+                }
+                match r {
+                    Ok(v) => results[t] = Some(v),
+                    Err(err) => failures.push((t, a, x, err)),
+                }
+            }
+
+            // Charge failures to executor health, then deal with dead or
+            // repeat offenders: quarantine, or — for the last healthy
+            // executor under `spare_last_executor` — restart in place.
+            for &(_, _, x, _) in &failures {
+                self.cluster.health[x].stage_failures += 1;
+            }
+            for x in 0..executors {
+                let dead = self.cluster.executors[x].is_poisoned();
+                let over = self.cluster.health[x].stage_failures >= policy.quarantine_after;
+                if (!dead && !over) || self.cluster.health[x].quarantined {
+                    continue;
+                }
+                if self.cluster.healthy_count() == 1 && policy.spare_last_executor {
+                    self.cluster.executors[x].recover();
+                    self.cluster.health[x].stage_failures = 0;
+                    self.cluster.health[x].restarts += 1;
+                    stage.restarts += 1;
+                    stage.recovery += policy.backoff;
+                } else {
+                    self.cluster.health[x].quarantined = true;
+                    stage.quarantines += 1;
+                }
+            }
+
+            // Reschedule failed tasks on the next healthy executor, or
+            // fail the stage: fatal error, attempts exhausted, or no
+            // healthy executor left. The error keeps its innermost task
+            // attribution and transient/fatal classification.
+            for (t, a, x, err) in failures {
+                if !err.is_transient() || a + 1 >= policy.max_attempts {
+                    break 'stage Err(err.in_task(name, t));
+                }
+                let Some(y) = self.cluster.healthy_after(x) else {
+                    break 'stage Err(err.in_task(name, t));
+                };
+                stage.retries += 1;
+                stage.recovery += policy.backoff;
+                pending.push((t, a + 1, y));
+            }
+        };
+
+        // The stage is recorded even when it fails: partial work and
+        // recovery attempts stay visible in the metrics.
+        self.stages.push(stage);
+        outcome?;
+        Ok(results.into_iter().map(|r| r.expect("completed stage fills every slot")).collect())
     }
 
     /// Run a two-stage shuffle job: a map wave producing per-reducer byte
@@ -172,19 +427,24 @@ impl ClusterSession {
         reduce: impl Fn(&TaskContext, &mut Executor, &[Vec<u8>]) -> Result<R, EngineError> + Sync,
     ) -> Result<Vec<R>, EngineError> {
         let map_stage = format!("{name}-map");
-        let outputs = self.run_stage(&map_stage, map_tasks, |ctx, e| {
-            let out = map(ctx, e)?;
-            if out.len() != reduce_tasks {
-                return Err(EngineError::Shuffle(format!(
-                    "map task {} produced {} reducer outputs, expected {}",
-                    ctx.task,
-                    out.len(),
-                    reduce_tasks
-                ))
-                .in_task(ctx.stage, ctx.task));
-            }
-            Ok(out)
-        })?;
+        let outputs = self.run_stage_inner(
+            &map_stage,
+            map_tasks,
+            |ctx: &TaskContext, e: &mut Executor| {
+                let out = map(ctx, e)?;
+                if out.len() != reduce_tasks {
+                    return Err(EngineError::Shuffle(format!(
+                        "map task {} produced {} reducer outputs, expected {}",
+                        ctx.task,
+                        out.len(),
+                        reduce_tasks
+                    ))
+                    .in_task(ctx.stage, ctx.task));
+                }
+                Ok(out)
+            },
+            true,
+        )?;
         let bytes: u64 = outputs.iter().flatten().map(|b| b.len() as u64).sum();
         if let Some(s) = self.stages.last_mut() {
             s.shuffle_bytes = bytes;
@@ -212,7 +472,8 @@ impl ClusterSession {
         self.stages.iter().rev().find(|s| s.name == name)
     }
 
-    /// Tasks run so far, across all stages.
+    /// Tasks run so far, across all stages (logical tasks; see
+    /// [`JobMetrics::attempts`] for runs including retries).
     pub fn total_tasks(&self) -> usize {
         self.stages.iter().map(|s| s.tasks).sum()
     }
@@ -231,9 +492,14 @@ impl ClusterSession {
     }
 
     /// Aggregate job metrics across executors (sums; exec is the max —
-    /// executors run in parallel).
+    /// executors run in parallel), plus the fault-handling counters
+    /// folded up from every stage run so far.
     pub fn job_summary(&self) -> JobMetrics {
-        self.cluster.job_summary()
+        let mut out = self.cluster.job_summary();
+        for s in &self.stages {
+            out.add_stage_recovery(s);
+        }
+        out
     }
 
     /// All executors' lifetime-timeline samples merged in time order
@@ -279,6 +545,7 @@ mod tests {
             let out = s.run_stage("ids", 7, |ctx, _e| Ok(ctx.task * 10)).unwrap();
             assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60], "{executors} executors");
             assert_eq!(s.stages()[0].tasks, 7);
+            assert_eq!(s.stages()[0].attempts, 7, "fault-free: one attempt per task");
             assert_eq!(s.total_tasks(), 7);
         }
     }
@@ -387,5 +654,152 @@ mod tests {
             s.cluster().executors.iter().map(|e| e.heap_stats().minor_collections).sum();
         assert_eq!(summary.minor_gcs, minors);
         assert!(!s.stages().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // fault handling
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn transient_failure_retries_on_next_executor() {
+        let mut s = session(2);
+        s.set_retry_policy(RetryPolicy::resilient());
+        s.install_faults(FaultPlan::quiet().force(FaultSite::TaskBody, "flaky", Some(1), Some(0)));
+        let out = s.run_stage("flaky", 4, |ctx, _e| Ok(ctx.executor)).unwrap();
+        // Task 1's first attempt (executor 1) fails; the retry migrates
+        // to the next healthy executor, 0.
+        assert_eq!(out, vec![0, 0, 0, 1]);
+        let st = s.stage("flaky").unwrap();
+        assert_eq!((st.tasks, st.attempts, st.retries), (4, 5, 1));
+        assert_eq!(st.quarantines, 0, "one failure is under the threshold");
+        assert!(st.recovery > Duration::ZERO, "backoff is accounted, not slept");
+        assert_eq!(s.job_summary().retries, 1);
+    }
+
+    #[test]
+    fn crash_poisons_executor_then_quarantines_it() {
+        let mut s = session(2);
+        s.set_retry_policy(RetryPolicy::resilient());
+        s.install_faults(FaultPlan::quiet().force(
+            FaultSite::ExecutorCrash,
+            "crashy",
+            Some(1),
+            Some(0),
+        ));
+        let out = s.run_stage("crashy", 6, |ctx, _e| Ok(ctx.executor)).unwrap();
+        // Executor 1's whole queue (tasks 1, 3, 5) fails — the crash on
+        // task 1 poisons it — and every retry lands on executor 0.
+        assert_eq!(out, vec![0, 0, 0, 0, 0, 0]);
+        let st = s.stage("crashy").unwrap();
+        assert_eq!((st.attempts, st.retries, st.quarantines), (9, 3, 1));
+        assert!(s.health(1).quarantined);
+        assert_eq!(s.quarantined_count(), 1);
+        assert_eq!(s.job_summary().quarantines, 1);
+        // A later stage avoids the quarantined executor entirely.
+        let homes = s.run_stage("after", 4, |ctx, _e| Ok(ctx.executor)).unwrap();
+        assert_eq!(homes, vec![0, 0, 0, 0]);
+        // Recovery returns it to rotation.
+        s.recover_executor(1);
+        let homes = s.run_stage("healed", 4, |ctx, _e| Ok(ctx.executor)).unwrap();
+        assert_eq!(homes, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn last_executor_is_restarted_in_place_not_quarantined() {
+        let mut s = session(1);
+        s.set_retry_policy(RetryPolicy::resilient());
+        s.install_faults(FaultPlan::quiet().force(
+            FaultSite::ExecutorCrash,
+            "solo",
+            Some(0),
+            Some(0),
+        ));
+        let out = s.run_stage("solo", 3, |ctx, _e| Ok(ctx.task)).unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+        let st = s.stage("solo").unwrap();
+        assert_eq!(st.quarantines, 0, "the last healthy executor is never quarantined");
+        assert_eq!(st.restarts, 1);
+        assert_eq!(s.health(0).restarts, 1);
+        assert!(!s.health(0).quarantined);
+        assert_eq!(s.job_summary().restarts, 1);
+    }
+
+    #[test]
+    fn forced_alloc_failure_recovers_by_spilling_in_place() {
+        // Even under the default fail-fast policy (max_attempts = 1), OOM
+        // degrades gracefully: spill, collect, re-run in place.
+        let mut s = session(2);
+        s.install_faults(FaultPlan::quiet().force(FaultSite::Alloc, "mem", Some(2), Some(0)));
+        let out = s.run_stage("mem", 4, |ctx, _e| Ok(ctx.task)).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        let st = s.stage("mem").unwrap();
+        assert_eq!(st.oom_recoveries, 1);
+        assert_eq!(st.retries, 0, "absorbed in place, no driver-level retry");
+        assert_eq!(s.job_summary().oom_recoveries, 1);
+    }
+
+    #[test]
+    fn shuffle_frame_corruption_forces_map_rerun() {
+        let mut s = session(2);
+        s.set_retry_policy(RetryPolicy::resilient());
+        s.install_faults(FaultPlan::quiet().force(
+            FaultSite::ShuffleFrame,
+            "x-map",
+            Some(0),
+            Some(0),
+        ));
+        let got = s
+            .run_shuffle_job(
+                "x",
+                3,
+                2,
+                |ctx, _e| Ok(vec![vec![ctx.task as u8]; 2]),
+                |_ctx, _e, inputs| Ok(inputs.iter().map(|b| b[0]).collect::<Vec<u8>>()),
+            )
+            .unwrap();
+        // Corrupt frames are never consumed: the map task re-executes and
+        // the exchange sees only clean bytes.
+        assert_eq!(got, vec![vec![0, 1, 2], vec![0, 1, 2]]);
+        assert_eq!(s.stage("x-map").unwrap().retries, 1);
+        assert_eq!(s.stage("x-reduce").unwrap().retries, 0);
+        // The same site never fires on a non-shuffle stage.
+        let mut s2 = session(2);
+        s2.set_retry_policy(RetryPolicy::resilient());
+        s2.install_faults(FaultPlan::quiet().force(FaultSite::ShuffleFrame, "plain", None, None));
+        s2.run_stage("plain", 4, |_ctx, _e| Ok(())).unwrap();
+        assert_eq!(s2.stage("plain").unwrap().retries, 0);
+    }
+
+    #[test]
+    fn attempts_exhausted_fails_with_task_attributed_transient_error() {
+        let mut s = session(2);
+        s.set_retry_policy(RetryPolicy::resilient().max_attempts(2));
+        // Fails on every attempt: survivability is impossible.
+        s.install_faults(FaultPlan::quiet().force(FaultSite::TaskBody, "doom", Some(1), None));
+        let err = s.run_stage("doom", 2, |_ctx, _e| Ok(())).unwrap_err();
+        assert!(matches!(err, EngineError::Task { .. }), "task-attributed: {err}");
+        assert!(err.is_transient(), "classification survives the wrapper");
+        assert!(err.to_string().contains("doom"), "{err}");
+        // The failed stage is still recorded, with its attempts.
+        let st = s.stage("doom").unwrap();
+        assert_eq!(st.tasks, 2);
+        assert!(st.attempts >= 3, "original wave plus at least one retry");
+    }
+
+    #[test]
+    fn losing_every_executor_fails_cleanly() {
+        let mut s = session(2);
+        s.set_retry_policy(RetryPolicy::resilient().quarantine_after(1).spare_last_executor(false));
+        s.install_faults(FaultPlan::quiet().force(FaultSite::ExecutorCrash, "melt", None, None));
+        let err = s.run_stage("melt", 4, |_ctx, _e| Ok(())).unwrap_err();
+        assert!(matches!(err, EngineError::Task { .. }), "{err}");
+        assert!(err.is_transient());
+        assert_eq!(s.quarantined_count(), 2, "both executors ended up quarantined");
+        assert_eq!(s.cluster().healthy_count(), 0);
+        // A subsequent stage on a fully quarantined cluster fails
+        // immediately (and is still recorded).
+        let err = s.run_stage("after", 1, |_ctx, _e| Ok(())).unwrap_err();
+        assert!(matches!(err, EngineError::Task { .. }), "{err}");
+        assert!(s.stage("after").is_some());
     }
 }

@@ -4,11 +4,20 @@
 //! stages, shuffle exchange, spill I/O — returns [`EngineError`], so apps
 //! and harnesses handle one type instead of the per-layer errors
 //! (`CacheError`, `OomError`, `MemError`) the lower crates raise.
+//!
+//! Errors carry a **transient/fatal classification**
+//! ([`EngineError::is_transient`]): transient failures are the ones the
+//! driver's retry machinery may absorb (memory pressure, a lost executor,
+//! a corrupt shuffle frame, an injected fault — all of which a
+//! deterministic, restartable task model recovers from by re-running),
+//! while fatal ones (broken spill I/O, page-manager invariant violations)
+//! abort the job immediately.
 
 use deca_core::MemError;
 use deca_heap::OomError;
 
 use crate::cache::CacheError;
+use crate::faults::FaultSite;
 
 /// Any error an engine session can raise.
 #[derive(Debug)]
@@ -24,6 +33,12 @@ pub enum EngineError {
     /// Malformed shuffle data or a mis-sized exchange (e.g. a map task
     /// produced outputs for the wrong number of reducers).
     Shuffle(String),
+    /// The executor hosting the task crashed (or was already poisoned by a
+    /// crash earlier in the wave). The task itself did no wrong: it can be
+    /// re-run on any healthy executor.
+    ExecutorLost { executor: usize },
+    /// A deterministic fault-plan injection fired at the given site.
+    Injected { site: FaultSite },
     /// A task failed; carries the stage and task index for diagnosis.
     Task { stage: String, task: usize, source: Box<EngineError> },
 }
@@ -35,6 +50,37 @@ impl EngineError {
             // Don't re-wrap: keep the innermost task attribution.
             e @ EngineError::Task { .. } => e,
             e => EngineError::Task { stage: stage.to_string(), task, source: Box::new(e) },
+        }
+    }
+
+    /// Is this failure retryable? Transient errors are the ones re-running
+    /// the (deterministic) task can fix: memory pressure, executor loss,
+    /// shuffle corruption, injected faults. Fatal errors — spill I/O,
+    /// page-manager invariant violations, non-OOM cache failures — abort
+    /// the job. `Task` wrappers classify by their innermost cause.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            EngineError::Oom(_) => true,
+            EngineError::ExecutorLost { .. } => true,
+            EngineError::Injected { .. } => true,
+            EngineError::Shuffle(_) => true,
+            EngineError::Cache(CacheError::Oom(_)) => true,
+            EngineError::Cache(_) => false,
+            EngineError::Mem(_) | EngineError::Io(_) => false,
+            EngineError::Task { source, .. } => source.is_transient(),
+        }
+    }
+
+    /// Is this failure specifically memory pressure (a heap or cache OOM,
+    /// or an injected allocation fault)? These get the graceful-degradation
+    /// treatment: spill the executor's cache to disk and retry in place
+    /// rather than migrating the task.
+    pub fn is_memory_pressure(&self) -> bool {
+        match self {
+            EngineError::Oom(_) | EngineError::Cache(CacheError::Oom(_)) => true,
+            EngineError::Injected { site } => *site == FaultSite::Alloc,
+            EngineError::Task { source, .. } => source.is_memory_pressure(),
+            _ => false,
         }
     }
 }
@@ -73,6 +119,10 @@ impl std::fmt::Display for EngineError {
             EngineError::Mem(e) => write!(f, "engine: {e}"),
             EngineError::Io(e) => write!(f, "engine I/O: {e}"),
             EngineError::Shuffle(msg) => write!(f, "engine shuffle: {msg}"),
+            EngineError::ExecutorLost { executor } => {
+                write!(f, "executor {executor} lost (crashed or poisoned)")
+            }
+            EngineError::Injected { site } => write!(f, "injected {site} fault"),
             EngineError::Task { stage, task, source } => {
                 write!(f, "stage {stage:?} task {task}: {source}")
             }
@@ -88,6 +138,8 @@ impl std::error::Error for EngineError {
             EngineError::Mem(e) => Some(e),
             EngineError::Io(e) => Some(e),
             EngineError::Shuffle(_) => None,
+            EngineError::ExecutorLost { .. } => None,
+            EngineError::Injected { .. } => None,
             EngineError::Task { source, .. } => Some(source.as_ref()),
         }
     }
@@ -119,5 +171,50 @@ mod tests {
         assert!(matches!(EngineError::from(ce), EngineError::Cache(_)));
         let me = EngineError::Shuffle("bad frame".into());
         assert_eq!(me.to_string(), "engine shuffle: bad frame");
+    }
+
+    #[test]
+    fn display_covers_fault_variants() {
+        let lost = EngineError::ExecutorLost { executor: 2 };
+        assert_eq!(lost.to_string(), "executor 2 lost (crashed or poisoned)");
+        assert!(lost.source().is_none());
+        let injected = EngineError::Injected { site: FaultSite::ShuffleFrame };
+        assert_eq!(injected.to_string(), "injected shuffle-frame fault");
+        assert!(injected.source().is_none());
+        // Task attribution renders around the fault cause.
+        let wrapped = EngineError::Injected { site: FaultSite::TaskBody }.in_task("pr-map", 1);
+        let msg = wrapped.to_string();
+        assert!(msg.contains("pr-map") && msg.contains("injected task-body fault"), "{msg}");
+    }
+
+    #[test]
+    fn transient_classification() {
+        // Transient: retrying the deterministic task can succeed.
+        assert!(EngineError::Oom(OomError { requested: 1 }).is_transient());
+        assert!(EngineError::ExecutorLost { executor: 0 }.is_transient());
+        assert!(EngineError::Injected { site: FaultSite::TaskBody }.is_transient());
+        assert!(EngineError::Shuffle("corrupt frame".into()).is_transient());
+        assert!(EngineError::Cache(CacheError::Oom(OomError { requested: 8 })).is_transient());
+        // Fatal: the environment is broken, not the attempt.
+        assert!(
+            !EngineError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")).is_transient()
+        );
+        let cache_io = CacheError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(!EngineError::Cache(cache_io).is_transient());
+        // Task wrappers delegate to the innermost cause.
+        let wrapped = EngineError::Oom(OomError { requested: 1 }).in_task("s", 0);
+        assert!(wrapped.is_transient() && wrapped.is_memory_pressure());
+        let fatal =
+            EngineError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")).in_task("s", 0);
+        assert!(!fatal.is_transient());
+    }
+
+    #[test]
+    fn memory_pressure_classification() {
+        assert!(EngineError::Oom(OomError { requested: 1 }).is_memory_pressure());
+        assert!(EngineError::Injected { site: FaultSite::Alloc }.is_memory_pressure());
+        assert!(!EngineError::Injected { site: FaultSite::TaskBody }.is_memory_pressure());
+        assert!(!EngineError::ExecutorLost { executor: 0 }.is_memory_pressure());
+        assert!(!EngineError::Shuffle("x".into()).is_memory_pressure());
     }
 }

@@ -41,6 +41,9 @@ pub struct Executor {
     pub(crate) pending_shuffle_write: Duration,
     /// Spill bytes observed at the start of the running task.
     spill_mark: u64,
+    /// A "crashed" executor process: every task fails until the driver
+    /// restarts it (fault-injection model; see `crate::faults`).
+    poisoned: bool,
 }
 
 impl Executor {
@@ -56,11 +59,16 @@ impl Executor {
             .with_full_gc(full_gc);
         let heap = Heap::new(heap_cfg);
         let mm = MemoryManager::new(config.page_size, config.spill_dir.clone());
+        // The cache spills under this executor's own directory: block ids
+        // are per-executor, so a shared directory would alias
+        // `cache-block-{id}.bin` across executors.
+        let mut cache = CacheManager::new(config.storage_budget());
+        cache.set_dir(config.spill_dir.join("cache"));
         Executor {
             heap,
             mm,
             kryo: KryoSim::new(),
-            cache: CacheManager::new(config.storage_budget()),
+            cache,
             gc_acc: GcAccounting::new(config.gc_algorithm),
             config,
             tasks: Vec::new(),
@@ -69,7 +77,38 @@ impl Executor {
             pending_shuffle_read: Duration::ZERO,
             pending_shuffle_write: Duration::ZERO,
             spill_mark: 0,
+            poisoned: false,
         }
+    }
+
+    /// Mark this executor as crashed: subsequent tasks fail with
+    /// `ExecutorLost` until [`Executor::recover`]. The flag is only set
+    /// from the executor's own thread and read between waves, so crash
+    /// semantics are deterministic.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Restart a crashed executor in place. Heap/cache state survives —
+    /// the model is a hung JVM brought back, not a wiped node; tasks must
+    /// not rely on *uncached* state from before the crash.
+    pub fn recover(&mut self) {
+        self.poisoned = false;
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Relieve memory pressure: evict every evictable cached block to
+    /// disk and run a full collection (the graceful-OOM degradation step
+    /// the driver takes before retrying an OOM-failed task in place).
+    /// Returns the resident cache bytes freed; eviction I/O shows up in
+    /// the cache spill counters and the task's `io` bucket.
+    pub fn spill_for_memory(&mut self) -> u64 {
+        let freed = self.cache.evict_all(&mut self.heap, &mut self.kryo, &mut self.mm).unwrap_or(0);
+        self.heap.full_gc();
+        freed
     }
 
     /// Run one task, attributing its wall time. Returns the task's result.
@@ -264,40 +303,46 @@ mod tests {
 
     #[test]
     fn concurrent_collector_reports_smaller_pause() {
-        // Same workload under PS and CMS: identical tracing work, but CMS
-        // attributes most full-collection time to concurrent threads.
-        let run = |algo| {
-            let cfg = ExecutorConfig::new(ExecutionMode::Spark, 4 << 20).gc_algorithm(algo);
-            let mut e = Executor::new(cfg);
-            let c = e.heap.define_class(ClassBuilder::new("K").field("v", FieldKind::I64));
-            let arr = e.heap.define_array_class("Object[]", FieldKind::Ref);
-            e.run_task("pin+churn", |e| {
-                // Pin ~60% of old gen, then churn to force full GCs.
-                let n = 40_000;
-                let holder = e.heap.alloc_array(arr, n).unwrap();
-                let root = e.heap.add_root(holder);
-                for i in 0..n {
-                    let o = e.heap.alloc(c).unwrap();
-                    let holder = e.heap.root_ref(root);
-                    e.heap.array_set_ref(holder, i, o);
-                }
-                for _ in 0..200_000 {
-                    e.heap.alloc(c).unwrap();
-                }
-                e.heap.full_gc();
-                e.heap.full_gc();
-            });
-            (e.job.gc, e.heap.stats().full_time)
-        };
-        let (ps_gc, ps_full) = run(deca_heap::GcAlgorithm::ParallelScavenge);
-        let (cms_gc, cms_full) = run(deca_heap::GcAlgorithm::Cms);
-        assert!(ps_full > Duration::ZERO && cms_full > Duration::ZERO);
-        // PS reports the full trace as pause; CMS only a fraction of it.
-        assert!(
-            cms_gc.as_secs_f64() / cms_full.as_secs_f64()
-                < ps_gc.as_secs_f64() / ps_full.as_secs_f64(),
-            "CMS pause share {cms_gc:?}/{cms_full:?} must undercut PS {ps_gc:?}/{ps_full:?}"
-        );
+        // One measured trace, two accounting models. (Comparing wall-clock
+        // pause ratios of two *separate* runs flaked under parallel test
+        // load — the traced work differs run to run; the pause model
+        // applied to the same trace is deterministic.)
+        let cfg = ExecutorConfig::new(ExecutionMode::Spark, 4 << 20)
+            .gc_algorithm(deca_heap::GcAlgorithm::ParallelScavenge);
+        let mut e = Executor::new(cfg);
+        let c = e.heap.define_class(ClassBuilder::new("K").field("v", FieldKind::I64));
+        let arr = e.heap.define_array_class("Object[]", FieldKind::Ref);
+        e.run_task("pin+churn", |e| {
+            // Pin ~60% of old gen, then churn to force full GCs.
+            let n = 40_000;
+            let holder = e.heap.alloc_array(arr, n).unwrap();
+            let root = e.heap.add_root(holder);
+            for i in 0..n {
+                let o = e.heap.alloc(c).unwrap();
+                let holder = e.heap.root_ref(root);
+                e.heap.array_set_ref(holder, i, o);
+            }
+            for _ in 0..200_000 {
+                e.heap.alloc(c).unwrap();
+            }
+            e.heap.full_gc();
+            e.heap.full_gc();
+        });
+        let stats = e.heap.stats();
+        let full = stats.full_time;
+        assert!(full > Duration::ZERO, "workload must trigger full collections");
+        // PS reports the whole trace as stop-the-world pause; CMS pauses
+        // only for a fraction and charges the mutator an overhead tax.
+        let (ps_pause, ps_overhead) =
+            deca_heap::GcAlgorithm::ParallelScavenge.pause_model().account_full(full);
+        let (cms_pause, cms_overhead) =
+            deca_heap::GcAlgorithm::Cms.pause_model().account_full(full);
+        assert_eq!(ps_pause, full, "PS: the full trace is pause");
+        assert!(cms_pause < ps_pause, "CMS pause {cms_pause:?} must undercut PS {ps_pause:?}");
+        assert!(cms_overhead > ps_overhead, "the concurrent collector taxes the mutator");
+        // The run's accounted GC matches its model: minor pauses plus the
+        // modelled full pause, exactly (no wall-clock in the comparison).
+        assert_eq!(e.job.gc, stats.minor_time + ps_pause);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Deterministic fault injection for the cluster driver.
+//!
+//! Spark's defining robustness property is that tasks are deterministic,
+//! restartable units (§6.1 keeps shuffle/cache bytes reconstructible from
+//! lineage precisely so failed work can be re-run). To test that property
+//! we need failures that are themselves deterministic: a [`FaultPlan`] is
+//! a pure function from an injection site — `(site, stage, task, attempt)`
+//! — to a fire/no-fire decision, derived from a seed through the
+//! `deca-check` PRNG. The same seed replays the same failure scenario on
+//! any executor count, any mode, and any thread interleaving, which is
+//! what lets the fault-tolerance tests assert *bit-identical* results
+//! against the fault-free run.
+//!
+//! Four failure modes are modelled, mirroring what a real cluster throws
+//! at a driver:
+//!
+//! * [`FaultSite::TaskBody`] — the task's user code fails (a thrown
+//!   exception in Spark terms);
+//! * [`FaultSite::ExecutorCrash`] — the executor process dies: the task
+//!   fails and the executor is *poisoned*, failing every subsequent task
+//!   until the driver quarantines or restarts it;
+//! * [`FaultSite::ShuffleFrame`] — a map task's shuffle output is
+//!   corrupted in flight; detection (a fetch-failure in Spark) forces the
+//!   map task to be re-executed;
+//! * [`FaultSite::Alloc`] — a forced allocation failure (OOM), which the
+//!   driver degrades gracefully by spilling the executor's cache to disk
+//!   and retrying in place.
+
+use deca_check::SplitMix64;
+
+/// A named place where the driver consults the plan before / while running
+/// a task attempt.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FaultSite {
+    /// The task body itself errors.
+    TaskBody,
+    /// The hosting executor crashes (poisoning it for subsequent tasks).
+    ExecutorCrash,
+    /// The task's shuffle output frame is corrupted in transit.
+    ShuffleFrame,
+    /// A forced allocation failure inside the task.
+    Alloc,
+}
+
+impl FaultSite {
+    /// All sites, for sweeps and reporting.
+    pub const ALL: [FaultSite; 4] =
+        [FaultSite::TaskBody, FaultSite::ExecutorCrash, FaultSite::ShuffleFrame, FaultSite::Alloc];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::TaskBody => "task-body",
+            FaultSite::ExecutorCrash => "executor-crash",
+            FaultSite::ShuffleFrame => "shuffle-frame",
+            FaultSite::Alloc => "alloc",
+        }
+    }
+
+    /// Domain-separation tag mixed into the decision hash, so the same
+    /// `(stage, task, attempt)` draws independent decisions per site.
+    fn tag(self) -> u64 {
+        match self {
+            FaultSite::TaskBody => 0x7461_736b,
+            FaultSite::ExecutorCrash => 0x6372_6173,
+            FaultSite::ShuffleFrame => 0x7368_7566,
+            FaultSite::Alloc => 0x616c_6c6f,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-site injection rates. A rate is the probability that the site fires
+/// for a given `(stage, task)` on its **first** attempt; with
+/// [`FaultSpec::repeat_on_retry`] false (the default) retries never draw
+/// new faults, so any plan whose failures the [`crate::RetryPolicy`] can
+/// absorb is survivable by construction.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FaultSpec {
+    pub task_body: f64,
+    pub executor_crash: f64,
+    pub shuffle_frame: f64,
+    pub alloc: f64,
+    /// Draw fault decisions on retry attempts too. With this set, a site
+    /// can fail the same task repeatedly — the way to build *unsurvivable*
+    /// plans (attempts exhausted, every executor quarantined) on purpose.
+    pub repeat_on_retry: bool,
+}
+
+impl FaultSpec {
+    fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::TaskBody => self.task_body,
+            FaultSite::ExecutorCrash => self.executor_crash,
+            FaultSite::ShuffleFrame => self.shuffle_frame,
+            FaultSite::Alloc => self.alloc,
+        }
+    }
+}
+
+/// An explicitly scheduled fault, for tests that need a failure at an
+/// exact place rather than a seeded scatter.
+#[derive(Clone, Debug)]
+struct ForcedFault {
+    site: FaultSite,
+    stage: String,
+    /// `None`: every task of the stage.
+    task: Option<usize>,
+    /// `None`: every attempt (an *unsurvivable* repeat-failure).
+    attempt: Option<u32>,
+}
+
+/// A replayable failure scenario: seeded random scatter plus explicitly
+/// forced faults. Decisions are pure functions of the query, so a plan is
+/// `Sync`, cheap to clone, and independent of execution order.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+    forced: Vec<ForcedFault>,
+}
+
+impl FaultPlan {
+    /// A plan drawing faults at the spec's rates, deterministically from
+    /// `seed`.
+    pub fn seeded(seed: u64, spec: FaultSpec) -> FaultPlan {
+        FaultPlan { seed, spec, forced: Vec::new() }
+    }
+
+    /// A plan that injects nothing by itself (combine with
+    /// [`FaultPlan::force`] for surgically placed faults).
+    pub fn quiet() -> FaultPlan {
+        FaultPlan::seeded(0, FaultSpec::default())
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Force `site` to fire at `stage` for `task` (`None` = every task of
+    /// the stage) on `attempt` (`None` = every attempt).
+    pub fn force(
+        mut self,
+        site: FaultSite,
+        stage: impl Into<String>,
+        task: Option<usize>,
+        attempt: Option<u32>,
+    ) -> FaultPlan {
+        self.forced.push(ForcedFault { site, stage: stage.into(), task, attempt });
+        self
+    }
+
+    /// Does `site` fire for this `(stage, task, attempt)`? Deterministic:
+    /// the decision depends only on the arguments and the plan.
+    pub fn fires(&self, site: FaultSite, stage: &str, task: usize, attempt: u32) -> bool {
+        for f in &self.forced {
+            if f.site == site
+                && f.stage == stage
+                && f.task.is_none_or(|t| t == task)
+                && f.attempt.is_none_or(|a| a == attempt)
+            {
+                return true;
+            }
+        }
+        let rate = self.spec.rate(site);
+        if rate <= 0.0 || (attempt > 0 && !self.spec.repeat_on_retry) {
+            return false;
+        }
+        // FNV-1a over the full site identity, avalanched through SplitMix64
+        // (FNV alone correlates nearby task indices).
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold(mut h: u64, word: u64) -> u64 {
+            for b in word.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fold(h, self.seed);
+        h = fold(h, site.tag());
+        for b in stage.bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        h = fold(h, task as u64);
+        h = fold(h, attempt as u64);
+        let draw = SplitMix64::new(h).next_u64();
+        ((draw >> 11) as f64 / (1u64 << 53) as f64) < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let spec = FaultSpec { task_body: 0.5, ..FaultSpec::default() };
+        let a = FaultPlan::seeded(7, spec);
+        let b = FaultPlan::seeded(7, spec);
+        let c = FaultPlan::seeded(8, spec);
+        let pattern = |p: &FaultPlan| -> Vec<bool> {
+            (0..64).map(|t| p.fires(FaultSite::TaskBody, "wc-map", t, 0)).collect()
+        };
+        assert_eq!(pattern(&a), pattern(&b), "same seed, same scenario");
+        assert_ne!(pattern(&a), pattern(&c), "different seed, different scenario");
+        let hits = pattern(&a).iter().filter(|&&x| x).count();
+        assert!((10..=54).contains(&hits), "rate 0.5 over 64 draws, got {hits}");
+    }
+
+    #[test]
+    fn sites_draw_independently() {
+        let spec = FaultSpec { task_body: 0.5, alloc: 0.5, ..FaultSpec::default() };
+        let p = FaultPlan::seeded(3, spec);
+        let body: Vec<bool> = (0..64).map(|t| p.fires(FaultSite::TaskBody, "s", t, 0)).collect();
+        let alloc: Vec<bool> = (0..64).map(|t| p.fires(FaultSite::Alloc, "s", t, 0)).collect();
+        assert_ne!(body, alloc, "sites must not share decisions");
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_retries_are_clean_by_default() {
+        let p = FaultPlan::seeded(1, FaultSpec { task_body: 1.0, ..FaultSpec::default() });
+        for t in 0..32 {
+            assert!(p.fires(FaultSite::TaskBody, "s", t, 0), "rate 1.0 always fires");
+            assert!(!p.fires(FaultSite::TaskBody, "s", t, 1), "retries are clean by default");
+            assert!(!p.fires(FaultSite::ExecutorCrash, "s", t, 0), "rate 0.0 never fires");
+        }
+        let repeat = FaultPlan::seeded(
+            1,
+            FaultSpec { task_body: 1.0, repeat_on_retry: true, ..FaultSpec::default() },
+        );
+        assert!(repeat.fires(FaultSite::TaskBody, "s", 0, 3), "repeat_on_retry draws on retries");
+    }
+
+    #[test]
+    fn forced_faults_fire_exactly_where_placed() {
+        let p = FaultPlan::quiet()
+            .force(FaultSite::ShuffleFrame, "wc-map", Some(2), Some(0))
+            .force(FaultSite::ExecutorCrash, "doom", None, None);
+        assert!(p.fires(FaultSite::ShuffleFrame, "wc-map", 2, 0));
+        assert!(!p.fires(FaultSite::ShuffleFrame, "wc-map", 2, 1), "attempt-pinned");
+        assert!(!p.fires(FaultSite::ShuffleFrame, "wc-map", 1, 0), "task-pinned");
+        assert!(!p.fires(FaultSite::ShuffleFrame, "wc-reduce", 2, 0), "stage-pinned");
+        for t in 0..8 {
+            for a in 0..4 {
+                assert!(p.fires(FaultSite::ExecutorCrash, "doom", t, a), "wildcard forced fault");
+            }
+        }
+    }
+
+    #[test]
+    fn site_names_render() {
+        for site in FaultSite::ALL {
+            assert!(!site.name().is_empty());
+            assert_eq!(site.to_string(), site.name());
+        }
+    }
+}

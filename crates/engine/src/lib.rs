@@ -28,6 +28,7 @@ pub mod config;
 pub mod driver;
 pub mod error;
 pub mod executor;
+pub mod faults;
 pub mod metrics;
 pub mod record;
 pub mod serde_sim;
@@ -35,11 +36,12 @@ pub mod session;
 pub mod shuffle;
 
 pub use cache::{CacheError, CacheStats, CachedRdd};
-pub use cluster::LocalCluster;
-pub use config::{ExecutionMode, ExecutorConfig, ExecutorConfigBuilder};
+pub use cluster::{ExecutorHealth, LocalCluster};
+pub use config::{ExecutionMode, ExecutorConfig, ExecutorConfigBuilder, RetryPolicy};
 pub use driver::{ClusterSession, MapOutputs, TaskContext};
 pub use error::EngineError;
 pub use executor::Executor;
+pub use faults::{FaultPlan, FaultSite, FaultSpec};
 pub use metrics::{GcAccounting, JobMetrics, StageMetrics, TaskMetrics, Timeline, TimelineSample};
 pub use record::{HeapRecord, KryoRecord, Record};
 pub use serde_sim::KryoSim;

@@ -52,6 +52,19 @@ pub struct JobMetrics {
     pub swapped_cache_bytes: usize,
     pub minor_gcs: u64,
     pub full_gcs: u64,
+    /// Task attempts across the job (≥ the logical task count; the excess
+    /// is `retries`).
+    pub attempts: u64,
+    /// Task re-runs the retry machinery performed.
+    pub retries: u64,
+    /// Executors quarantined (blacklisted) during the job.
+    pub quarantines: u64,
+    /// Executors restarted in place (the spare-last-executor path).
+    pub restarts: u64,
+    /// OOM-classified failures absorbed by spill-and-retry degradation.
+    pub oom_recoveries: u64,
+    /// Simulated time spent on retry backoff and recovery scheduling.
+    pub recovery: Duration,
 }
 
 impl JobMetrics {
@@ -63,6 +76,16 @@ impl JobMetrics {
         self.shuffle_read += t.shuffle_read;
         self.shuffle_write += t.shuffle_write;
         self.io += t.io;
+    }
+
+    /// Fold a stage's fault-handling counters into the job totals.
+    pub fn add_stage_recovery(&mut self, s: &StageMetrics) {
+        self.attempts += s.attempts;
+        self.retries += s.retries;
+        self.quarantines += s.quarantines;
+        self.restarts += s.restarts;
+        self.oom_recoveries += s.oom_recoveries;
+        self.recovery += s.recovery;
     }
 
     /// GC share of execution (Table 3's "ratio" column).
@@ -99,6 +122,19 @@ pub struct StageMetrics {
     /// Bytes moved through the all-to-all exchange that follows this
     /// stage (set on the map side of a shuffle job; 0 otherwise).
     pub shuffle_bytes: u64,
+    /// Task attempts this stage ran, successful or not (equals `tasks`
+    /// when nothing failed).
+    pub attempts: u64,
+    /// Re-runs after transient failures.
+    pub retries: u64,
+    /// Executors quarantined during this stage.
+    pub quarantines: u64,
+    /// Executors restarted in place during this stage.
+    pub restarts: u64,
+    /// OOM failures absorbed by spill-and-retry.
+    pub oom_recoveries: u64,
+    /// Simulated backoff/rescheduling time spent recovering from faults.
+    pub recovery: Duration,
 }
 
 impl StageMetrics {
@@ -106,10 +142,10 @@ impl StageMetrics {
         StageMetrics { name: name.into(), ..StageMetrics::default() }
     }
 
-    /// Fold one task of the wave into the stage sums (exec is handled
-    /// separately by the driver, per executor).
+    /// Fold one task *attempt* of the wave into the stage sums. The
+    /// logical `tasks` count is set by the driver (attempts may exceed it
+    /// under retries); `exec` is also handled separately, per executor.
     pub fn add_task(&mut self, t: &TaskMetrics) {
-        self.tasks += 1;
         self.compute += t.compute;
         self.gc += t.gc_pause;
         self.ser += t.ser;
@@ -223,6 +259,25 @@ mod tests {
         assert_eq!(j.exec, Duration::from_millis(60));
         assert_eq!(j.gc, Duration::from_millis(10));
         assert!((j.gc_ratio() - 10.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_recovery_rolls_up_into_job() {
+        let mut s = StageMetrics::new("map");
+        s.tasks = 4;
+        s.attempts = 6;
+        s.retries = 2;
+        s.quarantines = 1;
+        s.oom_recoveries = 1;
+        s.recovery = Duration::from_millis(20);
+        let mut j = JobMetrics::default();
+        j.add_stage_recovery(&s);
+        j.add_stage_recovery(&s);
+        assert_eq!(j.attempts, 12);
+        assert_eq!(j.retries, 4);
+        assert_eq!(j.quarantines, 2);
+        assert_eq!(j.oom_recoveries, 2);
+        assert_eq!(j.recovery, Duration::from_millis(40));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use deca_apps::pagerank::{self, PrParams};
 use deca_apps::wordcount::{self, WcParams};
-use deca_engine::ExecutionMode;
+use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig};
 
 const EXECUTOR_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -89,6 +89,52 @@ fn pagerank_modes_agree_at_every_width() {
         let deca = pagerank::run_cluster(&pr_params(ExecutionMode::Deca), executors).checksum;
         assert!((spark - deca).abs() < 1e-9, "{executors} executors: {spark} vs {deca}");
         assert!((ser - deca).abs() < 1e-9, "{executors} executors: {ser} vs {deca}");
+    }
+}
+
+#[test]
+fn heterogeneous_heaps_do_not_change_results() {
+    // A mixed cluster — one big-heap and one small-heap executor — runs
+    // more GC and spill work on the small node, but the task model keeps
+    // the answer bit-identical to the uniform cluster.
+    fn mixed_configs(mode: ExecutionMode, heaps: &[usize]) -> Vec<ExecutorConfig> {
+        heaps
+            .iter()
+            .map(|&h| {
+                ExecutorConfig::builder()
+                    .mode(mode)
+                    .heap_bytes(h)
+                    .shuffle_fraction(0.6)
+                    .storage_fraction(0.2)
+                    .build()
+            })
+            .collect()
+    }
+    for mode in ExecutionMode::ALL {
+        let p = wc_params(mode);
+        let uniform = wordcount::run_cluster(&p, 2).checksum;
+
+        let mut session = ClusterSession::with_configs(mixed_configs(mode, &[24 << 20, 8 << 20]));
+        let mixed = wordcount::run_on(&p, &mut session).expect("wordcount on mixed heaps");
+        assert_eq!(mixed, uniform, "{mode}: mixed 24MB/8MB heaps changed the checksum");
+
+        let pr = pr_params(mode);
+        let pr_uniform = pagerank::run_cluster(&pr, 2).checksum;
+        let mut session = ClusterSession::with_configs(
+            [32 << 20, 12 << 20]
+                .iter()
+                .map(|&h| {
+                    ExecutorConfig::builder()
+                        .mode(mode)
+                        .heap_bytes(h)
+                        .storage_fraction(pr.storage_fraction)
+                        .gc(pr.gc_algorithm)
+                        .build()
+                })
+                .collect(),
+        );
+        let (pr_mixed, _) = pagerank::run_on(&pr, &mut session).expect("pagerank on mixed heaps");
+        assert_eq!(pr_mixed, pr_uniform, "{mode}: mixed 32MB/12MB heaps changed the ranks");
     }
 }
 

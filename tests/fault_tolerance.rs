@@ -1,0 +1,212 @@
+//! Fault-tolerance acceptance: the headline invariant of the resilient
+//! driver is that for any *survivable* fault seed, a job's result is
+//! **bit-identical** to the fault-free run at every mode × executor
+//! width — injected task failures, executor crashes, corrupted shuffle
+//! frames and forced OOMs change the metrics (retries, quarantines,
+//! recovery time), never the answer.
+//!
+//! Faults are drawn deterministically from a seed ([`FaultPlan`]), so
+//! every scenario here replays exactly; `scripts/ci.sh` prints the seed
+//! line to re-run a failing scenario locally.
+
+use deca_apps::pagerank::{self, PrParams};
+use deca_apps::wordcount::{self, WcParams};
+use deca_engine::{EngineError, ExecutionMode, FaultPlan, FaultSite, FaultSpec, RetryPolicy};
+
+const EXECUTOR_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Fixed fault seeds for the equivalence matrices. Chosen (and pinned)
+/// so every seed injects at least one retried failure into both
+/// workloads; the suite asserts that, so a seed drifting silent fails
+/// loudly rather than testing nothing.
+const FAULT_SEEDS: [u64; 3] = [11, 29, 47];
+
+/// The seeds under test plus whether they are the pinned trio.
+/// `DECA_CHECK_SEED` — the same replay knob the property harness uses —
+/// overrides the set with a single seed; replay runs assert result
+/// equivalence only, because an arbitrary seed may inject nothing.
+fn fault_seeds() -> (Vec<u64>, bool) {
+    match std::env::var("DECA_CHECK_SEED").ok().and_then(|s| s.parse().ok()) {
+        Some(seed) => (vec![seed], false),
+        None => (FAULT_SEEDS.to_vec(), true),
+    }
+}
+
+/// A busy but survivable scatter: every site fires somewhere, retries
+/// never re-draw (`repeat_on_retry: false`), so a `resilient()` policy
+/// absorbs everything the plan throws.
+fn storm() -> FaultSpec {
+    FaultSpec {
+        task_body: 0.35,
+        executor_crash: 0.10,
+        shuffle_frame: 0.20,
+        alloc: 0.15,
+        repeat_on_retry: false,
+    }
+}
+
+fn wc_params(mode: ExecutionMode) -> WcParams {
+    WcParams {
+        words: 20_000,
+        distinct: 600,
+        partitions: 4,
+        heap_bytes: 16 << 20,
+        mode,
+        seed: 42,
+        sample_every: 0,
+    }
+}
+
+fn pr_params(mode: ExecutionMode) -> PrParams {
+    PrParams {
+        vertices: 400,
+        edges: 3_000,
+        iterations: 3,
+        partitions: 4,
+        heap_bytes: 24 << 20,
+        mode,
+        gc_algorithm: deca_heap::GcAlgorithm::ParallelScavenge,
+        storage_fraction: 0.4,
+        seed: 9,
+    }
+}
+
+/// Does the plan draw an executor crash at attempt 0 anywhere in these
+/// stages? (Attempt-0 draws are the only ones a `repeat_on_retry: false`
+/// plan makes, and the first crash to actually fire always poisons an
+/// executor, which the driver then quarantines — or restarts when it is
+/// the last one standing.)
+fn crashes_somewhere(plan: &FaultPlan, stages: &[(&str, usize)]) -> bool {
+    stages.iter().any(|(s, n)| (0..*n).any(|t| plan.fires(FaultSite::ExecutorCrash, s, t, 0)))
+}
+
+#[test]
+fn wordcount_under_faults_is_bit_identical_across_modes_and_widths() {
+    let (seeds, pinned) = fault_seeds();
+    for seed in seeds {
+        let plan = FaultPlan::seeded(seed, storm());
+        let crashes = crashes_somewhere(&plan, &[("wc-map", 4), ("wc-reduce", 4)]);
+        for mode in ExecutionMode::ALL {
+            let reference = wordcount::run_cluster(&wc_params(mode), 1).checksum;
+            for executors in EXECUTOR_COUNTS {
+                let report = wordcount::run_cluster_faulty(
+                    &wc_params(mode),
+                    executors,
+                    plan.clone(),
+                    RetryPolicy::resilient(),
+                )
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed}, {mode}, {executors} executors: survivable plan died: {e}")
+                });
+                assert_eq!(
+                    report.checksum, reference,
+                    "seed {seed}, {mode}, {executors} executors: result drifted under faults"
+                );
+                if pinned {
+                    assert!(
+                        report.metrics.retries > 0,
+                        "seed {seed}, {mode}, {executors} executors: plan injected nothing retried"
+                    );
+                }
+                // 4 map + 4 reduce logical tasks; retries add attempts.
+                assert_eq!(report.metrics.attempts, 8 + report.metrics.retries);
+                if crashes {
+                    let recovered = if executors == 1 {
+                        report.metrics.restarts
+                    } else {
+                        report.metrics.quarantines
+                    };
+                    assert!(
+                        recovered > 0,
+                        "seed {seed}, {mode}, {executors} executors: crash drawn but no \
+                         quarantine/restart recorded"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_under_faults_is_bit_identical_across_modes_and_widths() {
+    let (seeds, pinned) = fault_seeds();
+    for seed in seeds {
+        let plan = FaultPlan::seeded(seed, storm());
+        for mode in ExecutionMode::ALL {
+            let reference = pagerank::run_cluster(&pr_params(mode), 1).checksum;
+            for executors in EXECUTOR_COUNTS {
+                let report = pagerank::run_cluster_faulty(
+                    &pr_params(mode),
+                    executors,
+                    plan.clone(),
+                    RetryPolicy::resilient(),
+                )
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed}, {mode}, {executors} executors: survivable plan died: {e}")
+                });
+                assert_eq!(
+                    report.checksum, reference,
+                    "seed {seed}, {mode}, {executors} executors: ranks drifted under faults"
+                );
+                if pinned {
+                    assert!(
+                        report.metrics.retries > 0,
+                        "seed {seed}, {mode}, {executors} executors: plan injected nothing retried"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_oom_degrades_gracefully_and_keeps_the_answer() {
+    // A forced allocation failure in a map task: the driver spills the
+    // executor's cache, collects, and re-runs the task in place — no
+    // retry charged, same checksum.
+    for mode in ExecutionMode::ALL {
+        let reference = wordcount::run_cluster(&wc_params(mode), 2).checksum;
+        let plan = FaultPlan::quiet().force(FaultSite::Alloc, "wc-map", Some(1), Some(0));
+        let report =
+            wordcount::run_cluster_faulty(&wc_params(mode), 2, plan, RetryPolicy::resilient())
+                .expect("OOM degradation must absorb a forced alloc failure");
+        assert_eq!(report.checksum, reference, "{mode}: OOM recovery changed the result");
+        assert!(report.metrics.oom_recoveries >= 1, "{mode}: spill-and-rerun not recorded");
+        assert_eq!(report.metrics.retries, 0, "{mode}: in-place recovery must not charge a retry");
+    }
+}
+
+#[test]
+fn exhausted_attempts_fail_with_task_attributed_transient_error() {
+    // An unsurvivable plan — the same task fails on every attempt — must
+    // surface as an `Err` naming the task, classified transient (it *was*
+    // retryable, the budget just ran out), never as a panic.
+    let plan = FaultPlan::quiet().force(FaultSite::TaskBody, "wc-map", Some(2), None);
+    let err = wordcount::run_cluster_faulty(
+        &wc_params(ExecutionMode::Deca),
+        2,
+        plan,
+        RetryPolicy::resilient(),
+    )
+    .expect_err("a task failing every attempt is unsurvivable");
+    assert!(matches!(err, EngineError::Task { .. }), "must name the failing task: {err}");
+    assert!(err.is_transient(), "attempt exhaustion is a transient-class failure: {err}");
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains("wc-map") && rendered.contains("task 2"),
+        "attribution should reach the task: {rendered}"
+    );
+}
+
+#[test]
+fn losing_every_executor_fails_with_transient_error() {
+    // Crash every task attempt and forbid sparing the last executor: the
+    // whole cluster quarantines and the job reports a clean, transient,
+    // task-attributed error.
+    let plan = FaultPlan::quiet().force(FaultSite::ExecutorCrash, "wc-map", None, None);
+    let policy = RetryPolicy::resilient().quarantine_after(1).spare_last_executor(false);
+    let err = wordcount::run_cluster_faulty(&wc_params(ExecutionMode::Spark), 2, plan, policy)
+        .expect_err("no healthy executors must be unsurvivable");
+    assert!(matches!(err, EngineError::Task { .. }), "task-attributed: {err}");
+    assert!(err.is_transient(), "executor loss is transient-class: {err}");
+}
