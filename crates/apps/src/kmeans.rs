@@ -222,6 +222,7 @@ pub fn run(params: &KmParams) -> AppReport {
         timeline: exec.timeline.clone(),
         checksum,
         cache_bytes,
+        objects_traced: exec.heap.stats().objects_traced,
         minor_gcs: exec.heap.stats().minor_collections,
         full_gcs: exec.heap.stats().full_collections,
         slowest_task: exec.slowest_task().cloned(),

@@ -17,6 +17,9 @@ pub struct AppReport {
     pub checksum: f64,
     /// Bytes of cached data (paper's "Cached Data" bars).
     pub cache_bytes: usize,
+    /// Objects traced across all collections (the §2.2 pathology in one
+    /// number — what the collector repeatedly walks).
+    pub objects_traced: u64,
     /// GC collections observed.
     pub minor_gcs: u64,
     pub full_gcs: u64,
@@ -43,6 +46,7 @@ impl AppReport {
             timeline: session.merged_timeline(),
             checksum,
             cache_bytes,
+            objects_traced: execs.iter().map(|e| e.heap_stats().objects_traced).sum(),
             minor_gcs: execs.iter().map(|e| e.heap_stats().minor_collections).sum(),
             full_gcs: execs.iter().map(|e| e.heap_stats().full_collections).sum(),
             slowest_task: session.slowest_task().cloned(),
@@ -113,6 +117,7 @@ mod tests {
             timeline: Timeline::new(),
             checksum: 0.0,
             cache_bytes: 0,
+            objects_traced: 0,
             minor_gcs: 0,
             full_gcs: 0,
             slowest_task: None,

@@ -233,6 +233,7 @@ pub fn run_query1(params: &SqlParams) -> AppReport {
         timeline: exec.timeline.clone(),
         checksum,
         cache_bytes,
+        objects_traced: exec.heap.stats().objects_traced,
         minor_gcs: exec.heap.stats().minor_collections,
         full_gcs: exec.heap.stats().full_collections,
         slowest_task: exec.slowest_task().cloned(),
@@ -418,6 +419,7 @@ pub fn run_query2(params: &SqlParams) -> AppReport {
         timeline: exec.timeline.clone(),
         checksum,
         cache_bytes,
+        objects_traced: exec.heap.stats().objects_traced,
         minor_gcs: exec.heap.stats().minor_collections,
         full_gcs: exec.heap.stats().full_collections,
         slowest_task: exec.slowest_task().cloned(),
@@ -736,6 +738,7 @@ pub fn run_query3(params: &SqlParams) -> AppReport {
         timeline: exec.timeline.clone(),
         checksum,
         cache_bytes,
+        objects_traced: exec.heap.stats().objects_traced,
         minor_gcs: exec.heap.stats().minor_collections,
         full_gcs: exec.heap.stats().full_collections,
         slowest_task: exec.slowest_task().cloned(),

@@ -1,0 +1,316 @@
+//! perf_gate — the BENCH perf-regression gate.
+//!
+//! Runs pinned smoke workloads (WC, LR, PR at `DECA_BENCH_SCALE`) in
+//! Spark and Deca mode, times each cell with the `deca-check` sampling
+//! discipline (median/p95 over `DECA_GATE_SAMPLES` runs), and writes the
+//! results to `BENCH_PR4.json` (`DECA_BENCH_OUT` overrides). If an older
+//! `BENCH_*.json` exists next to the output, the gate compares the
+//! best-of-N wall time cell-by-cell (the min is the noise-free estimate
+//! for deterministic work; medians over few ~50 ms samples swing with
+//! host load) and **exits non-zero** when any cell regressed beyond the
+//! tolerance band (`DECA_GATE_TOLERANCE`, default 1.6× — the band
+//! catches order-of-magnitude breakage, the committed history catches
+//! drift).
+//!
+//! Two in-process validity checks ride along, so the gate also guards the
+//! observability layer it reports through:
+//!
+//! * the fig8 (WordCount) smoke cell is re-run with tracing disabled and
+//!   the tracing overhead printed — it must stay under
+//!   `DECA_GATE_TRACE_OVERHEAD` percent (default 5);
+//! * a traced run's Chrome trace-event export must validate and
+//!   round-trip losslessly through the in-repo JSON parser.
+
+use std::time::Instant;
+
+use deca_apps::logreg::{self, LrParams};
+use deca_apps::pagerank::{self, PrParams};
+use deca_apps::report::AppReport;
+use deca_apps::wordcount::{self, WcParams};
+use deca_bench::Scale;
+use deca_check::bench::summarize;
+use deca_check::Json;
+use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig, RunTrace};
+
+const OUT_DEFAULT: &str = "BENCH_PR4.json";
+const MODES: [ExecutionMode; 2] = [ExecutionMode::Spark, ExecutionMode::Deca];
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn wc_params(scale: Scale, mode: ExecutionMode) -> WcParams {
+    WcParams {
+        words: scale.records(200_000).max(1_000),
+        distinct: scale.records(20_000).max(100),
+        partitions: 4,
+        heap_bytes: 24 << 20,
+        mode,
+        seed: 42,
+        sample_every: 0,
+    }
+}
+
+fn lr_params(scale: Scale, mode: ExecutionMode) -> LrParams {
+    let mut p = LrParams::small(mode);
+    p.points = scale.records(16_000).max(500);
+    p.iterations = 5;
+    p.heap_bytes = 16 << 20;
+    p
+}
+
+fn pr_params(scale: Scale, mode: ExecutionMode) -> PrParams {
+    let mut p = PrParams::small(mode);
+    p.vertices = scale.records(4_000).max(200);
+    p.edges = scale.records(40_000).max(2_000);
+    p.iterations = 3;
+    p.heap_bytes = 24 << 20;
+    p
+}
+
+/// One gate cell: `samples` timed runs of a workload, plus the metrics of
+/// the final run (GC ratio, traced objects) for the committed record.
+struct Cell {
+    key: String,
+    min_s: f64,
+    median_s: f64,
+    p95_s: f64,
+    gc_ratio: f64,
+    objects_traced: u64,
+}
+
+fn measure(key: &str, samples: usize, mut run: impl FnMut() -> AppReport) -> Cell {
+    run(); // warmup, untimed — the first run of a workload pays cold caches
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let t = Instant::now();
+        let report = run();
+        times.push(t.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    let s = summarize(times, 1);
+    let last = last.expect("samples >= 1");
+    println!(
+        "  {key:<12} min {:>8.3}s  median {:>8.3}s  p95 {:>8.3}s  gc_ratio {:>5.1}%  traced {:>10}",
+        s.min,
+        s.median,
+        s.p95,
+        last.gc_ratio() * 100.0,
+        last.objects_traced,
+    );
+    Cell {
+        key: key.to_string(),
+        min_s: s.min,
+        median_s: s.median,
+        p95_s: s.p95,
+        gc_ratio: last.gc_ratio(),
+        objects_traced: last.objects_traced,
+    }
+}
+
+/// Tracing-overhead probe: best-of-N wall times for a thunk run with
+/// tracing on vs off. Each timed sample is a burst of `burst`
+/// back-to-back runs (lengthening the timed region past scheduler
+/// granularity), the pairs interleave with alternating order (on/off,
+/// off/on, …) so machine drift and ordering effects hit both sides
+/// equally, a warmup pair absorbs cold caches, and the *minimum* is
+/// compared — for deterministic work the min is the noise-free
+/// estimate, where a median over few ~20 ms samples can swing ±20% on
+/// a busy host.
+fn overhead_pct(pairs: usize, burst: usize, mut run: impl FnMut(bool)) -> f64 {
+    run(true);
+    run(false);
+    let mut time = |tracing: bool| {
+        let t = Instant::now();
+        for _ in 0..burst {
+            run(tracing);
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let (mut best_on, mut best_off) = (f64::INFINITY, f64::INFINITY);
+    for i in 0..pairs {
+        let order = if i % 2 == 0 { [true, false] } else { [false, true] };
+        for tracing in order {
+            let t = time(tracing);
+            let best = if tracing { &mut best_on } else { &mut best_off };
+            *best = best.min(t);
+        }
+    }
+    (best_on / best_off.max(1e-9) - 1.0) * 100.0
+}
+
+/// The newest prior `BENCH_*.json` in `dir` (by the numeric suffix in
+/// `BENCH_PR<N>.json`, falling back to name order), excluding `out`.
+fn newest_baseline(dir: &std::path::Path, out: &str) -> Option<(String, Json)> {
+    let mut candidates: Vec<(i64, String)> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json") && n != out)
+        .map(|n| {
+            let num: i64 =
+                n.trim_start_matches("BENCH_PR").trim_end_matches(".json").parse().unwrap_or(-1);
+            (num, n)
+        })
+        .collect();
+    candidates.sort();
+    let (_, name) = candidates.pop()?;
+    let text = std::fs::read_to_string(dir.join(&name)).ok()?;
+    match Json::parse(&text) {
+        Ok(doc) => Some((name, doc)),
+        Err(e) => {
+            eprintln!("warning: baseline {name} is not parseable ({e}); ignoring");
+            None
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let samples = env_usize("DECA_GATE_SAMPLES", 5).max(1);
+    let tolerance = env_f64("DECA_GATE_TOLERANCE", 1.6);
+    let overhead_limit = env_f64("DECA_GATE_TRACE_OVERHEAD", 5.0);
+    let out = std::env::var("DECA_BENCH_OUT").unwrap_or_else(|_| OUT_DEFAULT.to_string());
+    let out_path = std::path::PathBuf::from(&out);
+    let dir = out_path.parent().map(|p| p.to_path_buf()).filter(|p| !p.as_os_str().is_empty());
+    let dir = dir.unwrap_or_else(|| std::path::PathBuf::from("."));
+
+    println!(
+        "# perf_gate: scale {:.2}, {samples} samples/cell, tolerance {tolerance:.2}x",
+        scale.factor
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for mode in MODES {
+        let wc = wc_params(scale, mode);
+        cells.push(measure(&format!("WC/{}", mode.name()), samples, || {
+            wordcount::run_cluster(&wc, 2)
+        }));
+        let lr = lr_params(scale, mode);
+        cells.push(measure(&format!("LR/{}", mode.name()), samples, || logreg::run(&lr)));
+        let pr = pr_params(scale, mode);
+        cells.push(measure(&format!("PR/{}", mode.name()), samples, || {
+            pagerank::run_cluster(&pr, 2)
+        }));
+    }
+
+    // --- tracing overhead on the fig8 (WordCount) smoke cell ----------
+    let overhead = {
+        let p = wc_params(scale, ExecutionMode::Deca);
+        let pairs = samples.max(12);
+        let pct = overhead_pct(pairs, 3, |tracing| {
+            let config = ExecutorConfig::new(p.mode, p.heap_bytes).tracing(tracing);
+            let mut session = ClusterSession::new(2, config);
+            wordcount::run_on(&p, &mut session).expect("fault-free smoke run");
+            session.finish_job();
+        });
+        println!(
+            "  tracing overhead on fig8 smoke: {pct:+.2}% (best-of-{pairs} interleaved \
+             3-run bursts, limit {overhead_limit:.1}%)"
+        );
+        pct
+    };
+
+    // --- Chrome trace export round-trips through the in-repo parser ---
+    let trace_events = {
+        let p = wc_params(scale, ExecutionMode::Deca);
+        let mut session = ClusterSession::new(2, ExecutorConfig::new(p.mode, p.heap_bytes));
+        wordcount::run_on(&p, &mut session).expect("fault-free smoke run");
+        session.finish_job();
+        let trace = session.merged_trace();
+        let chrome = trace.to_chrome_string();
+        let n = RunTrace::validate_chrome_document(&chrome)
+            .unwrap_or_else(|e| panic!("chrome trace invalid: {e}"));
+        let back = RunTrace::from_chrome_string(&chrome)
+            .unwrap_or_else(|e| panic!("chrome trace did not parse back: {e}"));
+        assert_eq!(back, trace, "chrome trace round-trip must be lossless");
+        println!("  chrome trace round-trip: {n} events, lossless");
+        n
+    };
+
+    // --- write the BENCH record ---------------------------------------
+    let doc = Json::obj(vec![
+        ("schema", Json::str("deca-bench-v1")),
+        ("pr", Json::str("PR4")),
+        ("scale", Json::num(scale.factor)),
+        ("samples", Json::int(samples as u64)),
+        ("tolerance", Json::num(tolerance)),
+        ("tracing_overhead_pct", Json::num(overhead)),
+        ("trace_events", Json::int(trace_events as u64)),
+        (
+            "workloads",
+            Json::obj(
+                cells
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.key.as_str(),
+                            Json::obj(vec![
+                                ("min_s", Json::num(c.min_s)),
+                                ("median_s", Json::num(c.median_s)),
+                                ("p95_s", Json::num(c.p95_s)),
+                                ("gc_ratio", Json::num(c.gc_ratio)),
+                                ("objects_traced", Json::int(c.objects_traced)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_pretty() + "\n").expect("write BENCH record");
+    println!("  wrote {out}");
+
+    // --- compare against the newest prior baseline --------------------
+    let mut failed = false;
+    match newest_baseline(&dir, out_path.file_name().and_then(|n| n.to_str()).unwrap_or(&out)) {
+        None => println!("  no prior BENCH_*.json baseline — recording only, gate passes"),
+        Some((name, base)) => {
+            println!("\n  vs {name} (tolerance {tolerance:.2}x):");
+            println!("  {:<12} {:>10} {:>10} {:>7}  status", "cell", "base_s", "now_s", "ratio");
+            for c in &cells {
+                // Compare best-of-N (min) wall times; older baselines
+                // that predate `min_s` fall back to the recorded median.
+                let old_cell = base.get("workloads").and_then(|w| w.get(&c.key));
+                let old = old_cell
+                    .and_then(|cell| cell.get("min_s"))
+                    .or_else(|| old_cell.and_then(|cell| cell.get("median_s")))
+                    .and_then(|m| m.as_f64());
+                match old {
+                    None => println!(
+                        "  {:<12} {:>10} {:>10.3} {:>7}  new cell",
+                        c.key, "-", c.min_s, "-"
+                    ),
+                    Some(old) => {
+                        let ratio = c.min_s / old.max(1e-9);
+                        let status = if ratio > tolerance {
+                            failed = true;
+                            "REGRESSED"
+                        } else {
+                            "ok"
+                        };
+                        println!(
+                            "  {:<12} {old:>10.3} {:>10.3} {ratio:>6.2}x  {status}",
+                            c.key, c.min_s
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if overhead > overhead_limit {
+        eprintln!("perf_gate: FAIL — tracing overhead {overhead:.2}% exceeds {overhead_limit:.1}%");
+        failed = true;
+    }
+    if failed {
+        eprintln!("perf_gate: FAIL — regression beyond the tolerance band");
+        std::process::exit(1);
+    }
+    println!("\nperf_gate: PASS");
+}

@@ -14,6 +14,9 @@
 //! * [`bench`] — a wall-clock micro-benchmark timer (warmup, N samples,
 //!   median/p95 reporting) with a `Criterion`-shaped API so benchmark files
 //!   stay close to their upstream idiom.
+//! * [`json`] — a minimal JSON value model, parser, and deterministic
+//!   writer, shared by the trace exporters and the `BENCH_*.json`
+//!   perf-regression gate.
 //!
 //! Everything is deterministic given a seed; nothing performs I/O beyond
 //! printing results. The paper's reclamation and equivalence claims (Lu et
@@ -21,9 +24,11 @@
 //! tests must run offline, repeatably, forever.
 
 pub mod bench;
+pub mod json;
 pub mod property;
 pub mod rng;
 
 pub use bench::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use json::{Json, JsonError};
 pub use property::{check, Config, Gen, TestResult};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};

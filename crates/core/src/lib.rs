@@ -73,7 +73,7 @@ pub mod var_shuffle;
 pub use cache::DecaCacheBlock;
 pub use group::{GroupReader, PageGroup, SegPtr};
 pub use layout::{FieldSlot, Layout, LayoutError};
-pub use manager::{GroupId, MemError, MemoryManager};
+pub use manager::{GroupId, MemError, MemoryManager, ReleaseEvent};
 pub use optimizer::{ContainerDecision, ContainerInfo, DecompositionPlan, Optimizer};
 pub use page::Page;
 pub use record::DecaRecord;

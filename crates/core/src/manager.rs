@@ -72,6 +72,19 @@ struct Entry {
     swappable: bool,
 }
 
+/// One page group reclaimed at refcount zero — the observable record of a
+/// lifetime-based release (no tracing involved), drained by the engine's
+/// run trace via [`MemoryManager::take_release_events`].
+#[derive(Copy, Clone, Debug)]
+pub struct ReleaseEvent {
+    /// Raw slot index of the released group.
+    pub group: u32,
+    /// Pages the group held when released.
+    pub pages: usize,
+    /// Footprint bytes returned to the heap budget.
+    pub bytes: usize,
+}
+
 /// The per-executor memory manager.
 pub struct MemoryManager {
     entries: Vec<Option<Entry>>,
@@ -86,6 +99,11 @@ pub struct MemoryManager {
     /// Number of swap-out / swap-in events.
     pub swap_outs: u64,
     pub swap_ins: u64,
+    /// Record a [`ReleaseEvent`] per zero-refcount reclamation. Off by
+    /// default so standalone managers never grow an unread log; the engine
+    /// turns it on when executor tracing is enabled and drains it per task.
+    pub log_releases: bool,
+    release_events: Vec<ReleaseEvent>,
 }
 
 impl MemoryManager {
@@ -103,7 +121,15 @@ impl MemoryManager {
             spill_read_bytes: 0,
             swap_outs: 0,
             swap_ins: 0,
+            log_releases: false,
+            release_events: Vec::new(),
         }
+    }
+
+    /// Drain the release log recorded since the last call (empty unless
+    /// [`MemoryManager::log_releases`] is set).
+    pub fn take_release_events(&mut self) -> Vec<ReleaseEvent> {
+        std::mem::take(&mut self.release_events)
     }
 
     pub fn page_size(&self) -> usize {
@@ -168,6 +194,13 @@ impl MemoryManager {
         e.refcount -= 1;
         if e.refcount == 0 {
             let mut e = self.entries[id.0 as usize].take().expect("group exists");
+            if self.log_releases {
+                self.release_events.push(ReleaseEvent {
+                    group: id.0,
+                    pages: e.group.page_count(),
+                    bytes: e.group.footprint_bytes(),
+                });
+            }
             e.group.unregister_all(heap);
             if e.swapped {
                 self.spill.remove(id.0);

@@ -132,6 +132,10 @@ pub struct ExecutorConfig {
     pub spill_dir: PathBuf,
     /// Driver fault-handling policy for sessions built from this config.
     pub retry: RetryPolicy,
+    /// Record the structured run trace (`crate::trace`). On by default —
+    /// overhead is a bounded number of vector pushes per task — and
+    /// turned off by the perf gate's overhead-measurement control run.
+    pub tracing: bool,
 }
 
 impl ExecutorConfig {
@@ -152,6 +156,7 @@ impl ExecutorConfig {
                 page_size: 64 << 10,
                 spill_dir: ExecutorConfig::default_spill_dir(),
                 retry: RetryPolicy::default(),
+                tracing: true,
             },
         }
     }
@@ -194,6 +199,11 @@ impl ExecutorConfig {
 
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
+        self
+    }
+
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -264,6 +274,11 @@ impl ExecutorConfigBuilder {
         self
     }
 
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.config.tracing = on;
+        self
+    }
+
     pub fn build(self) -> ExecutorConfig {
         self.config
     }
@@ -319,6 +334,13 @@ mod tests {
         // The builder threads the policy through to the config.
         let c = ExecutorConfig::builder().retry(RetryPolicy::resilient()).build();
         assert_eq!(c.retry.max_attempts, 4);
+    }
+
+    #[test]
+    fn tracing_defaults_on_and_is_switchable() {
+        assert!(ExecutorConfig::new(ExecutionMode::Spark, 1 << 20).tracing);
+        assert!(!ExecutorConfig::builder().tracing(false).build().tracing);
+        assert!(!ExecutorConfig::new(ExecutionMode::Spark, 1 << 20).tracing(false).tracing);
     }
 
     #[test]

@@ -69,6 +69,7 @@ use crate::error::EngineError;
 use crate::executor::Executor;
 use crate::faults::{FaultPlan, FaultSite};
 use crate::metrics::{JobMetrics, StageMetrics, Timeline};
+use crate::trace::{dur_ns, RunTrace, TraceEventKind, TraceRecorder};
 
 /// What a task knows about its place in a stage.
 #[derive(Clone, Debug)]
@@ -96,6 +97,12 @@ pub struct ClusterSession {
     stages: Vec<StageMetrics>,
     policy: RetryPolicy,
     faults: FaultPlan,
+    /// Driver-side run-trace recorder (stage lifecycle and fault-handling
+    /// decisions); executors record their own events.
+    trace: TraceRecorder,
+    /// Driver's simulated job clock: cumulative stage critical-path plus
+    /// recovery time.
+    sim_now: Duration,
 }
 
 impl ClusterSession {
@@ -106,11 +113,14 @@ impl ClusterSession {
     pub fn new(executors: usize, config: ExecutorConfig) -> ClusterSession {
         assert!(executors > 0, "a cluster needs at least one executor");
         let policy = config.retry;
+        let tracing = config.tracing;
         ClusterSession {
             cluster: LocalCluster::uniform(executors, config),
             stages: Vec::new(),
             policy,
             faults: FaultPlan::quiet(),
+            trace: TraceRecorder::new(tracing),
+            sim_now: Duration::ZERO,
         }
     }
 
@@ -119,11 +129,14 @@ impl ClusterSession {
     pub fn with_configs(configs: Vec<ExecutorConfig>) -> ClusterSession {
         assert!(!configs.is_empty(), "a cluster needs at least one executor");
         let policy = configs[0].retry;
+        let tracing = configs[0].tracing;
         ClusterSession {
             cluster: LocalCluster::new(configs),
             stages: Vec::new(),
             policy,
             faults: FaultPlan::quiet(),
+            trace: TraceRecorder::new(tracing),
+            sim_now: Duration::ZERO,
         }
     }
 
@@ -230,24 +243,63 @@ impl ClusterSession {
             h.stage_failures = 0;
         }
 
+        let stage_wall_start = self.trace.now_ns();
+        let stage_sim_start = dur_ns(self.sim_now);
+        self.trace.record(
+            TraceEventKind::StageStart,
+            Some(name),
+            None,
+            None,
+            None,
+            name,
+            stage_wall_start,
+            0,
+            stage_sim_start,
+            0,
+            0,
+            tasks as u64,
+        );
+
+        // A fully quarantined cluster cannot schedule anything: abort up
+        // front, attributed to the cluster state — not to whichever
+        // executor happened to be next in round-robin order — and record
+        // a zeroed aborted-stage row rather than a half-initialized one.
+        if self.cluster.healthy_count() == 0 {
+            let err =
+                EngineError::AllExecutorsLost { executors, quarantined: self.quarantined_count() };
+            let mut stage = StageMetrics::new(name);
+            stage.aborted = true;
+            let now = self.trace.now_ns();
+            self.trace.record(
+                TraceEventKind::StageEnd,
+                Some(name),
+                None,
+                None,
+                None,
+                name,
+                now,
+                now.saturating_sub(stage_wall_start),
+                stage_sim_start,
+                0,
+                0,
+                0,
+            );
+            self.stages.push(stage);
+            return Err(err.in_task(name, 0));
+        }
+
         let mut stage = StageMetrics::new(name);
         stage.tasks = tasks;
         let mut results: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
 
         // Initial assignment: task t starts on the first healthy executor
         // at or after t % E — exactly t % E when nothing is quarantined,
-        // preserving static round-robin pinning.
+        // preserving static round-robin pinning. (`healthy_from` is only
+        // `None` on an all-quarantined cluster, excluded above.)
         let mut pending: Vec<(usize, u32, usize)> = Vec::with_capacity(tasks);
         for t in 0..tasks {
-            match self.cluster.healthy_from(t % executors) {
-                Some(x) => pending.push((t, 0, x)),
-                None => {
-                    self.stages.push(stage);
-                    return Err(
-                        EngineError::ExecutorLost { executor: t % executors }.in_task(name, t)
-                    );
-                }
-            }
+            let x = self.cluster.healthy_from(t % executors).expect("a healthy executor exists");
+            pending.push((t, 0, x));
         }
 
         let outcome: Result<(), EngineError> = 'stage: loop {
@@ -266,15 +318,16 @@ impl ClusterSession {
             // (site, stage, task, attempt) and poison flags are only
             // touched by their own executor's thread, so the failure
             // scenario is identical across widths and interleavings.
-            let wave: Vec<Vec<(usize, u32, Result<R, EngineError>, bool)>> =
+            let wave: Vec<Vec<(usize, u32, Result<R, EngineError>, bool, bool)>> =
                 self.cluster.par_run(|i, e| {
                     queues[i]
                         .iter()
                         .map(|&(t, a)| {
                             let ctx =
                                 TaskContext { stage: name, task: t, tasks, executor: i, executors };
+                            let mut oom_rerun = false;
                             let mut oom_recovered = false;
-                            let mut r = e.run_task(format!("{name}-{t}"), |e| {
+                            let mut r = e.run_task_in(format!("{name}-{t}"), name, t, a, |e| {
                                 if e.is_poisoned() {
                                     return Err(EngineError::ExecutorLost { executor: i });
                                 }
@@ -309,20 +362,27 @@ impl ClusterSession {
                                 && !e.is_poisoned()
                             {
                                 e.spill_for_memory();
-                                r = e.run_task(format!("{name}-{t}-oom-retry"), |e| {
-                                    let out = f(&ctx, e)?;
-                                    if shuffle_stage
-                                        && plan.fires(FaultSite::ShuffleFrame, name, t, a)
-                                    {
-                                        return Err(EngineError::Injected {
-                                            site: FaultSite::ShuffleFrame,
-                                        });
-                                    }
-                                    Ok(out)
-                                });
+                                oom_rerun = true;
+                                r = e.run_task_in(
+                                    format!("{name}-{t}-oom-retry"),
+                                    name,
+                                    t,
+                                    a,
+                                    |e| {
+                                        let out = f(&ctx, e)?;
+                                        if shuffle_stage
+                                            && plan.fires(FaultSite::ShuffleFrame, name, t, a)
+                                        {
+                                            return Err(EngineError::Injected {
+                                                site: FaultSite::ShuffleFrame,
+                                            });
+                                        }
+                                        Ok(out)
+                                    },
+                                );
                                 oom_recovered = r.is_ok();
                             }
-                            (t, a, r, oom_recovered)
+                            (t, a, r, oom_rerun, oom_recovered)
                         })
                         .collect()
                 });
@@ -342,19 +402,37 @@ impl ClusterSession {
 
             // Process outcomes single-threaded, in task order, so health
             // and retry decisions never depend on thread interleaving.
-            let mut flat: Vec<(usize, u32, usize, Result<R, EngineError>, bool)> = Vec::new();
+            let mut flat: Vec<(usize, u32, usize, Result<R, EngineError>, bool, bool)> = Vec::new();
             for (i, list) in wave.into_iter().enumerate() {
-                for (t, a, r, oomr) in list {
-                    flat.push((t, a, i, r, oomr));
+                for (t, a, r, rerun, oomr) in list {
+                    flat.push((t, a, i, r, rerun, oomr));
                 }
             }
             flat.sort_by_key(|&(t, ..)| t);
 
             let mut failures: Vec<(usize, u32, usize, EngineError)> = Vec::new();
-            for (t, a, x, r, oomr) in flat {
-                stage.attempts += 1;
+            for (t, a, x, r, rerun, oomr) in flat {
+                // An OOM in-place re-run is a physical task run: count it
+                // in `attempts` (and `oom_reruns`), never in `retries`.
+                stage.attempts += 1 + rerun as u64;
+                stage.oom_reruns += rerun as u64;
                 if oomr {
                     stage.oom_recoveries += 1;
+                    let now = self.trace.now_ns();
+                    self.trace.record(
+                        TraceEventKind::OomRecovery,
+                        Some(name),
+                        Some(t),
+                        Some(a),
+                        Some(x),
+                        format!("{name}-{t}-oom"),
+                        now,
+                        0,
+                        dur_ns(self.sim_now),
+                        0,
+                        0,
+                        0,
+                    );
                 }
                 match r {
                     Ok(v) => results[t] = Some(v),
@@ -380,9 +458,39 @@ impl ClusterSession {
                     self.cluster.health[x].restarts += 1;
                     stage.restarts += 1;
                     stage.recovery += policy.backoff;
+                    let now = self.trace.now_ns();
+                    self.trace.record(
+                        TraceEventKind::Restart,
+                        Some(name),
+                        None,
+                        None,
+                        Some(x),
+                        format!("restart-executor-{x}"),
+                        now,
+                        0,
+                        dur_ns(self.sim_now),
+                        dur_ns(policy.backoff),
+                        0,
+                        0,
+                    );
                 } else {
                     self.cluster.health[x].quarantined = true;
                     stage.quarantines += 1;
+                    let now = self.trace.now_ns();
+                    self.trace.record(
+                        TraceEventKind::Quarantine,
+                        Some(name),
+                        None,
+                        None,
+                        Some(x),
+                        format!("quarantine-executor-{x}"),
+                        now,
+                        0,
+                        dur_ns(self.sim_now),
+                        0,
+                        0,
+                        0,
+                    );
                 }
             }
 
@@ -399,12 +507,43 @@ impl ClusterSession {
                 };
                 stage.retries += 1;
                 stage.recovery += policy.backoff;
+                let now = self.trace.now_ns();
+                self.trace.record(
+                    TraceEventKind::Retry,
+                    Some(name),
+                    Some(t),
+                    Some(a),
+                    Some(x),
+                    format!("{name}-{t}-retry"),
+                    now,
+                    0,
+                    dur_ns(self.sim_now),
+                    dur_ns(policy.backoff),
+                    0,
+                    y as u64,
+                );
                 pending.push((t, a + 1, y));
             }
         };
 
         // The stage is recorded even when it fails: partial work and
         // recovery attempts stay visible in the metrics.
+        self.sim_now += stage.exec + stage.recovery;
+        let now = self.trace.now_ns();
+        self.trace.record(
+            TraceEventKind::StageEnd,
+            Some(name),
+            None,
+            None,
+            None,
+            name,
+            now,
+            now.saturating_sub(stage_wall_start),
+            stage_sim_start,
+            dur_ns(stage.exec + stage.recovery),
+            stage.shuffle_bytes,
+            stage.attempts,
+        );
         self.stages.push(stage);
         outcome?;
         Ok(results.into_iter().map(|r| r.expect("completed stage fills every slot")).collect())
@@ -467,9 +606,19 @@ impl ClusterSession {
         &self.stages
     }
 
-    /// The most recent stage with the given name.
+    /// The most recent stage with the given name. Iterative jobs reuse
+    /// stage names (multi-iteration PageRank/CC loops), and callers
+    /// reading "the" stage after a run want the latest execution — use
+    /// [`ClusterSession::stages_named`] for the full history.
     pub fn stage(&self, name: &str) -> Option<&StageMetrics> {
         self.stages.iter().rev().find(|s| s.name == name)
+    }
+
+    /// Every execution of the named stage, in run order (indexed access
+    /// for repeated-name jobs; `stages_named(n).last()` ==
+    /// [`ClusterSession::stage`]`(n)`).
+    pub fn stages_named(&self, name: &str) -> Vec<&StageMetrics> {
+        self.stages.iter().filter(|s| s.name == name).collect()
     }
 
     /// Tasks run so far, across all stages (logical tasks; see
@@ -516,6 +665,36 @@ impl ClusterSession {
     /// slowest task).
     pub fn slowest_task(&self) -> Option<&crate::metrics::TaskMetrics> {
         self.cluster.executors.iter().filter_map(|e| e.slowest_task()).max_by_key(|t| t.total())
+    }
+
+    // ------------------------------------------------------------------
+    // run trace
+    // ------------------------------------------------------------------
+
+    /// The driver's own trace recorder (stage lifecycle, retries,
+    /// quarantines, restarts, OOM recoveries).
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// The merged run trace: driver events plus every executor's,
+    /// deterministically ordered by logical position (see
+    /// [`RunTrace::merge`]). Empty when tracing is off.
+    pub fn merged_trace(&self) -> RunTrace {
+        let executors: Vec<&TraceRecorder> =
+            self.cluster.executors.iter().map(|e| &e.trace).collect();
+        RunTrace::merge(&self.trace, &executors)
+    }
+
+    /// Write the merged trace as Chrome trace-event JSON (loadable in
+    /// `chrome://tracing` or Perfetto).
+    pub fn export_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.merged_trace().to_chrome_string())
+    }
+
+    /// Write the merged trace's flat run manifest JSON.
+    pub fn export_manifest(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.merged_trace().to_manifest_string())
     }
 
     /// The underlying cluster (raw `par_run` waves, direct executor
@@ -801,5 +980,175 @@ mod tests {
         let err = s.run_stage("after", 1, |_ctx, _e| Ok(())).unwrap_err();
         assert!(matches!(err, EngineError::Task { .. }), "{err}");
         assert!(s.stage("after").is_some());
+    }
+
+    #[test]
+    fn all_quarantined_abort_blames_cluster_state_with_zeroed_row() {
+        // Regression: the up-front abort used to report `ExecutorLost
+        // { executor: t % executors }` — an arbitrary round-robin slot —
+        // and push a half-initialized row (tasks set, zero attempts).
+        let mut s = session(2);
+        s.set_retry_policy(RetryPolicy::resilient().quarantine_after(1).spare_last_executor(false));
+        s.install_faults(FaultPlan::quiet().force(FaultSite::ExecutorCrash, "melt", None, None));
+        s.run_stage("melt", 4, |_ctx, _e| Ok(())).unwrap_err();
+        assert_eq!(s.cluster().healthy_count(), 0);
+        let err = s.run_stage("after", 3, |_ctx, _e| Ok(())).unwrap_err();
+        // The cause names the cluster state, not a scapegoat executor.
+        match &err {
+            EngineError::Task { stage, source, .. } => {
+                assert_eq!(stage, "after");
+                assert!(
+                    matches!(
+                        **source,
+                        EngineError::AllExecutorsLost { executors: 2, quarantined: 2 }
+                    ),
+                    "cause must be the all-quarantined cluster: {source}"
+                );
+            }
+            other => panic!("expected task-wrapped AllExecutorsLost, got {other}"),
+        }
+        assert!(err.is_transient());
+        assert!(err.to_string().contains("no healthy executors"), "{err}");
+        // The recorded row is zeroed and flagged, never half-initialized.
+        let st = s.stage("after").unwrap();
+        assert!(st.aborted);
+        assert_eq!((st.tasks, st.attempts, st.retries), (0, 0, 0));
+        assert_eq!(st.exec, Duration::ZERO);
+        // Stages that actually ran are not marked aborted.
+        assert!(!s.stage("melt").unwrap().aborted);
+    }
+
+    #[test]
+    fn repeated_stage_names_read_most_recent_and_index_all() {
+        // Iterative jobs reuse stage names; `stage()` must read the most
+        // recent execution, and `stages_named` exposes the history.
+        let mut s = session(2);
+        for iter in 0..3u64 {
+            s.run_stage("pr-iter", 2 + iter as usize, |ctx, _e| Ok(ctx.task)).unwrap();
+        }
+        assert_eq!(s.stage("pr-iter").unwrap().tasks, 4, "most recent execution wins");
+        let all = s.stages_named("pr-iter");
+        assert_eq!(all.iter().map(|st| st.tasks).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            all.last().map(|st| st.tasks),
+            s.stage("pr-iter").map(|st| st.tasks),
+            "stage() is stages_named().last()"
+        );
+        assert!(s.stages_named("absent").is_empty());
+    }
+
+    #[test]
+    fn oom_rerun_is_counted_as_a_physical_attempt_not_a_retry() {
+        // Regression for the attempts accounting: the OOM in-place re-run
+        // is a physical task run. It used to vanish from `attempts`
+        // (under-counting the work the cluster did).
+        let mut s = session(2);
+        s.install_faults(FaultPlan::quiet().force(FaultSite::Alloc, "mem", Some(2), Some(0)));
+        s.run_stage("mem", 4, |ctx, _e| Ok(ctx.task)).unwrap();
+        let st = s.stage("mem").unwrap();
+        assert_eq!(st.tasks, 4);
+        assert_eq!(st.oom_reruns, 1);
+        assert_eq!(st.oom_recoveries, 1);
+        assert_eq!(st.retries, 0);
+        assert_eq!(st.attempts, 5, "4 scheduled + 1 in-place re-run");
+        assert_eq!(
+            st.attempts,
+            st.tasks as u64 + st.retries + st.oom_reruns,
+            "the attempts invariant"
+        );
+        let j = s.job_summary();
+        assert_eq!((j.oom_reruns, j.oom_recoveries, j.attempts), (1, 1, 5));
+    }
+
+    // ------------------------------------------------------------------
+    // run trace
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn trace_records_stage_lifecycle_and_attempts() {
+        use crate::trace::TraceEventKind;
+        let mut s = session(2);
+        s.run_stage("ids", 3, |ctx, _e| Ok(ctx.task)).unwrap();
+        let t = s.merged_trace();
+        assert_eq!(t.of_kind(TraceEventKind::StageStart).count(), 1);
+        assert_eq!(t.of_kind(TraceEventKind::StageEnd).count(), 1);
+        assert_eq!(t.of_kind(TraceEventKind::TaskAttempt).count(), 3);
+        // Logical order: start, attempts by task index, end.
+        assert_eq!(t.events.first().unwrap().kind, TraceEventKind::StageStart);
+        assert_eq!(t.events.last().unwrap().kind, TraceEventKind::StageEnd);
+        let tasks: Vec<Option<usize>> =
+            t.of_kind(TraceEventKind::TaskAttempt).map(|e| e.task).collect();
+        assert_eq!(tasks, vec![Some(0), Some(1), Some(2)]);
+        // Attempts are attributed to the round-robin executor.
+        let execs: Vec<Option<usize>> =
+            t.of_kind(TraceEventKind::TaskAttempt).map(|e| e.executor).collect();
+        assert_eq!(execs, vec![Some(0), Some(1), Some(0)]);
+        assert_eq!(t.events.last().unwrap().count, 3, "StageEnd carries attempts");
+    }
+
+    #[test]
+    fn trace_records_fault_handling_events() {
+        use crate::trace::TraceEventKind;
+        let mut s = session(2);
+        s.set_retry_policy(RetryPolicy::resilient());
+        s.install_faults(FaultPlan::quiet().force(FaultSite::TaskBody, "flaky", Some(1), Some(0)));
+        s.run_stage("flaky", 4, |ctx, _e| Ok(ctx.executor)).unwrap();
+        let t = s.merged_trace();
+        let retries: Vec<&crate::trace::TraceEvent> = t.of_kind(TraceEventKind::Retry).collect();
+        assert_eq!(retries.len(), 1);
+        assert_eq!(retries[0].task, Some(1));
+        assert_eq!(retries[0].executor, Some(1), "failed on executor 1");
+        assert_eq!(retries[0].count, 0, "rescheduled onto executor 0");
+        // 4 first attempts + 1 retry = 5 TaskAttempt events.
+        assert_eq!(t.of_kind(TraceEventKind::TaskAttempt).count(), 5);
+        // The retried attempt carries attempt=1.
+        assert!(t
+            .of_kind(TraceEventKind::TaskAttempt)
+            .any(|e| e.task == Some(1) && e.attempt == 1));
+    }
+
+    #[test]
+    fn trace_records_oom_recovery_and_disabled_tracing_is_empty() {
+        use crate::trace::TraceEventKind;
+        let mut s = session(2);
+        s.install_faults(FaultPlan::quiet().force(FaultSite::Alloc, "mem", Some(2), Some(0)));
+        s.run_stage("mem", 4, |ctx, _e| Ok(ctx.task)).unwrap();
+        let t = s.merged_trace();
+        assert_eq!(t.of_kind(TraceEventKind::OomRecovery).count(), 1);
+        // Both the failed attempt and the in-place re-run are attempts.
+        assert_eq!(t.of_kind(TraceEventKind::TaskAttempt).count(), 5);
+
+        // With tracing off, nothing is recorded anywhere.
+        let cfg = ExecutorConfig::builder().heap_mb(8).tracing(false).build();
+        let mut quiet = ClusterSession::new(2, cfg);
+        quiet.run_stage("ids", 3, |ctx, _e| Ok(ctx.task)).unwrap();
+        assert!(quiet.merged_trace().is_empty());
+    }
+
+    #[test]
+    fn chrome_export_of_a_real_run_roundtrips() {
+        let mut s = session(2);
+        s.run_shuffle_job(
+            "x",
+            3,
+            2,
+            |ctx, _e| Ok(vec![vec![ctx.task as u8]; 2]),
+            |_ctx, _e, inputs| Ok(inputs.iter().map(|b| b[0]).collect::<Vec<u8>>()),
+        )
+        .unwrap();
+        let t = s.merged_trace();
+        assert!(!t.is_empty());
+        let text = t.to_chrome_string();
+        assert_eq!(RunTrace::validate_chrome_document(&text), Ok(t.len()));
+        let back = RunTrace::from_chrome_string(&text).unwrap();
+        assert_eq!(back, t);
+        // The manifest sees both stages with their attempt counts.
+        let manifest = t.to_manifest_json();
+        let stages = manifest.get("stages").unwrap().as_array().unwrap();
+        let names: Vec<&str> =
+            stages.iter().filter_map(|s| s.get("name").and_then(|n| n.as_str())).collect();
+        assert_eq!(names, vec!["x-map", "x-reduce"]);
+        assert_eq!(stages[0].get("attempts").unwrap().as_u64(), Some(3));
+        assert_eq!(stages[1].get("attempts").unwrap().as_u64(), Some(2));
     }
 }

@@ -37,6 +37,11 @@ pub enum EngineError {
     /// crash earlier in the wave). The task itself did no wrong: it can be
     /// re-run on any healthy executor.
     ExecutorLost { executor: usize },
+    /// No healthy executor remains in the cluster: `quarantined` of
+    /// `executors` are out of service, so the stage cannot schedule at
+    /// all. This is a cluster-state failure — no single executor (and no
+    /// task) is at fault.
+    AllExecutorsLost { executors: usize, quarantined: usize },
     /// A deterministic fault-plan injection fired at the given site.
     Injected { site: FaultSite },
     /// A task failed; carries the stage and task index for diagnosis.
@@ -62,6 +67,7 @@ impl EngineError {
         match self {
             EngineError::Oom(_) => true,
             EngineError::ExecutorLost { .. } => true,
+            EngineError::AllExecutorsLost { .. } => true,
             EngineError::Injected { .. } => true,
             EngineError::Shuffle(_) => true,
             EngineError::Cache(CacheError::Oom(_)) => true,
@@ -122,6 +128,9 @@ impl std::fmt::Display for EngineError {
             EngineError::ExecutorLost { executor } => {
                 write!(f, "executor {executor} lost (crashed or poisoned)")
             }
+            EngineError::AllExecutorsLost { executors, quarantined } => {
+                write!(f, "no healthy executors: {quarantined} of {executors} quarantined")
+            }
             EngineError::Injected { site } => write!(f, "injected {site} fault"),
             EngineError::Task { stage, task, source } => {
                 write!(f, "stage {stage:?} task {task}: {source}")
@@ -139,6 +148,7 @@ impl std::error::Error for EngineError {
             EngineError::Io(e) => Some(e),
             EngineError::Shuffle(_) => None,
             EngineError::ExecutorLost { .. } => None,
+            EngineError::AllExecutorsLost { .. } => None,
             EngineError::Injected { .. } => None,
             EngineError::Task { source, .. } => Some(source.as_ref()),
         }
@@ -181,6 +191,11 @@ mod tests {
         let injected = EngineError::Injected { site: FaultSite::ShuffleFrame };
         assert_eq!(injected.to_string(), "injected shuffle-frame fault");
         assert!(injected.source().is_none());
+        let all = EngineError::AllExecutorsLost { executors: 4, quarantined: 4 };
+        assert_eq!(all.to_string(), "no healthy executors: 4 of 4 quarantined");
+        assert!(all.source().is_none());
+        assert!(all.is_transient(), "a replaced cluster could re-run the job");
+        assert!(!all.is_memory_pressure());
         // Task attribution renders around the fault cause.
         let wrapped = EngineError::Injected { site: FaultSite::TaskBody }.in_task("pr-map", 1);
         let msg = wrapped.to_string();

@@ -34,6 +34,7 @@ pub mod record;
 pub mod serde_sim;
 pub mod session;
 pub mod shuffle;
+pub mod trace;
 
 pub use cache::{CacheError, CacheStats, CachedRdd};
 pub use cluster::{ExecutorHealth, LocalCluster};
@@ -47,3 +48,4 @@ pub use record::{HeapRecord, KryoRecord, Record};
 pub use serde_sim::KryoSim;
 pub use session::{Cached, DecaSession};
 pub use shuffle::{SparkGroupShuffle, SparkHashShuffle};
+pub use trace::{RunTrace, TraceEvent, TraceEventKind, TraceRecorder};

@@ -52,8 +52,8 @@ pub struct JobMetrics {
     pub swapped_cache_bytes: usize,
     pub minor_gcs: u64,
     pub full_gcs: u64,
-    /// Task attempts across the job (≥ the logical task count; the excess
-    /// is `retries`).
+    /// Physical task runs across the job: `tasks + retries + oom_reruns`
+    /// when every stage completes.
     pub attempts: u64,
     /// Task re-runs the retry machinery performed.
     pub retries: u64,
@@ -61,7 +61,11 @@ pub struct JobMetrics {
     pub quarantines: u64,
     /// Executors restarted in place (the spare-last-executor path).
     pub restarts: u64,
-    /// OOM-classified failures absorbed by spill-and-retry degradation.
+    /// In-place re-runs performed by graceful OOM degradation (each is a
+    /// physical run counted in `attempts`, never a `retries` entry).
+    pub oom_reruns: u64,
+    /// OOM-classified failures absorbed by spill-and-retry degradation
+    /// (`oom_reruns` that succeeded).
     pub oom_recoveries: u64,
     /// Simulated time spent on retry backoff and recovery scheduling.
     pub recovery: Duration,
@@ -84,6 +88,7 @@ impl JobMetrics {
         self.retries += s.retries;
         self.quarantines += s.quarantines;
         self.restarts += s.restarts;
+        self.oom_reruns += s.oom_reruns;
         self.oom_recoveries += s.oom_recoveries;
         self.recovery += s.recovery;
     }
@@ -122,8 +127,9 @@ pub struct StageMetrics {
     /// Bytes moved through the all-to-all exchange that follows this
     /// stage (set on the map side of a shuffle job; 0 otherwise).
     pub shuffle_bytes: u64,
-    /// Task attempts this stage ran, successful or not (equals `tasks`
-    /// when nothing failed).
+    /// Physical task runs this stage performed, successful or not —
+    /// scheduled attempts plus OOM in-place re-runs; equals
+    /// `tasks + retries + oom_reruns` when the stage completes.
     pub attempts: u64,
     /// Re-runs after transient failures.
     pub retries: u64,
@@ -131,10 +137,17 @@ pub struct StageMetrics {
     pub quarantines: u64,
     /// Executors restarted in place during this stage.
     pub restarts: u64,
-    /// OOM failures absorbed by spill-and-retry.
+    /// In-place re-runs performed by graceful OOM degradation (physical
+    /// runs, counted in `attempts`; not `retries`).
+    pub oom_reruns: u64,
+    /// OOM failures absorbed by spill-and-retry (`oom_reruns` that
+    /// succeeded).
     pub oom_recoveries: u64,
     /// Simulated backoff/rescheduling time spent recovering from faults.
     pub recovery: Duration,
+    /// The stage never ran any task: the driver aborted it up front (no
+    /// healthy executor). Counters in an aborted row are all zero.
+    pub aborted: bool,
 }
 
 impl StageMetrics {
@@ -265,17 +278,19 @@ mod tests {
     fn stage_recovery_rolls_up_into_job() {
         let mut s = StageMetrics::new("map");
         s.tasks = 4;
-        s.attempts = 6;
+        s.attempts = 7;
         s.retries = 2;
         s.quarantines = 1;
+        s.oom_reruns = 1;
         s.oom_recoveries = 1;
         s.recovery = Duration::from_millis(20);
         let mut j = JobMetrics::default();
         j.add_stage_recovery(&s);
         j.add_stage_recovery(&s);
-        assert_eq!(j.attempts, 12);
+        assert_eq!(j.attempts, 14);
         assert_eq!(j.retries, 4);
         assert_eq!(j.quarantines, 2);
+        assert_eq!(j.oom_reruns, 2);
         assert_eq!(j.oom_recoveries, 2);
         assert_eq!(j.recovery, Duration::from_millis(40));
     }

@@ -13,6 +13,16 @@ pub enum GcEventKind {
     Full,
 }
 
+impl GcEventKind {
+    /// Stable lowercase name, used by the run-trace exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            GcEventKind::Minor => "minor",
+            GcEventKind::Full => "full",
+        }
+    }
+}
+
 /// One collection, as recorded in the event log.
 #[derive(Copy, Clone, Debug)]
 pub struct GcEvent {
@@ -57,6 +67,13 @@ impl GcStats {
     /// Total number of collections.
     pub fn total_collections(&self) -> u64 {
         self.minor_collections + self.full_collections
+    }
+
+    /// Collections recorded after `mark` (a prior `events.len()` reading):
+    /// the incremental window the engine's run trace drains per task, so
+    /// each pause is attributed to exactly one task attempt.
+    pub fn events_since(&self, mark: usize) -> &[GcEvent] {
+        &self.events[mark.min(self.events.len())..]
     }
 
     /// Record one collection event (public for downstream tests and

@@ -33,4 +33,18 @@ done
 echo "== bench smoke (fig8 wordcount, tiny scale) =="
 DECA_BENCH_SCALE=0.05 cargo run --release --offline -q -p deca-bench --bin fig8_wordcount
 
+echo "== observability (trace export + lossless chrome round-trip) =="
+cargo run --release --offline -q --example trace_export
+
+echo "== perf gate (vs committed BENCH baselines) =="
+# The gate re-measures every cell at the committed record's scale and
+# compares best-of-N times against the newest committed BENCH_*.json — copied
+# beside a scratch output so the comparison never dirties the tree. It
+# exits non-zero on regression beyond the tolerance band, validates the
+# Chrome-trace round-trip in-process, and checks the tracing overhead.
+mkdir -p target/ci
+cp BENCH_*.json target/ci/
+DECA_GATE_SAMPLES=3 DECA_BENCH_OUT=target/ci/BENCH_current.json \
+  cargo run --release --offline -q -p deca-bench --bin perf_gate
+
 echo "== ci green =="
