@@ -290,7 +290,10 @@ fn assert_deca_plan() {
     );
 }
 
-fn pr_config(params: &PrParams) -> ExecutorConfig {
+/// The executor configuration PageRank runs under (public so the
+/// scheduler-equivalence tests can build sessions with the exact same
+/// memory split, then vary retry policy and scheduler mode).
+pub fn pr_config(params: &PrParams) -> ExecutorConfig {
     ExecutorConfig::builder()
         .mode(params.mode)
         .heap_bytes(params.heap_bytes)
@@ -418,12 +421,22 @@ pub fn run_on(
                     );
                 });
                 let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
-                    let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
+                    // Either branch writes ≤ one record per destination
+                    // vertex held in the buffer: ~2-byte tag + varint key
+                    // + 8-byte f64 (Spark) or fixed 16 bytes (Deca).
+                    let held = spark_sums.as_ref().map_or(0, |b| b.len())
+                        + deca_sums.as_ref().map_or(0, |b| b.len());
+                    let cap = 16 * held.div_ceil(reducers);
+                    let mut out: Vec<Vec<u8>> =
+                        (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
                     if let Some(mut buf) = spark_sums.take() {
-                        for (k, v) in buf.drain(&e.heap) {
-                            let r = (k as u64 % reducers as u64) as usize;
-                            e.kryo.serialize(&(k, v), &mut out[r]);
-                        }
+                        let pairs = buf.drain(&e.heap);
+                        e.kryo.time_ser(|kr| {
+                            for (k, v) in pairs {
+                                let r = (k as u64 % reducers as u64) as usize;
+                                kr.serialize(&(k, v), &mut out[r]);
+                            }
+                        });
                         buf.release(&mut e.heap);
                     }
                     if let Some(mut buf) = deca_sums.take() {
@@ -472,9 +485,8 @@ pub fn run_on(
                             SparkHashShuffle::new(&mut e.heap)?;
                         e.shuffle_read_scope(|e| -> Result<(), EngineError> {
                             for bytes in bufs {
-                                let mut pos = 0;
-                                while pos < bytes.len() {
-                                    let (k, v): (i64, f64) = e.kryo.deserialize(bytes, &mut pos);
+                                let pairs: Vec<(i64, f64)> = e.kryo.deserialize_all(bytes);
+                                for (k, v) in pairs {
                                     buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
                                 }
                             }

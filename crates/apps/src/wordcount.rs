@@ -57,7 +57,10 @@ pub fn run(params: &WcParams) -> AppReport {
     run_cluster(params, 1)
 }
 
-fn wc_config(params: &WcParams) -> ExecutorConfig {
+/// The executor configuration WordCount runs under (public so the
+/// scheduler-equivalence tests can build sessions with the exact same
+/// memory split, then vary retry policy and scheduler mode).
+pub fn wc_config(params: &WcParams) -> ExecutorConfig {
     ExecutorConfig::builder()
         .mode(params.mode)
         .heap_bytes(params.heap_bytes)
@@ -139,11 +142,18 @@ fn run_spark(
             }
             // Shuffle write: Spark serializes combined pairs per reducer.
             let out = e.shuffle_write_scope(|e| {
-                let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
-                for (k, v) in buf.drain(&e.heap) {
-                    let r = (k as u64 % reducers as u64) as usize;
-                    e.kryo.serialize(&(k, v), &mut out[r]);
-                }
+                let pairs = buf.drain(&e.heap);
+                // ~2-byte tag + two small varints per pair; pre-size each
+                // run near its share so the encode loop never reallocates.
+                let cap = 8 * pairs.len().div_ceil(reducers);
+                let mut out: Vec<Vec<u8>> =
+                    (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
+                e.kryo.time_ser(|kr| {
+                    for (k, v) in pairs {
+                        let r = (k as u64 % reducers as u64) as usize;
+                        kr.serialize(&(k, v), &mut out[r]);
+                    }
+                });
                 out
             });
             buf.release(&mut e.heap);
@@ -154,9 +164,8 @@ fn run_spark(
             let mut buf: SparkHashShuffle<i64, i64> = SparkHashShuffle::new(&mut e.heap)?;
             e.shuffle_read_scope(|e| -> Result<(), EngineError> {
                 for bytes in bufs {
-                    let mut pos = 0;
-                    while pos < bytes.len() {
-                        let (k, v): (i64, i64) = e.kryo.deserialize(bytes, &mut pos);
+                    let pairs: Vec<(i64, i64)> = e.kryo.deserialize_all(bytes);
+                    for (k, v) in pairs {
                         buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
                     }
                 }
@@ -201,7 +210,10 @@ fn run_deca(
             }
             // Shuffle write: raw bytes, no serialization (§6.1).
             let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
-                let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
+                // Fixed 16-byte records; size each run near its share.
+                let cap = 16 * buf.len().div_ceil(reducers);
+                let mut out: Vec<Vec<u8>> =
+                    (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
                 buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
                     let key = i64::from_le_bytes(k[..8].try_into().unwrap());
                     let r = (key as u64 % reducers as u64) as usize;
@@ -257,13 +269,7 @@ pub fn run_text(params: &WcParams) -> AppReport {
 
 /// Text-keyed WordCount across `executors` parallel executors.
 pub fn run_text_cluster(params: &WcParams, executors: usize) -> AppReport {
-    let config = ExecutorConfig::builder()
-        .mode(params.mode)
-        .heap_bytes(params.heap_bytes)
-        .shuffle_fraction(0.6)
-        .storage_fraction(0.2)
-        .build();
-    let mut session = ClusterSession::new(executors, config);
+    let mut session = ClusterSession::new(executors, wc_config(params));
     let ids = datagen::zipf_words(params.words, params.distinct, params.seed);
     let parts = datagen::partition(&ids, params.partitions);
     let reducers = params.partitions;
@@ -306,12 +312,18 @@ fn run_text_spark(
                 buf.insert(&mut e.heap, word, 1, |a, b| a + b)?;
             }
             let out = e.shuffle_write_scope(|e| {
-                let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
-                for (k, v) in buf.drain(&e.heap) {
-                    let r = (k.len() + k.as_bytes()[1] as usize) % reducers;
-                    e.kryo.serialize(&k, &mut out[r]);
-                    e.kryo.serialize(&v, &mut out[r]);
-                }
+                let pairs = buf.drain(&e.heap);
+                // Tokens average ~8 bytes plus framing and the count.
+                let cap = 24 * pairs.len().div_ceil(reducers);
+                let mut out: Vec<Vec<u8>> =
+                    (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
+                e.kryo.time_ser(|kr| {
+                    for (k, v) in pairs {
+                        let r = (k.len() + k.as_bytes()[1] as usize) % reducers;
+                        kr.serialize(&k, &mut out[r]);
+                        kr.serialize(&v, &mut out[r]);
+                    }
+                });
                 out
             });
             buf.release(&mut e.heap);
@@ -321,10 +333,19 @@ fn run_text_spark(
             let mut buf: SparkHashShuffle<String, i64> = SparkHashShuffle::new(&mut e.heap)?;
             e.shuffle_read_scope(|e| -> Result<(), EngineError> {
                 for bytes in bufs {
-                    let mut pos = 0;
-                    while pos < bytes.len() {
-                        let k: String = e.kryo.deserialize(bytes, &mut pos);
-                        let v: i64 = e.kryo.deserialize(bytes, &mut pos);
+                    // Heterogeneous stream (String, i64, String, …):
+                    // decode pairwise under one scoped timer, insert after.
+                    let pairs: Vec<(String, i64)> = e.kryo.time_deser(|kr| {
+                        let mut pairs = Vec::new();
+                        let mut pos = 0;
+                        while pos < bytes.len() {
+                            let k: String = kr.deserialize(bytes, &mut pos);
+                            let v: i64 = kr.deserialize(bytes, &mut pos);
+                            pairs.push((k, v));
+                        }
+                        pairs
+                    });
+                    for (k, v) in pairs {
                         buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
                     }
                 }
@@ -362,7 +383,10 @@ fn run_text_deca(
             }
             // Raw framed bytes out: u32 key len + key + 8-byte count.
             let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
-                let mut out: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
+                // ~4-byte frame + ~8-byte key + 8-byte count per record.
+                let cap = 24 * buf.len().div_ceil(reducers);
+                let mut out: Vec<Vec<u8>> =
+                    (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
                 buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
                     let r = (k.len() + k[1] as usize) % reducers;
                     out[r].extend_from_slice(&(k.len() as u32).to_le_bytes());

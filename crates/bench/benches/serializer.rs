@@ -1,6 +1,15 @@
 //! Serializer micro-benchmarks backing Table 5's bottom rows: Deca's flat
 //! encode ≈ Kryo's encode, while Deca reads fields in place and pays no
 //! deserialization at all.
+//!
+//! Timing-granularity note: `KryoSim` charges `ser_time`/`deser_time` at
+//! *batch* scope (one `Instant` pair around a whole loop, via
+//! `time_ser`/`time_deser` or the `*_all` helpers), not per record. The
+//! `kryo_timer_granularity_*` pair below measures why: encoding one small
+//! tuple costs a few nanoseconds, while an `Instant::now()` pair costs
+//! tens — per-record bracketing multiplies the measured "serialization"
+//! cost several-fold and the harness becomes the workload. Run with
+//! `cargo bench --bench serializer` and compare the two cells.
 
 use deca_apps::records::LabeledPointRec;
 use deca_check::{criterion_group, criterion_main, Criterion};
@@ -60,5 +69,37 @@ fn per_object_costs(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, per_object_costs);
+fn timer_granularity(c: &mut Criterion) {
+    // The same 10k-pair encode, timed the two ways. "batch" is the shipped
+    // design (one timer pair per phase); "per_record" re-creates the old
+    // per-record bracketing to show the overhead it added to ser_time.
+    let recs: Vec<(i64, i64)> = (0..10_000).map(|i| (i, i * 3)).collect();
+
+    c.bench_function("kryo_timer_granularity_batch", |b| {
+        b.iter(|| {
+            let mut k = KryoSim::new();
+            let buf = k.time_ser(|k| {
+                let mut buf = Vec::new();
+                for r in &recs {
+                    k.serialize(r, &mut buf);
+                }
+                buf
+            });
+            std::hint::black_box((buf, k.ser_time));
+        });
+    });
+
+    c.bench_function("kryo_timer_granularity_per_record", |b| {
+        b.iter(|| {
+            let mut k = KryoSim::new();
+            let mut buf = Vec::new();
+            for r in &recs {
+                k.time_ser(|k| k.serialize(r, &mut buf));
+            }
+            std::hint::black_box((buf, k.ser_time));
+        });
+    });
+}
+
+criterion_group!(benches, per_object_costs, timer_granularity);
 criterion_main!(benches);

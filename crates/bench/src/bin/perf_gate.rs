@@ -3,7 +3,7 @@
 //! Runs pinned smoke workloads (WC, LR, PR at `DECA_BENCH_SCALE`) in
 //! Spark and Deca mode, times each cell with the `deca-check` sampling
 //! discipline (median/p95 over `DECA_GATE_SAMPLES` runs), and writes the
-//! results to `BENCH_PR4.json` (`DECA_BENCH_OUT` overrides). If an older
+//! results to `BENCH_PR5.json` (`DECA_BENCH_OUT` overrides). If an older
 //! `BENCH_*.json` exists next to the output, the gate compares the
 //! best-of-N wall time cell-by-cell (the min is the noise-free estimate
 //! for deterministic work; medians over few ~50 ms samples swing with
@@ -20,6 +20,13 @@
 //!   `DECA_GATE_TRACE_OVERHEAD` percent (default 5);
 //! * a traced run's Chrome trace-event export must validate and
 //!   round-trip losslessly through the in-repo JSON parser.
+//!
+//! A third in-process check gates the scheduler itself: a skewed stage
+//! (one straggler ~8× the rest) is timed under both scheduler modes, and
+//! the pull scheduler must beat the wave scheduler by at least
+//! `DECA_GATE_SKEW_MIN` (default 1.3×) on the median. The skew cell is
+//! recorded in its own JSON section, not under `workloads`, so it never
+//! enters the cross-PR baseline band.
 
 use std::time::Instant;
 
@@ -30,9 +37,9 @@ use deca_apps::wordcount::{self, WcParams};
 use deca_bench::Scale;
 use deca_check::bench::summarize;
 use deca_check::Json;
-use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig, RunTrace};
+use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig, RunTrace, SchedulerMode};
 
-const OUT_DEFAULT: &str = "BENCH_PR4.json";
+const OUT_DEFAULT: &str = "BENCH_PR5.json";
 const MODES: [ExecutionMode; 2] = [ExecutionMode::Spark, ExecutionMode::Deca];
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -174,6 +181,7 @@ fn main() {
     let scale = Scale::from_env();
     let samples = env_usize("DECA_GATE_SAMPLES", 5).max(1);
     let tolerance = env_f64("DECA_GATE_TOLERANCE", 1.6);
+    let skew_min = env_f64("DECA_GATE_SKEW_MIN", 1.3);
     let overhead_limit = env_f64("DECA_GATE_TRACE_OVERHEAD", 5.0);
     let out = std::env::var("DECA_BENCH_OUT").unwrap_or_else(|_| OUT_DEFAULT.to_string());
     let out_path = std::path::PathBuf::from(&out);
@@ -233,10 +241,58 @@ fn main() {
         n
     };
 
+    // --- skewed-stage scheduler cell: Wave vs Pull --------------------
+    // One straggler task 8× the rest, more tasks than executors. Under
+    // Wave the straggler's executor also runs its whole affinity queue
+    // after the long task while the barrier holds everyone else idle;
+    // under Pull the idle executors steal those tasks, so the stage ends
+    // near max(straggler, total/executors). Task cost is modelled as
+    // sleep (I/O wait), which overlaps across executor threads even on a
+    // single-core host — a real-CPU straggler would serialize there and
+    // measure nothing about scheduling.
+    let (skew_wave, skew_pull, skew_speedup) = {
+        const EXECUTORS: usize = 4;
+        const TASKS: usize = 24;
+        const STRAGGLER_FACTOR: u64 = 8;
+        let base = std::time::Duration::from_millis(2);
+        let time_sched = |sched: SchedulerMode| -> Vec<f64> {
+            let mut times = Vec::with_capacity(samples);
+            for i in 0..=samples {
+                let config = ExecutorConfig::new(ExecutionMode::Deca, 8 << 20)
+                    .tracing(false)
+                    .scheduler(sched);
+                let mut session = ClusterSession::new(EXECUTORS, config);
+                let t = Instant::now();
+                session
+                    .run_stage("skew", TASKS, |ctx, _e| {
+                        let d = if ctx.task == 0 { base * STRAGGLER_FACTOR as u32 } else { base };
+                        std::thread::sleep(d);
+                        Ok(())
+                    })
+                    .expect("skew stage");
+                if i > 0 {
+                    times.push(t.elapsed().as_secs_f64()); // sample 0 is warmup
+                }
+            }
+            times
+        };
+        let wave = summarize(time_sched(SchedulerMode::Wave), 1);
+        let pull = summarize(time_sched(SchedulerMode::Pull), 1);
+        let speedup = wave.median / pull.median.max(1e-9);
+        println!(
+            "  skew cell ({EXECUTORS} executors, {TASKS} tasks, straggler {STRAGGLER_FACTOR}x): \
+             wave median {:.1}ms, pull median {:.1}ms, speedup {speedup:.2}x (gate >= \
+             {skew_min:.2}x)",
+            wave.median * 1e3,
+            pull.median * 1e3,
+        );
+        (wave, pull, speedup)
+    };
+
     // --- write the BENCH record ---------------------------------------
     let doc = Json::obj(vec![
         ("schema", Json::str("deca-bench-v1")),
-        ("pr", Json::str("PR4")),
+        ("pr", Json::str("PR5")),
         ("scale", Json::num(scale.factor)),
         ("samples", Json::int(samples as u64)),
         ("tolerance", Json::num(tolerance)),
@@ -261,6 +317,22 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        // Out-of-band of `workloads`: scheduler A/B, gated on its own
+        // speedup floor rather than the cross-PR tolerance band.
+        (
+            "skew",
+            Json::obj(vec![
+                ("executors", Json::int(4)),
+                ("tasks", Json::int(24)),
+                ("straggler_factor", Json::int(8)),
+                ("wave_min_s", Json::num(skew_wave.min)),
+                ("wave_median_s", Json::num(skew_wave.median)),
+                ("pull_min_s", Json::num(skew_pull.min)),
+                ("pull_median_s", Json::num(skew_pull.median)),
+                ("speedup_median", Json::num(skew_speedup)),
+                ("gate_min", Json::num(skew_min)),
+            ]),
         ),
     ]);
     std::fs::write(&out_path, doc.to_pretty() + "\n").expect("write BENCH record");
@@ -304,6 +376,13 @@ fn main() {
         }
     }
 
+    if skew_speedup < skew_min {
+        eprintln!(
+            "perf_gate: FAIL — pull scheduler speedup {skew_speedup:.2}x on the skew cell is \
+             below the {skew_min:.2}x floor"
+        );
+        failed = true;
+    }
     if overhead > overhead_limit {
         eprintln!("perf_gate: FAIL — tracing overhead {overhead:.2}% exceeds {overhead_limit:.1}%");
         failed = true;

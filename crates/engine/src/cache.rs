@@ -88,13 +88,15 @@ where
 {
     fn serialize(&self, heap: &mut Heap, kryo: &mut KryoSim, root: RootId, len: usize) -> Vec<u8> {
         let arr = heap.root_ref(root);
-        let mut out = Vec::new();
-        for i in 0..len {
-            let obj = heap.array_get_ref(arr, i);
-            let rec = T::load(heap, &self.classes, obj);
-            kryo.serialize(&rec, &mut out);
-        }
-        out
+        kryo.time_ser(|k| {
+            let mut out = Vec::new();
+            for i in 0..len {
+                let obj = heap.array_get_ref(arr, i);
+                let rec = T::load(heap, &self.classes, obj);
+                k.serialize(&rec, &mut out);
+            }
+            out
+        })
     }
 
     fn deserialize(
@@ -103,11 +105,7 @@ where
         kryo: &mut KryoSim,
         bytes: &[u8],
     ) -> Result<(RootId, usize), OomError> {
-        let mut recs: Vec<T> = Vec::new();
-        let mut pos = 0;
-        while pos < bytes.len() {
-            recs.push(kryo.deserialize(bytes, &mut pos));
-        }
+        let recs: Vec<T> = kryo.deserialize_all(bytes);
         store_object_array(heap, &self.classes, &recs).map(|root| (root, recs.len()))
     }
 }
@@ -411,9 +409,11 @@ impl CacheManager {
         let n = heap.array_len(arr);
         let mut buf = vec![0u8; n];
         heap.byte_array_read(arr, 0, &mut buf);
-        let mut pos = 0;
-        for _ in 0..len {
-            let rec: T = kryo.deserialize(&buf, &mut pos);
+        let recs: Vec<T> = kryo.time_deser(|k| {
+            let mut pos = 0;
+            (0..len).map(|_| k.deserialize(&buf, &mut pos)).collect()
+        });
+        for rec in recs {
             f(rec);
         }
         Ok(())

@@ -126,7 +126,9 @@ pub fn exchange(outputs: Vec<Vec<Vec<u8>>>) -> Vec<Vec<Vec<u8>>> {
     }
     let reducers = outputs[0].len();
     debug_assert!(outputs.iter().all(|o| o.len() == reducers));
-    let mut inputs: Vec<Vec<Vec<u8>>> = (0..reducers).map(|_| Vec::new()).collect();
+    // Every reducer receives exactly one buffer per map task.
+    let maps = outputs.len();
+    let mut inputs: Vec<Vec<Vec<u8>>> = (0..reducers).map(|_| Vec::with_capacity(maps)).collect();
     for map_out in outputs {
         for (r, buf) in map_out.into_iter().enumerate() {
             inputs[r].push(buf);

@@ -84,6 +84,59 @@ impl RetryPolicy {
     }
 }
 
+/// How `ClusterSession` hands tasks to executors within one scheduling
+/// round (the initial task set, or a batch of retries).
+///
+/// Both modes produce bit-identical results and identical recovery
+/// roll-ups for the same fault plan — the driver pins every
+/// fault-affected attempt to its `t % E` home executor so failure
+/// charging never depends on claim timing (see DESIGN.md "Task
+/// scheduling") — but their wall-clock shape differs:
+///
+/// * [`Wave`](SchedulerMode::Wave) — the historical scheduler: tasks are
+///   statically pinned `t % E` into per-executor queues and every round
+///   ends at a barrier, so one straggler idles the other `E-1`
+///   executors for the rest of the round.
+/// * [`Pull`](SchedulerMode::Pull) — executors claim tasks from a shared
+///   list, affinity-first: each drains its own `t % E` set in ascending
+///   task order (preserving locality for executor-pinned cache blocks),
+///   then steals remaining unpinned tasks in ascending task order.
+///   Stolen tasks that miss an executor-local cache block rebuild it
+///   through the app's lineage-recompute path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SchedulerMode {
+    /// Static `t % E` queues behind a per-round barrier.
+    Wave,
+    /// Shared-queue claiming, affinity-first then ascending steals.
+    Pull,
+}
+
+impl SchedulerMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerMode::Wave => "wave",
+            SchedulerMode::Pull => "pull",
+        }
+    }
+
+    /// The process-wide default: `Pull`, unless the `DECA_SCHEDULER`
+    /// environment variable says `wave` — the knob `scripts/ci.sh` uses
+    /// to replay the fault-seed suite under both schedulers without
+    /// touching test code.
+    pub fn from_env() -> SchedulerMode {
+        match std::env::var("DECA_SCHEDULER") {
+            Ok(v) if v.eq_ignore_ascii_case("wave") => SchedulerMode::Wave,
+            _ => SchedulerMode::Pull,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Which system is being emulated for a run.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum ExecutionMode {
@@ -132,6 +185,10 @@ pub struct ExecutorConfig {
     pub spill_dir: PathBuf,
     /// Driver fault-handling policy for sessions built from this config.
     pub retry: RetryPolicy,
+    /// How the driver hands tasks to executors (`Pull` by default;
+    /// `Wave` retained for in-run A/B comparison and the perf gate's
+    /// skew cell). `DECA_SCHEDULER=wave` flips the default process-wide.
+    pub scheduler: SchedulerMode,
     /// Record the structured run trace (`crate::trace`). On by default —
     /// overhead is a bounded number of vector pushes per task — and
     /// turned off by the perf gate's overhead-measurement control run.
@@ -156,6 +213,7 @@ impl ExecutorConfig {
                 page_size: 64 << 10,
                 spill_dir: ExecutorConfig::default_spill_dir(),
                 retry: RetryPolicy::default(),
+                scheduler: SchedulerMode::from_env(),
                 tracing: true,
             },
         }
@@ -199,6 +257,11 @@ impl ExecutorConfig {
 
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
+        self
+    }
+
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.scheduler = mode;
         self
     }
 
@@ -274,6 +337,11 @@ impl ExecutorConfigBuilder {
         self
     }
 
+    pub fn scheduler(mut self, mode: SchedulerMode) -> Self {
+        self.config.scheduler = mode;
+        self
+    }
+
     pub fn tracing(mut self, on: bool) -> Self {
         self.config.tracing = on;
         self
@@ -341,6 +409,22 @@ mod tests {
         assert!(ExecutorConfig::new(ExecutionMode::Spark, 1 << 20).tracing);
         assert!(!ExecutorConfig::builder().tracing(false).build().tracing);
         assert!(!ExecutorConfig::new(ExecutionMode::Spark, 1 << 20).tracing(false).tracing);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_pull_and_is_switchable() {
+        // The builder default comes from `SchedulerMode::from_env()`;
+        // the test environment does not set DECA_SCHEDULER, so it must
+        // resolve to Pull. (Setting the variable from inside a test
+        // would race with parallel tests, so the env branch is covered
+        // by scripts/ci.sh's wave/pull replay legs instead.)
+        assert_eq!(ExecutorConfig::builder().build().scheduler, SchedulerMode::Pull);
+        let c = ExecutorConfig::builder().scheduler(SchedulerMode::Wave).build();
+        assert_eq!(c.scheduler, SchedulerMode::Wave);
+        let c = ExecutorConfig::new(ExecutionMode::Spark, 1 << 20).scheduler(SchedulerMode::Wave);
+        assert_eq!(c.scheduler, SchedulerMode::Wave);
+        assert_eq!(SchedulerMode::Wave.to_string(), "wave");
+        assert_eq!(SchedulerMode::Pull.to_string(), "pull");
     }
 
     #[test]

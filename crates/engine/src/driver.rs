@@ -12,14 +12,25 @@
 //! ## Task model and determinism
 //!
 //! A stage runs `tasks` tasks (one per data partition — independent of
-//! the executor count). Task `t` always starts on executor `t % executors`:
-//! the assignment is *static round-robin*, so a task in a later stage sees
-//! exactly the executor-local state (cached blocks, registered classes)
-//! that the same task index produced in an earlier stage. Shuffle
+//! the executor count). Task `t`'s *home* executor is `t % executors`.
+//! How attempts reach executors is the [`SchedulerMode`]:
+//!
+//! * `Wave` (the historical scheduler) statically queues every attempt
+//!   at its home and barriers per round, so one straggler idles the
+//!   other `E-1` executors for the rest of the round;
+//! * `Pull` (the default) has executors claim attempts from a shared
+//!   list — their own home slots first, in ascending task order
+//!   (affinity-first, preserving locality for executor-pinned state),
+//!   then remaining tasks in ascending order (work stealing).
+//!
+//! Executor-local state written by task `t` in one stage (cached
+//! blocks, registered classes) is found at home in later stages under
+//! either scheduler; a stolen task that misses executor-local state
+//! rebuilds it from lineage (the apps' recompute path). Shuffle
 //! exchange concatenates map outputs in *map-task order*, not executor
 //! order. Together these make a job's result a pure function of its
-//! partitioning — bit-for-bit independent of how many executors run it,
-//! which the cluster equivalence tests assert.
+//! partitioning — bit-for-bit independent of executor count *and*
+//! scheduler mode, which the cluster equivalence tests assert.
 //!
 //! ## Fault tolerance
 //!
@@ -46,7 +57,12 @@
 //! Failure scenarios are injected deterministically from a seeded
 //! [`FaultPlan`], and the fault-tolerance suite asserts the headline
 //! invariant: for any survivable plan, the job result is bit-identical to
-//! the fault-free run at every mode × executor width.
+//! the fault-free run at every mode × executor width. Under pull
+//! scheduling, every fault-affected attempt is additionally *pinned* to
+//! its home executor before the round runs (see `pin_faulted_slots`), so
+//! a seeded plan produces identical failure charging, quarantines,
+//! retries and OOM spills in both scheduler modes — the Wave/Pull
+//! equivalence matrix asserts the roll-ups match counter for counter.
 //!
 //! ```
 //! use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig};
@@ -61,10 +77,11 @@
 //! assert_eq!(s.stages()[0].tasks, 3);
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use crate::cluster::{exchange, ExecutorHealth, LocalCluster};
-use crate::config::{ExecutorConfig, RetryPolicy};
+use crate::config::{ExecutorConfig, RetryPolicy, SchedulerMode};
 use crate::error::EngineError;
 use crate::executor::Executor;
 use crate::faults::{FaultPlan, FaultSite};
@@ -80,8 +97,10 @@ pub struct TaskContext<'a> {
     pub task: usize,
     /// Total tasks in the stage.
     pub tasks: usize,
-    /// The executor this attempt runs on (`task % executors` on the first
-    /// attempt; retries may migrate to another executor).
+    /// The executor this attempt runs on: the task's home
+    /// (`task % executors`) under wave scheduling, possibly a stealing
+    /// executor under pull scheduling, and retries may migrate to
+    /// another executor under either.
     pub executor: usize,
     /// Executors in the cluster.
     pub executors: usize,
@@ -91,11 +110,16 @@ pub struct TaskContext<'a> {
 /// raw byte run this task contributes to that reduce partition.
 pub type MapOutputs = Vec<Vec<u8>>;
 
+/// One finished physical attempt, as the schedulers hand it back:
+/// `(task, attempt, result, oom_rerun, oom_recovered)`.
+type Attempt<R> = (usize, u32, Result<R, EngineError>, bool, bool);
+
 /// A multi-stage job driver over a [`LocalCluster`].
 pub struct ClusterSession {
     cluster: LocalCluster,
     stages: Vec<StageMetrics>,
     policy: RetryPolicy,
+    scheduler: SchedulerMode,
     faults: FaultPlan,
     /// Driver-side run-trace recorder (stage lifecycle and fault-handling
     /// decisions); executors record their own events.
@@ -113,11 +137,13 @@ impl ClusterSession {
     pub fn new(executors: usize, config: ExecutorConfig) -> ClusterSession {
         assert!(executors > 0, "a cluster needs at least one executor");
         let policy = config.retry;
+        let scheduler = config.scheduler;
         let tracing = config.tracing;
         ClusterSession {
             cluster: LocalCluster::uniform(executors, config),
             stages: Vec::new(),
             policy,
+            scheduler,
             faults: FaultPlan::quiet(),
             trace: TraceRecorder::new(tracing),
             sim_now: Duration::ZERO,
@@ -125,15 +151,18 @@ impl ClusterSession {
     }
 
     /// A session over explicitly configured (possibly heterogeneous)
-    /// executors. The retry policy is taken from the first config.
+    /// executors. The retry policy and scheduler mode are taken from the
+    /// first config.
     pub fn with_configs(configs: Vec<ExecutorConfig>) -> ClusterSession {
         assert!(!configs.is_empty(), "a cluster needs at least one executor");
         let policy = configs[0].retry;
+        let scheduler = configs[0].scheduler;
         let tracing = configs[0].tracing;
         ClusterSession {
             cluster: LocalCluster::new(configs),
             stages: Vec::new(),
             policy,
+            scheduler,
             faults: FaultPlan::quiet(),
             trace: TraceRecorder::new(tracing),
             sim_now: Duration::ZERO,
@@ -171,6 +200,16 @@ impl ClusterSession {
         self.policy
     }
 
+    /// Switch the task scheduler for subsequent stages (in-run A/B:
+    /// results are identical either way; wall-clock shape differs).
+    pub fn set_scheduler(&mut self, mode: SchedulerMode) {
+        self.scheduler = mode;
+    }
+
+    pub fn scheduler(&self) -> SchedulerMode {
+        self.scheduler
+    }
+
     /// Install a fault plan; subsequent stages consult it at every
     /// injection site. Installing [`FaultPlan::quiet`] turns faults off.
     pub fn install_faults(&mut self, plan: FaultPlan) {
@@ -204,9 +243,10 @@ impl ClusterSession {
     // stages
     // ------------------------------------------------------------------
 
-    /// Run one stage: `tasks` tasks distributed round-robin over the
-    /// healthy executors, each wrapped in [`Executor::run_task`] for
-    /// metric attribution. Returns the task results in task order.
+    /// Run one stage: `tasks` tasks scheduled over the healthy executors
+    /// (see [`SchedulerMode`] for how), each wrapped in
+    /// [`Executor::run_task`] for metric attribution. Returns the task
+    /// results in task order.
     ///
     /// The task closure must be deterministic in `(ctx.task, executor
     /// state)` for cluster results to be independent of executor count —
@@ -302,108 +342,178 @@ impl ClusterSession {
             pending.push((t, 0, x));
         }
 
+        let scheduler = self.scheduler;
+        // Per-executor busy time accumulated over every round; under
+        // `Pull` the stage's critical path is this vector's max.
+        let mut busy_total: Vec<Duration> = vec![Duration::ZERO; executors];
+
         let outcome: Result<(), EngineError> = 'stage: loop {
             if pending.is_empty() {
                 break Ok(());
             }
-            // Queue this wave's attempts per executor.
-            let mut queues: Vec<Vec<(usize, u32)>> = vec![Vec::new(); executors];
-            for (t, a, x) in pending.drain(..) {
-                queues[x].push((t, a));
-            }
+            // One scheduling round: the initial task set, or a batch of
+            // retries. `(task, attempt, home executor)` triples.
+            let round: Vec<(usize, u32, usize)> = pending.drain(..).collect();
             let marks: Vec<usize> = self.cluster.executors.iter().map(|e| e.tasks.len()).collect();
 
-            // The wave: executor i runs its queued attempts sequentially
-            // on its own thread. Fault decisions are pure functions of
-            // (site, stage, task, attempt) and poison flags are only
-            // touched by their own executor's thread, so the failure
-            // scenario is identical across widths and interleavings.
-            let wave: Vec<Vec<(usize, u32, Result<R, EngineError>, bool, bool)>> =
-                self.cluster.par_run(|i, e| {
-                    queues[i]
-                        .iter()
-                        .map(|&(t, a)| {
-                            let ctx =
-                                TaskContext { stage: name, task: t, tasks, executor: i, executors };
-                            let mut oom_rerun = false;
-                            let mut oom_recovered = false;
-                            let mut r = e.run_task_in(format!("{name}-{t}"), name, t, a, |e| {
-                                if e.is_poisoned() {
-                                    return Err(EngineError::ExecutorLost { executor: i });
-                                }
-                                if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
-                                    e.poison();
-                                    return Err(EngineError::ExecutorLost { executor: i });
-                                }
-                                if plan.fires(FaultSite::TaskBody, name, t, a) {
-                                    return Err(EngineError::Injected {
-                                        site: FaultSite::TaskBody,
-                                    });
-                                }
-                                if plan.fires(FaultSite::Alloc, name, t, a) {
-                                    return Err(EngineError::Injected { site: FaultSite::Alloc });
-                                }
-                                let out = f(&ctx, e)?;
-                                if shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a)
-                                {
-                                    return Err(EngineError::Injected {
-                                        site: FaultSite::ShuffleFrame,
-                                    });
-                                }
-                                Ok(out)
-                            });
-                            // Graceful OOM degradation: spill the cache,
-                            // collect, and re-run once in place. An
-                            // injected Alloc fault models the same
-                            // pressure, so the spill relieves it and it is
-                            // not re-drawn on the in-place re-run.
-                            if policy.spill_on_oom
-                                && r.as_ref().is_err_and(|err| err.is_memory_pressure())
-                                && !e.is_poisoned()
-                            {
-                                e.spill_for_memory();
-                                oom_rerun = true;
-                                r = e.run_task_in(
-                                    format!("{name}-{t}-oom-retry"),
-                                    name,
-                                    t,
-                                    a,
-                                    |e| {
-                                        let out = f(&ctx, e)?;
-                                        if shuffle_stage
-                                            && plan.fires(FaultSite::ShuffleFrame, name, t, a)
-                                        {
-                                            return Err(EngineError::Injected {
-                                                site: FaultSite::ShuffleFrame,
-                                            });
-                                        }
-                                        Ok(out)
-                                    },
-                                );
-                                oom_recovered = r.is_ok();
-                            }
-                            (t, a, r, oom_rerun, oom_recovered)
-                        })
-                        .collect()
+            // One physical attempt, identical under both schedulers.
+            // Fault decisions are pure functions of (site, stage, task,
+            // attempt) and poison flags are only touched by the thread
+            // hosting the executor, so the failure scenario is identical
+            // across widths and interleavings.
+            let run_attempt = |e: &mut Executor, i: usize, t: usize, a: u32| -> Attempt<R> {
+                let ctx = TaskContext { stage: name, task: t, tasks, executor: i, executors };
+                let mut oom_rerun = false;
+                let mut oom_recovered = false;
+                let mut r = e.run_task_in(format!("{name}-{t}"), name, t, a, |e| {
+                    if e.is_poisoned() {
+                        return Err(EngineError::ExecutorLost { executor: i });
+                    }
+                    if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
+                        e.poison();
+                        return Err(EngineError::ExecutorLost { executor: i });
+                    }
+                    if plan.fires(FaultSite::TaskBody, name, t, a) {
+                        return Err(EngineError::Injected { site: FaultSite::TaskBody });
+                    }
+                    if plan.fires(FaultSite::Alloc, name, t, a) {
+                        return Err(EngineError::Injected { site: FaultSite::Alloc });
+                    }
+                    let out = f(&ctx, e)?;
+                    if shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a) {
+                        return Err(EngineError::Injected { site: FaultSite::ShuffleFrame });
+                    }
+                    Ok(out)
                 });
+                // Graceful OOM degradation: spill the cache, collect, and
+                // re-run once in place. An injected Alloc fault models the
+                // same pressure, so the spill relieves it and it is not
+                // re-drawn on the in-place re-run.
+                if policy.spill_on_oom
+                    && r.as_ref().is_err_and(|err| err.is_memory_pressure())
+                    && !e.is_poisoned()
+                {
+                    e.spill_for_memory();
+                    oom_rerun = true;
+                    r = e.run_task_in(format!("{name}-{t}-oom-retry"), name, t, a, |e| {
+                        let out = f(&ctx, e)?;
+                        if shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a) {
+                            return Err(EngineError::Injected { site: FaultSite::ShuffleFrame });
+                        }
+                        Ok(out)
+                    });
+                    oom_recovered = r.is_ok();
+                }
+                (t, a, r, oom_rerun, oom_recovered)
+            };
 
-            // Roll the wave's attempt metrics into the stage. `exec`
-            // accumulates the per-wave critical path (busiest executor).
-            let mut wave_max = Duration::ZERO;
+            let collected: Vec<Vec<Attempt<R>>> = match scheduler {
+                SchedulerMode::Wave => {
+                    // Static queues behind a barrier: executor i runs its
+                    // queued attempts sequentially on its own thread.
+                    let mut queues: Vec<Vec<(usize, u32)>> = vec![Vec::new(); executors];
+                    for &(t, a, x) in &round {
+                        queues[x].push((t, a));
+                    }
+                    self.cluster.par_run(|i, e| {
+                        queues[i].iter().map(|&(t, a)| run_attempt(e, i, t, a)).collect()
+                    })
+                }
+                SchedulerMode::Pull => {
+                    // Shared-queue claiming, affinity-first. Slots are
+                    // ordered ascending by task index; each executor
+                    // drains its own home slots first, then steals
+                    // remaining *unpinned* slots in ascending task order.
+                    //
+                    // Determinism: fault-affected attempts are pinned to
+                    // their home up front, so crash poisoning, failure
+                    // charging, quarantines and OOM spills land exactly
+                    // where the wave scheduler puts them; fault-free
+                    // attempts never touch health state, so a steal only
+                    // changes *where* the same deterministic bytes are
+                    // computed.
+                    let mut slots = round.clone();
+                    slots.sort_unstable_by_key(|&(t, ..)| t);
+                    let pinned = self.pin_faulted_slots(&slots, name, shuffle_stage, &plan);
+                    let claimed: Vec<AtomicBool> =
+                        slots.iter().map(|_| AtomicBool::new(false)).collect();
+                    let benched: Vec<bool> =
+                        self.cluster.health.iter().map(|h| h.quarantined).collect();
+                    let (slots, pinned, claimed) = (&slots, &pinned, &claimed);
+                    self.cluster.par_run(|i, e| {
+                        let mut out = Vec::new();
+                        if benched[i] {
+                            return out;
+                        }
+                        // Affinity pass: my home slots, ascending. Pinned
+                        // slots are only ever claimed here, so a crash
+                        // dooms exactly the affinity suffix a wave would
+                        // have doomed.
+                        for (j, &(t, a, home)) in slots.iter().enumerate() {
+                            if home != i || claimed[j].swap(true, Ordering::Relaxed) {
+                                continue;
+                            }
+                            out.push(run_attempt(e, i, t, a));
+                        }
+                        // Steal pass: remaining unpinned slots, ascending
+                        // task order. An executor that crashed this round
+                        // must not pull in work the wave scheduler would
+                        // never have handed it.
+                        for (j, &(t, a, home)) in slots.iter().enumerate() {
+                            if e.is_poisoned() {
+                                break;
+                            }
+                            if home == i || pinned[j] || claimed[j].swap(true, Ordering::Relaxed) {
+                                continue;
+                            }
+                            if e.trace.enabled() {
+                                let now = e.trace.now_ns();
+                                let sim = dur_ns(e.sim_now());
+                                e.trace.record(
+                                    TraceEventKind::TaskSteal,
+                                    Some(name),
+                                    Some(t),
+                                    Some(a),
+                                    None,
+                                    format!("{name}-{t}-steal"),
+                                    now,
+                                    0,
+                                    sim,
+                                    0,
+                                    0,
+                                    home as u64,
+                                );
+                            }
+                            out.push(run_attempt(e, i, t, a));
+                        }
+                        out
+                    })
+                }
+            };
+
+            // Roll the round's attempt metrics into the stage. Under
+            // `Wave` the barrier makes each round's critical path the
+            // busiest executor of that round, and the stage's path their
+            // sum; under `Pull` rounds don't barrier against stage wall
+            // time, so only the per-executor totals accumulate here.
+            let mut round_max = Duration::ZERO;
             for (i, e) in self.cluster.executors.iter().enumerate() {
                 let mut busy = Duration::ZERO;
                 for t in &e.tasks[marks[i]..] {
                     stage.add_task(t);
                     busy += t.total();
                 }
-                wave_max = wave_max.max(busy);
+                busy_total[i] += busy;
+                round_max = round_max.max(busy);
             }
-            stage.exec += wave_max;
+            if scheduler == SchedulerMode::Wave {
+                stage.exec += round_max;
+            }
 
             // Process outcomes single-threaded, in task order, so health
             // and retry decisions never depend on thread interleaving.
             let mut flat: Vec<(usize, u32, usize, Result<R, EngineError>, bool, bool)> = Vec::new();
-            for (i, list) in wave.into_iter().enumerate() {
+            for (i, list) in collected.into_iter().enumerate() {
                 for (t, a, r, rerun, oomr) in list {
                     flat.push((t, a, i, r, rerun, oomr));
                 }
@@ -526,6 +636,14 @@ impl ClusterSession {
             }
         };
 
+        // Under `Pull` there is no intra-stage barrier: the stage's
+        // critical path is the busiest executor across the whole stage
+        // (fixing the wave-era overstatement where an executor idle in
+        // one round but busy the next was double-counted).
+        if scheduler == SchedulerMode::Pull {
+            stage.exec = busy_total.into_iter().max().unwrap_or(Duration::ZERO);
+        }
+
         // The stage is recorded even when it fails: partial work and
         // recovery attempts stay visible in the metrics.
         self.sim_now += stage.exec + stage.recovery;
@@ -547,6 +665,50 @@ impl ClusterSession {
         self.stages.push(stage);
         outcome?;
         Ok(results.into_iter().map(|r| r.expect("completed stage fills every slot")).collect())
+    }
+
+    /// Pull-mode fault pinning: decide, before a round runs, which slots
+    /// must execute on their home executor so the failure scenario —
+    /// which executor a fault charges, poisons, or OOM-spills — is
+    /// identical to wave scheduling. Walks each executor's affinity
+    /// slots in ascending task order, mirroring exactly what its wave
+    /// queue would run: a crash dooms every later affinity slot (they
+    /// fail with `ExecutorLost` at home), and any other firing site pins
+    /// just its own slot. Fault-free slots stay stealable — they never
+    /// touch health state, so where they run is observability, not
+    /// semantics.
+    fn pin_faulted_slots(
+        &self,
+        slots: &[(usize, u32, usize)],
+        name: &str,
+        shuffle_stage: bool,
+        plan: &FaultPlan,
+    ) -> Vec<bool> {
+        let mut pinned = vec![false; slots.len()];
+        // Fast path: a quiet plan on a healthy cluster pins nothing.
+        if plan.is_quiet() && self.cluster.executors.iter().all(|e| !e.is_poisoned()) {
+            return pinned;
+        }
+        for i in 0..self.cluster.len() {
+            let mut doomed = self.cluster.executors[i].is_poisoned();
+            for (j, &(t, a, home)) in slots.iter().enumerate() {
+                if home != i {
+                    continue;
+                }
+                if doomed {
+                    pinned[j] = true;
+                } else if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
+                    pinned[j] = true;
+                    doomed = true;
+                } else if plan.fires(FaultSite::TaskBody, name, t, a)
+                    || plan.fires(FaultSite::Alloc, name, t, a)
+                    || (shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a))
+                {
+                    pinned[j] = true;
+                }
+            }
+        }
+        pinned
     }
 
     /// Run a two-stage shuffle job: a map wave producing per-reducer byte
@@ -717,6 +879,17 @@ mod tests {
         ClusterSession::new(executors, ExecutorConfig::new(ExecutionMode::Spark, 8 << 20))
     }
 
+    /// A session pinned to wave scheduling, for tests that assert *which*
+    /// executor ran a task — under pull scheduling an idle executor may
+    /// legitimately steal an unpinned slot, so those attributions are
+    /// timing-dependent there by design.
+    fn wave_session(executors: usize) -> ClusterSession {
+        ClusterSession::new(
+            executors,
+            ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(SchedulerMode::Wave),
+        )
+    }
+
     #[test]
     fn stage_results_are_in_task_order() {
         for executors in [1, 2, 3, 5] {
@@ -731,7 +904,7 @@ mod tests {
 
     #[test]
     fn tasks_pin_to_executors_round_robin() {
-        let mut s = session(2);
+        let mut s = wave_session(2);
         let homes = s.run_stage("home", 5, |ctx, _e| Ok(ctx.executor)).unwrap();
         assert_eq!(homes, vec![0, 1, 0, 1, 0]);
         // Executor-local state persists across stages for the same task
@@ -841,7 +1014,7 @@ mod tests {
 
     #[test]
     fn transient_failure_retries_on_next_executor() {
-        let mut s = session(2);
+        let mut s = wave_session(2);
         s.set_retry_policy(RetryPolicy::resilient());
         s.install_faults(FaultPlan::quiet().force(FaultSite::TaskBody, "flaky", Some(1), Some(0)));
         let out = s.run_stage("flaky", 4, |ctx, _e| Ok(ctx.executor)).unwrap();
@@ -857,7 +1030,7 @@ mod tests {
 
     #[test]
     fn crash_poisons_executor_then_quarantines_it() {
-        let mut s = session(2);
+        let mut s = wave_session(2);
         s.set_retry_policy(RetryPolicy::resilient());
         s.install_faults(FaultPlan::quiet().force(
             FaultSite::ExecutorCrash,
@@ -1067,7 +1240,7 @@ mod tests {
     #[test]
     fn trace_records_stage_lifecycle_and_attempts() {
         use crate::trace::TraceEventKind;
-        let mut s = session(2);
+        let mut s = wave_session(2);
         s.run_stage("ids", 3, |ctx, _e| Ok(ctx.task)).unwrap();
         let t = s.merged_trace();
         assert_eq!(t.of_kind(TraceEventKind::StageStart).count(), 1);
@@ -1123,6 +1296,119 @@ mod tests {
         let mut quiet = ClusterSession::new(2, cfg);
         quiet.run_stage("ids", 3, |ctx, _e| Ok(ctx.task)).unwrap();
         assert!(quiet.merged_trace().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // pull scheduler
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pull_scheduler_matches_wave_results_and_emits_steals() {
+        // A straggling home slot forces steals: executor 0 sleeps in
+        // task 0 while executor 1 finishes its affinity set {1, 3, 5}
+        // and pulls executor 0's remaining slots {2, 4}.
+        let run = |mode: SchedulerMode| {
+            let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(mode);
+            let mut s = ClusterSession::new(2, cfg);
+            assert_eq!(s.scheduler(), mode);
+            let out = s
+                .run_stage("skew", 6, |ctx, _e| {
+                    if ctx.task == 0 {
+                        std::thread::sleep(Duration::from_millis(30));
+                    }
+                    Ok(ctx.task * 3)
+                })
+                .unwrap();
+            let trace = s.merged_trace();
+            let steals: Vec<(Option<usize>, u64, Option<usize>)> = trace
+                .of_kind(TraceEventKind::TaskSteal)
+                .map(|e| (e.task, e.count, e.executor))
+                .collect();
+            (out, steals, s.stage("skew").unwrap().attempts)
+        };
+        let (wave_out, wave_steals, wave_attempts) = run(SchedulerMode::Wave);
+        let (pull_out, pull_steals, pull_attempts) = run(SchedulerMode::Pull);
+        assert_eq!(wave_out, pull_out, "results are scheduler-independent");
+        assert_eq!(pull_out, (0..6).map(|t| t * 3).collect::<Vec<_>>());
+        assert_eq!(wave_attempts, pull_attempts);
+        assert!(wave_steals.is_empty(), "wave scheduling never steals");
+        assert!(!pull_steals.is_empty(), "the straggler's affinity slots must be stolen");
+        for (task, home, thief) in &pull_steals {
+            let t = task.expect("steal events carry the task index");
+            assert_eq!(*home as usize, t % 2, "count is the home executor");
+            assert_ne!(thief.unwrap(), *home as usize, "a steal crosses executors");
+        }
+    }
+
+    #[test]
+    fn pull_preserves_fault_rollups_and_attribution() {
+        // The crash scenario from `crash_poisons_executor_then_
+        // quarantines_it`, under pull: fault pinning must reproduce the
+        // wave's roll-ups exactly, and poisoned executor 1 must not
+        // steal work after its crash.
+        let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(SchedulerMode::Pull);
+        let mut s = ClusterSession::new(2, cfg);
+        s.set_retry_policy(RetryPolicy::resilient());
+        s.install_faults(FaultPlan::quiet().force(
+            FaultSite::ExecutorCrash,
+            "crashy",
+            Some(1),
+            Some(0),
+        ));
+        let out = s.run_stage("crashy", 6, |ctx, _e| Ok(ctx.executor)).unwrap();
+        // Tasks 1, 3, 5 are pinned to (and fail on) executor 1; retries
+        // land on executor 0, the only healthy one left.
+        assert_eq!(out, vec![0, 0, 0, 0, 0, 0]);
+        let st = s.stage("crashy").unwrap();
+        assert_eq!((st.attempts, st.retries, st.quarantines), (9, 3, 1));
+        assert!(s.health(1).quarantined);
+        // The quarantined executor claims nothing in later stages.
+        let homes = s.run_stage("after", 4, |ctx, _e| Ok(ctx.executor)).unwrap();
+        assert_eq!(homes, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn exec_critical_path_is_bounded_by_task_totals() {
+        // Regression for the stage.exec semantics: under either
+        // scheduler the critical path can never exceed the sum of all
+        // task totals, nor undercut the single slowest task. (The
+        // wave-era bug summed per-round maxima, which can exceed the
+        // busiest executor when rounds alternate who is busy; Pull
+        // computes max per-executor busy time directly.)
+        for mode in [SchedulerMode::Wave, SchedulerMode::Pull] {
+            let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(mode);
+            let mut s = ClusterSession::new(2, cfg);
+            s.set_retry_policy(RetryPolicy::resilient());
+            // A retried failure adds a second scheduling round, so the
+            // bound is exercised over multiple rounds, not just one.
+            s.install_faults(FaultPlan::quiet().force(
+                FaultSite::TaskBody,
+                "work",
+                Some(1),
+                Some(0),
+            ));
+            s.run_stage("work", 5, |_ctx, e| {
+                let c = e.heap.define_class(
+                    deca_heap::ClassBuilder::new("W").field("x", deca_heap::FieldKind::I64),
+                );
+                for _ in 0..1000 {
+                    e.heap.alloc(c)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            let st = s.stage("work").unwrap();
+            let totals: Vec<Duration> = s
+                .cluster()
+                .executors
+                .iter()
+                .flat_map(|e| e.task_metrics().iter().map(|t| t.total()))
+                .collect();
+            let sum: Duration = totals.iter().sum();
+            let max = *totals.iter().max().unwrap();
+            assert!(st.exec <= sum, "{mode}: exec {:?} > sum of task totals {:?}", st.exec, sum);
+            assert!(st.exec >= max, "{mode}: exec {:?} < slowest task {:?}", st.exec, max);
+        }
     }
 
     #[test]

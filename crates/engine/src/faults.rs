@@ -154,6 +154,18 @@ impl FaultPlan {
         self
     }
 
+    /// A plan that can never fire anywhere: no forced faults and every
+    /// rate at zero. The pull scheduler uses this to skip its per-round
+    /// fault-pinning precompute on the (overwhelmingly common) fault-free
+    /// path.
+    pub fn is_quiet(&self) -> bool {
+        self.forced.is_empty()
+            && self.spec.task_body <= 0.0
+            && self.spec.executor_crash <= 0.0
+            && self.spec.shuffle_frame <= 0.0
+            && self.spec.alloc <= 0.0
+    }
+
     /// Does `site` fire for this `(stage, task, attempt)`? Deterministic:
     /// the decision depends only on the arguments and the plan.
     pub fn fires(&self, site: FaultSite, stage: &str, task: usize, attempt: u32) -> bool {
@@ -249,6 +261,16 @@ mod tests {
                 assert!(p.fires(FaultSite::ExecutorCrash, "doom", t, a), "wildcard forced fault");
             }
         }
+    }
+
+    #[test]
+    fn quietness_reflects_rates_and_forced_faults() {
+        assert!(FaultPlan::quiet().is_quiet());
+        assert!(FaultPlan::seeded(42, FaultSpec::default()).is_quiet(), "seed alone is harmless");
+        let spec = FaultSpec { alloc: 0.01, ..FaultSpec::default() };
+        assert!(!FaultPlan::seeded(1, spec).is_quiet());
+        let forced = FaultPlan::quiet().force(FaultSite::TaskBody, "s", Some(0), Some(0));
+        assert!(!forced.is_quiet());
     }
 
     #[test]

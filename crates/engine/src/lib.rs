@@ -38,7 +38,9 @@ pub mod trace;
 
 pub use cache::{CacheError, CacheStats, CachedRdd};
 pub use cluster::{ExecutorHealth, LocalCluster};
-pub use config::{ExecutionMode, ExecutorConfig, ExecutorConfigBuilder, RetryPolicy};
+pub use config::{
+    ExecutionMode, ExecutorConfig, ExecutorConfigBuilder, RetryPolicy, SchedulerMode,
+};
 pub use driver::{ClusterSession, MapOutputs, TaskContext};
 pub use error::EngineError;
 pub use executor::Executor;

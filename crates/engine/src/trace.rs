@@ -51,6 +51,11 @@ pub enum TraceEventKind {
     StageEnd,
     /// One physical task run (including OOM in-place re-runs).
     TaskAttempt,
+    /// The pull scheduler let an executor claim a task outside its
+    /// `t % E` affinity set (`count` = the task's home executor; the
+    /// event's `executor` is the thief). Wave scheduling never emits
+    /// this.
+    TaskSteal,
     /// One stop-the-world collection pause attributed to the enclosing
     /// attempt (`count` = objects traced, `bytes` = live bytes after).
     GcPause,
@@ -78,6 +83,7 @@ impl TraceEventKind {
             TraceEventKind::StageStart => "stage-start",
             TraceEventKind::StageEnd => "stage-end",
             TraceEventKind::TaskAttempt => "task-attempt",
+            TraceEventKind::TaskSteal => "task-steal",
             TraceEventKind::GcPause => "gc-pause",
             TraceEventKind::SpillIo => "spill-io",
             TraceEventKind::Retry => "retry",
@@ -93,10 +99,11 @@ impl TraceEventKind {
         TraceEventKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
-    pub const ALL: [TraceEventKind; 10] = [
+    pub const ALL: [TraceEventKind; 11] = [
         TraceEventKind::StageStart,
         TraceEventKind::StageEnd,
         TraceEventKind::TaskAttempt,
+        TraceEventKind::TaskSteal,
         TraceEventKind::GcPause,
         TraceEventKind::SpillIo,
         TraceEventKind::Retry,
@@ -107,20 +114,21 @@ impl TraceEventKind {
     ];
 
     /// Merge-order rank *within* one (stage, task, attempt) cell: the
-    /// attempt itself, then what happened inside it, then the driver's
-    /// reaction to it.
+    /// claim decision, the attempt itself, then what happened inside it,
+    /// then the driver's reaction to it.
     fn rank(self) -> u8 {
         match self {
             TraceEventKind::StageStart => 0,
-            TraceEventKind::TaskAttempt => 1,
-            TraceEventKind::GcPause => 2,
-            TraceEventKind::SpillIo => 3,
-            TraceEventKind::PageGroupRelease => 4,
-            TraceEventKind::OomRecovery => 5,
-            TraceEventKind::Retry => 6,
-            TraceEventKind::Quarantine => 7,
-            TraceEventKind::Restart => 8,
-            TraceEventKind::StageEnd => 9,
+            TraceEventKind::TaskSteal => 1,
+            TraceEventKind::TaskAttempt => 2,
+            TraceEventKind::GcPause => 3,
+            TraceEventKind::SpillIo => 4,
+            TraceEventKind::PageGroupRelease => 5,
+            TraceEventKind::OomRecovery => 6,
+            TraceEventKind::Retry => 7,
+            TraceEventKind::Quarantine => 8,
+            TraceEventKind::Restart => 9,
+            TraceEventKind::StageEnd => 10,
         }
     }
 }
@@ -497,6 +505,7 @@ impl RunTrace {
                         "attempt_sim_ns",
                         Json::int(attempts.iter().map(|e| e.sim_dur_ns).sum::<u64>()),
                     ),
+                    ("steals", Json::int(of(TraceEventKind::TaskSteal).len() as u64)),
                     ("retries", Json::int(of(TraceEventKind::Retry).len() as u64)),
                     ("quarantines", Json::int(of(TraceEventKind::Quarantine).len() as u64)),
                     ("restarts", Json::int(of(TraceEventKind::Restart).len() as u64)),

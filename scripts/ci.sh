@@ -18,16 +18,20 @@ cargo build --release --offline --examples
 echo "== tests (offline) =="
 cargo test -q --offline
 
-echo "== fault-tolerance suite (replayed seeds) =="
+echo "== fault-tolerance suite (replayed seeds, both schedulers) =="
 # `cargo test` above already ran the suite under its pinned seed trio;
 # these explicit replays prove the DECA_CHECK_SEED knob reproduces a
-# scenario byte-for-byte, and hand the reader the exact replay line.
-for seed in 11 29 47; do
-  if ! DECA_CHECK_SEED=$seed cargo test -q --offline -p deca-bench --test fault_tolerance; then
-    echo "fault suite failed under seed $seed; replay locally with:"
-    echo "  DECA_CHECK_SEED=$seed cargo test --offline -p deca-bench --test fault_tolerance"
-    exit 1
-  fi
+# scenario byte-for-byte under each scheduler mode (DECA_SCHEDULER sets
+# the session default), and hand the reader the exact replay line.
+for sched in wave pull; do
+  for seed in 11 29 47; do
+    if ! DECA_SCHEDULER=$sched DECA_CHECK_SEED=$seed \
+        cargo test -q --offline -p deca-bench --test fault_tolerance; then
+      echo "fault suite failed under seed $seed with the $sched scheduler; replay locally with:"
+      echo "  DECA_SCHEDULER=$sched DECA_CHECK_SEED=$seed cargo test --offline -p deca-bench --test fault_tolerance"
+      exit 1
+    fi
+  done
 done
 
 echo "== bench smoke (fig8 wordcount, tiny scale) =="

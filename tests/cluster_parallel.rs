@@ -10,7 +10,7 @@ mod util;
 
 use deca_core::DecaHashShuffle;
 use deca_engine::cluster::partition_of;
-use deca_engine::{ClusterSession, EngineError, ExecutionMode, ExecutorConfig};
+use deca_engine::{ClusterSession, EngineError, ExecutionMode, ExecutorConfig, SchedulerMode};
 
 use util::TestDir;
 
@@ -27,13 +27,7 @@ fn parallel_wordcount_matches_sequential() {
     };
 
     let executors = 4;
-    let tasks = 6; // more tasks than executors: waves multiplex round-robin
-    let cfg = ExecutorConfig::builder()
-        .mode(ExecutionMode::Deca)
-        .heap_bytes(16 << 20)
-        .spill_dir(td.path().to_path_buf())
-        .build();
-    let mut session = ClusterSession::new(executors, cfg);
+    let tasks = 6; // more tasks than executors: rounds multiplex round-robin
 
     // Partition input across map tasks.
     let parts: Vec<Vec<i64>> = {
@@ -46,61 +40,85 @@ fn parallel_wordcount_matches_sequential() {
 
     // Map combines each partition and writes per-reducer raw byte runs;
     // the driver exchanges them; reduce combines and checksums.
-    let partials = session
-        .run_shuffle_job(
-            "wc",
-            tasks,
-            tasks,
-            |ctx, e| {
-                let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
-                for &w in &parts[ctx.task] {
-                    buf.insert(&mut e.mm, &mut e.heap, &w.to_le_bytes(), &1i64.to_le_bytes(), add)?;
-                }
-                let mut out: Vec<Vec<u8>> = (0..tasks).map(|_| Vec::new()).collect();
-                buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
-                    let key = i64::from_le_bytes(k[..8].try_into().unwrap());
-                    let r = partition_of(key as u64, tasks);
-                    out[r].extend_from_slice(k);
-                    out[r].extend_from_slice(v);
-                })?;
-                buf.release(&mut e.mm, &mut e.heap);
-                Ok(out)
-            },
-            |_ctx, e, bufs| {
-                let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
-                for bytes in bufs {
-                    for rec in bytes.chunks_exact(16) {
-                        buf.insert(&mut e.mm, &mut e.heap, &rec[..8], &rec[8..], add)?;
+    let run = |sched: SchedulerMode| {
+        let cfg = ExecutorConfig::builder()
+            .mode(ExecutionMode::Deca)
+            .heap_bytes(16 << 20)
+            .spill_dir(td.path().to_path_buf())
+            .scheduler(sched)
+            .build();
+        let mut session = ClusterSession::new(executors, cfg);
+        let partials = session
+            .run_shuffle_job(
+                "wc",
+                tasks,
+                tasks,
+                |ctx, e| {
+                    let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
+                    for &w in &parts[ctx.task] {
+                        buf.insert(
+                            &mut e.mm,
+                            &mut e.heap,
+                            &w.to_le_bytes(),
+                            &1i64.to_le_bytes(),
+                            add,
+                        )?;
                     }
-                }
-                let mut sum = 0.0;
-                buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
-                    let key = i64::from_le_bytes(k[..8].try_into().unwrap());
-                    let count = i64::from_le_bytes(v[..8].try_into().unwrap());
-                    sum += (key as f64 + 1.0) * count as f64;
-                })?;
-                buf.release(&mut e.mm, &mut e.heap);
-                Ok(sum)
-            },
-        )
-        .unwrap();
+                    let mut out: Vec<Vec<u8>> = (0..tasks).map(|_| Vec::new()).collect();
+                    buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+                        let key = i64::from_le_bytes(k[..8].try_into().unwrap());
+                        let r = partition_of(key as u64, tasks);
+                        out[r].extend_from_slice(k);
+                        out[r].extend_from_slice(v);
+                    })?;
+                    buf.release(&mut e.mm, &mut e.heap);
+                    Ok(out)
+                },
+                |_ctx, e, bufs| {
+                    let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
+                    for bytes in bufs {
+                        for rec in bytes.chunks_exact(16) {
+                            buf.insert(&mut e.mm, &mut e.heap, &rec[..8], &rec[8..], add)?;
+                        }
+                    }
+                    let mut sum = 0.0;
+                    buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+                        let key = i64::from_le_bytes(k[..8].try_into().unwrap());
+                        let count = i64::from_le_bytes(v[..8].try_into().unwrap());
+                        sum += (key as f64 + 1.0) * count as f64;
+                    })?;
+                    buf.release(&mut e.mm, &mut e.heap);
+                    Ok(sum)
+                },
+            )
+            .unwrap();
 
-    let total: f64 = partials.iter().sum();
-    assert_eq!(total, expected);
+        let total: f64 = partials.iter().sum();
 
-    // Count-based assertions only: every task ran exactly once, tasks were
-    // spread round-robin, and the exchange moved bytes.
-    assert_eq!(session.total_tasks(), 2 * tasks);
-    let map_stage = session.stage("wc-map").expect("map stage recorded");
-    let reduce_stage = session.stage("wc-reduce").expect("reduce stage recorded");
-    assert_eq!(map_stage.tasks, tasks);
-    assert_eq!(reduce_stage.tasks, tasks);
-    assert!(map_stage.shuffle_bytes > 0, "the exchange carried data");
-    let per_exec: Vec<usize> =
-        (0..executors).map(|i| session.executor(i).task_metrics().len()).collect();
-    // 6 tasks round-robin over 4 executors, twice (map + reduce).
-    assert_eq!(per_exec, vec![4, 4, 2, 2]);
-    drop(session);
+        // Count-based assertions only: every task ran exactly once and
+        // the exchange moved bytes.
+        assert_eq!(session.total_tasks(), 2 * tasks, "{sched}");
+        let map_stage = session.stage("wc-map").expect("map stage recorded");
+        let reduce_stage = session.stage("wc-reduce").expect("reduce stage recorded");
+        assert_eq!(map_stage.tasks, tasks, "{sched}");
+        assert_eq!(reduce_stage.tasks, tasks, "{sched}");
+        assert!(map_stage.shuffle_bytes > 0, "{sched}: the exchange carried data");
+        let per_exec: Vec<usize> =
+            (0..executors).map(|i| session.executor(i).task_metrics().len()).collect();
+        (total, per_exec)
+    };
+
+    let (wave_total, wave_per_exec) = run(SchedulerMode::Wave);
+    assert_eq!(wave_total, expected);
+    // Wave's static pinning: 6 tasks round-robin over 4 executors, twice
+    // (map + reduce) — the placement itself is deterministic.
+    assert_eq!(wave_per_exec, vec![4, 4, 2, 2]);
+
+    let (pull_total, pull_per_exec) = run(SchedulerMode::Pull);
+    assert_eq!(pull_total, expected, "pull scheduler must not change the answer");
+    // Pull placement is timing-dependent (steals migrate tasks), but the
+    // total physical attempts are pinned: 12 tasks, no retries.
+    assert_eq!(pull_per_exec.iter().sum::<usize>(), 2 * tasks);
     td.cleanup();
 }
 

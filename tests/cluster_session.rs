@@ -9,7 +9,7 @@
 
 use deca_apps::pagerank::{self, PrParams};
 use deca_apps::wordcount::{self, WcParams};
-use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig};
+use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig, SchedulerMode, TraceEventKind};
 
 const EXECUTOR_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -89,6 +89,50 @@ fn pagerank_modes_agree_at_every_width() {
         let deca = pagerank::run_cluster(&pr_params(ExecutionMode::Deca), executors).checksum;
         assert!((spark - deca).abs() < 1e-9, "{executors} executors: {spark} vs {deca}");
         assert!((ser - deca).abs() < 1e-9, "{executors} executors: {ser} vs {deca}");
+    }
+}
+
+#[test]
+fn pull_scheduler_matches_wave_bit_for_bit_at_every_mode_and_width() {
+    // The pull scheduler removes the per-wave barrier but not the
+    // determinism contract: results are collected by task index and
+    // reduces still see map outputs in map-task order, so every cell of
+    // the mode × width matrix must agree bit-for-bit with the Wave run —
+    // and run the same number of physical attempts.
+    for mode in ExecutionMode::ALL {
+        for executors in EXECUTOR_COUNTS {
+            let p = wc_params(mode);
+            let run_wc = |sched: SchedulerMode| {
+                let mut session =
+                    ClusterSession::new(executors, wordcount::wc_config(&p).scheduler(sched));
+                let checksum = wordcount::run_on(&p, &mut session).expect("wordcount job");
+                session.finish_job();
+                let steals = session
+                    .merged_trace()
+                    .events
+                    .iter()
+                    .filter(|e| e.kind == TraceEventKind::TaskSteal)
+                    .count();
+                (checksum, session.job_summary().attempts, steals)
+            };
+            let (wave, wave_attempts, wave_steals) = run_wc(SchedulerMode::Wave);
+            let (pull, pull_attempts, _) = run_wc(SchedulerMode::Pull);
+            assert_eq!(wave, pull, "WC {mode} on {executors} executors: schedulers disagree");
+            assert_eq!(wave_attempts, pull_attempts, "WC {mode} on {executors} executors");
+            assert_eq!(wave_steals, 0, "Wave must never emit TaskSteal events");
+
+            let pr = pr_params(mode);
+            let run_pr = |sched: SchedulerMode| {
+                let mut session =
+                    ClusterSession::new(executors, pagerank::pr_config(&pr).scheduler(sched));
+                let (checksum, _) = pagerank::run_on(&pr, &mut session).expect("pagerank job");
+                (checksum, session.job_summary().attempts)
+            };
+            let (wave, wave_attempts) = run_pr(SchedulerMode::Wave);
+            let (pull, pull_attempts) = run_pr(SchedulerMode::Pull);
+            assert_eq!(wave, pull, "PR {mode} on {executors} executors: schedulers disagree");
+            assert_eq!(wave_attempts, pull_attempts, "PR {mode} on {executors} executors");
+        }
     }
 }
 

@@ -11,7 +11,10 @@
 
 use deca_apps::pagerank::{self, PrParams};
 use deca_apps::wordcount::{self, WcParams};
-use deca_engine::{EngineError, ExecutionMode, FaultPlan, FaultSite, FaultSpec, RetryPolicy};
+use deca_engine::{
+    ClusterSession, EngineError, ExecutionMode, FaultPlan, FaultSite, FaultSpec, JobMetrics,
+    RetryPolicy, SchedulerMode,
+};
 
 const EXECUTOR_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -177,6 +180,77 @@ fn pagerank_under_faults_is_bit_identical_across_modes_and_widths() {
                 assert!(
                     report.metrics.oom_recoveries <= report.metrics.oom_reruns,
                     "seed {seed}, {mode}, {executors} executors: more recoveries than re-runs"
+                );
+            }
+        }
+    }
+}
+
+/// The recovery counters that must be scheduler-invariant: fault pinning
+/// keeps every injected failure on its statically assigned executor, so
+/// Wave and Pull charge identical recovery work, not just identical
+/// answers.
+fn rollup(m: &JobMetrics) -> (u64, u64, u64, u64, u64, u64) {
+    (m.attempts, m.retries, m.quarantines, m.restarts, m.oom_reruns, m.oom_recoveries)
+}
+
+#[test]
+fn scheduler_modes_are_equivalent_under_faults() {
+    // {Wave, Pull} × {Spark, Deca} × widths {1, 2, 4} × the pinned fault
+    // seeds, for both workloads: checksums bit-identical AND the full
+    // recovery roll-up (attempts, retries, quarantines, restarts,
+    // oom_reruns, oom_recoveries) identical cell by cell.
+    for seed in FAULT_SEEDS {
+        let plan = FaultPlan::seeded(seed, storm());
+        for mode in [ExecutionMode::Spark, ExecutionMode::Deca] {
+            for executors in EXECUTOR_COUNTS {
+                let wc = |sched: SchedulerMode| {
+                    let p = wc_params(mode);
+                    let mut session = ClusterSession::new(
+                        executors,
+                        wordcount::wc_config(&p).retry(RetryPolicy::resilient()).scheduler(sched),
+                    );
+                    session.install_faults(plan.clone());
+                    let checksum = wordcount::run_on(&p, &mut session).unwrap_or_else(|e| {
+                        panic!("seed {seed}, {mode}, {executors}x, {sched}: WC died: {e}")
+                    });
+                    session.finish_job();
+                    (checksum, session.job_summary())
+                };
+                let (wave_sum, wave) = wc(SchedulerMode::Wave);
+                let (pull_sum, pull) = wc(SchedulerMode::Pull);
+                assert_eq!(
+                    wave_sum, pull_sum,
+                    "seed {seed}, {mode}, {executors}x: WC checksums diverge across schedulers"
+                );
+                assert_eq!(
+                    rollup(&wave),
+                    rollup(&pull),
+                    "seed {seed}, {mode}, {executors}x: WC recovery roll-ups diverge"
+                );
+
+                let pr = |sched: SchedulerMode| {
+                    let p = pr_params(mode);
+                    let mut session = ClusterSession::new(
+                        executors,
+                        pagerank::pr_config(&p).retry(RetryPolicy::resilient()).scheduler(sched),
+                    );
+                    session.install_faults(plan.clone());
+                    let (checksum, _) = pagerank::run_on(&p, &mut session).unwrap_or_else(|e| {
+                        panic!("seed {seed}, {mode}, {executors}x, {sched}: PR died: {e}")
+                    });
+                    (checksum, session.job_summary())
+                };
+                let (wave_sum, wave) = pr(SchedulerMode::Wave);
+                let (pull_sum, pull) = pr(SchedulerMode::Pull);
+                assert_eq!(
+                    wave_sum, pull_sum,
+                    "seed {seed}, {mode}, {executors}x: PR checksums diverge across schedulers"
+                );
+                assert_eq!(
+                    rollup(&wave),
+                    rollup(&pull),
+                    "seed {seed}, {mode}, {executors}x: PR recovery roll-ups diverge"
                 );
             }
         }
