@@ -134,6 +134,9 @@ pub fn build_adjacency(
 }
 
 /// Generate and aggregate one iteration's rank messages from one block.
+/// Cache accesses propagate errors (rather than panicking) because the
+/// cold-read path is fault-instrumented: an injected `SpillRead` kill
+/// must surface as a failed task attempt the driver can retry.
 #[allow(clippy::too_many_arguments)] // one parameter per shuffle representation
 fn messages_from_block(
     e: &mut Executor,
@@ -144,16 +147,14 @@ fn messages_from_block(
     spark_sums: &mut Option<SparkHashShuffle<i64, f64>>,
     deca_sums: &mut Option<DecaHashShuffle>,
     pair_classes: &deca_engine::record::PairClasses,
-) {
+) -> Result<(), EngineError> {
     match mode {
         ExecutionMode::Spark | ExecutionMode::SparkSer => {
             let buf = spark_sums.as_mut().expect("spark buffer");
             match mode {
                 ExecutionMode::Spark => {
-                    let (root, len) = e
-                        .cache
-                        .objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)
-                        .expect("cache access");
+                    let (root, len) =
+                        e.cache.objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)?;
                     for i in 0..len {
                         let arr = e.heap.root_ref(root);
                         let v = e.heap.array_get_ref(arr, i);
@@ -184,11 +185,9 @@ fn messages_from_block(
                 _ => {
                     // SparkSer: deserialize adjacency, then emit as Spark.
                     let mut adj: Vec<AdjListRec> = Vec::new();
-                    e.cache
-                        .iter_serialized(block, &mut e.heap, &mut e.kryo, &mut e.mm, |r| {
-                            adj.push(r)
-                        })
-                        .expect("cache access");
+                    e.cache.iter_serialized(block, &mut e.heap, &mut e.kryo, &mut e.mm, |r| {
+                        adj.push(r)
+                    })?;
                     for a in adj {
                         let deg = degrees[a.vertex as usize].max(1) as f64;
                         let contrib = ranks[a.vertex as usize] / deg;
@@ -242,6 +241,7 @@ fn messages_from_block(
             }
         }
     }
+    Ok(())
 }
 
 fn add_f64_bytes(acc: &mut [u8], add: &[u8]) {
@@ -385,7 +385,17 @@ pub fn run_on(
             // eagerly combine rank messages, then write per-reducer
             // runs (serialized in Spark modes, raw bytes in Deca).
             |ctx, e| {
-                let cached = blocks_now.lock().unwrap().get(&(ctx.executor, ctx.task)).copied();
+                // A crash restart may have wiped the block the map built
+                // (restart-in-place rehydrates only manifest-verified cold
+                // blocks), so the handle is only trusted if the cache
+                // still holds it — otherwise lineage recompute, exactly as
+                // for a migrated attempt.
+                let cached = blocks_now
+                    .lock()
+                    .unwrap()
+                    .get(&(ctx.executor, ctx.task))
+                    .copied()
+                    .filter(|b| e.cache.contains(*b));
                 let block = match cached {
                     Some(b) => b,
                     // Lineage recompute: this attempt migrated to an
@@ -418,8 +428,8 @@ pub fn run_on(
                         &mut spark_sums,
                         &mut deca_sums,
                         &pair_classes,
-                    );
-                });
+                    )
+                })?;
                 let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
                     // Either branch writes ≤ one record per destination
                     // vertex held in the buffer: ~2-byte tag + varint key

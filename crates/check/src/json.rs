@@ -451,4 +451,133 @@ mod tests {
         assert!(pretty.contains("\n  \"workloads\""), "{pretty}");
         assert_eq!(Json::parse(&pretty).unwrap(), v);
     }
+
+    // --------------------------------------------------------------
+    // properties (deca-check harness; replay with DECA_CHECK_SEED)
+    // --------------------------------------------------------------
+
+    use crate::property::{check, gens, Config};
+    use crate::{prop_assert, prop_assert_eq, SplitMix64};
+
+    /// A seed-derived document: every JSON kind, awkward strings (quotes,
+    /// backslashes, control bytes, non-ASCII), exact integers across the
+    /// full ±2^53 range, raw-bit floats, duplicate and empty object keys.
+    fn arbitrary_json(rng: &mut SplitMix64, depth: usize) -> Json {
+        let kinds = if depth == 0 { 6 } else { 8 };
+        match rng.next_u64() % kinds {
+            0 => Json::Null,
+            1 => Json::Bool(rng.next_u64() % 2 == 0),
+            2 => {
+                let n = (rng.next_u64() % (1 << 54)) as i64 - (1 << 53);
+                Json::Num(n as f64)
+            }
+            3 => {
+                let f = f64::from_bits(rng.next_u64());
+                Json::Num(if f.is_finite() { f } else { 0.0 })
+            }
+            4 | 5 => Json::Str(arbitrary_string(rng)),
+            6 => {
+                let n = (rng.next_u64() % 4) as usize;
+                Json::Arr((0..n).map(|_| arbitrary_json(rng, depth - 1)).collect())
+            }
+            _ => {
+                let n = (rng.next_u64() % 4) as usize;
+                Json::Obj(
+                    (0..n)
+                        .map(|_| (arbitrary_string(rng), arbitrary_json(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn arbitrary_string(rng: &mut SplitMix64) -> String {
+        let n = rng.next_u64() % 8;
+        (0..n)
+            .map(|_| match rng.next_u64() % 8 {
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => char::from_u32(1 + (rng.next_u64() % 0x1f) as u32).unwrap(),
+                4 => char::from_u32(0x3b1 + (rng.next_u64() % 24) as u32).unwrap(),
+                5 => '🦀',
+                _ => char::from(b'a' + (rng.next_u64() % 26) as u8),
+            })
+            .collect()
+    }
+
+    /// print → parse is the identity on arbitrary ordered documents, in
+    /// both renderings. Ordered-object equality makes this strict: member
+    /// order, duplicate keys, and every float bit pattern must survive.
+    #[test]
+    fn random_ordered_documents_roundtrip_bit_exactly() {
+        check(Config::default(), gens::any_i64(), |&seed| {
+            let mut rng = SplitMix64::new(seed as u64);
+            let v = arbitrary_json(&mut rng, 3);
+            prop_assert_eq!(Json::parse(&v.to_compact()).map_err(|e| e.to_string())?, v.clone());
+            prop_assert_eq!(Json::parse(&v.to_pretty()).map_err(|e| e.to_string())?, v);
+            Ok(())
+        });
+    }
+
+    /// Integers round-trip exactly through text up to — and including —
+    /// 2^53; immediately past it, f64 granularity shows and `as_u64`
+    /// refuses to vouch for values it cannot represent exactly.
+    #[test]
+    fn exact_integer_boundary_sits_at_2_53() {
+        check(Config::default(), gens::pair(gens::any_u32(), gens::any_u32()), |&(hi, lo)| {
+            let n = (((hi as u64) << 32) | lo as u64) % ((1u64 << 53) + 1);
+            let v = Json::int(n);
+            prop_assert_eq!(
+                Json::parse(&v.to_compact()).map_err(|e| e.to_string())?.as_u64(),
+                Some(n),
+                "n = {n} must survive print → parse exactly"
+            );
+            Ok(())
+        });
+        // The exact boundary, pinned: 2^53 is the last trusted integer.
+        let max = 1u64 << 53;
+        assert_eq!(Json::parse(&Json::int(max).to_compact()).unwrap().as_u64(), Some(max));
+        // 2^53 + 1 is not representable: the constructor already rounded.
+        assert_eq!((max + 1) as f64, max as f64, "f64 granularity at the boundary");
+        assert_eq!(Json::int(max + 1).as_u64(), Some(max), "rounded down before printing");
+        // 2^53 + 2 is representable but outside the exactness contract.
+        assert_eq!(Json::Num((max + 2) as f64).as_u64(), None, "past the boundary: no vouching");
+    }
+
+    /// Every proper prefix of a rendered array/object document fails to
+    /// parse (the brackets never balance), and the reported error
+    /// position always lands inside the truncated input.
+    #[test]
+    fn truncated_documents_fail_with_in_range_positions() {
+        check(Config::default(), gens::any_i64(), |&seed| {
+            let mut rng = SplitMix64::new(seed as u64);
+            // Wrap in an array so the root always has an unbalanced
+            // bracket in every proper prefix.
+            let v = Json::Arr(vec![arbitrary_json(&mut rng, 2)]);
+            let text = v.to_compact();
+            prop_assert!(Json::parse(&text).is_ok(), "the full document parses");
+            for cut in 0..text.len() {
+                if !text.is_char_boundary(cut) {
+                    continue;
+                }
+                let e = Json::parse(&text[..cut])
+                    .expect_err("a truncated array document must not parse");
+                prop_assert!(
+                    e.at <= cut,
+                    "cut at {cut}: error position {} is past the input end",
+                    e.at
+                );
+            }
+            Ok(())
+        });
+        // Pinned positions: the offset names the exact failing byte.
+        assert_eq!(Json::parse("").unwrap_err().at, 0);
+        assert_eq!(Json::parse("[1,").unwrap_err().at, 3, "EOF where a value should start");
+        assert_eq!(Json::parse(r#"{"a""#).unwrap_err().at, 4, "EOF where ':' should be");
+        assert_eq!(Json::parse(r#"{"a":1"#).unwrap_err().at, 6, "EOF where ',' or '}}' should be");
+        assert_eq!(Json::parse(r#""abc"#).unwrap_err().at, 4, "unterminated string");
+        assert_eq!(Json::parse("tru").unwrap_err().at, 0, "truncated literal");
+        assert_eq!(Json::parse("1 2").unwrap_err().at, 2, "trailing garbage");
+    }
 }

@@ -226,6 +226,29 @@ impl MemoryManager {
         self.entry(id).swappable
     }
 
+    /// An expected-lifetime weight for a group, in the spirit of ROLP's
+    /// observed-lifetime profiling: groups shared by more consumers
+    /// (higher refcount) live longer and deserve a warmer cache tier.
+    /// Monotone in the refcount; zero only for dead slots.
+    pub fn lifetime_hint(&self, id: GroupId) -> u32 {
+        match self.entries.get(id.0 as usize).and_then(|e| e.as_ref()) {
+            Some(e) => e.refcount,
+            None => 0,
+        }
+    }
+
+    /// The in-memory spill record (per-page byte sizes) of a swapped
+    /// group, if it has one — what the engine's crash-consistent manifest
+    /// must persist, since this record dies with the process.
+    pub fn spill_page_sizes(&self, id: GroupId) -> Option<Vec<usize>> {
+        self.spill.page_sizes(id.raw()).map(|s| s.to_vec())
+    }
+
+    /// The path of a group's spill file (see [`SpillStore::file_path`]).
+    pub fn spill_file(&self, id: GroupId) -> std::path::PathBuf {
+        self.spill.file_path(id.raw())
+    }
+
     /// Total resident footprint of all managed groups.
     pub fn resident_bytes(&self) -> usize {
         self.entries

@@ -59,6 +59,19 @@ impl SpillStore {
         self.sizes.get(&id).map(|s| s.len()).unwrap_or(0)
     }
 
+    /// The per-page byte sizes of a spilled group — the part of the spill
+    /// record that lives only in memory and would be lost in a crash,
+    /// which is why the engine's spill manifest persists a copy.
+    pub fn page_sizes(&self, id: u32) -> Option<&[usize]> {
+        self.sizes.get(&id).map(|s| s.as_slice())
+    }
+
+    /// Where a group's spill file lives (whether or not it exists), so
+    /// callers can checksum the payload without going through `read`.
+    pub fn file_path(&self, id: u32) -> PathBuf {
+        self.path(id)
+    }
+
     /// Total spilled bytes of one group.
     pub fn group_bytes(&self, id: u32) -> usize {
         self.sizes.get(&id).map(|s| s.iter().sum()).unwrap_or(0)

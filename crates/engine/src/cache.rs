@@ -1,24 +1,55 @@
-//! The cache manager: cached RDD blocks in three storage levels, with LRU
-//! eviction to disk under a storage budget.
+//! The cache manager: cached RDD blocks in a three-tier store with a
+//! crash-consistent cold tier.
 //!
-//! * `Objects` blocks (Spark) hold a heap `Object[]` of record graphs —
-//!   the long-living live set the collector must trace;
-//! * `Serialized` blocks (SparkSer) hold one heap `byte[]` of Kryo bytes —
-//!   few objects, but every access deserializes;
-//! * `Deca` blocks hold decomposed pages managed by `deca-core`.
+//! **Tiers.** Every block sits in one of three tiers:
 //!
-//! Eviction (Appendix C): when the cached bytes exceed the storage budget
-//! (`storage.memoryFraction` × heap), the LRU block moves to disk — Spark
-//! blocks are serialized first (real Kryo cost), Deca page groups are
-//! written verbatim.
+//! * **hot** — directly scannable in memory: `Objects` blocks (Spark) hold
+//!   a heap `Object[]` of record graphs; resident `Deca` blocks hold
+//!   decomposed pages managed by `deca-core`;
+//! * **warm** — in memory but serialized: `Serialized` blocks hold one
+//!   heap `byte[]` of Kryo bytes (SparkSer's native format, and where
+//!   demoted Spark blocks land first — the Kolokasis et al. middle ground
+//!   between collecting object graphs and paying disk I/O);
+//! * **cold** — on disk: `Disk` blocks (serialized payload files) and
+//!   `Deca` blocks whose page group is swapped out.
+//!
+//! **Weights.** Demotion victims are picked by *weight*, not pure LRU:
+//! `weight = access_count + lifetime hint`, where the hint comes from
+//! `deca-core`'s refcount-based [`MemoryManager::lifetime_hint`] (a
+//! ROLP-style observed-lifetime signal: a page group shared by more
+//! consumers will live longer and deserves a warmer tier). Ties break on
+//! `last_used`, so equal-weight blocks still age out LRU-fashion. A block
+//! demotes one tier per step (hot → warm → cold) under budget pressure
+//! and promotes back on access.
+//!
+//! **Crash consistency.** Every cold-tier mutation rewrites a *spill
+//! manifest* (`spill-manifest.json` in the cache dir): a checksummed JSON
+//! record of each on-disk payload — FNV-1a digest per payload plus a
+//! whole-document digest — written to a temp file and atomically renamed.
+//! After an executor crash, restart-in-place calls [`CacheManager::
+//! crash_restart`]: volatile tiers (hot/warm) are dropped, and each cold
+//! block is kept only if the manifest vouches for it (id, kind, sizes and
+//! payload digest all match). Anything the manifest cannot verify — or
+//! the whole cold tier, if the manifest itself fails its checksum — is
+//! discarded, and the app's lineage-recompute path rebuilds it. Deca rows
+//! persist the group's per-page sizes, the one part of the spill record
+//! that otherwise lives only in [`deca_core::MemoryManager`] memory.
+//!
+//! The spill/restore/manifest path is fault-instrumented: the four
+//! [`FaultSite`] kill points (`SpillWrite`, `ManifestCommit`, `SpillRead`,
+//! `Rehydrate`) consult the installed [`FaultPlan`] and abort the
+//! operation mid-flight, modelling the executor dying at exactly that
+//! point; `tests/crash_recovery.rs` proves recovery from every one.
 
 use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::time::Duration;
 
+use deca_check::Json;
 use deca_core::{DecaCacheBlock, MemError, MemoryManager};
 use deca_heap::{FieldKind, Heap, OomError, RootId};
 
+use crate::faults::{FaultPlan, FaultSite};
 use crate::record::Record;
 use crate::serde_sim::KryoSim;
 
@@ -26,12 +57,27 @@ use crate::serde_sim::KryoSim;
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct BlockId(u32);
 
+/// The storage tier a block currently occupies.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Tier {
+    /// Directly scannable in memory (object graphs or resident pages).
+    Hot,
+    /// In memory, serialized (one `byte[]`).
+    Warm,
+    /// On disk (payload file or swapped page group).
+    Cold,
+}
+
 /// Cache errors.
 #[derive(Debug)]
 pub enum CacheError {
     Oom(OomError),
     Mem(MemError),
     Io(std::io::Error),
+    /// A deterministic kill-point fault fired inside the spill/restore/
+    /// manifest path: the operation was abandoned exactly where the
+    /// modelled executor process died.
+    Injected(FaultSite),
 }
 
 impl From<OomError> for CacheError {
@@ -58,16 +104,27 @@ impl std::fmt::Display for CacheError {
             CacheError::Oom(e) => write!(f, "cache: {e}"),
             CacheError::Mem(e) => write!(f, "cache: {e}"),
             CacheError::Io(e) => write!(f, "cache I/O: {e}"),
+            CacheError::Injected(site) => write!(f, "cache: injected {site} crash"),
         }
     }
 }
 
 impl std::error::Error for CacheError {}
 
-/// Type-erased operations on an `Objects` block (needed to evict it
+/// FNV-1a over a byte payload — the digest the spill manifest records for
+/// each cold payload and for the manifest document itself.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Type-erased operations on an `Objects` block (needed to demote it
 /// without knowing `T` at the eviction site).
 trait ObjectBlockOps: Send {
-    /// Serialize all records of the block (for eviction to disk).
+    /// Serialize all records of the block (for demotion).
     fn serialize(&self, heap: &mut Heap, kryo: &mut KryoSim, root: RootId, len: usize) -> Vec<u8>;
     /// Re-materialise records from serialized bytes; returns the new root.
     fn deserialize(
@@ -145,34 +202,70 @@ pub(crate) fn byte_array_class(heap: &mut Heap) -> deca_heap::ClassId {
 }
 
 enum BlockState {
-    Objects {
-        root: RootId,
-        len: usize,
-        ops: Box<dyn ObjectBlockOps>,
-    },
-    Serialized {
-        root: RootId,
-        len: usize,
-    },
-    Deca {
-        block: DecaCacheBlock,
-    },
-    /// Evicted to disk; `was_objects` says how to re-materialise and
-    /// `mem_bytes` what it will cost in memory again.
+    /// Hot tier: a heap `Object[]` of record graphs.
+    Objects { root: RootId, len: usize, ops: Box<dyn ObjectBlockOps> },
+    /// Warm tier: one heap `byte[]` of Kryo bytes. `ops` is `Some` for a
+    /// demoted Objects block (so it can promote back to hot), `None` for
+    /// a native SparkSer block. `mem_bytes` is the hot-tier footprint a
+    /// promotion restores.
+    Serialized { root: RootId, len: usize, ops: Option<Box<dyn ObjectBlockOps>>, mem_bytes: usize },
+    /// Hot or cold tier depending on whether the page group is resident
+    /// (residency is tracked by `deca-core`, not here).
+    Deca { block: DecaCacheBlock },
+    /// Cold tier: a serialized payload file. `was_objects` says how to
+    /// re-materialise, `mem_bytes` what residency will cost again, and
+    /// `checksum` the FNV-1a digest the manifest records for the payload.
     Disk {
         len: usize,
         was_objects: Option<Box<dyn ObjectBlockOps>>,
         mem_bytes: usize,
+        checksum: u64,
     },
 }
 
 struct Entry {
     state: BlockState,
-    /// Accounted in-memory bytes while resident; disk bytes when evicted.
+    /// Accounted in-memory bytes while resident; disk bytes when cold.
     bytes: usize,
     last_used: u64,
+    /// Accesses since creation — the access-frequency half of the block's
+    /// demotion weight.
+    access_count: u64,
     pinned: bool,
 }
+
+/// What one `crash_restart` did, for the driver's trace/metrics wiring.
+#[derive(Clone, Debug, Default)]
+pub struct RehydrateOutcome {
+    /// The manifest parsed and passed its whole-document checksum. When
+    /// false the entire cold tier was discarded (graceful degradation to
+    /// lineage recompute).
+    pub manifest_ok: bool,
+    /// Blocks kept from the cold tier: `(block id, payload bytes,
+    /// cached records)` per manifest-verified block.
+    pub rehydrated: Vec<(u32, u64, u64)>,
+    /// Entries lost: volatile tiers wiped by the crash plus cold blocks
+    /// the manifest could not vouch for.
+    pub dropped: usize,
+    /// A `Rehydrate` kill point fired partway: recovery was abandoned
+    /// mid-scan and the executor died again. A later restart finishes the
+    /// job (rehydration is idempotent).
+    pub killed: bool,
+}
+
+/// One verified row of the parsed spill manifest.
+#[derive(Debug)]
+struct ManifestRow {
+    id: u32,
+    kind: String,
+    len: u64,
+    file_bytes: u64,
+    checksum: u64,
+    group: Option<u64>,
+    page_sizes: Vec<usize>,
+}
+
+const MANIFEST_SCHEMA: &str = "deca-spill-manifest-v1";
 
 /// Per-executor cache manager.
 pub struct CacheManager {
@@ -183,8 +276,14 @@ pub struct CacheManager {
     /// Bytes written/read to cache spill files (adds simulated disk time).
     pub spill_write_bytes: u64,
     pub spill_read_bytes: u64,
-    /// Eviction events.
+    /// Cold-tier eviction events (a block moved to disk / swapped out).
     pub evictions: u64,
+    /// Hot → warm demotion events (serialize-in-place, no disk I/O).
+    pub demotions: u64,
+    /// Installed fault plan + the running task's (stage, task, attempt),
+    /// consulted at the spill-path kill points.
+    probe: Option<FaultPlan>,
+    probe_ctx: Option<(String, usize, u32)>,
 }
 
 impl CacheManager {
@@ -197,6 +296,9 @@ impl CacheManager {
             spill_write_bytes: 0,
             spill_read_bytes: 0,
             evictions: 0,
+            demotions: 0,
+            probe: None,
+            probe_ctx: None,
         }
     }
 
@@ -210,6 +312,33 @@ impl CacheManager {
         })
     }
 
+    // ------------------------------------------------------------------
+    // fault probe
+    // ------------------------------------------------------------------
+
+    pub(crate) fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.probe = if plan.is_quiet() { None } else { Some(plan) };
+    }
+
+    pub(crate) fn set_fault_ctx(&mut self, stage: &str, task: usize, attempt: u32) {
+        if self.probe.is_some() {
+            self.probe_ctx = Some((stage.to_string(), task, attempt));
+        }
+    }
+
+    pub(crate) fn clear_fault_ctx(&mut self) {
+        self.probe_ctx = None;
+    }
+
+    /// Does `site` fire for the task currently running on this executor?
+    /// Always false outside a task (no context) or without a plan.
+    fn killed(&self, site: FaultSite) -> bool {
+        match (&self.probe, &self.probe_ctx) {
+            (Some(p), Some((stage, task, attempt))) => p.fires(site, stage, *task, *attempt),
+            _ => false,
+        }
+    }
+
     fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock
@@ -220,12 +349,77 @@ impl CacheManager {
         BlockId((self.entries.len() - 1) as u32)
     }
 
+    /// Is `id` still a live block? False once released — and, after a
+    /// crash restart, for blocks the crash wiped: app code holding block
+    /// ids across stages checks this and falls back to lineage recompute.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.entries.get(id.0 as usize).is_some_and(|e| e.is_some())
+    }
+
+    /// The tier a block currently occupies (Deca residency via `mm`).
+    pub fn tier(&self, id: BlockId, mm: &MemoryManager) -> Tier {
+        let e = self.entries[id.0 as usize].as_ref().expect("block");
+        Self::tier_of(e, mm)
+    }
+
+    fn tier_of(e: &Entry, mm: &MemoryManager) -> Tier {
+        match &e.state {
+            BlockState::Objects { .. } => Tier::Hot,
+            BlockState::Serialized { .. } => Tier::Warm,
+            BlockState::Disk { .. } => Tier::Cold,
+            BlockState::Deca { block } => {
+                if mm.is_swapped(block.group()) {
+                    Tier::Cold
+                } else {
+                    Tier::Hot
+                }
+            }
+        }
+    }
+
+    /// Demotion weight: access frequency plus the core layer's lifetime
+    /// hint (Deca page groups only — the hint is refcount-derived).
+    /// Lower weight demotes first.
+    fn weight_of(e: &Entry, mm: &MemoryManager) -> u64 {
+        let hint = match &e.state {
+            BlockState::Deca { block } => mm.lifetime_hint(block.group()) as u64,
+            _ => 0,
+        };
+        e.access_count + hint
+    }
+
     /// Resident (in-memory) cached bytes.
     pub fn resident_bytes(&self) -> usize {
         self.entries
             .iter()
             .flatten()
             .filter(|e| !matches!(e.state, BlockState::Disk { .. }))
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Resident bytes with Deca residency resolved through `mm`: a swapped
+    /// page group's entry stays `Deca` but its pages are on disk, so the
+    /// budget loops must not count it against the in-memory cap.
+    fn resident_bytes_mm(&self, mm: &MemoryManager) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|e| match &e.state {
+                BlockState::Disk { .. } => false,
+                BlockState::Deca { block } => !mm.is_swapped(block.group()),
+                _ => true,
+            })
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Resident bytes held in the warm (serialized in-memory) tier.
+    pub fn warm_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e.state, BlockState::Serialized { .. }))
             .map(|e| e.bytes)
             .sum()
     }
@@ -242,6 +436,10 @@ impl CacheManager {
 
     fn file(&self, id: u32) -> PathBuf {
         self.dir().join(format!("cache-block-{id}.bin"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir().join("spill-manifest.json")
     }
 
     // ------------------------------------------------------------------
@@ -281,6 +479,7 @@ impl CacheManager {
             },
             bytes,
             last_used: t,
+            access_count: 1,
             pinned: false,
         }))
     }
@@ -302,9 +501,10 @@ impl CacheManager {
         let bytes = buf.len() + 16;
         let t = self.tick();
         Ok(self.push(Entry {
-            state: BlockState::Serialized { root, len: recs.len() },
+            state: BlockState::Serialized { root, len: recs.len(), ops: None, mem_bytes: bytes },
             bytes,
             last_used: t,
+            access_count: 1,
             pinned: false,
         }))
     }
@@ -344,11 +544,16 @@ impl CacheManager {
             block.append(mm, heap, r)?;
         }
         let bytes = block.footprint(mm, heap)?;
+        // Deca puts respect the storage budget too: over it, the
+        // lowest-weight resident page group (access count + lifetime hint)
+        // swaps to the cold tier before the new block is admitted.
+        self.make_room_deca(heap, mm, bytes)?;
         let t = self.tick();
         Ok(self.push(Entry {
             state: BlockState::Deca { block },
             bytes,
             last_used: t,
+            access_count: 1,
             pinned: false,
         }))
     }
@@ -367,8 +572,16 @@ impl CacheManager {
         }
     }
 
+    fn touch(&mut self, id: BlockId) {
+        let t = self.tick();
+        let e = self.entries[id.0 as usize].as_mut().expect("block");
+        e.last_used = t;
+        e.access_count += 1;
+    }
+
     /// Direct access to an Objects block's root array (Spark kernels walk
-    /// the heap themselves). Swaps the block in if evicted.
+    /// the heap themselves). Promotes the block back to the hot tier if it
+    /// was demoted (warm) or evicted (cold).
     pub fn objects_root(
         &mut self,
         id: BlockId,
@@ -377,10 +590,14 @@ impl CacheManager {
         mm: &mut MemoryManager,
     ) -> Result<(RootId, usize), CacheError> {
         self.ensure_resident(id, heap, kryo, mm)?;
-        let t = self.tick();
-        let e = self.entries[id.0 as usize].as_mut().expect("block");
-        e.last_used = t;
-        match &e.state {
+        self.touch(id);
+        if matches!(
+            self.entries[id.0 as usize].as_ref().expect("block").state,
+            BlockState::Serialized { ops: Some(_), .. }
+        ) {
+            self.promote_warm(id, heap, kryo, mm)?;
+        }
+        match &self.entries[id.0 as usize].as_ref().expect("block").state {
             BlockState::Objects { root, len, .. } => Ok((*root, *len)),
             _ => panic!("objects_root on a non-Objects block"),
         }
@@ -398,11 +615,10 @@ impl CacheManager {
         mut f: impl FnMut(T),
     ) -> Result<(), CacheError> {
         self.ensure_resident(id, heap, kryo, mm)?;
-        let t = self.tick();
-        let e = self.entries[id.0 as usize].as_mut().expect("block");
-        e.last_used = t;
+        self.touch(id);
+        let e = self.entries[id.0 as usize].as_ref().expect("block");
         let (root, len) = match &e.state {
-            BlockState::Serialized { root, len } => (*root, *len),
+            BlockState::Serialized { root, len, .. } => (*root, *len),
             _ => panic!("iter_serialized on a non-Serialized block"),
         };
         let arr = heap.root_ref(root);
@@ -421,9 +637,8 @@ impl CacheManager {
 
     /// The Deca block backing `id` (panics if the block is not Deca).
     pub fn deca_block(&mut self, id: BlockId) -> &mut DecaCacheBlock {
-        let t = self.tick();
+        self.touch(id);
         let e = self.entries[id.0 as usize].as_mut().expect("block");
-        e.last_used = t;
         match &mut e.state {
             BlockState::Deca { block } => block,
             _ => panic!("deca_block on a non-Deca block"),
@@ -436,18 +651,29 @@ impl CacheManager {
 
     /// Release a block (`unpersist()`): Objects/Serialized drop their
     /// roots (space reclaimed by the *next collection*, as in Spark); Deca
-    /// blocks release their page group immediately.
+    /// blocks release their page group immediately. Cold-tier releases
+    /// update the spill manifest.
     pub fn release(&mut self, id: BlockId, heap: &mut Heap, mm: &mut MemoryManager) {
+        let mut cold = false;
         if let Some(mut e) = self.entries[id.0 as usize].take() {
             match &mut e.state {
                 BlockState::Objects { root, .. } | BlockState::Serialized { root, .. } => {
                     heap.remove_root(*root);
                 }
-                BlockState::Deca { block } => block.release(mm, heap),
+                BlockState::Deca { block } => {
+                    cold = mm.is_swapped(block.group());
+                    block.release(mm, heap);
+                }
                 BlockState::Disk { .. } => {
                     let _ = std::fs::remove_file(self.file(id.0));
+                    cold = true;
                 }
             }
+        }
+        if cold {
+            // Best-effort: a release is infallible, and a stale manifest
+            // row is harmless (restart verification drops it).
+            let _ = self.commit_manifest(mm);
         }
     }
 
@@ -458,12 +684,201 @@ impl CacheManager {
         mm: &mut MemoryManager,
         incoming: usize,
     ) -> Result<(), CacheError> {
-        while self.resident_bytes() + incoming > self.budget {
-            if !self.evict_lru(heap, kryo, mm)? {
-                break; // nothing evictable: allow overshoot (heap will GC/OOM)
+        while self.resident_bytes_mm(mm) + incoming > self.budget {
+            if !self.demote_coldest(heap, kryo, mm)? {
+                break; // nothing demotable: allow overshoot (heap will GC/OOM)
             }
         }
         Ok(())
+    }
+
+    /// Budget admission for Deca puts. No serializer is in hand on this
+    /// path, so only Deca victims can move — and they go straight cold via
+    /// a page-group swap (Deca has no warm form: its pages *are* the
+    /// serialized representation).
+    fn make_room_deca(
+        &mut self,
+        heap: &mut Heap,
+        mm: &mut MemoryManager,
+        incoming: usize,
+    ) -> Result<(), CacheError> {
+        while self.resident_bytes_mm(mm) + incoming > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+                .filter(|(_, e)| {
+                    !e.pinned
+                        && matches!(&e.state, BlockState::Deca { block }
+                            if !mm.is_swapped(block.group()) && mm.is_swappable(block.group()))
+                })
+                .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
+                .map(|(i, _)| i);
+            let Some(i) = victim else { break };
+            self.evict_deca(BlockId(i as u32), heap, mm)?;
+        }
+        Ok(())
+    }
+
+    /// Swap one resident Deca page group to the cold tier and commit the
+    /// manifest. Same kill windows as [`CacheManager::evict`].
+    fn evict_deca(
+        &mut self,
+        id: BlockId,
+        heap: &mut Heap,
+        mm: &mut MemoryManager,
+    ) -> Result<(), CacheError> {
+        if self.killed(FaultSite::SpillWrite) {
+            return Err(CacheError::Injected(FaultSite::SpillWrite));
+        }
+        let e = self.entries[id.0 as usize].as_ref().expect("block");
+        let BlockState::Deca { block } = &e.state else { return Ok(()) };
+        let group = block.group();
+        if !mm.is_swapped(group) && mm.is_swappable(group) {
+            let freed = mm.swap_out(group, heap)?;
+            self.spill_write_bytes += freed as u64;
+            self.evictions += 1;
+            self.commit_manifest(mm)?;
+        }
+        Ok(())
+    }
+
+    /// Demote the lowest-weight non-cold block one tier: a hot Objects
+    /// block serializes into the warm tier; warm blocks and hot Deca
+    /// blocks go cold. Returns false when nothing is demotable.
+    fn demote_coldest(
+        &mut self,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+    ) -> Result<bool, CacheError> {
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+            .filter(|(_, e)| !e.pinned && Self::tier_of(e, mm) != Tier::Cold)
+            .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
+            .map(|(i, _)| i);
+        let Some(i) = victim else { return Ok(false) };
+        let id = BlockId(i as u32);
+        match self.entries[i].as_ref().expect("block").state {
+            BlockState::Objects { .. } => self.demote_to_warm(id, heap, kryo)?,
+            _ => self.evict(id, heap, kryo, mm)?,
+        }
+        Ok(true)
+    }
+
+    /// Hot → warm: serialize an Objects block into one heap `byte[]`,
+    /// keeping its ops so a later access can promote it back. If the heap
+    /// cannot even hold the serialized form, the block skips the warm
+    /// tier and spills straight to disk.
+    fn demote_to_warm(
+        &mut self,
+        id: BlockId,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+    ) -> Result<(), CacheError> {
+        let mut e = self.entries[id.0 as usize].take().expect("block");
+        let BlockState::Objects { root, len, ops } = e.state else {
+            self.entries[id.0 as usize] = Some(e);
+            return Ok(());
+        };
+        let buf = ops.serialize(heap, kryo, root, len);
+        heap.remove_root(root);
+        let mem_bytes = e.bytes;
+        let cls = byte_array_class(heap);
+        match heap.alloc_array(cls, buf.len()) {
+            Ok(arr) => {
+                heap.byte_array_write(arr, 0, &buf);
+                let new_root = heap.add_root(arr);
+                e.bytes = buf.len() + 16;
+                e.state = BlockState::Serialized { root: new_root, len, ops: Some(ops), mem_bytes };
+                self.demotions += 1;
+                self.entries[id.0 as usize] = Some(e);
+            }
+            Err(_) => {
+                // No heap room for the warm form: write the bytes we
+                // already have straight to the cold tier.
+                let path = self.file(id.0);
+                std::fs::create_dir_all(self.dir())?;
+                std::fs::File::create(&path)?.write_all(&buf)?;
+                self.spill_write_bytes += buf.len() as u64;
+                let checksum = fnv1a(&buf);
+                e.bytes = buf.len();
+                e.state = BlockState::Disk { len, was_objects: Some(ops), mem_bytes, checksum };
+                self.evictions += 1;
+                self.entries[id.0 as usize] = Some(e);
+                // The cold tier changed: record it durably. (No mm access
+                // needed for digesting, but the manifest also re-lists
+                // swapped Deca rows; callers of the demote path always
+                // hold mm, so this rare edge re-commits on next cold step
+                // instead.)
+                self.commit_manifest_blocks_only()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Warm → hot: deserialize a demoted Objects block back into record
+    /// graphs. The serialized copy stays alive until the new graph is
+    /// built (Spark's unroll does the same), so an OOM mid-promotion
+    /// leaves the block intact in the warm tier.
+    fn promote_warm(
+        &mut self,
+        id: BlockId,
+        heap: &mut Heap,
+        kryo: &mut KryoSim,
+        mm: &mut MemoryManager,
+    ) -> Result<(), CacheError> {
+        let mut e = self.entries[id.0 as usize].take().expect("block");
+        let BlockState::Serialized { root, len, ops: Some(ops), mem_bytes } = e.state else {
+            self.entries[id.0 as usize] = Some(e);
+            return Ok(());
+        };
+        let arr = heap.root_ref(root);
+        let n = heap.array_len(arr);
+        let mut buf = vec![0u8; n];
+        heap.byte_array_read(arr, 0, &mut buf);
+        match ops.deserialize(heap, kryo, &buf) {
+            Ok((new_root, n)) => {
+                debug_assert_eq!(n, len);
+                heap.remove_root(root);
+                e.bytes = mem_bytes;
+                e.state = BlockState::Objects { root: new_root, len, ops };
+                self.entries[id.0 as usize] = Some(e);
+                Ok(())
+            }
+            Err(oom) => {
+                // Heap pressure: put the block back warm, evict harder,
+                // collect, and retry once.
+                e.state = BlockState::Serialized { root, len, ops: Some(ops), mem_bytes };
+                self.entries[id.0 as usize] = Some(e);
+                while self.evict_lru_excluding(id, heap, kryo, mm)? {}
+                heap.full_gc();
+                let mut e = self.entries[id.0 as usize].take().expect("block");
+                let BlockState::Serialized { root, len, ops: Some(ops), mem_bytes } = e.state
+                else {
+                    unreachable!()
+                };
+                match ops.deserialize(heap, kryo, &buf) {
+                    Ok((new_root, n)) => {
+                        debug_assert_eq!(n, len);
+                        heap.remove_root(root);
+                        e.bytes = mem_bytes;
+                        e.state = BlockState::Objects { root: new_root, len, ops };
+                        self.entries[id.0 as usize] = Some(e);
+                        Ok(())
+                    }
+                    Err(_) => {
+                        e.state = BlockState::Serialized { root, len, ops: Some(ops), mem_bytes };
+                        self.entries[id.0 as usize] = Some(e);
+                        Err(CacheError::Oom(oom))
+                    }
+                }
+            }
+        }
     }
 
     /// Evict every evictable resident block to disk — the graceful OOM
@@ -483,7 +898,7 @@ impl CacheManager {
             .iter()
             .enumerate()
             .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
-            .filter(|(_, e)| !e.pinned && !matches!(e.state, BlockState::Disk { .. }))
+            .filter(|(_, e)| !e.pinned && Self::tier_of(e, mm) != Tier::Cold)
             .map(|(i, _)| i as u32)
             .collect();
         for i in victims {
@@ -492,7 +907,8 @@ impl CacheManager {
         Ok(before.saturating_sub(self.resident_bytes()) as u64)
     }
 
-    /// Evict the least-recently-used resident block to disk. Returns false
+    /// Evict the lowest-weight resident block straight to disk (skipping
+    /// the warm tier — callers need real heap bytes back). Returns false
     /// if no candidate exists.
     fn evict_lru(
         &mut self,
@@ -505,14 +921,20 @@ impl CacheManager {
             .iter()
             .enumerate()
             .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
-            .filter(|(_, e)| !e.pinned && !matches!(e.state, BlockState::Disk { .. }))
-            .min_by_key(|(_, e)| e.last_used)
+            .filter(|(_, e)| !e.pinned && Self::tier_of(e, mm) != Tier::Cold)
+            .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
             .map(|(i, _)| i);
         let Some(i) = victim else { return Ok(false) };
         self.evict(BlockId(i as u32), heap, kryo, mm)?;
         Ok(true)
     }
 
+    /// Move one block to the cold tier (serialize + payload file for
+    /// Spark/SparkSer blocks, a verbatim page-group swap for Deca), then
+    /// commit the spill manifest. Fault-instrumented: `SpillWrite` kills
+    /// before anything durable is written; the manifest commit's own
+    /// `ManifestCommit` kill lands after the payload but before the
+    /// rename — the two windows the recovery suite must survive.
     fn evict(
         &mut self,
         id: BlockId,
@@ -520,9 +942,16 @@ impl CacheManager {
         kryo: &mut KryoSim,
         mm: &mut MemoryManager,
     ) -> Result<(), CacheError> {
+        {
+            let e = self.entries[id.0 as usize].as_ref().expect("block");
+            if !matches!(e.state, BlockState::Disk { .. }) && self.killed(FaultSite::SpillWrite) {
+                return Err(CacheError::Injected(FaultSite::SpillWrite));
+            }
+        }
         let mut e = self.entries[id.0 as usize].take().expect("block");
         let path = self.file(id.0);
         std::fs::create_dir_all(self.dir())?;
+        let mut went_cold = false;
         match e.state {
             BlockState::Objects { root, len, ops } => {
                 // Spark serializes object blocks before writing them out.
@@ -530,11 +959,13 @@ impl CacheManager {
                 heap.remove_root(root);
                 std::fs::File::create(&path)?.write_all(&bytes)?;
                 self.spill_write_bytes += bytes.len() as u64;
+                let checksum = fnv1a(&bytes);
                 let mem_bytes = e.bytes;
                 e.bytes = bytes.len();
-                e.state = BlockState::Disk { len, was_objects: Some(ops), mem_bytes };
+                e.state = BlockState::Disk { len, was_objects: Some(ops), mem_bytes, checksum };
+                went_cold = true;
             }
-            BlockState::Serialized { root, len } => {
+            BlockState::Serialized { root, len, ops, mem_bytes } => {
                 let arr = heap.root_ref(root);
                 let n = heap.array_len(arr);
                 let mut buf = vec![0u8; n];
@@ -542,9 +973,13 @@ impl CacheManager {
                 heap.remove_root(root);
                 std::fs::File::create(&path)?.write_all(&buf)?;
                 self.spill_write_bytes += buf.len() as u64;
-                let mem_bytes = e.bytes;
+                let checksum = fnv1a(&buf);
+                // A demoted Objects block restores its hot footprint; a
+                // native SparkSer block its byte[] footprint.
+                let mem_bytes = if ops.is_some() { mem_bytes } else { e.bytes };
                 e.bytes = buf.len();
-                e.state = BlockState::Disk { len, was_objects: None, mem_bytes };
+                e.state = BlockState::Disk { len, was_objects: ops, mem_bytes, checksum };
+                went_cold = true;
             }
             BlockState::Deca { ref block } => {
                 // Deca swaps page groups verbatim through its own manager.
@@ -555,6 +990,7 @@ impl CacheManager {
                 if !mm.is_swapped(group) && mm.is_swappable(group) {
                     let freed = mm.swap_out(group, heap)?;
                     self.spill_write_bytes += freed as u64;
+                    went_cold = true;
                 }
                 // state stays Deca; residency tracked by mm.
             }
@@ -562,6 +998,9 @@ impl CacheManager {
         }
         self.evictions += 1;
         self.entries[id.0 as usize] = Some(e);
+        if went_cold {
+            self.commit_manifest(mm)?;
+        }
         Ok(())
     }
 
@@ -578,10 +1017,13 @@ impl CacheManager {
             BlockState::Disk { mem_bytes, .. } => mem_bytes,
             _ => return Ok(()),
         };
-        // Re-materialising costs memory: evict LRU blocks first, both to
-        // respect the storage budget and to leave heap headroom (Spark's
-        // unified memory manager does the same before unrolling a block).
-        while self.resident_bytes() + mem_bytes > self.budget {
+        if self.killed(FaultSite::SpillRead) {
+            return Err(CacheError::Injected(FaultSite::SpillRead));
+        }
+        // Re-materialising costs memory: evict low-weight blocks first,
+        // both to respect the storage budget and to leave heap headroom
+        // (Spark's unified memory manager does the same before unrolling).
+        while self.resident_bytes_mm(mm) + mem_bytes > self.budget {
             if !self.evict_lru_excluding(id, heap, kryo, mm)? {
                 break;
             }
@@ -591,7 +1033,9 @@ impl CacheManager {
         let mut buf = Vec::new();
         std::fs::File::open(&path)?.read_to_end(&mut buf)?;
         self.spill_read_bytes += buf.len() as u64;
-        let BlockState::Disk { len, was_objects, mem_bytes } = e.state else { unreachable!() };
+        let BlockState::Disk { len, was_objects, mem_bytes, checksum } = e.state else {
+            unreachable!()
+        };
         match was_objects {
             Some(ops) => {
                 let (root, n) = match ops.deserialize(heap, kryo, &buf) {
@@ -599,7 +1043,12 @@ impl CacheManager {
                     Err(_) => {
                         // Heap-level pressure: evict harder and retry once.
                         self.entries[id.0 as usize] = Some(Entry {
-                            state: BlockState::Disk { len, was_objects: Some(ops), mem_bytes },
+                            state: BlockState::Disk {
+                                len,
+                                was_objects: Some(ops),
+                                mem_bytes,
+                                checksum,
+                            },
                             ..e
                         });
                         while self.evict_lru_excluding(id, heap, kryo, mm)? {}
@@ -615,6 +1064,7 @@ impl CacheManager {
                         e.state = BlockState::Objects { root, len, ops };
                         let _ = std::fs::remove_file(&path);
                         self.entries[id.0 as usize] = Some(e);
+                        self.commit_manifest(mm)?;
                         return Ok(());
                     }
                 };
@@ -628,16 +1078,17 @@ impl CacheManager {
                 heap.byte_array_write(arr, 0, &buf);
                 let root = heap.add_root(arr);
                 e.bytes = mem_bytes;
-                e.state = BlockState::Serialized { root, len };
+                e.state = BlockState::Serialized { root, len, ops: None, mem_bytes };
             }
         }
         let _ = std::fs::remove_file(&path);
         self.entries[id.0 as usize] = Some(e);
+        self.commit_manifest(mm)?;
         Ok(())
     }
 
-    /// Evict the LRU resident block other than `keep`. Returns false when
-    /// nothing is evictable.
+    /// Evict the lowest-weight resident block other than `keep`. Returns
+    /// false when nothing is evictable.
     fn evict_lru_excluding(
         &mut self,
         keep: BlockId,
@@ -651,13 +1102,266 @@ impl CacheManager {
             .enumerate()
             .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
             .filter(|(i, e)| {
-                *i != keep.0 as usize && !e.pinned && !matches!(e.state, BlockState::Disk { .. })
+                *i != keep.0 as usize && !e.pinned && Self::tier_of(e, mm) != Tier::Cold
             })
-            .min_by_key(|(_, e)| e.last_used)
+            .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
             .map(|(i, _)| i);
         let Some(i) = victim else { return Ok(false) };
         self.evict(BlockId(i as u32), heap, kryo, mm)?;
         Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // spill manifest + crash recovery
+    // ------------------------------------------------------------------
+
+    /// Build the manifest rows for the current cold tier. Deca rows carry
+    /// the group's per-page sizes (otherwise memory-only state in the
+    /// core layer) and a digest of the verbatim spill file.
+    fn manifest_blocks(&self, mm: &MemoryManager) -> Result<Vec<Json>, CacheError> {
+        let mut rows = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(e) = e else { continue };
+            match &e.state {
+                BlockState::Disk { len, was_objects, mem_bytes, checksum } => {
+                    let kind = if was_objects.is_some() { "objects" } else { "bytes" };
+                    rows.push(Json::obj(vec![
+                        ("id", Json::int(i as u64)),
+                        ("kind", Json::str(kind)),
+                        ("len", Json::int(*len as u64)),
+                        ("mem_bytes", Json::int(*mem_bytes as u64)),
+                        ("file_bytes", Json::int(e.bytes as u64)),
+                        ("checksum", Json::str(format!("{checksum:016x}"))),
+                    ]));
+                }
+                BlockState::Deca { block } => {
+                    let group = block.group();
+                    if !mm.is_swapped(group) {
+                        continue;
+                    }
+                    let payload = std::fs::read(mm.spill_file(group))?;
+                    let sizes = mm.spill_page_sizes(group).unwrap_or_default();
+                    rows.push(Json::obj(vec![
+                        ("id", Json::int(i as u64)),
+                        ("kind", Json::str("deca")),
+                        ("len", Json::int(block.len() as u64)),
+                        ("group", Json::int(group.raw() as u64)),
+                        (
+                            "page_sizes",
+                            Json::Arr(sizes.iter().map(|&s| Json::int(s as u64)).collect()),
+                        ),
+                        ("file_bytes", Json::int(payload.len() as u64)),
+                        ("checksum", Json::str(format!("{:016x}", fnv1a(&payload)))),
+                    ]));
+                }
+                _ => {}
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Write the spill manifest: body JSON + whole-document FNV-1a digest,
+    /// to a temp file, then an atomic rename. The `ManifestCommit` kill
+    /// point sits between the temp write and the rename — a crash there
+    /// leaves the *previous* manifest in effect, which is exactly the
+    /// consistency the atomic rename buys.
+    fn commit_manifest(&mut self, mm: &MemoryManager) -> Result<(), CacheError> {
+        let rows = self.manifest_blocks(mm)?;
+        self.commit_manifest_rows(rows)
+    }
+
+    /// Manifest commit without Deca rows (only used on the rare
+    /// demote-to-warm fallback path, which has no `mm` in hand).
+    fn commit_manifest_blocks_only(&mut self) -> Result<(), CacheError> {
+        let mut rows = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(e) = e else { continue };
+            if let BlockState::Disk { len, was_objects, mem_bytes, checksum } = &e.state {
+                let kind = if was_objects.is_some() { "objects" } else { "bytes" };
+                rows.push(Json::obj(vec![
+                    ("id", Json::int(i as u64)),
+                    ("kind", Json::str(kind)),
+                    ("len", Json::int(*len as u64)),
+                    ("mem_bytes", Json::int(*mem_bytes as u64)),
+                    ("file_bytes", Json::int(e.bytes as u64)),
+                    ("checksum", Json::str(format!("{checksum:016x}"))),
+                ]));
+            }
+        }
+        self.commit_manifest_rows(rows)
+    }
+
+    fn commit_manifest_rows(&mut self, rows: Vec<Json>) -> Result<(), CacheError> {
+        let dir = self.dir();
+        std::fs::create_dir_all(&dir)?;
+        let mut members = vec![
+            ("schema".to_string(), Json::str(MANIFEST_SCHEMA)),
+            ("blocks".to_string(), Json::Arr(rows)),
+        ];
+        let digest = fnv1a(Json::Obj(members.clone()).to_compact().as_bytes());
+        members.push(("checksum".to_string(), Json::str(format!("{digest:016x}"))));
+        let doc = Json::Obj(members);
+        let tmp = dir.join("spill-manifest.json.tmp");
+        std::fs::write(&tmp, doc.to_pretty())?;
+        if self.killed(FaultSite::ManifestCommit) {
+            return Err(CacheError::Injected(FaultSite::ManifestCommit));
+        }
+        std::fs::rename(&tmp, self.manifest_path())?;
+        Ok(())
+    }
+
+    /// Parse and verify the spill manifest. `None` if it is missing,
+    /// malformed, or fails its whole-document checksum.
+    fn load_manifest(&self) -> Option<Vec<ManifestRow>> {
+        let text = std::fs::read_to_string(self.manifest_path()).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("schema")?.as_str()? != MANIFEST_SCHEMA {
+            return None;
+        }
+        let recorded = u64::from_str_radix(doc.get("checksum")?.as_str()?, 16).ok()?;
+        let body = Json::obj(vec![
+            ("schema", doc.get("schema")?.clone()),
+            ("blocks", doc.get("blocks")?.clone()),
+        ]);
+        if fnv1a(body.to_compact().as_bytes()) != recorded {
+            return None;
+        }
+        let mut rows = Vec::new();
+        for b in doc.get("blocks")?.as_array()? {
+            let page_sizes = match b.get("page_sizes") {
+                Some(arr) => arr
+                    .as_array()?
+                    .iter()
+                    .map(|s| s.as_u64().map(|v| v as usize))
+                    .collect::<Option<Vec<usize>>>()?,
+                None => Vec::new(),
+            };
+            rows.push(ManifestRow {
+                id: b.get("id")?.as_u64()? as u32,
+                kind: b.get("kind")?.as_str()?.to_string(),
+                len: b.get("len")?.as_u64()?,
+                file_bytes: b.get("file_bytes")?.as_u64()?,
+                checksum: u64::from_str_radix(b.get("checksum")?.as_str()?, 16).ok()?,
+                group: b.get("group").and_then(|g| g.as_u64()),
+                page_sizes,
+            });
+        }
+        Some(rows)
+    }
+
+    /// Restart-in-place recovery: the crash wiped the volatile tiers, so
+    /// drop every hot/warm entry (the app's lineage recompute rebuilds
+    /// them), then keep each cold entry *only if* the spill manifest
+    /// vouches for it — matching id/kind/sizes and a payload digest that
+    /// checks out. An unverifiable block (or the whole cold tier, when
+    /// the manifest itself fails its checksum) is discarded: graceful
+    /// degradation to recompute, never a wrong answer.
+    ///
+    /// Idempotent by construction: a second call finds the volatile tiers
+    /// already empty and re-verifies the same cold blocks to the same
+    /// result — which is also what makes a `Rehydrate` kill (a crash
+    /// *during* recovery, checked per cold entry against `(stage, entry,
+    /// ordinal)`) survivable: the next restart finishes the scan.
+    pub(crate) fn crash_restart(
+        &mut self,
+        heap: &mut Heap,
+        mm: &mut MemoryManager,
+        stage: &str,
+        ordinal: u32,
+    ) -> RehydrateOutcome {
+        let manifest = self.load_manifest();
+        let mut out =
+            RehydrateOutcome { manifest_ok: manifest.is_some(), ..RehydrateOutcome::default() };
+        let rows = manifest.unwrap_or_default();
+        for i in 0..self.entries.len() {
+            let Some(e) = self.entries[i].as_ref() else { continue };
+            let cold = match &e.state {
+                BlockState::Disk { .. } => true,
+                BlockState::Deca { block } => mm.is_swapped(block.group()),
+                _ => false,
+            };
+            if cold {
+                if let Some(p) = &self.probe {
+                    if p.fires(FaultSite::Rehydrate, stage, i, ordinal) {
+                        out.killed = true;
+                        return out;
+                    }
+                }
+            }
+            let mut e = self.entries[i].take().expect("block");
+            match &mut e.state {
+                BlockState::Objects { root, .. } | BlockState::Serialized { root, .. } => {
+                    heap.remove_root(*root);
+                    out.dropped += 1;
+                }
+                BlockState::Deca { block } => {
+                    let group = block.group();
+                    if !mm.is_swapped(group) {
+                        block.release(mm, heap);
+                        out.dropped += 1;
+                    } else if Self::verify_deca_row(&rows, i as u32, block, mm) {
+                        let bytes = mm.spill_file(group).metadata().map(|m| m.len()).unwrap_or(0);
+                        out.rehydrated.push((i as u32, bytes, block.len() as u64));
+                        self.entries[i] = Some(e);
+                    } else {
+                        block.release(mm, heap);
+                        out.dropped += 1;
+                    }
+                }
+                BlockState::Disk { len, .. } => {
+                    let len = *len;
+                    if self.verify_disk_row(&rows, i as u32, &e) {
+                        out.rehydrated.push((i as u32, e.bytes as u64, len as u64));
+                        self.entries[i] = Some(e);
+                    } else {
+                        let _ = std::fs::remove_file(self.file(i as u32));
+                        out.dropped += 1;
+                    }
+                }
+            }
+        }
+        // Re-commit so the manifest reflects exactly what survived (and a
+        // corrupted manifest is replaced by a valid empty one).
+        let _ = self.commit_manifest(mm);
+        out
+    }
+
+    /// Verify one cold Spark/SparkSer block against its manifest row:
+    /// the row must exist with the block's kind and record count, and the
+    /// payload file must match the recorded size and FNV-1a digest.
+    fn verify_disk_row(&self, rows: &[ManifestRow], id: u32, e: &Entry) -> bool {
+        let BlockState::Disk { len, was_objects, .. } = &e.state else { return false };
+        let kind = if was_objects.is_some() { "objects" } else { "bytes" };
+        let Some(row) = rows.iter().find(|r| r.id == id) else { return false };
+        if row.kind != kind || row.len != *len as u64 {
+            return false;
+        }
+        let Ok(payload) = std::fs::read(self.file(id)) else { return false };
+        payload.len() as u64 == row.file_bytes && fnv1a(&payload) == row.checksum
+    }
+
+    /// Verify one swapped Deca block: the manifest row must name the same
+    /// page group with the same per-page sizes the core layer has, and the
+    /// verbatim spill file must match the recorded digest.
+    fn verify_deca_row(
+        rows: &[ManifestRow],
+        id: u32,
+        block: &DecaCacheBlock,
+        mm: &MemoryManager,
+    ) -> bool {
+        let group = block.group();
+        let Some(row) = rows.iter().find(|r| r.id == id) else { return false };
+        if row.kind != "deca"
+            || row.len != block.len() as u64
+            || row.group != Some(group.raw() as u64)
+        {
+            return false;
+        }
+        if mm.spill_page_sizes(group).as_deref() != Some(row.page_sizes.as_slice()) {
+            return false;
+        }
+        let Ok(payload) = std::fs::read(mm.spill_file(group)) else { return false };
+        payload.len() as u64 == row.file_bytes && fnv1a(&payload) == row.checksum
     }
 
     /// Simulated disk time for cache spill traffic since construction.
@@ -670,8 +1374,10 @@ impl CacheManager {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             resident_bytes: self.resident_bytes(),
+            warm_bytes: self.warm_bytes(),
             disk_bytes: self.disk_bytes(),
             evictions: self.evictions,
+            demotions: self.demotions,
             spill_write_bytes: self.spill_write_bytes,
             spill_read_bytes: self.spill_read_bytes,
         }
@@ -682,12 +1388,16 @@ impl CacheManager {
 /// harnesses that report cache behaviour without poking manager fields.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Cached bytes currently resident in memory.
+    /// Cached bytes currently resident in memory (hot + warm tiers).
     pub resident_bytes: usize,
+    /// The serialized-in-memory (warm tier) share of `resident_bytes`.
+    pub warm_bytes: usize,
     /// Cached bytes currently evicted to disk.
     pub disk_bytes: usize,
-    /// Eviction events since construction.
+    /// Cold-tier eviction events since construction.
     pub evictions: u64,
+    /// Hot → warm demotion events since construction.
+    pub demotions: u64,
     /// Bytes written to / read from cache spill files.
     pub spill_write_bytes: u64,
     pub spill_read_bytes: u64,
@@ -719,6 +1429,7 @@ mod tests {
             std::process::id(),
             std::thread::current().id()
         ));
+        let _ = std::fs::remove_dir_all(&dir);
         let mut cm = CacheManager::new(budget);
         cm.set_dir(dir.clone());
         (
@@ -736,6 +1447,8 @@ mod tests {
         let recs: Vec<(i64, i64)> = (0..500).map(|i| (i, i * 3)).collect();
         let id = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
         assert_eq!(cm.block_len(id), 500);
+        assert!(cm.contains(id));
+        assert_eq!(cm.tier(id, &mm), Tier::Hot);
         let (root, len) = cm.objects_root(id, &mut heap, &mut kryo, &mut mm).unwrap();
         let arr = heap.root_ref(root);
         for i in 0..len {
@@ -744,6 +1457,7 @@ mod tests {
             assert_eq!(rec, (i as i64, i as i64 * 3));
         }
         cm.release(id, &mut heap, &mut mm);
+        assert!(!cm.contains(id));
         heap.full_gc();
         assert_eq!(heap.object_count(), 0, "released block is collectable");
     }
@@ -755,6 +1469,7 @@ mod tests {
         let id = cm.put_serialized(&mut heap, &mut kryo, &mut mm, &recs).unwrap();
         // One byte[] object on the heap, regardless of record count.
         assert_eq!(heap.object_count(), 1);
+        assert_eq!(cm.tier(id, &mm), Tier::Warm);
         let mut got = Vec::new();
         cm.iter_serialized::<(i64, i64)>(id, &mut heap, &mut kryo, &mut mm, |r| got.push(r))
             .unwrap();
@@ -787,26 +1502,158 @@ mod tests {
         assert!(freed > 0);
         assert_eq!(cm.resident_bytes(), 0, "everything evictable is out");
         assert!(cm.disk_bytes() > 0);
+        // The spill manifest is durable and verifiable after the spill.
+        let rows = cm.load_manifest().expect("manifest must verify after evict_all");
+        assert_eq!(rows.len(), 2, "both cold blocks recorded");
         // Blocks stay readable: access swaps them back in.
         let (_root, len) = cm.objects_root(a, &mut heap, &mut kryo, &mut mm).unwrap();
         assert_eq!(len, 200);
+        // ... and the manifest row for the rematerialised block is gone.
+        let rows = cm.load_manifest().expect("manifest stays valid after swap-in");
+        assert_eq!(rows.len(), 1, "only the still-cold block remains listed");
     }
 
     #[test]
-    fn budget_pressure_evicts_lru_and_reloads() {
+    fn budget_pressure_demotes_through_tiers_and_reloads() {
         let (mut heap, mut kryo, mut mm, mut cm) = setup(16 << 20, 64 << 10);
         let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
-        // Each block ~80B * 500 = 40KB accounted; two blocks exceed 64KB.
+        // Each block ~80B * 500 = 40KB accounted; two blocks exceed the
+        // 64KB budget, so the first (lower weight, older) block demotes
+        // hot → warm; the serialized form is far smaller, so both fit.
         let recs: Vec<(i64, i64)> = (0..500).map(|i| (i, i)).collect();
         let a = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
-        let _b = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
-        assert!(cm.evictions > 0, "second block must evict the first");
+        let b = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        assert!(cm.demotions > 0, "second block must demote the first");
+        assert_eq!(cm.tier(a, &mm), Tier::Warm);
+        assert_eq!(cm.tier(b, &mm), Tier::Hot);
+        assert!(cm.warm_bytes() > 0);
+        // Keep piling on: a third block pushes the warm block cold.
+        let c = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        assert_eq!(cm.tier(a, &mm), Tier::Cold, "lowest-weight block reaches disk");
         assert!(cm.disk_bytes() > 0);
-        // Access the evicted block: it reloads transparently.
+        assert!(cm.evictions > 0);
+        let _ = c;
+        // Access the cold block: it reloads and promotes back to hot.
         let (root, len) = cm.objects_root(a, &mut heap, &mut kryo, &mut mm).unwrap();
+        assert_eq!(cm.tier(a, &mm), Tier::Hot, "access promotes to the hot tier");
         let arr = heap.root_ref(root);
         assert_eq!(len, 500);
         let rec = <(i64, i64) as HeapRecord>::load(&heap, &classes, heap.array_get_ref(arr, 42));
         assert_eq!(rec, (42, 42));
+    }
+
+    #[test]
+    fn access_counts_protect_hot_blocks_from_demotion() {
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(16 << 20, 96 << 10);
+        let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
+        let recs: Vec<(i64, i64)> = (0..500).map(|i| (i, i)).collect();
+        let a = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        let b = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        // Access `a` repeatedly: its weight now exceeds `b`'s even though
+        // `b` is more recently created.
+        for _ in 0..5 {
+            cm.objects_root(a, &mut heap, &mut kryo, &mut mm).unwrap();
+        }
+        let _c = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        assert_eq!(cm.tier(a, &mm), Tier::Hot, "frequently accessed block stays hot");
+        assert_ne!(cm.tier(b, &mm), Tier::Hot, "low-weight block demoted instead");
+    }
+
+    #[test]
+    fn deca_puts_respect_the_budget_and_swap_low_weight_groups() {
+        let (mut heap, _kryo, mut mm, mut cm) = setup(16 << 20, 40 << 10);
+        let recs: Vec<(i64, i64)> = (0..400).map(|i| (i, i)).collect();
+        let a = cm.put_deca(&mut heap, &mut mm, &recs).unwrap();
+        let b = cm.put_deca(&mut heap, &mut mm, &recs).unwrap();
+        // Touch `b` so its access weight protects it over `a`.
+        let _ = cm.deca_block(b);
+        let c = cm.put_deca(&mut heap, &mut mm, &recs).unwrap();
+        assert_eq!(cm.tier(a, &mm), Tier::Cold, "lowest-weight group swapped out");
+        assert_eq!(cm.tier(b, &mm), Tier::Hot);
+        assert_eq!(cm.tier(c, &mm), Tier::Hot);
+        let rows = cm.load_manifest().expect("manifest committed on the deca swap");
+        assert!(
+            rows.iter().any(|r| r.kind == "deca" && r.id == a.0),
+            "swapped page group recorded with its page sizes: {rows:?}"
+        );
+        // The swapped group still reads back (swap-in on access).
+        let back: Vec<(i64, i64)> = cm.deca_block(a).decode_all(&mut mm, &mut heap).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn crash_restart_rehydrates_verified_cold_blocks_and_drops_the_rest() {
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(16 << 20, 4 << 20);
+        let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
+        let recs: Vec<(i64, i64)> = (0..200).map(|i| (i, i * 7)).collect();
+        let cold = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        let hot = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        let deca = cm.put_deca(&mut heap, &mut mm, &recs).unwrap();
+        // Spill everything, then warm two blocks back up so the crash has
+        // all three tiers to bite on.
+        cm.evict_all(&mut heap, &mut kryo, &mut mm).unwrap();
+        cm.objects_root(hot, &mut heap, &mut kryo, &mut mm).unwrap();
+        let _: Vec<(i64, i64)> = cm.deca_block(deca).decode_all(&mut mm, &mut heap).unwrap();
+        assert_eq!(cm.tier(cold, &mm), Tier::Cold);
+        let out = cm.crash_restart(&mut heap, &mut mm, "s", 0);
+        assert!(out.manifest_ok);
+        assert!(!out.killed);
+        assert_eq!(out.rehydrated.len(), 1, "the cold block survives");
+        assert_eq!(out.rehydrated[0].0, 0, "and it is the first block we cached");
+        assert_eq!(out.dropped, 2, "hot object and hot deca blocks are wiped");
+        assert!(cm.contains(cold));
+        assert!(!cm.contains(hot));
+        assert!(!cm.contains(deca));
+        // The survivor still reads back correctly.
+        let (root, len) = cm.objects_root(cold, &mut heap, &mut kryo, &mut mm).unwrap();
+        let arr = heap.root_ref(root);
+        assert_eq!(len, 200);
+        let rec = <(i64, i64) as HeapRecord>::load(&heap, &classes, heap.array_get_ref(arr, 3));
+        assert_eq!(rec, (3, 21));
+    }
+
+    #[test]
+    fn second_crash_restart_is_a_no_op() {
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(16 << 20, 4 << 20);
+        let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
+        let recs: Vec<(i64, i64)> = (0..100).map(|i| (i, i)).collect();
+        let a = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        let d = cm.put_deca(&mut heap, &mut mm, &recs).unwrap();
+        cm.evict_all(&mut heap, &mut kryo, &mut mm).unwrap();
+        let first = cm.crash_restart(&mut heap, &mut mm, "s", 0);
+        assert!(first.manifest_ok);
+        assert_eq!(first.rehydrated.len(), 2, "both cold blocks verified");
+        let stats = cm.stats();
+        let second = cm.crash_restart(&mut heap, &mut mm, "s", 1);
+        assert!(second.manifest_ok);
+        assert_eq!(second.dropped, 0, "second recovery drops nothing");
+        assert_eq!(
+            second.rehydrated, first.rehydrated,
+            "second recovery re-verifies the same blocks"
+        );
+        assert_eq!(cm.stats(), stats, "no state change on the second pass");
+        assert!(cm.contains(a) && cm.contains(d));
+    }
+
+    #[test]
+    fn corrupted_manifest_degrades_to_a_full_drop() {
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(16 << 20, 4 << 20);
+        let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
+        let recs: Vec<(i64, i64)> = (0..100).map(|i| (i, i)).collect();
+        let a = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        cm.evict_all(&mut heap, &mut kryo, &mut mm).unwrap();
+        // Flip a byte inside the manifest body: the checksum must catch it.
+        let path = cm.manifest_path();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("\"kind\": \"objects\"", "\"kind\": \"objectz\"");
+        std::fs::write(&path, text).unwrap();
+        assert!(cm.load_manifest().is_none(), "tampered manifest fails verification");
+        let out = cm.crash_restart(&mut heap, &mut mm, "s", 0);
+        assert!(!out.manifest_ok);
+        assert!(out.rehydrated.is_empty(), "nothing is trusted");
+        assert_eq!(out.dropped, 1);
+        assert!(!cm.contains(a), "block dropped for lineage recompute");
+        // The re-committed manifest is valid (and empty) again.
+        assert_eq!(cm.load_manifest().expect("fresh manifest").len(), 0);
     }
 }

@@ -22,6 +22,9 @@ pub struct ExecutorHealth {
     /// Times this executor was restarted in place (the
     /// spare-last-executor path).
     pub restarts: u64,
+    /// Cached blocks rehydrated from the spill manifest across this
+    /// executor's restarts (each saved its lineage recompute).
+    pub rehydrated_blocks: u64,
 }
 
 /// A set of executors driven stage-by-stage by the workload code.

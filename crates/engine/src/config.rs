@@ -37,6 +37,12 @@ pub struct RetryPolicy {
     /// failure, spill the executor's cache to disk and retry once in
     /// place, instead of propagating the OOM.
     pub spill_on_oom: bool,
+    /// On restart-in-place, treat the crash as wiping the cache's
+    /// volatile (hot/warm) tiers and rehydrate cold blocks from the
+    /// crash-consistent spill manifest, so verified on-disk page groups
+    /// skip their lineage recompute. Turning this off restores the legacy
+    /// hung-JVM model (all cache state survives the restart untouched).
+    pub rehydrate: bool,
 }
 
 impl Default for RetryPolicy {
@@ -47,6 +53,7 @@ impl Default for RetryPolicy {
             quarantine_after: 2,
             spare_last_executor: true,
             spill_on_oom: true,
+            rehydrate: true,
         }
     }
 }
@@ -80,6 +87,11 @@ impl RetryPolicy {
 
     pub fn spill_on_oom(mut self, spill: bool) -> Self {
         self.spill_on_oom = spill;
+        self
+    }
+
+    pub fn rehydrate(mut self, on: bool) -> Self {
+        self.rehydrate = on;
         self
     }
 }

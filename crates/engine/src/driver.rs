@@ -212,7 +212,13 @@ impl ClusterSession {
 
     /// Install a fault plan; subsequent stages consult it at every
     /// injection site. Installing [`FaultPlan::quiet`] turns faults off.
+    /// The plan is also installed into every executor's cache manager so
+    /// the spill-path kill points (`SpillWrite`, `ManifestCommit`,
+    /// `SpillRead`, `Rehydrate`) can fire inside the cache itself.
     pub fn install_faults(&mut self, plan: FaultPlan) {
+        for e in &mut self.cluster.executors {
+            e.install_fault_plan(&plan);
+        }
         self.faults = plan;
     }
 
@@ -385,6 +391,13 @@ impl ClusterSession {
                     }
                     Ok(out)
                 });
+                // A spill-path kill point fired inside the cache: the
+                // modelled executor process died mid-spill/restore.
+                // Poison it so the restart/quarantine machinery — not a
+                // plain task retry — performs the recovery.
+                if r.as_ref().err().and_then(|err| err.injected_kill()).is_some() {
+                    e.poison();
+                }
                 // Graceful OOM degradation: spill the cache, collect, and
                 // re-run once in place. An injected Alloc fault models the
                 // same pressure, so the spill relieves it and it is not
@@ -563,7 +576,31 @@ impl ClusterSession {
                     continue;
                 }
                 if self.cluster.healthy_count() == 1 && policy.spare_last_executor {
-                    self.cluster.executors[x].recover();
+                    // Restart in place. With `policy.rehydrate` the crash
+                    // wipes the cache's volatile tiers and cold blocks are
+                    // rehydrated from the spill manifest (saving their
+                    // lineage recompute); without it, the legacy model — a
+                    // hung JVM brought back with its state — applies. The
+                    // ordinal (restarts *before* this one) keys the
+                    // `Rehydrate` kill point, so a crash during recovery
+                    // resolves differently on the next restart.
+                    let ordinal = self.cluster.health[x].restarts as u32;
+                    if policy.rehydrate {
+                        let out = self.cluster.executors[x].restart_in_place(name, ordinal);
+                        if out.killed {
+                            // Died again mid-recovery: stay poisoned. The
+                            // restart still counts, so the next one runs
+                            // at a higher ordinal and finishes the scan.
+                            self.cluster.executors[x].poison();
+                        }
+                        let blocks = out.rehydrated.len() as u64;
+                        let bytes: u64 = out.rehydrated.iter().map(|r| r.1).sum();
+                        self.cluster.health[x].rehydrated_blocks += blocks;
+                        stage.rehydrated_blocks += blocks;
+                        stage.rehydrated_bytes += bytes;
+                    } else {
+                        self.cluster.executors[x].recover();
+                    }
                     self.cluster.health[x].stage_failures = 0;
                     self.cluster.health[x].restarts += 1;
                     stage.restarts += 1;
@@ -698,6 +735,14 @@ impl ClusterSession {
                 if doomed {
                     pinned[j] = true;
                 } else if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
+                    pinned[j] = true;
+                    doomed = true;
+                } else if FaultSite::SPILL_PATH.iter().any(|&s| plan.fires(s, name, t, a)) {
+                    // A spill-path kill *may* fire in this attempt (only
+                    // if the cache reaches the instrumented point); treat
+                    // it like a crash — pin it and everything after it.
+                    // Over-pinning is safe: pinned slots run at home
+                    // exactly as the wave scheduler would run them.
                     pinned[j] = true;
                     doomed = true;
                 } else if plan.fires(FaultSite::TaskBody, name, t, a)
@@ -1306,7 +1351,11 @@ mod tests {
     fn pull_scheduler_matches_wave_results_and_emits_steals() {
         // A straggling home slot forces steals: executor 0 sleeps in
         // task 0 while executor 1 finishes its affinity set {1, 3, 5}
-        // and pulls executor 0's remaining slots {2, 4}.
+        // and pulls executor 0's remaining slots {2, 4}. The straggler
+        // duration is tunable for loaded CI machines, where 30ms may not
+        // dominate executor 1's wave enough to guarantee a steal.
+        let straggle_ms: u64 =
+            std::env::var("DECA_TEST_STRAGGLER_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
         let run = |mode: SchedulerMode| {
             let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(mode);
             let mut s = ClusterSession::new(2, cfg);
@@ -1314,7 +1363,7 @@ mod tests {
             let out = s
                 .run_stage("skew", 6, |ctx, _e| {
                     if ctx.task == 0 {
-                        std::thread::sleep(Duration::from_millis(30));
+                        std::thread::sleep(Duration::from_millis(straggle_ms));
                     }
                     Ok(ctx.task * 3)
                 })

@@ -71,9 +71,26 @@ impl EngineError {
             EngineError::Injected { .. } => true,
             EngineError::Shuffle(_) => true,
             EngineError::Cache(CacheError::Oom(_)) => true,
+            // A spill-path kill point models the executor dying mid-spill;
+            // the driver restarts the executor and re-runs the task.
+            EngineError::Cache(CacheError::Injected(_)) => true,
             EngineError::Cache(_) => false,
             EngineError::Mem(_) | EngineError::Io(_) => false,
             EngineError::Task { source, .. } => source.is_transient(),
+        }
+    }
+
+    /// If this failure is an injected *kill-point* fault — one of the
+    /// spill-path sites whose semantics are "the executor process died
+    /// here" — return the site, so the driver can poison the executor
+    /// and route recovery through restart-in-place instead of a plain
+    /// task retry. Walks `Task` wrappers to the innermost cause.
+    pub fn injected_kill(&self) -> Option<FaultSite> {
+        match self {
+            EngineError::Cache(CacheError::Injected(site)) if site.kills_executor() => Some(*site),
+            EngineError::Injected { site } if site.kills_executor() => Some(*site),
+            EngineError::Task { source, .. } => source.injected_kill(),
+            _ => None,
         }
     }
 
@@ -222,6 +239,22 @@ mod tests {
         let fatal =
             EngineError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")).in_task("s", 0);
         assert!(!fatal.is_transient());
+    }
+
+    #[test]
+    fn injected_kill_detection() {
+        // A spill-path kill point is transient (restart + re-run fixes it)
+        // and reports the site through Task wrappers.
+        let kill = EngineError::Cache(CacheError::Injected(FaultSite::SpillWrite));
+        assert!(kill.is_transient());
+        assert!(!kill.is_memory_pressure());
+        assert_eq!(kill.injected_kill(), Some(FaultSite::SpillWrite));
+        let wrapped =
+            EngineError::Cache(CacheError::Injected(FaultSite::ManifestCommit)).in_task("s", 2);
+        assert_eq!(wrapped.injected_kill(), Some(FaultSite::ManifestCommit));
+        // Non-kill injections (task-body, alloc, …) are not kills.
+        assert_eq!(EngineError::Injected { site: FaultSite::TaskBody }.injected_kill(), None);
+        assert_eq!(EngineError::Oom(OomError { requested: 1 }).injected_kill(), None);
     }
 
     #[test]

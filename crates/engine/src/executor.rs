@@ -136,9 +136,59 @@ impl Executor {
         f: impl FnOnce(&mut Executor) -> R,
     ) -> R {
         self.trace.set_context(stage, task, attempt);
+        self.cache.set_fault_ctx(stage, task, attempt);
         let r = self.run_task(name, f);
+        self.cache.clear_fault_ctx();
         self.trace.clear_context();
         r
+    }
+
+    /// Install the run's fault plan into the cache manager so the
+    /// spill-path kill points (`SpillWrite`, `ManifestCommit`,
+    /// `SpillRead`, `Rehydrate`) can consult it.
+    pub(crate) fn install_fault_plan(&mut self, plan: &crate::faults::FaultPlan) {
+        self.cache.install_fault_plan(plan.clone());
+    }
+
+    /// Restart a crashed executor *in place with recovery*: clear the
+    /// poison flag, then run the cache's [`crash_restart`] — the volatile
+    /// (hot/warm) tiers are wiped as a real crash would, and cold blocks
+    /// are rehydrated from the spill manifest where it vouches for them,
+    /// saving their lineage recompute. One `CacheRehydrate` trace event is
+    /// emitted per rehydrated block. `ordinal` is how many times this
+    /// executor restarted before (it keys the `Rehydrate` kill point, so a
+    /// crash *during* recovery resolves differently on the next restart).
+    ///
+    /// [`crash_restart`]: crate::cache::CacheManager::crash_restart
+    pub(crate) fn restart_in_place(
+        &mut self,
+        stage: &str,
+        ordinal: u32,
+    ) -> crate::cache::RehydrateOutcome {
+        self.poisoned = false;
+        let out = self.cache.crash_restart(&mut self.heap, &mut self.mm, stage, ordinal);
+        self.heap.full_gc();
+        if self.trace.enabled() {
+            let wall = self.trace.now_ns();
+            let sim = dur_ns(self.sim_clock);
+            for &(id, bytes, records) in &out.rehydrated {
+                self.trace.record(
+                    TraceEventKind::CacheRehydrate,
+                    Some(stage),
+                    None,
+                    None,
+                    None,
+                    format!("block-{id}"),
+                    wall,
+                    0,
+                    sim,
+                    0,
+                    bytes,
+                    records,
+                );
+            }
+        }
+        out
     }
 
     /// Run one task, attributing its wall time. Returns the task's result.

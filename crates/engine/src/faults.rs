@@ -25,6 +25,22 @@
 //! * [`FaultSite::Alloc`] — a forced allocation failure (OOM), which the
 //!   driver degrades gracefully by spilling the executor's cache to disk
 //!   and retrying in place.
+//!
+//! Four more sites instrument the tiered cache's spill/restore/manifest
+//! path. Each models the executor process dying *inside* the cache
+//! machinery, at a point chosen so the on-disk state is maximally
+//! awkward; the crash-recovery suite kills at every one of them and
+//! asserts restart-in-place still rehydrates to a bit-identical result:
+//!
+//! * [`FaultSite::SpillWrite`] — crash before a demoted block's payload
+//!   file is written (nothing durable exists yet);
+//! * [`FaultSite::ManifestCommit`] — crash after the payload file and the
+//!   manifest temp file are written but *before* the atomic rename (the
+//!   old manifest is still the one in effect);
+//! * [`FaultSite::SpillRead`] — crash while reading a cold block back;
+//! * [`FaultSite::Rehydrate`] — crash in the middle of recovery itself
+//!   (rehydration must be idempotent, so the next restart finishes the
+//!   job).
 
 use deca_check::SplitMix64;
 
@@ -40,12 +56,38 @@ pub enum FaultSite {
     ShuffleFrame,
     /// A forced allocation failure inside the task.
     Alloc,
+    /// Crash before a demoted block's payload file is written.
+    SpillWrite,
+    /// Crash after payload + manifest temp file, before the atomic rename.
+    ManifestCommit,
+    /// Crash while reading a cold block back from disk.
+    SpillRead,
+    /// Crash partway through restart-in-place rehydration.
+    Rehydrate,
 }
 
 impl FaultSite {
     /// All sites, for sweeps and reporting.
-    pub const ALL: [FaultSite; 4] =
-        [FaultSite::TaskBody, FaultSite::ExecutorCrash, FaultSite::ShuffleFrame, FaultSite::Alloc];
+    pub const ALL: [FaultSite; 8] = [
+        FaultSite::TaskBody,
+        FaultSite::ExecutorCrash,
+        FaultSite::ShuffleFrame,
+        FaultSite::Alloc,
+        FaultSite::SpillWrite,
+        FaultSite::ManifestCommit,
+        FaultSite::SpillRead,
+        FaultSite::Rehydrate,
+    ];
+
+    /// The sites instrumented inside the cache's spill/restore/manifest
+    /// path. The crash-recovery suite iterates these; each kills the
+    /// hosting executor when it fires (see [`FaultSite::kills_executor`]).
+    pub const SPILL_PATH: [FaultSite; 4] = [
+        FaultSite::SpillWrite,
+        FaultSite::ManifestCommit,
+        FaultSite::SpillRead,
+        FaultSite::Rehydrate,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -53,7 +95,25 @@ impl FaultSite {
             FaultSite::ExecutorCrash => "executor-crash",
             FaultSite::ShuffleFrame => "shuffle-frame",
             FaultSite::Alloc => "alloc",
+            FaultSite::SpillWrite => "spill-write",
+            FaultSite::ManifestCommit => "manifest-commit",
+            FaultSite::SpillRead => "spill-read",
+            FaultSite::Rehydrate => "rehydrate",
         }
+    }
+
+    /// Does a firing at this site take the whole executor down (as opposed
+    /// to failing just the attempt)? The spill-path sites model the
+    /// process dying mid-I/O, so the driver poisons the executor exactly
+    /// as it does for [`FaultSite::ExecutorCrash`].
+    pub fn kills_executor(self) -> bool {
+        matches!(
+            self,
+            FaultSite::SpillWrite
+                | FaultSite::ManifestCommit
+                | FaultSite::SpillRead
+                | FaultSite::Rehydrate
+        )
     }
 
     /// Domain-separation tag mixed into the decision hash, so the same
@@ -64,6 +124,10 @@ impl FaultSite {
             FaultSite::ExecutorCrash => 0x6372_6173,
             FaultSite::ShuffleFrame => 0x7368_7566,
             FaultSite::Alloc => 0x616c_6c6f,
+            FaultSite::SpillWrite => 0x7370_696c,
+            FaultSite::ManifestCommit => 0x6d61_6e69,
+            FaultSite::SpillRead => 0x7265_6164,
+            FaultSite::Rehydrate => 0x7265_6879,
         }
     }
 }
@@ -85,6 +149,11 @@ pub struct FaultSpec {
     pub executor_crash: f64,
     pub shuffle_frame: f64,
     pub alloc: f64,
+    /// One shared rate for the four spill-path kill points (SpillWrite,
+    /// ManifestCommit, SpillRead, Rehydrate). Unlike the task-level sites,
+    /// these only fire when the cache actually reaches the instrumented
+    /// point, so a nonzero rate here is a *conditional* crash probability.
+    pub spill_path: f64,
     /// Draw fault decisions on retry attempts too. With this set, a site
     /// can fail the same task repeatedly — the way to build *unsurvivable*
     /// plans (attempts exhausted, every executor quarantined) on purpose.
@@ -98,6 +167,10 @@ impl FaultSpec {
             FaultSite::ExecutorCrash => self.executor_crash,
             FaultSite::ShuffleFrame => self.shuffle_frame,
             FaultSite::Alloc => self.alloc,
+            FaultSite::SpillWrite
+            | FaultSite::ManifestCommit
+            | FaultSite::SpillRead
+            | FaultSite::Rehydrate => self.spill_path,
         }
     }
 }
@@ -164,6 +237,7 @@ impl FaultPlan {
             && self.spec.executor_crash <= 0.0
             && self.spec.shuffle_frame <= 0.0
             && self.spec.alloc <= 0.0
+            && self.spec.spill_path <= 0.0
     }
 
     /// Does `site` fire for this `(stage, task, attempt)`? Deterministic:
@@ -279,5 +353,26 @@ mod tests {
             assert!(!site.name().is_empty());
             assert_eq!(site.to_string(), site.name());
         }
+    }
+
+    #[test]
+    fn spill_path_sites_share_a_rate_and_kill_the_executor() {
+        for site in FaultSite::SPILL_PATH {
+            assert!(site.kills_executor(), "{site} models a mid-I/O process death");
+            assert!(FaultSite::ALL.contains(&site));
+        }
+        assert!(!FaultSite::TaskBody.kills_executor());
+        assert!(!FaultSite::Alloc.kills_executor());
+        let spec = FaultSpec { spill_path: 1.0, ..FaultSpec::default() };
+        let p = FaultPlan::seeded(5, spec);
+        assert!(!p.is_quiet(), "spill-path rate alone makes a plan loud");
+        for site in FaultSite::SPILL_PATH {
+            assert!(p.fires(site, "s", 0, 0), "rate 1.0 fires at {site}");
+        }
+        // Sites still draw independently at fractional rates.
+        let half = FaultPlan::seeded(9, FaultSpec { spill_path: 0.5, ..FaultSpec::default() });
+        let a: Vec<bool> = (0..64).map(|t| half.fires(FaultSite::SpillWrite, "s", t, 0)).collect();
+        let b: Vec<bool> = (0..64).map(|t| half.fires(FaultSite::SpillRead, "s", t, 0)).collect();
+        assert_ne!(a, b, "kill points must not share decisions");
     }
 }

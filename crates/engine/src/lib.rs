@@ -36,7 +36,7 @@ pub mod session;
 pub mod shuffle;
 pub mod trace;
 
-pub use cache::{CacheError, CacheStats, CachedRdd};
+pub use cache::{CacheError, CacheStats, CachedRdd, RehydrateOutcome, Tier};
 pub use cluster::{ExecutorHealth, LocalCluster};
 pub use config::{
     ExecutionMode, ExecutorConfig, ExecutorConfigBuilder, RetryPolicy, SchedulerMode,

@@ -67,6 +67,11 @@ pub struct JobMetrics {
     /// OOM-classified failures absorbed by spill-and-retry degradation
     /// (`oom_reruns` that succeeded).
     pub oom_recoveries: u64,
+    /// Cached blocks rehydrated from the spill manifest across every
+    /// restart-in-place (each saved its lineage recompute).
+    pub rehydrated_blocks: u64,
+    /// On-disk payload bytes of those rehydrated blocks.
+    pub rehydrated_bytes: u64,
     /// Simulated time spent on retry backoff and recovery scheduling.
     pub recovery: Duration,
 }
@@ -90,6 +95,8 @@ impl JobMetrics {
         self.restarts += s.restarts;
         self.oom_reruns += s.oom_reruns;
         self.oom_recoveries += s.oom_recoveries;
+        self.rehydrated_blocks += s.rehydrated_blocks;
+        self.rehydrated_bytes += s.rehydrated_bytes;
         self.recovery += s.recovery;
     }
 
@@ -143,6 +150,11 @@ pub struct StageMetrics {
     /// OOM failures absorbed by spill-and-retry (`oom_reruns` that
     /// succeeded).
     pub oom_recoveries: u64,
+    /// Cached blocks rehydrated from the spill manifest by restart-in-
+    /// place recoveries during this stage.
+    pub rehydrated_blocks: u64,
+    /// On-disk payload bytes of those rehydrated blocks.
+    pub rehydrated_bytes: u64,
     /// Simulated backoff/rescheduling time spent recovering from faults.
     pub recovery: Duration,
     /// The stage never ran any task: the driver aborted it up front (no
@@ -283,6 +295,8 @@ mod tests {
         s.quarantines = 1;
         s.oom_reruns = 1;
         s.oom_recoveries = 1;
+        s.rehydrated_blocks = 3;
+        s.rehydrated_bytes = 4096;
         s.recovery = Duration::from_millis(20);
         let mut j = JobMetrics::default();
         j.add_stage_recovery(&s);
@@ -292,6 +306,8 @@ mod tests {
         assert_eq!(j.quarantines, 2);
         assert_eq!(j.oom_reruns, 2);
         assert_eq!(j.oom_recoveries, 2);
+        assert_eq!(j.rehydrated_blocks, 6);
+        assert_eq!(j.rehydrated_bytes, 8192);
         assert_eq!(j.recovery, Duration::from_millis(40));
     }
 

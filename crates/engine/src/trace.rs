@@ -69,6 +69,10 @@ pub enum TraceEventKind {
     Quarantine,
     /// The last healthy executor was restarted in place.
     Restart,
+    /// A cold cache block survived restart-in-place: verified against the
+    /// spill manifest and kept, instead of being recomputed from lineage
+    /// (`bytes` = on-disk payload size, `count` = cached records).
+    CacheRehydrate,
     /// An OOM-classified failure absorbed by spill-and-re-run.
     OomRecovery,
     /// A page group reclaimed at refcount zero — lifetime-based release
@@ -89,6 +93,7 @@ impl TraceEventKind {
             TraceEventKind::Retry => "retry",
             TraceEventKind::Quarantine => "quarantine",
             TraceEventKind::Restart => "restart",
+            TraceEventKind::CacheRehydrate => "cache-rehydrate",
             TraceEventKind::OomRecovery => "oom-recovery",
             TraceEventKind::PageGroupRelease => "page-group-release",
         }
@@ -99,7 +104,7 @@ impl TraceEventKind {
         TraceEventKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
-    pub const ALL: [TraceEventKind; 11] = [
+    pub const ALL: [TraceEventKind; 12] = [
         TraceEventKind::StageStart,
         TraceEventKind::StageEnd,
         TraceEventKind::TaskAttempt,
@@ -109,6 +114,7 @@ impl TraceEventKind {
         TraceEventKind::Retry,
         TraceEventKind::Quarantine,
         TraceEventKind::Restart,
+        TraceEventKind::CacheRehydrate,
         TraceEventKind::OomRecovery,
         TraceEventKind::PageGroupRelease,
     ];
@@ -128,7 +134,10 @@ impl TraceEventKind {
             TraceEventKind::Retry => 7,
             TraceEventKind::Quarantine => 8,
             TraceEventKind::Restart => 9,
-            TraceEventKind::StageEnd => 10,
+            // Rehydration is part of the restart, so it sorts right after
+            // the Restart marker it belongs to.
+            TraceEventKind::CacheRehydrate => 10,
+            TraceEventKind::StageEnd => 11,
         }
     }
 }
@@ -509,6 +518,16 @@ impl RunTrace {
                     ("retries", Json::int(of(TraceEventKind::Retry).len() as u64)),
                     ("quarantines", Json::int(of(TraceEventKind::Quarantine).len() as u64)),
                     ("restarts", Json::int(of(TraceEventKind::Restart).len() as u64)),
+                    (
+                        "rehydrated_blocks",
+                        Json::int(of(TraceEventKind::CacheRehydrate).len() as u64),
+                    ),
+                    (
+                        "rehydrated_bytes",
+                        Json::int(
+                            of(TraceEventKind::CacheRehydrate).iter().map(|e| e.bytes).sum::<u64>(),
+                        ),
+                    ),
                     ("oom_recoveries", Json::int(of(TraceEventKind::OomRecovery).len() as u64)),
                     ("gc_pauses", Json::int(gc.len() as u64)),
                     ("gc_pause_ns", Json::int(gc.iter().map(|e| e.dur_ns).sum::<u64>())),

@@ -34,6 +34,22 @@ for sched in wave pull; do
   done
 done
 
+echo "== crash-recovery kill-point suite (replayed seeds, both schedulers) =="
+# Same replay discipline for the cache's spill/manifest/rehydrate kill
+# points: the suite re-runs its kill matrix, rehydration-evidence and
+# property-storm cells under each pinned seed and scheduler, and a
+# failure hands the reader the exact one-line reproduction.
+for sched in wave pull; do
+  for seed in 11 29 47; do
+    if ! DECA_SCHEDULER=$sched DECA_CHECK_SEED=$seed \
+        cargo test -q --offline -p deca-bench --test crash_recovery; then
+      echo "crash-recovery suite failed under seed $seed with the $sched scheduler; replay locally with:"
+      echo "  DECA_SCHEDULER=$sched DECA_CHECK_SEED=$seed cargo test --offline -p deca-bench --test crash_recovery"
+      exit 1
+    fi
+  done
+done
+
 echo "== bench smoke (fig8 wordcount, tiny scale) =="
 DECA_BENCH_SCALE=0.05 cargo run --release --offline -q -p deca-bench --bin fig8_wordcount
 

@@ -48,6 +48,7 @@ fn storm() -> FaultSpec {
         executor_crash: 0.10,
         shuffle_frame: 0.20,
         alloc: 0.15,
+        spill_path: 0.0,
         repeat_on_retry: false,
     }
 }
