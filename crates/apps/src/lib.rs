@@ -34,3 +34,41 @@ pub mod sql;
 pub mod wordcount;
 
 pub use report::AppReport;
+
+use deca_engine::{
+    AppJob, ClusterSession, EngineError, ExecutorConfig, FaultPlan, JobCtx, RetryPolicy,
+};
+
+/// Run an [`AppJob`] on a private standalone cluster — the thin local shim
+/// over the same job description [`deca_engine::DecaServer::submit`]
+/// consumes. The report's label is the job's name.
+pub fn run_job_local(app: &AppJob, config: ExecutorConfig, executors: usize) -> AppReport {
+    run_job_faulty(app, config, executors, FaultPlan::quiet(), None)
+        .expect("fault-free local job run")
+}
+
+/// Run an [`AppJob`] on a private standalone cluster under an injected
+/// fault plan (and optionally a retry policy override). For any survivable
+/// plan the checksum is bit-identical to the fault-free run; an
+/// unsurvivable plan surfaces as the task-attributed [`EngineError`].
+pub fn run_job_faulty(
+    app: &AppJob,
+    config: ExecutorConfig,
+    executors: usize,
+    plan: FaultPlan,
+    policy: Option<RetryPolicy>,
+) -> Result<AppReport, EngineError> {
+    let config = match policy {
+        Some(p) => config.retry(p),
+        None => config,
+    };
+    let mut session = ClusterSession::new(executors, config);
+    session.install_faults(plan);
+    let (checksum, cache_bytes) = {
+        let mut ctx = JobCtx::local(&mut session);
+        let checksum = app.run(&mut ctx)?;
+        (checksum, ctx.noted_cache_bytes())
+    };
+    session.finish_job();
+    Ok(AppReport::from_cluster(app.name(), &session, checksum, cache_bytes))
+}

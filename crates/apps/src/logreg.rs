@@ -8,11 +8,25 @@
 //! the transformed code in the paper's Figure 12: it reads `label` and the
 //! feature doubles at fixed offsets inside the page bytes and accumulates
 //! into a preallocated result array — no objects, no collections.
+//!
+//! The job is described once as an [`AppJob`] ([`job`]) and runs through
+//! the cluster driver: an `lr-load` stage caches partition `p`'s points on
+//! executor `p % E`, then each iteration is one `lr-iter{i}` stage whose
+//! tasks return partial gradients the driver sums in task order — so the
+//! f64 addition sequence, and hence the weights, are bit-identical for any
+//! executor count, standalone or on a [`deca_engine::DecaServer`]. A
+//! retried or stolen task that lands on an executor without its block
+//! recaches it from the generated partition first (lineage recompute).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 use deca_core::optimizer::ContainerDecision;
 use deca_core::Optimizer;
 use deca_engine::record::HeapRecord;
-use deca_engine::{ExecutionMode, Executor, ExecutorConfig};
+use deca_engine::{
+    AppJob, ClusterSession, EngineError, ExecutionMode, Executor, ExecutorConfig, JobCtx,
+};
 use deca_udt::{ContainerId, ContainerKind, JobPhases, TypeRef};
 
 use crate::datagen;
@@ -57,116 +71,173 @@ impl LrParams {
     }
 }
 
-/// Run LR and report metrics, cache size, and the final-weights checksum.
+/// Run LR on one executor and report metrics, cache size, and the
+/// final-weights checksum. (Unlike the paper's reported numbers, the
+/// cluster-driven report includes the load stage in the job totals — the
+/// `lr-load` stage metrics keep it separable.)
 pub fn run(params: &LrParams) -> AppReport {
+    run_local(params, 1)
+}
+
+/// Run LR across `executors` parallel executors. The weights are
+/// bit-identical for any executor count: task `p` always scans its own
+/// cached partition and the driver sums partial gradients in task order.
+pub fn run_local(params: &LrParams, executors: usize) -> AppReport {
+    crate::run_job_local(&job(params), lr_config(params), executors)
+}
+
+/// Run the LR job on an already-built session (any executor shape, any
+/// installed fault plan) and return its checksum.
+pub fn run_on(params: &LrParams, session: &mut ClusterSession) -> Result<f64, EngineError> {
+    job(params).run(&mut JobCtx::local(session))
+}
+
+/// The executor configuration LR runs under (public so equivalence tests
+/// can build sessions with the exact same memory split, then vary retry
+/// policy and scheduler mode).
+pub fn lr_config(params: &LrParams) -> ExecutorConfig {
     let mut config = ExecutorConfig::new(params.mode, params.heap_bytes)
         .storage_fraction(params.storage_fraction)
         .gc_algorithm(params.gc_algorithm);
     if let Some(page) = params.page_size {
         config = config.page_size(page);
     }
-    let mut exec = Executor::new(config);
+    config
+}
+
+/// Before caching, Deca's runtime optimizer classifies the cached UDT
+/// from the job's IR (Appendix A). The LR stage refines LabeledPoint to
+/// SFST, enabling unframed fixed-size decomposition. Driver-side, once
+/// per job.
+fn assert_deca_plan() {
+    let analysis = crate::records::lr_analysis();
+    let opt = Optimizer::new(&analysis.types.registry, &analysis.program);
+    let phases = JobPhases::new().phase("map", analysis.stage_entry);
+    let cache = deca_core::ContainerInfo {
+        id: ContainerId(0),
+        kind: ContainerKind::CachedRdd,
+        created_seq: 0,
+        content: TypeRef::Udt(analysis.types.labeled_point),
+        write_phase: 0,
+    };
+    let plan = opt.plan(&phases, &[cache], &[]);
+    assert_eq!(
+        plan.decision(ContainerId(0)),
+        &ContainerDecision::DecomposeSfst,
+        "the optimizer must prove LabeledPoint SFST for the LR job"
+    );
+}
+
+/// Cache one partition of labeled points in the mode's representation.
+fn load_block(
+    e: &mut Executor,
+    part: &[crate::records::LabeledPointRec],
+    mode: ExecutionMode,
+    dims: usize,
+    classes: &crate::records::LabeledPointClasses,
+) -> Result<deca_engine::cache::BlockId, EngineError> {
+    Ok(match mode {
+        ExecutionMode::Spark => {
+            e.cache.put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, classes, part)?
+        }
+        ExecutionMode::SparkSer => {
+            e.cache.put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, part)?
+        }
+        ExecutionMode::Deca => {
+            e.cache.put_deca_sfst(&mut e.heap, &mut e.mm, part, LabeledPointRec::sfst_size(dims))?
+        }
+    })
+}
+
+/// The LR job description: consumed by `DecaServer::submit` (via
+/// `JobSpec::app`) and by the local shims above.
+pub fn job(params: &LrParams) -> AppJob {
+    let params = params.clone();
+    AppJob::new("LR", move |job_ctx| run_logreg(&params, job_ctx))
+}
+
+fn run_logreg(params: &LrParams, job_ctx: &mut JobCtx) -> Result<f64, EngineError> {
+    if params.mode == ExecutionMode::Deca {
+        assert_deca_plan();
+    }
     let data = datagen::labeled_vectors(params.points, params.dims, params.seed);
     let parts = datagen::partition(&data, params.partitions);
-    let classes = LabeledPointRec::register(&mut exec.heap);
+    let mode = params.mode;
+    let dims = params.dims;
 
-    // -------------------------------------------------- Deca optimizer
-    // Before caching, Deca's runtime optimizer classifies the cached UDT
-    // from the job's IR (Appendix A). The LR stage refines LabeledPoint to
-    // SFST, enabling unframed fixed-size decomposition.
-    if params.mode == ExecutionMode::Deca {
-        let analysis = crate::records::lr_analysis();
-        let opt = Optimizer::new(&analysis.types.registry, &analysis.program);
-        let phases = JobPhases::new().phase("map", analysis.stage_entry);
-        let cache = deca_core::ContainerInfo {
-            id: ContainerId(0),
-            kind: ContainerKind::CachedRdd,
-            created_seq: 0,
-            content: TypeRef::Udt(analysis.types.labeled_point),
-            write_phase: 0,
-        };
-        let plan = opt.plan(&phases, &[cache], &[]);
-        assert_eq!(
-            plan.decision(ContainerId(0)),
-            &ContainerDecision::DecomposeSfst,
-            "the optimizer must prove LabeledPoint SFST for the LR job"
-        );
+    // Load stage: partition p's points are cached on executor p % E,
+    // where every iteration's task p (same pinning) will scan them.
+    let blocks: Mutex<HashMap<(usize, usize), deca_engine::cache::BlockId>> =
+        Mutex::new(HashMap::new());
+    let parts_now = &parts;
+    {
+        let blocks_now = &blocks;
+        job_ctx.run_stage("lr-load", params.partitions, |ctx, e| {
+            let classes = LabeledPointRec::register(&mut e.heap);
+            let block = load_block(e, &parts_now[ctx.task], mode, dims, &classes)?;
+            blocks_now.lock().unwrap().insert((ctx.executor, ctx.task), block);
+            Ok(())
+        })?;
     }
-
-    // ------------------------------------------------------------ load
-    let blocks: Vec<_> = parts
-        .iter()
-        .enumerate()
-        .map(|(pi, part)| {
-            exec.run_task(format!("lr-load-{pi}"), |e| match params.mode {
-                ExecutionMode::Spark => e
-                    .cache
-                    .put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, &classes, part)
-                    .expect("cache put"),
-                ExecutionMode::SparkSer => e
-                    .cache
-                    .put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, part)
-                    .expect("cache put"),
-                ExecutionMode::Deca => e
-                    .cache
-                    .put_deca_sfst(
-                        &mut e.heap,
-                        &mut e.mm,
-                        part,
-                        LabeledPointRec::sfst_size(params.dims),
-                    )
-                    .expect("cache put"),
-            })
-        })
-        .collect();
-    // Loading time is excluded from the reported execution time, as in the
-    // paper ("we do not account for the time to load the training
-    // dataset"): reset job aggregates but keep the cache.
-    let cache_bytes = {
-        exec.finish_job();
-        exec.job.cache_bytes + exec.job.swapped_cache_bytes
-    };
-    exec.job = Default::default();
+    job_ctx.note_cache_bytes();
 
     // ------------------------------------------------------ iterations
-    let d = params.dims;
-    let mut weights: Vec<f64> = (0..d).map(|i| 0.1 * ((i % 7) as f64 - 3.0)).collect();
+    let mut weights: Vec<f64> = (0..dims).map(|i| 0.1 * ((i % 7) as f64 - 3.0)).collect();
     for iter in 0..params.iterations {
-        let mut gradient = vec![0.0f64; d];
-        for (pi, &block) in blocks.iter().enumerate() {
-            exec.run_task(format!("lr-iter{iter}-{pi}"), |e| match params.mode {
-                ExecutionMode::Spark => {
-                    spark_gradient(e, block, &classes, &weights, &mut gradient);
+        let weights_now = &weights;
+        let blocks_now = &blocks;
+        let sample = params.sample_timeline;
+        let partials =
+            job_ctx.run_stage(&format!("lr-iter{iter}"), params.partitions, |ctx, e| {
+                let classes = LabeledPointRec::register(&mut e.heap);
+                // The handle is only trusted if the cache still holds the
+                // block — a retried or stolen attempt that landed on an
+                // executor without it recaches from the generated partition
+                // (lineage recompute), so the scanned bytes are identical
+                // wherever the task lands.
+                let cached = blocks_now
+                    .lock()
+                    .unwrap()
+                    .get(&(ctx.executor, ctx.task))
+                    .copied()
+                    .filter(|b| e.cache.contains(*b));
+                let block = match cached {
+                    Some(b) => b,
+                    None => {
+                        let b = load_block(e, &parts_now[ctx.task], mode, dims, &classes)?;
+                        blocks_now.lock().unwrap().insert((ctx.executor, ctx.task), b);
+                        b
+                    }
+                };
+                let mut partial = vec![0.0f64; dims];
+                match mode {
+                    ExecutionMode::Spark => {
+                        spark_gradient(e, block, &classes, weights_now, &mut partial)?
+                    }
+                    ExecutionMode::SparkSer => {
+                        sparkser_gradient(e, block, &classes, weights_now, &mut partial)?
+                    }
+                    ExecutionMode::Deca => deca_gradient(e, block, weights_now, &mut partial)?,
                 }
-                ExecutionMode::SparkSer => {
-                    sparkser_gradient(e, block, &classes, &weights, &mut gradient);
+                if sample {
+                    e.sample_timeline(classes.labeled_point);
                 }
-                ExecutionMode::Deca => {
-                    deca_gradient(e, block, &weights, &mut gradient);
-                }
-            });
+                Ok(partial)
+            })?;
+        // Sum partial gradients in task order (each partial is itself the
+        // partition's in-order point sum), then apply the step — the f64
+        // addition sequence never depends on where tasks ran.
+        let mut gradient = vec![0.0f64; dims];
+        for partial in &partials {
+            for (g, p) in gradient.iter_mut().zip(partial) {
+                *g += p;
+            }
         }
         for (w, g) in weights.iter_mut().zip(&gradient) {
             *w -= 0.1 * g / params.points as f64;
         }
-        if params.sample_timeline {
-            exec.sample_timeline(classes.labeled_point);
-        }
     }
-
-    exec.finish_job();
-    AppReport {
-        app: "LR".into(),
-        mode: params.mode,
-        metrics: exec.job.clone(),
-        timeline: exec.timeline.clone(),
-        checksum: weights.iter().map(|w| w.abs()).sum(),
-        cache_bytes,
-        objects_traced: exec.heap.stats().objects_traced,
-        minor_gcs: exec.heap.stats().minor_collections,
-        full_gcs: exec.heap.stats().full_collections,
-        slowest_task: exec.slowest_task().cloned(),
-    }
+    Ok(weights.iter().map(|w| w.abs()).sum())
 }
 
 /// One point's gradient term given the dot product machinery, shared by
@@ -186,10 +257,9 @@ fn spark_gradient(
     classes: &crate::records::LabeledPointClasses,
     weights: &[f64],
     gradient: &mut [f64],
-) {
+) -> Result<(), EngineError> {
     let d = weights.len();
-    let (root, len) =
-        e.cache.objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm).expect("cache access");
+    let (root, len) = e.cache.objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)?;
     for i in 0..len {
         let arr = e.heap.root_ref(root);
         let lp = e.heap.array_get_ref(arr, i);
@@ -221,6 +291,7 @@ fn spark_gradient(
         }
         e.heap.truncate_stack(ts);
     }
+    Ok(())
 }
 
 /// SparkSer kernel: deserialize each point (Kryo cost), materialise it as
@@ -233,15 +304,17 @@ fn sparkser_gradient(
     classes: &crate::records::LabeledPointClasses,
     weights: &[f64],
     gradient: &mut [f64],
-) {
+) -> Result<(), EngineError> {
     let d = weights.len();
     // Collect first (the iterator holds &mut e), then process.
     let mut recs: Vec<LabeledPointRec> = Vec::new();
-    e.cache
-        .iter_serialized::<LabeledPointRec>(block, &mut e.heap, &mut e.kryo, &mut e.mm, |r| {
-            recs.push(r)
-        })
-        .expect("cache access");
+    e.cache.iter_serialized::<LabeledPointRec>(
+        block,
+        &mut e.heap,
+        &mut e.kryo,
+        &mut e.mm,
+        |r| recs.push(r),
+    )?;
     for rec in recs {
         // The deserializer materialises a temporary object graph.
         let lp = rec.store(&mut e.heap, classes).expect("temp graph");
@@ -265,6 +338,7 @@ fn sparkser_gradient(
         }
         e.heap.truncate_stack(ls);
     }
+    Ok(())
 }
 
 /// Deca kernel — the Figure 12 transformed code: `label` at offset 0,
@@ -275,34 +349,33 @@ fn deca_gradient(
     block: deca_engine::cache::BlockId,
     weights: &[f64],
     gradient: &mut [f64],
-) {
+) -> Result<(), EngineError> {
     let d = weights.len();
     let heap = &mut e.heap;
     let mm = &mut e.mm;
     let cache = &mut e.cache;
     let block = cache.deca_block(block);
-    block
-        .scan_bytes(
-            mm,
-            heap,
-            |bytes| {
-                let label = f64::from_le_bytes(bytes[..8].try_into().unwrap());
-                let mut dot = 0.0;
-                let mut off = 8;
-                for w in weights.iter().take(d) {
-                    dot += w * f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
-                    off += 8;
-                }
-                let factor = factor_of(label, dot);
-                off = 8;
-                for g in gradient.iter_mut().take(d) {
-                    *g += f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) * factor;
-                    off += 8;
-                }
-            },
-            |_| {},
-        )
-        .expect("cache scan");
+    block.scan_bytes(
+        mm,
+        heap,
+        |bytes| {
+            let label = f64::from_le_bytes(bytes[..8].try_into().unwrap());
+            let mut dot = 0.0;
+            let mut off = 8;
+            for w in weights.iter().take(d) {
+                dot += w * f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                off += 8;
+            }
+            let factor = factor_of(label, dot);
+            off = 8;
+            for g in gradient.iter_mut().take(d) {
+                *g += f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) * factor;
+                off += 8;
+            }
+        },
+        |_| {},
+    )?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -352,7 +425,12 @@ mod tests {
         let mut p = tiny(ExecutionMode::Spark);
         p.sample_timeline = true;
         let spark = run(&p);
-        assert!(spark.timeline.peak_live() >= p.points, "cached points live on the heap");
+        assert!(
+            spark.timeline.peak_live() >= p.points,
+            "cached points live on the heap: peak={} points={}",
+            spark.timeline.peak_live(),
+            p.points
+        );
         let mut p = tiny(ExecutionMode::Deca);
         p.sample_timeline = true;
         let deca = run(&p);

@@ -8,11 +8,13 @@
 //! an RFST which Deca decomposes into framed page segments. The dying
 //! grouping buffer is then reclaimed wholesale.
 //!
-//! The cluster path drives the paper's stage structure through
-//! [`ClusterSession`]: an adjacency-build stage caches partition `p`'s
-//! block on executor `p % E` (tasks are pinned round-robin, so every
+//! The job is described once as an [`AppJob`] ([`job`]) driving the
+//! paper's stage structure: an adjacency-build stage caches partition
+//! `p`'s block on executor `p % E` (tasks are pinned round-robin, so every
 //! iteration's map task `p` finds its block executor-local), then each
 //! iteration is a map/exchange/reduce shuffle job over the rank messages.
+//! The same description runs standalone ([`run`], [`run_local`]) or
+//! submitted to a [`deca_engine::DecaServer`].
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -21,7 +23,7 @@ use deca_core::optimizer::ContainerDecision;
 use deca_core::{DecaHashShuffle, Optimizer};
 use deca_engine::record::HeapRecord;
 use deca_engine::{
-    ClusterSession, EngineError, ExecutionMode, Executor, ExecutorConfig, FaultPlan, RetryPolicy,
+    AppJob, ClusterSession, EngineError, ExecutionMode, Executor, ExecutorConfig, JobCtx,
     SparkGroupShuffle, SparkHashShuffle,
 };
 use deca_udt::{ContainerId, ContainerKind, JobPhases, TypeRef};
@@ -252,7 +254,7 @@ fn add_f64_bytes(acc: &mut [u8], add: &[u8]) {
 
 /// Run PageRank on one executor.
 pub fn run(params: &PrParams) -> AppReport {
-    run_cluster(params, 1)
+    run_local(params, 1)
 }
 
 /// Assert the Deca optimizer reproduces the §4.3.3 plan (VST grouping
@@ -307,30 +309,27 @@ pub fn pr_config(params: &PrParams) -> ExecutorConfig {
 /// (cached on executor `p % E`), and each reduce task combines mapper
 /// subtotals in map-task order, so the f64 addition sequence per vertex
 /// never depends on the cluster shape.
-pub fn run_cluster(params: &PrParams, executors: usize) -> AppReport {
-    let mut session = ClusterSession::new(executors, pr_config(params));
-    let (checksum, cache_bytes) = run_on(params, &mut session).expect("pagerank job");
-    AppReport::from_cluster("PR", &session, checksum, cache_bytes)
-}
-
-/// Run PageRank under an injected fault plan and retry policy. Retried
-/// tasks that migrate executors rebuild their adjacency block from the
-/// edge partition (lineage recompute), so any survivable plan yields ranks
-/// bit-identical to the fault-free run.
-pub fn run_cluster_faulty(
-    params: &PrParams,
-    executors: usize,
-    plan: FaultPlan,
-    policy: RetryPolicy,
-) -> Result<AppReport, EngineError> {
-    let mut session = ClusterSession::new(executors, pr_config(params).retry(policy));
-    session.install_faults(plan);
-    let (checksum, cache_bytes) = run_on(params, &mut session)?;
-    Ok(AppReport::from_cluster("PR", &session, checksum, cache_bytes))
+pub fn run_local(params: &PrParams, executors: usize) -> AppReport {
+    crate::run_job_local(&job(params), pr_config(params), executors)
 }
 
 /// Run the PageRank job on an already-built session (any executor shape,
 /// any installed fault plan) and return `(checksum, cache_bytes)`.
+pub fn run_on(
+    params: &PrParams,
+    session: &mut ClusterSession,
+) -> Result<(f64, usize), EngineError> {
+    let (checksum, cache_bytes) = {
+        let mut ctx = JobCtx::local(session);
+        let checksum = job(params).run(&mut ctx)?;
+        (checksum, ctx.noted_cache_bytes())
+    };
+    session.finish_job();
+    Ok((checksum, cache_bytes))
+}
+
+/// The PageRank job description: consumed by `DecaServer::submit` (via
+/// `JobSpec::app`) and by the local shims above.
 ///
 /// The adjacency cache is tracked per `(executor, partition)`: with the
 /// static round-robin pinning every iteration's map task finds its block
@@ -338,10 +337,12 @@ pub fn run_cluster_faulty(
 /// deterministically from its edge partition first — Spark's lineage
 /// story (§6.1) — so the scanned bytes, and hence the f64 message
 /// sequence, are identical wherever the task lands.
-pub fn run_on(
-    params: &PrParams,
-    session: &mut ClusterSession,
-) -> Result<(f64, usize), EngineError> {
+pub fn job(params: &PrParams) -> AppJob {
+    let params = params.clone();
+    AppJob::new("PR", move |job_ctx| run_pagerank(&params, job_ctx))
+}
+
+fn run_pagerank(params: &PrParams, job_ctx: &mut JobCtx) -> Result<f64, EngineError> {
     if params.mode == ExecutionMode::Deca {
         assert_deca_plan();
     }
@@ -360,16 +361,14 @@ pub fn run_on(
     let parts_now = &parts;
     {
         let blocks_now = &blocks;
-        session.run_stage("adj-build", params.partitions, |ctx, e| {
+        job_ctx.run_stage("adj-build", params.partitions, |ctx, e| {
             let adj_classes = AdjListRec::register(&mut e.heap);
             let block = build_adjacency_block(e, &parts_now[ctx.task], mode, &adj_classes)?;
             blocks_now.lock().unwrap().insert((ctx.executor, ctx.task), block);
             Ok(())
         })?;
     }
-    session.finish_job();
-    let summary = session.job_summary();
-    let cache_bytes = summary.cache_bytes + summary.swapped_cache_bytes;
+    job_ctx.note_cache_bytes();
 
     let reducers = params.partitions;
     let mut ranks = vec![1.0f64; params.vertices];
@@ -377,7 +376,7 @@ pub fn run_on(
         let ranks_now = &ranks;
         let degrees_now = &degrees;
         let blocks_now = &blocks;
-        let updates = session.run_shuffle_job(
+        let updates = job_ctx.run_shuffle_job(
             &format!("pr-iter{iter}"),
             params.partitions,
             reducers,
@@ -522,8 +521,7 @@ pub fn run_on(
         ranks = next;
     }
 
-    session.finish_job();
-    Ok((ranks.iter().sum(), cache_bytes))
+    Ok(ranks.iter().sum())
 }
 
 #[cfg(test)]
@@ -566,8 +564,8 @@ mod tests {
     #[test]
     fn executor_count_does_not_change_ranks() {
         for mode in ExecutionMode::ALL {
-            let one = run_cluster(&tiny(mode), 1);
-            let two = run_cluster(&tiny(mode), 2);
+            let one = run_local(&tiny(mode), 1);
+            let two = run_local(&tiny(mode), 2);
             assert_eq!(one.checksum, two.checksum, "{mode}: ranks must be bit-identical");
         }
     }

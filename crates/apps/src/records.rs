@@ -46,18 +46,27 @@ impl HeapRecord for LabeledPointRec {
     type Classes = LabeledPointClasses;
 
     fn register(heap: &mut Heap) -> Self::Classes {
-        let labeled_point = heap.define_class(
-            ClassBuilder::new("LabeledPoint")
-                .field("label", FieldKind::F64)
-                .field("features", FieldKind::Ref),
-        );
-        let dense_vector = heap.define_class(
-            ClassBuilder::new("DenseVector")
-                .field("data", FieldKind::Ref)
-                .field("offset", FieldKind::I32)
-                .field("stride", FieldKind::I32)
-                .field("length", FieldKind::I32),
-        );
+        // Registration must be idempotent: under the cluster driver every
+        // task re-registers, and a later task's sample/recompute must see
+        // the same ClassId the cached objects were allocated with.
+        let labeled_point = match heap.registry().by_name("LabeledPoint") {
+            Some(c) => c,
+            None => heap.define_class(
+                ClassBuilder::new("LabeledPoint")
+                    .field("label", FieldKind::F64)
+                    .field("features", FieldKind::Ref),
+            ),
+        };
+        let dense_vector = match heap.registry().by_name("DenseVector") {
+            Some(c) => c,
+            None => heap.define_class(
+                ClassBuilder::new("DenseVector")
+                    .field("data", FieldKind::Ref)
+                    .field("offset", FieldKind::I32)
+                    .field("stride", FieldKind::I32)
+                    .field("length", FieldKind::I32),
+            ),
+        };
         let double_array = match heap.registry().by_name("double[]") {
             Some(c) => c,
             None => heap.define_array_class("double[]", FieldKind::F64),
@@ -172,11 +181,14 @@ impl HeapRecord for AdjListRec {
     type Classes = AdjClasses;
 
     fn register(heap: &mut Heap) -> Self::Classes {
-        let vertex = heap.define_class(
-            ClassBuilder::new("VertexEdges")
-                .field("id", FieldKind::I32)
-                .field("edges", FieldKind::Ref),
-        );
+        let vertex = match heap.registry().by_name("VertexEdges") {
+            Some(c) => c,
+            None => heap.define_class(
+                ClassBuilder::new("VertexEdges")
+                    .field("id", FieldKind::I32)
+                    .field("edges", FieldKind::Ref),
+            ),
+        };
         let int_array = match heap.registry().by_name("int[]") {
             Some(c) => c,
             None => heap.define_array_class("int[]", FieldKind::I32),
@@ -275,12 +287,15 @@ impl HeapRecord for RankingRec {
     type Classes = RowClasses;
 
     fn register(heap: &mut Heap) -> Self::Classes {
-        let row = heap.define_class(
-            ClassBuilder::new("Ranking")
-                .field("urlId", FieldKind::I64)
-                .field("pageRank", FieldKind::I32)
-                .field("avgDuration", FieldKind::I32),
-        );
+        let row = match heap.registry().by_name("Ranking") {
+            Some(c) => c,
+            None => heap.define_class(
+                ClassBuilder::new("Ranking")
+                    .field("urlId", FieldKind::I64)
+                    .field("pageRank", FieldKind::I32)
+                    .field("avgDuration", FieldKind::I32),
+            ),
+        };
         RowClasses { row }
     }
 
@@ -355,12 +370,15 @@ impl HeapRecord for UserVisitRec {
     type Classes = RowClasses;
 
     fn register(heap: &mut Heap) -> Self::Classes {
-        let row = heap.define_class(
-            ClassBuilder::new("UserVisit")
-                .field("ipPrefix", FieldKind::I64)
-                .field("urlId", FieldKind::I64)
-                .field("adRevenue", FieldKind::F64),
-        );
+        let row = match heap.registry().by_name("UserVisit") {
+            Some(c) => c,
+            None => heap.define_class(
+                ClassBuilder::new("UserVisit")
+                    .field("ipPrefix", FieldKind::I64)
+                    .field("urlId", FieldKind::I64)
+                    .field("adRevenue", FieldKind::F64),
+            ),
+        };
         RowClasses { row }
     }
 

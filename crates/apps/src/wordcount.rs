@@ -7,17 +7,18 @@
 //! Deca mode the combiner reuses the aggregate value's page segment in
 //! place (§4.3.2) and the shuffle write is a raw byte copy.
 //!
-//! The job runs through [`ClusterSession`]: one map task per partition, an
-//! all-to-all exchange, one reduce task per partition. [`run`] is the
-//! single-executor case; [`run_cluster`] fans the same tasks out over
-//! parallel executors with bit-identical results (the word checksums are
-//! integer-valued f64 sums, exact under any addition order).
+//! The job is described once as an [`AppJob`] ([`job`] for the integer-id
+//! input, [`text_job`] for text tokens): one map task per partition, an
+//! all-to-all exchange, one reduce task per partition. The same
+//! description runs standalone ([`run`], [`run_local`]) or submitted to a
+//! [`deca_engine::DecaServer`], with bit-identical results for any
+//! executor count (the word checksums are integer-valued f64 sums, exact
+//! under any addition order).
 
 use deca_core::{DecaHashShuffle, DecaRecord, DecaVarHashShuffle};
 use deca_engine::record::HeapRecord;
 use deca_engine::{
-    ClusterSession, EngineError, ExecutionMode, ExecutorConfig, FaultPlan, RetryPolicy,
-    SparkHashShuffle,
+    AppJob, ClusterSession, EngineError, ExecutionMode, ExecutorConfig, JobCtx, SparkHashShuffle,
 };
 
 use crate::datagen;
@@ -54,7 +55,7 @@ impl WcParams {
 /// Run WordCount on one executor and report metrics plus a
 /// mode-independent checksum.
 pub fn run(params: &WcParams) -> AppReport {
-    run_cluster(params, 1)
+    run_local(params, 1)
 }
 
 /// The executor configuration WordCount runs under (public so the
@@ -69,55 +70,45 @@ pub fn wc_config(params: &WcParams) -> ExecutorConfig {
         .build()
 }
 
-/// Run the WordCount job on an already-built session (any executor shape,
-/// any installed fault plan) and return its checksum. WordCount's tasks
+/// The WordCount job description: consumed by `DecaServer::submit`
+/// (via `JobSpec::app`) and by the local shims below. WordCount's tasks
 /// depend only on `(task index, partition data)` — never on cross-stage
-/// executor-local state — so retried tasks may migrate freely.
-pub fn run_on(params: &WcParams, session: &mut ClusterSession) -> Result<f64, EngineError> {
-    let data = datagen::zipf_words(params.words, params.distinct, params.seed);
-    let parts = datagen::partition(&data, params.partitions);
-    let reducers = params.partitions;
-    match params.mode {
-        ExecutionMode::Spark | ExecutionMode::SparkSer => {
-            run_spark(session, &parts, reducers, params.sample_every)
+/// executor-local state — so retried or stolen tasks may migrate freely.
+pub fn job(params: &WcParams) -> AppJob {
+    let p = params.clone();
+    AppJob::new("WC", move |ctx| {
+        let data = datagen::zipf_words(p.words, p.distinct, p.seed);
+        let parts = datagen::partition(&data, p.partitions);
+        let reducers = p.partitions;
+        match p.mode {
+            ExecutionMode::Spark | ExecutionMode::SparkSer => {
+                run_spark(ctx, &parts, reducers, p.sample_every)
+            }
+            ExecutionMode::Deca => run_deca(ctx, &parts, reducers, p.sample_every),
         }
-        ExecutionMode::Deca => run_deca(session, &parts, reducers, params.sample_every),
-    }
+    })
+}
+
+/// Run the WordCount job on an already-built session (any executor shape,
+/// any installed fault plan) and return its checksum.
+pub fn run_on(params: &WcParams, session: &mut ClusterSession) -> Result<f64, EngineError> {
+    job(params).run(&mut JobCtx::local(session))
 }
 
 /// Run WordCount across `executors` parallel executors. Results are
 /// bit-identical for any executor count (tasks are pinned round-robin and
 /// the exchange preserves map-task order).
-pub fn run_cluster(params: &WcParams, executors: usize) -> AppReport {
-    let mut session = ClusterSession::new(executors, wc_config(params));
-    let checksum = run_on(params, &mut session).expect("wordcount job");
-    session.finish_job();
-    AppReport::from_cluster("WC", &session, checksum, 0)
-}
-
-/// Run WordCount under an injected fault plan and retry policy. For any
-/// survivable plan the checksum is bit-identical to the fault-free run;
-/// an unsurvivable plan surfaces as the task-attributed `EngineError`.
-pub fn run_cluster_faulty(
-    params: &WcParams,
-    executors: usize,
-    plan: FaultPlan,
-    policy: RetryPolicy,
-) -> Result<AppReport, EngineError> {
-    let mut session = ClusterSession::new(executors, wc_config(params).retry(policy));
-    session.install_faults(plan);
-    let checksum = run_on(params, &mut session)?;
-    session.finish_job();
-    Ok(AppReport::from_cluster("WC", &session, checksum, 0))
+pub fn run_local(params: &WcParams, executors: usize) -> AppReport {
+    crate::run_job_local(&job(params), wc_config(params), executors)
 }
 
 fn run_spark(
-    session: &mut ClusterSession,
+    ctx: &mut JobCtx,
     parts: &[Vec<i64>],
     reducers: usize,
     sample_every: usize,
 ) -> Result<f64, EngineError> {
-    let sums = session.run_shuffle_job(
+    let sums = ctx.run_shuffle_job(
         "wc",
         parts.len(),
         reducers,
@@ -183,12 +174,12 @@ fn run_spark(
 }
 
 fn run_deca(
-    session: &mut ClusterSession,
+    ctx: &mut JobCtx,
     parts: &[Vec<i64>],
     reducers: usize,
     sample_every: usize,
 ) -> Result<f64, EngineError> {
-    let sums = session.run_shuffle_job(
+    let sums = ctx.run_shuffle_job(
         "wc",
         parts.len(),
         reducers,
@@ -258,32 +249,32 @@ fn word_text(id: i64) -> String {
     format!("w{}{}", id, "x".repeat((id % 11) as usize))
 }
 
-/// Run WordCount over text tokens on one executor. Spark mode
-/// materialises each token as a `java.lang.String` + `char[]` graph (what
+/// The text-keyed WordCount job description. Spark mode materialises each
+/// token as a `java.lang.String` + `char[]` graph (what
 /// `textFile().flatMap(split)` produces) and the buffer holds String keys;
 /// Deca mode stores UTF-8 key bytes framed in pages behind a pointer
 /// array.
+pub fn text_job(params: &WcParams) -> AppJob {
+    let p = params.clone();
+    AppJob::new("WC-text", move |ctx| {
+        let ids = datagen::zipf_words(p.words, p.distinct, p.seed);
+        let parts = datagen::partition(&ids, p.partitions);
+        let reducers = p.partitions;
+        match p.mode {
+            ExecutionMode::Spark | ExecutionMode::SparkSer => run_text_spark(ctx, &parts, reducers),
+            ExecutionMode::Deca => run_text_deca(ctx, &parts, reducers),
+        }
+    })
+}
+
+/// Run text-keyed WordCount over text tokens on one executor.
 pub fn run_text(params: &WcParams) -> AppReport {
-    run_text_cluster(params, 1)
+    run_text_local(params, 1)
 }
 
 /// Text-keyed WordCount across `executors` parallel executors.
-pub fn run_text_cluster(params: &WcParams, executors: usize) -> AppReport {
-    let mut session = ClusterSession::new(executors, wc_config(params));
-    let ids = datagen::zipf_words(params.words, params.distinct, params.seed);
-    let parts = datagen::partition(&ids, params.partitions);
-    let reducers = params.partitions;
-
-    let checksum = match params.mode {
-        ExecutionMode::Spark | ExecutionMode::SparkSer => {
-            run_text_spark(&mut session, &parts, reducers)
-        }
-        ExecutionMode::Deca => run_text_deca(&mut session, &parts, reducers),
-    }
-    .expect("wordcount-text job");
-
-    session.finish_job();
-    AppReport::from_cluster("WC-text", &session, checksum, 0)
+pub fn run_text_local(params: &WcParams, executors: usize) -> AppReport {
+    crate::run_job_local(&text_job(params), wc_config(params), executors)
 }
 
 fn text_checksum(word: &str, count: i64) -> f64 {
@@ -291,11 +282,11 @@ fn text_checksum(word: &str, count: i64) -> f64 {
 }
 
 fn run_text_spark(
-    session: &mut ClusterSession,
+    ctx: &mut JobCtx,
     parts: &[Vec<i64>],
     reducers: usize,
 ) -> Result<f64, EngineError> {
-    let sums = session.run_shuffle_job(
+    let sums = ctx.run_shuffle_job(
         "wct",
         parts.len(),
         reducers,
@@ -361,11 +352,11 @@ fn run_text_spark(
 }
 
 fn run_text_deca(
-    session: &mut ClusterSession,
+    ctx: &mut JobCtx,
     parts: &[Vec<i64>],
     reducers: usize,
 ) -> Result<f64, EngineError> {
-    let sums = session.run_shuffle_job(
+    let sums = ctx.run_shuffle_job(
         "wct",
         parts.len(),
         reducers,
@@ -485,8 +476,8 @@ mod tests {
     #[test]
     fn executor_count_does_not_change_results() {
         for mode in [ExecutionMode::Spark, ExecutionMode::Deca] {
-            let one = run_cluster(&tiny(mode), 1);
-            let four = run_cluster(&tiny(mode), 4);
+            let one = run_local(&tiny(mode), 1);
+            let four = run_local(&tiny(mode), 4);
             assert_eq!(one.checksum, four.checksum, "{mode}");
         }
     }

@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use deca_apps::wordcount::{run_cluster, WcParams};
+use deca_apps::wordcount::{run_local, WcParams};
 use deca_bench::{secs, table_header, table_row, Scale};
 use deca_engine::ExecutionMode;
 
@@ -35,7 +35,7 @@ fn main() {
     };
 
     // Reference result: every mode and every width must reproduce it.
-    let expected = run_cluster(&params(ExecutionMode::Deca), 1).checksum;
+    let expected = run_local(&params(ExecutionMode::Deca), 1).checksum;
 
     table_header(&["executors", "Spark_s", "SparkSer_s", "Deca_s", "Spark/Deca", "scaling"]);
     let mut spark_base = Duration::ZERO;
@@ -43,7 +43,7 @@ fn main() {
         let mut times = Vec::new();
         for mode in ExecutionMode::ALL {
             let t = Instant::now();
-            let report = run_cluster(&params(mode), executors);
+            let report = run_local(&params(mode), executors);
             times.push(t.elapsed());
             assert_eq!(
                 report.checksum, expected,

@@ -5,7 +5,7 @@
 //! tiers, at `DECA_BENCH_SCALE`) in Spark and Deca mode, times each cell
 //! with the `deca-check` sampling discipline (median/p95 over
 //! `DECA_GATE_SAMPLES` runs), and writes the
-//! results to `BENCH_PR6.json` (`DECA_BENCH_OUT` overrides). If an older
+//! results to `BENCH_PR7.json` (`DECA_BENCH_OUT` overrides). If an older
 //! `BENCH_*.json` exists next to the output, the gate compares the
 //! best-of-N wall time cell-by-cell (the min is the noise-free estimate
 //! for deterministic work; medians over few ~50 ms samples swing with
@@ -32,6 +32,17 @@
 //! enters the cross-PR baseline band. A fourth check validates the
 //! cache-pressure cell: its tier traffic (demotions, evictions, spill
 //! bytes) must be nonzero, or the cell's timing gates nothing.
+//!
+//! A fifth check gates the multi-job service ([`DecaServer`]): eight
+//! jobs — six real WC/PR jobs plus two I/O-wait jobs (sleeping tasks,
+//! the same wait model as the skew cell) — are pushed through one
+//! 4-executor server twice, all at once and one at a time. Run
+//! serially the cluster idles through every I/O wait; run concurrently
+//! the server must hide those waits under the other jobs' compute, so
+//! the concurrent batch must reach `DECA_GATE_SERVER_MIN` (default
+//! 1.0×) of the serial-sum throughput even on a single-core host.
+//! Every job's checksum is asserted against its standalone reference.
+//! Like the skew cell it is recorded in its own JSON section.
 
 use std::time::Instant;
 
@@ -42,9 +53,11 @@ use deca_apps::wordcount::{self, WcParams};
 use deca_bench::Scale;
 use deca_check::bench::summarize;
 use deca_check::Json;
-use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig, RunTrace, SchedulerMode};
+use deca_engine::{
+    ClusterSession, DecaServer, ExecutionMode, ExecutorConfig, JobSpec, RunTrace, SchedulerMode,
+};
 
-const OUT_DEFAULT: &str = "BENCH_PR6.json";
+const OUT_DEFAULT: &str = "BENCH_PR7.json";
 const MODES: [ExecutionMode; 2] = [ExecutionMode::Spark, ExecutionMode::Deca];
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -212,17 +225,16 @@ fn main() {
     for mode in MODES {
         let wc = wc_params(scale, mode);
         cells.push(measure(&format!("WC/{}", mode.name()), samples, || {
-            wordcount::run_cluster(&wc, 2)
+            wordcount::run_local(&wc, 2)
         }));
         let lr = lr_params(scale, mode);
         cells.push(measure(&format!("LR/{}", mode.name()), samples, || logreg::run(&lr)));
         let pr = pr_params(scale, mode);
-        cells.push(measure(&format!("PR/{}", mode.name()), samples, || {
-            pagerank::run_cluster(&pr, 2)
-        }));
+        cells
+            .push(measure(&format!("PR/{}", mode.name()), samples, || pagerank::run_local(&pr, 2)));
         let press = pressure_params(scale, mode);
         cells.push(measure(&format!("PR-CACHE/{}", mode.name()), samples, || {
-            pagerank::run_cluster(&press, 2)
+            pagerank::run_local(&press, 2)
         }));
     }
 
@@ -351,10 +363,121 @@ fn main() {
         (wave, pull, speedup)
     };
 
+    // --- SERVER cell: multi-job throughput through DecaServer ---------
+    // Eight mixed jobs — six real WC/PR jobs plus two width-1 I/O-wait
+    // jobs whose tasks sleep (the same wait model as the skew cell) —
+    // through one 4-executor DecaServer: once submitted all at once,
+    // once one at a time on the same server. A width-1 job's sleeps
+    // chain sequentially on its single home worker, so run serially the
+    // whole cluster idles through each chain; submitted concurrently,
+    // the server must hide the chains under the six compute jobs —
+    // which works even on a single-core host, because CPU work cannot
+    // overlap itself on one core but always overlaps a sleep. The gate
+    // floor is `DECA_GATE_SERVER_MIN` (default 1.0: concurrent wall
+    // time no worse than the serial sum; the wait-hiding puts the
+    // expected value well above it). Every job pins the Wave scheduler
+    // so a `DECA_SCHEDULER=pull` environment cannot let work-stealing
+    // despread the sleep chain and shrink the serial baseline, and
+    // every job's checksum is asserted against its standalone
+    // reference, so the throughput number only counts runs that
+    // produced the right answer.
+    let server_min = env_f64("DECA_GATE_SERVER_MIN", 1.0);
+    let (server_serial, server_concurrent, server_speedup) = {
+        const EXECUTORS: usize = 4;
+        const WIDTH: usize = 4;
+        const JOBS: usize = 8;
+        // Many short sleeps, not a few long ones: every compute stage
+        // has a task pinned to the waiters' home worker, and the sleep
+        // length bounds how long that task queues behind a waiter.
+        const IO_TASKS: usize = 20;
+        let wc = wc_params(scale, ExecutionMode::Deca);
+        let pr = pr_params(scale, ExecutionMode::Deca);
+        let wc_ref = wordcount::run_local(&wc, WIDTH).checksum;
+        let pr_ref = pagerank::run_local(&pr, WIDTH).checksum;
+        let io_wait = std::time::Duration::from_millis(2 * base_ms);
+        let io_job = move || {
+            deca_engine::AppJob::new("io", move |ctx| {
+                let per_task = ctx.run_stage("io-wait", IO_TASKS, move |_t, _e| {
+                    std::thread::sleep(io_wait);
+                    Ok(1.0)
+                })?;
+                Ok(per_task.iter().sum())
+            })
+        };
+        let server = DecaServer::new(EXECUTORS, ExecutorConfig::new(ExecutionMode::Deca, 24 << 20));
+        // Jobs 0 and 1 are the width-1 I/O waiters — submitted FIRST,
+        // because the server runs at most `runners` (= executor count)
+        // job bodies at once: waiters queued last would execute after
+        // the compute jobs drained and sleep with nothing to hide
+        // under. Jobs 2..8 alternate WC/PR at full width.
+        let spec = |i: usize| -> JobSpec {
+            let (app, width) = if i < 2 {
+                (io_job(), 1)
+            } else if i % 2 == 0 {
+                (wordcount::job(&wc), WIDTH)
+            } else {
+                (pagerank::job(&pr), WIDTH)
+            };
+            JobSpec::new("bench").executors(width).scheduler(SchedulerMode::Wave).app(app)
+        };
+        let reference = |i: usize| {
+            if i < 2 {
+                IO_TASKS as f64
+            } else if i % 2 == 0 {
+                wc_ref
+            } else {
+                pr_ref
+            }
+        };
+        let run_batch = |concurrent: bool| -> f64 {
+            let t = Instant::now();
+            if concurrent {
+                let handles: Vec<_> =
+                    (0..JOBS).map(|i| server.submit(spec(i)).expect("submit")).collect();
+                for (i, h) in handles.iter().enumerate() {
+                    let out = h.wait().expect("server job");
+                    assert_eq!(out.checksum, reference(i), "job {i}: server drifted off run_local");
+                }
+            } else {
+                for i in 0..JOBS {
+                    let out = server.submit(spec(i)).expect("submit").wait().expect("server job");
+                    assert_eq!(out.checksum, reference(i), "job {i}: server drifted off run_local");
+                }
+            }
+            t.elapsed().as_secs_f64()
+        };
+        run_batch(false); // warmup: cold caches, thread-pool spin-up
+        run_batch(true);
+        let (mut serial, mut concurrent) = (Vec::new(), Vec::new());
+        for i in 0..samples {
+            // Interleave with alternating order so host drift hits both.
+            let order = i % 2 == 0;
+            for conc in [order, !order] {
+                let t = run_batch(conc);
+                if conc {
+                    concurrent.push(t)
+                } else {
+                    serial.push(t)
+                };
+            }
+        }
+        let serial = summarize(serial, 1);
+        let concurrent = summarize(concurrent, 1);
+        let speedup = serial.min / concurrent.min.max(1e-9);
+        println!(
+            "  server cell ({JOBS} jobs: 6 WC/PR + 2 I/O-wait, width {WIDTH} on {EXECUTORS} executors): \
+             serial-sum min {:.1}ms, concurrent min {:.1}ms, throughput {speedup:.2}x \
+             (gate >= {server_min:.2}x)",
+            serial.min * 1e3,
+            concurrent.min * 1e3,
+        );
+        (serial, concurrent, speedup)
+    };
+
     // --- write the BENCH record ---------------------------------------
     let doc = Json::obj(vec![
         ("schema", Json::str("deca-bench-v1")),
-        ("pr", Json::str("PR6")),
+        ("pr", Json::str("PR7")),
         ("scale", Json::num(scale.factor)),
         ("samples", Json::int(samples as u64)),
         ("tolerance", Json::num(tolerance)),
@@ -418,6 +541,23 @@ fn main() {
                 ("gate_min", Json::num(skew_min)),
             ]),
         ),
+        // Multi-job service throughput, gated on its own floor like the
+        // skew cell — never part of the cross-PR workload band.
+        (
+            "server",
+            Json::obj(vec![
+                ("executors", Json::int(4)),
+                ("jobs", Json::int(8)),
+                ("io_wait_jobs", Json::int(2)),
+                ("job_width", Json::int(4)),
+                ("serial_min_s", Json::num(server_serial.min)),
+                ("serial_median_s", Json::num(server_serial.median)),
+                ("concurrent_min_s", Json::num(server_concurrent.min)),
+                ("concurrent_median_s", Json::num(server_concurrent.median)),
+                ("throughput_speedup", Json::num(server_speedup)),
+                ("gate_min", Json::num(server_min)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, doc.to_pretty() + "\n").expect("write BENCH record");
     println!("  wrote {out}");
@@ -467,12 +607,19 @@ fn main() {
         );
         failed = true;
     }
+    if server_speedup < server_min {
+        eprintln!(
+            "perf_gate: FAIL — concurrent server throughput {server_speedup:.2}x vs the \
+             serial-sum baseline is below the {server_min:.2}x floor"
+        );
+        failed = true;
+    }
     if overhead > overhead_limit {
         eprintln!("perf_gate: FAIL — tracing overhead {overhead:.2}% exceeds {overhead_limit:.1}%");
         failed = true;
     }
     if failed {
-        eprintln!("perf_gate: FAIL — regression beyond the tolerance band");
+        eprintln!("perf_gate: FAIL (see messages above)");
         std::process::exit(1);
     }
     println!("\nperf_gate: PASS");

@@ -232,6 +232,13 @@ struct Entry {
     /// demotion weight.
     access_count: u64,
     pinned: bool,
+    /// Owning tenant (0 = untenanted single-job use). The server stamps
+    /// the submitting tenant so budget isolation can shield one tenant's
+    /// resident blocks from another tenant's pressure.
+    tenant: u32,
+    /// Owning job submission (0 = standalone session). Lets the server
+    /// release a finished job's blocks without tracking ids app-side.
+    job: u64,
 }
 
 /// What one `crash_restart` did, for the driver's trace/metrics wiring.
@@ -284,6 +291,18 @@ pub struct CacheManager {
     /// consulted at the spill-path kill points.
     probe: Option<FaultPlan>,
     probe_ctx: Option<(String, usize, u32)>,
+    /// Tenant the currently running task belongs to: new blocks are
+    /// stamped with it, and victim searches treat it as the tenant
+    /// applying pressure.
+    tenant_ctx: Option<u32>,
+    /// Job the currently running task belongs to: new blocks are stamped
+    /// with it so the server can release them when the job completes.
+    job_ctx: Option<u64>,
+    /// Per-tenant resident-byte budgets. A tenant at or under its budget
+    /// is shielded from other tenants' evictions.
+    tenant_budgets: Vec<(u32, usize)>,
+    /// Cold-tier evictions per victim tenant.
+    tenant_evictions: Vec<(u32, u64)>,
 }
 
 impl CacheManager {
@@ -299,7 +318,101 @@ impl CacheManager {
             demotions: 0,
             probe: None,
             probe_ctx: None,
+            tenant_ctx: None,
+            job_ctx: None,
+            tenant_budgets: Vec::new(),
+            tenant_evictions: Vec::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // tenancy
+    // ------------------------------------------------------------------
+
+    /// Give `tenant` a resident-byte budget. While at or under it, the
+    /// tenant's blocks cannot be victimized by *other* tenants' pressure
+    /// (its own pressure may still demote them).
+    pub fn set_tenant_budget(&mut self, tenant: u32, budget: usize) {
+        match self.tenant_budgets.iter_mut().find(|(t, _)| *t == tenant) {
+            Some(slot) => slot.1 = budget,
+            None => self.tenant_budgets.push((tenant, budget)),
+        }
+    }
+
+    /// Set the tenant new blocks are stamped with (and on whose behalf
+    /// victim searches run). `None` reverts to untenanted behaviour.
+    pub fn set_tenant_ctx(&mut self, tenant: Option<u32>) {
+        self.tenant_ctx = tenant;
+    }
+
+    /// Set the job submission new blocks are stamped with (`None` reverts
+    /// to standalone-session behaviour).
+    pub fn set_job_ctx(&mut self, job: Option<u64>) {
+        self.job_ctx = job;
+    }
+
+    /// Live block ids stamped with `job` (the server's end-of-job cleanup
+    /// releases these so a long-lived shared executor never accumulates
+    /// finished jobs' cache state).
+    pub fn blocks_of_job(&self, job: u64) -> Vec<BlockId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().filter(|e| e.job == job).map(|_| BlockId(i as u32)))
+            .collect()
+    }
+
+    /// Total cached bytes stamped with `job`, across every tier (the
+    /// resident + swapped footprint apps report as their job's cache
+    /// usage).
+    pub fn job_bytes(&self, job: u64) -> usize {
+        self.entries.iter().flatten().filter(|e| e.job == job).map(|e| e.bytes).sum()
+    }
+
+    fn tenant_budget(&self, tenant: u32) -> Option<usize> {
+        self.tenant_budgets.iter().find(|(t, _)| *t == tenant).map(|(_, b)| *b)
+    }
+
+    /// Resident in-memory bytes owned by `tenant` (Deca residency via
+    /// `mm`, as in [`CacheManager::resident_bytes_mm`]).
+    pub fn tenant_resident_bytes(&self, tenant: u32, mm: &MemoryManager) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|e| e.tenant == tenant)
+            .filter(|e| match &e.state {
+                BlockState::Disk { .. } => false,
+                BlockState::Deca { block } => !mm.is_swapped(block.group()),
+                _ => true,
+            })
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Cold-tier evictions whose victim belonged to `tenant`.
+    pub fn tenant_evictions(&self, tenant: u32) -> u64 {
+        self.tenant_evictions.iter().find(|(t, _)| *t == tenant).map(|(_, n)| *n).unwrap_or(0)
+    }
+
+    fn bump_tenant_eviction(&mut self, tenant: u32) {
+        match self.tenant_evictions.iter_mut().find(|(t, _)| *t == tenant) {
+            Some(slot) => slot.1 += 1,
+            None => self.tenant_evictions.push((tenant, 1)),
+        }
+    }
+
+    /// Tenants whose blocks this victim search must not touch: every
+    /// budgeted tenant other than the one applying pressure that is at or
+    /// under its budget. Tenant 0 (untenanted) is never shielded.
+    fn shielded_tenants(&self, mm: &MemoryManager) -> Vec<u32> {
+        let active = self.tenant_ctx.unwrap_or(0);
+        self.tenant_budgets
+            .iter()
+            .filter(|(t, budget)| {
+                *t != 0 && *t != active && self.tenant_resident_bytes(*t, mm) <= *budget
+            })
+            .map(|(t, _)| *t)
+            .collect()
     }
 
     pub fn set_dir(&mut self, dir: PathBuf) {
@@ -481,6 +594,8 @@ impl CacheManager {
             last_used: t,
             access_count: 1,
             pinned: false,
+            tenant: self.tenant_ctx.unwrap_or(0),
+            job: self.job_ctx.unwrap_or(0),
         }))
     }
 
@@ -506,6 +621,8 @@ impl CacheManager {
             last_used: t,
             access_count: 1,
             pinned: false,
+            tenant: self.tenant_ctx.unwrap_or(0),
+            job: self.job_ctx.unwrap_or(0),
         }))
     }
 
@@ -555,6 +672,8 @@ impl CacheManager {
             last_used: t,
             access_count: 1,
             pinned: false,
+            tenant: self.tenant_ctx.unwrap_or(0),
+            job: self.job_ctx.unwrap_or(0),
         }))
     }
 
@@ -684,8 +803,19 @@ impl CacheManager {
         mm: &mut MemoryManager,
         incoming: usize,
     ) -> Result<(), CacheError> {
+        // A budgeted tenant first makes room within its own allotment, so
+        // its pressure lands on its own blocks before anyone else's.
+        if let Some(t) = self.tenant_ctx {
+            if let Some(budget) = self.tenant_budget(t) {
+                while self.tenant_resident_bytes(t, mm) + incoming > budget {
+                    if !self.demote_coldest(heap, kryo, mm, Some(t))? {
+                        break;
+                    }
+                }
+            }
+        }
         while self.resident_bytes_mm(mm) + incoming > self.budget {
-            if !self.demote_coldest(heap, kryo, mm)? {
+            if !self.demote_coldest(heap, kryo, mm, None)? {
                 break; // nothing demotable: allow overshoot (heap will GC/OOM)
             }
         }
@@ -702,23 +832,47 @@ impl CacheManager {
         mm: &mut MemoryManager,
         incoming: usize,
     ) -> Result<(), CacheError> {
+        // Per-tenant admission first: the active tenant swaps its own
+        // groups out until it fits its allotment.
+        if let Some(t) = self.tenant_ctx {
+            if let Some(budget) = self.tenant_budget(t) {
+                while self.tenant_resident_bytes(t, mm) + incoming > budget {
+                    let Some(i) = self.deca_victim(mm, Some(t), &[]) else { break };
+                    self.evict_deca(BlockId(i as u32), heap, mm)?;
+                }
+            }
+        }
         while self.resident_bytes_mm(mm) + incoming > self.budget {
-            let victim = self
-                .entries
-                .iter()
-                .enumerate()
-                .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
-                .filter(|(_, e)| {
-                    !e.pinned
-                        && matches!(&e.state, BlockState::Deca { block }
-                            if !mm.is_swapped(block.group()) && mm.is_swappable(block.group()))
-                })
-                .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
-                .map(|(i, _)| i);
-            let Some(i) = victim else { break };
+            let shielded = self.shielded_tenants(mm);
+            let Some(i) = self.deca_victim(mm, None, &shielded) else { break };
             self.evict_deca(BlockId(i as u32), heap, mm)?;
         }
         Ok(())
+    }
+
+    /// Lowest-weight resident, swappable Deca victim — optionally
+    /// restricted to one tenant, otherwise skipping shielded tenants.
+    fn deca_victim(
+        &self,
+        mm: &MemoryManager,
+        restrict: Option<u32>,
+        shielded: &[u32],
+    ) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
+            .filter(|(_, e)| {
+                !e.pinned
+                    && matches!(&e.state, BlockState::Deca { block }
+                        if !mm.is_swapped(block.group()) && mm.is_swappable(block.group()))
+            })
+            .filter(|(_, e)| match restrict {
+                Some(t) => e.tenant == t,
+                None => !shielded.contains(&e.tenant),
+            })
+            .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
+            .map(|(i, _)| i)
     }
 
     /// Swap one resident Deca page group to the cold tier and commit the
@@ -735,10 +889,12 @@ impl CacheManager {
         let e = self.entries[id.0 as usize].as_ref().expect("block");
         let BlockState::Deca { block } = &e.state else { return Ok(()) };
         let group = block.group();
+        let tenant = e.tenant;
         if !mm.is_swapped(group) && mm.is_swappable(group) {
             let freed = mm.swap_out(group, heap)?;
             self.spill_write_bytes += freed as u64;
             self.evictions += 1;
+            self.bump_tenant_eviction(tenant);
             self.commit_manifest(mm)?;
         }
         Ok(())
@@ -752,13 +908,19 @@ impl CacheManager {
         heap: &mut Heap,
         kryo: &mut KryoSim,
         mm: &mut MemoryManager,
+        only_tenant: Option<u32>,
     ) -> Result<bool, CacheError> {
+        let shielded = if only_tenant.is_some() { Vec::new() } else { self.shielded_tenants(mm) };
         let victim = self
             .entries
             .iter()
             .enumerate()
             .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
             .filter(|(_, e)| !e.pinned && Self::tier_of(e, mm) != Tier::Cold)
+            .filter(|(_, e)| match only_tenant {
+                Some(t) => e.tenant == t,
+                None => !shielded.contains(&e.tenant),
+            })
             .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
             .map(|(i, _)| i);
         let Some(i) = victim else { return Ok(false) };
@@ -809,6 +971,7 @@ impl CacheManager {
                 e.bytes = buf.len();
                 e.state = BlockState::Disk { len, was_objects: Some(ops), mem_bytes, checksum };
                 self.evictions += 1;
+                self.bump_tenant_eviction(e.tenant);
                 self.entries[id.0 as usize] = Some(e);
                 // The cold tier changed: record it durably. (No mm access
                 // needed for digesting, but the manifest also re-lists
@@ -893,12 +1056,14 @@ impl CacheManager {
         mm: &mut MemoryManager,
     ) -> Result<u64, CacheError> {
         let before = self.resident_bytes();
+        let shielded = self.shielded_tenants(mm);
         let victims: Vec<u32> = self
             .entries
             .iter()
             .enumerate()
             .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
             .filter(|(_, e)| !e.pinned && Self::tier_of(e, mm) != Tier::Cold)
+            .filter(|(_, e)| !shielded.contains(&e.tenant))
             .map(|(i, _)| i as u32)
             .collect();
         for i in victims {
@@ -916,12 +1081,14 @@ impl CacheManager {
         kryo: &mut KryoSim,
         mm: &mut MemoryManager,
     ) -> Result<bool, CacheError> {
+        let shielded = self.shielded_tenants(mm);
         let victim = self
             .entries
             .iter()
             .enumerate()
             .filter_map(|(i, e)| e.as_ref().map(|e| (i, e)))
             .filter(|(_, e)| !e.pinned && Self::tier_of(e, mm) != Tier::Cold)
+            .filter(|(_, e)| !shielded.contains(&e.tenant))
             .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
             .map(|(i, _)| i);
         let Some(i) = victim else { return Ok(false) };
@@ -997,6 +1164,7 @@ impl CacheManager {
             BlockState::Disk { .. } => {}
         }
         self.evictions += 1;
+        self.bump_tenant_eviction(e.tenant);
         self.entries[id.0 as usize] = Some(e);
         if went_cold {
             self.commit_manifest(mm)?;
@@ -1096,6 +1264,7 @@ impl CacheManager {
         kryo: &mut KryoSim,
         mm: &mut MemoryManager,
     ) -> Result<bool, CacheError> {
+        let shielded = self.shielded_tenants(mm);
         let victim = self
             .entries
             .iter()
@@ -1104,6 +1273,7 @@ impl CacheManager {
             .filter(|(i, e)| {
                 *i != keep.0 as usize && !e.pinned && Self::tier_of(e, mm) != Tier::Cold
             })
+            .filter(|(_, e)| !shielded.contains(&e.tenant))
             .min_by_key(|(i, e)| (Self::weight_of(e, mm), e.last_used, *i))
             .map(|(i, _)| i);
         let Some(i) = victim else { return Ok(false) };
@@ -1579,6 +1749,41 @@ mod tests {
         // The swapped group still reads back (swap-in on access).
         let back: Vec<(i64, i64)> = cm.deca_block(a).decode_all(&mut mm, &mut heap).unwrap();
         assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn tenant_within_budget_is_shielded_from_other_tenants_pressure() {
+        // Global budget 96KB, each tenant gets 48KB. Tenant 2 caches one
+        // ~40KB block (under its budget); tenant 1 then thrashes well past
+        // its own allotment. Tenant 1's pressure must land entirely on its
+        // own blocks: tenant 2's block stays hot with zero evictions.
+        let (mut heap, mut kryo, mut mm, mut cm) = setup(16 << 20, 96 << 10);
+        cm.set_tenant_budget(1, 48 << 10);
+        cm.set_tenant_budget(2, 48 << 10);
+        let classes = <(i64, i64) as HeapRecord>::register(&mut heap);
+        let recs: Vec<(i64, i64)> = (0..500).map(|i| (i, i)).collect();
+        cm.set_tenant_ctx(Some(2));
+        let shielded = cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        cm.set_tenant_ctx(Some(1));
+        let mut own = Vec::new();
+        for _ in 0..4 {
+            own.push(cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap());
+        }
+        assert_eq!(cm.tier(shielded, &mm), Tier::Hot, "tenant 2's hot block must survive");
+        assert_eq!(cm.tenant_evictions(2), 0, "no cross-tenant evictions");
+        assert!(cm.demotions + cm.evictions > 0, "tenant 1's pressure demoted its own blocks");
+        assert!(
+            own.iter().any(|&b| cm.tier(b, &mm) != Tier::Hot),
+            "tenant 1's own blocks paid for its pressure"
+        );
+        assert!(cm.tenant_resident_bytes(1, &mm) <= 48 << 10, "tenant 1 held to its own allotment");
+        // Once tenant 2 overshoots its own budget, its blocks stop being
+        // shielded: its own pre-pass demotes its coldest block.
+        cm.set_tenant_ctx(Some(2));
+        for _ in 0..2 {
+            cm.put_objects(&mut heap, &mut kryo, &mut mm, &classes, &recs).unwrap();
+        }
+        assert_ne!(cm.tier(shielded, &mm), Tier::Hot, "over budget, tenant 2 pays too");
     }
 
     #[test]

@@ -63,23 +63,21 @@ impl LocalCluster {
 
     /// Executors currently accepting tasks.
     pub fn healthy_count(&self) -> usize {
-        self.health.iter().filter(|h| !h.quarantined).count()
+        healthy_count_in(&self.health)
     }
 
     /// The first non-quarantined executor at or cyclically after `start`.
     /// With nothing quarantined this is `start` itself, which preserves
     /// the static round-robin pinning (task `t` → executor `t % E`).
     pub fn healthy_from(&self, start: usize) -> Option<usize> {
-        let n = self.executors.len();
-        (0..n).map(|off| (start + off) % n).find(|&i| !self.health[i].quarantined)
+        healthy_from_in(&self.health, start)
     }
 
     /// The first non-quarantined executor cyclically *after* `failed` —
     /// where a retry migrates to. Cycles all the way around, so on a
     /// one-executor cluster the (restarted) same executor is returned.
     pub fn healthy_after(&self, failed: usize) -> Option<usize> {
-        let n = self.executors.len();
-        (1..=n).map(|off| (failed + off) % n).find(|&i| !self.health[i].quarantined)
+        healthy_after_in(&self.health, failed)
     }
 
     /// Run `f` on every executor in parallel (one stage's task wave).
@@ -119,6 +117,25 @@ impl LocalCluster {
         }
         out
     }
+}
+
+/// [`LocalCluster::healthy_count`] over any health slice. The job
+/// service's virtual per-job health records reuse these scans so its
+/// retry decisions match the standalone driver's exactly.
+pub fn healthy_count_in(health: &[ExecutorHealth]) -> usize {
+    health.iter().filter(|h| !h.quarantined).count()
+}
+
+/// [`LocalCluster::healthy_from`] over any health slice.
+pub fn healthy_from_in(health: &[ExecutorHealth], start: usize) -> Option<usize> {
+    let n = health.len();
+    (0..n).map(|off| (start + off) % n).find(|&i| !health[i].quarantined)
+}
+
+/// [`LocalCluster::healthy_after`] over any health slice.
+pub fn healthy_after_in(health: &[ExecutorHealth], failed: usize) -> Option<usize> {
+    let n = health.len();
+    (1..=n).map(|off| (failed + off) % n).find(|&i| !health[i].quarantined)
 }
 
 /// Transpose map-side shuffle outputs into reduce-side inputs:

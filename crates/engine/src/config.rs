@@ -364,6 +364,42 @@ impl ExecutorConfigBuilder {
     }
 }
 
+/// Configuration of the multi-job submission service
+/// ([`crate::server::DecaServer`]): how many shared executors it owns, how
+/// many jobs it runs concurrently, and the default admission cap applied
+/// to tenants never configured explicitly.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Shared physical executors (one worker thread each).
+    pub executors: usize,
+    /// Job-runner threads — the ceiling on jobs *executing* concurrently
+    /// (queued jobs wait for a free runner). `0` means "same as
+    /// `executors`".
+    pub runners: usize,
+    /// Per-tenant in-flight job cap applied to tenants first seen at
+    /// `submit` time; `DecaServer::configure_tenant` overrides per tenant.
+    pub default_max_in_flight: usize,
+    /// Configuration applied to every shared executor (mode, heap, retry
+    /// policy, scheduler, tracing).
+    pub executor: ExecutorConfig,
+}
+
+impl ServerConfig {
+    pub fn new(executors: usize, executor: ExecutorConfig) -> ServerConfig {
+        ServerConfig { executors, runners: 0, default_max_in_flight: usize::MAX, executor }
+    }
+
+    pub fn runners(mut self, n: usize) -> ServerConfig {
+        self.runners = n;
+        self
+    }
+
+    pub fn default_max_in_flight(mut self, n: usize) -> ServerConfig {
+        self.default_max_in_flight = n.max(1);
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

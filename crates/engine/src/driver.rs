@@ -721,39 +721,8 @@ impl ClusterSession {
         shuffle_stage: bool,
         plan: &FaultPlan,
     ) -> Vec<bool> {
-        let mut pinned = vec![false; slots.len()];
-        // Fast path: a quiet plan on a healthy cluster pins nothing.
-        if plan.is_quiet() && self.cluster.executors.iter().all(|e| !e.is_poisoned()) {
-            return pinned;
-        }
-        for i in 0..self.cluster.len() {
-            let mut doomed = self.cluster.executors[i].is_poisoned();
-            for (j, &(t, a, home)) in slots.iter().enumerate() {
-                if home != i {
-                    continue;
-                }
-                if doomed {
-                    pinned[j] = true;
-                } else if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
-                    pinned[j] = true;
-                    doomed = true;
-                } else if FaultSite::SPILL_PATH.iter().any(|&s| plan.fires(s, name, t, a)) {
-                    // A spill-path kill *may* fire in this attempt (only
-                    // if the cache reaches the instrumented point); treat
-                    // it like a crash — pin it and everything after it.
-                    // Over-pinning is safe: pinned slots run at home
-                    // exactly as the wave scheduler would run them.
-                    pinned[j] = true;
-                    doomed = true;
-                } else if plan.fires(FaultSite::TaskBody, name, t, a)
-                    || plan.fires(FaultSite::Alloc, name, t, a)
-                    || (shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a))
-                {
-                    pinned[j] = true;
-                }
-            }
-        }
-        pinned
+        let doomed: Vec<bool> = self.cluster.executors.iter().map(|e| e.is_poisoned()).collect();
+        pin_faulted_slots_in(&doomed, slots, name, shuffle_stage, plan)
     }
 
     /// Run a two-stage shuffle job: a map wave producing per-reducer byte
@@ -913,6 +882,57 @@ impl ClusterSession {
     pub fn cluster_mut(&mut self) -> &mut LocalCluster {
         &mut self.cluster
     }
+}
+
+/// The slot-pinning walk behind `ClusterSession::pin_faulted_slots`,
+/// parameterized over the executor set's initial doomed flags so the job
+/// service can run it against a job's *virtual* executors (whose poison
+/// state is per-job, never the shared physical processes'). Walks each
+/// executor's affinity slots in ascending task order, mirroring exactly
+/// what its wave queue would run: a crash dooms every later affinity slot
+/// (they fail with `ExecutorLost` at home), and any other firing site pins
+/// just its own slot. Fault-free slots stay stealable — they never touch
+/// health state, so where they run is observability, not semantics.
+pub(crate) fn pin_faulted_slots_in(
+    doomed_at_start: &[bool],
+    slots: &[(usize, u32, usize)],
+    name: &str,
+    shuffle_stage: bool,
+    plan: &FaultPlan,
+) -> Vec<bool> {
+    let mut pinned = vec![false; slots.len()];
+    // Fast path: a quiet plan on a healthy cluster pins nothing.
+    if plan.is_quiet() && doomed_at_start.iter().all(|&d| !d) {
+        return pinned;
+    }
+    for (i, &start_doomed) in doomed_at_start.iter().enumerate() {
+        let mut doomed = start_doomed;
+        for (j, &(t, a, home)) in slots.iter().enumerate() {
+            if home != i {
+                continue;
+            }
+            if doomed {
+                pinned[j] = true;
+            } else if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
+                pinned[j] = true;
+                doomed = true;
+            } else if FaultSite::SPILL_PATH.iter().any(|&s| plan.fires(s, name, t, a)) {
+                // A spill-path kill *may* fire in this attempt (only
+                // if the cache reaches the instrumented point); treat
+                // it like a crash — pin it and everything after it.
+                // Over-pinning is safe: pinned slots run at home
+                // exactly as the wave scheduler would run them.
+                pinned[j] = true;
+                doomed = true;
+            } else if plan.fires(FaultSite::TaskBody, name, t, a)
+                || plan.fires(FaultSite::Alloc, name, t, a)
+                || (shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a))
+            {
+                pinned[j] = true;
+            }
+        }
+    }
+    pinned
 }
 
 #[cfg(test)]

@@ -44,6 +44,15 @@ pub enum EngineError {
     AllExecutorsLost { executors: usize, quarantined: usize },
     /// A deterministic fault-plan injection fired at the given site.
     Injected { site: FaultSite },
+    /// The job service refused a submission: the tenant already has its
+    /// maximum number of jobs queued or running.
+    AdmissionRejected { tenant: String, in_flight: usize, limit: usize },
+    /// The job service is shutting down (or has shut down) and no longer
+    /// accepts or runs jobs.
+    ServerShutdown,
+    /// A task body panicked on a worker thread. The panic was caught at
+    /// the pool boundary so one bad job cannot wedge the shared cluster.
+    TaskPanic { stage: String, task: usize, message: String },
     /// A task failed; carries the stage and task index for diagnosis.
     Task { stage: String, task: usize, source: Box<EngineError> },
 }
@@ -76,6 +85,11 @@ impl EngineError {
             EngineError::Cache(CacheError::Injected(_)) => true,
             EngineError::Cache(_) => false,
             EngineError::Mem(_) | EngineError::Io(_) => false,
+            // Admission and shutdown are caller-facing refusals, and a
+            // panicking task is deterministic — re-running cannot help.
+            EngineError::AdmissionRejected { .. } => false,
+            EngineError::ServerShutdown => false,
+            EngineError::TaskPanic { .. } => false,
             EngineError::Task { source, .. } => source.is_transient(),
         }
     }
@@ -149,6 +163,13 @@ impl std::fmt::Display for EngineError {
                 write!(f, "no healthy executors: {quarantined} of {executors} quarantined")
             }
             EngineError::Injected { site } => write!(f, "injected {site} fault"),
+            EngineError::AdmissionRejected { tenant, in_flight, limit } => {
+                write!(f, "tenant {tenant:?} rejected: {in_flight} jobs in flight (limit {limit})")
+            }
+            EngineError::ServerShutdown => write!(f, "job service shut down"),
+            EngineError::TaskPanic { stage, task, message } => {
+                write!(f, "stage {stage:?} task {task} panicked: {message}")
+            }
             EngineError::Task { stage, task, source } => {
                 write!(f, "stage {stage:?} task {task}: {source}")
             }
@@ -167,6 +188,9 @@ impl std::error::Error for EngineError {
             EngineError::ExecutorLost { .. } => None,
             EngineError::AllExecutorsLost { .. } => None,
             EngineError::Injected { .. } => None,
+            EngineError::AdmissionRejected { .. } => None,
+            EngineError::ServerShutdown => None,
+            EngineError::TaskPanic { .. } => None,
             EngineError::Task { source, .. } => Some(source.as_ref()),
         }
     }
@@ -255,6 +279,21 @@ mod tests {
         // Non-kill injections (task-body, alloc, …) are not kills.
         assert_eq!(EngineError::Injected { site: FaultSite::TaskBody }.injected_kill(), None);
         assert_eq!(EngineError::Oom(OomError { requested: 1 }).injected_kill(), None);
+    }
+
+    #[test]
+    fn server_variants_are_fatal() {
+        let rejected =
+            EngineError::AdmissionRejected { tenant: "acme".into(), in_flight: 3, limit: 3 };
+        assert!(!rejected.is_transient());
+        assert!(rejected.to_string().contains("acme") && rejected.to_string().contains("limit 3"));
+        assert!(rejected.source().is_none());
+        assert!(!EngineError::ServerShutdown.is_transient());
+        let panic =
+            EngineError::TaskPanic { stage: "wc-map".into(), task: 2, message: "boom".into() };
+        assert!(!panic.is_transient() && !panic.is_memory_pressure());
+        assert_eq!(panic.injected_kill(), None);
+        assert!(panic.to_string().contains("boom"));
     }
 
     #[test]

@@ -369,6 +369,15 @@ impl Executor {
         self.timeline.record(at, live, gc);
     }
 
+    /// Release every cache block stamped with `job` (the job service's
+    /// end-of-job cleanup: shared long-lived executors must not
+    /// accumulate finished jobs' cache state).
+    pub fn release_job_blocks(&mut self, job: u64) {
+        for id in self.cache.blocks_of_job(job) {
+            self.cache.release(id, &mut self.heap, &mut self.mm);
+        }
+    }
+
     /// Refresh job-level cache statistics from the cache manager.
     pub fn finish_job(&mut self) {
         self.job.cache_bytes = self.cache.resident_bytes();

@@ -32,6 +32,7 @@ pub mod faults;
 pub mod metrics;
 pub mod record;
 pub mod serde_sim;
+pub mod server;
 pub mod session;
 pub mod shuffle;
 pub mod trace;
@@ -39,7 +40,7 @@ pub mod trace;
 pub use cache::{CacheError, CacheStats, CachedRdd, RehydrateOutcome, Tier};
 pub use cluster::{ExecutorHealth, LocalCluster};
 pub use config::{
-    ExecutionMode, ExecutorConfig, ExecutorConfigBuilder, RetryPolicy, SchedulerMode,
+    ExecutionMode, ExecutorConfig, ExecutorConfigBuilder, RetryPolicy, SchedulerMode, ServerConfig,
 };
 pub use driver::{ClusterSession, MapOutputs, TaskContext};
 pub use error::EngineError;
@@ -48,6 +49,7 @@ pub use faults::{FaultPlan, FaultSite, FaultSpec};
 pub use metrics::{GcAccounting, JobMetrics, StageMetrics, TaskMetrics, Timeline, TimelineSample};
 pub use record::{HeapRecord, KryoRecord, Record};
 pub use serde_sim::KryoSim;
+pub use server::{AppJob, DecaServer, JobCtx, JobHandle, JobOutput, JobSpec, ServerJobSession};
 pub use session::{Cached, DecaSession};
 pub use shuffle::{SparkGroupShuffle, SparkHashShuffle};
 pub use trace::{RunTrace, TraceEvent, TraceEventKind, TraceRecorder};

@@ -39,6 +39,10 @@ impl TaskMetrics {
 /// Aggregates over a whole job (or a whole run).
 #[derive(Clone, Debug, Default)]
 pub struct JobMetrics {
+    /// Submission id of the job these aggregates belong to (0 for
+    /// standalone sessions; the job service stamps its per-job roll-ups
+    /// so multi-job metrics never alias).
+    pub job: u64,
     pub exec: Duration,
     pub gc: Duration,
     pub ser: Duration,

@@ -48,6 +48,22 @@ pub trait Record: DecaRecord + HeapRecord + KryoRecord + Clone + Send {}
 
 impl<T: DecaRecord + HeapRecord + KryoRecord + Clone + Send> Record for T {}
 
+/// Look up a class by name, defining it only if absent. `register` must be
+/// idempotent: under the cluster driver and [`crate::DecaServer`] every task
+/// re-registers on a long-lived executor, and recomputes/samples must see
+/// the same `ClassId` the cached objects were allocated with (duplicate
+/// definitions would also leak registry entries across jobs on a server).
+pub fn class_or_define(
+    heap: &mut Heap,
+    name: &str,
+    build: impl FnOnce() -> deca_heap::ClassBuilder,
+) -> deca_heap::ClassId {
+    match heap.registry().by_name(name) {
+        Some(c) => c,
+        None => heap.define_class(build()),
+    }
+}
+
 // ---------------------------------------------------------------------
 // implementations for pair-of-scalars records (WordCount's Tuple2, SQL
 // projections, shuffle messages)
@@ -70,13 +86,17 @@ macro_rules! scalar_pair_record {
 
             fn register(heap: &mut Heap) -> PairClasses {
                 use deca_heap::{ClassBuilder, FieldKind};
-                let tuple = heap.define_class(
+                let tuple = class_or_define(heap, "Tuple2", || {
                     ClassBuilder::new("Tuple2")
                         .field("_1", FieldKind::Ref)
-                        .field("_2", FieldKind::Ref),
-                );
-                let box_a = heap.define_class(ClassBuilder::new($an).field("value", FieldKind::I64));
-                let box_b = heap.define_class(ClassBuilder::new($bn).field("value", FieldKind::I64));
+                        .field("_2", FieldKind::Ref)
+                });
+                let box_a = class_or_define(heap, $an, || {
+                    ClassBuilder::new($an).field("value", FieldKind::I64)
+                });
+                let box_b = class_or_define(heap, $bn, || {
+                    ClassBuilder::new($bn).field("value", FieldKind::I64)
+                });
                 PairClasses { tuple, box_a, box_b }
             }
 
@@ -129,13 +149,15 @@ impl HeapRecord for (i64, f64) {
 
     fn register(heap: &mut Heap) -> PairClasses {
         use deca_heap::{ClassBuilder, FieldKind};
-        let tuple = heap.define_class(
-            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref),
-        );
-        let box_a =
-            heap.define_class(ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64));
-        let box_b =
-            heap.define_class(ClassBuilder::new("java.lang.Double").field("value", FieldKind::F64));
+        let tuple = class_or_define(heap, "Tuple2", || {
+            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref)
+        });
+        let box_a = class_or_define(heap, "java.lang.Long", || {
+            ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64)
+        });
+        let box_b = class_or_define(heap, "java.lang.Double", || {
+            ClassBuilder::new("java.lang.Double").field("value", FieldKind::F64)
+        });
         PairClasses { tuple, box_a, box_b }
     }
 
@@ -184,13 +206,15 @@ impl HeapRecord for (f64, i64) {
 
     fn register(heap: &mut Heap) -> PairClasses {
         use deca_heap::{ClassBuilder, FieldKind};
-        let tuple = heap.define_class(
-            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref),
-        );
-        let box_a =
-            heap.define_class(ClassBuilder::new("java.lang.Double").field("value", FieldKind::F64));
-        let box_b =
-            heap.define_class(ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64));
+        let tuple = class_or_define(heap, "Tuple2", || {
+            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref)
+        });
+        let box_a = class_or_define(heap, "java.lang.Double", || {
+            ClassBuilder::new("java.lang.Double").field("value", FieldKind::F64)
+        });
+        let box_b = class_or_define(heap, "java.lang.Long", || {
+            ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64)
+        });
         PairClasses { tuple, box_a, box_b }
     }
 
@@ -240,11 +264,12 @@ impl HeapRecord for (i64, Vec<f64>) {
 
     fn register(heap: &mut Heap) -> PairClasses {
         use deca_heap::{ClassBuilder, FieldKind};
-        let tuple = heap.define_class(
-            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref),
-        );
-        let box_a =
-            heap.define_class(ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64));
+        let tuple = class_or_define(heap, "Tuple2", || {
+            ClassBuilder::new("Tuple2").field("_1", FieldKind::Ref).field("_2", FieldKind::Ref)
+        });
+        let box_a = class_or_define(heap, "java.lang.Long", || {
+            ClassBuilder::new("java.lang.Long").field("value", FieldKind::I64)
+        });
         let box_b = match heap.registry().by_name("double[]") {
             Some(c) => c,
             None => heap.define_array_class("double[]", FieldKind::F64),

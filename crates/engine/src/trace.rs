@@ -153,6 +153,10 @@ impl std::fmt::Display for TraceEventKind {
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceEvent {
     pub kind: TraceEventKind,
+    /// The job this event belongs to. Single-job drivers leave it 0; the
+    /// multi-job server stamps every event with its job id so merged
+    /// traces stay separable per job.
+    pub job: u64,
     /// The stage this event belongs to (driver-lifecycle events use the
     /// stage they wrap).
     pub stage: String,
@@ -213,6 +217,9 @@ pub struct TraceRecorder {
     epoch: Instant,
     events: Vec<TraceEvent>,
     seq: u64,
+    /// Job id stamped on every recorded event (0 for single-job drivers;
+    /// the server sets it per attempt).
+    job: u64,
     /// Context the enclosing scheduled attempt sets so nested events
     /// (GC pauses, spills, releases) inherit their (stage, task, attempt).
     ctx: Option<(String, usize, u32)>,
@@ -220,11 +227,27 @@ pub struct TraceRecorder {
 
 impl TraceRecorder {
     pub fn new(enabled: bool) -> TraceRecorder {
-        TraceRecorder { enabled, epoch: Instant::now(), events: Vec::new(), seq: 0, ctx: None }
+        TraceRecorder {
+            enabled,
+            epoch: Instant::now(),
+            events: Vec::new(),
+            seq: 0,
+            job: 0,
+            ctx: None,
+        }
     }
 
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Set the job id stamped on events recorded from here on.
+    pub fn set_job(&mut self, job: u64) {
+        self.job = job;
+    }
+
+    pub fn job(&self) -> u64 {
+        self.job
     }
 
     /// Nanoseconds since this recorder's epoch (saturating at u64::MAX,
@@ -274,6 +297,7 @@ impl TraceRecorder {
         self.seq += 1;
         self.events.push(TraceEvent {
             kind,
+            job: self.job,
             stage: stage.or(ctx_stage).unwrap_or("").to_string(),
             task: task.or(ctx_task),
             attempt: attempt.or(ctx_attempt).unwrap_or(0),
@@ -292,6 +316,16 @@ impl TraceRecorder {
     /// Events recorded so far (merge input; also handy in tests).
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Split off every event from index `mark` onwards (the server drains
+    /// the delta an attempt recorded and routes it to that attempt's job).
+    pub fn drain_from(&mut self, mark: usize) -> Vec<TraceEvent> {
+        if mark >= self.events.len() {
+            Vec::new()
+        } else {
+            self.events.split_off(mark)
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -324,6 +358,14 @@ impl RunTrace {
                 events.push(ev);
             }
         }
+        RunTrace::from_events(events)
+    }
+
+    /// Merge pre-collected, already executor-attributed events (the
+    /// server's per-job path). Stage rank is encounter order in `events`,
+    /// so callers push driver events first — exactly as [`RunTrace::merge`]
+    /// does.
+    pub fn from_events(mut events: Vec<TraceEvent>) -> RunTrace {
         // Stage rank = order of first StageStart (driver events come
         // first above, so ranks are driver-defined); stages only ever
         // seen from executor events rank after, in encounter order.
@@ -351,6 +393,20 @@ impl RunTrace {
         self.events.iter().filter(move |e| e.kind == kind)
     }
 
+    /// Events of one job, in merged order (the server's merged trace
+    /// interleaves jobs; per-job views must not bleed into each other).
+    pub fn of_job(&self, job: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.job == job)
+    }
+
+    /// Distinct job ids present, ascending.
+    pub fn jobs(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.events.iter().map(|e| e.job).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     // ------------------------------------------------------------------
     // Chrome trace-event export
     // ------------------------------------------------------------------
@@ -367,6 +423,7 @@ impl RunTrace {
             .map(|e| {
                 let mut args = vec![
                     ("kind".to_string(), Json::str(e.kind.name())),
+                    ("job".to_string(), Json::int(e.job)),
                     ("stage".to_string(), Json::str(&e.stage)),
                 ];
                 if let Some(t) = e.task {
@@ -432,6 +489,8 @@ impl RunTrace {
                 ev.get("tid").and_then(|v| v.as_u64()).ok_or_else(|| format!("event {i}: tid"))?;
             events.push(TraceEvent {
                 kind,
+                // Traces predating the job field parse with job 0.
+                job: args.get("job").and_then(|v| v.as_u64()).unwrap_or(0),
                 stage: args
                     .get("stage")
                     .and_then(|v| v.as_str())
@@ -567,6 +626,7 @@ mod tests {
     fn ev(kind: TraceEventKind, stage: &str, task: Option<usize>, seq: u64) -> TraceEvent {
         TraceEvent {
             kind,
+            job: 0,
             stage: stage.to_string(),
             task,
             attempt: 0,

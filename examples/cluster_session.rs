@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example cluster_session`
 
-use deca_apps::wordcount::{run_cluster, WcParams};
+use deca_apps::wordcount::{run_local, WcParams};
 use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig};
 
 fn main() {
@@ -40,7 +40,7 @@ fn main() {
     let params = WcParams::small(ExecutionMode::Deca);
     let mut reference = None;
     for executors in [1usize, 2, 4] {
-        let report = run_cluster(&params, executors);
+        let report = run_local(&params, executors);
         let expected = *reference.get_or_insert(report.checksum);
         assert_eq!(report.checksum, expected, "width must not change the answer");
         println!(

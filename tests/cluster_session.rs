@@ -7,6 +7,7 @@
 //! reduce tasks their inputs in map-task order, so the floating-point
 //! addition sequence per key is a function of the partitioning alone.
 
+use deca_apps::logreg::{self, LrParams};
 use deca_apps::pagerank::{self, PrParams};
 use deca_apps::wordcount::{self, WcParams};
 use deca_engine::{ClusterSession, ExecutionMode, ExecutorConfig, SchedulerMode, TraceEventKind};
@@ -44,11 +45,11 @@ fn wordcount_is_identical_across_modes_and_widths() {
     // Word checksums are integer-valued f64 sums (< 2^53): exact under
     // any addition order, so every cell of the mode × width matrix must
     // be bit-identical.
-    let reference = wordcount::run_cluster(&wc_params(ExecutionMode::Spark), 1).checksum;
+    let reference = wordcount::run_local(&wc_params(ExecutionMode::Spark), 1).checksum;
     assert!(reference > 0.0);
     for mode in ExecutionMode::ALL {
         for executors in EXECUTOR_COUNTS {
-            let report = wordcount::run_cluster(&wc_params(mode), executors);
+            let report = wordcount::run_local(&wc_params(mode), executors);
             assert_eq!(report.checksum, reference, "{mode} on {executors} executors");
             assert_eq!(report.mode, mode);
         }
@@ -57,11 +58,11 @@ fn wordcount_is_identical_across_modes_and_widths() {
 
 #[test]
 fn text_wordcount_is_identical_across_modes_and_widths() {
-    let reference = wordcount::run_text_cluster(&wc_params(ExecutionMode::Deca), 1).checksum;
+    let reference = wordcount::run_text_local(&wc_params(ExecutionMode::Deca), 1).checksum;
     assert!(reference > 0.0);
     for mode in ExecutionMode::ALL {
         for executors in EXECUTOR_COUNTS {
-            let report = wordcount::run_text_cluster(&wc_params(mode), executors);
+            let report = wordcount::run_text_local(&wc_params(mode), executors);
             assert_eq!(report.checksum, reference, "{mode} on {executors} executors");
         }
     }
@@ -72,21 +73,56 @@ fn pagerank_is_bit_identical_across_widths_per_mode() {
     // f64 rank sums are order-sensitive; the driver's fixed task model
     // must make the executor count invisible bit-for-bit.
     for mode in ExecutionMode::ALL {
-        let reference = pagerank::run_cluster(&pr_params(mode), 1).checksum;
+        let reference = pagerank::run_local(&pr_params(mode), 1).checksum;
         assert!(reference > 0.0);
         for executors in EXECUTOR_COUNTS {
-            let report = pagerank::run_cluster(&pr_params(mode), executors);
+            let report = pagerank::run_local(&pr_params(mode), executors);
+            assert_eq!(report.checksum, reference, "{mode} on {executors} executors");
+        }
+    }
+}
+
+fn lr_params(mode: ExecutionMode) -> LrParams {
+    let mut p = LrParams::small(mode);
+    p.points = 2_000;
+    p.dims = 8;
+    p.iterations = 3;
+    p.partitions = 4;
+    p.heap_bytes = 16 << 20;
+    p
+}
+
+#[test]
+fn logreg_is_bit_identical_across_widths_per_mode() {
+    // LR sums per-task partial gradients in task order, so — like
+    // PageRank — the executor count must be invisible bit-for-bit.
+    for mode in ExecutionMode::ALL {
+        let reference = logreg::run_local(&lr_params(mode), 1).checksum;
+        assert!(reference.is_finite() && reference > 0.0);
+        for executors in EXECUTOR_COUNTS {
+            let report = logreg::run_local(&lr_params(mode), executors);
             assert_eq!(report.checksum, reference, "{mode} on {executors} executors");
         }
     }
 }
 
 #[test]
+fn logreg_modes_agree_at_every_width() {
+    for executors in EXECUTOR_COUNTS {
+        let spark = logreg::run_local(&lr_params(ExecutionMode::Spark), executors).checksum;
+        let ser = logreg::run_local(&lr_params(ExecutionMode::SparkSer), executors).checksum;
+        let deca = logreg::run_local(&lr_params(ExecutionMode::Deca), executors).checksum;
+        assert!((spark - deca).abs() < 1e-12, "{executors} executors: {spark} vs {deca}");
+        assert!((ser - deca).abs() < 1e-12, "{executors} executors: {ser} vs {deca}");
+    }
+}
+
+#[test]
 fn pagerank_modes_agree_at_every_width() {
     for executors in EXECUTOR_COUNTS {
-        let spark = pagerank::run_cluster(&pr_params(ExecutionMode::Spark), executors).checksum;
-        let ser = pagerank::run_cluster(&pr_params(ExecutionMode::SparkSer), executors).checksum;
-        let deca = pagerank::run_cluster(&pr_params(ExecutionMode::Deca), executors).checksum;
+        let spark = pagerank::run_local(&pr_params(ExecutionMode::Spark), executors).checksum;
+        let ser = pagerank::run_local(&pr_params(ExecutionMode::SparkSer), executors).checksum;
+        let deca = pagerank::run_local(&pr_params(ExecutionMode::Deca), executors).checksum;
         assert!((spark - deca).abs() < 1e-9, "{executors} executors: {spark} vs {deca}");
         assert!((ser - deca).abs() < 1e-9, "{executors} executors: {ser} vs {deca}");
     }
@@ -156,14 +192,14 @@ fn heterogeneous_heaps_do_not_change_results() {
     }
     for mode in ExecutionMode::ALL {
         let p = wc_params(mode);
-        let uniform = wordcount::run_cluster(&p, 2).checksum;
+        let uniform = wordcount::run_local(&p, 2).checksum;
 
         let mut session = ClusterSession::with_configs(mixed_configs(mode, &[24 << 20, 8 << 20]));
         let mixed = wordcount::run_on(&p, &mut session).expect("wordcount on mixed heaps");
         assert_eq!(mixed, uniform, "{mode}: mixed 24MB/8MB heaps changed the checksum");
 
         let pr = pr_params(mode);
-        let pr_uniform = pagerank::run_cluster(&pr, 2).checksum;
+        let pr_uniform = pagerank::run_local(&pr, 2).checksum;
         let mut session = ClusterSession::with_configs(
             [32 << 20, 12 << 20]
                 .iter()
@@ -188,7 +224,7 @@ fn merged_timeline_spans_executors() {
     // executors; the cluster report merges the per-executor timelines.
     let mut p = wc_params(ExecutionMode::Spark);
     p.sample_every = 500;
-    let report = wordcount::run_cluster(&p, 2);
+    let report = wordcount::run_local(&p, 2);
     assert!(!report.timeline.samples.is_empty());
     assert!(report.timeline.peak_live() > 0, "temporary tuples were observed live");
     assert!(report.slowest_task.is_some());

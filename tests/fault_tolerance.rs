@@ -10,6 +10,7 @@
 //! line to re-run a failing scenario locally.
 
 use deca_apps::pagerank::{self, PrParams};
+use deca_apps::run_job_faulty;
 use deca_apps::wordcount::{self, WcParams};
 use deca_engine::{
     ClusterSession, EngineError, ExecutionMode, FaultPlan, FaultSite, FaultSpec, JobMetrics,
@@ -99,13 +100,15 @@ fn wordcount_under_faults_is_bit_identical_across_modes_and_widths() {
         let plan = FaultPlan::seeded(seed, storm());
         let crashes = crashes_somewhere(&plan, &[("wc-map", 4), ("wc-reduce", 4)]);
         for mode in ExecutionMode::ALL {
-            let reference = wordcount::run_cluster(&wc_params(mode), 1).checksum;
+            let reference = wordcount::run_local(&wc_params(mode), 1).checksum;
             for executors in EXECUTOR_COUNTS {
-                let report = wordcount::run_cluster_faulty(
-                    &wc_params(mode),
+                let p = wc_params(mode);
+                let report = run_job_faulty(
+                    &wordcount::job(&p),
+                    wordcount::wc_config(&p),
                     executors,
                     plan.clone(),
-                    RetryPolicy::resilient(),
+                    Some(RetryPolicy::resilient()),
                 )
                 .unwrap_or_else(|e| {
                     panic!("seed {seed}, {mode}, {executors} executors: survivable plan died: {e}")
@@ -154,13 +157,15 @@ fn pagerank_under_faults_is_bit_identical_across_modes_and_widths() {
     for seed in seeds {
         let plan = FaultPlan::seeded(seed, storm());
         for mode in ExecutionMode::ALL {
-            let reference = pagerank::run_cluster(&pr_params(mode), 1).checksum;
+            let reference = pagerank::run_local(&pr_params(mode), 1).checksum;
             for executors in EXECUTOR_COUNTS {
-                let report = pagerank::run_cluster_faulty(
-                    &pr_params(mode),
+                let p = pr_params(mode);
+                let report = run_job_faulty(
+                    &pagerank::job(&p),
+                    pagerank::pr_config(&p),
                     executors,
                     plan.clone(),
-                    RetryPolicy::resilient(),
+                    Some(RetryPolicy::resilient()),
                 )
                 .unwrap_or_else(|e| {
                     panic!("seed {seed}, {mode}, {executors} executors: survivable plan died: {e}")
@@ -267,11 +272,17 @@ fn forced_oom_degrades_gracefully_and_keeps_the_answer() {
     // executor's cache, collects, and re-runs the task in place — no
     // retry charged, same checksum.
     for mode in ExecutionMode::ALL {
-        let reference = wordcount::run_cluster(&wc_params(mode), 2).checksum;
+        let reference = wordcount::run_local(&wc_params(mode), 2).checksum;
         let plan = FaultPlan::quiet().force(FaultSite::Alloc, "wc-map", Some(1), Some(0));
-        let report =
-            wordcount::run_cluster_faulty(&wc_params(mode), 2, plan, RetryPolicy::resilient())
-                .expect("OOM degradation must absorb a forced alloc failure");
+        let p = wc_params(mode);
+        let report = run_job_faulty(
+            &wordcount::job(&p),
+            wordcount::wc_config(&p),
+            2,
+            plan,
+            Some(RetryPolicy::resilient()),
+        )
+        .expect("OOM degradation must absorb a forced alloc failure");
         assert_eq!(report.checksum, reference, "{mode}: OOM recovery changed the result");
         assert!(report.metrics.oom_recoveries >= 1, "{mode}: spill-and-rerun not recorded");
         assert_eq!(report.metrics.retries, 0, "{mode}: in-place recovery must not charge a retry");
@@ -284,11 +295,13 @@ fn exhausted_attempts_fail_with_task_attributed_transient_error() {
     // surface as an `Err` naming the task, classified transient (it *was*
     // retryable, the budget just ran out), never as a panic.
     let plan = FaultPlan::quiet().force(FaultSite::TaskBody, "wc-map", Some(2), None);
-    let err = wordcount::run_cluster_faulty(
-        &wc_params(ExecutionMode::Deca),
+    let p = wc_params(ExecutionMode::Deca);
+    let err = run_job_faulty(
+        &wordcount::job(&p),
+        wordcount::wc_config(&p),
         2,
         plan,
-        RetryPolicy::resilient(),
+        Some(RetryPolicy::resilient()),
     )
     .expect_err("a task failing every attempt is unsurvivable");
     assert!(matches!(err, EngineError::Task { .. }), "must name the failing task: {err}");
@@ -307,7 +320,8 @@ fn losing_every_executor_fails_with_transient_error() {
     // task-attributed error.
     let plan = FaultPlan::quiet().force(FaultSite::ExecutorCrash, "wc-map", None, None);
     let policy = RetryPolicy::resilient().quarantine_after(1).spare_last_executor(false);
-    let err = wordcount::run_cluster_faulty(&wc_params(ExecutionMode::Spark), 2, plan, policy)
+    let p = wc_params(ExecutionMode::Spark);
+    let err = run_job_faulty(&wordcount::job(&p), wordcount::wc_config(&p), 2, plan, Some(policy))
         .expect_err("no healthy executors must be unsurvivable");
     assert!(matches!(err, EngineError::Task { .. }), "task-attributed: {err}");
     assert!(err.is_transient(), "executor loss is transient-class: {err}");
