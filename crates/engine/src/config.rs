@@ -43,6 +43,21 @@ pub struct RetryPolicy {
     /// skip their lineage recompute. Turning this off restores the legacy
     /// hung-JVM model (all cache state survives the restart untouched).
     pub rehydrate: bool,
+    /// Per-attempt deadline enforced by the watchdog: an attempt that
+    /// hangs (see `FaultSite::TaskHang`) is charged this much simulated
+    /// time, failed with the transient `EngineError::Deadline`, and
+    /// retried through the normal quarantine machinery. `None` uses the
+    /// built-in default budget, so hang plans are always survivable even
+    /// without explicit configuration.
+    pub task_deadline: Option<Duration>,
+    /// Speculative execution (the pull scheduler only): once more than
+    /// half a round's claims have completed, an idle executor may launch
+    /// a duplicate of a claimed-but-unfinished attempt whose wall time
+    /// exceeds twice the round's median completed-task time. First
+    /// completion wins; the loser is cancelled cooperatively; the winner
+    /// is reconciled deterministically in task order so results and the
+    /// recovery roll-up stay bit-identical with speculation off.
+    pub speculate: bool,
 }
 
 impl Default for RetryPolicy {
@@ -54,6 +69,8 @@ impl Default for RetryPolicy {
             spare_last_executor: true,
             spill_on_oom: true,
             rehydrate: true,
+            task_deadline: None,
+            speculate: false,
         }
     }
 }
@@ -93,6 +110,23 @@ impl RetryPolicy {
     pub fn rehydrate(mut self, on: bool) -> Self {
         self.rehydrate = on;
         self
+    }
+
+    pub fn task_deadline(mut self, d: Duration) -> Self {
+        self.task_deadline = Some(d);
+        self
+    }
+
+    pub fn speculate(mut self, on: bool) -> Self {
+        self.speculate = on;
+        self
+    }
+
+    /// The deadline budget the watchdog charges a hung attempt: the
+    /// configured `task_deadline`, or a 100 ms default so `TaskHang`
+    /// plans are survivable without explicit configuration.
+    pub fn deadline_budget(&self) -> Duration {
+        self.task_deadline.unwrap_or(Duration::from_millis(100))
     }
 }
 
@@ -450,6 +484,14 @@ mod tests {
         // The builder threads the policy through to the config.
         let c = ExecutorConfig::builder().retry(RetryPolicy::resilient()).build();
         assert_eq!(c.retry.max_attempts, 4);
+        // Watchdog knobs: off by default, with a survivable hang budget.
+        assert_eq!(d.task_deadline, None);
+        assert!(!d.speculate);
+        assert_eq!(d.deadline_budget(), Duration::from_millis(100));
+        let w = RetryPolicy::resilient().task_deadline(Duration::from_millis(25)).speculate(true);
+        assert_eq!(w.task_deadline, Some(Duration::from_millis(25)));
+        assert_eq!(w.deadline_budget(), Duration::from_millis(25));
+        assert!(w.speculate);
     }
 
     #[test]

@@ -77,8 +77,8 @@
 //! assert_eq!(s.stages()[0].tasks, 3);
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::cluster::{exchange, ExecutorHealth, LocalCluster};
 use crate::config::{ExecutorConfig, RetryPolicy, SchedulerMode};
@@ -104,6 +104,27 @@ pub struct TaskContext<'a> {
     pub executor: usize,
     /// Executors in the cluster.
     pub executors: usize,
+    /// Cooperative-cancellation token for this attempt: set when a
+    /// speculative duplicate of the task completed first, or when the
+    /// attempt's job was cancelled. Never set outside those paths.
+    pub(crate) cancel: &'a AtomicBool,
+}
+
+/// Token for attempts that can never be cancelled (wave scheduling,
+/// non-speculative pull rounds, and plain local sessions).
+pub(crate) static NEVER_CANCELLED: AtomicBool = AtomicBool::new(false);
+
+impl TaskContext<'_> {
+    /// Has this attempt been cancelled cooperatively? Long-running task
+    /// bodies should poll this and bail out with
+    /// [`EngineError::Cancelled`] when it turns true: the result is no
+    /// longer needed (a speculative duplicate already produced it, or
+    /// the job was cancelled), and returning early releases the executor.
+    /// Ignoring the token is always *correct* — a completed loser is
+    /// discarded deterministically — just slower.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
 }
 
 /// Per-reducer shuffle outputs of one map task: `outputs[reducer]` is the
@@ -111,8 +132,80 @@ pub struct TaskContext<'a> {
 pub type MapOutputs = Vec<Vec<u8>>;
 
 /// One finished physical attempt, as the schedulers hand it back:
-/// `(task, attempt, result, oom_rerun, oom_recovered)`.
-type Attempt<R> = (usize, u32, Result<R, EngineError>, bool, bool);
+/// `(task, attempt, result, oom_rerun, oom_recovered, speculative)`.
+type Attempt<R> = (usize, u32, Result<R, EngineError>, bool, bool, bool);
+
+/// Shared bookkeeping for one speculative pull round
+/// (`RetryPolicy::speculate`): who is running each slot, since when,
+/// whether a finished copy exists, and the cancel token pair
+/// (`[primary, duplicate]`) each slot's copies poll.
+struct SpecRound {
+    epoch: Instant,
+    /// Per-slot primary start, ns since `epoch` plus one (0 = unstarted).
+    started: Vec<AtomicU64>,
+    /// Executor running each slot's primary copy.
+    runner: Vec<AtomicUsize>,
+    /// A finished copy exists for the slot.
+    done: Vec<AtomicBool>,
+    /// Wall duration of a finished copy, ns (the watchdog's runtime
+    /// estimate sample).
+    dur: Vec<AtomicU64>,
+    /// A duplicate has been launched for the slot.
+    taken: Vec<AtomicBool>,
+    /// Cooperative cancel tokens per slot: `[primary, duplicate]`.
+    cancels: Vec<[AtomicBool; 2]>,
+    /// Slots with a finished copy (the round ends at `slots`).
+    finished: AtomicUsize,
+}
+
+impl SpecRound {
+    fn new(slots: usize) -> SpecRound {
+        SpecRound {
+            epoch: Instant::now(),
+            started: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            runner: (0..slots).map(|_| AtomicUsize::new(usize::MAX)).collect(),
+            done: (0..slots).map(|_| AtomicBool::new(false)).collect(),
+            dur: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            taken: (0..slots).map(|_| AtomicBool::new(false)).collect(),
+            cancels: (0..slots).map(|_| [AtomicBool::new(false), AtomicBool::new(false)]).collect(),
+            finished: AtomicUsize::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// One copy of slot `j` finished: record its duration sample, mark
+    /// the slot complete, and cancel the other copy cooperatively.
+    fn finish(&self, j: usize, started_ns: u64, loser_copy: usize) {
+        self.dur[j].store(self.now_ns().saturating_sub(started_ns).max(1), Ordering::Relaxed);
+        if !self.done[j].swap(true, Ordering::Relaxed) {
+            self.finished.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cancels[j][loser_copy].store(true, Ordering::Relaxed);
+    }
+
+    /// The watchdog's staleness threshold: twice the median duration of
+    /// the round's completed copies — available only once at least half
+    /// the round has completed (the quantile estimate needs evidence).
+    fn stale_threshold_ns(&self, total: usize) -> Option<u64> {
+        let completed = self.finished.load(Ordering::Relaxed);
+        if completed == 0 || completed * 2 < total {
+            return None;
+        }
+        let mut ds: Vec<u64> = (0..self.done.len())
+            .filter(|&j| self.done[j].load(Ordering::Relaxed))
+            .map(|j| self.dur[j].load(Ordering::Relaxed))
+            .filter(|&d| d > 0)
+            .collect();
+        if ds.is_empty() {
+            return None;
+        }
+        ds.sort_unstable();
+        Some(ds[ds.len() / 2].saturating_mul(2).max(1))
+    }
+}
 
 /// A multi-stage job driver over a [`LocalCluster`].
 pub struct ClusterSession {
@@ -367,58 +460,76 @@ impl ClusterSession {
             // attempt) and poison flags are only touched by the thread
             // hosting the executor, so the failure scenario is identical
             // across widths and interleavings.
-            let run_attempt = |e: &mut Executor, i: usize, t: usize, a: u32| -> Attempt<R> {
-                let ctx = TaskContext { stage: name, task: t, tasks, executor: i, executors };
-                let mut oom_rerun = false;
-                let mut oom_recovered = false;
-                let mut r = e.run_task_in(format!("{name}-{t}"), name, t, a, |e| {
-                    if e.is_poisoned() {
-                        return Err(EngineError::ExecutorLost { executor: i });
-                    }
-                    if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
-                        e.poison();
-                        return Err(EngineError::ExecutorLost { executor: i });
-                    }
-                    if plan.fires(FaultSite::TaskBody, name, t, a) {
-                        return Err(EngineError::Injected { site: FaultSite::TaskBody });
-                    }
-                    if plan.fires(FaultSite::Alloc, name, t, a) {
-                        return Err(EngineError::Injected { site: FaultSite::Alloc });
-                    }
-                    let out = f(&ctx, e)?;
-                    if shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a) {
-                        return Err(EngineError::Injected { site: FaultSite::ShuffleFrame });
-                    }
-                    Ok(out)
-                });
-                // A spill-path kill point fired inside the cache: the
-                // modelled executor process died mid-spill/restore.
-                // Poison it so the restart/quarantine machinery — not a
-                // plain task retry — performs the recovery.
-                if r.as_ref().err().and_then(|err| err.injected_kill()).is_some() {
-                    e.poison();
-                }
-                // Graceful OOM degradation: spill the cache, collect, and
-                // re-run once in place. An injected Alloc fault models the
-                // same pressure, so the spill relieves it and it is not
-                // re-drawn on the in-place re-run.
-                if policy.spill_on_oom
-                    && r.as_ref().is_err_and(|err| err.is_memory_pressure())
-                    && !e.is_poisoned()
-                {
-                    e.spill_for_memory();
-                    oom_rerun = true;
-                    r = e.run_task_in(format!("{name}-{t}-oom-retry"), name, t, a, |e| {
+            let run_attempt =
+                |e: &mut Executor, i: usize, t: usize, a: u32, cancel: &AtomicBool| -> Attempt<R> {
+                    let ctx =
+                        TaskContext { stage: name, task: t, tasks, executor: i, executors, cancel };
+                    let mut oom_rerun = false;
+                    let mut oom_recovered = false;
+                    let mut r = e.run_task_in(format!("{name}-{t}"), name, t, a, |e| {
+                        if e.is_poisoned() {
+                            return Err(EngineError::ExecutorLost { executor: i });
+                        }
+                        if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
+                            e.poison();
+                            return Err(EngineError::ExecutorLost { executor: i });
+                        }
+                        if plan.fires(FaultSite::TaskBody, name, t, a) {
+                            return Err(EngineError::Injected { site: FaultSite::TaskBody });
+                        }
+                        if plan.fires(FaultSite::Alloc, name, t, a) {
+                            return Err(EngineError::Injected { site: FaultSite::Alloc });
+                        }
+                        if plan.fires(FaultSite::TaskHang, name, t, a) {
+                            // The attempt hangs: it never runs the body and
+                            // burns its whole deadline budget in simulated
+                            // time. The watchdog fails it with the transient
+                            // Deadline error; the budget is charged to stage
+                            // recovery at outcome processing (single-threaded,
+                            // so Wave and Pull charge identically).
+                            return Err(EngineError::Deadline {
+                                stage: name.to_string(),
+                                task: t,
+                                attempt: a,
+                                budget: policy.deadline_budget(),
+                            });
+                        }
                         let out = f(&ctx, e)?;
                         if shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a) {
                             return Err(EngineError::Injected { site: FaultSite::ShuffleFrame });
                         }
                         Ok(out)
                     });
-                    oom_recovered = r.is_ok();
-                }
-                (t, a, r, oom_rerun, oom_recovered)
-            };
+                    // A spill-path kill point fired inside the cache: the
+                    // modelled executor process died mid-spill/restore.
+                    // Poison it so the restart/quarantine machinery — not a
+                    // plain task retry — performs the recovery.
+                    if r.as_ref().err().and_then(|err| err.injected_kill()).is_some() {
+                        e.poison();
+                    }
+                    // Graceful OOM degradation: spill the cache, collect, and
+                    // re-run once in place. An injected Alloc fault models the
+                    // same pressure, so the spill relieves it and it is not
+                    // re-drawn on the in-place re-run.
+                    if policy.spill_on_oom
+                        && r.as_ref().is_err_and(|err| err.is_memory_pressure())
+                        && !e.is_poisoned()
+                    {
+                        e.spill_for_memory();
+                        oom_rerun = true;
+                        r = e.run_task_in(format!("{name}-{t}-oom-retry"), name, t, a, |e| {
+                            let out = f(&ctx, e)?;
+                            if shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a) {
+                                return Err(EngineError::Injected {
+                                    site: FaultSite::ShuffleFrame,
+                                });
+                            }
+                            Ok(out)
+                        });
+                        oom_recovered = r.is_ok();
+                    }
+                    (t, a, r, oom_rerun, oom_recovered, false)
+                };
 
             let collected: Vec<Vec<Attempt<R>>> = match scheduler {
                 SchedulerMode::Wave => {
@@ -429,7 +540,10 @@ impl ClusterSession {
                         queues[x].push((t, a));
                     }
                     self.cluster.par_run(|i, e| {
-                        queues[i].iter().map(|&(t, a)| run_attempt(e, i, t, a)).collect()
+                        queues[i]
+                            .iter()
+                            .map(|&(t, a)| run_attempt(e, i, t, a, &NEVER_CANCELLED))
+                            .collect()
                     })
                 }
                 SchedulerMode::Pull => {
@@ -452,12 +566,34 @@ impl ClusterSession {
                         slots.iter().map(|_| AtomicBool::new(false)).collect();
                     let benched: Vec<bool> =
                         self.cluster.health.iter().map(|h| h.quarantined).collect();
-                    let (slots, pinned, claimed) = (&slots, &pinned, &claimed);
+                    // Speculation bookkeeping, shared across the round's
+                    // executor threads. Physical wall-clock here steers
+                    // *where* duplicates launch — never what the job
+                    // computes, because reconciliation below is
+                    // deterministic in task order.
+                    let spec = policy.speculate.then(|| SpecRound::new(slots.len()));
+                    let (slots, pinned, claimed, spec) = (&slots, &pinned, &claimed, &spec);
                     self.cluster.par_run(|i, e| {
                         let mut out = Vec::new();
                         if benched[i] {
                             return out;
                         }
+                        // One primary (non-duplicate) attempt for slot j.
+                        // With speculation on, publish who runs it and
+                        // when it started so idle executors can spot a
+                        // straggler, and on completion raise the
+                        // duplicate's cancel token.
+                        let run_primary = |e: &mut Executor, j: usize, t: usize, a: u32| {
+                            let Some(s) = spec else {
+                                return run_attempt(e, i, t, a, &NEVER_CANCELLED);
+                            };
+                            s.runner[j].store(i, Ordering::Relaxed);
+                            let start = s.now_ns().max(1);
+                            s.started[j].store(start, Ordering::Relaxed);
+                            let r = run_attempt(e, i, t, a, &s.cancels[j][0]);
+                            s.finish(j, start, 1);
+                            r
+                        };
                         // Affinity pass: my home slots, ascending. Pinned
                         // slots are only ever claimed here, so a crash
                         // dooms exactly the affinity suffix a wave would
@@ -466,7 +602,7 @@ impl ClusterSession {
                             if home != i || claimed[j].swap(true, Ordering::Relaxed) {
                                 continue;
                             }
-                            out.push(run_attempt(e, i, t, a));
+                            out.push(run_primary(e, j, t, a));
                         }
                         // Steal pass: remaining unpinned slots, ascending
                         // task order. An executor that crashed this round
@@ -497,7 +633,67 @@ impl ClusterSession {
                                     home as u64,
                                 );
                             }
-                            out.push(run_attempt(e, i, t, a));
+                            out.push(run_primary(e, j, t, a));
+                        }
+                        // Speculation pass: every slot is claimed, so an
+                        // idle executor watches the round instead of
+                        // returning. Once at least half the round has
+                        // completed, a primary running past 2× the median
+                        // completed duration gets a duplicate launched
+                        // here; first completion raises the loser's
+                        // cancel token, and reconciliation picks the
+                        // winner deterministically in task order. Pinned
+                        // (fault-affected) slots are never duplicated —
+                        // their failure must land on the home executor.
+                        if let Some(s) = spec {
+                            'watch: while !e.is_poisoned()
+                                && s.finished.load(Ordering::Relaxed) < slots.len()
+                            {
+                                let Some(stale) = s.stale_threshold_ns(slots.len()) else {
+                                    std::thread::sleep(Duration::from_micros(200));
+                                    continue;
+                                };
+                                let now_ns = s.now_ns();
+                                for (j, &(t, a, _)) in slots.iter().enumerate() {
+                                    if pinned[j] || s.done[j].load(Ordering::Relaxed) {
+                                        continue;
+                                    }
+                                    let started = s.started[j].load(Ordering::Relaxed);
+                                    if started == 0
+                                        || s.runner[j].load(Ordering::Relaxed) == i
+                                        || now_ns.saturating_sub(started) <= stale
+                                        || s.taken[j].swap(true, Ordering::Relaxed)
+                                    {
+                                        continue;
+                                    }
+                                    let home = s.runner[j].load(Ordering::Relaxed);
+                                    if e.trace.enabled() {
+                                        let now = e.trace.now_ns();
+                                        let sim = dur_ns(e.sim_now());
+                                        e.trace.record(
+                                            TraceEventKind::TaskSpeculative,
+                                            Some(name),
+                                            Some(t),
+                                            Some(a),
+                                            None,
+                                            format!("{name}-{t}-speculative"),
+                                            now,
+                                            0,
+                                            sim,
+                                            0,
+                                            0,
+                                            home as u64,
+                                        );
+                                    }
+                                    let start = s.now_ns().max(1);
+                                    let (t, a, r, rerun, oomr, _) =
+                                        run_attempt(e, i, t, a, &s.cancels[j][1]);
+                                    s.finish(j, start, 0);
+                                    out.push((t, a, r, rerun, oomr, true));
+                                    continue 'watch;
+                                }
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
                         }
                         out
                     })
@@ -525,16 +721,60 @@ impl ClusterSession {
 
             // Process outcomes single-threaded, in task order, so health
             // and retry decisions never depend on thread interleaving.
-            let mut flat: Vec<(usize, u32, usize, Result<R, EngineError>, bool, bool)> = Vec::new();
+            let mut flat: Vec<(usize, u32, usize, Result<R, EngineError>, bool, bool, bool)> =
+                Vec::new();
             for (i, list) in collected.into_iter().enumerate() {
-                for (t, a, r, rerun, oomr) in list {
-                    flat.push((t, a, i, r, rerun, oomr));
+                for (t, a, r, rerun, oomr, sp) in list {
+                    flat.push((t, a, i, r, rerun, oomr, sp));
                 }
             }
-            flat.sort_by_key(|&(t, ..)| t);
+            // Tasks ascending, primary before its duplicate.
+            flat.sort_by_key(|&(t, _, _, _, _, _, sp)| (t, sp));
+
+            // Reconcile speculative duplicates: exactly one canonical
+            // attempt per slot enters the six counters, chosen by rules
+            // that never depend on which copy physically finished first.
+            // A successful primary always wins (a duplicate only ever
+            // improves wall-clock, never results); a failed primary loses
+            // to a successful duplicate; when both fail, keep the copy
+            // that failed for a real reason over one that was merely
+            // cancelled. The loser's metrics, errors, and OOM flags are
+            // discarded entirely.
+            let mut canonical: Vec<(usize, u32, usize, Result<R, EngineError>, bool, bool)> =
+                Vec::with_capacity(flat.len());
+            let mut it = flat.into_iter().peekable();
+            while let Some((t, a, x, r, rerun, oomr)) =
+                it.next().map(|(t, a, x, r, re, o, _)| (t, a, x, r, re, o))
+            {
+                let dup = match it.peek() {
+                    Some(&(t2, _, _, _, _, _, true)) if t2 == t => it.next(),
+                    _ => None,
+                };
+                let entry = match dup {
+                    None => (t, a, x, r, rerun, oomr),
+                    Some((_, da, dx, dr, drerun, doomr, _)) => {
+                        stage.speculative_launched += 1;
+                        let primary_won = match (&r, &dr) {
+                            (Ok(_), _) => true,
+                            (Err(_), Ok(_)) => false,
+                            (Err(pe), Err(de)) => {
+                                !matches!(pe, EngineError::Cancelled { .. })
+                                    || matches!(de, EngineError::Cancelled { .. })
+                            }
+                        };
+                        if primary_won {
+                            (t, a, x, r, rerun, oomr)
+                        } else {
+                            stage.speculative_wins += 1;
+                            (t, da, dx, dr, drerun, doomr)
+                        }
+                    }
+                };
+                canonical.push(entry);
+            }
 
             let mut failures: Vec<(usize, u32, usize, EngineError)> = Vec::new();
-            for (t, a, x, r, rerun, oomr) in flat {
+            for (t, a, x, r, rerun, oomr) in canonical {
                 // An OOM in-place re-run is a physical task run: count it
                 // in `attempts` (and `oom_reruns`), never in `retries`.
                 stage.attempts += 1 + rerun as u64;
@@ -559,7 +799,31 @@ impl ClusterSession {
                 }
                 match r {
                     Ok(v) => results[t] = Some(v),
-                    Err(err) => failures.push((t, a, x, err)),
+                    Err(err) => {
+                        // The watchdog's verdict on a hung attempt: the
+                        // whole deadline budget was burned, charged to
+                        // stage recovery in simulated time (never slept).
+                        if let EngineError::Deadline { budget, .. } = &err {
+                            stage.timeouts += 1;
+                            stage.recovery += *budget;
+                            let now = self.trace.now_ns();
+                            self.trace.record(
+                                TraceEventKind::TaskTimeout,
+                                Some(name),
+                                Some(t),
+                                Some(a),
+                                Some(x),
+                                format!("{name}-{t}-timeout"),
+                                now,
+                                0,
+                                dur_ns(self.sim_now),
+                                dur_ns(*budget),
+                                0,
+                                0,
+                            );
+                        }
+                        failures.push((t, a, x, err));
+                    }
                 }
             }
 
@@ -926,8 +1190,11 @@ pub(crate) fn pin_faulted_slots_in(
                 doomed = true;
             } else if plan.fires(FaultSite::TaskBody, name, t, a)
                 || plan.fires(FaultSite::Alloc, name, t, a)
+                || plan.fires(FaultSite::TaskHang, name, t, a)
                 || (shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a))
             {
+                // A hang, like any in-task failure, must be charged to
+                // the home executor's health — pin just its own slot.
                 pinned[j] = true;
             }
         }
@@ -1434,6 +1701,163 @@ mod tests {
         // The quarantined executor claims nothing in later stages.
         let homes = s.run_stage("after", 4, |ctx, _e| Ok(ctx.executor)).unwrap();
         assert_eq!(homes, vec![0, 0, 0, 0]);
+    }
+
+    // ------------------------------------------------------------------
+    // watchdog: hangs, deadlines, speculation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn hung_task_is_timed_out_charged_and_retried() {
+        for mode in [SchedulerMode::Wave, SchedulerMode::Pull] {
+            let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(mode);
+            let mut s = ClusterSession::new(2, cfg);
+            s.set_retry_policy(RetryPolicy::resilient().task_deadline(Duration::from_millis(25)));
+            s.install_faults(FaultPlan::quiet().force(
+                FaultSite::TaskHang,
+                "hang",
+                Some(1),
+                Some(0),
+            ));
+            let out = s.run_stage("hang", 4, |ctx, _e| Ok(ctx.task * 2)).unwrap();
+            assert_eq!(out, vec![0, 2, 4, 6], "{mode}: the retry recomputes the hung task");
+            let st = s.stage("hang").unwrap();
+            assert_eq!(
+                (st.attempts, st.retries, st.timeouts),
+                (5, 1, 1),
+                "{mode}: the hang is one timed-out attempt plus one retry"
+            );
+            assert_eq!(st.quarantines, 0, "{mode}: one timeout is under the threshold");
+            assert!(
+                st.recovery >= Duration::from_millis(25),
+                "{mode}: the deadline budget is charged in simulated time, never slept"
+            );
+            assert_eq!(s.job_summary().timeouts, 1, "{mode}: timeouts roll up to the job");
+            let trace = s.merged_trace();
+            let timeouts: Vec<_> = trace.of_kind(TraceEventKind::TaskTimeout).collect();
+            assert_eq!(timeouts.len(), 1, "{mode}");
+            assert_eq!(timeouts[0].task, Some(1), "{mode}");
+            assert_eq!(
+                timeouts[0].sim_dur_ns,
+                dur_ns(Duration::from_millis(25)),
+                "{mode}: the event carries the charged budget"
+            );
+        }
+    }
+
+    #[test]
+    fn hang_without_a_configured_deadline_uses_the_default_budget() {
+        let mut s = wave_session(2);
+        s.set_retry_policy(RetryPolicy::resilient());
+        s.install_faults(FaultPlan::quiet().force(FaultSite::TaskHang, "h", Some(0), Some(0)));
+        let out = s.run_stage("h", 2, |ctx, _e| Ok(ctx.task)).unwrap();
+        assert_eq!(out, vec![0, 1]);
+        let st = s.stage("h").unwrap();
+        assert_eq!(st.timeouts, 1);
+        assert!(st.recovery >= Duration::from_millis(100), "default 100ms budget charged");
+    }
+
+    #[test]
+    fn speculation_duplicates_stragglers_without_changing_results() {
+        // Task 0 is slow only on its home (executor 0), cooperatively
+        // polling its cancel token; every other task is instant. With
+        // speculation on, executor 1 finishes its work, spots the
+        // straggler, and runs a duplicate that completes immediately —
+        // results and recovery counters must be bit-identical to the
+        // speculation-off run.
+        let straggle_ms: u64 =
+            std::env::var("DECA_TEST_STRAGGLER_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+        let run = |speculate: bool| {
+            let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20)
+                .scheduler(SchedulerMode::Pull)
+                .retry(RetryPolicy::resilient().speculate(speculate));
+            let mut s = ClusterSession::new(2, cfg);
+            let out = s
+                .run_stage("spec", 8, |ctx, _e| {
+                    if ctx.task == 0 && ctx.executor == 0 {
+                        for _ in 0..straggle_ms {
+                            if ctx.is_cancelled() {
+                                return Err(EngineError::Cancelled {
+                                    reason: "duplicate won".to_string(),
+                                });
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                    Ok(ctx.task * 7)
+                })
+                .unwrap();
+            let st = s.stage("spec").unwrap().clone();
+            let speculative_events =
+                s.merged_trace().of_kind(TraceEventKind::TaskSpeculative).count();
+            (out, st, speculative_events)
+        };
+        let (base_out, base, base_events) = run(false);
+        let (spec_out, spec, spec_events) = run(true);
+        assert_eq!(base_out, spec_out, "speculation never changes results");
+        assert_eq!(spec_out, (0..8).map(|t| t * 7).collect::<Vec<_>>());
+        let rollup = |st: &StageMetrics| {
+            (st.attempts, st.retries, st.quarantines, st.restarts, st.oom_reruns, st.oom_recoveries)
+        };
+        assert_eq!(
+            rollup(&base),
+            rollup(&spec),
+            "the six recovery counters are identical with speculation on and off"
+        );
+        assert_eq!(spec.attempts, 8, "the losing duplicate never reaches the counters");
+        assert_eq!((base.speculative_launched, base_events), (0, 0), "off means off");
+        assert!(spec.speculative_launched >= 1, "the straggler gets a duplicate");
+        assert!(spec_events >= 1, "the launch is traced");
+        assert!(
+            spec.speculative_wins <= spec.speculative_launched,
+            "wins are a subset of launches"
+        );
+    }
+
+    #[test]
+    fn natural_failure_in_stolen_task_charges_the_thief() {
+        // The pull scheduler's charging rule, pinned: fault *pinning*
+        // only covers injected faults, so a natural failure in a stolen
+        // task is charged to the executor that ran it — the thief. This
+        // is deliberate (health tracks where failures physically happen,
+        // and natural failures are not part of the deterministic fault
+        // scenario), and it is why quiet-plan runs may attribute
+        // failures differently across schedulers.
+        let straggle_ms: u64 =
+            std::env::var("DECA_TEST_STRAGGLER_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+        let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(SchedulerMode::Pull);
+        let mut s = ClusterSession::new(2, cfg);
+        s.set_retry_policy(RetryPolicy::resilient());
+        let tripped = AtomicBool::new(false);
+        let failed_on = AtomicUsize::new(usize::MAX);
+        let out = s
+            .run_stage("stolen", 6, |ctx, _e| {
+                // Executor 0 straggles in task 0 so executor 1 steals
+                // its remaining home slots (2, 4).
+                if ctx.task == 0 {
+                    std::thread::sleep(Duration::from_millis(straggle_ms));
+                }
+                if ctx.task == 2 && !tripped.swap(true, Ordering::Relaxed) {
+                    failed_on.store(ctx.executor, Ordering::Relaxed);
+                    return Err(EngineError::Shuffle("flaky input".to_string()));
+                }
+                Ok(ctx.task + 100)
+            })
+            .unwrap();
+        assert_eq!(out, (0..6).map(|t| t + 100).collect::<Vec<_>>());
+        let st = s.stage("stolen").unwrap();
+        assert_eq!((st.attempts, st.retries), (7, 1));
+        let stole_task_2 =
+            s.merged_trace().of_kind(TraceEventKind::TaskSteal).any(|e| e.task == Some(2));
+        assert!(stole_task_2, "task 2 must be stolen while its home straggles");
+        let thief = failed_on.load(Ordering::Relaxed);
+        assert_eq!(thief, 1, "the failure happened on the thief");
+        assert_eq!(
+            s.health(1).stage_failures,
+            1,
+            "the natural failure is charged to the thief's health"
+        );
+        assert_eq!(s.health(0).stage_failures, 0, "the home executor is not charged");
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub enum EngineError {
     AllExecutorsLost { executors: usize, quarantined: usize },
     /// A deterministic fault-plan injection fired at the given site.
     Injected { site: FaultSite },
+    /// The watchdog failed an attempt that exceeded its per-task deadline
+    /// (`RetryPolicy::task_deadline`). Transient: a hang is indistinguishable
+    /// from a slow or wedged host, and re-running the deterministic task on
+    /// another executor can succeed.
+    Deadline { stage: String, task: usize, attempt: u32, budget: std::time::Duration },
+    /// The job was cancelled cooperatively — by `JobHandle::cancel()` or
+    /// by its `JobSpec::deadline` expiring. Fatal by design: cancellation
+    /// is a caller decision, not a recoverable task failure.
+    Cancelled { reason: String },
     /// The job service refused a submission: the tenant already has its
     /// maximum number of jobs queued or running.
     AdmissionRejected { tenant: String, in_flight: usize, limit: usize },
@@ -78,6 +87,7 @@ impl EngineError {
             EngineError::ExecutorLost { .. } => true,
             EngineError::AllExecutorsLost { .. } => true,
             EngineError::Injected { .. } => true,
+            EngineError::Deadline { .. } => true,
             EngineError::Shuffle(_) => true,
             EngineError::Cache(CacheError::Oom(_)) => true,
             // A spill-path kill point models the executor dying mid-spill;
@@ -90,6 +100,7 @@ impl EngineError {
             EngineError::AdmissionRejected { .. } => false,
             EngineError::ServerShutdown => false,
             EngineError::TaskPanic { .. } => false,
+            EngineError::Cancelled { .. } => false,
             EngineError::Task { source, .. } => source.is_transient(),
         }
     }
@@ -163,6 +174,13 @@ impl std::fmt::Display for EngineError {
                 write!(f, "no healthy executors: {quarantined} of {executors} quarantined")
             }
             EngineError::Injected { site } => write!(f, "injected {site} fault"),
+            EngineError::Deadline { stage, task, attempt, budget } => {
+                write!(
+                    f,
+                    "stage {stage:?} task {task} attempt {attempt} exceeded its {budget:?} deadline"
+                )
+            }
+            EngineError::Cancelled { reason } => write!(f, "job cancelled: {reason}"),
             EngineError::AdmissionRejected { tenant, in_flight, limit } => {
                 write!(f, "tenant {tenant:?} rejected: {in_flight} jobs in flight (limit {limit})")
             }
@@ -188,6 +206,8 @@ impl std::error::Error for EngineError {
             EngineError::ExecutorLost { .. } => None,
             EngineError::AllExecutorsLost { .. } => None,
             EngineError::Injected { .. } => None,
+            EngineError::Deadline { .. } => None,
+            EngineError::Cancelled { .. } => None,
             EngineError::AdmissionRejected { .. } => None,
             EngineError::ServerShutdown => None,
             EngineError::TaskPanic { .. } => None,
@@ -294,6 +314,33 @@ mod tests {
         assert!(!panic.is_transient() && !panic.is_memory_pressure());
         assert_eq!(panic.injected_kill(), None);
         assert!(panic.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn watchdog_variants_classify_correctly() {
+        // A deadline overrun is transient: the watchdog retries the
+        // deterministic task elsewhere, exactly like a lost executor.
+        let late = EngineError::Deadline {
+            stage: "wc-map".into(),
+            task: 3,
+            attempt: 1,
+            budget: std::time::Duration::from_millis(100),
+        };
+        assert!(late.is_transient());
+        assert!(!late.is_memory_pressure());
+        assert_eq!(late.injected_kill(), None);
+        assert!(late.source().is_none());
+        let msg = late.to_string();
+        assert!(msg.contains("wc-map") && msg.contains("task 3") && msg.contains("100ms"), "{msg}");
+        // Wrapping keeps the classification.
+        assert!(late.in_task("wc-map", 3).is_transient());
+        // Cancellation is a caller decision — fatal, never retried.
+        let gone = EngineError::Cancelled { reason: "deadline 5ms exceeded".into() };
+        assert!(!gone.is_transient());
+        assert!(!gone.is_memory_pressure());
+        assert_eq!(gone.injected_kill(), None);
+        assert!(gone.source().is_none());
+        assert!(gone.to_string().contains("deadline 5ms exceeded"));
     }
 
     #[test]

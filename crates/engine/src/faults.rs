@@ -24,7 +24,12 @@
 //!   map task to be re-executed;
 //! * [`FaultSite::Alloc`] — a forced allocation failure (OOM), which the
 //!   driver degrades gracefully by spilling the executor's cache to disk
-//!   and retrying in place.
+//!   and retrying in place;
+//! * [`FaultSite::TaskHang`] — the task neither fails nor finishes: it
+//!   sleeps past its deadline budget in *simulated* time. Without a
+//!   watchdog this stalls the stage forever; with one, the overdue
+//!   attempt is charged its deadline and retried like any transient
+//!   failure (see `RetryPolicy::task_deadline`).
 //!
 //! Four more sites instrument the tiered cache's spill/restore/manifest
 //! path. Each models the executor process dying *inside* the cache
@@ -56,6 +61,9 @@ pub enum FaultSite {
     ShuffleFrame,
     /// A forced allocation failure inside the task.
     Alloc,
+    /// The task hangs: it burns its whole deadline budget (in simulated
+    /// time) without producing a result, and is failed by the watchdog.
+    TaskHang,
     /// Crash before a demoted block's payload file is written.
     SpillWrite,
     /// Crash after payload + manifest temp file, before the atomic rename.
@@ -68,11 +76,12 @@ pub enum FaultSite {
 
 impl FaultSite {
     /// All sites, for sweeps and reporting.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::TaskBody,
         FaultSite::ExecutorCrash,
         FaultSite::ShuffleFrame,
         FaultSite::Alloc,
+        FaultSite::TaskHang,
         FaultSite::SpillWrite,
         FaultSite::ManifestCommit,
         FaultSite::SpillRead,
@@ -95,6 +104,7 @@ impl FaultSite {
             FaultSite::ExecutorCrash => "executor-crash",
             FaultSite::ShuffleFrame => "shuffle-frame",
             FaultSite::Alloc => "alloc",
+            FaultSite::TaskHang => "task-hang",
             FaultSite::SpillWrite => "spill-write",
             FaultSite::ManifestCommit => "manifest-commit",
             FaultSite::SpillRead => "spill-read",
@@ -124,6 +134,7 @@ impl FaultSite {
             FaultSite::ExecutorCrash => 0x6372_6173,
             FaultSite::ShuffleFrame => 0x7368_7566,
             FaultSite::Alloc => 0x616c_6c6f,
+            FaultSite::TaskHang => 0x6861_6e67,
             FaultSite::SpillWrite => 0x7370_696c,
             FaultSite::ManifestCommit => 0x6d61_6e69,
             FaultSite::SpillRead => 0x7265_6164,
@@ -149,6 +160,10 @@ pub struct FaultSpec {
     pub executor_crash: f64,
     pub shuffle_frame: f64,
     pub alloc: f64,
+    /// Rate for task hangs. A firing here consumes the attempt's whole
+    /// deadline budget in simulated time before the watchdog fails it,
+    /// so even a survivable hang shows up in the stage's recovery time.
+    pub task_hang: f64,
     /// One shared rate for the four spill-path kill points (SpillWrite,
     /// ManifestCommit, SpillRead, Rehydrate). Unlike the task-level sites,
     /// these only fire when the cache actually reaches the instrumented
@@ -167,6 +182,7 @@ impl FaultSpec {
             FaultSite::ExecutorCrash => self.executor_crash,
             FaultSite::ShuffleFrame => self.shuffle_frame,
             FaultSite::Alloc => self.alloc,
+            FaultSite::TaskHang => self.task_hang,
             FaultSite::SpillWrite
             | FaultSite::ManifestCommit
             | FaultSite::SpillRead
@@ -237,6 +253,7 @@ impl FaultPlan {
             && self.spec.executor_crash <= 0.0
             && self.spec.shuffle_frame <= 0.0
             && self.spec.alloc <= 0.0
+            && self.spec.task_hang <= 0.0
             && self.spec.spill_path <= 0.0
     }
 
@@ -353,6 +370,44 @@ mod tests {
             assert!(!site.name().is_empty());
             assert_eq!(site.to_string(), site.name());
         }
+    }
+
+    #[test]
+    fn all_is_exhaustive_with_distinct_names_and_tags() {
+        // Exhaustiveness: this match has no wildcard arm, so adding a
+        // variant without updating it (and, by this assertion, `ALL`)
+        // breaks the build instead of silently shipping an unswept site.
+        let expected = FaultSite::ALL.len();
+        let mut covered = 0;
+        for site in FaultSite::ALL {
+            match site {
+                FaultSite::TaskBody
+                | FaultSite::ExecutorCrash
+                | FaultSite::ShuffleFrame
+                | FaultSite::Alloc
+                | FaultSite::TaskHang
+                | FaultSite::SpillWrite
+                | FaultSite::ManifestCommit
+                | FaultSite::SpillRead
+                | FaultSite::Rehydrate => covered += 1,
+            }
+        }
+        assert_eq!(covered, expected);
+        // Names and domain-separation tags must be pairwise distinct —
+        // a duplicated tag would make two sites share fault decisions.
+        for (i, a) in FaultSite::ALL.iter().enumerate() {
+            for b in FaultSite::ALL.iter().skip(i + 1) {
+                assert_ne!(a.name(), b.name(), "duplicate site name {}", a.name());
+                assert_ne!(a.tag(), b.tag(), "tag collision between {a} and {b}");
+            }
+        }
+        // A hang fails the attempt, not the executor.
+        assert!(!FaultSite::TaskHang.kills_executor());
+        // Per-site spec rates map one-to-one onto their fields.
+        let spec = FaultSpec { task_hang: 0.25, ..FaultSpec::default() };
+        assert!((spec.rate(FaultSite::TaskHang) - 0.25).abs() < f64::EPSILON);
+        assert_eq!(spec.rate(FaultSite::TaskBody), 0.0);
+        assert!(!FaultPlan::seeded(1, spec).is_quiet(), "hang rate alone makes a plan loud");
     }
 
     #[test]

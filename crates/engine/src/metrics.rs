@@ -76,6 +76,17 @@ pub struct JobMetrics {
     pub rehydrated_blocks: u64,
     /// On-disk payload bytes of those rehydrated blocks.
     pub rehydrated_bytes: u64,
+    /// Speculative duplicate attempts launched by the watchdog (timing-
+    /// dependent: how many launch depends on wall-clock interleaving, so
+    /// this is observability, never part of the determinism invariant).
+    pub speculative_launched: u64,
+    /// Speculative duplicates that won their race (timing-dependent).
+    pub speculative_wins: u64,
+    /// Attempts failed by the watchdog for exceeding their deadline.
+    pub timeouts: u64,
+    /// Jobs cancelled (by `JobHandle::cancel()` or a job deadline); 1 for
+    /// a cancelled job's own roll-up, summed across jobs in merged views.
+    pub cancelled: u64,
     /// Simulated time spent on retry backoff and recovery scheduling.
     pub recovery: Duration,
 }
@@ -101,6 +112,9 @@ impl JobMetrics {
         self.oom_recoveries += s.oom_recoveries;
         self.rehydrated_blocks += s.rehydrated_blocks;
         self.rehydrated_bytes += s.rehydrated_bytes;
+        self.speculative_launched += s.speculative_launched;
+        self.speculative_wins += s.speculative_wins;
+        self.timeouts += s.timeouts;
         self.recovery += s.recovery;
     }
 
@@ -159,6 +173,13 @@ pub struct StageMetrics {
     pub rehydrated_blocks: u64,
     /// On-disk payload bytes of those rehydrated blocks.
     pub rehydrated_bytes: u64,
+    /// Speculative duplicates launched during this stage (timing-
+    /// dependent; excluded from the deterministic recovery roll-up).
+    pub speculative_launched: u64,
+    /// Speculative duplicates that completed before their primary.
+    pub speculative_wins: u64,
+    /// Attempts the watchdog failed for exceeding `task_deadline`.
+    pub timeouts: u64,
     /// Simulated backoff/rescheduling time spent recovering from faults.
     pub recovery: Duration,
     /// The stage never ran any task: the driver aborted it up front (no
@@ -301,6 +322,9 @@ mod tests {
         s.oom_recoveries = 1;
         s.rehydrated_blocks = 3;
         s.rehydrated_bytes = 4096;
+        s.speculative_launched = 2;
+        s.speculative_wins = 1;
+        s.timeouts = 1;
         s.recovery = Duration::from_millis(20);
         let mut j = JobMetrics::default();
         j.add_stage_recovery(&s);
@@ -312,6 +336,10 @@ mod tests {
         assert_eq!(j.oom_recoveries, 2);
         assert_eq!(j.rehydrated_blocks, 6);
         assert_eq!(j.rehydrated_bytes, 8192);
+        assert_eq!(j.speculative_launched, 4);
+        assert_eq!(j.speculative_wins, 2);
+        assert_eq!(j.timeouts, 2);
+        assert_eq!(j.cancelled, 0, "cancellation is job-level, not folded from stages");
         assert_eq!(j.recovery, Duration::from_millis(40));
     }
 

@@ -63,7 +63,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::cluster::{
     exchange, healthy_after_in, healthy_count_in, healthy_from_in, ExecutorHealth, LocalCluster,
@@ -245,6 +245,7 @@ pub struct JobSpec {
     retry: Option<RetryPolicy>,
     scheduler: Option<SchedulerMode>,
     faults: FaultPlan,
+    deadline: Option<Duration>,
     app: Option<AppJob>,
 }
 
@@ -256,6 +257,7 @@ impl JobSpec {
             retry: None,
             scheduler: None,
             faults: FaultPlan::quiet(),
+            deadline: None,
             app: None,
         }
     }
@@ -286,6 +288,16 @@ impl JobSpec {
         self
     }
 
+    /// A wall-clock deadline measured from submission. A job past its
+    /// deadline is cancelled cooperatively at its next stage or round
+    /// boundary (and never starts at all if it is still queued), failing
+    /// with [`EngineError::Cancelled`] and releasing its admission slot,
+    /// claim-pool slots, and job-stamped cache entries.
+    pub fn deadline(mut self, d: Duration) -> JobSpec {
+        self.deadline = Some(d);
+        self
+    }
+
     pub fn app(mut self, app: AppJob) -> JobSpec {
         self.app = Some(app);
         self
@@ -310,6 +322,15 @@ pub struct JobOutput {
 struct JobState {
     id: u64,
     tenant: String,
+    /// The cooperative cancel flag, shared with the job's session and its
+    /// published rounds so in-flight attempts can observe it.
+    cancelled: Arc<AtomicBool>,
+    /// Metrics and trace of a job that *failed* (cancelled, deadline,
+    /// fatal error): the partial roll-up up to the failure point, so
+    /// cancellation remains observable through [`JobHandle::metrics`] and
+    /// [`JobHandle::trace`] even though [`JobHandle::wait`] reports an
+    /// error.
+    partial: Mutex<Option<JobOutput>>,
     result: Mutex<Option<Result<JobOutput, Arc<EngineError>>>>,
     cv: Condvar,
 }
@@ -356,16 +377,35 @@ impl JobHandle {
         lock(&self.state.result).clone()
     }
 
-    /// The finished job's metric roll-up (`None` until completion or on
-    /// failure).
+    /// The job's metric roll-up: the full roll-up of a finished job, or
+    /// the partial roll-up of a failed/cancelled one. `None` while the
+    /// job is still queued or running.
     pub fn metrics(&self) -> Option<JobMetrics> {
-        self.try_result()?.ok().map(|o| o.metrics)
+        match self.try_result()? {
+            Ok(o) => Some(o.metrics),
+            Err(_) => lock(&self.state.partial).as_ref().map(|o| o.metrics.clone()),
+        }
     }
 
-    /// The finished job's run trace (`None` until completion or on
-    /// failure).
+    /// The job's run trace: the full trace of a finished job, or the
+    /// partial trace of a failed/cancelled one. `None` while the job is
+    /// still queued or running.
     pub fn trace(&self) -> Option<RunTrace> {
-        self.try_result()?.ok().map(|o| o.trace)
+        match self.try_result()? {
+            Ok(o) => Some(o.trace),
+            Err(_) => lock(&self.state.partial).as_ref().map(|o| o.trace.clone()),
+        }
+    }
+
+    /// Request cooperative cancellation. A still-queued job never starts;
+    /// a running job fails fast at its next round boundary (in-flight
+    /// attempts observe [`TaskContext::is_cancelled`] and fail with
+    /// [`EngineError::Cancelled`]), and its tenant admission slot,
+    /// claim-pool slots, and job-stamped cache entries are released
+    /// through the normal end-of-job cleanup. Idempotent; a no-op once
+    /// the job has finished.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
     }
 }
 
@@ -417,6 +457,10 @@ struct Round {
     /// The owning job's virtual-executor poison flags (width-sized,
     /// persistent across the job's stages).
     vpoison: Arc<Vec<AtomicBool>>,
+    /// The owning job's cooperative cancel flag: set, remaining attempts
+    /// of this round fail fast with [`EngineError::Cancelled`] so the
+    /// round still fully retires and releases its claim-pool slots.
+    cancel: Arc<AtomicBool>,
     /// Borrowed from the runner's `run_stage` frame. SAFETY: the frame
     /// waits for every slot's `SlotDone` and retires the round from the
     /// pool before returning, so no worker dereferences this afterwards.
@@ -430,6 +474,8 @@ struct QueuedJob {
     tenant_id: u32,
     spec: JobSpec,
     state: Arc<JobState>,
+    /// When the job was admitted — the epoch its deadline counts from.
+    submitted: Instant,
 }
 
 struct PoolState {
@@ -547,7 +593,15 @@ fn run_attempt(
     let name = round.stage.as_str();
     let plan = &round.plan;
     let vpoison = &round.vpoison[v];
-    let ctx = TaskContext { stage: name, task: t, tasks: round.tasks, executor: worker, executors };
+    let cancel = &*round.cancel;
+    let ctx = TaskContext {
+        stage: name,
+        task: t,
+        tasks: round.tasks,
+        executor: worker,
+        executors,
+        cancel,
+    };
     let body = round.body;
     // Panics are caught per attempt so one bad job body cannot wedge the
     // shared worker (they surface as fatal `TaskPanic` errors).
@@ -564,7 +618,21 @@ fn run_attempt(
     let mut oom_rerun = false;
     let mut oom_recovered = false;
     let mut r = e.run_task_in(format!("{name}-{t}"), name, t, a, |e| {
-        if vpoison.load(Ordering::Relaxed) {
+        // A cancelled job's remaining attempts fail fast (never running
+        // the body) so the round retires promptly and its claim-pool
+        // slots free up for other jobs.
+        if cancel.load(Ordering::Relaxed) {
+            return Err(EngineError::Cancelled { reason: "job cancelled".to_string() });
+        }
+        // Only an at-home attempt observes the virtual executor's death.
+        // Stolen slots are fault-free by construction (the pin walk pins
+        // every slot a crash dooms), so reading the home's *live* poison
+        // flag from a thief would add an ExecutorLost that depends on
+        // when the steal ran relative to the crash — a timing-dependent
+        // extra retry the serial reference never sees. The driver's
+        // analog: a poisoned executor never steals, and a thief checks
+        // its own health, not the home's.
+        if v % executors == worker && vpoison.load(Ordering::Relaxed) {
             return Err(EngineError::ExecutorLost { executor: v });
         }
         if plan.fires(FaultSite::ExecutorCrash, name, t, a) {
@@ -576,6 +644,17 @@ fn run_attempt(
         }
         if plan.fires(FaultSite::Alloc, name, t, a) {
             return Err(EngineError::Injected { site: FaultSite::Alloc });
+        }
+        if plan.fires(FaultSite::TaskHang, name, t, a) {
+            // The watchdog's verdict on a hung attempt: the whole
+            // deadline budget is burned in simulated time, charged at
+            // the session's outcome processing.
+            return Err(EngineError::Deadline {
+                stage: name.to_string(),
+                task: t,
+                attempt: a,
+                budget: round.policy.deadline_budget(),
+            });
         }
         let out = run_body(e)?;
         if round.shuffle_stage && plan.fires(FaultSite::ShuffleFrame, name, t, a) {
@@ -712,6 +791,12 @@ pub struct ServerJobSession {
     faults: FaultPlan,
     vhealth: Vec<ExecutorHealth>,
     vpoison: Arc<Vec<AtomicBool>>,
+    /// Shared with the [`JobHandle`] and every published round.
+    cancel: Arc<AtomicBool>,
+    /// Wall-clock deadline measured from `submitted`, checked at stage
+    /// and round boundaries.
+    deadline: Option<Duration>,
+    submitted: Instant,
     stages: Vec<StageMetrics>,
     trace: TraceRecorder,
     /// Executor-side events routed back from workers, job-stamped.
@@ -725,6 +810,7 @@ pub struct ServerJobSession {
 }
 
 impl ServerJobSession {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         inner: Arc<ServerInner>,
         job: u64,
@@ -733,6 +819,9 @@ impl ServerJobSession {
         policy: RetryPolicy,
         scheduler: SchedulerMode,
         faults: FaultPlan,
+        cancel: Arc<AtomicBool>,
+        deadline: Option<Duration>,
+        submitted: Instant,
     ) -> ServerJobSession {
         let tracing = inner.exec_config.tracing;
         let mut trace = TraceRecorder::new(tracing);
@@ -747,6 +836,9 @@ impl ServerJobSession {
             faults,
             vhealth: vec![ExecutorHealth::default(); width],
             vpoison: Arc::new((0..width).map(|_| AtomicBool::new(false)).collect()),
+            cancel,
+            deadline,
+            submitted,
             stages: Vec::new(),
             trace,
             exec_events: Vec::new(),
@@ -758,6 +850,51 @@ impl ServerJobSession {
 
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The deadline-aware cancellation check, run at stage and round
+    /// boundaries. A tripped deadline raises the shared cancel flag so
+    /// in-flight attempts fail fast; the first trip emits the
+    /// `JobCancelled` event and bumps the job's `cancelled` counter.
+    fn check_cancelled(&mut self) -> Result<(), EngineError> {
+        let overdue = self.deadline.is_some_and(|d| self.submitted.elapsed() >= d);
+        if overdue {
+            self.cancel.store(true, Ordering::Relaxed);
+        }
+        if !self.cancel.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let reason = if overdue {
+            format!("deadline {:?} exceeded", self.deadline.unwrap_or_default())
+        } else {
+            "cancelled via JobHandle::cancel".to_string()
+        };
+        self.note_cancelled(&reason);
+        Err(EngineError::Cancelled { reason })
+    }
+
+    /// Record the job's cancellation (once): the `cancelled` counter and
+    /// the `JobCancelled` trace event, whose label carries the reason.
+    fn note_cancelled(&mut self, reason: &str) {
+        if self.metrics.cancelled != 0 {
+            return;
+        }
+        self.metrics.cancelled = 1;
+        let now = self.trace.now_ns();
+        self.trace.record(
+            TraceEventKind::JobCancelled,
+            None,
+            None,
+            None,
+            None,
+            reason.to_string(),
+            now,
+            0,
+            dur_ns(self.sim_now),
+            0,
+            0,
+            0,
+        );
     }
 
     pub fn mode(&self) -> crate::config::ExecutionMode {
@@ -844,6 +981,9 @@ impl ServerJobSession {
         body: TaskFn<'_>,
         shuffle_stage: bool,
     ) -> Result<Vec<ErasedResult>, EngineError> {
+        // A job already cancelled (or past its deadline) never starts
+        // another stage.
+        self.check_cancelled()?;
         // SAFETY: `body` outlives every use — each round is fully executed
         // (every slot's SlotDone deposited) and retired from the pool
         // before this frame continues, and no code between publishing a
@@ -916,6 +1056,12 @@ impl ServerJobSession {
             if pending.is_empty() {
                 break Ok(());
             }
+            // Round-boundary watchdog: a cancelled or overdue job stops
+            // scheduling new rounds; the stage still records its metrics
+            // and StageEnd below.
+            if let Err(err) = self.check_cancelled() {
+                break 'stage Err(err);
+            }
             let mut slots: Vec<(usize, u32, usize)> = pending.drain(..).collect();
             slots.sort_unstable_by_key(|&(t, ..)| t);
             let doomed: Vec<bool> =
@@ -943,6 +1089,7 @@ impl ServerJobSession {
                 plan: plan.clone(),
                 policy,
                 vpoison: self.vpoison.clone(),
+                cancel: self.cancel.clone(),
                 body,
                 state: Mutex::new(RoundState {
                     done: (0..n).map(|_| None).collect(),
@@ -1011,7 +1158,31 @@ impl ServerJobSession {
                 }
                 match result {
                     Ok(v) => results[t] = Some(v),
-                    Err(err) => failures.push((t, a, x, err)),
+                    Err(err) => {
+                        // The watchdog's verdict on a hung attempt: the
+                        // whole deadline budget was burned, charged in
+                        // simulated time (never slept).
+                        if let EngineError::Deadline { budget, .. } = &err {
+                            stage.timeouts += 1;
+                            stage.recovery += *budget;
+                            let now = self.trace.now_ns();
+                            self.trace.record(
+                                TraceEventKind::TaskTimeout,
+                                Some(name),
+                                Some(t),
+                                Some(a),
+                                Some(x),
+                                format!("{name}-{t}-timeout"),
+                                now,
+                                0,
+                                dur_ns(self.sim_now),
+                                dur_ns(*budget),
+                                0,
+                                0,
+                            );
+                        }
+                        failures.push((t, a, x, err));
+                    }
                 }
             }
             for v in 0..width {
@@ -1159,28 +1330,54 @@ impl ServerJobSession {
 // ----------------------------------------------------------------------
 
 fn run_job(inner: &Arc<ServerInner>, q: QueuedJob) {
-    let QueuedJob { id, tenant_id, spec, state } = q;
+    let QueuedJob { id, tenant_id, spec, state, submitted } = q;
     let width = if spec.executors == 0 { inner.executors.len() } else { spec.executors };
     let policy = spec.retry.unwrap_or(inner.exec_config.retry);
     let scheduler = spec.scheduler.unwrap_or(inner.exec_config.scheduler);
     let app = spec.app.expect("submit validates the app");
-    let mut session =
-        ServerJobSession::new(inner.clone(), id, tenant_id, width, policy, scheduler, spec.faults);
-    let (result, noted) = {
-        let mut ctx = JobCtx::server(&mut session);
-        let r = match catch_unwind(AssertUnwindSafe(|| app.run(&mut ctx))) {
-            Ok(r) => r,
-            Err(p) => Err(EngineError::TaskPanic {
-                stage: app.name().to_string(),
-                task: 0,
-                message: panic_message(p),
-            }),
-        };
-        (r, ctx.noted_cache_bytes())
+    let mut session = ServerJobSession::new(
+        inner.clone(),
+        id,
+        tenant_id,
+        width,
+        policy,
+        scheduler,
+        spec.faults,
+        state.cancelled.clone(),
+        spec.deadline,
+        submitted,
+    );
+    // A job cancelled (or overdue) while still queued never runs its
+    // body; it still flows through the full cleanup path below so its
+    // admission slot and any stamped state are released.
+    let (result, noted) = match session.check_cancelled() {
+        Err(err) => (Err(err), 0),
+        Ok(()) => {
+            let mut ctx = JobCtx::server(&mut session);
+            let r = match catch_unwind(AssertUnwindSafe(|| app.run(&mut ctx))) {
+                Ok(r) => r,
+                Err(p) => Err(EngineError::TaskPanic {
+                    stage: app.name().to_string(),
+                    task: 0,
+                    message: panic_message(p),
+                }),
+            };
+            (r, ctx.noted_cache_bytes())
+        }
     };
     let output = match result {
         Ok(checksum) => Ok(session.finish(checksum, noted)),
-        Err(err) => Err(Arc::new(err)),
+        Err(err) => {
+            // A cancel observed mid-stage (the tasks failed fast before
+            // any boundary check ran) still gets its event and counter.
+            if session.cancel.load(Ordering::Relaxed) {
+                session.note_cancelled("job cancelled");
+            }
+            // Keep the failed job's partial roll-up reachable (the
+            // JobCancelled event and `cancelled` counter live there).
+            *lock(&state.partial) = Some(session.finish(f64::NAN, noted));
+            Err(Arc::new(err))
+        }
     };
     // End-of-job cleanup: release this job's cache blocks on every shared
     // executor so a long-lived server never accumulates finished jobs'
@@ -1345,13 +1542,21 @@ impl DecaServer {
         let state = Arc::new(JobState {
             id,
             tenant: spec.tenant.clone(),
+            cancelled: Arc::new(AtomicBool::new(false)),
+            partial: Mutex::new(None),
             result: Mutex::new(None),
             cv: Condvar::new(),
         });
         lock(&self.jobs).push(state.clone());
         {
             let mut pool = lock(&self.inner.pool);
-            pool.queue.push_back(QueuedJob { id, tenant_id, spec, state: state.clone() });
+            pool.queue.push_back(QueuedJob {
+                id,
+                tenant_id,
+                spec,
+                state: state.clone(),
+                submitted: Instant::now(),
+            });
             pool.active_jobs += 1;
             self.inner.job_cv.notify_one();
         }
@@ -1602,6 +1807,59 @@ mod tests {
         // The shared cluster still serves other jobs.
         let ok = server.submit(JobSpec::new("t").app(sum_job())).unwrap().wait().unwrap();
         assert_eq!(ok.checksum, 100.0);
+    }
+
+    #[test]
+    fn deadline_zero_job_is_cancelled_before_it_starts() {
+        let server = DecaServer::new(2, cfg());
+        server.configure_tenant("t", 1);
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = ran.clone();
+        let job = AppJob::new("late", move |ctx| {
+            r.store(true, Ordering::Relaxed);
+            let parts = ctx.run_stage("late", 2, |c, _e| Ok(c.task as f64))?;
+            Ok(parts.into_iter().sum())
+        });
+        let h = server.submit(JobSpec::new("t").deadline(Duration::ZERO).app(job)).unwrap();
+        let err = h.wait().unwrap_err();
+        assert!(matches!(&*err, EngineError::Cancelled { .. }), "{err}");
+        assert!(err.to_string().contains("deadline"), "{err}");
+        assert!(!ran.load(Ordering::Relaxed), "an overdue queued job never runs its body");
+        // The cancellation is observable through the partial roll-up.
+        let m = h.metrics().expect("partial metrics of a cancelled job");
+        assert_eq!(m.cancelled, 1);
+        let trace = h.trace().expect("partial trace of a cancelled job");
+        assert_eq!(trace.of_kind(TraceEventKind::JobCancelled).count(), 1);
+        // The tenant's admission slot was released by the cleanup path.
+        let again = server.submit(JobSpec::new("t").app(sum_job())).unwrap();
+        assert_eq!(again.wait().unwrap().checksum, 100.0);
+    }
+
+    #[test]
+    fn cancel_stops_a_running_job_and_frees_its_state() {
+        let server = DecaServer::new(2, cfg());
+        server.configure_tenant("t", 1);
+        // The task cooperatively polls its cancel token; without the
+        // cancel it would spin forever.
+        let spinner = AppJob::new("spin", |ctx| {
+            ctx.run_stage("spin", 2, |c, _e| -> Result<(), EngineError> {
+                while !c.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(EngineError::Cancelled { reason: "token observed".to_string() })
+            })?;
+            Ok(0.0)
+        });
+        let h = server.submit(JobSpec::new("t").app(spinner)).unwrap();
+        h.cancel();
+        let err = h.wait().unwrap_err();
+        assert!(err.to_string().contains("cancel"), "{err}");
+        let m = h.metrics().expect("partial metrics of a cancelled job");
+        assert_eq!(m.cancelled, 1);
+        // Claim-pool slots and the admission slot are released: the
+        // tenant's next job runs to completion on the same server.
+        let again = server.submit(JobSpec::new("t").app(sum_job())).unwrap();
+        assert_eq!(again.wait().unwrap().checksum, 100.0);
     }
 
     #[test]

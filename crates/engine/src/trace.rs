@@ -78,6 +78,16 @@ pub enum TraceEventKind {
     /// A page group reclaimed at refcount zero — lifetime-based release
     /// (`count` = pages, `bytes` = footprint returned).
     PageGroupRelease,
+    /// The watchdog launched a speculative duplicate of a slow attempt
+    /// (`executor` = where the duplicate runs, `count` = the primary
+    /// copy's home executor). Only the pull scheduler emits this.
+    TaskSpeculative,
+    /// The watchdog failed an attempt that exceeded its `task_deadline`
+    /// budget (`sim_dur_ns` = the charged deadline budget).
+    TaskTimeout,
+    /// A job was cancelled — `JobHandle::cancel()` or its `JobSpec`
+    /// deadline expiring (driver event; the label carries the reason).
+    JobCancelled,
 }
 
 impl TraceEventKind {
@@ -96,6 +106,9 @@ impl TraceEventKind {
             TraceEventKind::CacheRehydrate => "cache-rehydrate",
             TraceEventKind::OomRecovery => "oom-recovery",
             TraceEventKind::PageGroupRelease => "page-group-release",
+            TraceEventKind::TaskSpeculative => "task-speculative",
+            TraceEventKind::TaskTimeout => "task-timeout",
+            TraceEventKind::JobCancelled => "job-cancelled",
         }
     }
 
@@ -104,7 +117,7 @@ impl TraceEventKind {
         TraceEventKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
-    pub const ALL: [TraceEventKind; 12] = [
+    pub const ALL: [TraceEventKind; 15] = [
         TraceEventKind::StageStart,
         TraceEventKind::StageEnd,
         TraceEventKind::TaskAttempt,
@@ -117,6 +130,9 @@ impl TraceEventKind {
         TraceEventKind::CacheRehydrate,
         TraceEventKind::OomRecovery,
         TraceEventKind::PageGroupRelease,
+        TraceEventKind::TaskSpeculative,
+        TraceEventKind::TaskTimeout,
+        TraceEventKind::JobCancelled,
     ];
 
     /// Merge-order rank *within* one (stage, task, attempt) cell: the
@@ -126,18 +142,25 @@ impl TraceEventKind {
         match self {
             TraceEventKind::StageStart => 0,
             TraceEventKind::TaskSteal => 1,
-            TraceEventKind::TaskAttempt => 2,
-            TraceEventKind::GcPause => 3,
-            TraceEventKind::SpillIo => 4,
-            TraceEventKind::PageGroupRelease => 5,
-            TraceEventKind::OomRecovery => 6,
-            TraceEventKind::Retry => 7,
-            TraceEventKind::Quarantine => 8,
-            TraceEventKind::Restart => 9,
+            // A speculative launch is a claim decision like a steal: it
+            // sorts before the attempt bodies of its (task, attempt) cell.
+            TraceEventKind::TaskSpeculative => 2,
+            TraceEventKind::TaskAttempt => 3,
+            TraceEventKind::GcPause => 4,
+            TraceEventKind::SpillIo => 5,
+            TraceEventKind::PageGroupRelease => 6,
+            TraceEventKind::OomRecovery => 7,
+            // The watchdog's verdict on the attempt precedes the driver's
+            // retry reaction to it.
+            TraceEventKind::TaskTimeout => 8,
+            TraceEventKind::Retry => 9,
+            TraceEventKind::Quarantine => 10,
+            TraceEventKind::Restart => 11,
             // Rehydration is part of the restart, so it sorts right after
             // the Restart marker it belongs to.
-            TraceEventKind::CacheRehydrate => 10,
-            TraceEventKind::StageEnd => 11,
+            TraceEventKind::CacheRehydrate => 12,
+            TraceEventKind::JobCancelled => 13,
+            TraceEventKind::StageEnd => 14,
         }
     }
 }
@@ -574,6 +597,8 @@ impl RunTrace {
                         Json::int(attempts.iter().map(|e| e.sim_dur_ns).sum::<u64>()),
                     ),
                     ("steals", Json::int(of(TraceEventKind::TaskSteal).len() as u64)),
+                    ("speculative", Json::int(of(TraceEventKind::TaskSpeculative).len() as u64)),
+                    ("timeouts", Json::int(of(TraceEventKind::TaskTimeout).len() as u64)),
                     ("retries", Json::int(of(TraceEventKind::Retry).len() as u64)),
                     ("quarantines", Json::int(of(TraceEventKind::Quarantine).len() as u64)),
                     ("restarts", Json::int(of(TraceEventKind::Restart).len() as u64)),

@@ -34,6 +34,40 @@ for sched in wave pull; do
   done
 done
 
+echo "== fault-tolerance suite with speculative execution (both schedulers) =="
+# The same matrix with DECA_SPECULATE=1: every Pull-mode stage arms the
+# straggler watcher, so speculative duplicates race real injected-fault
+# recovery. Checksums and the six-counter roll-ups must not move — the
+# winner is reconciled deterministically in task order, so duplicates
+# are invisible to the accounting.
+for sched in wave pull; do
+  for seed in 11 29 47; do
+    if ! DECA_SPECULATE=1 DECA_SCHEDULER=$sched DECA_CHECK_SEED=$seed \
+        cargo test -q --offline -p deca-bench --test fault_tolerance; then
+      echo "fault suite failed with speculation under seed $seed with the $sched scheduler; replay locally with:"
+      echo "  DECA_SPECULATE=1 DECA_SCHEDULER=$sched DECA_CHECK_SEED=$seed cargo test --offline -p deca-bench --test fault_tolerance"
+      exit 1
+    fi
+  done
+done
+
+echo "== hang kill matrix (watchdog: TaskHang x schedulers x widths x seeds) =="
+# The watchdog acceptance leg: a hang-only storm across both workloads,
+# both execution modes, widths {1,2,4} and the pinned seeds must always
+# complete — every hang is timed out at its deadline, charged, and
+# retried — with checksums bit-identical to fault-free runs and roll-ups
+# identical across Wave and Pull. (The full matrix already ran inside
+# `cargo test` above; this leg re-runs it per seed so a failure hands
+# the reader the exact replay line.)
+for seed in 11 29 47; do
+  if ! DECA_CHECK_SEED=$seed \
+      cargo test -q --offline -p deca-bench --test fault_tolerance hang_matrix; then
+    echo "hang kill matrix failed under seed $seed; replay locally with:"
+    echo "  DECA_CHECK_SEED=$seed cargo test --offline -p deca-bench --test fault_tolerance hang_matrix"
+    exit 1
+  fi
+done
+
 echo "== crash-recovery kill-point suite (replayed seeds, both schedulers) =="
 # Same replay discipline for the cache's spill/manifest/rehydrate kill
 # points: the suite re-runs its kill matrix, rehydration-evidence and
@@ -74,6 +108,9 @@ cargo run --release --offline -q --example trace_export
 
 echo "== job service example (the README DecaServer snippet, checksum-asserted) =="
 cargo run --release --offline -q --example job_service
+
+echo "== watchdog/cancel example (the README robustness snippet, checksum-asserted) =="
+cargo run --release --offline -q --example watchdog_cancel
 
 echo "== perf gate (vs committed BENCH baselines) =="
 # The gate re-measures every cell at the committed record's scale and

@@ -12,6 +12,8 @@
 use deca_apps::pagerank::{self, PrParams};
 use deca_apps::run_job_faulty;
 use deca_apps::wordcount::{self, WcParams};
+use std::time::Duration;
+
 use deca_engine::{
     ClusterSession, EngineError, ExecutionMode, FaultPlan, FaultSite, FaultSpec, JobMetrics,
     RetryPolicy, SchedulerMode,
@@ -54,8 +56,37 @@ fn storm() -> FaultSpec {
         // (tests/crash_recovery.rs); keeping them out of the storm keeps
         // this matrix's roll-up expectations independent of cache sizing.
         spill_path: 0.0,
+        task_hang: 0.0,
         repeat_on_retry: false,
     }
+}
+
+/// A hang-only storm for the watchdog kill matrix. Keeping the other
+/// sites quiet makes the timeout accounting exact: every attempt-0 hang
+/// draw reaches the `TaskHang` rung of the injection ladder (nothing
+/// earlier on the ladder can shadow it), so `timeouts` equals the number
+/// of draws and each one charges its full deadline budget. Hangs mixed
+/// with the other sites ride the existing `storm()` matrices.
+fn hang_storm() -> FaultSpec {
+    FaultSpec {
+        task_body: 0.0,
+        executor_crash: 0.0,
+        shuffle_frame: 0.0,
+        alloc: 0.0,
+        spill_path: 0.0,
+        task_hang: 0.30,
+        repeat_on_retry: false,
+    }
+}
+
+/// The matrices' retry policy: resilient, plus speculative execution
+/// when the `DECA_SPECULATE=1` replay leg asks for it. ci.sh re-runs
+/// the fault matrices with duplicates enabled; every checksum and
+/// roll-up assertion must hold unchanged, because losing duplicates
+/// never reach the counters.
+fn matrix_policy() -> RetryPolicy {
+    let speculate = std::env::var("DECA_SPECULATE").is_ok_and(|v| v == "1");
+    RetryPolicy::resilient().speculate(speculate)
 }
 
 fn wc_params(mode: ExecutionMode) -> WcParams {
@@ -84,13 +115,18 @@ fn pr_params(mode: ExecutionMode) -> PrParams {
     }
 }
 
-/// Does the plan draw an executor crash at attempt 0 anywhere in these
-/// stages? (Attempt-0 draws are the only ones a `repeat_on_retry: false`
-/// plan makes, and the first crash to actually fire always poisons an
-/// executor, which the driver then quarantines — or restarts when it is
-/// the last one standing.)
+/// Does the plan draw `site` at attempt 0 anywhere in these stages?
+/// (Attempt-0 draws are the only ones a `repeat_on_retry: false` plan
+/// makes.)
+fn fires_somewhere(plan: &FaultPlan, site: FaultSite, stages: &[(&str, usize)]) -> bool {
+    stages.iter().any(|(s, n)| (0..*n).any(|t| plan.fires(site, s, t, 0)))
+}
+
+/// The first crash to actually fire always poisons an executor, which
+/// the driver then quarantines — or restarts when it is the last one
+/// standing.
 fn crashes_somewhere(plan: &FaultPlan, stages: &[(&str, usize)]) -> bool {
-    stages.iter().any(|(s, n)| (0..*n).any(|t| plan.fires(FaultSite::ExecutorCrash, s, t, 0)))
+    fires_somewhere(plan, FaultSite::ExecutorCrash, stages)
 }
 
 #[test]
@@ -108,7 +144,7 @@ fn wordcount_under_faults_is_bit_identical_across_modes_and_widths() {
                     wordcount::wc_config(&p),
                     executors,
                     plan.clone(),
-                    Some(RetryPolicy::resilient()),
+                    Some(matrix_policy()),
                 )
                 .unwrap_or_else(|e| {
                     panic!("seed {seed}, {mode}, {executors} executors: survivable plan died: {e}")
@@ -165,7 +201,7 @@ fn pagerank_under_faults_is_bit_identical_across_modes_and_widths() {
                     pagerank::pr_config(&p),
                     executors,
                     plan.clone(),
-                    Some(RetryPolicy::resilient()),
+                    Some(matrix_policy()),
                 )
                 .unwrap_or_else(|e| {
                     panic!("seed {seed}, {mode}, {executors} executors: survivable plan died: {e}")
@@ -217,7 +253,7 @@ fn scheduler_modes_are_equivalent_under_faults() {
                     let p = wc_params(mode);
                     let mut session = ClusterSession::new(
                         executors,
-                        wordcount::wc_config(&p).retry(RetryPolicy::resilient()).scheduler(sched),
+                        wordcount::wc_config(&p).retry(matrix_policy()).scheduler(sched),
                     );
                     session.install_faults(plan.clone());
                     let checksum = wordcount::run_on(&p, &mut session).unwrap_or_else(|e| {
@@ -242,7 +278,7 @@ fn scheduler_modes_are_equivalent_under_faults() {
                     let p = pr_params(mode);
                     let mut session = ClusterSession::new(
                         executors,
-                        pagerank::pr_config(&p).retry(RetryPolicy::resilient()).scheduler(sched),
+                        pagerank::pr_config(&p).retry(matrix_policy()).scheduler(sched),
                     );
                     session.install_faults(plan.clone());
                     let (checksum, _) = pagerank::run_on(&p, &mut session).unwrap_or_else(|e| {
@@ -267,6 +303,112 @@ fn scheduler_modes_are_equivalent_under_faults() {
 }
 
 #[test]
+fn hang_matrix_watchdog_never_stalls_and_is_scheduler_invariant() {
+    // The watchdog acceptance matrix: `TaskHang` × {Spark, Deca} ×
+    // widths {1, 2, 4} × the pinned seeds, both workloads. Every cell
+    // must complete — the watchdog turns each hang into a timed-out
+    // transient attempt instead of a stalled stage — with checksums
+    // bit-identical to the fault-free run and the recovery roll-up
+    // (plus the new timeout counter) identical across Wave and Pull.
+    // ci.sh replays this leg with DECA_SPECULATE=1 as well; duplicates
+    // must not move a single counter.
+    let deadline = Duration::from_millis(50);
+    for seed in FAULT_SEEDS {
+        let plan = FaultPlan::seeded(seed, hang_storm());
+        let wc_hangs =
+            fires_somewhere(&plan, FaultSite::TaskHang, &[("wc-map", 4), ("wc-reduce", 4)]);
+        for mode in [ExecutionMode::Spark, ExecutionMode::Deca] {
+            let wc_reference = wordcount::run_local(&wc_params(mode), 1).checksum;
+            let pr_reference = pagerank::run_local(&pr_params(mode), 1).checksum;
+            for executors in EXECUTOR_COUNTS {
+                let wc = |sched: SchedulerMode| {
+                    let p = wc_params(mode);
+                    let mut session = ClusterSession::new(
+                        executors,
+                        wordcount::wc_config(&p)
+                            .retry(matrix_policy().task_deadline(deadline))
+                            .scheduler(sched),
+                    );
+                    session.install_faults(plan.clone());
+                    let checksum = wordcount::run_on(&p, &mut session).unwrap_or_else(|e| {
+                        panic!("seed {seed}, {mode}, {executors}x, {sched}: hung WC died: {e}")
+                    });
+                    session.finish_job();
+                    (checksum, session.job_summary())
+                };
+                let (wave_sum, wave) = wc(SchedulerMode::Wave);
+                let (pull_sum, pull) = wc(SchedulerMode::Pull);
+                assert_eq!(
+                    wave_sum, wc_reference,
+                    "seed {seed}, {mode}, {executors}x: WC checksum drifted under hangs"
+                );
+                assert_eq!(
+                    pull_sum, wc_reference,
+                    "seed {seed}, {mode}, {executors}x: WC pull checksum drifted under hangs"
+                );
+                assert_eq!(
+                    rollup(&wave),
+                    rollup(&pull),
+                    "seed {seed}, {mode}, {executors}x: WC hang roll-ups diverge"
+                );
+                assert_eq!(
+                    wave.timeouts, pull.timeouts,
+                    "seed {seed}, {mode}, {executors}x: WC timeout counts diverge"
+                );
+                if wc_hangs {
+                    assert!(
+                        wave.timeouts > 0,
+                        "seed {seed}, {mode}, {executors}x: hang drawn but no timeout recorded"
+                    );
+                    assert!(
+                        wave.recovery >= deadline * wave.timeouts as u32,
+                        "seed {seed}, {mode}, {executors}x: each timeout charges its full budget"
+                    );
+                }
+                assert!(
+                    wave.retries >= wave.timeouts,
+                    "seed {seed}, {mode}, {executors}x: every timed-out attempt is retried"
+                );
+
+                let pr = |sched: SchedulerMode| {
+                    let p = pr_params(mode);
+                    let mut session = ClusterSession::new(
+                        executors,
+                        pagerank::pr_config(&p)
+                            .retry(matrix_policy().task_deadline(deadline))
+                            .scheduler(sched),
+                    );
+                    session.install_faults(plan.clone());
+                    let (checksum, _) = pagerank::run_on(&p, &mut session).unwrap_or_else(|e| {
+                        panic!("seed {seed}, {mode}, {executors}x, {sched}: hung PR died: {e}")
+                    });
+                    (checksum, session.job_summary())
+                };
+                let (wave_sum, wave) = pr(SchedulerMode::Wave);
+                let (pull_sum, pull) = pr(SchedulerMode::Pull);
+                assert_eq!(
+                    wave_sum, pr_reference,
+                    "seed {seed}, {mode}, {executors}x: PR checksum drifted under hangs"
+                );
+                assert_eq!(
+                    pull_sum, pr_reference,
+                    "seed {seed}, {mode}, {executors}x: PR pull checksum drifted under hangs"
+                );
+                assert_eq!(
+                    rollup(&wave),
+                    rollup(&pull),
+                    "seed {seed}, {mode}, {executors}x: PR hang roll-ups diverge"
+                );
+                assert_eq!(
+                    wave.timeouts, pull.timeouts,
+                    "seed {seed}, {mode}, {executors}x: PR timeout counts diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn forced_oom_degrades_gracefully_and_keeps_the_answer() {
     // A forced allocation failure in a map task: the driver spills the
     // executor's cache, collects, and re-runs the task in place — no
@@ -280,7 +422,7 @@ fn forced_oom_degrades_gracefully_and_keeps_the_answer() {
             wordcount::wc_config(&p),
             2,
             plan,
-            Some(RetryPolicy::resilient()),
+            Some(matrix_policy()),
         )
         .expect("OOM degradation must absorb a forced alloc failure");
         assert_eq!(report.checksum, reference, "{mode}: OOM recovery changed the result");
@@ -301,7 +443,7 @@ fn exhausted_attempts_fail_with_task_attributed_transient_error() {
         wordcount::wc_config(&p),
         2,
         plan,
-        Some(RetryPolicy::resilient()),
+        Some(matrix_policy()),
     )
     .expect_err("a task failing every attempt is unsurvivable");
     assert!(matches!(err, EngineError::Task { .. }), "must name the failing task: {err}");

@@ -49,6 +49,7 @@ fn storm() -> FaultSpec {
         shuffle_frame: 0.20,
         alloc: 0.15,
         spill_path: 0.0,
+        task_hang: 0.0,
         repeat_on_retry: false,
     }
 }

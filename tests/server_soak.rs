@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use deca_apps::pagerank::{self, PrParams};
 use deca_apps::run_job_faulty;
@@ -59,6 +60,7 @@ fn storm() -> FaultSpec {
         shuffle_frame: 0.20,
         alloc: 0.15,
         spill_path: 0.0,
+        task_hang: 0.0,
         repeat_on_retry: false,
     }
 }
@@ -388,6 +390,143 @@ fn tenant_cache_budget_shields_a_tenant_from_noisy_neighbours() {
     gate.release();
     let out = victim_handle.wait().expect("victim job completes");
     assert_eq!(out.checksum, expected, "victim read back exactly what it cached");
+}
+
+#[test]
+fn cancel_storm_releases_tenant_cache_and_claim_slots() {
+    // Cancellation hygiene under load, both schedulers: a batch of jobs
+    // that stamp cache blocks and then spin on their cancel tokens is
+    // cancelled mid-flight. Every job must fail with `Cancelled`, expose
+    // its partial roll-up (the `cancelled` counter and `JobCancelled`
+    // event) through the handle, and release everything it held — cache-
+    // stamped entries, tenant admission slots, claim-pool slots — so a
+    // full follow-up batch from the same tenant admits and completes.
+    //
+    // All width-2 jobs share physical executors 0 and 1 (virtual `v`
+    // runs on physical `v % E`), so spinners hold those executor locks:
+    // the batch is deliberately a mix of jobs mid-spin, jobs blocked on
+    // an executor lock, and jobs still queued — cancellation must unwind
+    // every one of those states. Because probes like
+    // `tenant_resident_bytes` also lock every executor, the resident
+    // check runs while the jobs are *parked between stages* (runner
+    // threads hold no executor lock there), never while they spin.
+    const STORM_JOBS: usize = 6;
+    const STORM_RUNNERS: usize = 4;
+    for sched in schedulers() {
+        let server = Arc::new(DecaServer::with_config(
+            ServerConfig::new(SERVER_EXECUTORS, base_config()).runners(STORM_RUNNERS),
+        ));
+        server.configure_tenant("storm", STORM_JOBS);
+
+        let parked = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Gate::default());
+        let spinning = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..STORM_JOBS)
+            .map(|i| {
+                let parked = parked.clone();
+                let gate = gate.clone();
+                let spinning = spinning.clone();
+                let job = AppJob::new("storm", move |ctx| {
+                    // Stamp a cache block so the job holds tenant-visible
+                    // state when the cancel lands.
+                    ctx.run_stage("stamp", 1, move |_t, e| {
+                        let recs: Vec<(i64, f64)> =
+                            (0..2_000).map(|j| ((i * 10_000 + j) as i64, j as f64)).collect();
+                        e.cache
+                            .put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, &recs)
+                            .expect("storm block fits the pool");
+                        Ok(())
+                    })?;
+                    // Park on the runner thread (no executor lock held) so
+                    // the test can probe the caches mid-flight.
+                    parked.fetch_add(1, Ordering::Relaxed);
+                    gate.park();
+                    let spinning = spinning.clone();
+                    ctx.run_stage("spin", JOB_WIDTH, move |c, _e| -> Result<(), EngineError> {
+                        spinning.fetch_add(1, Ordering::Relaxed);
+                        while !c.is_cancelled() {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(EngineError::Cancelled {
+                            reason: "storm task observed the token".to_string(),
+                        })
+                    })?;
+                    Ok(0.0)
+                });
+                server
+                    .submit(JobSpec::new("storm").executors(JOB_WIDTH).scheduler(sched).app(job))
+                    .expect("the storm batch is exactly at the tenant cap")
+            })
+            .collect();
+
+        // Every runner-held job is past its stamp stage and parked; the
+        // remaining jobs are still queued. Executor locks are free, so
+        // the resident-bytes probe is safe here.
+        let _release = ReleaseOnDrop(gate.clone());
+        while parked.load(Ordering::Relaxed) < STORM_RUNNERS {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(
+            server.tenant_resident_bytes("storm") > 0,
+            "{sched}: storm blocks are resident before the cancel"
+        );
+
+        // Release the batch into its spin stage and wait until at least
+        // one task is provably mid-body, polling its token.
+        gate.release();
+        while spinning.load(Ordering::Relaxed) == 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        for h in &handles {
+            h.cancel();
+        }
+        for (i, h) in handles.iter().enumerate() {
+            let err = h.wait().expect_err("cancelled jobs must not report success");
+            assert!(err.to_string().contains("cancel"), "{sched} job {i}: {err}");
+            let m = h.metrics().expect("partial metrics survive cancellation");
+            assert_eq!(m.cancelled, 1, "{sched} job {i}: cancelled counter missing");
+            let trace = h.trace().expect("partial trace survives cancellation");
+            assert_eq!(
+                trace
+                    .events
+                    .iter()
+                    .filter(|e| e.kind == deca_engine::TraceEventKind::JobCancelled)
+                    .count(),
+                1,
+                "{sched} job {i}: JobCancelled event missing"
+            );
+        }
+        assert_eq!(
+            server.tenant_resident_bytes("storm"),
+            0,
+            "{sched}: cancelled jobs' cache-stamped entries must be released"
+        );
+
+        // Admission slots and claim-pool slots released: a full second
+        // batch from the same tenant admits immediately and runs to
+        // completion with the reference answer.
+        let p = wc_params(ExecutionMode::Deca);
+        let reference = wordcount::run_local(&p, 1).checksum;
+        let again: Vec<_> = (0..STORM_JOBS)
+            .map(|_| {
+                server
+                    .submit(
+                        JobSpec::new("storm")
+                            .executors(JOB_WIDTH)
+                            .scheduler(sched)
+                            .app(wordcount::job(&p)),
+                    )
+                    .expect("cancelled jobs freed their admission slots")
+            })
+            .collect();
+        for (i, h) in again.into_iter().enumerate() {
+            assert_eq!(
+                h.wait().expect("follow-up jobs complete").checksum,
+                reference,
+                "{sched} follow-up {i}: checksum drifted after the cancel storm"
+            );
+        }
+    }
 }
 
 #[test]
