@@ -24,7 +24,7 @@ use deca_core::{DecaHashShuffle, Optimizer};
 use deca_engine::record::HeapRecord;
 use deca_engine::{
     AppJob, ClusterSession, EngineError, ExecutionMode, Executor, ExecutorConfig, JobCtx,
-    SparkGroupShuffle, SparkHashShuffle,
+    MapOutputs, ShufflePayload, SparkGroupShuffle, SparkHashShuffle,
 };
 use deca_udt::{ContainerId, ContainerKind, JobPhases, TypeRef};
 
@@ -429,16 +429,15 @@ fn run_pagerank(params: &PrParams, job_ctx: &mut JobCtx) -> Result<f64, EngineEr
                         &pair_classes,
                     )
                 })?;
-                let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
-                    // Either branch writes ≤ one record per destination
-                    // vertex held in the buffer: ~2-byte tag + varint key
-                    // + 8-byte f64 (Spark) or fixed 16 bytes (Deca).
-                    let held = spark_sums.as_ref().map_or(0, |b| b.len())
-                        + deca_sums.as_ref().map_or(0, |b| b.len());
-                    let cap = 16 * held.div_ceil(reducers);
-                    let mut out: Vec<Vec<u8>> =
-                        (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
+                let out = e.shuffle_write_scope(|e| -> Result<MapOutputs, EngineError> {
+                    // Spark modes serialize into pooled byte buffers
+                    // (~2-byte tag + varint key + 8-byte f64 per record);
+                    // Deca writes fixed 16-byte records into arena pages
+                    // and hands them over without a copy.
                     if let Some(mut buf) = spark_sums.take() {
+                        let cap = 16 * buf.len().div_ceil(reducers);
+                        let mut out: Vec<Vec<u8>> =
+                            (0..reducers).map(|_| e.take_shuffle_buf(cap)).collect();
                         let pairs = buf.drain(&e.heap);
                         e.kryo.time_ser(|kr| {
                             for (k, v) in pairs {
@@ -447,17 +446,18 @@ fn run_pagerank(params: &PrParams, job_ctx: &mut JobCtx) -> Result<f64, EngineEr
                             }
                         });
                         buf.release(&mut e.heap);
+                        return Ok(out.into_iter().map(ShufflePayload::from).collect());
                     }
-                    if let Some(mut buf) = deca_sums.take() {
-                        buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
-                            let dst = i64::from_le_bytes(k[..8].try_into().unwrap());
-                            let r = (dst as u64 % reducers as u64) as usize;
-                            out[r].extend_from_slice(k);
-                            out[r].extend_from_slice(v);
-                        })?;
-                        buf.release(&mut e.mm, &mut e.heap);
-                    }
-                    Ok(out)
+                    let mut buf = deca_sums.take().expect("one mode buffer exists");
+                    let mut runs: Vec<_> = (0..reducers).map(|_| e.arena.new_run()).collect();
+                    let (mm, heap, arena) = (&mut e.mm, &mut e.heap, &mut e.arena);
+                    buf.for_each(mm, heap, |k, v| {
+                        let dst = i64::from_le_bytes(k[..8].try_into().unwrap());
+                        let r = (dst as u64 % reducers as u64) as usize;
+                        runs[r].push_parts(arena, &[k, v]);
+                    })?;
+                    buf.release(&mut e.mm, &mut e.heap);
+                    Ok(runs.into_iter().map(|run| e.hand_over(run)).collect())
                 })?;
                 Ok(out)
             },
@@ -469,15 +469,19 @@ fn run_pagerank(params: &PrParams, job_ctx: &mut JobCtx) -> Result<f64, EngineEr
                     ExecutionMode::Deca => {
                         let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
                         e.shuffle_read_scope(|e| -> Result<(), EngineError> {
-                            for bytes in bufs {
-                                for rec in bytes.chunks_exact(16) {
-                                    buf.insert(
-                                        &mut e.mm,
-                                        &mut e.heap,
-                                        &rec[..8],
-                                        &rec[8..],
-                                        add_f64_bytes,
-                                    )?;
+                            // 16-byte records never span pages; chunk
+                            // concatenation is the exact flat sequence.
+                            for payload in bufs {
+                                for bytes in payload.chunks() {
+                                    for rec in bytes.chunks_exact(16) {
+                                        buf.insert(
+                                            &mut e.mm,
+                                            &mut e.heap,
+                                            &rec[..8],
+                                            &rec[8..],
+                                            add_f64_bytes,
+                                        )?;
+                                    }
                                 }
                             }
                             Ok(())
@@ -493,8 +497,9 @@ fn run_pagerank(params: &PrParams, job_ctx: &mut JobCtx) -> Result<f64, EngineEr
                         let mut buf: SparkHashShuffle<i64, f64> =
                             SparkHashShuffle::new(&mut e.heap)?;
                         e.shuffle_read_scope(|e| -> Result<(), EngineError> {
-                            for bytes in bufs {
-                                let pairs: Vec<(i64, f64)> = e.kryo.deserialize_all(bytes);
+                            for payload in bufs {
+                                let bytes = payload.contiguous();
+                                let pairs: Vec<(i64, f64)> = e.kryo.deserialize_all(&bytes);
                                 for (k, v) in pairs {
                                     buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
                                 }

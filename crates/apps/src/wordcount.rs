@@ -18,7 +18,8 @@
 use deca_core::{DecaHashShuffle, DecaRecord, DecaVarHashShuffle};
 use deca_engine::record::HeapRecord;
 use deca_engine::{
-    AppJob, ClusterSession, EngineError, ExecutionMode, ExecutorConfig, JobCtx, SparkHashShuffle,
+    AppJob, ClusterSession, EngineError, ExecutionMode, ExecutorConfig, JobCtx, MapOutputs,
+    ShufflePayload, SparkHashShuffle,
 };
 
 use crate::datagen;
@@ -131,21 +132,22 @@ fn run_spark(
                     e.sample_timeline(pair_classes.tuple);
                 }
             }
-            // Shuffle write: Spark serializes combined pairs per reducer.
+            // Shuffle write: Spark serializes combined pairs per reducer,
+            // into pooled buffers reused across shuffle rounds.
             let out = e.shuffle_write_scope(|e| {
                 let pairs = buf.drain(&e.heap);
                 // ~2-byte tag + two small varints per pair; pre-size each
                 // run near its share so the encode loop never reallocates.
                 let cap = 8 * pairs.len().div_ceil(reducers);
                 let mut out: Vec<Vec<u8>> =
-                    (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
+                    (0..reducers).map(|_| e.take_shuffle_buf(cap)).collect();
                 e.kryo.time_ser(|kr| {
                     for (k, v) in pairs {
                         let r = (k as u64 % reducers as u64) as usize;
                         kr.serialize(&(k, v), &mut out[r]);
                     }
                 });
-                out
+                out.into_iter().map(ShufflePayload::from).collect::<MapOutputs>()
             });
             buf.release(&mut e.heap);
             Ok(out)
@@ -154,8 +156,9 @@ fn run_spark(
         |_ctx, e, bufs| {
             let mut buf: SparkHashShuffle<i64, i64> = SparkHashShuffle::new(&mut e.heap)?;
             e.shuffle_read_scope(|e| -> Result<(), EngineError> {
-                for bytes in bufs {
-                    let pairs: Vec<(i64, i64)> = e.kryo.deserialize_all(bytes);
+                for payload in bufs {
+                    let bytes = payload.contiguous();
+                    let pairs: Vec<(i64, i64)> = e.kryo.deserialize_all(&bytes);
                     for (k, v) in pairs {
                         buf.insert(&mut e.heap, k, v, |a, b| a + b)?;
                     }
@@ -199,19 +202,17 @@ fn run_deca(
                     e.sample_timeline(pair_classes.tuple);
                 }
             }
-            // Shuffle write: raw bytes, no serialization (§6.1).
-            let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
-                // Fixed 16-byte records; size each run near its share.
-                let cap = 16 * buf.len().div_ceil(reducers);
-                let mut out: Vec<Vec<u8>> =
-                    (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
-                buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+            // Shuffle write: raw bytes straight into arena pages, handed
+            // to the exchange without a copy (§6.1 + zero-copy hand-over).
+            let out = e.shuffle_write_scope(|e| -> Result<MapOutputs, EngineError> {
+                let mut runs: Vec<_> = (0..reducers).map(|_| e.arena.new_run()).collect();
+                let (mm, heap, arena) = (&mut e.mm, &mut e.heap, &mut e.arena);
+                buf.for_each(mm, heap, |k, v| {
                     let key = i64::from_le_bytes(k[..8].try_into().unwrap());
                     let r = (key as u64 % reducers as u64) as usize;
-                    out[r].extend_from_slice(k);
-                    out[r].extend_from_slice(v);
+                    runs[r].push_parts(arena, &[k, v]);
                 })?;
-                Ok(out)
+                Ok(runs.into_iter().map(|run| e.hand_over(run)).collect())
             })?;
             buf.release(&mut e.mm, &mut e.heap);
             Ok(out)
@@ -219,9 +220,20 @@ fn run_deca(
         |_ctx, e, bufs| {
             let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
             e.shuffle_read_scope(|e| -> Result<(), EngineError> {
-                for bytes in bufs {
-                    for rec in bytes.chunks_exact(16) {
-                        buf.insert(&mut e.mm, &mut e.heap, &rec[..8], &rec[8..], add_i64_bytes)?;
+                // Records never span pages, so each chunk holds whole
+                // 16-byte records and the concatenation is the exact byte
+                // sequence a flat buffer would carry.
+                for payload in bufs {
+                    for bytes in payload.chunks() {
+                        for rec in bytes.chunks_exact(16) {
+                            buf.insert(
+                                &mut e.mm,
+                                &mut e.heap,
+                                &rec[..8],
+                                &rec[8..],
+                                add_i64_bytes,
+                            )?;
+                        }
                     }
                 }
                 Ok(())
@@ -307,7 +319,7 @@ fn run_text_spark(
                 // Tokens average ~8 bytes plus framing and the count.
                 let cap = 24 * pairs.len().div_ceil(reducers);
                 let mut out: Vec<Vec<u8>> =
-                    (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
+                    (0..reducers).map(|_| e.take_shuffle_buf(cap)).collect();
                 e.kryo.time_ser(|kr| {
                     for (k, v) in pairs {
                         let r = (k.len() + k.as_bytes()[1] as usize) % reducers;
@@ -315,7 +327,7 @@ fn run_text_spark(
                         kr.serialize(&v, &mut out[r]);
                     }
                 });
-                out
+                out.into_iter().map(ShufflePayload::from).collect::<MapOutputs>()
             });
             buf.release(&mut e.heap);
             Ok(out)
@@ -323,7 +335,9 @@ fn run_text_spark(
         |_ctx, e, bufs| {
             let mut buf: SparkHashShuffle<String, i64> = SparkHashShuffle::new(&mut e.heap)?;
             e.shuffle_read_scope(|e| -> Result<(), EngineError> {
-                for bytes in bufs {
+                for payload in bufs {
+                    let bytes = payload.contiguous();
+                    let bytes: &[u8] = &bytes;
                     // Heterogeneous stream (String, i64, String, …):
                     // decode pairwise under one scoped timer, insert after.
                     let pairs: Vec<(String, i64)> = e.kryo.time_deser(|kr| {
@@ -372,19 +386,16 @@ fn run_text_deca(
                     add_i64_bytes,
                 )?;
             }
-            // Raw framed bytes out: u32 key len + key + 8-byte count.
-            let out = e.shuffle_write_scope(|e| -> Result<Vec<Vec<u8>>, EngineError> {
-                // ~4-byte frame + ~8-byte key + 8-byte count per record.
-                let cap = 24 * buf.len().div_ceil(reducers);
-                let mut out: Vec<Vec<u8>> =
-                    (0..reducers).map(|_| Vec::with_capacity(cap)).collect();
-                buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+            // Raw framed records (u32 key len + key + 8-byte count) written
+            // whole into arena pages and handed over copy-free.
+            let out = e.shuffle_write_scope(|e| -> Result<MapOutputs, EngineError> {
+                let mut runs: Vec<_> = (0..reducers).map(|_| e.arena.new_run()).collect();
+                let (mm, heap, arena) = (&mut e.mm, &mut e.heap, &mut e.arena);
+                buf.for_each(mm, heap, |k, v| {
                     let r = (k.len() + k[1] as usize) % reducers;
-                    out[r].extend_from_slice(&(k.len() as u32).to_le_bytes());
-                    out[r].extend_from_slice(k);
-                    out[r].extend_from_slice(v);
+                    runs[r].push_parts(arena, &[&(k.len() as u32).to_le_bytes(), k, v]);
                 })?;
-                Ok(out)
+                Ok(runs.into_iter().map(|run| e.hand_over(run)).collect())
             })?;
             buf.release(&mut e.mm, &mut e.heap);
             Ok(out)
@@ -392,17 +403,20 @@ fn run_text_deca(
         |_ctx, e, bufs| {
             let mut buf = DecaVarHashShuffle::new(&mut e.mm, 8);
             e.shuffle_read_scope(|e| -> Result<(), EngineError> {
-                for bytes in bufs {
-                    let mut pos = 0;
-                    while pos < bytes.len() {
-                        let klen =
-                            u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-                        pos += 4;
-                        let key = &bytes[pos..pos + klen];
-                        pos += klen;
-                        let val = &bytes[pos..pos + 8];
-                        pos += 8;
-                        buf.insert(&mut e.mm, &mut e.heap, key, val, add_i64_bytes)?;
+                // Frames never span pages, so each chunk parses standalone.
+                for payload in bufs {
+                    for bytes in payload.chunks() {
+                        let mut pos = 0;
+                        while pos < bytes.len() {
+                            let klen = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap())
+                                as usize;
+                            pos += 4;
+                            let key = &bytes[pos..pos + klen];
+                            pos += klen;
+                            let val = &bytes[pos..pos + 8];
+                            pos += 8;
+                            buf.insert(&mut e.mm, &mut e.heap, key, val, add_i64_bytes)?;
+                        }
                     }
                 }
                 Ok(())

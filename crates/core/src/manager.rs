@@ -85,6 +85,19 @@ pub struct ReleaseEvent {
     pub bytes: usize,
 }
 
+/// One shuffle run whose page ownership moved to a reducer — the
+/// zero-copy sibling of [`ReleaseEvent`]: the pages left this executor's
+/// custody without a byte copy (and without a release; the *consumer*
+/// recycles them). Drained by the engine's run trace via
+/// [`MemoryManager::take_handover_events`].
+#[derive(Copy, Clone, Debug)]
+pub struct HandoverEvent {
+    /// Pages whose ownership moved.
+    pub pages: usize,
+    /// Payload bytes carried by those pages.
+    pub bytes: usize,
+}
+
 /// The per-executor memory manager.
 pub struct MemoryManager {
     entries: Vec<Option<Entry>>,
@@ -104,6 +117,7 @@ pub struct MemoryManager {
     /// turns it on when executor tracing is enabled and drains it per task.
     pub log_releases: bool,
     release_events: Vec<ReleaseEvent>,
+    handover_events: Vec<HandoverEvent>,
 }
 
 impl MemoryManager {
@@ -123,6 +137,7 @@ impl MemoryManager {
             swap_ins: 0,
             log_releases: false,
             release_events: Vec::new(),
+            handover_events: Vec::new(),
         }
     }
 
@@ -130,6 +145,20 @@ impl MemoryManager {
     /// [`MemoryManager::log_releases`] is set).
     pub fn take_release_events(&mut self) -> Vec<ReleaseEvent> {
         std::mem::take(&mut self.release_events)
+    }
+
+    /// Record one zero-copy page hand-over (gated on the same
+    /// [`MemoryManager::log_releases`] flag the release log uses — both
+    /// are memory-lifecycle observability, on only under tracing).
+    pub fn note_handover(&mut self, pages: usize, bytes: usize) {
+        if self.log_releases {
+            self.handover_events.push(HandoverEvent { pages, bytes });
+        }
+    }
+
+    /// Drain the hand-over log recorded since the last call.
+    pub fn take_handover_events(&mut self) -> Vec<HandoverEvent> {
+        std::mem::take(&mut self.handover_events)
     }
 
     pub fn page_size(&self) -> usize {

@@ -15,10 +15,15 @@
 //! Shuffle buffers pin their page groups (Appendix C: Deca evicts cache
 //! blocks rather than spilling pointer-only shuffle state).
 
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
 use deca_heap::Heap;
 
 use crate::group::SegPtr;
 use crate::manager::{GroupId, MemError, MemoryManager};
+use crate::page::Page;
 
 /// FNV-1a over key bytes — cheap and deterministic.
 fn hash_bytes(bytes: &[u8]) -> u64 {
@@ -390,6 +395,370 @@ impl DecaSortShuffle {
     }
 }
 
+// ---------------------------------------------------------------------
+// Zero-copy shuffle output: page runs, the per-executor arena, and the
+// exchanged payload. A map task appends whole records into page-aligned
+// runs; the exchange then moves the *pages* to the reducer — ownership
+// transfer, no byte copy (the §4.2 "directly outputting the raw bytes"
+// story taken to its conclusion).
+// ---------------------------------------------------------------------
+
+/// Shared accounting between a [`ShuffleArena`] and every [`PageRun`] it
+/// issued. Counters are per-arena (not process-global) so concurrent
+/// sessions — and concurrent tests — never observe each other.
+#[derive(Debug, Default)]
+pub struct ArenaStats {
+    /// Pages currently attached to live runs issued by this arena. A run
+    /// decrements on drop or recycle, so after a job has recycled (or
+    /// dropped) every payload this must be exactly 0: >0 is a leak, <0 a
+    /// double free.
+    live_pages: AtomicI64,
+    /// Bytes copied on the hand-over path (flattening a multi-page run,
+    /// or the copying-baseline A/B mode). The zero-copy invariant test
+    /// asserts this stays 0 for a Deca run.
+    copied_bytes: AtomicU64,
+    /// Runs / pages / payload bytes handed over to the exchange.
+    handed_runs: AtomicU64,
+    handed_pages: AtomicU64,
+    handed_bytes: AtomicU64,
+    /// Pool hits: pages / byte buffers reused instead of freshly allocated.
+    pages_reused: AtomicU64,
+    bufs_reused: AtomicU64,
+}
+
+impl ArenaStats {
+    pub fn live_pages(&self) -> i64 {
+        self.live_pages.load(Ordering::SeqCst)
+    }
+
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes.load(Ordering::SeqCst)
+    }
+
+    pub fn handed_runs(&self) -> u64 {
+        self.handed_runs.load(Ordering::SeqCst)
+    }
+
+    pub fn handed_pages(&self) -> u64 {
+        self.handed_pages.load(Ordering::SeqCst)
+    }
+
+    pub fn handed_bytes(&self) -> u64 {
+        self.handed_bytes.load(Ordering::SeqCst)
+    }
+
+    pub fn pages_reused(&self) -> u64 {
+        self.pages_reused.load(Ordering::SeqCst)
+    }
+
+    pub fn bufs_reused(&self) -> u64 {
+        self.bufs_reused.load(Ordering::SeqCst)
+    }
+
+    /// Record a copy performed on the hand-over path.
+    pub fn count_copy(&self, bytes: u64) {
+        self.copied_bytes.fetch_add(bytes, Ordering::SeqCst);
+    }
+
+    /// Record one run handed over to the exchange.
+    pub fn count_handover(&self, pages: u64, bytes: u64) {
+        self.handed_runs.fetch_add(1, Ordering::SeqCst);
+        self.handed_pages.fetch_add(pages, Ordering::SeqCst);
+        self.handed_bytes.fetch_add(bytes, Ordering::SeqCst);
+    }
+}
+
+/// A run of pages holding one map task's output for one reducer, in
+/// append order. Records never span pages (mirroring [`PageGroup`]'s
+/// no-span invariant), so iterating [`PageRun::chunks`] record-by-record
+/// yields exactly the byte sequence a contiguous buffer would — which is
+/// what keeps results bit-identical to the copying exchange.
+///
+/// Dropping a run returns its pages to the allocator and decrements the
+/// issuing arena's live-page count — a failed or speculative-loser map
+/// attempt cleans up structurally, it cannot leak pages.
+pub struct PageRun {
+    /// `(page, used bytes)` — only the used prefix is payload.
+    pages: Vec<(Page, usize)>,
+    len: usize,
+    stats: Arc<ArenaStats>,
+}
+
+impl std::fmt::Debug for PageRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageRun").field("pages", &self.pages.len()).field("len", &self.len).finish()
+    }
+}
+
+impl PageRun {
+    /// Payload bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Append one record, given as concatenated parts (so callers can
+    /// write `key ++ value` without building a temporary). The record is
+    /// kept whole within one page; oversized records get a dedicated
+    /// page of exactly their size, as [`PageGroup::reserve`] does.
+    pub fn push_parts(&mut self, arena: &mut ShuffleArena, parts: &[&[u8]]) {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let fits = match self.pages.last() {
+            Some((page, used)) => page.len() - used >= total,
+            None => false,
+        };
+        if !fits {
+            self.pages.push((arena.take_page(total), 0));
+        }
+        let (page, used) = self.pages.last_mut().expect("page just ensured");
+        for part in parts {
+            page.write_bytes(*used, part);
+            *used += part.len();
+        }
+        self.len += total;
+    }
+
+    /// Append one whole record.
+    pub fn push(&mut self, arena: &mut ShuffleArena, record: &[u8]) {
+        self.push_parts(arena, &[record]);
+    }
+
+    /// The used prefix of each page, in append order. Concatenated, the
+    /// chunks are the run's exact payload byte sequence.
+    pub fn chunks(&self) -> impl Iterator<Item = &[u8]> {
+        self.pages.iter().map(|(p, used)| &p.bytes()[..*used])
+    }
+
+    /// Flatten into one owned buffer, **counting every byte as a
+    /// hand-over copy** — this is the copying-baseline path the zero-copy
+    /// exchange is gated against.
+    pub fn to_vec_counted(&self) -> Vec<u8> {
+        self.stats.count_copy(self.len as u64);
+        let mut out = Vec::with_capacity(self.len);
+        for chunk in self.chunks() {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+}
+
+impl Drop for PageRun {
+    fn drop(&mut self) {
+        if !self.pages.is_empty() {
+            self.stats.live_pages.fetch_sub(self.pages.len() as i64, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Per-executor pool of shuffle pages and byte buffers, reused across
+/// shuffle rounds (pagerank-style iterative jobs allocate their steady
+/// state once instead of once per iteration).
+///
+/// The arena's pages live *outside* the GC'd heap budget on purpose:
+/// shuffle output is in flight to another executor, and charging it to
+/// the producer's old generation would perturb the delicate OOM/eviction
+/// behaviour the fault matrix pins down.
+#[derive(Debug)]
+pub struct ShuffleArena {
+    page_size: usize,
+    free_pages: Vec<Page>,
+    free_bufs: Vec<Vec<u8>>,
+    stats: Arc<ArenaStats>,
+}
+
+impl ShuffleArena {
+    pub fn new(page_size: usize) -> ShuffleArena {
+        assert!(page_size > 0, "shuffle arena needs a non-zero page size");
+        ShuffleArena {
+            page_size,
+            free_pages: Vec::new(),
+            free_bufs: Vec::new(),
+            stats: Arc::new(ArenaStats::default()),
+        }
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The shared counters (live pages, hand-over copies, pool hits).
+    pub fn stats(&self) -> &Arc<ArenaStats> {
+        &self.stats
+    }
+
+    /// Start an empty run. Pages are attached lazily on first push.
+    pub fn new_run(&self) -> PageRun {
+        PageRun { pages: Vec::new(), len: 0, stats: Arc::clone(&self.stats) }
+    }
+
+    /// Take a page able to hold `min` bytes: a pooled standard page when
+    /// it fits, a fresh standard page otherwise, or a dedicated page of
+    /// exactly `min` bytes for oversized records.
+    fn take_page(&mut self, min: usize) -> Page {
+        self.stats.live_pages.fetch_add(1, Ordering::SeqCst);
+        if min <= self.page_size {
+            match self.free_pages.pop() {
+                Some(p) => {
+                    self.stats.pages_reused.fetch_add(1, Ordering::SeqCst);
+                    p
+                }
+                None => Page::new(self.page_size),
+            }
+        } else {
+            Page::new(min)
+        }
+    }
+
+    /// Take a cleared byte buffer with at least `cap` capacity (the
+    /// Spark/SparkSer serialization target, pooled across rounds).
+    pub fn take_buf(&mut self, cap: usize) -> Vec<u8> {
+        match self.free_bufs.pop() {
+            Some(mut v) => {
+                self.stats.bufs_reused.fetch_add(1, Ordering::SeqCst);
+                v.clear();
+                if v.capacity() < cap {
+                    v.reserve(cap - v.capacity());
+                }
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a consumed byte buffer to the pool.
+    pub fn recycle_buf(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        if buf.capacity() > 0 {
+            self.free_bufs.push(buf);
+        }
+    }
+
+    /// Return a consumed run's pages to this pool. The run's live-page
+    /// count is settled against its *issuing* arena, so cross-executor
+    /// recycling (reducer-side pages pooling where they were consumed)
+    /// keeps every arena's ledger exact.
+    pub fn recycle_run(&mut self, mut run: PageRun) {
+        if !run.pages.is_empty() {
+            run.stats.live_pages.fetch_sub(run.pages.len() as i64, Ordering::SeqCst);
+        }
+        for (page, _) in run.pages.drain(..) {
+            // Only standard-size pages pool; oversized dedicated pages drop.
+            if page.len() == self.page_size {
+                self.free_pages.push(page);
+            }
+        }
+        // `pages` is empty now, so the run's Drop decrements nothing more.
+    }
+
+    /// Return a consumed payload (either variant) to this pool.
+    pub fn recycle(&mut self, payload: ShufflePayload) {
+        match payload {
+            ShufflePayload::Bytes(b) => self.recycle_buf(b),
+            ShufflePayload::Pages(r) => self.recycle_run(r),
+        }
+    }
+
+    /// Pages currently sitting in the pool (observability / tests).
+    pub fn pooled_pages(&self) -> usize {
+        self.free_pages.len()
+    }
+
+    pub fn pooled_bufs(&self) -> usize {
+        self.free_bufs.len()
+    }
+}
+
+/// One map task's output for one reducer, as it crosses the exchange.
+///
+/// `Pages` moves page ownership (Deca's zero-copy hand-over); `Bytes` is
+/// the serialized-buffer format Spark/SparkSer keep (drawn from the
+/// arena's buffer pool). Both expose the same chunked byte view, and
+/// records never span chunks, so consumers parse identically either way.
+#[derive(Debug)]
+pub enum ShufflePayload {
+    Bytes(Vec<u8>),
+    Pages(PageRun),
+}
+
+impl From<Vec<u8>> for ShufflePayload {
+    fn from(b: Vec<u8>) -> ShufflePayload {
+        ShufflePayload::Bytes(b)
+    }
+}
+
+impl ShufflePayload {
+    /// Payload bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            ShufflePayload::Bytes(b) => b.len(),
+            ShufflePayload::Pages(r) => r.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pages moved by this payload (0 for the byte format).
+    pub fn page_count(&self) -> usize {
+        match self {
+            ShufflePayload::Bytes(_) => 0,
+            ShufflePayload::Pages(r) => r.page_count(),
+        }
+    }
+
+    /// The payload as contiguous byte chunks, in order. Records never
+    /// span chunks.
+    pub fn chunks(&self) -> PayloadChunks<'_> {
+        match self {
+            ShufflePayload::Bytes(b) => PayloadChunks::Bytes(Some(b.as_slice()).into_iter()),
+            ShufflePayload::Pages(r) => PayloadChunks::Pages(r.pages.iter()),
+        }
+    }
+
+    /// A contiguous view. Borrows for the byte format and single-page
+    /// runs; a multi-page run must flatten, and that copy is counted
+    /// against the arena (the zero-copy test would catch a consumer
+    /// using this on the Deca hand-over path).
+    pub fn contiguous(&self) -> Cow<'_, [u8]> {
+        match self {
+            ShufflePayload::Bytes(b) => Cow::Borrowed(b.as_slice()),
+            ShufflePayload::Pages(r) => match r.pages.len() {
+                0 => Cow::Borrowed(&[][..]),
+                1 => {
+                    let (p, used) = &r.pages[0];
+                    Cow::Borrowed(&p.bytes()[..*used])
+                }
+                _ => Cow::Owned(r.to_vec_counted()),
+            },
+        }
+    }
+}
+
+/// Iterator over a payload's byte chunks (see [`ShufflePayload::chunks`]).
+pub enum PayloadChunks<'a> {
+    Bytes(std::option::IntoIter<&'a [u8]>),
+    Pages(std::slice::Iter<'a, (Page, usize)>),
+}
+
+impl<'a> Iterator for PayloadChunks<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        match self {
+            PayloadChunks::Bytes(it) => it.next(),
+            PayloadChunks::Pages(it) => it.next().map(|(p, used)| &p.bytes()[..*used]),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +955,98 @@ mod tests {
         .unwrap();
         assert_eq!(keys, vec![1, 1, 1, 2, 2, 3, 3, 3]);
         buf.release(&mut mm, &mut heap);
+    }
+
+    #[test]
+    fn page_run_keeps_records_whole_and_bytes_exact() {
+        let mut arena = ShuffleArena::new(32);
+        let mut run = arena.new_run();
+        let mut expected = Vec::new();
+        for i in 0..20u8 {
+            let rec = [i; 10];
+            run.push_parts(&mut arena, &[&rec[..4], &rec[4..]]);
+            expected.extend_from_slice(&rec);
+        }
+        assert_eq!(run.len(), 200);
+        // 32-byte pages hold 3 ten-byte records: records never span pages.
+        let flat: Vec<u8> = run.chunks().flat_map(|c| c.to_vec()).collect();
+        assert_eq!(flat, expected);
+        for chunk in run.chunks() {
+            assert_eq!(chunk.len() % 10, 0, "no record spans a page boundary");
+        }
+        assert_eq!(arena.stats().live_pages(), run.page_count() as i64);
+        drop(run);
+        assert_eq!(arena.stats().live_pages(), 0, "drop settles the ledger");
+    }
+
+    #[test]
+    fn arena_recycles_pages_and_reuses_them() {
+        let mut arena = ShuffleArena::new(64);
+        let mut run = arena.new_run();
+        run.push(&mut arena, &[1u8; 40]);
+        run.push(&mut arena, &[2u8; 40]);
+        assert_eq!(run.page_count(), 2);
+        arena.recycle_run(run);
+        assert_eq!(arena.stats().live_pages(), 0);
+        assert_eq!(arena.pooled_pages(), 2);
+        let mut again = arena.new_run();
+        again.push(&mut arena, &[3u8; 10]);
+        assert_eq!(arena.stats().pages_reused(), 1, "pool hit on the next round");
+        arena.recycle(ShufflePayload::Pages(again));
+        assert_eq!(arena.stats().live_pages(), 0);
+    }
+
+    #[test]
+    fn oversized_records_get_dedicated_unpooled_pages() {
+        let mut arena = ShuffleArena::new(16);
+        let mut run = arena.new_run();
+        run.push(&mut arena, &[9u8; 100]);
+        run.push(&mut arena, &[1u8; 8]);
+        assert_eq!(run.page_count(), 2);
+        let chunks: Vec<&[u8]> = run.chunks().collect();
+        assert_eq!(chunks[0], &[9u8; 100][..]);
+        assert_eq!(chunks[1], &[1u8; 8][..]);
+        arena.recycle_run(run);
+        assert_eq!(arena.pooled_pages(), 1, "the dedicated page does not pool");
+        assert_eq!(arena.stats().live_pages(), 0);
+    }
+
+    #[test]
+    fn payload_contiguous_borrows_until_it_must_copy() {
+        let mut arena = ShuffleArena::new(64);
+        // Byte format: always borrowed.
+        let bytes = ShufflePayload::from(vec![1u8, 2, 3]);
+        assert!(matches!(bytes.contiguous(), Cow::Borrowed(b) if b == [1, 2, 3]));
+        // Single-page run: borrowed, zero copies.
+        let mut one = arena.new_run();
+        one.push(&mut arena, &[7u8; 10]);
+        let p1 = ShufflePayload::Pages(one);
+        assert!(matches!(p1.contiguous(), Cow::Borrowed(_)));
+        assert_eq!(arena.stats().copied_bytes(), 0);
+        // Multi-page run: owned, and the copy is counted.
+        let mut two = arena.new_run();
+        two.push(&mut arena, &[1u8; 40]);
+        two.push(&mut arena, &[2u8; 40]);
+        let p2 = ShufflePayload::Pages(two);
+        assert_eq!(p2.contiguous().len(), 80);
+        assert_eq!(arena.stats().copied_bytes(), 80);
+        arena.recycle(p1);
+        arena.recycle(p2);
+        assert_eq!(arena.stats().live_pages(), 0);
+    }
+
+    #[test]
+    fn buf_pool_reuses_capacity_across_rounds() {
+        let mut arena = ShuffleArena::new(64);
+        let mut buf = arena.take_buf(128);
+        assert_eq!(arena.stats().bufs_reused(), 0);
+        buf.extend_from_slice(&[5u8; 100]);
+        let cap = buf.capacity();
+        arena.recycle_buf(buf);
+        let again = arena.take_buf(16);
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+        assert!(again.capacity() >= cap.min(128));
+        assert_eq!(arena.stats().bufs_reused(), 1);
     }
 
     #[test]

@@ -139,8 +139,9 @@ pub fn healthy_after_in(health: &[ExecutorHealth], failed: usize) -> Option<usiz
 }
 
 /// Transpose map-side shuffle outputs into reduce-side inputs:
-/// `outputs[map][reduce]` → `inputs[reduce][map]`.
-pub fn exchange(outputs: Vec<Vec<Vec<u8>>>) -> Vec<Vec<Vec<u8>>> {
+/// `outputs[map][reduce]` → `inputs[reduce][map]`. Buffers move, never
+/// copy — for page-backed payloads this is the ownership hand-over.
+pub fn exchange<T>(outputs: Vec<Vec<T>>) -> Vec<Vec<T>> {
     if outputs.is_empty() {
         return Vec::new();
     }
@@ -148,7 +149,7 @@ pub fn exchange(outputs: Vec<Vec<Vec<u8>>>) -> Vec<Vec<Vec<u8>>> {
     debug_assert!(outputs.iter().all(|o| o.len() == reducers));
     // Every reducer receives exactly one buffer per map task.
     let maps = outputs.len();
-    let mut inputs: Vec<Vec<Vec<u8>>> = (0..reducers).map(|_| Vec::with_capacity(maps)).collect();
+    let mut inputs: Vec<Vec<T>> = (0..reducers).map(|_| Vec::with_capacity(maps)).collect();
     for map_out in outputs {
         for (r, buf) in map_out.into_iter().enumerate() {
             inputs[r].push(buf);

@@ -239,6 +239,12 @@ pub struct ExecutorConfig {
     /// overhead is a bounded number of vector pushes per task — and
     /// turned off by the perf gate's overhead-measurement control run.
     pub tracing: bool,
+    /// A/B baseline knob: flatten every Deca shuffle hand-over into a
+    /// fresh byte buffer (the pre-zero-copy exchange), counting the
+    /// copies. Off by default; the perf gate's zero-copy floor cell turns
+    /// it on via `DECA_SHUFFLE_COPY=1` to measure what the hand-over
+    /// saves. Results are bit-identical either way.
+    pub copying_shuffle: bool,
 }
 
 impl ExecutorConfig {
@@ -261,6 +267,7 @@ impl ExecutorConfig {
                 retry: RetryPolicy::default(),
                 scheduler: SchedulerMode::from_env(),
                 tracing: true,
+                copying_shuffle: std::env::var("DECA_SHUFFLE_COPY").as_deref() == Ok("1"),
             },
         }
     }
@@ -313,6 +320,11 @@ impl ExecutorConfig {
 
     pub fn tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    pub fn copying_shuffle(mut self, on: bool) -> Self {
+        self.copying_shuffle = on;
         self
     }
 
@@ -390,6 +402,11 @@ impl ExecutorConfigBuilder {
 
     pub fn tracing(mut self, on: bool) -> Self {
         self.config.tracing = on;
+        self
+    }
+
+    pub fn copying_shuffle(mut self, on: bool) -> Self {
+        self.config.copying_shuffle = on;
         self
     }
 

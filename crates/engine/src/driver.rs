@@ -87,6 +87,7 @@ use crate::executor::Executor;
 use crate::faults::{FaultPlan, FaultSite};
 use crate::metrics::{JobMetrics, StageMetrics, Timeline};
 use crate::trace::{dur_ns, RunTrace, TraceEventKind, TraceRecorder};
+pub use deca_core::ShufflePayload;
 
 /// What a task knows about its place in a stage.
 #[derive(Clone, Debug)]
@@ -128,8 +129,9 @@ impl TaskContext<'_> {
 }
 
 /// Per-reducer shuffle outputs of one map task: `outputs[reducer]` is the
-/// raw byte run this task contributes to that reduce partition.
-pub type MapOutputs = Vec<Vec<u8>>;
+/// payload this task contributes to that reduce partition — pages handed
+/// over without a copy (Deca) or a pooled byte buffer (Spark/SparkSer).
+pub type MapOutputs = Vec<ShufflePayload>;
 
 /// One finished physical attempt, as the schedulers hand it back:
 /// `(task, attempt, result, oom_rerun, oom_recovered, speculative)`.
@@ -1003,7 +1005,7 @@ impl ClusterSession {
         map_tasks: usize,
         reduce_tasks: usize,
         map: impl Fn(&TaskContext, &mut Executor) -> Result<MapOutputs, EngineError> + Sync,
-        reduce: impl Fn(&TaskContext, &mut Executor, &[Vec<u8>]) -> Result<R, EngineError> + Sync,
+        reduce: impl Fn(&TaskContext, &mut Executor, &[ShufflePayload]) -> Result<R, EngineError> + Sync,
     ) -> Result<Vec<R>, EngineError> {
         let map_stage = format!("{name}-map");
         let outputs = self.run_stage_inner(
@@ -1024,17 +1026,32 @@ impl ClusterSession {
             },
             true,
         )?;
-        let bytes: u64 = outputs.iter().flatten().map(|b| b.len() as u64).sum();
+        let bytes: u64 = outputs.iter().flatten().map(|p| p.len() as u64).sum();
+        let pages: u64 = outputs.iter().flatten().map(|p| p.page_count() as u64).sum();
         if let Some(s) = self.stages.last_mut() {
             s.shuffle_bytes = bytes;
+            s.shuffle_pages = pages;
         }
 
         // All-to-all exchange: inputs[reducer][map task], map-task order.
+        // Payloads *move* — page-backed runs change owner here, no copy.
         let inputs = exchange(outputs);
-        let inputs = &inputs;
-        self.run_stage(&format!("{name}-reduce"), reduce_tasks, |ctx, e| {
-            reduce(ctx, e, &inputs[ctx.task])
-        })
+        let result = {
+            let inputs = &inputs;
+            self.run_stage(&format!("{name}-reduce"), reduce_tasks, |ctx, e| {
+                reduce(ctx, e, &inputs[ctx.task])
+            })
+        };
+        // The exchange's lifetime ends with the reduce wave: return the
+        // consumed payloads' storage to the executor arenas so the next
+        // shuffle round reuses pages/buffers instead of allocating.
+        if result.is_ok() {
+            let n = self.cluster.executors.len();
+            for (i, p) in inputs.into_iter().flatten().enumerate() {
+                self.cluster.executors[i % n].recycle_payload(p);
+            }
+        }
+        result
     }
 
     // ------------------------------------------------------------------
@@ -1095,8 +1112,12 @@ impl ClusterSession {
     /// (each executor samples against its own clock; the merge orders by
     /// per-executor elapsed time, which is what Figures 8a/9a plot).
     pub fn merged_timeline(&self) -> Timeline {
-        let mut samples: Vec<_> =
-            self.cluster.executors.iter().flat_map(|e| e.timeline().samples.clone()).collect();
+        let mut samples: Vec<_> = self
+            .cluster
+            .executors
+            .iter()
+            .flat_map(|e| e.timeline().samples.iter().copied())
+            .collect();
         samples.sort_by_key(|s| s.at);
         Timeline { samples }
     }
@@ -1268,14 +1289,25 @@ mod tests {
                     "x",
                     3,
                     2,
-                    |ctx, _e| Ok(vec![vec![ctx.task as u8]; 2]),
-                    |_ctx, _e, inputs| Ok(inputs.iter().map(|b| b[0]).collect::<Vec<u8>>()),
+                    |ctx, e| {
+                        Ok((0..2)
+                            .map(|_| {
+                                let mut run = e.new_run();
+                                run.push(&mut e.arena, &[ctx.task as u8]);
+                                e.hand_over(run)
+                            })
+                            .collect())
+                    },
+                    |_ctx, _e, inputs| {
+                        Ok(inputs.iter().map(|b| b.contiguous()[0]).collect::<Vec<u8>>())
+                    },
                 )
                 .unwrap();
             assert_eq!(got, vec![vec![0, 1, 2], vec![0, 1, 2]], "{executors} executors");
             let map_stage = s.stage("x-map").unwrap();
             assert_eq!(map_stage.tasks, 3);
             assert_eq!(map_stage.shuffle_bytes, 6);
+            assert_eq!(map_stage.shuffle_pages, 6, "one page per single-record run");
             assert_eq!(s.stage("x-reduce").unwrap().tasks, 2);
         }
     }
@@ -1288,7 +1320,7 @@ mod tests {
                 "bad",
                 2,
                 3,
-                |_ctx, _e| Ok(vec![Vec::new(); 2]), // wrong: 2 ≠ 3 reducers
+                |_ctx, _e| Ok((0..2).map(|_| ShufflePayload::from(Vec::new())).collect()), // wrong: 2 ≠ 3 reducers
                 |_ctx, _e, _inputs| Ok(()),
             )
             .unwrap_err();
@@ -1437,8 +1469,18 @@ mod tests {
                 "x",
                 3,
                 2,
-                |ctx, _e| Ok(vec![vec![ctx.task as u8]; 2]),
-                |_ctx, _e, inputs| Ok(inputs.iter().map(|b| b[0]).collect::<Vec<u8>>()),
+                |ctx, e| {
+                    Ok((0..2)
+                        .map(|_| {
+                            let mut run = e.new_run();
+                            run.push(&mut e.arena, &[ctx.task as u8]);
+                            e.hand_over(run)
+                        })
+                        .collect())
+                },
+                |_ctx, _e, inputs| {
+                    Ok(inputs.iter().map(|b| b.contiguous()[0]).collect::<Vec<u8>>())
+                },
             )
             .unwrap();
         // Corrupt frames are never consumed: the map task re-executes and
@@ -1636,21 +1678,30 @@ mod tests {
 
     #[test]
     fn pull_scheduler_matches_wave_results_and_emits_steals() {
-        // A straggling home slot forces steals: executor 0 sleeps in
-        // task 0 while executor 1 finishes its affinity set {1, 3, 5}
-        // and pulls executor 0's remaining slots {2, 4}. The straggler
-        // duration is tunable for loaded CI machines, where 30ms may not
-        // dominate executor 1's wave enough to guarantee a steal.
-        let straggle_ms: u64 =
-            std::env::var("DECA_TEST_STRAGGLER_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+        // A straggling home slot forces steals — structurally, not by
+        // wall clock: under pull, task 0 holds executor 0 until some
+        // task observes itself stolen (running off its home executor),
+        // which executor 1 is guaranteed to do once it drains its
+        // affinity set {1, 3, 5} and pulls executor 0's remaining slots
+        // {2, 4}. A bounded spin caps the wait so a scheduler regression
+        // fails the steal assertion instead of hanging the suite.
         let run = |mode: SchedulerMode| {
             let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(mode);
             let mut s = ClusterSession::new(2, cfg);
             assert_eq!(s.scheduler(), mode);
+            let stolen = AtomicBool::new(false);
             let out = s
                 .run_stage("skew", 6, |ctx, _e| {
-                    if ctx.task == 0 {
-                        std::thread::sleep(Duration::from_millis(straggle_ms));
+                    if ctx.executor != ctx.task % 2 {
+                        stolen.store(true, Ordering::SeqCst);
+                    }
+                    if mode == SchedulerMode::Pull && ctx.task == 0 {
+                        for _ in 0..50_000 {
+                            if stolen.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
                     }
                     Ok(ctx.task * 3)
                 })
@@ -1823,19 +1874,29 @@ mod tests {
         // and natural failures are not part of the deterministic fault
         // scenario), and it is why quiet-plan runs may attribute
         // failures differently across schedulers.
-        let straggle_ms: u64 =
-            std::env::var("DECA_TEST_STRAGGLER_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
         let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).scheduler(SchedulerMode::Pull);
         let mut s = ClusterSession::new(2, cfg);
         s.set_retry_policy(RetryPolicy::resilient());
         let tripped = AtomicBool::new(false);
+        let task2_ran = AtomicBool::new(false);
         let failed_on = AtomicUsize::new(usize::MAX);
         let out = s
             .run_stage("stolen", 6, |ctx, _e| {
-                // Executor 0 straggles in task 0 so executor 1 steals
-                // its remaining home slots (2, 4).
+                // Executor 0 holds task 0 until task 2 has run somewhere,
+                // so executor 1 is guaranteed to steal the home slots
+                // (2, 4) — structural forcing, no wall-clock dependence;
+                // the bounded spin turns a scheduler regression into an
+                // assertion failure rather than a hang.
                 if ctx.task == 0 {
-                    std::thread::sleep(Duration::from_millis(straggle_ms));
+                    for _ in 0..50_000 {
+                        if task2_ran.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+                if ctx.task == 2 {
+                    task2_ran.store(true, Ordering::SeqCst);
                 }
                 if ctx.task == 2 && !tripped.swap(true, Ordering::Relaxed) {
                     failed_on.store(ctx.executor, Ordering::Relaxed);
@@ -1911,8 +1972,16 @@ mod tests {
             "x",
             3,
             2,
-            |ctx, _e| Ok(vec![vec![ctx.task as u8]; 2]),
-            |_ctx, _e, inputs| Ok(inputs.iter().map(|b| b[0]).collect::<Vec<u8>>()),
+            |ctx, e| {
+                Ok((0..2)
+                    .map(|_| {
+                        let mut run = e.new_run();
+                        run.push(&mut e.arena, &[ctx.task as u8]);
+                        e.hand_over(run)
+                    })
+                    .collect())
+            },
+            |_ctx, _e, inputs| Ok(inputs.iter().map(|b| b.contiguous()[0]).collect::<Vec<u8>>()),
         )
         .unwrap();
         let t = s.merged_trace();
@@ -1921,7 +1990,8 @@ mod tests {
         assert_eq!(RunTrace::validate_chrome_document(&text), Ok(t.len()));
         let back = RunTrace::from_chrome_string(&text).unwrap();
         assert_eq!(back, t);
-        // The manifest sees both stages with their attempt counts.
+        // The manifest sees both stages with their attempt counts, and the
+        // map stage's zero-copy hand-overs.
         let manifest = t.to_manifest_json();
         let stages = manifest.get("stages").unwrap().as_array().unwrap();
         let names: Vec<&str> =
@@ -1929,5 +1999,192 @@ mod tests {
         assert_eq!(names, vec!["x-map", "x-reduce"]);
         assert_eq!(stages[0].get("attempts").unwrap().as_u64(), Some(3));
         assert_eq!(stages[1].get("attempts").unwrap().as_u64(), Some(2));
+        assert_eq!(stages[0].get("pages_handed").unwrap().as_u64(), Some(6));
+        assert_eq!(stages[0].get("handover_bytes").unwrap().as_u64(), Some(6));
+    }
+
+    #[test]
+    fn merged_timeline_merges_without_duplication() {
+        // Regression: merging used to deep-clone every executor's sample
+        // vector per call; repeated merges must return the same samples,
+        // exactly once each, still sorted by per-executor elapsed time.
+        let mut s = session(2);
+        for (i, e) in s.cluster.executors.iter_mut().enumerate() {
+            e.timeline.record(Duration::from_millis(i as u64), 10 + i, Duration::ZERO);
+            e.timeline.record(Duration::from_millis(10 + i as u64), 20 + i, Duration::ZERO);
+        }
+        let once = s.merged_timeline();
+        let twice = s.merged_timeline();
+        assert_eq!(once.samples.len(), 4, "each executor's two samples appear exactly once");
+        assert_eq!(once, twice, "re-merging must not duplicate or reorder samples");
+        assert!(once.samples.windows(2).all(|w| w[0].at <= w[1].at), "sorted by elapsed time");
+        // The executors' own timelines are untouched by the merge.
+        assert!(s.cluster.executors.iter().all(|e| e.timeline.samples.len() == 2));
+    }
+
+    /// A page-run shuffle job for the fault-invariance and hand-over
+    /// tests: map task t emits four 4-byte records per reducer; reduce
+    /// concatenates its inputs in map-task order.
+    fn run_page_shuffle(s: &mut ClusterSession, name: &str) -> Result<Vec<Vec<u8>>, EngineError> {
+        s.run_shuffle_job(
+            name,
+            4,
+            3,
+            |ctx, e| {
+                Ok((0..3u8)
+                    .map(|r| {
+                        let mut run = e.new_run();
+                        for i in 0..4u8 {
+                            run.push(&mut e.arena, &[ctx.task as u8, r, i, 0xAB]);
+                        }
+                        e.hand_over(run)
+                    })
+                    .collect())
+            },
+            |_ctx, _e, inputs| {
+                let mut out = Vec::new();
+                for p in inputs {
+                    for c in p.chunks() {
+                        out.extend_from_slice(c);
+                    }
+                }
+                Ok(out)
+            },
+        )
+    }
+
+    #[test]
+    fn shuffle_bytes_rollup_is_fault_invariant() {
+        // The exchanged-byte roll-up counts the winning attempts' outputs
+        // only: retries, OOM re-runs, crashes, and speculation must all
+        // report the fault-free value (and the fault-free bytes).
+        let run = |faults: Option<FaultPlan>, speculate: bool| {
+            let mut s = session(2);
+            s.set_retry_policy(RetryPolicy::resilient().speculate(speculate));
+            if let Some(f) = faults {
+                s.install_faults(f);
+            }
+            let got = run_page_shuffle(&mut s, "sb").unwrap();
+            let st = s.stage("sb-map").unwrap();
+            (got, st.shuffle_bytes, st.shuffle_pages, st.clone())
+        };
+        let (base_out, base_bytes, base_pages, _) = run(None, false);
+        assert_eq!(base_bytes, 4 * 3 * 16, "4 maps x 3 reducers x 4 records x 4 bytes");
+        let scenarios: Vec<(&str, FaultPlan)> = vec![
+            (
+                "map retry",
+                FaultPlan::quiet().force(FaultSite::TaskBody, "sb-map", Some(1), Some(0)),
+            ),
+            (
+                "corrupt frame rerun",
+                FaultPlan::quiet().force(FaultSite::ShuffleFrame, "sb-map", Some(0), Some(0)),
+            ),
+            ("oom rerun", FaultPlan::quiet().force(FaultSite::Alloc, "sb-map", Some(2), Some(0))),
+            (
+                "executor crash",
+                FaultPlan::quiet().force(FaultSite::ExecutorCrash, "sb-map", Some(3), Some(0)),
+            ),
+        ];
+        for (label, plan) in scenarios {
+            let (out, bytes, pages, st) = run(Some(plan), false);
+            assert_eq!(out, base_out, "{label}: results are fault-invariant");
+            assert_eq!(bytes, base_bytes, "{label}: shuffle_bytes counts winners only");
+            assert_eq!(pages, base_pages, "{label}: shuffle_pages counts winners only");
+            assert!(
+                st.retries + st.oom_reruns + st.restarts >= 1,
+                "{label}: the fault actually fired"
+            );
+        }
+        let (out, bytes, pages, _) = run(None, true);
+        assert_eq!((out, bytes, pages), (base_out, base_bytes, base_pages), "speculation");
+    }
+
+    #[test]
+    fn partial_handover_retry_neither_leaks_nor_double_frees_pages() {
+        // A map attempt that dies *after* handing over part of its output
+        // must not leak those pages, free them twice, or let them reach a
+        // reducer — the retry's fresh runs are the only ones exchanged.
+        let first = AtomicBool::new(true);
+        let seen = std::sync::Mutex::new(std::collections::HashSet::<usize>::new());
+        let mut s = session(2);
+        s.set_retry_policy(RetryPolicy::resilient());
+        let got = s
+            .run_shuffle_job(
+                "ph",
+                3,
+                2,
+                |ctx, e| {
+                    let mut out = Vec::new();
+                    for r in 0..2u8 {
+                        let mut run = e.new_run();
+                        run.push(&mut e.arena, &[ctx.task as u8, r]);
+                        out.push(e.hand_over(run));
+                        if ctx.task == 0 && r == 0 && first.swap(false, Ordering::SeqCst) {
+                            return Err(EngineError::Shuffle("killed mid-handover".into()));
+                        }
+                    }
+                    Ok(out)
+                },
+                |_ctx, _e, inputs| {
+                    let mut ptrs = seen.lock().unwrap();
+                    let mut bytes = Vec::new();
+                    for p in inputs {
+                        for c in p.chunks() {
+                            assert!(
+                                ptrs.insert(c.as_ptr() as usize),
+                                "a page was observed by two reducers"
+                            );
+                            bytes.extend_from_slice(c);
+                        }
+                    }
+                    Ok(bytes)
+                },
+            )
+            .unwrap();
+        // Bit-identical to a fault-free run: only winning attempts' pages
+        // were exchanged, in map-task order.
+        assert_eq!(got, vec![vec![0, 0, 1, 0, 2, 0], vec![0, 1, 1, 1, 2, 1]]);
+        assert_eq!(s.stage("ph-map").unwrap().retries, 1);
+        for (i, e) in s.cluster.executors.iter().enumerate() {
+            let stats = e.arena.stats();
+            assert_eq!(
+                stats.live_pages(),
+                0,
+                "executor {i}: every page settled exactly once (>0 leaks, <0 double-frees)"
+            );
+            assert_eq!(stats.copied_bytes(), 0, "executor {i}: the hand-over path never copies");
+        }
+    }
+
+    #[test]
+    fn deca_handover_copies_zero_bytes_and_the_baseline_copies_all() {
+        // Zero-copy hand-over: the exchange moves page ownership.
+        let mut s = session(2);
+        let base = run_page_shuffle(&mut s, "zc").unwrap();
+        let (copied, handed_runs, handed_bytes): (u64, u64, u64) =
+            s.cluster.executors.iter().map(|e| e.arena.stats()).fold((0, 0, 0), |acc, st| {
+                (acc.0 + st.copied_bytes(), acc.1 + st.handed_runs(), acc.2 + st.handed_bytes())
+            });
+        assert_eq!(copied, 0, "zero bytes copied on the Deca hand-over path");
+        assert_eq!(handed_runs, 4 * 3, "every per-reducer run was handed over");
+        assert_eq!(handed_bytes, 4 * 3 * 16);
+        assert!(s.merged_trace().of_kind(TraceEventKind::PageHandover).count() >= 1);
+
+        // The copying A/B baseline flattens every run into fresh bytes —
+        // same results, every byte counted as a copy.
+        let cfg = ExecutorConfig::new(ExecutionMode::Spark, 8 << 20).copying_shuffle(true);
+        let mut s2 = ClusterSession::new(2, cfg);
+        let copying = run_page_shuffle(&mut s2, "zc").unwrap();
+        assert_eq!(copying, base, "results are bit-identical across hand-over modes");
+        let (copied2, handed2): (u64, u64) = s2
+            .cluster
+            .executors
+            .iter()
+            .map(|e| e.arena.stats())
+            .fold((0, 0), |acc, st| (acc.0 + st.copied_bytes(), acc.1 + st.handed_runs()));
+        assert_eq!(copied2, 4 * 3 * 16, "the baseline copies every exchanged byte");
+        assert_eq!(handed2, 0, "no page ownership transfer in copying mode");
+        assert_eq!(s2.merged_trace().of_kind(TraceEventKind::PageHandover).count(), 0);
+        assert_eq!(s2.stage("zc-map").unwrap().shuffle_pages, 0);
     }
 }

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use deca_core::MemoryManager;
+use deca_core::{MemoryManager, PageRun, ShuffleArena, ShufflePayload};
 use deca_heap::{FullGcKind, GcAlgorithm, Heap, HeapConfig};
 
 use crate::cache::CacheManager;
@@ -30,6 +30,11 @@ pub const SIM_DISK_BPS: f64 = 500.0 * (1 << 20) as f64;
 pub struct Executor {
     pub heap: Heap,
     pub mm: MemoryManager,
+    /// Pooled shuffle pages and byte buffers, reused across shuffle
+    /// rounds. A separate field (not inside `mm`) so map kernels can
+    /// borrow `mm`/`heap` for container iteration while pushing into
+    /// runs through the arena.
+    pub arena: ShuffleArena,
     pub kryo: KryoSim,
     pub cache: CacheManager,
     pub config: ExecutorConfig,
@@ -76,6 +81,7 @@ impl Executor {
         Executor {
             heap,
             mm,
+            arena: ShuffleArena::new(config.page_size),
             kryo: KryoSim::new(),
             cache,
             gc_acc: GcAccounting::new(config.gc_algorithm),
@@ -306,6 +312,25 @@ impl Executor {
                     r.pages as u64,
                 );
             }
+            // Shuffle page hand-overs: ownership of map-output pages moved
+            // to the exchange without a copy (the zero-copy analogue of a
+            // page-group release — the writer's claim on the pages ends).
+            for h in self.mm.take_handover_events() {
+                self.trace.record(
+                    TraceEventKind::PageHandover,
+                    None,
+                    None,
+                    None,
+                    None,
+                    "handover",
+                    wall_start_ns,
+                    0,
+                    sim_start,
+                    0,
+                    h.bytes as u64,
+                    h.pages as u64,
+                );
+            }
             self.trace.record(
                 TraceEventKind::TaskAttempt,
                 None,
@@ -334,6 +359,49 @@ impl Executor {
     /// executor (advances by each task's [`TaskMetrics::total`]).
     pub fn sim_now(&self) -> Duration {
         self.sim_clock
+    }
+
+    /// Start a per-reducer shuffle output run backed by this executor's
+    /// page arena.
+    pub fn new_run(&mut self) -> PageRun {
+        self.arena.new_run()
+    }
+
+    /// Finish a map task's per-reducer run and hand it to the exchange.
+    ///
+    /// In the default zero-copy mode ownership of the pages transfers to
+    /// the returned payload — no bytes move — and the hand-over is noted
+    /// with the memory manager so it lands in the trace as a
+    /// [`TraceEventKind::PageHandover`]. With
+    /// [`ExecutorConfig::copying_shuffle`] set (the A/B baseline), the run
+    /// is flattened into a fresh `Vec<u8>` (counted on
+    /// [`deca_core::ArenaStats::copied_bytes`]) and its pages go straight
+    /// back to the pool.
+    pub fn hand_over(&mut self, run: PageRun) -> ShufflePayload {
+        if self.config.copying_shuffle {
+            let bytes = run.to_vec_counted();
+            self.arena.recycle_run(run);
+            ShufflePayload::Bytes(bytes)
+        } else {
+            let pages = run.page_count();
+            let bytes = run.len();
+            self.arena.stats().count_handover(pages as u64, bytes as u64);
+            self.mm.note_handover(pages, bytes);
+            ShufflePayload::Pages(run)
+        }
+    }
+
+    /// A pooled byte buffer for byte-format (Spark/SparkSer) map outputs,
+    /// cleared and with at least `cap` capacity. Pair with
+    /// [`Executor::recycle_payload`] on the read side.
+    pub fn take_shuffle_buf(&mut self, cap: usize) -> Vec<u8> {
+        self.arena.take_buf(cap)
+    }
+
+    /// Return a consumed shuffle payload's storage to this executor's
+    /// pools (pages for `Pages`, the byte buffer for `Bytes`).
+    pub fn recycle_payload(&mut self, payload: ShufflePayload) {
+        self.arena.recycle(payload);
     }
 
     /// Run a shuffle-write section: its wall time (minus serializer time,

@@ -42,7 +42,7 @@ pub use cluster::{ExecutorHealth, LocalCluster};
 pub use config::{
     ExecutionMode, ExecutorConfig, ExecutorConfigBuilder, RetryPolicy, SchedulerMode, ServerConfig,
 };
-pub use driver::{ClusterSession, MapOutputs, TaskContext};
+pub use driver::{ClusterSession, MapOutputs, ShufflePayload, TaskContext};
 pub use error::EngineError;
 pub use executor::Executor;
 pub use faults::{FaultPlan, FaultSite, FaultSpec};

@@ -152,6 +152,9 @@ pub struct StageMetrics {
     /// Bytes moved through the all-to-all exchange that follows this
     /// stage (set on the map side of a shuffle job; 0 otherwise).
     pub shuffle_bytes: u64,
+    /// Pages whose ownership moved through that exchange without a copy
+    /// (Deca zero-copy hand-over; 0 for byte-format modes).
+    pub shuffle_pages: u64,
     /// Physical task runs this stage performed, successful or not —
     /// scheduled attempts plus OOM in-place re-runs; equals
     /// `tasks + retries + oom_reruns` when the stage completes.
@@ -254,7 +257,7 @@ impl GcAccounting {
 
 /// One sample of the lifetime timeline (Figures 8a/9a): how many objects of
 /// the profiled class are on the heap, and cumulative GC time, at a moment.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TimelineSample {
     pub at: Duration,
     pub live_objects: usize,
@@ -262,7 +265,7 @@ pub struct TimelineSample {
 }
 
 /// Recorder for lifetime timelines.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Timeline {
     pub samples: Vec<TimelineSample>,
 }

@@ -69,7 +69,9 @@ use crate::cluster::{
     exchange, healthy_after_in, healthy_count_in, healthy_from_in, ExecutorHealth, LocalCluster,
 };
 use crate::config::{ExecutorConfig, RetryPolicy, SchedulerMode, ServerConfig};
-use crate::driver::{pin_faulted_slots_in, ClusterSession, MapOutputs, TaskContext};
+use crate::driver::{
+    pin_faulted_slots_in, ClusterSession, MapOutputs, ShufflePayload, TaskContext,
+};
 use crate::error::EngineError;
 use crate::executor::Executor;
 use crate::faults::{FaultPlan, FaultSite};
@@ -194,7 +196,7 @@ impl<'a> JobCtx<'a> {
         map_tasks: usize,
         reduce_tasks: usize,
         map: impl Fn(&TaskContext, &mut Executor) -> Result<MapOutputs, EngineError> + Sync,
-        reduce: impl Fn(&TaskContext, &mut Executor, &[Vec<u8>]) -> Result<R, EngineError> + Sync,
+        reduce: impl Fn(&TaskContext, &mut Executor, &[ShufflePayload]) -> Result<R, EngineError> + Sync,
     ) -> Result<Vec<R>, EngineError> {
         match &mut self.driver {
             JobDriver::Local(s) => s.run_shuffle_job(name, map_tasks, reduce_tasks, map, reduce),
@@ -939,7 +941,7 @@ impl ServerJobSession {
         map_tasks: usize,
         reduce_tasks: usize,
         map: impl Fn(&TaskContext, &mut Executor) -> Result<MapOutputs, EngineError> + Sync,
-        reduce: impl Fn(&TaskContext, &mut Executor, &[Vec<u8>]) -> Result<R, EngineError> + Sync,
+        reduce: impl Fn(&TaskContext, &mut Executor, &[ShufflePayload]) -> Result<R, EngineError> + Sync,
     ) -> Result<Vec<R>, EngineError> {
         let map_stage = format!("{name}-map");
         let outputs: Vec<MapOutputs> = self.run_stage_typed(
@@ -960,15 +962,28 @@ impl ServerJobSession {
             },
             true,
         )?;
-        let bytes: u64 = outputs.iter().flatten().map(|b| b.len() as u64).sum();
+        let bytes: u64 = outputs.iter().flatten().map(|p| p.len() as u64).sum();
+        let pages: u64 = outputs.iter().flatten().map(|p| p.page_count() as u64).sum();
         if let Some(s) = self.stages.last_mut() {
             s.shuffle_bytes = bytes;
+            s.shuffle_pages = pages;
         }
+        // Payloads move through the exchange; pages change owner, no copy.
         let inputs = exchange(outputs);
-        let inputs = &inputs;
-        self.run_stage(&format!("{name}-reduce"), reduce_tasks, |ctx, e| {
-            reduce(ctx, e, &inputs[ctx.task])
-        })
+        let result = {
+            let inputs = &inputs;
+            self.run_stage(&format!("{name}-reduce"), reduce_tasks, |ctx, e| {
+                reduce(ctx, e, &inputs[ctx.task])
+            })
+        };
+        // Return consumed payload storage to the physical executors' pools.
+        if result.is_ok() {
+            let n = self.inner.executors.len();
+            for (i, p) in inputs.into_iter().flatten().enumerate() {
+                lock(&self.inner.executors[i % n]).recycle_payload(p);
+            }
+        }
+        result
     }
 
     /// The retry engine: the standalone driver's `run_stage_inner` with
@@ -1385,16 +1400,19 @@ fn run_job(inner: &Arc<ServerInner>, q: QueuedJob) {
     for m in inner.executors.iter() {
         lock(m).release_job_blocks(id);
     }
-    {
-        let mut slot = lock(&state.result);
-        *slot = Some(output);
-        state.cv.notify_all();
-    }
+    // Release the tenant's admission slot *before* publishing the result:
+    // a waiter that wakes on the result and immediately resubmits must not
+    // race the slot release into a spurious AdmissionRejected.
     {
         let mut tenants = lock(&inner.tenants);
         if let Some(t) = tenants.iter_mut().find(|t| t.id == tenant_id) {
             t.in_flight = t.in_flight.saturating_sub(1);
         }
+    }
+    {
+        let mut slot = lock(&state.result);
+        *slot = Some(output);
+        state.cv.notify_all();
     }
     {
         let mut pool = lock(&inner.pool);
@@ -1709,8 +1727,16 @@ mod tests {
                 "x",
                 3,
                 2,
-                |c, _e| Ok(vec![vec![c.task as u8]; 2]),
-                |_c, _e, inputs| Ok(inputs.iter().map(|b| b[0] as f64).sum::<f64>()),
+                |c, e| {
+                    Ok((0..2)
+                        .map(|_| {
+                            let mut run = e.new_run();
+                            run.push(&mut e.arena, &[c.task as u8]);
+                            e.hand_over(run)
+                        })
+                        .collect())
+                },
+                |_c, _e, inputs| Ok(inputs.iter().map(|b| b.contiguous()[0] as f64).sum::<f64>()),
             )?;
             assert_eq!(got, vec![3.0, 3.0]);
             Ok(got.into_iter().sum())
@@ -1719,6 +1745,7 @@ mod tests {
         assert_eq!(out.checksum, 6.0);
         let map = out.stages.iter().find(|s| s.name == "x-map").unwrap();
         assert_eq!(map.shuffle_bytes, 6);
+        assert_eq!(map.shuffle_pages, 6);
     }
 
     #[test]

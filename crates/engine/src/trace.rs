@@ -78,6 +78,10 @@ pub enum TraceEventKind {
     /// A page group reclaimed at refcount zero — lifetime-based release
     /// (`count` = pages, `bytes` = footprint returned).
     PageGroupRelease,
+    /// A shuffle run's page ownership moved to a reducer without a byte
+    /// copy — the zero-copy exchange hand-over (`count` = pages moved,
+    /// `bytes` = payload carried).
+    PageHandover,
     /// The watchdog launched a speculative duplicate of a slow attempt
     /// (`executor` = where the duplicate runs, `count` = the primary
     /// copy's home executor). Only the pull scheduler emits this.
@@ -106,6 +110,7 @@ impl TraceEventKind {
             TraceEventKind::CacheRehydrate => "cache-rehydrate",
             TraceEventKind::OomRecovery => "oom-recovery",
             TraceEventKind::PageGroupRelease => "page-group-release",
+            TraceEventKind::PageHandover => "page-handover",
             TraceEventKind::TaskSpeculative => "task-speculative",
             TraceEventKind::TaskTimeout => "task-timeout",
             TraceEventKind::JobCancelled => "job-cancelled",
@@ -117,7 +122,7 @@ impl TraceEventKind {
         TraceEventKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
-    pub const ALL: [TraceEventKind; 15] = [
+    pub const ALL: [TraceEventKind; 16] = [
         TraceEventKind::StageStart,
         TraceEventKind::StageEnd,
         TraceEventKind::TaskAttempt,
@@ -130,6 +135,7 @@ impl TraceEventKind {
         TraceEventKind::CacheRehydrate,
         TraceEventKind::OomRecovery,
         TraceEventKind::PageGroupRelease,
+        TraceEventKind::PageHandover,
         TraceEventKind::TaskSpeculative,
         TraceEventKind::TaskTimeout,
         TraceEventKind::JobCancelled,
@@ -149,18 +155,21 @@ impl TraceEventKind {
             TraceEventKind::GcPause => 4,
             TraceEventKind::SpillIo => 5,
             TraceEventKind::PageGroupRelease => 6,
-            TraceEventKind::OomRecovery => 7,
+            // The hand-over happens at the end of the map attempt, after
+            // any releases the attempt performed.
+            TraceEventKind::PageHandover => 7,
+            TraceEventKind::OomRecovery => 8,
             // The watchdog's verdict on the attempt precedes the driver's
             // retry reaction to it.
-            TraceEventKind::TaskTimeout => 8,
-            TraceEventKind::Retry => 9,
-            TraceEventKind::Quarantine => 10,
-            TraceEventKind::Restart => 11,
+            TraceEventKind::TaskTimeout => 9,
+            TraceEventKind::Retry => 10,
+            TraceEventKind::Quarantine => 11,
+            TraceEventKind::Restart => 12,
             // Rehydration is part of the restart, so it sorts right after
             // the Restart marker it belongs to.
-            TraceEventKind::CacheRehydrate => 12,
-            TraceEventKind::JobCancelled => 13,
-            TraceEventKind::StageEnd => 14,
+            TraceEventKind::CacheRehydrate => 13,
+            TraceEventKind::JobCancelled => 14,
+            TraceEventKind::StageEnd => 15,
         }
     }
 }
@@ -589,6 +598,7 @@ impl RunTrace {
                 let gc = of(TraceEventKind::GcPause);
                 let spills = of(TraceEventKind::SpillIo);
                 let releases = of(TraceEventKind::PageGroupRelease);
+                let handovers = of(TraceEventKind::PageHandover);
                 Json::obj(vec![
                     ("name", Json::str(name.as_str())),
                     ("attempts", Json::int(attempts.len() as u64)),
@@ -619,6 +629,8 @@ impl RunTrace {
                     ("spill_bytes", Json::int(spills.iter().map(|e| e.bytes).sum::<u64>())),
                     ("groups_released", Json::int(releases.len() as u64)),
                     ("released_bytes", Json::int(releases.iter().map(|e| e.bytes).sum::<u64>())),
+                    ("pages_handed", Json::int(handovers.iter().map(|e| e.count).sum::<u64>())),
+                    ("handover_bytes", Json::int(handovers.iter().map(|e| e.bytes).sum::<u64>())),
                 ])
             })
             .collect();

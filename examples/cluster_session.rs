@@ -18,9 +18,15 @@ fn main() {
             "demo",
             4,
             2,
-            |ctx, _e| {
-                let payload = vec![ctx.task as u8; 3];
-                Ok(vec![payload.clone(), payload])
+            |ctx, e| {
+                // Each run's pages transfer to the exchange copy-free.
+                Ok((0..2)
+                    .map(|_| {
+                        let mut run = e.new_run();
+                        run.push(&mut e.arena, &[ctx.task as u8; 3]);
+                        e.hand_over(run)
+                    })
+                    .collect())
             },
             |_ctx, _e, inputs| Ok(inputs.iter().map(|run| run.len()).sum::<usize>()),
         )

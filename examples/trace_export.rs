@@ -31,7 +31,15 @@ fn main() {
             "map",
             4,
             2,
-            |ctx, _e| Ok(vec![vec![ctx.task as u8; 4], vec![ctx.task as u8; 4]]),
+            |ctx, e| {
+                Ok((0..2)
+                    .map(|_| {
+                        let mut run = e.new_run();
+                        run.push(&mut e.arena, &[ctx.task as u8; 4]);
+                        e.hand_over(run)
+                    })
+                    .collect())
+            },
             |_ctx, _e, inputs| Ok(inputs.iter().map(|run| run.len()).sum::<usize>()),
         )
         .expect("survivable job");

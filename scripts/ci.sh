@@ -100,6 +100,24 @@ for sched in wave pull; do
   done
 done
 
+echo "== partial-handover kill matrix (zero-copy retry safety, both schedulers, replayed seeds) =="
+# A map attempt that dies after handing over part of its page runs must
+# leave the arena ledger exactly balanced: no page leaked, none freed
+# twice, and no reducer ever observes a page from the failed attempt.
+# The test asserts live_pages == 0 on every executor, zero copied bytes
+# on the Deca hand-over path, and pointer-uniqueness of every page slice
+# across reducers while all exchanged pages are simultaneously live.
+for sched in wave pull; do
+  for seed in 11 29 47; do
+    if ! DECA_SCHEDULER=$sched DECA_CHECK_SEED=$seed \
+        cargo test -q --offline -p deca-engine --lib partial_handover; then
+      echo "partial-handover kill matrix failed under seed $seed with the $sched scheduler; replay locally with:"
+      echo "  DECA_SCHEDULER=$sched DECA_CHECK_SEED=$seed cargo test --offline -p deca-engine --lib partial_handover"
+      exit 1
+    fi
+  done
+done
+
 echo "== bench smoke (fig8 wordcount, tiny scale) =="
 DECA_BENCH_SCALE=0.05 cargo run --release --offline -q -p deca-bench --bin fig8_wordcount
 
@@ -123,8 +141,11 @@ cp BENCH_*.json target/ci/
 # The tracing-overhead ceiling is widened from the 5% default: on a
 # single-core CI host the probe's noise floor is a few percent either
 # way (observed 2-6% for a true ~2% overhead), while a real tracing
-# regression lands far beyond 10%.
-DECA_GATE_SAMPLES=3 DECA_GATE_TRACE_OVERHEAD=10 \
+# regression lands far beyond 10%. DECA_GATE_SCALE=10 pins the
+# shuffle-bound cells (WC-SHUF/* and the zero-copy A/B) at 10x the base
+# workload so the exchange volume, not per-record compute, dominates
+# what they time.
+DECA_GATE_SAMPLES=3 DECA_GATE_TRACE_OVERHEAD=10 DECA_GATE_SCALE=10 \
   DECA_BENCH_OUT=target/ci/BENCH_current.json \
   cargo run --release --offline -q -p deca-bench --bin perf_gate
 

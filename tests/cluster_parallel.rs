@@ -64,21 +64,23 @@ fn parallel_wordcount_matches_sequential() {
                             add,
                         )?;
                     }
-                    let mut out: Vec<Vec<u8>> = (0..tasks).map(|_| Vec::new()).collect();
-                    buf.for_each(&mut e.mm, &mut e.heap, |k, v| {
+                    let mut runs: Vec<_> = (0..tasks).map(|_| e.arena.new_run()).collect();
+                    let (mm, heap, arena) = (&mut e.mm, &mut e.heap, &mut e.arena);
+                    buf.for_each(mm, heap, |k, v| {
                         let key = i64::from_le_bytes(k[..8].try_into().unwrap());
                         let r = partition_of(key as u64, tasks);
-                        out[r].extend_from_slice(k);
-                        out[r].extend_from_slice(v);
+                        runs[r].push_parts(arena, &[k, v]);
                     })?;
                     buf.release(&mut e.mm, &mut e.heap);
-                    Ok(out)
+                    Ok(runs.into_iter().map(|run| e.hand_over(run)).collect())
                 },
                 |_ctx, e, bufs| {
                     let mut buf = DecaHashShuffle::new(&mut e.mm, 8, 8);
-                    for bytes in bufs {
-                        for rec in bytes.chunks_exact(16) {
-                            buf.insert(&mut e.mm, &mut e.heap, &rec[..8], &rec[8..], add)?;
+                    for payload in bufs {
+                        for bytes in payload.chunks() {
+                            for rec in bytes.chunks_exact(16) {
+                                buf.insert(&mut e.mm, &mut e.heap, &rec[..8], &rec[8..], add)?;
+                            }
                         }
                     }
                     let mut sum = 0.0;
