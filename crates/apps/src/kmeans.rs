@@ -4,9 +4,24 @@
 //! The cached vectors behave exactly as LR's; the per-iteration map emits
 //! `(closestCenter, point)` pairs whose temporaries churn the young
 //! generation in Spark mode, and cluster sums are eagerly aggregated.
+//!
+//! Like LR, the job is described once as an [`AppJob`] ([`job`]) and runs
+//! through the cluster driver: a `km-load` stage caches partition `p`'s
+//! points on executor `p % E`, then each iteration is one `km-iter{i}`
+//! stage whose tasks return partial `(sums, counts)` the driver folds in
+//! task order — so the f64 addition sequence, and hence the centroids,
+//! are bit-identical for any executor count, standalone or on a
+//! [`deca_engine::DecaServer`]. A retried or stolen task that lands on an
+//! executor without its block recaches it from the generated partition
+//! first (lineage recompute).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 use deca_engine::record::HeapRecord;
-use deca_engine::{ExecutionMode, Executor, ExecutorConfig};
+use deca_engine::{
+    AppJob, ClusterSession, EngineError, ExecutionMode, Executor, ExecutorConfig, JobCtx,
+};
 
 use crate::datagen;
 use crate::records::LabeledPointRec;
@@ -26,6 +41,7 @@ pub struct KmParams {
     /// Deca page size override (None = executor default). High-dimensional
     /// records need larger pages to bound tail waste (§4.3.1).
     pub page_size: Option<usize>,
+    pub gc_algorithm: deca_heap::GcAlgorithm,
     pub seed: u64,
 }
 
@@ -41,52 +57,99 @@ impl KmParams {
             storage_fraction: 0.6,
             mode,
             page_size: None,
+            gc_algorithm: deca_heap::GcAlgorithm::ParallelScavenge,
             seed: 20160903,
         }
     }
 }
 
-#[allow(clippy::needless_range_loop)] // kernels index like the paper's code
+/// Run KMeans on one executor and report metrics, cache size, and the
+/// final-centroids checksum (the single-executor shim kept for the bench
+/// binaries and cross-mode tests).
 pub fn run(params: &KmParams) -> AppReport {
+    run_local(params, 1)
+}
+
+/// Run KMeans across `executors` parallel executors. The centroids are
+/// bit-identical for any executor count: task `p` always scans its own
+/// cached partition and the driver folds partial sums in task order.
+pub fn run_local(params: &KmParams, executors: usize) -> AppReport {
+    crate::run_job_local(&job(params), km_config(params), executors)
+}
+
+/// Run the KMeans job on an already-built session (any executor shape,
+/// any installed fault plan) and return its checksum.
+pub fn run_on(params: &KmParams, session: &mut ClusterSession) -> Result<f64, EngineError> {
+    job(params).run(&mut JobCtx::local(session))
+}
+
+/// The executor configuration KMeans runs under (public so equivalence
+/// tests can build sessions with the exact same memory split, then vary
+/// retry policy and scheduler mode).
+pub fn km_config(params: &KmParams) -> ExecutorConfig {
     let mut config = ExecutorConfig::new(params.mode, params.heap_bytes)
-        .storage_fraction(params.storage_fraction);
+        .storage_fraction(params.storage_fraction)
+        .gc_algorithm(params.gc_algorithm);
     if let Some(page) = params.page_size {
         config = config.page_size(page);
     }
-    let mut exec = Executor::new(config);
+    config
+}
+
+/// Cache one partition of labeled points in the mode's representation.
+fn load_block(
+    e: &mut Executor,
+    part: &[LabeledPointRec],
+    mode: ExecutionMode,
+    dims: usize,
+    classes: &crate::records::LabeledPointClasses,
+) -> Result<deca_engine::cache::BlockId, EngineError> {
+    Ok(match mode {
+        ExecutionMode::Spark => {
+            e.cache.put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, classes, part)?
+        }
+        ExecutionMode::SparkSer => {
+            e.cache.put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, part)?
+        }
+        ExecutionMode::Deca => {
+            e.cache.put_deca_sfst(&mut e.heap, &mut e.mm, part, LabeledPointRec::sfst_size(dims))?
+        }
+    })
+}
+
+/// The KMeans job description: consumed by `DecaServer::submit` (via
+/// `JobSpec::app`) and by the local shims above.
+pub fn job(params: &KmParams) -> AppJob {
+    let params = params.clone();
+    AppJob::new("KMeans", move |job_ctx| run_kmeans(&params, job_ctx))
+}
+
+/// One iteration task's contribution: per-cluster coordinate sums and
+/// member counts for its partition, in partition point order.
+type KmPartial = (Vec<Vec<f64>>, Vec<usize>);
+
+fn run_kmeans(params: &KmParams, job_ctx: &mut JobCtx) -> Result<f64, EngineError> {
     let data = datagen::labeled_vectors(params.points, params.dims, params.seed);
     let parts = datagen::partition(&data, params.partitions);
-    let classes = LabeledPointRec::register(&mut exec.heap);
-    let pair_classes = <(i64, f64) as HeapRecord>::register(&mut exec.heap);
+    let mode = params.mode;
     let d = params.dims;
     let k = params.clusters;
 
-    // ------------------------------------------------------------ load
-    let blocks: Vec<_> = parts
-        .iter()
-        .enumerate()
-        .map(|(pi, part)| {
-            exec.run_task(format!("km-load-{pi}"), |e| match params.mode {
-                ExecutionMode::Spark => e
-                    .cache
-                    .put_objects(&mut e.heap, &mut e.kryo, &mut e.mm, &classes, part)
-                    .expect("cache put"),
-                ExecutionMode::SparkSer => e
-                    .cache
-                    .put_serialized(&mut e.heap, &mut e.kryo, &mut e.mm, part)
-                    .expect("cache put"),
-                ExecutionMode::Deca => e
-                    .cache
-                    .put_deca_sfst(&mut e.heap, &mut e.mm, part, LabeledPointRec::sfst_size(d))
-                    .expect("cache put"),
-            })
-        })
-        .collect();
-    let cache_bytes = {
-        exec.finish_job();
-        exec.job.cache_bytes + exec.job.swapped_cache_bytes
-    };
-    exec.job = Default::default();
+    // Load stage: partition p's points are cached on executor p % E,
+    // where every iteration's task p (same pinning) will scan them.
+    let blocks: Mutex<HashMap<(usize, usize), deca_engine::cache::BlockId>> =
+        Mutex::new(HashMap::new());
+    let parts_now = &parts;
+    {
+        let blocks_now = &blocks;
+        job_ctx.run_stage("km-load", params.partitions, |ctx, e| {
+            let classes = LabeledPointRec::register(&mut e.heap);
+            let block = load_block(e, &parts_now[ctx.task], mode, d, &classes)?;
+            blocks_now.lock().unwrap().insert((ctx.executor, ctx.task), block);
+            Ok(())
+        })?;
+    }
+    job_ctx.note_cache_bytes();
 
     // Deterministic initial centroids from the data.
     let mut centroids: Vec<Vec<f64>> = data
@@ -101,108 +164,57 @@ pub fn run(params: &KmParams) -> AppReport {
 
     // ------------------------------------------------------ iterations
     for iter in 0..params.iterations {
-        let mut sums = vec![vec![0.0f64; d]; k];
-        let mut counts = vec![0usize; k];
-        for (pi, &block) in blocks.iter().enumerate() {
-            exec.run_task(format!("km-iter{iter}-{pi}"), |e| {
-                let assign = |features: &dyn Fn(usize) -> f64, centroids: &[Vec<f64>]| -> usize {
-                    let mut best = 0;
-                    let mut best_d = f64::INFINITY;
-                    for (c, cent) in centroids.iter().enumerate() {
-                        let mut dist = 0.0;
-                        for j in 0..d {
-                            let diff = features(j) - cent[j];
-                            dist += diff * diff;
-                        }
-                        if dist < best_d {
-                            best_d = dist;
-                            best = c;
-                        }
+        let centroids_now = &centroids;
+        let blocks_now = &blocks;
+        let partials: Vec<KmPartial> =
+            job_ctx.run_stage(&format!("km-iter{iter}"), params.partitions, |ctx, e| {
+                let classes = LabeledPointRec::register(&mut e.heap);
+                // Trust the cached handle only if the block is still
+                // resident on this executor; a retried or stolen attempt
+                // recaches from the generated partition (lineage
+                // recompute), so the scanned bytes are identical wherever
+                // the task lands.
+                let cached = blocks_now
+                    .lock()
+                    .unwrap()
+                    .get(&(ctx.executor, ctx.task))
+                    .copied()
+                    .filter(|b| e.cache.contains(*b));
+                let block = match cached {
+                    Some(b) => b,
+                    None => {
+                        let b = load_block(e, &parts_now[ctx.task], mode, d, &classes)?;
+                        blocks_now.lock().unwrap().insert((ctx.executor, ctx.task), b);
+                        b
                     }
-                    best
                 };
-                match params.mode {
+                let mut sums = vec![vec![0.0f64; d]; k];
+                let mut counts = vec![0usize; k];
+                match mode {
                     ExecutionMode::Spark => {
-                        let (root, len) = e
-                            .cache
-                            .objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)
-                            .expect("cache access");
-                        for i in 0..len {
-                            let arr = e.heap.root_ref(root);
-                            let lp = e.heap.array_get_ref(arr, i);
-                            let dv = e.heap.read_ref(lp, 1);
-                            let data_arr = e.heap.read_ref(dv, 0);
-                            let heap = &e.heap;
-                            let best = assign(&|j| heap.array_get_f64(data_arr, j), &centroids);
-                            // The map's temporary (closest, 1.0) pair.
-                            let tmp = (best as i64, 1.0f64)
-                                .store(&mut e.heap, &pair_classes)
-                                .expect("temp pair");
-                            let ts = e.heap.push_stack(tmp);
-                            let (c, w) = <(i64, f64) as HeapRecord>::load(
-                                &e.heap,
-                                &pair_classes,
-                                e.heap.stack_ref(ts),
-                            );
-                            e.heap.truncate_stack(ts);
-                            counts[c as usize] += w as usize;
-                            let arr = e.heap.root_ref(root);
-                            let lp = e.heap.array_get_ref(arr, i);
-                            let dv = e.heap.read_ref(lp, 1);
-                            let data_arr = e.heap.read_ref(dv, 0);
-                            for j in 0..d {
-                                sums[c as usize][j] += e.heap.array_get_f64(data_arr, j);
-                            }
-                        }
+                        spark_assign(e, block, centroids_now, &mut sums, &mut counts)?
                     }
                     ExecutionMode::SparkSer => {
-                        let mut recs: Vec<LabeledPointRec> = Vec::new();
-                        e.cache
-                            .iter_serialized(block, &mut e.heap, &mut e.kryo, &mut e.mm, |r| {
-                                recs.push(r)
-                            })
-                            .expect("cache access");
-                        for rec in recs {
-                            let lp = rec.store(&mut e.heap, &classes).expect("temp graph");
-                            let ls = e.heap.push_stack(lp);
-                            let lp = e.heap.stack_ref(ls);
-                            let dv = e.heap.read_ref(lp, 1);
-                            let data_arr = e.heap.read_ref(dv, 0);
-                            let heap = &e.heap;
-                            let best = assign(&|j| heap.array_get_f64(data_arr, j), &centroids);
-                            counts[best] += 1;
-                            for j in 0..d {
-                                sums[best][j] += e.heap.array_get_f64(data_arr, j);
-                            }
-                            e.heap.truncate_stack(ls);
-                        }
+                        sparkser_assign(e, block, &classes, centroids_now, &mut sums, &mut counts)?
                     }
                     ExecutionMode::Deca => {
-                        let heap = &mut e.heap;
-                        let mm = &mut e.mm;
-                        let block = e.cache.deca_block(block);
-                        block
-                            .scan_bytes(
-                                mm,
-                                heap,
-                                |bytes| {
-                                    let feat = |j: usize| {
-                                        f64::from_le_bytes(
-                                            bytes[8 + j * 8..16 + j * 8].try_into().unwrap(),
-                                        )
-                                    };
-                                    let best = assign(&feat, &centroids);
-                                    counts[best] += 1;
-                                    for j in 0..d {
-                                        sums[best][j] += feat(j);
-                                    }
-                                },
-                                |_| {},
-                            )
-                            .expect("cache scan");
+                        deca_assign(e, block, centroids_now, &mut sums, &mut counts)?
                     }
                 }
-            });
+                Ok((sums, counts))
+            })?;
+        // Fold partials in task order (each partial is itself the
+        // partition's in-order point sum), then move the centroids — the
+        // f64 addition sequence never depends on where tasks ran.
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (psums, pcounts) in &partials {
+            for c in 0..k {
+                counts[c] += pcounts[c];
+                for j in 0..d {
+                    sums[c][j] += psums[c][j];
+                }
+            }
         }
         for c in 0..k {
             if counts[c] > 0 {
@@ -212,21 +224,126 @@ pub fn run(params: &KmParams) -> AppReport {
             }
         }
     }
+    Ok(centroids.iter().flatten().map(|v| v.abs()).sum())
+}
 
-    exec.finish_job();
-    let checksum: f64 = centroids.iter().flatten().map(|v| v.abs()).sum();
-    AppReport {
-        app: "KMeans".into(),
-        mode: params.mode,
-        metrics: exec.job.clone(),
-        timeline: exec.timeline.clone(),
-        checksum,
-        cache_bytes,
-        objects_traced: exec.heap.stats().objects_traced,
-        minor_gcs: exec.heap.stats().minor_collections,
-        full_gcs: exec.heap.stats().full_collections,
-        slowest_task: exec.slowest_task().cloned(),
+/// Nearest centroid by squared euclidean distance, shared by every kernel
+/// so assignments agree bit-for-bit across modes.
+#[allow(clippy::needless_range_loop)] // kernels index like the paper's code
+fn assign(features: &dyn Fn(usize) -> f64, centroids: &[Vec<f64>], d: usize) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, cent) in centroids.iter().enumerate() {
+        let mut dist = 0.0;
+        for j in 0..d {
+            let diff = features(j) - cent[j];
+            dist += diff * diff;
+        }
+        if dist < best_d {
+            best_d = dist;
+            best = c;
+        }
     }
+    best
+}
+
+/// Spark kernel: walk the heap object graphs; per point, allocate the
+/// map's temporary `(closestCenter, 1.0)` pair which dies after the
+/// aggregation consumes it.
+#[allow(clippy::needless_range_loop)]
+fn spark_assign(
+    e: &mut Executor,
+    block: deca_engine::cache::BlockId,
+    centroids: &[Vec<f64>],
+    sums: &mut [Vec<f64>],
+    counts: &mut [usize],
+) -> Result<(), EngineError> {
+    let d = centroids[0].len();
+    let pair_classes = <(i64, f64) as HeapRecord>::register(&mut e.heap);
+    let (root, len) = e.cache.objects_root(block, &mut e.heap, &mut e.kryo, &mut e.mm)?;
+    for i in 0..len {
+        let arr = e.heap.root_ref(root);
+        let lp = e.heap.array_get_ref(arr, i);
+        let dv = e.heap.read_ref(lp, 1);
+        let data_arr = e.heap.read_ref(dv, 0);
+        let heap = &e.heap;
+        let best = assign(&|j| heap.array_get_f64(data_arr, j), centroids, d);
+        // The map's temporary (closest, 1.0) pair.
+        let tmp = (best as i64, 1.0f64).store(&mut e.heap, &pair_classes).expect("temp pair");
+        let ts = e.heap.push_stack(tmp);
+        let (c, w) = <(i64, f64) as HeapRecord>::load(&e.heap, &pair_classes, e.heap.stack_ref(ts));
+        e.heap.truncate_stack(ts);
+        counts[c as usize] += w as usize;
+        let arr = e.heap.root_ref(root);
+        let lp = e.heap.array_get_ref(arr, i);
+        let dv = e.heap.read_ref(lp, 1);
+        let data_arr = e.heap.read_ref(dv, 0);
+        for j in 0..d {
+            sums[c as usize][j] += e.heap.array_get_f64(data_arr, j);
+        }
+    }
+    Ok(())
+}
+
+/// SparkSer kernel: deserialize each point (Kryo cost), materialise it as
+/// temporary heap objects, then compute as the Spark kernel does.
+#[allow(clippy::needless_range_loop)]
+fn sparkser_assign(
+    e: &mut Executor,
+    block: deca_engine::cache::BlockId,
+    classes: &crate::records::LabeledPointClasses,
+    centroids: &[Vec<f64>],
+    sums: &mut [Vec<f64>],
+    counts: &mut [usize],
+) -> Result<(), EngineError> {
+    let d = centroids[0].len();
+    let mut recs: Vec<LabeledPointRec> = Vec::new();
+    e.cache.iter_serialized(block, &mut e.heap, &mut e.kryo, &mut e.mm, |r| recs.push(r))?;
+    for rec in recs {
+        let lp = rec.store(&mut e.heap, classes).expect("temp graph");
+        let ls = e.heap.push_stack(lp);
+        let lp = e.heap.stack_ref(ls);
+        let dv = e.heap.read_ref(lp, 1);
+        let data_arr = e.heap.read_ref(dv, 0);
+        let heap = &e.heap;
+        let best = assign(&|j| heap.array_get_f64(data_arr, j), centroids, d);
+        counts[best] += 1;
+        for j in 0..d {
+            sums[best][j] += e.heap.array_get_f64(data_arr, j);
+        }
+        e.heap.truncate_stack(ls);
+    }
+    Ok(())
+}
+
+/// Deca kernel — the transformed code: features at fixed offsets inside
+/// the page bytes, accumulation into preallocated arrays; no objects.
+fn deca_assign(
+    e: &mut Executor,
+    block: deca_engine::cache::BlockId,
+    centroids: &[Vec<f64>],
+    sums: &mut [Vec<f64>],
+    counts: &mut [usize],
+) -> Result<(), EngineError> {
+    let d = centroids[0].len();
+    let heap = &mut e.heap;
+    let mm = &mut e.mm;
+    let block = e.cache.deca_block(block);
+    block.scan_bytes(
+        mm,
+        heap,
+        |bytes| {
+            let feat =
+                |j: usize| f64::from_le_bytes(bytes[8 + j * 8..16 + j * 8].try_into().unwrap());
+            let best = assign(&feat, centroids, d);
+            counts[best] += 1;
+            for (j, s) in sums[best].iter_mut().enumerate().take(d) {
+                *s += feat(j);
+            }
+        },
+        |_| {},
+    )?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -244,6 +361,7 @@ mod tests {
             storage_fraction: 0.6,
             mode,
             page_size: None,
+            gc_algorithm: deca_heap::GcAlgorithm::ParallelScavenge,
             seed: 5,
         }
     }
@@ -256,5 +374,19 @@ mod tests {
         assert!((spark.checksum - deca.checksum).abs() < 1e-9);
         assert!((ser.checksum - deca.checksum).abs() < 1e-9);
         assert!(deca.checksum > 0.0);
+    }
+
+    #[test]
+    fn cluster_width_never_changes_centroids() {
+        // The unified-job migration's invariant: the same KmParams produce
+        // bit-identical centroids on 1, 2, and 4 executors, in every mode
+        // (driver folds partials in task order; stolen tasks recache).
+        for mode in ExecutionMode::ALL {
+            let reference = run_local(&tiny(mode), 1).checksum;
+            for width in [2usize, 4] {
+                let got = run_local(&tiny(mode), width).checksum;
+                assert_eq!(got.to_bits(), reference.to_bits(), "{mode} x{width}");
+            }
+        }
     }
 }

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use deca_bench::{mb, table_header, table_row};
 use deca_core::{DecaCacheBlock, DecaHashShuffle, DecaVarHashShuffle, MemoryManager};
-use deca_heap::{FullGcKind, Heap, HeapConfig};
+use deca_heap::{GcPlanKind, Heap, HeapConfig};
 use deca_udt::fixtures::group_by_program;
 use deca_udt::{classify_phased, GlobalAnalysis, JobPhases, TypeRef};
 
@@ -210,18 +210,16 @@ fn thrash_avoidance_ablation() {
     println!();
 }
 
-/// Compare the two full-collection strategies on a mixed-lifetime
-/// workload: copy-compaction pays to move every survivor; mark-sweep
-/// leaves survivors in place but fragments the old generation (CMS's real
-/// trade-off, §2.1).
+/// Compare the full-collection strategies on a mixed-lifetime workload:
+/// the copying plans pay to move every survivor; the sweeping plans leave
+/// survivors in place but fragment the old generation (CMS's real
+/// trade-off, §2.1), with immix recycling only coarse holes.
 fn full_gc_strategy_ablation() {
-    println!("# Ablation: full-GC strategy (mixed-lifetime churn, 6 collections)\n");
-    table_header(&["strategy", "total_gc_ms", "old_arena_KB", "free_blocks"]);
-    for (kind, label) in [
-        (FullGcKind::CopyCompact, "copy-compact (PS)"),
-        (FullGcKind::MarkSweep, "mark-sweep (CMS)"),
-    ] {
-        let mut h = Heap::new(HeapConfig::with_total(24 << 20).with_full_gc(kind));
+    println!("# Ablation: GC plan (mixed-lifetime churn, 6 collections)\n");
+    table_header(&["plan", "total_gc_ms", "old_arena_KB", "free_blocks"]);
+    for kind in GcPlanKind::ALL {
+        let mut h =
+            Heap::new(HeapConfig::with_total(24 << 20).with_plan(kind).with_concurrent(false));
         let small =
             h.define_class(deca_heap::ClassBuilder::new("S").field("v", deca_heap::FieldKind::I64));
         let arr = h.define_array_class("long[]", deca_heap::FieldKind::I64);
@@ -256,7 +254,7 @@ fn full_gc_strategy_ablation() {
         }
         let old_kb = h.old_used_bytes() / 1024;
         table_row(&[
-            label.into(),
+            kind.to_string(),
             format!("{:.2}", h.stats().full_time.as_secs_f64() * 1e3),
             old_kb.to_string(),
             // Free-list length is only populated by mark-sweep.

@@ -58,9 +58,30 @@
 //! than copying; ownership transfer strictly removes work) as fast on
 //! the best-of-N. The same shuffle-bound workload is also recorded as
 //! `WC-SHUF/{Spark,Deca}` cells in the cross-PR baseline band.
-//! The timing-thin floor cells (skew, SERVER, SPEC, zero-copy) are
-//! re-measured once on a miss: both runs are printed and the gate takes
-//! the better one.
+//!
+//! An eighth check gates parallel tracing on a GC-bound cell: a tenured
+//! graph is marked repeatedly (`Heap::mark_census`, the mark phase in
+//! isolation) with one worker and with `min(cores, 4)` workers. On a
+//! multi-core host the parallel mark must win by
+//! `DECA_GATE_GCPAR_MIN` (default 1.3×); on a single-core host a
+//! wall-clock speedup is physically impossible — the workers time-slice
+//! one CPU — so the floor degrades to parity-with-overhead (0.7×) and
+//! the cell leans on its structural assert instead: every thread count
+//! must mark the exact same object census. The host's core count and
+//! the effective floor are recorded in the JSON so the committed record
+//! says which gate actually ran.
+//!
+//! A ninth check gates the concurrent marker: the same tenured graph is
+//! collected once with a stop-the-world full GC and once by a
+//! concurrent cycle racing an allocating mutator. The cycle's worst
+//! stop-the-world pause (initial mark + remark) must stay under the
+//! full GC's pause by `DECA_GATE_CONC_MIN` (default 1.0×: never worse),
+//! and its remark must trace only a sliver of the full collection's
+//! whole-heap census.
+//!
+//! The timing-thin floor cells (skew, SERVER, SPEC, zero-copy, GCPAR,
+//! CONC-PAUSE) are re-measured once on a miss: both runs are printed
+//! and the gate takes the better one.
 
 use std::time::{Duration, Instant};
 
@@ -75,8 +96,9 @@ use deca_engine::{
     ClusterSession, DecaServer, EngineError, ExecutionMode, ExecutorConfig, JobSpec, RetryPolicy,
     RunTrace, SchedulerMode,
 };
+use deca_heap::{ClassBuilder, FieldKind, GcEventKind, GcPlanKind, Heap, HeapConfig};
 
-const OUT_DEFAULT: &str = "BENCH_PR9.json";
+const OUT_DEFAULT: &str = "BENCH_PR10.json";
 const MODES: [ExecutionMode; 2] = [ExecutionMode::Spark, ExecutionMode::Deca];
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -714,10 +736,168 @@ fn main() {
         })
     };
 
+    // --- GCPAR cell: parallel tracing vs a single-threaded mark -------
+    // A GC-bound microbench: one rooted Object[] holding GC_NODES
+    // tenured nodes, marked repeatedly via `Heap::mark_census` — the
+    // mark phase in isolation, because evacuation and sweeping are
+    // sequential by design and would dilute what this cell gates. The
+    // census count is schedule-independent, so every thread count must
+    // agree on it exactly; that structural assert runs on every host,
+    // while the wall-clock floor is core-count-aware (see module docs —
+    // on one CPU the workers time-slice and parity is the ceiling).
+    let gcpar_min = env_f64("DECA_GATE_GCPAR_MIN", 1.3);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    const GC_NODES: usize = 120_000;
+    const GC_MARKS: usize = 6;
+    let gcpar_threads = cores.clamp(2, 4);
+    let gcpar_floor = if cores >= 2 { gcpar_min } else { 0.7 };
+    // Build a heap whose old generation holds a GC_NODES-object graph:
+    // the tenured live set every mark (and the CONC-PAUSE cell's
+    // collections) traces.
+    let tenured_heap = |plan: GcPlanKind, concurrent: bool, threads: usize| -> Heap {
+        let mut h = Heap::new(
+            HeapConfig::with_total(64 << 20)
+                .with_plan(plan)
+                .with_concurrent(concurrent)
+                .with_gc_threads(threads),
+        );
+        let node = h.define_class(ClassBuilder::new("Node").field("v", FieldKind::I64));
+        let arr = h.define_array_class("Object[]", FieldKind::Ref);
+        let holder = h.alloc_array(arr, GC_NODES).unwrap();
+        let root = h.add_root(holder);
+        for i in 0..GC_NODES {
+            let o = h.alloc(node).unwrap();
+            let holder = h.root_ref(root);
+            h.array_set_ref(holder, i, o);
+        }
+        h.full_gc(); // tenure the graph
+        h
+    };
+    let mark_cell = |threads: usize| -> (f64, u64) {
+        let mut h = tenured_heap(GcPlanKind::GenCopy, false, threads);
+        let t = Instant::now();
+        let mut traced = 0u64;
+        for _ in 0..GC_MARKS {
+            traced += h.mark_census();
+        }
+        (t.elapsed().as_secs_f64(), traced)
+    };
+    let (_, census_single) = mark_cell(1); // warmup both sides, pin the census
+    let (_, census_par) = mark_cell(gcpar_threads);
+    assert_eq!(
+        census_single, census_par,
+        "parallel mark must trace the identical census at any thread count"
+    );
+    let ((gcpar_single, gcpar_par), gcpar_speedup) = {
+        gate_with_retry("gc-parallel", gcpar_floor, || {
+            let (mut single, mut par) = (Vec::new(), Vec::new());
+            for i in 0..samples {
+                // Interleave with alternating order so host drift hits both.
+                let order = i % 2 == 0;
+                for parallel in [order, !order] {
+                    let (t, census) = mark_cell(if parallel { gcpar_threads } else { 1 });
+                    assert_eq!(census, census_single, "mark census drifted mid-measurement");
+                    if parallel {
+                        par.push(t)
+                    } else {
+                        single.push(t)
+                    };
+                }
+            }
+            let single = summarize(single, 1);
+            let par = summarize(par, 1);
+            let speedup = single.min / par.min.max(1e-9);
+            println!(
+                "  gc-parallel cell ({GC_NODES} tenured nodes, {GC_MARKS} marks, \
+                 {gcpar_threads} threads on {cores} core(s)): 1-thread min {:.1}ms, \
+                 {gcpar_threads}-thread min {:.1}ms, speedup {speedup:.2}x (gate >= \
+                 {gcpar_floor:.2}x)",
+                single.min * 1e3,
+                par.min * 1e3,
+            );
+            ((single, par), speedup)
+        })
+    };
+
+    // --- CONC-PAUSE cell: concurrent cycle pauses vs the STW full GC --
+    // The same tenured graph, collected two ways under the mark-sweep
+    // plan: a stop-the-world full GC (one pause covering the whole
+    // trace) vs a concurrent cycle racing an allocating mutator (two
+    // short pauses — snapshot and remark — around the overlapped mark).
+    // Gated on the worst post-tenure pause: concurrent must never be
+    // worse (`DECA_GATE_CONC_MIN`, default 1.0×). The remark's traced
+    // work — schedule-independent — must also be a sliver of the STW
+    // census, so the timing can't pass by accident on a noisy host.
+    let conc_min = env_f64("DECA_GATE_CONC_MIN", 1.0);
+    let pause_cell = |concurrent: bool| -> (f64, u64) {
+        let mut h = tenured_heap(GcPlanKind::MarkSweep, concurrent, 1);
+        let filler = h.define_class(ClassBuilder::new("Filler").field("v", FieldKind::I64));
+        let mark = h.stats().events.len();
+        if concurrent {
+            assert!(h.start_concurrent_cycle(), "cycle must start on an idle heap");
+            let mut spins = 0u64;
+            while !h.poll_gc() {
+                h.alloc(filler).unwrap(); // the mutator races the marker
+                std::thread::yield_now();
+                spins += 1;
+                assert!(spins < 200_000_000, "concurrent marker never finished");
+            }
+            let s = h.stats();
+            assert_eq!(s.concurrent_aborts, 0, "the cycle must finish, not abort");
+        } else {
+            h.full_gc();
+        }
+        let events = h.stats().events_since(mark);
+        let max_pause = events
+            .iter()
+            .filter(|e| e.kind != GcEventKind::Minor && e.kind.is_pause())
+            .map(|e| e.duration)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let pause_kind = if concurrent { GcEventKind::Remark } else { GcEventKind::Full };
+        let traced = events.iter().filter(|e| e.kind == pause_kind).map(|e| e.objects_traced).sum();
+        (max_pause.as_secs_f64(), traced)
+    };
+    let (_, stw_census) = pause_cell(false); // warmup, pin the traced-work sides
+    let (_, remark_census) = pause_cell(true);
+    assert!(
+        remark_census < stw_census / 4,
+        "the remark pause must trace a sliver of the whole-heap census \
+         ({remark_census} vs {stw_census})"
+    );
+    let ((conc_stw, conc_pause), conc_ratio) = {
+        gate_with_retry("conc-pause", conc_min, || {
+            let (mut stw, mut conc) = (Vec::new(), Vec::new());
+            for i in 0..samples {
+                // Interleave with alternating order so host drift hits both.
+                let order = i % 2 == 0;
+                for concurrent in [order, !order] {
+                    let (p, _) = pause_cell(concurrent);
+                    if concurrent {
+                        conc.push(p)
+                    } else {
+                        stw.push(p)
+                    };
+                }
+            }
+            let stw = summarize(stw, 1);
+            let conc = summarize(conc, 1);
+            let ratio = stw.min / conc.min.max(1e-9);
+            println!(
+                "  conc-pause cell ({GC_NODES} tenured nodes, mark-sweep): STW full pause min \
+                 {:.2}ms, concurrent cycle max pause min {:.2}ms, ratio {ratio:.2}x (gate >= \
+                 {conc_min:.2}x; remark traced {remark_census} of {stw_census})",
+                stw.min * 1e3,
+                conc.min * 1e3,
+            );
+            ((stw, conc), ratio)
+        })
+    };
+
     // --- write the BENCH record ---------------------------------------
     let doc = Json::obj(vec![
         ("schema", Json::str("deca-bench-v1")),
-        ("pr", Json::str("PR9")),
+        ("pr", Json::str("PR10")),
         ("scale", Json::num(scale.factor)),
         ("samples", Json::int(samples as u64)),
         ("tolerance", Json::num(tolerance)),
@@ -832,6 +1012,44 @@ fn main() {
                 ("gate_min", Json::num(zc_min)),
             ]),
         ),
+        // Parallel-tracing A/B on the GC-bound cell. `cores` and
+        // `effective_floor` say which gate ran: the real speedup floor
+        // (multi-core) or the single-core parity floor, where only the
+        // census assert carries structural weight.
+        (
+            "gc_parallel",
+            Json::obj(vec![
+                ("cores", Json::int(cores as u64)),
+                ("threads", Json::int(gcpar_threads as u64)),
+                ("nodes", Json::int(GC_NODES as u64)),
+                ("marks", Json::int(GC_MARKS as u64)),
+                ("census", Json::int(census_single)),
+                ("single_min_s", Json::num(gcpar_single.min)),
+                ("single_median_s", Json::num(gcpar_single.median)),
+                ("parallel_min_s", Json::num(gcpar_par.min)),
+                ("parallel_median_s", Json::num(gcpar_par.median)),
+                ("speedup_min", Json::num(gcpar_speedup)),
+                ("gate_min_env", Json::num(gcpar_min)),
+                ("effective_floor", Json::num(gcpar_floor)),
+            ]),
+        ),
+        // Concurrent-marking pause A/B: worst post-tenure STW pause of
+        // a full collection vs a concurrent cycle, plus the
+        // schedule-independent traced-work split backing the timing.
+        (
+            "concurrent_pause",
+            Json::obj(vec![
+                ("nodes", Json::int(GC_NODES as u64)),
+                ("stw_census", Json::int(stw_census)),
+                ("remark_census", Json::int(remark_census)),
+                ("stw_max_pause_min_s", Json::num(conc_stw.min)),
+                ("stw_max_pause_median_s", Json::num(conc_stw.median)),
+                ("conc_max_pause_min_s", Json::num(conc_pause.min)),
+                ("conc_max_pause_median_s", Json::num(conc_pause.median)),
+                ("ratio_min", Json::num(conc_ratio)),
+                ("gate_min", Json::num(conc_min)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, doc.to_pretty() + "\n").expect("write BENCH record");
     println!("  wrote {out}");
@@ -899,6 +1117,20 @@ fn main() {
         eprintln!(
             "perf_gate: FAIL — zero-copy shuffle speedup {zc_speedup:.2}x vs the copying \
              baseline is below the {zc_min:.2}x floor"
+        );
+        failed = true;
+    }
+    if gcpar_speedup < gcpar_floor {
+        eprintln!(
+            "perf_gate: FAIL — parallel mark speedup {gcpar_speedup:.2}x on the GC-bound cell \
+             is below the {gcpar_floor:.2}x floor ({cores} core(s))"
+        );
+        failed = true;
+    }
+    if conc_ratio < conc_min {
+        eprintln!(
+            "perf_gate: FAIL — concurrent cycle's worst pause is {conc_ratio:.2}x under the STW \
+             full-GC pause, below the {conc_min:.2}x floor"
         );
         failed = true;
     }

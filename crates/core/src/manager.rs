@@ -218,6 +218,9 @@ impl MemoryManager {
     /// Release one reference. At zero the group's pages are unregistered
     /// from the heap immediately — the lifetime-based reclamation.
     pub fn release(&mut self, id: GroupId, heap: &mut Heap) {
+        // Page releases change old-generation occupancy, so they are a
+        // natural point to retire a finished concurrent marking cycle.
+        heap.poll_gc();
         let e = self.entry_mut(id);
         assert!(e.refcount > 0);
         e.refcount -= 1;

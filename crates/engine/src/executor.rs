@@ -5,13 +5,15 @@
 //! executor is single-threaded and a [`crate::LocalCluster`] runs several
 //! executors in parallel OS threads. Task timing attributes wall time to
 //! compute / GC pause / (de)serialization / shuffle / spill-IO buckets
-//! (Figure 11's breakdown), applying the configured collector's pause
-//! model (Table 4).
+//! (Figure 11's breakdown). Collector pauses are *measured*: the heap's
+//! stop-the-world time is charged to the triggering task, and concurrent
+//! mark overlap (the Table-4 CMS/G1 plans) is reported alongside without
+//! inflating task time.
 
 use std::time::{Duration, Instant};
 
 use deca_core::{MemoryManager, PageRun, ShuffleArena, ShufflePayload};
-use deca_heap::{FullGcKind, GcAlgorithm, Heap, HeapConfig};
+use deca_heap::{Heap, HeapConfig};
 
 use crate::cache::CacheManager;
 use crate::config::ExecutorConfig;
@@ -59,15 +61,14 @@ pub struct Executor {
 
 impl Executor {
     pub fn new(config: ExecutorConfig) -> Executor {
-        // CMS does not compact: model its old generation with the
-        // mark-sweep (free-list, fragmenting) collector. PS and G1 compact.
-        let full_gc = match config.gc_algorithm {
-            GcAlgorithm::Cms => FullGcKind::MarkSweep,
-            _ => FullGcKind::CopyCompact,
-        };
-        let heap_cfg = HeapConfig::with_total(config.heap_bytes)
-            .with_algorithm(config.gc_algorithm)
-            .with_full_gc(full_gc);
+        // The collector algorithm selects its plan (PS → gencopy, CMS →
+        // concurrent marksweep, G1 → concurrent immix); an explicit
+        // `gc_plan` (or `DECA_GC_PLAN`) overrides that mapping.
+        let mut heap_cfg =
+            HeapConfig::with_total(config.heap_bytes).with_algorithm(config.gc_algorithm);
+        if let Some(plan) = config.gc_plan {
+            heap_cfg = heap_cfg.with_plan(plan);
+        }
         let heap = Heap::new(heap_cfg);
         let mut mm = MemoryManager::new(config.page_size, config.spill_dir.clone());
         // Lifetime-based releases only reach the run trace when traced;
@@ -84,7 +85,7 @@ impl Executor {
             arena: ShuffleArena::new(config.page_size),
             kryo: KryoSim::new(),
             cache,
-            gc_acc: GcAccounting::new(config.gc_algorithm),
+            gc_acc: GcAccounting::new(),
             trace: TraceRecorder::new(config.tracing),
             sim_clock: Duration::ZERO,
             config,
@@ -222,7 +223,7 @@ impl Executor {
         let result = f(self);
         let wall = wall_start.elapsed();
 
-        let (gc_pause, gc_overhead, gc_concurrent) = self.gc_acc.account(self.heap.stats());
+        let (gc_pause, gc_concurrent) = self.gc_acc.account(self.heap.stats());
         let ser = self.kryo.ser_time - ser0;
         let deser = self.kryo.deser_time - deser0;
         let spill_now = self.mm.spill_write_bytes
@@ -231,21 +232,20 @@ impl Executor {
             + self.cache.spill_read_bytes;
         let io = Duration::from_secs_f64((spill_now - self.spill_mark) as f64 / SIM_DISK_BPS);
 
-        // Compute = wall minus attributed buckets. A concurrent collector's
-        // trace overlapped the mutator in the modelled system, so that
-        // portion leaves the wall time entirely; the mutator pays the tax.
-        let attributed = gc_pause
-            + gc_concurrent
-            + ser
-            + deser
-            + self.pending_shuffle_read
-            + self.pending_shuffle_write;
-        let compute = wall.saturating_sub(attributed) + gc_overhead;
+        // Compute = wall minus attributed pauses. Concurrent-mark overlap
+        // is *not* subtracted: the marker ran on another thread while this
+        // task computed, so the task's wall clock already reflects only
+        // whatever CPU contention the race actually caused — measured, not
+        // modelled.
+        let attributed =
+            gc_pause + ser + deser + self.pending_shuffle_read + self.pending_shuffle_write;
+        let compute = wall.saturating_sub(attributed);
 
         let t = TaskMetrics {
             name,
             compute,
             gc_pause,
+            gc_concurrent,
             ser,
             deser,
             shuffle_read: self.pending_shuffle_read,
@@ -546,18 +546,24 @@ mod tests {
 
     #[test]
     fn concurrent_collector_reports_smaller_pause() {
-        // One measured trace, two accounting models. (Comparing wall-clock
-        // pause ratios of two *separate* runs flaked under parallel test
-        // load — the traced work differs run to run; the pause model
-        // applied to the same trace is deterministic.)
+        // CMS maps to the concurrent mark-sweep plan: the heap-sized trace
+        // runs on a real marker thread racing the mutator, so the cycle's
+        // stop-the-world pauses (initial mark + remark) cover only the
+        // snapshot and the dirty log. Wall-clock ratios flake under
+        // parallel test load, so the pause comparison is on *measured
+        // traced work* — schedule-independent — plus the measured overlap.
+        // (This test once compared retired `PauseModel` constants; the
+        // overlap is now measured off the actual thread.)
+        use deca_heap::GcEventKind;
         let cfg = ExecutorConfig::new(ExecutionMode::Spark, 4 << 20)
-            .gc_algorithm(deca_heap::GcAlgorithm::ParallelScavenge);
+            .gc_algorithm(deca_heap::GcAlgorithm::Cms);
         let mut e = Executor::new(cfg);
+        assert!(e.heap.config().concurrent, "CMS selects a concurrent plan");
         let c = e.heap.define_class(ClassBuilder::new("K").field("v", FieldKind::I64));
         let arr = e.heap.define_array_class("Object[]", FieldKind::Ref);
-        e.run_task("pin+churn", |e| {
-            // Pin ~60% of old gen, then churn to force full GCs.
-            let n = 40_000;
+        e.run_task("pin+mark", |e| {
+            // Build a large tenured live set, the graph the cycle marks.
+            let n = 30_000;
             let holder = e.heap.alloc_array(arr, n).unwrap();
             let root = e.heap.add_root(holder);
             for i in 0..n {
@@ -565,27 +571,45 @@ mod tests {
                 let holder = e.heap.root_ref(root);
                 e.heap.array_set_ref(holder, i, o);
             }
-            for _ in 0..200_000 {
+            e.heap.full_gc(); // tenure it (the STW baseline trace)
+                              // One concurrent cycle to completion, allocating throughout.
+            assert!(e.heap.start_concurrent_cycle());
+            let mut spins: u64 = 0;
+            while !e.heap.poll_gc() {
                 e.heap.alloc(c).unwrap();
+                std::thread::yield_now();
+                spins += 1;
+                assert!(spins < 100_000_000, "concurrent marker never finished");
             }
-            e.heap.full_gc();
-            e.heap.full_gc();
         });
-        let stats = e.heap.stats();
-        let full = stats.full_time;
-        assert!(full > Duration::ZERO, "workload must trigger full collections");
-        // PS reports the whole trace as stop-the-world pause; CMS pauses
-        // only for a fraction and charges the mutator an overhead tax.
-        let (ps_pause, ps_overhead) =
-            deca_heap::GcAlgorithm::ParallelScavenge.pause_model().account_full(full);
-        let (cms_pause, cms_overhead) =
-            deca_heap::GcAlgorithm::Cms.pause_model().account_full(full);
-        assert_eq!(ps_pause, full, "PS: the full trace is pause");
-        assert!(cms_pause < ps_pause, "CMS pause {cms_pause:?} must undercut PS {ps_pause:?}");
-        assert!(cms_overhead > ps_overhead, "the concurrent collector taxes the mutator");
-        // The run's accounted GC matches its model: minor pauses plus the
-        // modelled full pause, exactly (no wall-clock in the comparison).
-        assert_eq!(e.job.gc, stats.minor_time + ps_pause);
+        let stats = e.heap.stats().clone();
+        assert_eq!(stats.concurrent_cycles, 1);
+        assert_eq!(stats.concurrent_aborts, 0);
+        assert!(stats.concurrent_mark_time > Duration::ZERO, "overlap is measured, not modelled");
+        let traced = |kind| {
+            stats
+                .events
+                .iter()
+                .find(|ev| ev.kind == kind)
+                .unwrap_or_else(|| panic!("expected a {kind:?} event"))
+                .objects_traced
+        };
+        let stw_full = traced(GcEventKind::Full);
+        let conc_mark = traced(GcEventKind::ConcMark);
+        let remark = traced(GcEventKind::Remark);
+        assert!(conc_mark >= 30_000, "the racing thread traced the tenured graph");
+        assert!(
+            remark < stw_full / 10,
+            "the cycle's pause traces only the dirty log ({remark} objects), a sliver of the \
+             STW full collection's whole-heap trace ({stw_full})"
+        );
+        // Accounting: pauses are charged to the task; the overlap is
+        // reported beside them and never inflates task time.
+        let t = e.last_task().unwrap();
+        assert_eq!(t.gc_concurrent, stats.concurrent_mark_time);
+        assert_eq!(e.job.gc, stats.total_gc_time());
+        assert_eq!(e.job.gc_concurrent, stats.concurrent_mark_time);
+        assert_eq!(e.sim_now(), e.job.exec, "sim clock excludes concurrent overlap");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use deca_heap::{GcAlgorithm, GcStats};
+use deca_heap::GcStats;
 
 /// Breakdown of one task's wall time, matching Figure 11's bars.
 #[derive(Clone, Debug, Default)]
@@ -13,6 +13,10 @@ pub struct TaskMetrics {
     pub compute: Duration,
     /// Stop-the-world collection pauses attributed to this task.
     pub gc_pause: Duration,
+    /// Concurrent-mark wall time that overlapped this task (the marker
+    /// thread racing the mutator). Observability only: it is *not* part
+    /// of [`TaskMetrics::total`], because the task did not stop for it.
+    pub gc_concurrent: Duration,
     /// Serialization time (Kryo-sim encodes, shuffle writes).
     pub ser: Duration,
     /// Deserialization time.
@@ -45,6 +49,8 @@ pub struct JobMetrics {
     pub job: u64,
     pub exec: Duration,
     pub gc: Duration,
+    /// Concurrent-mark overlap summed across tasks (not part of `exec`).
+    pub gc_concurrent: Duration,
     pub ser: Duration,
     pub deser: Duration,
     pub shuffle_read: Duration,
@@ -95,6 +101,7 @@ impl JobMetrics {
     pub fn add_task(&mut self, t: &TaskMetrics) {
         self.exec += t.total();
         self.gc += t.gc_pause;
+        self.gc_concurrent += t.gc_concurrent;
         self.ser += t.ser;
         self.deser += t.deser;
         self.shuffle_read += t.shuffle_read;
@@ -144,6 +151,9 @@ pub struct StageMetrics {
     pub exec: Duration,
     pub compute: Duration,
     pub gc: Duration,
+    /// Concurrent-mark overlap summed across the wave's tasks (excluded
+    /// from `total_task_time`; the mutator kept running through it).
+    pub gc_concurrent: Duration,
     pub ser: Duration,
     pub deser: Duration,
     pub shuffle_read: Duration,
@@ -201,6 +211,7 @@ impl StageMetrics {
     pub fn add_task(&mut self, t: &TaskMetrics) {
         self.compute += t.compute;
         self.gc += t.gc_pause;
+        self.gc_concurrent += t.gc_concurrent;
         self.ser += t.ser;
         self.deser += t.deser;
         self.shuffle_read += t.shuffle_read;
@@ -221,37 +232,34 @@ impl StageMetrics {
     }
 }
 
-/// Converts raw collector measurements into the pause/overhead split of the
-/// configured algorithm (Table 4's PS/CMS/G1 comparison; see
-/// `deca_heap::PauseModel`).
-#[derive(Clone, Debug)]
+/// Incremental attribution of collector time to task attempts: drains the
+/// heap's *measured* pause and concurrent-overlap totals since the last
+/// call. Earlier revisions converted stop-the-world measurements through a
+/// per-algorithm `PauseModel`; the collectors are now implemented for real
+/// (parallel tracing, an actual concurrent marker thread), so the split is
+/// measured, not modelled.
+#[derive(Clone, Debug, Default)]
 pub struct GcAccounting {
-    algorithm: GcAlgorithm,
-    last_minor: Duration,
-    last_full: Duration,
+    last_pause: Duration,
+    last_concurrent: Duration,
 }
 
 impl GcAccounting {
-    pub fn new(algorithm: GcAlgorithm) -> GcAccounting {
-        GcAccounting { algorithm, last_minor: Duration::ZERO, last_full: Duration::ZERO }
+    pub fn new() -> GcAccounting {
+        GcAccounting::default()
     }
 
     /// Consume the collector time since the last call and return
-    /// `(reported_pause, mutator_overhead, concurrent)` under the
-    /// algorithm's model. Minor collections always pause. A concurrent
-    /// collector runs the remaining full-collection trace on spare cores:
-    /// that `concurrent` portion is *subtracted* from the task's wall time
-    /// (it overlapped the mutator in the modelled system) while the
-    /// mutator pays the `overhead` tax.
-    pub fn account(&mut self, stats: &GcStats) -> (Duration, Duration, Duration) {
-        let minor = stats.minor_time.saturating_sub(self.last_minor);
-        let full = stats.full_time.saturating_sub(self.last_full);
-        self.last_minor = stats.minor_time;
-        self.last_full = stats.full_time;
-        let model = self.algorithm.pause_model();
-        let (full_pause, overhead) = model.account_full(full);
-        let concurrent = full.saturating_sub(full_pause);
-        (minor + full_pause, overhead, concurrent)
+    /// `(pause, concurrent)`: stop-the-world pause time charged to the
+    /// task's wall clock, and concurrent-mark wall time that overlapped
+    /// the task (observability only — the mutator never stopped for it,
+    /// so it is never subtracted from compute).
+    pub fn account(&mut self, stats: &GcStats) -> (Duration, Duration) {
+        let pause = stats.total_gc_time().saturating_sub(self.last_pause);
+        let concurrent = stats.concurrent_mark_time.saturating_sub(self.last_concurrent);
+        self.last_pause = stats.total_gc_time();
+        self.last_concurrent = stats.concurrent_mark_time;
+        (pause, concurrent)
     }
 }
 
@@ -299,19 +307,25 @@ mod tests {
             name: "t".into(),
             compute: Duration::from_millis(10),
             gc_pause: Duration::from_millis(5),
+            gc_concurrent: Duration::from_millis(40),
             ser: Duration::from_millis(1),
             deser: Duration::from_millis(2),
             shuffle_read: Duration::from_millis(3),
             shuffle_write: Duration::from_millis(4),
             io: Duration::from_millis(5),
         };
-        assert_eq!(t.total(), Duration::from_millis(30));
+        assert_eq!(t.total(), Duration::from_millis(30), "concurrent overlap is not task time");
         let mut j = JobMetrics::default();
         j.add_task(&t);
         j.add_task(&t);
         assert_eq!(j.exec, Duration::from_millis(60));
         assert_eq!(j.gc, Duration::from_millis(10));
+        assert_eq!(j.gc_concurrent, Duration::from_millis(80));
         assert!((j.gc_ratio() - 10.0 / 60.0).abs() < 1e-9);
+        let mut s = StageMetrics::new("w");
+        s.add_task(&t);
+        assert_eq!(s.gc_concurrent, Duration::from_millis(40));
+        assert_eq!(s.total_task_time(), Duration::from_millis(30));
     }
 
     #[test]
@@ -349,7 +363,7 @@ mod tests {
     #[test]
     fn gc_accounting_is_incremental() {
         let mut stats = GcStats::default();
-        let mut acc = GcAccounting::new(GcAlgorithm::ParallelScavenge);
+        let mut acc = GcAccounting::new();
         stats.record(GcEvent {
             kind: GcEventKind::Minor,
             at: Duration::ZERO,
@@ -357,12 +371,11 @@ mod tests {
             objects_traced: 1,
             live_bytes_after: 0,
         });
-        let (p1, o1, c1) = acc.account(&stats);
+        let (p1, c1) = acc.account(&stats);
         assert_eq!(p1, Duration::from_millis(4));
-        assert_eq!(o1, Duration::ZERO);
         assert_eq!(c1, Duration::ZERO);
         // No new collections: nothing more to attribute.
-        let (p2, _, _) = acc.account(&stats);
+        let (p2, _) = acc.account(&stats);
         assert_eq!(p2, Duration::ZERO);
         stats.record(GcEvent {
             kind: GcEventKind::Full,
@@ -371,26 +384,32 @@ mod tests {
             objects_traced: 1,
             live_bytes_after: 0,
         });
-        let (p3, _, c3) = acc.account(&stats);
-        assert_eq!(p3, Duration::from_millis(10), "PS: full pause is the whole trace");
-        assert_eq!(c3, Duration::ZERO, "PS runs nothing concurrently");
+        let (p3, c3) = acc.account(&stats);
+        assert_eq!(p3, Duration::from_millis(10), "a stop-the-world full trace is all pause");
+        assert_eq!(c3, Duration::ZERO, "nothing ran concurrently");
     }
 
     #[test]
-    fn cms_reports_smaller_pause_with_overhead() {
+    fn gc_accounting_splits_pause_from_concurrent_overlap() {
+        // A concurrent cycle's pauses (initial mark + remark) are charged
+        // as pause; the measured mark overlap is reported separately.
         let mut stats = GcStats::default();
-        let mut acc = GcAccounting::new(GcAlgorithm::Cms);
-        stats.record(GcEvent {
-            kind: GcEventKind::Full,
+        let mut acc = GcAccounting::new();
+        let ev = |kind, ms| GcEvent {
+            kind,
             at: Duration::ZERO,
-            duration: Duration::from_millis(100),
+            duration: Duration::from_millis(ms),
             objects_traced: 1,
             live_bytes_after: 0,
-        });
-        let (pause, overhead, concurrent) = acc.account(&stats);
-        assert!(pause < Duration::from_millis(30));
-        assert!(overhead > Duration::ZERO);
-        assert!(concurrent > Duration::from_millis(70), "most of the trace overlaps");
+        };
+        stats.record(ev(GcEventKind::InitialMark, 1));
+        stats.record(ev(GcEventKind::ConcMark, 90));
+        stats.record(ev(GcEventKind::Remark, 3));
+        let (pause, concurrent) = acc.account(&stats);
+        assert_eq!(pause, Duration::from_millis(4), "only the cycle's two pauses stop the task");
+        assert_eq!(concurrent, Duration::from_millis(90), "overlap is the measured mark wall");
+        let (pause, concurrent) = acc.account(&stats);
+        assert_eq!((pause, concurrent), (Duration::ZERO, Duration::ZERO), "drained");
     }
 
     #[test]

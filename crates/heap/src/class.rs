@@ -181,7 +181,7 @@ impl ClassBuilder {
 }
 
 /// Registry of all classes known to a heap.
-#[derive(Default, Debug)]
+#[derive(Default, Debug, Clone)]
 pub struct ClassRegistry {
     classes: Vec<ClassDescriptor>,
 }

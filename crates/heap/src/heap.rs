@@ -1,10 +1,14 @@
 //! The heap proper: allocation, field access, write barrier, external
 //! allocation accounting, and the census API used by the lifetime figures.
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::class::{ClassBuilder, ClassId, ClassRegistry, FieldKind};
+use crate::concurrent::ConcurrentCycle;
 use crate::object::{Header, ObjRef};
+use crate::plan::GcPlanKind;
 use crate::roots::{RootId, RootSet};
 use crate::space::{Space, SpaceId};
 use crate::stats::GcStats;
@@ -28,18 +32,6 @@ impl std::fmt::Display for OomError {
 
 impl std::error::Error for OomError {}
 
-/// How the full collector reclaims the old generation.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
-pub enum FullGcKind {
-    /// Evacuate every live object into a fresh old space (HotSpot's
-    /// mark-compact; no fragmentation, cost ∝ live bytes).
-    #[default]
-    CopyCompact,
-    /// Mark in place, sweep dead objects into a free list, and evacuate
-    /// young survivors into the holes (CMS-style; leaves fragmentation).
-    MarkSweep,
-}
-
 /// Sizing and policy configuration of a heap.
 #[derive(Clone, Debug)]
 pub struct HeapConfig {
@@ -54,23 +46,38 @@ pub struct HeapConfig {
     /// (HotSpot `MaxTenuringThreshold` is 15; data-processing heaps promote
     /// much earlier in practice).
     pub promote_age: u8,
-    /// Which collector's pause accounting to apply.
+    /// The Table-4 collector surface being modelled (PS/CMS/G1); maps to a
+    /// default [`GcPlanKind`] via [`GcAlgorithm::plan_kind`].
     pub algorithm: GcAlgorithm,
-    /// Full-collection strategy for the old generation.
-    pub full_gc: FullGcKind,
+    /// The GC plan composing the collection policies (see `crate::plan`).
+    pub plan: GcPlanKind,
+    /// Whether old-generation marking runs on a concurrent thread (see
+    /// `crate::concurrent`); defaults to the plan's own preference.
+    pub concurrent: bool,
+    /// Worker threads for the stop-the-world parallel mark.
+    pub gc_threads: usize,
 }
 
 impl HeapConfig {
     /// A heap with the given total capacity, split 1:2 young:old (the
     /// HotSpot default `NewRatio=2`).
     pub fn with_total(total_bytes: usize) -> HeapConfig {
+        let gc_threads = std::env::var("DECA_GC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+            });
         HeapConfig {
             young_bytes: total_bytes / 3,
             old_bytes: total_bytes - total_bytes / 3,
             survivor_fraction: 0.1,
             promote_age: 3,
             algorithm: GcAlgorithm::ParallelScavenge,
-            full_gc: FullGcKind::default(),
+            plan: GcPlanKind::default(),
+            concurrent: GcPlanKind::default().concurrent_by_default(),
+            gc_threads,
         }
     }
 
@@ -79,13 +86,30 @@ impl HeapConfig {
         HeapConfig::with_total(3 << 20)
     }
 
+    /// Select the Table-4 collector, adopting its default plan and
+    /// concurrency (PS ⇒ gencopy/STW, CMS ⇒ marksweep/concurrent,
+    /// G1 ⇒ immix/concurrent).
     pub fn with_algorithm(mut self, algorithm: GcAlgorithm) -> HeapConfig {
         self.algorithm = algorithm;
+        self.with_plan(algorithm.plan_kind())
+    }
+
+    /// Select the GC plan directly, adopting its default concurrency.
+    pub fn with_plan(mut self, plan: GcPlanKind) -> HeapConfig {
+        self.plan = plan;
+        self.concurrent = plan.concurrent_by_default();
         self
     }
 
-    pub fn with_full_gc(mut self, kind: FullGcKind) -> HeapConfig {
-        self.full_gc = kind;
+    /// Override whether old-generation marking runs concurrently.
+    pub fn with_concurrent(mut self, concurrent: bool) -> HeapConfig {
+        self.concurrent = concurrent;
+        self
+    }
+
+    /// Override the stop-the-world mark's worker-thread count.
+    pub fn with_gc_threads(mut self, threads: usize) -> HeapConfig {
+        self.gc_threads = threads.max(1);
         self
     }
 
@@ -129,6 +153,14 @@ pub struct Heap {
     /// survivors fit comfortably).
     pub(crate) cur_promote_age: u8,
     pub(crate) epoch: Instant,
+    /// In-flight concurrent marking cycle, if any (see `crate::concurrent`).
+    pub(crate) conc: Option<ConcurrentCycle>,
+    /// Hysteresis floor: the next concurrent cycle starts only once the
+    /// old generation (plus externals) grows past this many nominal bytes.
+    pub(crate) conc_floor: usize,
+    /// Test hook shared into every cycle's marker thread: while set, the
+    /// marker parks before tracing (see `Heap::hold_concurrent_marker`).
+    pub(crate) conc_hold: Arc<AtomicBool>,
 }
 
 /// Class-id sentinel marking a free block (hole) in a swept old space.
@@ -156,6 +188,9 @@ impl Heap {
             cur_promote_age: config.promote_age,
             config,
             epoch: Instant::now(),
+            conc: None,
+            conc_floor: 0,
+            conc_hold: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -223,6 +258,11 @@ impl Heap {
     ) -> Result<ObjRef, OomError> {
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += nominal as u64;
+        // Retire a finished concurrent marking cycle before anything else:
+        // the allocation slow path is the highest-frequency poll point.
+        if self.conc.is_some() {
+            self.poll_gc();
+        }
         // Humongous objects are pretenured straight into the old generation,
         // as HotSpot does for objects that would not fit in eden.
         let eden_cap = self.spaces[SpaceId::Eden as usize].nominal_cap();
@@ -238,7 +278,7 @@ impl Heap {
         }
 
         if !self.spaces[SpaceId::Eden as usize].fits(nominal) {
-            self.minor_gc();
+            self.nursery_collect();
             if !self.old_within_budget() {
                 // Promotion overflowed the old generation: a full collection
                 // is forced (the expensive case the paper measures).
@@ -272,7 +312,7 @@ impl Heap {
                 break;
             }
         }
-        if let Some(i) = chosen {
+        let off = if let Some(i) = chosen {
             let (off, total) = self.old_free[i];
             let old = &mut self.spaces[SpaceId::Old as usize];
             // Zero the object's words (fresh-field semantics).
@@ -292,7 +332,13 @@ impl Heap {
             off
         } else {
             self.spaces[SpaceId::Old as usize].bump(slots, nominal)
+        };
+        // Allocate-black: old objects born during a concurrent marking
+        // cycle go on the dirty log so the remark keeps them alive.
+        if let Some(cycle) = self.conc.as_mut() {
+            cycle.dirty.push(off);
         }
+        off
     }
 
     pub(crate) fn old_fits(&self, nominal: usize) -> bool {
@@ -549,6 +595,9 @@ impl Heap {
     /// Returns an id for [`Heap::unregister_external`]. Fails if the old
     /// generation cannot accommodate it even after a full collection.
     pub fn register_external(&mut self, bytes: usize) -> Result<usize, OomError> {
+        if self.conc.is_some() {
+            self.poll_gc();
+        }
         if !self.old_fits(bytes) {
             self.full_gc();
             if !self.old_fits(bytes) {
@@ -604,6 +653,11 @@ impl Heap {
 
     pub fn old_used_bytes(&self) -> usize {
         self.spaces[SpaceId::Old as usize].nominal_used()
+    }
+
+    /// Nominal byte capacity of the old generation.
+    pub fn old_capacity_bytes(&self) -> usize {
+        self.spaces[SpaceId::Old as usize].nominal_cap()
     }
 
     /// Number of free blocks in the old generation's free list (non-zero

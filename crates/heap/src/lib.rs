@@ -18,6 +18,12 @@
 //!   millions of long-living cached objects expensive (paper §2.1, §6.2).
 //! * A write barrier maintains a remembered set of old→young edges so minor
 //!   collections do not scan the old generation.
+//! * Collection policy is a pluggable **plan** ([`GcPlanKind`], MMTk-style):
+//!   semispace, generational copying, mark-sweep, or immix-style coarse
+//!   sweeping. Full collections mark in parallel over a work-stealing pool
+//!   (`HeapConfig::gc_threads`), and the concurrent plans mark the old
+//!   generation on a racing thread with an SATB dirty log, retiring the
+//!   cycle at a short stop-the-world remark.
 //! * Object sizes are *accounted* using JVM layout rules (16-byte header,
 //!   8-byte alignment) so that "cached data size" measurements reproduce the
 //!   paper's object-header bloat (Figure 2).
@@ -48,9 +54,12 @@
 
 mod census;
 mod class;
+mod concurrent;
 mod gc;
 mod heap;
+mod mark;
 mod object;
+mod plan;
 mod policy;
 mod roots;
 mod space;
@@ -58,8 +67,9 @@ mod stats;
 
 pub use census::ClassStat;
 pub use class::{ClassBuilder, ClassDescriptor, ClassId, ClassRegistry, FieldKind};
-pub use heap::{FullGcKind, Heap, HeapConfig, OomError};
+pub use heap::{Heap, HeapConfig, OomError};
 pub use object::ObjRef;
-pub use policy::{GcAlgorithm, PauseModel};
+pub use plan::{GcPlanKind, Plan};
+pub use policy::GcAlgorithm;
 pub use roots::RootId;
 pub use stats::{GcEvent, GcEventKind, GcStats};

@@ -1,0 +1,228 @@
+//! GC plans: collectors as composable policies over the shared spaces
+//! (MMTk-style — mmtk-core's plan architecture is the exemplar).
+//!
+//! The heap owns one fixed set of spaces (eden, two survivors, old); a
+//! *plan* decides how they are collected:
+//!
+//! * [`GcPlanKind::SemiSpace`] — non-generational: every collection is a
+//!   whole-heap evacuating copy. The simplest plan, kept as the baseline
+//!   the others are measured against.
+//! * [`GcPlanKind::GenCopy`] — the historical default: generational Cheney
+//!   minor collections, copy-compacting full collections (HotSpot's
+//!   Parallel Scavenge shape).
+//! * [`GcPlanKind::MarkSweep`] — generational nursery over a mark-sweep
+//!   old generation: dead objects coalesce into a fine-grained free list
+//!   and young survivors evacuate into the holes (CMS shape). Marks the
+//!   old generation *concurrently* by default (see `crate::concurrent`).
+//! * [`GcPlanKind::Immix`] — like `MarkSweep`, but the sweep only recycles
+//!   coarse holes (≥ [`GcPlanKind::min_hole_words`]), modelling
+//!   region/line reclamation; when occupancy stays over budget after a
+//!   sweep, the plan falls back to a compacting collection (Immix's
+//!   defragmentation). Concurrent by default (G1 shape).
+//!
+//! Every plan marks with the same parallel tracer (`crate::mark`): the
+//! stop-the-world mark fans out over `HeapConfig::gc_threads` workers with
+//! batch-granularity work stealing, and the set of marked objects — and
+//! therefore every statistic derived from it — is schedule-independent.
+
+use crate::heap::Heap;
+
+/// Which composition of collection policies manages the heap. Selected via
+/// [`crate::HeapConfig::with_plan`] or the `DECA_GC_PLAN` environment
+/// variable (`semispace` / `gencopy` / `marksweep` / `immix`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum GcPlanKind {
+    /// Whole-heap evacuating copy on every collection.
+    SemiSpace,
+    /// Generational copying nursery + copy-compacting full collections.
+    #[default]
+    GenCopy,
+    /// Generational nursery + mark-sweep old generation (CMS shape).
+    MarkSweep,
+    /// Generational nursery + coarse-hole sweep with compaction fallback
+    /// (immix/G1 shape).
+    Immix,
+}
+
+impl GcPlanKind {
+    pub const ALL: [GcPlanKind; 4] =
+        [GcPlanKind::SemiSpace, GcPlanKind::GenCopy, GcPlanKind::MarkSweep, GcPlanKind::Immix];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            GcPlanKind::SemiSpace => "semispace",
+            GcPlanKind::GenCopy => "gencopy",
+            GcPlanKind::MarkSweep => "marksweep",
+            GcPlanKind::Immix => "immix",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<GcPlanKind> {
+        GcPlanKind::ALL.into_iter().find(|p| p.name().eq_ignore_ascii_case(s.trim()))
+    }
+
+    /// Plan override from the `DECA_GC_PLAN` environment variable, if set
+    /// to a recognised plan name.
+    pub fn from_env() -> Option<GcPlanKind> {
+        std::env::var("DECA_GC_PLAN").ok().as_deref().and_then(GcPlanKind::parse)
+    }
+
+    /// Old-generation occupancy at which a minor collection initiates an
+    /// old-generation collection (the concurrent plans start their marking
+    /// cycle early; the stop-the-world plans collect only on exhaustion).
+    pub fn initiating_occupancy(self) -> f64 {
+        match self {
+            GcPlanKind::SemiSpace | GcPlanKind::GenCopy => 1.0,
+            GcPlanKind::MarkSweep => 0.80,
+            GcPlanKind::Immix => 0.70,
+        }
+    }
+
+    /// Whether this plan marks the old generation on a concurrent thread
+    /// by default ([`crate::HeapConfig::with_concurrent`] overrides).
+    pub fn concurrent_by_default(self) -> bool {
+        matches!(self, GcPlanKind::MarkSweep | GcPlanKind::Immix)
+    }
+
+    /// Smallest dead run (in arena words, header included) the sweeping
+    /// plans return to the free list. `MarkSweep` recycles every hole;
+    /// `Immix` only coarse ones — smaller runs stay as unusable
+    /// fragmentation until a neighbouring death coalesces them, modelling
+    /// line/region granularity.
+    pub fn min_hole_words(self) -> usize {
+        match self {
+            GcPlanKind::Immix => 64,
+            _ => 2,
+        }
+    }
+
+    /// The static plan instance implementing this kind's policy.
+    pub fn instance(self) -> &'static dyn Plan {
+        match self {
+            GcPlanKind::SemiSpace => &SemiSpacePlan,
+            GcPlanKind::GenCopy => &GenCopyPlan,
+            GcPlanKind::MarkSweep => &MarkSweepPlan,
+            GcPlanKind::Immix => &ImmixPlan,
+        }
+    }
+}
+
+impl std::fmt::Display for GcPlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A collection policy over the heap's shared spaces. Plans are stateless
+/// (all collector state lives on the [`Heap`]); the trait is the dispatch
+/// point the allocator and the occupancy trigger call through.
+pub trait Plan: Sync {
+    fn kind(&self) -> GcPlanKind;
+
+    /// Collection run when eden is exhausted.
+    fn nursery_collection(&self, heap: &mut Heap);
+
+    /// Stop-the-world collection of the whole heap (the old generation
+    /// plus evacuated young survivors).
+    fn full_collection(&self, heap: &mut Heap);
+}
+
+struct SemiSpacePlan;
+
+impl Plan for SemiSpacePlan {
+    fn kind(&self) -> GcPlanKind {
+        GcPlanKind::SemiSpace
+    }
+
+    fn nursery_collection(&self, heap: &mut Heap) {
+        // Non-generational: eden exhaustion copies the entire live set.
+        heap.full_gc();
+    }
+
+    fn full_collection(&self, heap: &mut Heap) {
+        heap.collect_compact();
+    }
+}
+
+struct GenCopyPlan;
+
+impl Plan for GenCopyPlan {
+    fn kind(&self) -> GcPlanKind {
+        GcPlanKind::GenCopy
+    }
+
+    fn nursery_collection(&self, heap: &mut Heap) {
+        heap.minor_gc();
+    }
+
+    fn full_collection(&self, heap: &mut Heap) {
+        heap.collect_compact();
+    }
+}
+
+struct MarkSweepPlan;
+
+impl Plan for MarkSweepPlan {
+    fn kind(&self) -> GcPlanKind {
+        GcPlanKind::MarkSweep
+    }
+
+    fn nursery_collection(&self, heap: &mut Heap) {
+        heap.minor_gc();
+    }
+
+    fn full_collection(&self, heap: &mut Heap) {
+        heap.collect_sweep(GcPlanKind::MarkSweep.min_hole_words());
+    }
+}
+
+struct ImmixPlan;
+
+impl Plan for ImmixPlan {
+    fn kind(&self) -> GcPlanKind {
+        GcPlanKind::Immix
+    }
+
+    fn nursery_collection(&self, heap: &mut Heap) {
+        heap.minor_gc();
+    }
+
+    fn full_collection(&self, heap: &mut Heap) {
+        heap.collect_sweep(GcPlanKind::Immix.min_hole_words());
+        if !heap.old_within_budget() {
+            // Defragmentation fallback: coarse sweeping left the budget
+            // exceeded, so compact (Immix's emergency evacuation).
+            heap.collect_compact();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_round_trip() {
+        for p in GcPlanKind::ALL {
+            assert_eq!(GcPlanKind::parse(p.name()), Some(p));
+            assert_eq!(GcPlanKind::parse(&p.name().to_uppercase()), Some(p));
+            assert_eq!(p.instance().kind(), p);
+        }
+        assert_eq!(GcPlanKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn initiation_ordering_matches_collector_shapes() {
+        assert!(
+            GcPlanKind::Immix.initiating_occupancy() < GcPlanKind::MarkSweep.initiating_occupancy()
+        );
+        assert!(
+            GcPlanKind::MarkSweep.initiating_occupancy()
+                < GcPlanKind::GenCopy.initiating_occupancy()
+        );
+        assert!(GcPlanKind::GenCopy.concurrent_by_default() == false);
+        assert!(GcPlanKind::MarkSweep.concurrent_by_default());
+        assert!(GcPlanKind::Immix.concurrent_by_default());
+        assert!(GcPlanKind::Immix.min_hole_words() > GcPlanKind::MarkSweep.min_hole_words());
+    }
+}

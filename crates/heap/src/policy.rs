@@ -1,23 +1,23 @@
-//! Collector pause-accounting policies.
+//! The Table-4 collector surface: HotSpot's collector names, mapped onto
+//! the GC plans that implement their shapes.
 //!
-//! The *tracing work* performed by a collection is identical under every
-//! policy — what differs between HotSpot's Parallel Scavenge, CMS, and G1 is
-//! how much of that work stops the application and how much runs
-//! concurrently at the cost of mutator throughput. The paper's Table 4
-//! compares the three on LR and PR; we reproduce the comparison with the
-//! cost model below, which is a *documented simulation* (see DESIGN.md §1):
+//! The paper's Table 4 compares Parallel Scavenge, CMS, and G1 on LR and
+//! PR. Earlier revisions of this crate *modelled* the pause/throughput
+//! trade with fixed fractions (a `PauseModel`); the collectors are now
+//! implemented for real: each algorithm selects a [`GcPlanKind`] whose
+//! measured behaviour — stop-the-world pause time, concurrent-mark
+//! overlap, sweep fragmentation — produces the comparison instead.
 //!
-//! * **Parallel Scavenge** — everything is a stop-the-world pause; no
-//!   mutator tax; full collections start only when the old generation is
-//!   exhausted.
-//! * **CMS** — old-generation tracing runs concurrently: only a fraction of
-//!   full-collection trace time is a pause, but concurrent threads tax the
-//!   mutator, and collection is *initiated* earlier (initiating occupancy),
-//!   so saturated heaps collect more often.
-//! * **G1** — region-incremental: still smaller pauses than CMS, higher
-//!   mutator tax (barriers + refinement), earlier initiation.
+//! * **Parallel Scavenge** → [`GcPlanKind::GenCopy`]: every collection is
+//!   a stop-the-world pause; full collections start only on exhaustion.
+//! * **CMS** → [`GcPlanKind::MarkSweep`], concurrent: the old generation
+//!   is marked by a racing thread (see `crate::concurrent`) and swept at a
+//!   short remark pause; collection initiates early (occupancy 0.80).
+//! * **G1** → [`GcPlanKind::Immix`], concurrent: like CMS but the sweep
+//!   reclaims at region granularity with a compaction fallback, and
+//!   initiates earlier still (0.70).
 
-use std::time::Duration;
+use crate::plan::GcPlanKind;
 
 /// Which HotSpot collector to model.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -40,48 +40,13 @@ impl GcAlgorithm {
         }
     }
 
-    pub fn pause_model(self) -> PauseModel {
+    /// The GC plan implementing this collector's shape.
+    pub fn plan_kind(self) -> GcPlanKind {
         match self {
-            GcAlgorithm::ParallelScavenge => {
-                PauseModel { full_pause_fraction: 1.0, mutator_tax: 0.0, initiating_occupancy: 1.0 }
-            }
-            GcAlgorithm::Cms => PauseModel {
-                full_pause_fraction: 0.15,
-                mutator_tax: 0.10,
-                initiating_occupancy: 0.80,
-            },
-            GcAlgorithm::G1 => PauseModel {
-                full_pause_fraction: 0.10,
-                mutator_tax: 0.18,
-                initiating_occupancy: 0.70,
-            },
+            GcAlgorithm::ParallelScavenge => GcPlanKind::GenCopy,
+            GcAlgorithm::Cms => GcPlanKind::MarkSweep,
+            GcAlgorithm::G1 => GcPlanKind::Immix,
         }
-    }
-}
-
-/// Cost-model parameters of a collector (see module docs).
-#[derive(Copy, Clone, Debug)]
-pub struct PauseModel {
-    /// Fraction of full-collection trace time that stops the application.
-    pub full_pause_fraction: f64,
-    /// Fraction of *concurrent* collection time additionally charged to the
-    /// mutator as throughput loss.
-    pub mutator_tax: f64,
-    /// Old-generation occupancy at which a (concurrent) full collection is
-    /// initiated. 1.0 means "only on exhaustion" (Parallel Scavenge).
-    pub initiating_occupancy: f64,
-}
-
-impl PauseModel {
-    /// Split a measured full-collection trace duration into
-    /// `(pause, mutator_overhead)` according to this model. Minor
-    /// collections are always full pauses under all three collectors.
-    pub fn account_full(&self, traced: Duration) -> (Duration, Duration) {
-        let pause = traced.mul_f64(self.full_pause_fraction);
-        let concurrent = traced.saturating_sub(pause);
-        let overhead = concurrent.mul_f64(self.mutator_tax / (1.0 - self.mutator_tax).max(0.01))
-            + concurrent.mul_f64(0.0);
-        (pause, overhead)
     }
 }
 
@@ -90,32 +55,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ps_is_all_pause() {
-        let m = GcAlgorithm::ParallelScavenge.pause_model();
-        let (pause, over) = m.account_full(Duration::from_secs(10));
-        assert_eq!(pause, Duration::from_secs(10));
-        assert_eq!(over, Duration::ZERO);
+    fn algorithms_map_to_plan_shapes() {
+        assert_eq!(GcAlgorithm::ParallelScavenge.plan_kind(), GcPlanKind::GenCopy);
+        assert_eq!(GcAlgorithm::Cms.plan_kind(), GcPlanKind::MarkSweep);
+        assert_eq!(GcAlgorithm::G1.plan_kind(), GcPlanKind::Immix);
     }
 
     #[test]
-    fn concurrent_collectors_trade_pause_for_overhead() {
-        let cms = GcAlgorithm::Cms.pause_model();
-        let (pause, over) = cms.account_full(Duration::from_secs(10));
-        assert!(pause < Duration::from_secs(2));
-        assert!(over > Duration::ZERO);
-
-        let g1 = GcAlgorithm::G1.pause_model();
-        let (g1_pause, g1_over) = g1.account_full(Duration::from_secs(10));
-        assert!(g1_pause < pause, "G1 pauses less than CMS");
-        assert!(g1_over > over, "G1 taxes the mutator more than CMS");
-    }
-
-    #[test]
-    fn initiating_occupancy_ordering() {
-        let ps = GcAlgorithm::ParallelScavenge.pause_model();
-        let cms = GcAlgorithm::Cms.pause_model();
-        let g1 = GcAlgorithm::G1.pause_model();
-        assert!(g1.initiating_occupancy < cms.initiating_occupancy);
-        assert!(cms.initiating_occupancy < ps.initiating_occupancy);
+    fn concurrent_collectors_initiate_early_and_overlap() {
+        // PS is all-pause and collects only on exhaustion; CMS and G1 mark
+        // concurrently and initiate progressively earlier.
+        let ps = GcAlgorithm::ParallelScavenge.plan_kind();
+        let cms = GcAlgorithm::Cms.plan_kind();
+        let g1 = GcAlgorithm::G1.plan_kind();
+        assert!(!ps.concurrent_by_default());
+        assert!(cms.concurrent_by_default());
+        assert!(g1.concurrent_by_default());
+        assert!(g1.initiating_occupancy() < cms.initiating_occupancy());
+        assert!(cms.initiating_occupancy() < ps.initiating_occupancy());
     }
 }

@@ -28,7 +28,9 @@ impl SpaceId {
 }
 
 /// A bump-allocated arena of words with nominal-byte capacity accounting.
-#[derive(Debug)]
+/// `Clone` is the concurrent marker's snapshot operation (see
+/// `crate::concurrent`).
+#[derive(Debug, Clone)]
 pub struct Space {
     pub(crate) words: Vec<u64>,
     /// Nominal bytes currently allocated (JVM accounting).

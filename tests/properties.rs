@@ -373,8 +373,11 @@ fn mark_sweep_gc_preserves_reachable_graphs() {
         cfg(),
         gens::pair(gens::vec_of(gens::any_i64(), 1..200), gens::vec_of(gens::bools(), 1..8)),
         |(values, gcs)| {
-            let mut heap =
-                Heap::new(HeapConfig::small().with_full_gc(deca_heap::FullGcKind::MarkSweep));
+            let mut heap = Heap::new(
+                HeapConfig::small()
+                    .with_plan(deca_heap::GcPlanKind::MarkSweep)
+                    .with_concurrent(false),
+            );
             let node = heap.define_class(
                 ClassBuilder::new("Node").field("v", FieldKind::I64).field("next", FieldKind::Ref),
             );
